@@ -1,0 +1,14 @@
+"""Extension — the bandwidth knee at the Section 3.3 requirement."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import bandwidth_provisioning
+
+
+def test_bandwidth_provisioning(benchmark):
+    result = run_experiment(benchmark, bandwidth_provisioning.run)
+    measured = result.measured_claims
+    assert measured["stall-free at U280's 460 GB/s"] is True
+    assert abs(measured["requirement GB/s (length 256)"] - 221.2) < 1.0
+    # Below the knee, slowdown is inverse in bandwidth.
+    half = next(row for row in result.rows if row[1] == 0.5)
+    assert half[4] == 2.0

@@ -1,0 +1,9 @@
+"""Section 3.4 — the statistical bound holds against measurement."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import bound_validation
+
+
+def test_bound_validation(benchmark):
+    result = run_experiment(benchmark, bound_validation.run, dim=2048)
+    assert result.measured_claims["E[C] within Eq.9 bound"] is True

@@ -1,0 +1,12 @@
+"""Extension ablation — greedy vs first-fit vs optimal edge coloring."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import coloring_ablation
+
+
+def test_coloring_ablation(benchmark):
+    result = run_experiment(benchmark, coloring_ablation.run, scale=32.0)
+    measured = result.measured_claims
+    assert measured["euler matches lower bound exactly"] is True
+    # Greedy (Listing 1) should sit within ~25% of the optimum.
+    assert measured["matching colors / optimum"] < 1.25

@@ -1,0 +1,16 @@
+"""Figure 7 — utilization and cycles for all seven design configurations."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import fig7_utilization
+
+
+def test_fig7_utilization(benchmark):
+    result = run_experiment(benchmark, fig7_utilization.run, scale=16.0)
+    gmeans = result.measured_claims
+    # The headline: GUST EC/LB achieves tens-of-percent utilization where
+    # systolic baselines sit orders of magnitude lower.
+    assert gmeans["geomean util% GUST-EC/LB"] > 20.0
+    assert (
+        gmeans["geomean util% GUST-EC/LB"]
+        > 5 * gmeans["geomean util% FAFNIR"]
+    )

@@ -1,0 +1,20 @@
+"""Figure 8 — speedup and energy gain over the 1D systolic baseline."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import fig8_speedup
+
+
+def test_fig8_speedup(benchmark):
+    result = run_experiment(
+        benchmark,
+        fig8_speedup.run,
+        scale=16.0,
+        dim=2048,
+        densities=(1e-3, 3e-3, 1e-2, 3e-2),
+    )
+    claims = result.measured_claims
+    # Projected to paper dimensions, the headline factors must land in the
+    # paper's order of magnitude (paper: 411x / 137x / 88x).
+    assert 150 < claims["avg speedup GUST-256 EC/LB"] < 1200
+    assert 50 < claims["avg energy gain GUST-256 EC/LB"] < 600
+    assert claims["avg speedup EC/LB over Naive"] > 20

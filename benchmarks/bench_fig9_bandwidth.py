@@ -1,0 +1,11 @@
+"""Figure 9 — average bandwidth utilization of GUST vs 1D."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import fig9_bandwidth
+
+
+def test_fig9_bandwidth(benchmark):
+    result = run_experiment(benchmark, fig9_bandwidth.run, scale=16.0)
+    assert result.measured_claims["GUST BW far above 1D"] is True
+    # Requirement formulas must reproduce the paper's maxima.
+    assert abs(result.measured_claims["maximum BW GUST-256 (GB/s)"] - 221.2) < 1

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the per-figure reproduction harnesses, these run multiple rounds to
+measure the Python implementation itself: scheduling throughput (the
+preprocessing cost the paper reports in Table 4), load balancing, schedule
+replay, and the cycle-accurate machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GustPipeline, GustScheduler, LoadBalancer, uniform_random
+from repro.core.load_balance import identity_balance
+
+MATRIX = uniform_random(2048, 2048, 0.01, seed=1)  # ~42K nonzeros
+LENGTH = 256
+
+
+@pytest.fixture(scope="module")
+def prepared_schedule():
+    pipeline = GustPipeline(LENGTH)
+    schedule, balanced, _ = pipeline.preprocess(MATRIX)
+    x = np.random.default_rng(0).normal(size=MATRIX.shape[1])
+    return pipeline, schedule, balanced, x
+
+
+def test_scheduling_matching(benchmark):
+    scheduler = GustScheduler(LENGTH, algorithm="matching")
+    balanced = identity_balance(MATRIX, LENGTH)
+    counts = benchmark(scheduler.color_counts, balanced)
+    assert sum(counts) > 0
+
+
+def test_scheduling_first_fit(benchmark):
+    scheduler = GustScheduler(LENGTH, algorithm="first_fit")
+    balanced = identity_balance(MATRIX, LENGTH)
+    counts = benchmark(scheduler.color_counts, balanced)
+    assert sum(counts) > 0
+
+
+def test_scheduling_naive(benchmark):
+    scheduler = GustScheduler(LENGTH, algorithm="naive")
+    balanced = identity_balance(MATRIX, LENGTH)
+    counts = benchmark(scheduler.color_counts, balanced)
+    assert sum(counts) > 0
+
+
+def test_load_balancing(benchmark):
+    balancer = LoadBalancer(LENGTH)
+    balanced = benchmark(balancer.balance, MATRIX)
+    assert balanced.matrix.nnz == MATRIX.nnz
+
+
+def test_schedule_replay(benchmark, prepared_schedule):
+    pipeline, schedule, balanced, x = prepared_schedule
+    y = benchmark(pipeline.execute, schedule, balanced, x)
+    np.testing.assert_allclose(y, MATRIX.matvec(x))
+
+
+def test_cycle_accurate_machine(benchmark):
+    small = uniform_random(256, 256, 0.02, seed=2)
+    pipeline = GustPipeline(64)
+    schedule, balanced, _ = pipeline.preprocess(small)
+    x = np.random.default_rng(1).normal(size=256)
+    y, _ = benchmark(pipeline.execute_cycle_accurate, schedule, balanced, x)
+    np.testing.assert_allclose(y, small.matvec(x))

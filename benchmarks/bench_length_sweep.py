@@ -1,0 +1,11 @@
+"""Extension sweep — utilization vs length against the Eq. 11 prediction."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import length_sweep
+
+
+def test_length_sweep(benchmark):
+    result = run_experiment(benchmark, length_sweep.run)
+    measured = result.measured_claims
+    assert measured["utilization falls with length (Eq. 11)"] is True
+    assert measured["measured tracks Eq. 11"] is True

@@ -1,0 +1,11 @@
+"""Section 5.5 — parallel GUST arrangements vs one long GUST."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import scalability
+
+
+def test_scalability(benchmark):
+    result = run_experiment(benchmark, scalability.run, scale=16.0)
+    measured = result.measured_claims
+    assert measured["parallel shrinks crossbar"] is True
+    assert measured["work divides unequally on skewed matrices"] is True

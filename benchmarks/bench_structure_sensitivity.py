@@ -1,0 +1,11 @@
+"""Section 5.4 — matrix structure vs GUST performance."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import structure_sensitivity
+
+
+def test_structure_sensitivity(benchmark):
+    result = run_experiment(benchmark, structure_sensitivity.run)
+    measured = result.measured_claims
+    assert measured["utilization falls as degree STD rises"] is True
+    assert measured["LB helps most on the most skewed structure"] is True

@@ -1,0 +1,17 @@
+"""Table 1 — design qualities and geomean utilization."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import table1_qualities
+
+
+def test_table1_qualities(benchmark):
+    result = run_experiment(
+        benchmark, table1_qualities.run, scale=32.0, length=256
+    )
+    measured = result.measured_claims
+    # Paper ordering: GUST >> Fafnir > FTPU > 1D ~= AT.
+    assert (
+        measured["gmean util% GUST-EC/LB"]
+        > measured["gmean util% FAFNIR"]
+        > measured["gmean util% FTPU"]
+    )

@@ -1,0 +1,16 @@
+"""Table 2 — per-design resource consumption."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import table2_resources
+
+
+def test_table2_resources(benchmark):
+    result = run_experiment(benchmark, table2_resources.run)
+    measured = result.measured_claims
+    for design, watts in (
+        ("1D-256", 35.3),
+        ("GUST-8", 3.4),
+        ("GUST-87", 16.8),
+        ("GUST-256", 56.9),
+    ):
+        assert measured[f"total W {design}"] == watts

@@ -1,0 +1,15 @@
+"""Table 5 — per-partition resource consumption and crossbar scaling."""
+
+from benchmarks.conftest import run_experiment
+from repro.eval.experiments import table5_partitions
+
+
+def test_table5_partitions(benchmark):
+    result = run_experiment(benchmark, table5_partitions.run)
+    measured = result.measured_claims
+    assert measured["crossbar LUT @256"] == 756_000
+    assert measured["crossbar W @256"] == 16.4
+    # Crossbar growth from 128 to 256 exceeds quadratic (the paper's
+    # synthesis shows super-quadratic top-end growth).
+    assert measured["crossbar growth 128->256 at least quadratic"] is True
+    assert measured["crossbar growth factor 128->256"] >= 4.0

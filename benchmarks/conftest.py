@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one paper table or figure.  The
+experiment runs once (``rounds=1``) — these are reproduction harnesses, not
+micro-benchmarks — and the reproduced table is printed so that
+``pytest benchmarks/ --benchmark-only -s`` (or the tee'd output file) shows
+the paper-vs-measured comparison next to the timing.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, experiment_fn, **kwargs):
+    """Run one experiment under pytest-benchmark and print its report."""
+    result = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    for key, value in result.measured_claims.items():
+        benchmark.extra_info[key] = str(value)
+    return result

@@ -1,0 +1,55 @@
+"""PageRank on a social-graph surrogate via GUST-scheduled SpMV.
+
+Graph analysis is a headline workload in the paper's introduction.  Power
+iteration multiplies the same damped transition matrix by a vector until
+convergence — the schedule-once / run-many pattern GUST is built for.
+Power-law graphs are also GUST's hardest case (Section 5.4): hub rows
+dominate window color counts, which is exactly what the load balancer
+mitigates.  This example measures that effect directly.
+
+Run:  python examples/pagerank.py
+"""
+
+import numpy as np
+
+from repro import CooMatrix, GustPipeline, power_law
+from repro.solvers import power_iteration
+
+
+def damped_transition(graph: CooMatrix, damping: float = 0.85) -> CooMatrix:
+    """Column-stochastic damped transition matrix of a directed graph."""
+    n = graph.shape[0]
+    out_degree = graph.col_counts().astype(np.float64)
+    out_degree[out_degree == 0] = 1.0  # dangling nodes: self-loop semantics
+    data = damping * graph.data / out_degree[graph.cols]
+    return CooMatrix.from_arrays(graph.rows, graph.cols, data, graph.shape)
+
+
+def main() -> None:
+    n = 4096
+    graph = power_law(n, n, density=0.002, seed=9)
+    transition = damped_transition(graph)
+
+    print(f"graph: {graph} (power-law, hubs capped at 50x mean degree)")
+    for load_balance in (False, True):
+        pipeline = GustPipeline(length=128, load_balance=load_balance)
+        schedule, balanced, report = pipeline.preprocess(transition)
+        label = "EC/LB" if load_balance else "EC   "
+        print(f"{label}: {schedule.execution_cycles} cycles/SpMV, "
+              f"utilization {schedule.utilization:.1%}, "
+              f"scheduled in {report.seconds * 1e3:.0f} ms")
+
+    pipeline = GustPipeline(length=128, load_balance=True)
+    result = power_iteration(transition, pipeline=pipeline, tol=1e-10)
+    ranks = np.abs(result.vector)
+    ranks /= ranks.sum()
+    top = np.argsort(-ranks)[:5]
+    print(f"power iteration converged={result.converged} "
+          f"after {result.iterations} iterations ({result.spmv_count} SpMVs)")
+    print("top-5 nodes by rank:", ", ".join(
+        f"{node} ({ranks[node]:.4f})" for node in top
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Run:  python examples/paper_figures.py            # everything (~2 minutes)
+      python examples/paper_figures.py fig7 table4   # a subset
+"""
+
+import sys
+import time
+
+from repro.eval.experiments import (
+    bandwidth_provisioning,
+    bound_validation,
+    coloring_ablation,
+    fig7_utilization,
+    fig8_speedup,
+    fig9_bandwidth,
+    length_sweep,
+    naive_crossover,
+    scalability,
+    structure_sensitivity,
+    table1_qualities,
+    table2_resources,
+    table3_datasets,
+    table4_serpens,
+    table5_partitions,
+)
+
+EXPERIMENTS = {
+    "table1": table1_qualities,
+    "table2": table2_resources,
+    "table3": table3_datasets,
+    "table4": table4_serpens,
+    "table5": table5_partitions,
+    "fig7": fig7_utilization,
+    "fig8": fig8_speedup,
+    "fig9": fig9_bandwidth,
+    "naive_crossover": naive_crossover,
+    "bound": bound_validation,
+    "scalability": scalability,
+    "ablation": coloring_ablation,
+    "length_sweep": length_sweep,
+    "structure": structure_sensitivity,
+    "bandwidth": bandwidth_provisioning,
+}
+
+
+def main() -> None:
+    requested = sys.argv[1:] or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiments {unknown}; choose from {sorted(EXPERIMENTS)}"
+        )
+    for name in requested:
+        started = time.perf_counter()
+        result = EXPERIMENTS[name].run()
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{name} completed in {elapsed:.1f}s]")
+        print("=" * 78)
+
+
+if __name__ == "__main__":
+    main()

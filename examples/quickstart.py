@@ -1,0 +1,45 @@
+"""Quickstart: schedule a sparse matrix and run a collision-free SpMV.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GustPipeline, uniform_random
+
+
+def main() -> None:
+    # A 2048 x 2048 uniform sparse matrix at 1% density.
+    matrix = uniform_random(2048, 2048, density=0.01, seed=42)
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=matrix.shape[1])
+
+    # A length-128 GUST with the paper's edge-coloring scheduler and
+    # three-step load balancing.
+    gust = GustPipeline(length=128, algorithm="matching", load_balance=True)
+    result = gust.spmv(matrix, x)
+
+    # The scheduled dataflow is numerically exact.
+    expected = matrix.matvec(x)
+    assert np.allclose(result.y, expected), "SpMV mismatch"
+
+    report = result.cycle_report
+    schedule = result.schedule
+    print(f"matrix: {matrix}")
+    print(f"schedule: {schedule.window_count} windows, "
+          f"{schedule.total_colors} buffer slots, "
+          f"occupancy {schedule.occupancy:.1%}")
+    print(f"execution: {report.cycles} cycles, "
+          f"hardware utilization {report.utilization:.1%}")
+    print(f"preprocessing took {result.preprocess.seconds * 1e3:.1f} ms "
+          f"(one-time; schedules are reusable across input vectors)")
+
+    # Reuse: a new vector costs no rescheduling.
+    x2 = rng.normal(size=matrix.shape[1])
+    y2 = gust.execute(result.schedule, result.balanced, x2)
+    assert np.allclose(y2, matrix.matvec(x2))
+    print("schedule reused for a second vector — no rescheduling needed")
+
+
+if __name__ == "__main__":
+    main()

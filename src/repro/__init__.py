@@ -1,0 +1,101 @@
+"""repro — a full reproduction of GUST (ASPLOS 2024).
+
+GUST accelerates sparse matrix-vector multiplication by separating
+multipliers from adders behind a crossbar so rows and columns share
+arithmetic units, and by eliminating the resulting collisions with a
+bipartite-graph edge-coloring schedule.
+
+Quickstart::
+
+    import numpy as np
+    from repro import GustPipeline, uniform_random
+
+    matrix = uniform_random(1024, 1024, density=0.01, seed=7)
+    x = np.random.default_rng(7).normal(size=1024)
+
+    gust = GustPipeline(length=64)
+    result = gust.spmv(matrix, x)
+
+    assert np.allclose(result.y, matrix.matvec(x))
+    print(f"cycles={result.cycle_report.cycles} "
+          f"utilization={result.cycle_report.utilization:.1%}")
+
+Layers (see DESIGN.md for the full map):
+
+* :mod:`repro.sparse` — matrix containers, generators, surrogate datasets.
+* :mod:`repro.graph` — bipartite edge-coloring algorithms.
+* :mod:`repro.core` — the GUST scheduler, load balancer, and machine.
+* :mod:`repro.accelerators` — 1D systolic, adder tree, Flex-TPU, Fafnir,
+  Serpens baselines behind one interface.
+* :mod:`repro.energy` — the paper's energy/power/resource models.
+* :mod:`repro.eval` — experiment harness regenerating every paper
+  table and figure.
+* :mod:`repro.solvers` — iterative solvers exercising repeated SpMV.
+"""
+
+from repro.core.bounds import (
+    expected_colors,
+    expected_execution_cycles,
+    expected_utilization,
+)
+from repro.core.load_balance import BalancedMatrix, LoadBalancer
+from repro.core.machine import GustMachine, MachineResult
+from repro.core.parallel import ParallelGust
+from repro.core.pipeline import GustPipeline, PipelineResult
+from repro.core.schedule import Schedule
+from repro.core.scheduler import SCHEDULING_ALGORITHMS, GustScheduler
+from repro.core.serialize import load_schedule, save_schedule
+from repro.core.spmm import GustSpmm, SpmmResult
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.datasets import (
+    DatasetSpec,
+    figure7_suite,
+    load_dataset,
+    serpens_suite,
+)
+from repro.sparse.generators import (
+    banded,
+    block_diagonal,
+    k_regular,
+    power_law,
+    uniform_random,
+)
+from repro.types import CycleReport, EnergyReport, PreprocessReport, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BalancedMatrix",
+    "CooMatrix",
+    "CsrMatrix",
+    "CycleReport",
+    "DatasetSpec",
+    "EnergyReport",
+    "GustMachine",
+    "GustPipeline",
+    "GustScheduler",
+    "GustSpmm",
+    "LoadBalancer",
+    "MachineResult",
+    "ParallelGust",
+    "PipelineResult",
+    "PreprocessReport",
+    "RunResult",
+    "SCHEDULING_ALGORITHMS",
+    "Schedule",
+    "SpmmResult",
+    "banded",
+    "load_schedule",
+    "save_schedule",
+    "block_diagonal",
+    "expected_colors",
+    "expected_execution_cycles",
+    "expected_utilization",
+    "figure7_suite",
+    "k_regular",
+    "load_dataset",
+    "power_law",
+    "serpens_suite",
+    "uniform_random",
+]

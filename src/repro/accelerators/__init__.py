@@ -1,0 +1,35 @@
+"""Baseline SpMV accelerator models (paper Section 2) plus GUST and Serpens.
+
+Every design implements the :class:`~repro.accelerators.base.Accelerator`
+interface: ``run(matrix)`` returns a :class:`~repro.types.CycleReport` from
+the design's dataflow, and ``spmv(matrix, x)`` executes the same dataflow
+functionally so tests can pin each model to the numpy oracle.
+"""
+
+from repro.accelerators.adder_tree import AdderTree
+from repro.accelerators.adder_tree_machine import AdderTreeMachine
+from repro.accelerators.base import Accelerator
+from repro.accelerators.fafnir import Fafnir
+from repro.accelerators.fafnir_machine import FafnirMachine
+from repro.accelerators.flex_tpu import FlexTpu
+from repro.accelerators.flex_tpu_machine import FlexTpuMachine
+from repro.accelerators.gust import GustAccelerator
+from repro.accelerators.serpens import Serpens
+from repro.accelerators.serpens_machine import SerpensMachine
+from repro.accelerators.systolic_1d import Systolic1D
+from repro.accelerators.systolic_1d_machine import Systolic1DMachine
+
+__all__ = [
+    "Accelerator",
+    "AdderTree",
+    "AdderTreeMachine",
+    "Fafnir",
+    "FafnirMachine",
+    "FlexTpu",
+    "FlexTpuMachine",
+    "GustAccelerator",
+    "Serpens",
+    "SerpensMachine",
+    "Systolic1D",
+    "Systolic1DMachine",
+]

@@ -1,0 +1,89 @@
+"""Balanced adder tree baseline (paper Section 2.2, Figure 1c).
+
+``l`` multipliers feed a binary reduction tree of ``l - 1`` adders.  Each
+iteration maps an ``l``-wide chunk of one matrix row (dense, zeros
+included) and the matching vector chunk onto the multipliers; the tree sums
+the chunk in log(l) pipelined stages.
+
+Execution time (Table 1): m*n/l + log(l) + 1 — ceil(n/l) chunks per row for
+m rows, plus tree fill.  Utilization is as poor as 1D's because zeros
+occupy multiplier slots all the same.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.accelerators.base import Accelerator
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.types import CycleReport
+
+
+class AdderTree(Accelerator):
+    """Length-``l`` balanced adder tree: l multipliers + (l-1) adders."""
+
+    name = "AT"
+
+    def __init__(self, length: int):
+        if length <= 1:
+            raise HardwareConfigError(f"length must exceed 1, got {length}")
+        self.length = length
+
+    @property
+    def total_units(self) -> int:
+        return 2 * self.length - 1
+
+    def run(self, matrix: CooMatrix) -> CycleReport:
+        m, n = matrix.shape
+        chunks_per_row = -(-n // self.length)
+        cycles = (
+            m * chunks_per_row + int(math.log2(self.length)) + 1
+            if matrix.nnz
+            else 0
+        )
+        # Useful work: one multiply per nonzero; reducing the k nonzero
+        # partials of a chunk takes k-1 useful adds, plus one accumulate of
+        # each chunk result into the row total.
+        nonempty_chunks = self._nonempty_chunks(matrix)
+        useful_adds = matrix.nnz - nonempty_chunks  # k-1 summed over chunks
+        useful_adds += max(0, nonempty_chunks - self._nonempty_rows(matrix))
+        return CycleReport(
+            cycles=cycles,
+            useful_ops=matrix.nnz + useful_adds,
+            total_units=self.total_units,
+        )
+
+    def spmv(self, matrix: CooMatrix, x: np.ndarray) -> np.ndarray:
+        """Walk the dataflow: chunked dot products via the reduction tree."""
+        x = np.asarray(x, dtype=np.float64)
+        m, n = matrix.shape
+        if x.shape != (n,):
+            raise HardwareConfigError(
+                f"vector length {x.shape} incompatible with shape {matrix.shape}"
+            )
+        csr = CsrMatrix.from_coo(matrix)
+        y = np.zeros(m, dtype=np.float64)
+        for i in range(m):
+            cols, vals = csr.row(i)
+            if cols.size == 0:
+                continue
+            total = 0.0
+            chunk_of_col = cols // self.length
+            for chunk in np.unique(chunk_of_col):
+                in_chunk = chunk_of_col == chunk
+                total += float(np.sum(vals[in_chunk] * x[cols[in_chunk]]))
+            y[i] = total
+        return y
+
+    def _nonempty_chunks(self, matrix: CooMatrix) -> int:
+        chunk_ids = matrix.rows * (-(-matrix.shape[1] // self.length)) + (
+            matrix.cols // self.length
+        )
+        return int(np.unique(chunk_ids).size)
+
+    def _nonempty_rows(self, matrix: CooMatrix) -> int:
+        return int(np.unique(matrix.rows).size)

@@ -1,0 +1,38 @@
+"""Common interface for all accelerator models."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+from repro.types import CycleReport
+
+
+class Accelerator(abc.ABC):
+    """An SpMV design with a dataflow-level cycle model.
+
+    Subclasses define ``name``, the number of arithmetic units, and the two
+    core operations.  Cycle models follow each design's published mechanism
+    (Figure 1 of the paper); functional ``spmv`` walks the same dataflow so
+    the model's bookkeeping is continuously cross-checked against numerics.
+    """
+
+    #: Short identifier used in experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, matrix: CooMatrix) -> CycleReport:
+        """Predict cycles/utilization for one SpMV on ``matrix``."""
+
+    @abc.abstractmethod
+    def spmv(self, matrix: CooMatrix, x: np.ndarray) -> np.ndarray:
+        """Execute the design's dataflow functionally; returns y = A @ x."""
+
+    def utilization(self, matrix: CooMatrix) -> float:
+        """Convenience: hardware utilization for one SpMV."""
+        return self.run(matrix).utilization
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

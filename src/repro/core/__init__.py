@@ -1,0 +1,42 @@
+"""GUST's software half: scheduling, load balancing, and the machine model.
+
+The public entry point is :class:`~repro.core.pipeline.GustPipeline`, which
+bundles preprocessing (windowing + load balancing + edge coloring) with
+execution (fast vectorized replay or the cycle-accurate machine).
+"""
+
+from repro.core.bounds import (
+    expected_colors,
+    expected_execution_cycles,
+    expected_utilization,
+)
+from repro.core.load_balance import BalancedMatrix, LoadBalancer
+from repro.core.machine import GustMachine, MachineResult
+from repro.core.naive import naive_coloring, naive_stalls
+from repro.core.parallel import ParallelGust
+from repro.core.pipeline import GustPipeline, PipelineResult
+from repro.core.schedule import Schedule
+from repro.core.scheduler import GustScheduler
+from repro.core.serialize import load_schedule, save_schedule
+from repro.core.spmm import GustSpmm, SpmmResult
+
+__all__ = [
+    "BalancedMatrix",
+    "GustMachine",
+    "GustPipeline",
+    "GustScheduler",
+    "GustSpmm",
+    "LoadBalancer",
+    "MachineResult",
+    "ParallelGust",
+    "PipelineResult",
+    "Schedule",
+    "SpmmResult",
+    "expected_colors",
+    "expected_execution_cycles",
+    "expected_utilization",
+    "load_schedule",
+    "naive_coloring",
+    "naive_stalls",
+    "save_schedule",
+]

@@ -1,0 +1,57 @@
+"""Statistical bound on colors, execution time, and utilization (Sec. 3.4).
+
+For an N-by-N matrix whose cells are nonzero independently with probability
+``p`` (the uniform synthetic model) and a length-``l`` GUST, the paper
+derives, via the Central Limit Theorem plus a Jensen/union-bound argument
+over the 2l row/column-segment degree Gaussians:
+
+* Eq. (9):  E[C]      <= N p + sqrt(2 N p (1 - p) ln(2 l))     per window
+* Eq. (10): E[exe]     = (N / l) E[C] + 2                      cycles
+* Eq. (11): E[util]    = 1 / (1 + sqrt(2 (1-p) ln(2l) / (N p)))
+
+The bound assumes N p >= ~10 (at least ten nonzeros per row on average) so
+the binomial degree is approximately Gaussian.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import HardwareConfigError
+
+
+def _check(n: int, p: float, length: int) -> None:
+    if n <= 0:
+        raise HardwareConfigError(f"matrix dimension must be positive, got {n}")
+    if not 0.0 < p <= 1.0:
+        raise HardwareConfigError(f"density p must be in (0, 1], got {p}")
+    if length <= 0:
+        raise HardwareConfigError(f"length must be positive, got {length}")
+
+
+def expected_colors(n: int, p: float, length: int) -> float:
+    """Eq. (9): upper bound on E[C] for one window of a uniform matrix."""
+    _check(n, p, length)
+    mean = n * p
+    sigma = math.sqrt(n * p * (1.0 - p))
+    return mean + sigma * math.sqrt(2.0 * math.log(2.0 * length))
+
+
+def expected_execution_cycles(n: int, p: float, length: int) -> float:
+    """Eq. (10): expected SpMV cycles for an N-by-N uniform matrix."""
+    _check(n, p, length)
+    windows = n / length
+    return windows * expected_colors(n, p, length) + 2.0
+
+
+def expected_utilization(n: int, p: float, length: int) -> float:
+    """Eq. (11): expected hardware utilization (0..1]."""
+    _check(n, p, length)
+    return 1.0 / (1.0 + math.sqrt(2.0 * (1.0 - p) * math.log(2.0 * length) / (n * p)))
+
+
+def clt_applicable(n: int, p: float) -> bool:
+    """The paper's applicability condition N > 9 (1 - p) / p."""
+    if p <= 0.0:
+        return False
+    return n > 9.0 * (1.0 - p) / p

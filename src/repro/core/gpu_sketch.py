@@ -1,0 +1,96 @@
+"""GPU-analogue GUST cost model (paper Section 7 sketch).
+
+The conclusion section observes that a GPU already contains GUST's
+ingredients: each thread block's shared memory acts as the crossbar, so an
+implementable GUST is "a small length-k GUST for each block", with the
+caveat that "GPUs are often memory-bound in the case of matrix-vector
+multiplication".
+
+This module turns that paragraph into a first-order cost model: a grid of
+``blocks`` length-``block_length`` GUSTs executes the windowed schedule in
+parallel (compute side), while the whole SpMV must also move its operand
+bytes through device memory (bandwidth side).  Time is the maximum of the
+two — and for realistic sparsities the bandwidth roof dominates, which is
+precisely the paper's caveat and what tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import GustPipeline
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+
+#: Bytes per scheduled nonzero: 4-byte value + 4-byte column index
+#: + 1-byte row tag (block-local), matching the GUST stream layout.
+_BYTES_PER_NNZ = 9
+#: Bytes per vector/output element (float32).
+_BYTES_PER_ELEMENT = 4
+
+
+@dataclass(frozen=True)
+class GpuSketchReport:
+    """Cost breakdown of one GPU-analogue SpMV."""
+
+    compute_seconds: float
+    memory_seconds: float
+    blocks_used: int
+
+    @property
+    def seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the bandwidth roof, not compute, sets the runtime."""
+        return self.memory_seconds >= self.compute_seconds
+
+
+class GpuGustSketch:
+    """A grid of small shared-memory GUSTs plus a bandwidth roof.
+
+    Args:
+        blocks: concurrent thread blocks (each one small GUST).
+        block_length: lanes per block — bounded by shared memory in
+            practice, so small (the paper: "a small length-k GUST").
+        clock_hz: effective per-block issue rate.
+        memory_bandwidth_gbps: device memory bandwidth (decimal GB/s).
+    """
+
+    def __init__(
+        self,
+        blocks: int = 128,
+        block_length: int = 32,
+        clock_hz: float = 1.4e9,
+        memory_bandwidth_gbps: float = 900.0,
+    ):
+        if blocks <= 0 or block_length <= 0:
+            raise HardwareConfigError("blocks and block_length must be positive")
+        if clock_hz <= 0 or memory_bandwidth_gbps <= 0:
+            raise HardwareConfigError("clock and bandwidth must be positive")
+        self.blocks = blocks
+        self.block_length = block_length
+        self.clock_hz = clock_hz
+        self.memory_bandwidth_gbps = memory_bandwidth_gbps
+        self._pipeline = GustPipeline(block_length)
+
+    def estimate(self, matrix: CooMatrix) -> GpuSketchReport:
+        """Cost one SpMV: windowed schedule over blocks vs bandwidth roof."""
+        report, _ = self._pipeline.preprocess_stats(matrix)
+        m, n = matrix.shape
+        # Compute side: windows split round-robin over the blocks; each
+        # block replays its share of the schedule at one timestep/cycle.
+        total_colors = max(0, report.cycles - 2)
+        per_block_colors = -(-total_colors // self.blocks) if total_colors else 0
+        compute_seconds = (per_block_colors + 2) / self.clock_hz if total_colors else 0.0
+
+        bytes_moved = (
+            matrix.nnz * _BYTES_PER_NNZ + (m + n) * _BYTES_PER_ELEMENT
+        )
+        memory_seconds = bytes_moved / (self.memory_bandwidth_gbps * 1e9)
+        return GpuSketchReport(
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            blocks_used=min(self.blocks, max(1, total_colors)),
+        )

@@ -1,0 +1,187 @@
+"""Cycle-accurate GUST machine: the hardware of Figure 2, cycle by cycle.
+
+Three pipeline stages — multipliers, crossbar, adders — with four FIFO input
+streams filled window-by-window by the Buffer Filler.  The machine exists to
+*validate* the analytic model: tests prove its cycle count equals
+``Schedule.execution_cycles`` and its output equals the numpy oracle, and
+that a stream with a manufactured collision trips the crossbar's
+:class:`~repro.errors.CollisionError`.
+
+For large experiments use the fast replay in
+:class:`~repro.core.pipeline.GustPipeline`; this machine is O(cycles * l)
+Python and meant for small and medium instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import EMPTY, PIPELINE_FILL_CYCLES, Schedule
+from repro.errors import HardwareConfigError
+from repro.hw.arith import AdderBank, MultiplierBank
+from repro.hw.crossbar import Crossbar
+from repro.hw.fifo import Fifo
+from repro.hw.memory import MemoryModel, StreamStats
+
+
+@dataclass(frozen=True)
+class MachineResult:
+    """Outcome of one cycle-accurate run.
+
+    ``y_permuted`` is in scheduled (possibly load-balanced) row order; the
+    pipeline maps it back with the balancer's permutation.
+    """
+
+    y_permuted: np.ndarray
+    cycles: int
+    multiplier_ops: int
+    adder_ops: int
+    max_fifo_depth: int
+    stream: StreamStats
+
+    @property
+    def useful_ops(self) -> int:
+        return self.multiplier_ops + self.adder_ops
+
+
+class GustMachine:
+    """Executes a :class:`Schedule` against an input vector, cycle by cycle."""
+
+    def __init__(self, length: int):
+        if length <= 0:
+            raise HardwareConfigError(f"length must be positive, got {length}")
+        self.length = length
+
+    def run(self, schedule: Schedule, x: np.ndarray) -> MachineResult:
+        """Run one SpMV.  ``x`` is indexed by original column (Col_sch)."""
+        length = self.length
+        if schedule.length != length:
+            raise HardwareConfigError(
+                f"schedule built for length {schedule.length}, machine is {length}"
+            )
+        m, n = schedule.shape
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (n,):
+            raise HardwareConfigError(
+                f"vector length {x.shape} incompatible with matrix shape "
+                f"{schedule.shape}"
+            )
+
+        memory = MemoryModel(length)
+        memory.stream_vector_in(n)
+
+        multipliers = MultiplierBank(length)
+        crossbar = Crossbar(length)
+        adders = AdderBank(length)
+
+        matrix_fifo = Fifo()
+        vector_fifo = Fifo()
+        index_fifo = Fifo()
+        dump_fifo = Fifo()
+
+        # The Buffer Filler loads one window at a time (double buffering);
+        # we enqueue per-timestep lane vectors, so FIFO depth is measured in
+        # timesteps and its high-water mark is max window colors — exactly
+        # the paper's required buffer length (Eq. 1).
+        window_of_step = schedule.window_of_timestep()
+        offsets = schedule.window_offsets()
+        rows_per_window = [
+            min(length, m - w * length) for w in range(schedule.window_count)
+        ]
+
+        y = np.zeros(m, dtype=np.float64)
+        total_steps = schedule.total_colors
+        max_depth = 0
+
+        # Pipeline registers between stages; the dump signal travels with
+        # the data so it reaches the adders exactly at the window's last
+        # accumulate (Figure 2's dump-signal FIFO path).
+        stage2_in: tuple[np.ndarray, np.ndarray, np.ndarray, int, bool] | None = None
+        stage3_in: tuple[np.ndarray, np.ndarray, int, bool] | None = None
+
+        next_window_to_fill = 0
+        cycles = total_steps + PIPELINE_FILL_CYCLES if schedule.nnz else 0
+        for cycle in range(cycles):
+            # Buffer Filler: before the cycle that consumes a window's first
+            # timestep, stream that window into the FIFOs.
+            while (
+                next_window_to_fill < schedule.window_count
+                and cycle >= offsets[next_window_to_fill]
+            ):
+                self._fill_window(
+                    schedule,
+                    next_window_to_fill,
+                    matrix_fifo,
+                    vector_fifo,
+                    index_fifo,
+                    dump_fifo,
+                    x,
+                    memory,
+                )
+                next_window_to_fill += 1
+            max_depth = max(max_depth, matrix_fifo.max_depth)
+
+            # Stage 3: adders accumulate what the crossbar routed last cycle.
+            if stage3_in is not None:
+                routed, routed_valid, step, dump_now = stage3_in
+                adders.accumulate(routed, routed_valid)
+                stage3_in = None
+                if dump_now:
+                    w = int(window_of_step[step])
+                    lanes = np.arange(rows_per_window[w])
+                    dumped = adders.dump(lanes)
+                    y[w * length + lanes] = dumped
+                    memory.write_outputs(int(lanes.size))
+
+            # Stage 2: crossbar routes last cycle's products.
+            if stage2_in is not None:
+                products, dests, valid, step, dump_flag = stage2_in
+                routed, routed_valid = crossbar.route(products, dests, valid)
+                stage3_in = (routed, routed_valid, step, dump_flag)
+                stage2_in = None
+
+            # Stage 1: multipliers consume one timestep from the FIFOs.
+            if cycle < total_steps:
+                matrix_elems = matrix_fifo.pop()
+                vector_elems = vector_fifo.pop()
+                dests = index_fifo.pop()
+                dump_flag = bool(dump_fifo.pop())
+                valid = dests != EMPTY
+                products = multipliers.cycle(matrix_elems, vector_elems, valid)
+                stage2_in = (products, dests, valid, cycle, dump_flag)
+
+        return MachineResult(
+            y_permuted=y,
+            cycles=cycles,
+            multiplier_ops=multipliers.active_ops,
+            adder_ops=adders.active_ops,
+            max_fifo_depth=max_depth,
+            stream=memory.stats,
+        )
+
+    def _fill_window(
+        self,
+        schedule: Schedule,
+        window: int,
+        matrix_fifo: Fifo,
+        vector_fifo: Fifo,
+        index_fifo: Fifo,
+        dump_fifo: Fifo,
+        x: np.ndarray,
+        memory: MemoryModel,
+    ) -> None:
+        """Buffer Filler: stream one window's timesteps into the four FIFOs."""
+        start = int(schedule.window_offsets()[window])
+        span = schedule.window_colors[window]
+        for step in range(start, start + span):
+            dests = schedule.row_sch[step]
+            cols = schedule.col_sch[step]
+            valid = dests != EMPTY
+            vector_elems = np.where(valid, x[np.where(valid, cols, 0)], 0.0)
+            matrix_fifo.push(schedule.m_sch[step].copy())
+            vector_fifo.push(vector_elems)
+            index_fifo.push(dests.copy())
+            dump_fifo.push(step == start + span - 1)
+            memory.stream_timestep(int(valid.sum()))

@@ -1,0 +1,101 @@
+"""Parallel arrangement of GUSTs (Section 5.5, Scalability).
+
+The crossbar's cost grows quadratically with length, so beyond some size it
+is cheaper to run ``k`` length-``l`` GUSTs side by side than one length-k*l
+GUST.  Windows are independent, so the arrangement needs no new scheduling:
+"the Edge-Coloring schedule found for a length-l GUST is applicable to k
+parallel length-l GUSTs."  The costs the paper names are (1) reduced
+resource sharing (k*l rows/columns -> l) and (2) imperfect division of work
+across the k units — both visible in this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import GustPipeline
+from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+from repro.types import CycleReport
+
+
+@dataclass(frozen=True)
+class ParallelRunReport:
+    """Cycle accounting for a k-way parallel GUST run."""
+
+    unit_cycles: tuple[int, ...]
+    schedule: Schedule
+
+    @property
+    def cycles(self) -> int:
+        """Wall-clock cycles: the slowest unit plus pipeline fill."""
+        busiest = max(self.unit_cycles) if self.unit_cycles else 0
+        return busiest + PIPELINE_FILL_CYCLES if busiest else 0
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean unit work; 1.0 is a perfect split."""
+        work = np.asarray(self.unit_cycles, dtype=np.float64)
+        if work.size == 0 or work.mean() == 0.0:
+            return 1.0
+        return float(work.max() / work.mean())
+
+
+class ParallelGust:
+    """``units`` length-``length`` GUSTs fed from one schedule.
+
+    Args:
+        length: the per-unit accelerator length ``l``.
+        units: how many GUSTs run side by side (``k``).
+        assignment: "round_robin" (the natural streaming order) or "lpt"
+            (longest-processing-time greedy, an upper-bound heuristic on how
+            well work could be divided).
+    """
+
+    def __init__(
+        self,
+        length: int,
+        units: int,
+        algorithm: str = "matching",
+        load_balance: bool = True,
+        assignment: str = "round_robin",
+    ):
+        if units <= 0:
+            raise HardwareConfigError(f"units must be positive, got {units}")
+        if assignment not in ("round_robin", "lpt"):
+            raise HardwareConfigError(
+                f"assignment must be 'round_robin' or 'lpt', got {assignment!r}"
+            )
+        self.length = length
+        self.units = units
+        self.assignment = assignment
+        self.pipeline = GustPipeline(
+            length, algorithm=algorithm, load_balance=load_balance
+        )
+
+    def run(self, matrix: CooMatrix) -> ParallelRunReport:
+        """Schedule once, split windows over the units, report cycles."""
+        schedule, _, _ = self.pipeline.preprocess(matrix)
+        loads = self._assign(schedule.window_colors)
+        return ParallelRunReport(unit_cycles=tuple(loads), schedule=schedule)
+
+    def cycle_report(self, report: ParallelRunReport) -> CycleReport:
+        """Utilization over the aggregate k*2l arithmetic units."""
+        return CycleReport(
+            cycles=report.cycles,
+            useful_ops=2 * report.schedule.nnz,
+            total_units=2 * self.length * self.units,
+        )
+
+    def _assign(self, window_colors: tuple[int, ...]) -> list[int]:
+        loads = [0] * self.units
+        if self.assignment == "round_robin":
+            for index, colors in enumerate(window_colors):
+                loads[index % self.units] += colors
+        else:
+            for colors in sorted(window_colors, reverse=True):
+                loads[int(np.argmin(loads))] += colors
+        return loads

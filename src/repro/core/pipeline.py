@@ -1,0 +1,180 @@
+"""End-to-end GUST SpMV: preprocess once, execute many times.
+
+This is the library's main entry point.  It mirrors the paper's software
+flow: (optional) load balancing, edge-coloring scheduling (the one-time
+preprocessing step), then repeated SpMV execution — either the fast
+vectorized replay (used by the experiment harness) or the cycle-accurate
+:class:`~repro.core.machine.GustMachine`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.load_balance import BalancedMatrix, LoadBalancer, identity_balance
+from repro.core.machine import GustMachine, MachineResult
+from repro.core.schedule import EMPTY, PIPELINE_FILL_CYCLES, Schedule
+from repro.core.scheduler import GustScheduler
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+from repro.types import CycleReport, PreprocessReport
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything produced by one full preprocess-plus-execute run."""
+
+    y: np.ndarray
+    schedule: Schedule
+    balanced: BalancedMatrix
+    preprocess: PreprocessReport
+    cycle_report: CycleReport
+
+
+class GustPipeline:
+    """GUST's hardware/software co-design as a reusable object.
+
+    Args:
+        length: accelerator length ``l``.
+        algorithm: scheduling policy ("matching", "first_fit", "euler", or
+            "naive"); see :data:`repro.core.scheduler.SCHEDULING_ALGORITHMS`.
+        load_balance: apply the Section 3.5 three-step balancer (the paper's
+            EC/LB configuration).  Ignored for "naive", matching the paper's
+            series (Naive has no LB variant).
+        validate: run structural validation on every schedule (slow).
+    """
+
+    def __init__(
+        self,
+        length: int,
+        algorithm: str = "matching",
+        load_balance: bool = True,
+        validate: bool = False,
+    ):
+        self.length = length
+        self.algorithm = algorithm
+        self.load_balance = load_balance and algorithm != "naive"
+        self.scheduler = GustScheduler(length, algorithm, validate=validate)
+        self._balancer = LoadBalancer(length) if self.load_balance else None
+
+    # -- preprocessing -------------------------------------------------------
+
+    def preprocess(
+        self, matrix: CooMatrix
+    ) -> tuple[Schedule, BalancedMatrix, PreprocessReport]:
+        """One-time scheduling of a matrix (the paper's preprocessing phase).
+
+        Returns the schedule, the balanced matrix (identity when load
+        balancing is off), and a wall-clock report.
+        """
+        started = time.perf_counter()
+        if self._balancer is not None:
+            balanced = self._balancer.balance(matrix)
+        else:
+            balanced = identity_balance(matrix, self.length)
+        schedule = self.scheduler.schedule_balanced(balanced)
+        elapsed = time.perf_counter() - started
+        report = PreprocessReport(
+            seconds=elapsed,
+            windows=schedule.window_count,
+            total_colors=schedule.total_colors,
+            notes={"stalls": float(self.scheduler.last_stalls)},
+        )
+        return schedule, balanced, report
+
+    def preprocess_stats(
+        self, matrix: CooMatrix
+    ) -> tuple[CycleReport, PreprocessReport]:
+        """Cycle statistics without building the schedule arrays.
+
+        Equivalent to :meth:`preprocess` + :meth:`cycle_report` but O(nnz)
+        memory, which matters for the naive policy on dense inputs.
+        """
+        started = time.perf_counter()
+        if self._balancer is not None:
+            balanced = self._balancer.balance(matrix)
+        else:
+            balanced = identity_balance(matrix, self.length)
+        counts = self.scheduler.color_counts(balanced)
+        elapsed = time.perf_counter() - started
+        total = int(sum(counts))
+        cycles = total + PIPELINE_FILL_CYCLES if matrix.nnz else 0
+        cycle_report = CycleReport(
+            cycles=cycles,
+            useful_ops=2 * matrix.nnz,
+            total_units=2 * self.length,
+            stalls=self.scheduler.last_stalls,
+        )
+        preprocess = PreprocessReport(
+            seconds=elapsed,
+            windows=len(counts),
+            total_colors=total,
+            notes={"stalls": float(self.scheduler.last_stalls)},
+        )
+        return cycle_report, preprocess
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self, schedule: Schedule, balanced: BalancedMatrix, x: np.ndarray
+    ) -> np.ndarray:
+        """Fast vectorized replay of a schedule (not cycle-accurate).
+
+        Numerically identical to the machine: one product per occupied slot,
+        accumulated into its destination row, then un-permuted.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        m, n = schedule.shape
+        if x.shape != (n,):
+            raise HardwareConfigError(
+                f"vector length {x.shape} incompatible with shape {schedule.shape}"
+            )
+        occupied = schedule.row_sch != EMPTY
+        steps, lanes = np.nonzero(occupied)
+        window_of_step = schedule.window_of_timestep()
+        global_rows = (
+            window_of_step[steps] * schedule.length
+            + schedule.row_sch[steps, lanes]
+        )
+        products = schedule.m_sch[steps, lanes] * x[schedule.col_sch[steps, lanes]]
+        y_permuted = np.zeros(m, dtype=np.float64)
+        np.add.at(y_permuted, global_rows, products)
+        return balanced.unpermute_output(y_permuted)
+
+    def execute_cycle_accurate(
+        self, schedule: Schedule, balanced: BalancedMatrix, x: np.ndarray
+    ) -> tuple[np.ndarray, MachineResult]:
+        """Run the cycle-accurate machine; returns (y, machine result)."""
+        machine = GustMachine(self.length)
+        result = machine.run(schedule, np.asarray(x, dtype=np.float64))
+        return balanced.unpermute_output(result.y_permuted), result
+
+    def cycle_report(self, schedule: Schedule) -> CycleReport:
+        """Analytic cycle/utilization report for a schedule.
+
+        Each scheduled nonzero performs one multiply and one accumulate, on
+        a datapath of ``l`` multipliers plus ``l`` adders.
+        """
+        return CycleReport(
+            cycles=schedule.execution_cycles,
+            useful_ops=2 * schedule.nnz,
+            total_units=2 * self.length,
+            stalls=self.scheduler.last_stalls,
+        )
+
+    # -- convenience -----------------------------------------------------------
+
+    def spmv(self, matrix: CooMatrix, x: np.ndarray) -> PipelineResult:
+        """Preprocess + execute in one call."""
+        schedule, balanced, report = self.preprocess(matrix)
+        y = self.execute(schedule, balanced, x)
+        return PipelineResult(
+            y=y,
+            schedule=schedule,
+            balanced=balanced,
+            preprocess=report,
+            cycle_report=self.cycle_report(schedule),
+        )

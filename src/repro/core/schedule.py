@@ -1,0 +1,153 @@
+"""The scheduled-matrix storage format: M_sch, Row_sch, Col_sch.
+
+Section 3.3: scheduling produces three l-by-C_total matrices.  ``M_sch``
+holds matrix values rearranged and compressed; ``Row_sch`` holds each
+element's row mod l (the crossbar destination); ``Col_sch`` holds its
+original column (the vector element to multiply with).  "These matrices can
+be viewed as a compressed storage format similar to the Coordinate format."
+
+We store them timestep-major — arrays of shape (C_total, l) — so timestep
+``t`` is the contiguous slice fed to the multipliers at cycle ``t``.  Empty
+slots carry ``row == -1`` / ``col == -1`` / value 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleError
+
+#: Sentinel for unoccupied schedule slots.
+EMPTY = -1
+
+#: Pipeline depth: multiplier, crossbar, adder (Section 3.4: "GUST has 3
+#: levels", adding 2 cycles of fill to the color count).
+PIPELINE_FILL_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete collision-free GUST schedule for one matrix.
+
+    Attributes:
+        length: accelerator length ``l``.
+        shape: original matrix shape (m, n) *after* any load-balancing row
+            permutation (the pipeline tracks the permutation itself).
+        m_sch: (C_total, l) float64 — value entering multiplier j at step t.
+        row_sch: (C_total, l) int64 — window-local destination adder, or -1.
+        col_sch: (C_total, l) int64 — original column index, or -1.
+        window_colors: colors (timesteps) used by each row window; their sum
+            is C_total.
+    """
+
+    length: int
+    shape: tuple[int, int]
+    m_sch: np.ndarray
+    row_sch: np.ndarray
+    col_sch: np.ndarray
+    window_colors: tuple[int, ...]
+
+    # -- sizes -------------------------------------------------------------
+
+    @property
+    def total_colors(self) -> int:
+        """C_total: timesteps of multiplier input (buffer length)."""
+        return int(self.m_sch.shape[0])
+
+    @property
+    def window_count(self) -> int:
+        return len(self.window_colors)
+
+    @property
+    def nnz(self) -> int:
+        """Scheduled nonzeros (occupied slots)."""
+        return int((self.row_sch != EMPTY).sum())
+
+    @property
+    def execution_cycles(self) -> int:
+        """Total cycles: color sum plus pipeline fill (Section 3.4)."""
+        if self.nnz == 0:
+            return 0
+        return self.total_colors + PIPELINE_FILL_CYCLES
+
+    @property
+    def utilization(self) -> float:
+        """Hardware utilization: NZ ops per cycle per unit (Section 1).
+
+        Each scheduled nonzero occupies one multiplier and one adder for one
+        cycle, so the ratio reduces to nnz / (l * cycles).
+        """
+        cycles = self.execution_cycles
+        if cycles == 0:
+            return 0.0
+        return self.nnz / (self.length * cycles)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of schedule slots occupied (densified-stream quality)."""
+        slots = self.m_sch.size
+        return self.nnz / slots if slots else 0.0
+
+    def window_offsets(self) -> np.ndarray:
+        """Start timestep of each window (cumulative color sum)."""
+        offsets = np.zeros(self.window_count, dtype=np.int64)
+        np.cumsum(self.window_colors[:-1], out=offsets[1:])
+        return offsets
+
+    def window_of_timestep(self) -> np.ndarray:
+        """Window index owning each timestep (length C_total)."""
+        return np.repeat(
+            np.arange(self.window_count, dtype=np.int64),
+            np.asarray(self.window_colors, dtype=np.int64),
+        )
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural consistency and collision freedom.
+
+        Raises:
+            ScheduleError: on shape mismatch, out-of-range indices, slot
+                inconsistency, or two elements of one row sharing a timestep.
+        """
+        m, n = self.shape
+        expected = (self.total_colors, self.length)
+        for name, arr in (
+            ("m_sch", self.m_sch),
+            ("row_sch", self.row_sch),
+            ("col_sch", self.col_sch),
+        ):
+            if arr.shape != expected:
+                raise ScheduleError(
+                    f"{name} has shape {arr.shape}, expected {expected}"
+                )
+        if sum(self.window_colors) != self.total_colors:
+            raise ScheduleError("window_colors do not sum to C_total")
+        if any(c < 0 for c in self.window_colors):
+            raise ScheduleError("negative window color count")
+
+        occupied = self.row_sch != EMPTY
+        if ((self.col_sch != EMPTY) != occupied).any():
+            raise ScheduleError("row_sch and col_sch disagree on occupancy")
+        if (self.m_sch[~occupied] != 0.0).any():
+            raise ScheduleError("value present in an empty slot")
+        rows = self.row_sch[occupied]
+        cols = self.col_sch[occupied]
+        if rows.size and (rows.min() < 0 or rows.max() >= self.length):
+            raise ScheduleError("row_sch destination out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= n):
+            raise ScheduleError("col_sch index out of range")
+
+        # Collision freedom: within a timestep, destinations are unique.
+        steps = np.nonzero(occupied)[0]
+        keys = steps * self.length + self.row_sch[occupied]
+        if np.unique(keys).size != keys.size:
+            raise ScheduleError("collision: one adder addressed twice in a cycle")
+
+        # Window containment: each timestep's global rows stay in its window.
+        window_of_step = self.window_of_timestep()
+        global_rows = window_of_step[steps] * self.length + rows
+        if global_rows.size and global_rows.max() >= m:
+            raise ScheduleError("scheduled row beyond matrix height")

@@ -1,0 +1,95 @@
+"""Schedule persistence: save and reload preprocessing results.
+
+The paper's economics rest on preprocessing being a one-time cost per
+matrix (Table 4 spends seconds scheduling, then sub-millisecond SpMVs).  A
+deployment therefore wants schedules on disk.  This module serializes a
+(:class:`Schedule`, :class:`BalancedMatrix`-metadata) pair to a single
+``.npz`` so a solver can restart without rescheduling.
+
+Only the balancer's *outputs* (row permutation, per-window column maps) are
+stored — not the matrix values, which the schedule already carries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.load_balance import BalancedMatrix
+from repro.core.schedule import Schedule
+from repro.errors import ScheduleError
+from repro.sparse.coo import CooMatrix
+
+_FORMAT_VERSION = 1
+
+
+def save_schedule(
+    path: str | Path, schedule: Schedule, balanced: BalancedMatrix
+) -> None:
+    """Write a schedule and its balancing metadata to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "length": np.array([schedule.length], dtype=np.int64),
+        "shape": np.asarray(schedule.shape, dtype=np.int64),
+        "m_sch": schedule.m_sch,
+        "row_sch": schedule.row_sch,
+        "col_sch": schedule.col_sch,
+        "window_colors": np.asarray(schedule.window_colors, dtype=np.int64),
+        "row_perm": balanced.row_perm,
+        "matrix_rows": balanced.matrix.rows,
+        "matrix_cols": balanced.matrix.cols,
+        "matrix_data": balanced.matrix.data,
+    }
+    for index, (cols, lanes) in enumerate(balanced.window_col_maps):
+        arrays[f"map_cols_{index}"] = cols
+        arrays[f"map_lanes_{index}"] = lanes
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_schedule(path: str | Path) -> tuple[Schedule, BalancedMatrix]:
+    """Read back a (schedule, balanced) pair written by :func:`save_schedule`.
+
+    The schedule is re-validated on load, so a corrupted or tampered file
+    fails loudly instead of producing silent collisions.
+    """
+    with np.load(Path(path)) as archive:
+        version = int(archive["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ScheduleError(
+                f"schedule file version {version} unsupported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        shape = tuple(int(v) for v in archive["shape"])
+        schedule = Schedule(
+            length=int(archive["length"][0]),
+            shape=shape,  # type: ignore[arg-type]
+            m_sch=archive["m_sch"],
+            row_sch=archive["row_sch"],
+            col_sch=archive["col_sch"],
+            window_colors=tuple(int(c) for c in archive["window_colors"]),
+        )
+        matrix = CooMatrix.from_arrays(
+            archive["matrix_rows"],
+            archive["matrix_cols"],
+            archive["matrix_data"],
+            shape,
+        )
+        maps = []
+        index = 0
+        while f"map_cols_{index}" in archive:
+            maps.append(
+                (archive[f"map_cols_{index}"], archive[f"map_lanes_{index}"])
+            )
+            index += 1
+        balanced = BalancedMatrix(
+            matrix=matrix,
+            row_perm=archive["row_perm"],
+            window_col_maps=maps,
+        )
+    schedule.validate()
+    if len(balanced.window_col_maps) != schedule.window_count:
+        raise ScheduleError(
+            "window map count does not match the schedule's window count"
+        )
+    return schedule, balanced

@@ -1,0 +1,119 @@
+"""Sparse-matrix x dense-matrix multiplication on GUST (extension).
+
+The paper's future-work section proposes extending resource sharing to
+sparse matrix-*matrix* multiplication.  For the common SpMM case — sparse A
+times a dense block of vectors B — GUST's schedule-reuse property already
+does the heavy lifting: the edge coloring depends only on A's sparsity
+pattern, so one schedule drives all columns of B.  Two execution layouts
+are modeled:
+
+* ``column_cycled`` — one GUST datapath replays the schedule once per
+  column of B: cycles = k * (C_total) + pipeline fill (the dump of column
+  j overlaps the first timestep of column j+1, as windows already do).
+* ``replicated`` — ``r`` parallel GUSTs (Section 5.5 arrangement) each
+  take a slice of B's columns: cycles = ceil(k / r) * C_total + fill.
+
+Both reuse the single schedule and therefore pay preprocessing once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.load_balance import BalancedMatrix
+from repro.core.pipeline import GustPipeline
+from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+from repro.types import CycleReport
+
+
+@dataclass(frozen=True)
+class SpmmResult:
+    """Output block and cycle accounting for one SpMM run."""
+
+    y: np.ndarray
+    schedule: Schedule
+    cycle_report: CycleReport
+    columns: int
+    replicas: int
+
+
+class GustSpmm:
+    """SpMM engine: schedule A once, stream every column of B through it.
+
+    Args:
+        length: accelerator length ``l``.
+        replicas: parallel GUST count sharing the column work.
+        algorithm / load_balance: forwarded to the scheduling pipeline.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        replicas: int = 1,
+        algorithm: str = "matching",
+        load_balance: bool = True,
+    ):
+        if replicas <= 0:
+            raise HardwareConfigError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self.pipeline = GustPipeline(
+            length, algorithm=algorithm, load_balance=load_balance
+        )
+
+    def preprocess(self, matrix: CooMatrix) -> tuple[Schedule, BalancedMatrix]:
+        """One-time scheduling of the sparse operand."""
+        schedule, balanced, _ = self.pipeline.preprocess(matrix)
+        return schedule, balanced
+
+    def multiply(
+        self,
+        schedule: Schedule,
+        balanced: BalancedMatrix,
+        dense: np.ndarray,
+    ) -> SpmmResult:
+        """Compute ``A @ B`` column by column over the shared schedule."""
+        dense = np.asarray(dense, dtype=np.float64)
+        m, n = schedule.shape
+        if dense.ndim != 2 or dense.shape[0] != n:
+            raise HardwareConfigError(
+                f"dense operand must be ({n}, k), got {dense.shape}"
+            )
+        k = dense.shape[1]
+        y = np.empty((m, k), dtype=np.float64)
+        for j in range(k):
+            y[:, j] = self.pipeline.execute(schedule, balanced, dense[:, j])
+        report = self.cycle_report(schedule, k)
+        return SpmmResult(
+            y=y,
+            schedule=schedule,
+            cycle_report=report,
+            columns=k,
+            replicas=self.replicas,
+        )
+
+    def spmm(self, matrix: CooMatrix, dense: np.ndarray) -> SpmmResult:
+        """Preprocess + multiply in one call."""
+        schedule, balanced = self.preprocess(matrix)
+        return self.multiply(schedule, balanced, dense)
+
+    def cycle_report(self, schedule: Schedule, columns: int) -> CycleReport:
+        """Cycles for ``columns`` replays split over the replicas."""
+        if columns < 0:
+            raise HardwareConfigError("columns must be non-negative")
+        if columns == 0 or schedule.nnz == 0:
+            return CycleReport(
+                cycles=0,
+                useful_ops=0,
+                total_units=2 * schedule.length * self.replicas,
+            )
+        per_replica = -(-columns // self.replicas)
+        cycles = per_replica * schedule.total_colors + PIPELINE_FILL_CYCLES
+        return CycleReport(
+            cycles=cycles,
+            useful_ops=2 * schedule.nnz * columns,
+            total_units=2 * schedule.length * self.replicas,
+        )

@@ -1,0 +1,36 @@
+"""Energy, power, resource, and bandwidth models (paper Section 4).
+
+The paper computes energy analytically from published per-operation costs
+(Dally's pJ tables), wire distances, and dynamic power measured at FPGA
+synthesis.  This subpackage encodes those exact constants
+(:mod:`repro.energy.params`), the per-design energy accounting
+(:mod:`repro.energy.model`), the FPGA resource scaling laws of Tables 2 & 5
+(:mod:`repro.energy.resources`), and the bandwidth requirements of
+Figure 9 (:mod:`repro.energy.bandwidth`).
+"""
+
+from repro.energy.bandwidth import (
+    average_bandwidth_gbps,
+    required_bandwidth_gbps,
+)
+from repro.energy.model import DesignEnergySpec, EnergyModel
+from repro.energy.params import EnergyParams, PAPER_PARAMS
+from repro.energy.resources import (
+    ResourceBreakdown,
+    gust_dynamic_power_w,
+    gust_resources,
+    systolic1d_resources,
+)
+
+__all__ = [
+    "DesignEnergySpec",
+    "EnergyModel",
+    "EnergyParams",
+    "PAPER_PARAMS",
+    "ResourceBreakdown",
+    "average_bandwidth_gbps",
+    "gust_dynamic_power_w",
+    "gust_resources",
+    "required_bandwidth_gbps",
+    "systolic1d_resources",
+]

@@ -1,0 +1,96 @@
+"""Bandwidth-constrained execution: what happens below the 224 GB/s line.
+
+Section 3.3 derives GUST's stall-free streaming requirement,
+``(64 l + log(l) + 1) f`` bits/s — 224 GB/s for length 256 at 96 MHz, which
+the paper provisions from the U280's 460 GB/s HBM2.  A deployment with
+less bandwidth still works, it just stalls: the multipliers can only
+consume timesteps as fast as memory delivers them.
+
+This model computes the effective cycle count under a provisioned
+bandwidth: compute time and stream time race, and the slower one wins.
+The knee sits exactly at the requirement — the property tests pin — and
+below it execution time scales inversely with bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.bandwidth import required_bandwidth_gbps
+from repro.errors import HardwareConfigError
+from repro.hw.memory import timestep_bits
+
+
+@dataclass(frozen=True)
+class BandwidthStallReport:
+    """Execution under a provisioned bandwidth."""
+
+    compute_cycles: int
+    effective_cycles: int
+    required_gbps: float
+    provisioned_gbps: float
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.effective_cycles - self.compute_cycles
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        return self.effective_cycles > self.compute_cycles
+
+    @property
+    def slowdown(self) -> float:
+        if self.compute_cycles == 0:
+            return 1.0
+        return self.effective_cycles / self.compute_cycles
+
+
+def bandwidth_limited_cycles(
+    compute_cycles: int,
+    length: int,
+    frequency_hz: float,
+    provisioned_gbps: float,
+) -> BandwidthStallReport:
+    """Effective cycles when streaming through ``provisioned_gbps``.
+
+    Each timestep needs :func:`~repro.hw.memory.timestep_bits` bits; at
+    bandwidth B the memory system delivers a timestep every
+    ``timestep_bits * f / (8e9 * B)`` cycles.  Above the requirement that
+    interval is < 1 cycle and compute wins; below it the stream paces
+    execution.
+    """
+    if compute_cycles < 0:
+        raise HardwareConfigError("compute_cycles must be non-negative")
+    if provisioned_gbps <= 0:
+        raise HardwareConfigError("provisioned bandwidth must be positive")
+    if frequency_hz <= 0:
+        raise HardwareConfigError("frequency must be positive")
+    required = required_bandwidth_gbps(length, frequency_hz)
+    if compute_cycles == 0:
+        return BandwidthStallReport(
+            compute_cycles=0,
+            effective_cycles=0,
+            required_gbps=required,
+            provisioned_gbps=provisioned_gbps,
+        )
+    cycles_per_timestep = max(1.0, required / provisioned_gbps)
+    effective = int(round(compute_cycles * cycles_per_timestep))
+    return BandwidthStallReport(
+        compute_cycles=compute_cycles,
+        effective_cycles=max(effective, compute_cycles),
+        required_gbps=required,
+        provisioned_gbps=provisioned_gbps,
+    )
+
+
+def bandwidth_knee_sweep(
+    compute_cycles: int,
+    length: int,
+    frequency_hz: float,
+    bandwidths_gbps: tuple[float, ...],
+) -> list[BandwidthStallReport]:
+    """Sweep provisioned bandwidths (the Figure-9-adjacent design question)."""
+    return [
+        bandwidth_limited_cycles(compute_cycles, length, frequency_hz, bw)
+        for bw in bandwidths_gbps
+    ]

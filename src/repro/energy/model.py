@@ -1,0 +1,160 @@
+"""Per-design energy accounting (paper Section 4).
+
+Energy for one SpMV is the sum of four components:
+
+* **dynamic** — measured dynamic power integrated over the run;
+* **memory** — off-/on-chip reads and writes of every streamed word;
+* **arithmetic** — 10 pJ per floating-point multiply or accumulate;
+* **movement** — wire energy: every word crossing the off-chip interface
+  travels 5 mm at 160 pJ/mm; on-chip words travel the design's average hop
+  (1 mm in 1D's neighbour-to-neighbour strip, ~129 mm across a length-256
+  GUST crossbar) at 0.95 pJ/mm.
+
+Only nonzero traffic is counted, matching the paper ("energy consumption as
+a result of dynamic power, NZ data movements, reads, writes, and arithmetic
+operations").  The vector transfer that precedes GUST's SpMV is included,
+as the paper does ("we add the power consumption of GUST times the duration
+it takes to forward the values").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.params import (
+    EnergyParams,
+    PAPER_PARAMS,
+    PREPROCESS_CPU_POWER_W,
+)
+from repro.errors import HardwareConfigError
+from repro.hw.memory import row_index_bits
+from repro.sparse.coo import CooMatrix
+from repro.types import EnergyReport
+
+
+@dataclass(frozen=True)
+class DesignEnergySpec:
+    """What one design streams and moves per scheduled nonzero.
+
+    Attributes:
+        dynamic_power_w: synthesis-measured dynamic power.
+        frequency_hz: clock rate (converts cycles to seconds).
+        words_per_nnz: 32-bit words fetched off-chip per nonzero (value +
+            whatever indices the design's format carries).
+        onchip_distance_mm: average on-chip hop length for this design.
+        onchip_moves_per_nnz: how many on-chip word-hops each nonzero takes
+            (operand delivery plus result routing).
+    """
+
+    dynamic_power_w: float
+    frequency_hz: float
+    words_per_nnz: float
+    onchip_distance_mm: float
+    onchip_moves_per_nnz: float
+
+
+def gust_spec(
+    length: int,
+    dynamic_power_w: float,
+    frequency_hz: float,
+    params: EnergyParams = PAPER_PARAMS,
+) -> DesignEnergySpec:
+    """GUST streams value + Col_sch word + Row_sch subword per nonzero and
+    routes operands and partial products across the crossbar."""
+    words = 2.0 + row_index_bits(length) / 32.0
+    return DesignEnergySpec(
+        dynamic_power_w=dynamic_power_w,
+        frequency_hz=frequency_hz,
+        words_per_nnz=words,
+        onchip_distance_mm=params.gust_onchip_distance_mm(length),
+        # matrix word and vector word to the multiplier, product to the
+        # crossbar, routed product to the adder.
+        onchip_moves_per_nnz=4.0,
+    )
+
+
+def systolic1d_spec(
+    dynamic_power_w: float,
+    frequency_hz: float,
+    params: EnergyParams = PAPER_PARAMS,
+) -> DesignEnergySpec:
+    """1D streams value + position per nonzero; hops are neighbour-length."""
+    return DesignEnergySpec(
+        dynamic_power_w=dynamic_power_w,
+        frequency_hz=frequency_hz,
+        words_per_nnz=2.0,
+        onchip_distance_mm=params.onchip_distance_1d_mm,
+        onchip_moves_per_nnz=2.0,
+    )
+
+
+def serpens_spec(
+    dynamic_power_w: float,
+    frequency_hz: float,
+    params: EnergyParams = PAPER_PARAMS,
+) -> DesignEnergySpec:
+    """Serpens streams (value, column) pairs to channel-local PEs."""
+    return DesignEnergySpec(
+        dynamic_power_w=dynamic_power_w,
+        frequency_hz=frequency_hz,
+        words_per_nnz=2.0,
+        onchip_distance_mm=params.onchip_distance_1d_mm,
+        onchip_moves_per_nnz=2.0,
+    )
+
+
+class EnergyModel:
+    """Prices one SpMV run for any design described by a spec."""
+
+    def __init__(self, params: EnergyParams = PAPER_PARAMS):
+        self.params = params
+
+    def spmv_energy(
+        self, spec: DesignEnergySpec, matrix: CooMatrix, cycles: int
+    ) -> EnergyReport:
+        """Energy of one SpMV taking ``cycles`` on the given design."""
+        if cycles < 0:
+            raise HardwareConfigError(f"cycles must be non-negative, got {cycles}")
+        p = self.params
+        m, n = matrix.shape
+        nnz = matrix.nnz
+        seconds = cycles / spec.frequency_hz
+
+        dynamic_j = spec.dynamic_power_w * seconds
+
+        # Words crossing the off-chip boundary: the input vector once, the
+        # nonzero stream, and the output vector.
+        words_in = n + spec.words_per_nnz * nnz
+        words_out = float(m)
+        memory_pj = (
+            words_in * (p.offchip_read_pj + p.onchip_write_pj)
+            + words_out * (p.offchip_write_pj + p.onchip_read_pj)
+            # operand fetches from on-chip buffers into the datapath
+            + 2.0 * nnz * p.onchip_read_pj
+        )
+
+        arithmetic_pj = 2.0 * nnz * p.flop_pj
+
+        movement_pj = (
+            (words_in + words_out)
+            * p.offchip_distance_mm
+            * p.offchip_move_pj_per_mm
+            + spec.onchip_moves_per_nnz
+            * nnz
+            * spec.onchip_distance_mm
+            * p.onchip_move_pj_per_mm
+        )
+
+        return EnergyReport(
+            dynamic_j=dynamic_j,
+            memory_j=memory_pj * 1e-12,
+            arithmetic_j=arithmetic_pj * 1e-12,
+            movement_j=movement_pj * 1e-12,
+        )
+
+    @staticmethod
+    def preprocessing_energy_j(seconds: float) -> float:
+        """CPU preprocessing energy: 45 W i7 times wall-clock (Table 4)."""
+        if seconds < 0:
+            raise HardwareConfigError("preprocessing time must be non-negative")
+        return PREPROCESS_CPU_POWER_W * seconds

@@ -1,0 +1,80 @@
+"""Energy constants — the paper's Section 4 numbers, verbatim.
+
+All per-event energies are for one 32-bit word, in picojoules, sourced by
+the paper from Dally's cost-of-computation tables [5, 6]:
+
+====================================  =======
+event                                 pJ/32b
+====================================  =======
+off-chip memory read                  64
+on-chip memory read                   11.84
+off-chip memory write                 64
+on-chip memory write                  16
+floating-point multiply or accumulate 10
+moving data 1 mm off-chip             160
+moving data 1 mm on-chip              0.95
+====================================  =======
+
+Distances: 5 mm between off-chip memory and on-chip elements, 1 mm between
+on-chip elements in 1D, and 129 mm *average* between on-chip elements in a
+length-256 GUST (the crossbar's doing; it scales linearly with length).
+
+Dynamic power from FPGA synthesis: 35.3 W (length-256 1D), 56.9 W
+(length-256 GUST), 16.8 W (length-87 GUST); Serpens measures 46.2 W at
+223 MHz.  GUST's clock is 96 MHz, bounded by the crossbar's longest route.
+Preprocessing runs on a 45 W Intel i7-10750H.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy and distance constants used by the energy model."""
+
+    offchip_read_pj: float = 64.0
+    onchip_read_pj: float = 11.84
+    offchip_write_pj: float = 64.0
+    onchip_write_pj: float = 16.0
+    flop_pj: float = 10.0
+    offchip_move_pj_per_mm: float = 160.0
+    onchip_move_pj_per_mm: float = 0.95
+    offchip_distance_mm: float = 5.0
+    onchip_distance_1d_mm: float = 1.0
+    onchip_distance_gust256_mm: float = 129.0
+
+    def gust_onchip_distance_mm(self, length: int) -> float:
+        """Average on-chip hop for a length-``l`` GUST.
+
+        The 129 mm figure is for length 256; crossbar route length grows
+        linearly with the number of lanes.
+        """
+        return self.onchip_distance_gust256_mm * length / 256.0
+
+
+#: The paper's exact constants.
+PAPER_PARAMS = EnergyParams()
+
+#: Dynamic power (W) measured at synthesis (Tables 2, 4).
+DYNAMIC_POWER_W = {
+    ("1D", 256): 35.3,
+    ("GUST", 8): 3.4,
+    ("GUST", 87): 16.8,
+    ("GUST", 256): 56.9,
+    ("Serpens", 0): 46.2,
+}
+
+#: Clock frequencies (Hz).
+GUST_FREQUENCY_HZ = 96e6
+SERPENS_FREQUENCY_HZ = 223e6
+
+#: Preprocessing platform (Intel i7-10750H) power draw in watts.
+PREPROCESS_CPU_POWER_W = 45.0
+
+#: Alveo U280 HBM2 peak bandwidth (Section 4).
+U280_PEAK_BANDWIDTH_GBPS = 460.0
+
+#: Alveo U280 on-chip memory (Section 4), bytes.
+U280_ONCHIP_BYTES = 41 * 1024 * 1024

@@ -1,0 +1,217 @@
+"""FPGA resource scaling laws (paper Tables 2 and 5).
+
+The paper synthesizes length-8, -87, and -256 GUST and a length-256 1D on
+an Alveo U280 and reports per-partition resources.  Three regimes emerge:
+
+* **arithmetic** and **I/O** scale linearly with length;
+* the **crossbar** scales quadratically in LUTs and superlinearly in power
+  — the reason very long GUSTs are impractical (Section 5.5).
+
+We encode those laws anchored to the paper's published data points, so the
+reproduction can regenerate both tables and extrapolate to other lengths
+(e.g. the parallel-vs-monolithic comparison of the scalability study).
+Between anchors, power values follow log-log interpolation; unit counts
+follow the exact linear/quadratic fits noted per field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.errors import HardwareConfigError
+from repro.hw.memory import timestep_bits
+
+#: The paper's anchor lengths.
+ANCHOR_LENGTHS = (8, 87, 256)
+
+# Table 5 anchors: {segment: {length: power_w}}.
+_POWER_ANCHORS = {
+    "arithmetic": {8: 0.3, 87: 3.5, 256: 6.3},
+    "crossbar": {8: 1.0, 87: 3.6, 256: 16.4},
+    "io": {8: 0.5, 87: 7.1, 256: 28.1},
+}
+
+# Table 2 anchors for GUST static power and the 1D-256 design.
+_STATIC_POWER_ANCHORS = {8: 2.5, 87: 3.2, 256: 3.8}
+_1D_256_POWER = {
+    "static": 3.2,
+    "logic": 3.4,
+    "signals": 2.6,
+    "dsp": 0.3,
+    "io": 25.7,
+    "total": 35.3,
+}
+_1D_256_UNITS = {
+    "register": 8_200,
+    "input_buffers": 8_200,
+    "lut": 132_000,
+    "dsp": 256,
+    "io_pins": 16_000,
+}
+
+
+@dataclass(frozen=True)
+class ResourceBreakdown:
+    """Resources of one GUST partition (or a whole design when summed)."""
+
+    power_w: float
+    lut: int
+    register: int
+    dsp: int
+    carry8: int
+    io_pins: int
+    input_buffers: int
+
+    def __add__(self, other: "ResourceBreakdown") -> "ResourceBreakdown":
+        return ResourceBreakdown(
+            power_w=self.power_w + other.power_w,
+            lut=self.lut + other.lut,
+            register=self.register + other.register,
+            dsp=self.dsp + other.dsp,
+            carry8=self.carry8 + other.carry8,
+            io_pins=self.io_pins + other.io_pins,
+            input_buffers=self.input_buffers + other.input_buffers,
+        )
+
+
+def _loglog_interpolate(anchors: dict[int, float], length: int) -> float:
+    """Power-law interpolation through anchor points (log-log linear).
+
+    Outside the anchor range, the nearest segment's exponent extrapolates.
+    """
+    if length <= 0:
+        raise HardwareConfigError(f"length must be positive, got {length}")
+    points = sorted(anchors.items())
+    if length in anchors:
+        return anchors[length]
+    if length < points[0][0]:
+        (l0, v0), (l1, v1) = points[0], points[1]
+    elif length > points[-1][0]:
+        (l0, v0), (l1, v1) = points[-2], points[-1]
+    else:
+        for (l0, v0), (l1, v1) in zip(points, points[1:]):
+            if l0 <= length <= l1:
+                break
+    exponent = math.log(v1 / v0) / math.log(l1 / l0)
+    return v0 * (length / l0) ** exponent
+
+
+def arithmetic_resources(length: int) -> ResourceBreakdown:
+    """Multiplier + adder banks: everything linear in length.
+
+    Anchors (length 256): 132K LUT, 8.2K registers, 512 DSP, 4.8K Carry8.
+    """
+    _require_positive(length)
+    return ResourceBreakdown(
+        power_w=_loglog_interpolate(_POWER_ANCHORS["arithmetic"], length),
+        lut=round(132_000 * length / 256),
+        register=32 * length,
+        dsp=2 * length,
+        carry8=round(4_800 * length / 256),
+        io_pins=0,
+        input_buffers=0,
+    )
+
+
+_CROSSBAR_LUT_ANCHORS = {8: 772.0, 87: 17_300.0, 256: 756_000.0}
+
+
+def crossbar_resources(length: int) -> ResourceBreakdown:
+    """The crossbar: LUTs super-linear (quadratic-and-worse at the top end),
+    registers linear, power superlinear.
+
+    LUT counts follow log-log interpolation through the paper's three
+    synthesis points (772 / 17.3K / 756K), which grow faster than quadratic
+    between lengths 87 and 256 — the effect Section 5.5's parallel-GUST
+    argument rests on.
+    """
+    _require_positive(length)
+    return ResourceBreakdown(
+        power_w=_loglog_interpolate(_POWER_ANCHORS["crossbar"], length),
+        lut=round(_loglog_interpolate(_CROSSBAR_LUT_ANCHORS, length)),
+        register=32 * length,
+        dsp=0,
+        carry8=0,
+        io_pins=0,
+        input_buffers=0,
+    )
+
+
+def io_resources(length: int) -> ResourceBreakdown:
+    """I/O partition: pins and buffers linear in length.
+
+    Anchors: ~105 pins/lane and ~70 buffer entries/lane.
+    """
+    _require_positive(length)
+    return ResourceBreakdown(
+        power_w=_loglog_interpolate(_POWER_ANCHORS["io"], length),
+        lut=0,
+        register=0,
+        dsp=0,
+        carry8=0,
+        io_pins=round(27_000 * length / 256),
+        input_buffers=round(18_000 * length / 256),
+    )
+
+
+def static_power_w(length: int) -> float:
+    """GUST static power (Table 2 anchors: 2.5 / 3.2 / 3.8 W)."""
+    return _loglog_interpolate(_STATIC_POWER_ANCHORS, length)
+
+
+def gust_resources(length: int) -> ResourceBreakdown:
+    """Whole-design GUST resources: arithmetic + crossbar + I/O."""
+    return (
+        arithmetic_resources(length)
+        + crossbar_resources(length)
+        + io_resources(length)
+    )
+
+
+_TOTAL_POWER_ANCHORS = {8: 3.4, 87: 16.8, 256: 56.9}
+
+
+def gust_dynamic_power_w(length: int) -> float:
+    """Total GUST power, anchored to Table 2's measured totals.
+
+    (Table 5's per-partition figures sum to within ~2 W of these but not
+    exactly — the paper's tables are mutually inconsistent at that level —
+    so the totals used for energy accounting come straight from Table 2.)
+    """
+    return _loglog_interpolate(_TOTAL_POWER_ANCHORS, length)
+
+
+def systolic1d_resources(length: int = 256) -> ResourceBreakdown:
+    """1D systolic array resources (Table 2 anchors at length 256)."""
+    _require_positive(length)
+    scale = length / 256
+    return ResourceBreakdown(
+        power_w=_1D_256_POWER["total"] * scale,
+        lut=round(_1D_256_UNITS["lut"] * scale),
+        register=round(_1D_256_UNITS["register"] * scale),
+        dsp=round(_1D_256_UNITS["dsp"] * scale),
+        carry8=0,
+        io_pins=round(_1D_256_UNITS["io_pins"] * scale),
+        input_buffers=round(_1D_256_UNITS["input_buffers"] * scale),
+    )
+
+
+def max_bandwidth_gbps(design: str, length: int, frequency_hz: float) -> float:
+    """Peak streaming bandwidth of a design (Table 2's "Maximum BW" row).
+
+    GUST needs ``timestep_bits(l)`` fresh bits per cycle.  The 1D anchor is
+    150 GB/s at length 256 / 96 MHz, i.e. 48 bits + a fixed 212-bit sideband
+    per lane-cycle (value + 16-bit position tag), scaled linearly.
+    """
+    if design == "GUST":
+        return timestep_bits(length) * frequency_hz / 8 / 1e9
+    if design == "1D":
+        return (48 * length + 212) * frequency_hz / 8 / 1e9
+    raise HardwareConfigError(f"unknown design {design!r}")
+
+
+def _require_positive(length: int) -> None:
+    if length <= 0:
+        raise HardwareConfigError(f"length must be positive, got {length}")

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the GUST reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while the
+library itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class MatrixFormatError(ReproError):
+    """A sparse matrix container was constructed from inconsistent data."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed or violates the collision-freedom contract."""
+
+
+class CollisionError(ScheduleError):
+    """Two partial products were routed to the same adder in one cycle.
+
+    Raised by the cycle-accurate machine when fed an improperly scheduled
+    stream; the edge-coloring scheduler guarantees this never happens.
+    """
+
+
+class HardwareConfigError(ReproError):
+    """An accelerator was configured with impossible parameters."""
+
+
+class ColoringError(ReproError):
+    """An edge coloring failed validation (adjacent edges share a color)."""
+
+
+class DatasetError(ReproError):
+    """An unknown dataset name or invalid generation parameters."""
+
+
+class SolverError(ReproError):
+    """An iterative solver failed to converge or received bad operands."""

@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+Each module under :mod:`repro.eval.experiments` owns one paper artifact
+(Table 1-5, Figure 7-9, plus the in-text claims) and exposes
+``run(...) -> ExperimentResult``; ``ExperimentResult.render()`` prints the
+same rows/series the paper reports, next to the paper's reference values
+where the paper states them.
+
+The benchmarks under ``benchmarks/`` are thin pytest-benchmark wrappers
+around these experiment modules.
+"""
+
+from repro.eval.metrics import energy_gain, geomean, speedup
+from repro.eval.result import ExperimentResult
+from repro.eval.runner import run_designs
+from repro.eval.tables import render_table
+
+__all__ = [
+    "ExperimentResult",
+    "energy_gain",
+    "geomean",
+    "render_table",
+    "run_designs",
+    "speedup",
+]

@@ -1,0 +1,59 @@
+"""One module per paper artifact.
+
+=====================  ====================================================
+module                 paper artifact
+=====================  ====================================================
+table1_qualities       Table 1 — design qualities & geomean utilization
+fig7_utilization       Figure 7a/7b — utilization & cycles across designs
+fig8_speedup           Figure 8a-d — speedup & energy gain over 1D
+fig9_bandwidth         Figure 9 — average bandwidth utilization
+table2_resources       Table 2 — per-design resource consumption
+table3_datasets        Table 3 — the Serpens-comparison matrices
+table4_serpens         Table 4 — GUST vs Serpens end to end
+table5_partitions      Table 5 — per-partition resource consumption
+naive_crossover        Section 3.3 — naive GUST falls behind 1D at ~0.008
+bound_validation       Section 3.4 — statistical bound vs measurement
+scalability            Section 5.5 — parallel GUSTs vs one long GUST
+coloring_ablation      extension — greedy vs first-fit vs optimal coloring
+=====================  ====================================================
+
+Every module exposes ``run(...) -> ExperimentResult`` with keyword-only
+tuning knobs (scale, length, seed) defaulted to values that complete in
+seconds on a laptop; EXPERIMENTS.md records the defaults used.
+"""
+
+from repro.eval.experiments import (  # noqa: F401
+    bandwidth_provisioning,
+    bound_validation,
+    coloring_ablation,
+    fig7_utilization,
+    fig8_speedup,
+    fig9_bandwidth,
+    length_sweep,
+    naive_crossover,
+    scalability,
+    structure_sensitivity,
+    table1_qualities,
+    table2_resources,
+    table3_datasets,
+    table4_serpens,
+    table5_partitions,
+)
+
+__all__ = [
+    "bandwidth_provisioning",
+    "bound_validation",
+    "coloring_ablation",
+    "fig7_utilization",
+    "fig8_speedup",
+    "fig9_bandwidth",
+    "length_sweep",
+    "naive_crossover",
+    "scalability",
+    "structure_sensitivity",
+    "table1_qualities",
+    "table2_resources",
+    "table3_datasets",
+    "table4_serpens",
+    "table5_partitions",
+]

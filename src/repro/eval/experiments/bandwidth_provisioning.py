@@ -1,0 +1,79 @@
+"""Extension sweep — execution time vs provisioned memory bandwidth.
+
+Section 3.3 sizes GUST-256's stall-free stream at 224 GB/s and Section 4
+provisions it from the U280's 460 GB/s HBM2.  This sweep quantifies the
+design margin: above the requirement extra bandwidth buys nothing; below
+it execution time scales inversely — the knee sits exactly at the
+(64 l + log l + 1) f line.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import GustPipeline
+from repro.energy.bandwidth import required_bandwidth_gbps
+from repro.energy.bw_stall import bandwidth_limited_cycles
+from repro.energy.params import GUST_FREQUENCY_HZ, U280_PEAK_BANDWIDTH_GBPS
+from repro.eval.result import ExperimentResult
+from repro.sparse.datasets import load_dataset
+
+DEFAULT_MATRIX = "poisson3db"
+DEFAULT_SCALE = 16.0
+DEFAULT_LENGTH = 256
+DEFAULT_FRACTIONS = (0.25, 0.5, 1.0, 2.0)
+
+
+def run(
+    matrix_name: str = DEFAULT_MATRIX,
+    scale: float = DEFAULT_SCALE,
+    length: int = DEFAULT_LENGTH,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+) -> ExperimentResult:
+    """Sweep provisioned bandwidth around the requirement."""
+    matrix = load_dataset(matrix_name, scale=scale)
+    pipeline = GustPipeline(length)
+    compute, _ = pipeline.preprocess_stats(matrix)
+    required = required_bandwidth_gbps(length, GUST_FREQUENCY_HZ)
+
+    headers = [
+        "provisioned GB/s",
+        "fraction of req.",
+        "effective cycles",
+        "stall cycles",
+        "slowdown",
+    ]
+    rows: list[list] = []
+    for fraction in fractions:
+        report = bandwidth_limited_cycles(
+            compute.cycles, length, GUST_FREQUENCY_HZ, required * fraction
+        )
+        rows.append(
+            [
+                required * fraction,
+                fraction,
+                report.effective_cycles,
+                report.stall_cycles,
+                report.slowdown,
+            ]
+        )
+    u280_report = bandwidth_limited_cycles(
+        compute.cycles, length, GUST_FREQUENCY_HZ, U280_PEAK_BANDWIDTH_GBPS
+    )
+
+    return ExperimentResult(
+        experiment_id="bandwidth_provisioning",
+        title="Execution time vs provisioned memory bandwidth",
+        headers=headers,
+        rows=rows,
+        paper_claims={
+            "stall-free at U280's 460 GB/s": True,
+            "requirement GB/s (length 256)": 224.0,
+        },
+        measured_claims={
+            "stall-free at U280's 460 GB/s": not u280_report.bandwidth_bound,
+            "requirement GB/s (length 256)": required,
+        },
+        notes=[
+            f"{matrix_name} surrogate at 1/{scale:g} dimension, "
+            f"length {length}, compute cycles {compute.cycles}",
+        ],
+    )

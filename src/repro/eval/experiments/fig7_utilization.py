@@ -1,0 +1,100 @@
+"""Figure 7 — hardware utilization (a) and execution cycles (b).
+
+Seven configurations over the real-matrix suite: 1D, AT, Flex-TPU, Fafnir,
+and GUST with Naive / EC / EC+LB scheduling.  All designs are normalized to
+256 multipliers and 256 adders except Fafnir (128 multipliers, 448 adders),
+exactly as in Section 4.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators import (
+    AdderTree,
+    Fafnir,
+    FlexTpu,
+    GustAccelerator,
+    Systolic1D,
+)
+from repro.eval.metrics import geomean
+from repro.eval.result import ExperimentResult
+from repro.sparse.datasets import figure7_suite, load_dataset
+
+#: Paper Table 1 geomean utilizations (percent).
+PAPER_GEOMEAN_UTIL = {
+    "1D": 0.08,
+    "AT": 0.08,
+    "FTPU": 1.45,
+    "FAFNIR": 4.67,
+    "GUST-EC/LB": 33.67,
+}
+
+DEFAULT_SCALE = 16.0
+DEFAULT_LENGTH = 256
+
+
+def designs(length: int = DEFAULT_LENGTH):
+    """The Figure 7 design lineup at the paper's unit normalization."""
+    return [
+        Systolic1D(length),
+        AdderTree(length),
+        FlexTpu.with_units(length),
+        Fafnir(length // 2),
+        GustAccelerator(length, algorithm="naive", load_balance=False),
+        GustAccelerator(length, algorithm="matching", load_balance=False),
+        GustAccelerator(length, algorithm="matching", load_balance=True),
+    ]
+
+
+def run(
+    scale: float = DEFAULT_SCALE, length: int = DEFAULT_LENGTH
+) -> ExperimentResult:
+    """Reproduce Figures 7a and 7b on the surrogate suite."""
+    lineup = designs(length)
+    names = [d.name for d in lineup]
+    headers = ["matrix", "density"] + [f"{n} util%" for n in names] + [
+        f"{n} cycles" for n in names
+    ]
+    rows: list[list] = []
+    utils: dict[str, list[float]] = {n: [] for n in names}
+
+    for spec in figure7_suite():
+        matrix = load_dataset(spec.name, scale=scale)
+        row: list = [spec.name, spec.paper_density]
+        cycle_cells: list = []
+        for design in lineup:
+            report = design.run(matrix)
+            utils[design.name].append(report.utilization)
+            row.append(report.utilization * 100)
+            cycle_cells.append(report.cycles)
+        rows.append(row + cycle_cells)
+
+    gmean_row: list = ["G-Mean", ""]
+    gmeans = {n: geomean([u for u in utils[n] if u > 0]) * 100 for n in names}
+    gmean_row += [gmeans[n] for n in names] + ["" for _ in names]
+    rows.append(gmean_row)
+
+    measured = {f"geomean util% {n}": gmeans[n] for n in PAPER_GEOMEAN_UTIL}
+    # 1D and AT utilization equal the matrix density (every cell costs a
+    # cycle), so the dimension-scaled surrogates inflate them by exactly the
+    # scale factor.  The paper-dimension prediction is the density geomean.
+    paper_dim_prediction = geomean(
+        [spec.paper_density for spec in figure7_suite()]
+    ) * 100
+    measured["geomean util% 1D @paper dims (analytic)"] = paper_dim_prediction
+    paper = {f"geomean util% {n}": v for n, v in PAPER_GEOMEAN_UTIL.items()}
+    paper["geomean util% 1D @paper dims (analytic)"] = 0.08
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Hardware utilization and execution cycles across designs",
+        headers=headers,
+        rows=rows,
+        paper_claims=paper,
+        measured_claims=measured,
+        notes=[
+            f"surrogate matrices at 1/{scale:g} dimension, row degree preserved",
+            "Fafnir runs 128 leaves / 448 adders; others 256+256 units",
+            "1D/AT utilization equals density, so surrogate scaling inflates "
+            "their measured columns by the scale factor; GUST, Fafnir and "
+            "FTPU utilization is density-shape driven and transfers directly",
+        ],
+    )

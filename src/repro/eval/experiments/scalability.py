@@ -1,0 +1,95 @@
+"""Section 5.5 — parallel GUSTs versus one long GUST.
+
+k parallel length-l GUSTs keep the arithmetic and bandwidth budget of one
+length-k*l GUST while shrinking the crossbar (quadratic in length), at the
+cost of reduced resource sharing and imperfect work division.  We compare
+cycles and resources for equal-arithmetic configurations.
+"""
+
+from __future__ import annotations
+
+from repro.core.parallel import ParallelGust
+from repro.core.pipeline import GustPipeline
+from repro.energy.resources import crossbar_resources, gust_dynamic_power_w
+from repro.eval.result import ExperimentResult
+from repro.sparse.datasets import load_dataset
+
+DEFAULT_MATRICES = ("scircuit", "poisson3db", "soc-Epinions1", "heart1")
+DEFAULT_SCALE = 16.0
+
+
+def run(
+    matrices: tuple[str, ...] = DEFAULT_MATRICES,
+    scale: float = DEFAULT_SCALE,
+    total_length: int = 256,
+    ways: tuple[int, ...] = (1, 2, 4),
+) -> ExperimentResult:
+    """Compare k-way parallel splits of a fixed arithmetic budget."""
+    headers = ["matrix", "config", "cycles", "imbalance", "xbar LUT", "power W"]
+    rows: list[list] = []
+    slowdowns: dict[int, list[float]] = {k: [] for k in ways if k > 1}
+
+    for name in matrices:
+        matrix = load_dataset(name, scale=scale)
+        single_cycles = None
+        for k in ways:
+            unit_length = total_length // k
+            if k == 1:
+                pipeline = GustPipeline(unit_length)
+                report, _ = pipeline.preprocess_stats(matrix)
+                cycles = report.cycles
+                imbalance = 1.0
+            else:
+                parallel = ParallelGust(unit_length, units=k)
+                run_report = parallel.run(matrix)
+                cycles = run_report.cycles
+                imbalance = run_report.imbalance
+            crossbar_lut = k * crossbar_resources(unit_length).lut
+            power = k * gust_dynamic_power_w(unit_length)
+            if k == 1:
+                single_cycles = cycles
+            else:
+                slowdowns[k].append(cycles / max(1, single_cycles))
+            rows.append(
+                [
+                    name,
+                    f"{k}x{unit_length}",
+                    cycles,
+                    imbalance,
+                    crossbar_lut,
+                    power,
+                ]
+            )
+
+    lut_single = crossbar_resources(total_length).lut
+    lut_quad = 4 * crossbar_resources(total_length // 4).lut
+    mean_cycle_ratio_4 = (
+        sum(slowdowns[4]) / len(slowdowns[4]) if slowdowns.get(4) else 0.0
+    )
+    max_imbalance = max(
+        (row[3] for row in rows if isinstance(row[3], float)), default=1.0
+    )
+    return ExperimentResult(
+        experiment_id="scalability",
+        title="Parallel arrangement of GUSTs vs one long GUST",
+        headers=headers,
+        rows=rows,
+        paper_claims={
+            "parallel shrinks crossbar": True,
+            "work divides unequally on skewed matrices": True,
+        },
+        measured_claims={
+            "parallel shrinks crossbar": lut_quad < lut_single,
+            "work divides unequally on skewed matrices": max_imbalance > 1.1,
+            "mean cycle ratio 4-way vs monolithic": round(mean_cycle_ratio_4, 3),
+        },
+        notes=[
+            f"4x{total_length // 4} crossbar LUTs {lut_quad} vs "
+            f"1x{total_length} {lut_single}",
+            "windows assigned round-robin; schedule computed once per matrix",
+            "reproduction finding: on these surrogates the cycle penalty of the",
+            "parallel arrangement is small and matrix-dependent — imbalance",
+            "(the paper's reason 2) dominates on skewed matrices, while the",
+            "per-window fluctuation term shrinks with smaller l",
+        ],
+    )

@@ -1,0 +1,98 @@
+"""Section 5.4 — effect of matrix structure on GUST.
+
+"Depending on how well the NZ elements are spread out, we get a different
+standard deviation for #NZ elements in rows and column-mod-l partitions
+(STD) ... high STD negatively affects the performance of GUST.  Load
+balancing helps reducing the high STD, but to some extent."
+
+We fix the density, vary the structure family, and measure the in-window
+degree STD alongside EC and EC/LB utilization: utilization should fall as
+STD rises, and load balancing should recover part (not all) of the gap.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import GustPipeline
+from repro.eval.result import ExperimentResult
+from repro.sparse.generators import k_regular, power_law, uniform_random
+from repro.sparse.stats import window_degree_std
+
+DEFAULT_DIM = 2048
+DEFAULT_DENSITY = 0.005
+DEFAULT_LENGTH = 256
+
+
+def run(
+    dim: int = DEFAULT_DIM,
+    density: float = DEFAULT_DENSITY,
+    length: int = DEFAULT_LENGTH,
+    seed: int = 29,
+) -> ExperimentResult:
+    """Compare structures at one density: STD vs utilization."""
+    k = max(1, round(density * dim))
+    structures = [
+        ("k-regular", k_regular(dim, dim, k, seed=seed)),
+        ("uniform", uniform_random(dim, dim, density, seed=seed)),
+        ("power-law", power_law(dim, dim, density, seed=seed)),
+    ]
+
+    headers = [
+        "structure",
+        "row STD",
+        "seg STD",
+        "EC util",
+        "EC/LB util",
+        "LB recovery",
+    ]
+    rows: list[list] = []
+    ec_utils: list[float] = []
+    stds: list[float] = []
+    for name, matrix in structures:
+        row_std, seg_std = window_degree_std(matrix, length)
+        plain, _ = GustPipeline(length, load_balance=False).preprocess_stats(
+            matrix
+        )
+        balanced, _ = GustPipeline(length, load_balance=True).preprocess_stats(
+            matrix
+        )
+        recovery = (
+            balanced.utilization / plain.utilization
+            if plain.utilization
+            else 1.0
+        )
+        ec_utils.append(plain.utilization)
+        stds.append(row_std + seg_std)
+        rows.append(
+            [
+                name,
+                row_std,
+                seg_std,
+                plain.utilization,
+                balanced.utilization,
+                recovery,
+            ]
+        )
+
+    utilization_falls_with_std = all(
+        earlier >= later
+        for (earlier, later) in zip(ec_utils, ec_utils[1:])
+    ) and stds == sorted(stds)
+    lb_recovers_most_on_skewed = rows[-1][5] == max(row[5] for row in rows)
+    return ExperimentResult(
+        experiment_id="structure_sensitivity",
+        title="Matrix structure vs GUST performance (Section 5.4)",
+        headers=headers,
+        rows=rows,
+        paper_claims={
+            "utilization falls as degree STD rises": True,
+            "LB helps most on the most skewed structure": True,
+        },
+        measured_claims={
+            "utilization falls as degree STD rises": utilization_falls_with_std,
+            "LB helps most on the most skewed structure": lb_recovers_most_on_skewed,
+        },
+        notes=[
+            f"dim {dim}, density {density}, length {length}; structures "
+            "ordered by increasing degree spread",
+        ],
+    )

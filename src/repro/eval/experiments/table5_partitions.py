@@ -1,0 +1,75 @@
+"""Table 5 — per-partition resource consumption of GUST.
+
+Arithmetic and I/O partitions scale linearly with length; the crossbar's
+LUTs grow super-linearly and its power superlinearly — the scalability
+bottleneck Section 5.5 addresses with parallel arrangements.
+"""
+
+from __future__ import annotations
+
+from repro.energy.resources import (
+    arithmetic_resources,
+    crossbar_resources,
+    io_resources,
+)
+from repro.eval.result import ExperimentResult
+
+PAPER_CROSSBAR_LUT = {8: 772, 87: 17_300, 256: 756_000}
+PAPER_CROSSBAR_POWER = {8: 1.0, 87: 3.6, 256: 16.4}
+
+
+def run(lengths: tuple[int, ...] = (8, 87, 256)) -> ExperimentResult:
+    """Regenerate Table 5 for the given lengths."""
+    headers = [
+        "length",
+        "arith W",
+        "arith LUT",
+        "arith DSP",
+        "xbar W",
+        "xbar LUT",
+        "xbar Reg",
+        "IO W",
+        "IO pins",
+        "IO buffers",
+    ]
+    rows: list[list] = []
+    for length in lengths:
+        arith = arithmetic_resources(length)
+        xbar = crossbar_resources(length)
+        io = io_resources(length)
+        rows.append(
+            [
+                length,
+                arith.power_w,
+                arith.lut,
+                arith.dsp,
+                xbar.power_w,
+                xbar.lut,
+                xbar.register,
+                io.power_w,
+                io.io_pins,
+                io.input_buffers,
+            ]
+        )
+
+    quadratic_check = (
+        crossbar_resources(256).lut / max(1, crossbar_resources(128).lut)
+    )
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Per-partition resource consumption of GUST",
+        headers=headers,
+        rows=rows,
+        paper_claims={
+            "crossbar LUT @256": PAPER_CROSSBAR_LUT[256],
+            "crossbar W @256": PAPER_CROSSBAR_POWER[256],
+            "crossbar growth 128->256 at least quadratic": True,
+        },
+        measured_claims={
+            "crossbar LUT @256": crossbar_resources(256).lut,
+            "crossbar W @256": crossbar_resources(256).power_w,
+            "crossbar growth 128->256 at least quadratic": quadratic_check >= 4.0,
+            "crossbar growth factor 128->256": round(quadratic_check, 2),
+        },
+        notes=["anchor lengths reproduce the paper's synthesis numbers exactly"],
+    )

@@ -1,0 +1,54 @@
+"""ASCII rendering of figure-style data series.
+
+The paper's figures are log-scale bar/line charts over matrices or density
+sweeps; for a terminal reproduction we render aligned series tables plus a
+compact log-scale bar for quick visual comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_BAR_WIDTH = 40
+
+
+def log_bar(value: float, lo: float, hi: float, width: int = _BAR_WIDTH) -> str:
+    """A log-scale bar: ``value`` rendered between ``lo`` and ``hi``."""
+    if value <= 0 or hi <= lo or lo <= 0:
+        return ""
+    fraction = (math.log10(value) - math.log10(lo)) / (
+        math.log10(hi) - math.log10(lo)
+    )
+    fraction = min(1.0, max(0.0, fraction))
+    return "#" * max(1, round(fraction * width))
+
+
+def render_series(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render named series over shared x labels, with log bars."""
+    positive = [
+        v for values in series.values() for v in values if v and v > 0
+    ]
+    lo = min(positive) if positive else 1.0
+    hi = max(positive) if positive else 1.0
+    label_width = max((len(label) for label in x_labels), default=0)
+    name_width = max((len(name) for name in series), default=0)
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for i, label in enumerate(x_labels):
+        for name, values in series.items():
+            value = values[i]
+            bar = log_bar(value, lo, hi)
+            out.append(
+                f"{label:<{label_width}}  {name:<{name_width}}  "
+                f"{value:>12.4g}{unit}  {bar}"
+            )
+        out.append("")
+    return "\n".join(out)

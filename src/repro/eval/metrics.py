@@ -1,0 +1,39 @@
+"""Comparison metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from repro.sparse.stats import geometric_mean
+from repro.types import EnergyReport
+
+
+def speedup(baseline_cycles: int, cycles: int) -> float:
+    """How many times faster than the baseline (same clock assumed)."""
+    if cycles <= 0:
+        return float("inf") if baseline_cycles > 0 else 1.0
+    return baseline_cycles / cycles
+
+
+def wallclock_speedup(
+    baseline_cycles: int,
+    baseline_hz: float,
+    cycles: int,
+    hz: float,
+) -> float:
+    """Speedup across designs running at different clock rates."""
+    t_base = baseline_cycles / baseline_hz
+    t = cycles / hz
+    if t <= 0.0:
+        return float("inf") if t_base > 0 else 1.0
+    return t_base / t
+
+
+def energy_gain(baseline: EnergyReport, candidate: EnergyReport) -> float:
+    """Energy-efficiency gain: baseline joules over candidate joules."""
+    if candidate.total_j <= 0.0:
+        return float("inf") if baseline.total_j > 0 else 1.0
+    return baseline.total_j / candidate.total_j
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's cross-matrix summary)."""
+    return geometric_mean(values)

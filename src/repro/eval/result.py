@@ -1,0 +1,47 @@
+"""The common result container every experiment returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.tables import format_cell, render_table
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced paper artifact (a table or figure).
+
+    Attributes:
+        experiment_id: the paper's label, e.g. "table4" or "fig7a".
+        title: human-readable description.
+        headers: column names.
+        rows: table rows (mixed str/number cells).
+        paper_claims: headline values the paper states, keyed by claim name.
+        measured_claims: the same keys measured by this reproduction.
+        notes: caveats (scale factors, substitutions, calibration).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    paper_claims: dict[str, object] = field(default_factory=dict)
+    measured_claims: dict[str, object] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full report: table, paper-vs-measured claims, notes."""
+        parts = [render_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")]
+        if self.paper_claims:
+            parts.append("")
+            parts.append("paper vs measured:")
+            for key, paper_value in self.paper_claims.items():
+                measured = self.measured_claims.get(key, "—")
+                parts.append(
+                    f"  {key}: paper={format_cell(paper_value)} "
+                    f"measured={format_cell(measured)}"
+                )
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,48 @@
+"""Helpers for sweeping designs over matrix suites."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.accelerators.base import Accelerator
+from repro.sparse.coo import CooMatrix
+from repro.types import CycleReport, RunResult
+
+
+def run_designs(
+    designs: Sequence[Accelerator],
+    matrices: Iterable[tuple[str, CooMatrix]],
+    frequency_hz: float = 96e6,
+) -> list[RunResult]:
+    """Run every design on every (name, matrix) pair."""
+    results: list[RunResult] = []
+    for name, matrix in matrices:
+        for design in designs:
+            report = design.run(matrix)
+            results.append(
+                RunResult(
+                    design=design.name,
+                    matrix=name,
+                    cycle_report=report,
+                    frequency_hz=frequency_hz,
+                )
+            )
+    return results
+
+
+def by_design(results: Iterable[RunResult]) -> dict[str, list[RunResult]]:
+    """Group run results by design name, preserving matrix order."""
+    grouped: dict[str, list[RunResult]] = {}
+    for result in results:
+        grouped.setdefault(result.design, []).append(result)
+    return grouped
+
+
+def report_for(
+    results: Iterable[RunResult], design: str, matrix: str
+) -> CycleReport:
+    """Find one (design, matrix) cell; raises KeyError when absent."""
+    for result in results:
+        if result.design == design and result.matrix == matrix:
+            return result.cycle_report
+    raise KeyError(f"no result for design={design!r} matrix={matrix!r}")

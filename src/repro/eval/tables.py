@@ -1,0 +1,54 @@
+"""Fixed-width table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    """Human-friendly formatting: engineering suffixes for big numbers."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        if abs(value) >= 10_000_000:
+            return f"{value / 1e6:.1f}M"
+        if abs(value) >= 100_000:
+            return f"{value / 1e3:.0f}K"
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 10_000_000:
+            return f"{value / 1e6:.1f}M"
+        if abs(value) >= 100_000:
+            return f"{value / 1e3:.0f}K"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        if abs(value) >= 0.001:
+            return f"{value:.4f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)

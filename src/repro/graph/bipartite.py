@@ -1,0 +1,86 @@
+"""Bipartite multigraph view of one GUST row window.
+
+The mapping follows Section 3.3 of the paper exactly: for a window of ``l``
+rows, the ``i``-th left vertex is the window-local row (its adder), the
+``j``-th right vertex is column segment ``col mod l`` (its multiplier), and
+the matrix element ``M[i][col]`` is an edge between them.  Multiple columns
+fold onto the same right vertex when the matrix is wider than ``l``, so
+parallel edges are expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+
+
+@dataclass(frozen=True)
+class WindowGraph:
+    """Edges of one row window, in window-local bipartite coordinates.
+
+    Attributes:
+        length: the accelerator length ``l`` (vertex count on each side).
+        local_rows: per-edge left vertex (row index within the window).
+        colsegs: per-edge right vertex (original column mod ``l``).
+        cols: per-edge original column index (selects the vector element).
+        values: per-edge matrix value.
+    """
+
+    length: int
+    local_rows: np.ndarray
+    colsegs: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def from_window(cls, window: CooMatrix, length: int) -> "WindowGraph":
+        """Build from a window matrix whose row indices are window-local."""
+        if length <= 0:
+            raise HardwareConfigError(f"length must be positive, got {length}")
+        if window.shape[0] > length:
+            raise HardwareConfigError(
+                f"window has {window.shape[0]} rows, exceeding length {length}"
+            )
+        return cls(
+            length=length,
+            local_rows=window.rows.astype(np.int64),
+            colsegs=(window.cols % length).astype(np.int64),
+            cols=window.cols.astype(np.int64),
+            values=window.data.astype(np.float64),
+        )
+
+    @property
+    def edge_count(self) -> int:
+        return int(self.local_rows.size)
+
+    def left_degrees(self) -> np.ndarray:
+        """Edges per left vertex (length ``length``)."""
+        return np.bincount(self.local_rows, minlength=self.length)
+
+    def right_degrees(self) -> np.ndarray:
+        """Edges per right vertex (length ``length``)."""
+        return np.bincount(self.colsegs, minlength=self.length)
+
+    def max_degree(self) -> int:
+        """Max bipartite degree — the paper's Eq. (1) lower bound on colors."""
+        if self.edge_count == 0:
+            return 0
+        return int(
+            max(self.left_degrees().max(), self.right_degrees().max())
+        )
+
+    def edges_by_row(self) -> list[list[int]]:
+        """Edge ids grouped by left vertex, in column order within each row.
+
+        This is the ``E[i][k]`` structure consumed by the paper's Listing 1.
+        Canonical COO ordering already sorts by (row, col), so a stable sort
+        by row preserves column order inside each group.
+        """
+        groups: list[list[int]] = [[] for _ in range(self.length)]
+        for edge_id, row in enumerate(self.local_rows):
+            groups[int(row)].append(edge_id)
+        return groups

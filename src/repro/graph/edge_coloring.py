@@ -1,0 +1,192 @@
+"""Edge-coloring algorithms for GUST scheduling.
+
+The color assigned to an edge (a nonzero) is its position in the multiplier
+input buffer — its time slot.  A *proper* coloring (no two edges sharing a
+vertex have the same color) guarantees collision freedom: per cycle, each
+multiplier issues at most one element and each adder receives at most one
+partial product.
+
+Three algorithms, trading faithfulness against color count and speed:
+
+=====================  ===========================  =======================
+algorithm              colors                       provenance
+=====================  ===========================  =======================
+greedy_matching        <= 2*Delta - 1, ~Delta typ.  the paper's Listing 1
+first_fit              <= 2*Delta - 1, ~Delta typ.  fast bitmask variant
+euler (matching peel)  == Delta exactly             König optimum, ablation
+=====================  ===========================  =======================
+
+All three take a :class:`~repro.graph.bipartite.WindowGraph` and return a
+per-edge int64 color array aligned with the graph's edge arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ColoringError
+from repro.graph.bipartite import WindowGraph
+from repro.graph.matching import hopcroft_karp
+
+
+def greedy_matching_coloring(graph: WindowGraph) -> np.ndarray:
+    """The paper's Listing 1: round-based greedy maximal matching.
+
+    Round ``clr`` scans left vertices in index order; each vertex colors its
+    first remaining edge whose column segment is not yet claimed this round,
+    then stops (the ``break`` in Listing 1).  Rounds repeat until every edge
+    is colored.
+    """
+    edge_colors = np.full(graph.edge_count, -1, dtype=np.int64)
+    if graph.edge_count == 0:
+        return edge_colors
+
+    # remaining[i] holds edge ids of left vertex i, in column order.
+    remaining = graph.edges_by_row()
+    colsegs = graph.colsegs
+    active = [i for i, edges in enumerate(remaining) if edges]
+
+    clr = 0
+    while active:
+        claimed = bytearray(graph.length)
+        next_active: list[int] = []
+        for i in active:
+            edges = remaining[i]
+            for k, edge_id in enumerate(edges):
+                seg = colsegs[edge_id]
+                if not claimed[seg]:
+                    claimed[seg] = 1
+                    edge_colors[edge_id] = clr
+                    del edges[k]
+                    break
+            if edges:
+                next_active.append(i)
+        active = next_active
+        clr += 1
+    return edge_colors
+
+
+def first_fit_coloring(graph: WindowGraph) -> np.ndarray:
+    """Per-edge first-fit: each edge takes the smallest color free at both
+    endpoints, processed in row-major (canonical COO) order.
+
+    Uses arbitrary-precision int bitmasks, making each assignment O(1)-ish;
+    this is the fast path for large experiment sweeps.  Color count is
+    bounded by deg(row) + deg(colseg) - 1 <= 2*Delta - 1 and is typically
+    within a few percent of Delta.
+    """
+    edge_colors = np.empty(graph.edge_count, dtype=np.int64)
+    if graph.edge_count == 0:
+        return edge_colors
+    row_used = [0] * graph.length
+    seg_used = [0] * graph.length
+    local_rows = graph.local_rows
+    colsegs = graph.colsegs
+    for edge_id in range(graph.edge_count):
+        i = local_rows[edge_id]
+        j = colsegs[edge_id]
+        free = ~(row_used[i] | seg_used[j])
+        color = (free & -free).bit_length() - 1
+        bit = 1 << color
+        row_used[i] |= bit
+        seg_used[j] |= bit
+        edge_colors[edge_id] = color
+    return edge_colors
+
+
+def euler_coloring(graph: WindowGraph) -> np.ndarray:
+    """Optimal bipartite edge coloring with exactly Delta colors.
+
+    König's theorem guarantees the chromatic index of a bipartite multigraph
+    equals its maximum degree Delta.  We realize it constructively:
+
+    1. Pad the window graph with dummy edges until every vertex has degree
+       exactly Delta (always possible for a bipartite multigraph with equal
+       side sizes).
+    2. Peel off Delta perfect matchings with Hopcroft-Karp, one per color.
+       A d-regular bipartite multigraph always contains one (Hall), and
+       removing it leaves a (d-1)-regular multigraph.
+    3. Report only the colors of real edges.
+
+    This is the ablation counterpart to the paper's greedy scheduler: it
+    attains the Eq. (1) lower bound at higher preprocessing cost.
+    """
+    edge_colors = np.full(graph.edge_count, -1, dtype=np.int64)
+    if graph.edge_count == 0:
+        return edge_colors
+
+    delta = graph.max_degree()
+    length = graph.length
+    left_deg = graph.left_degrees().astype(np.int64)
+    right_deg = graph.right_degrees().astype(np.int64)
+
+    # Edge list with dummies appended; entries are (left, right, real_id).
+    lefts = list(map(int, graph.local_rows))
+    rights = list(map(int, graph.colsegs))
+    real_ids = list(range(graph.edge_count))
+
+    left_deficit = [delta - int(d) for d in left_deg]
+    right_deficit = [delta - int(d) for d in right_deg]
+    u, v = 0, 0
+    while u < length and v < length:
+        if left_deficit[u] == 0:
+            u += 1
+            continue
+        if right_deficit[v] == 0:
+            v += 1
+            continue
+        lefts.append(u)
+        rights.append(v)
+        real_ids.append(-1)
+        left_deficit[u] -= 1
+        right_deficit[v] -= 1
+    if any(left_deficit) or any(right_deficit):
+        raise ColoringError("regularization failed; unbalanced bipartite sides")
+
+    alive = list(range(len(lefts)))
+    for color in range(delta):
+        # Adjacency over the surviving multigraph; remember one edge id per
+        # (left, right) pair so matched pairs can be deleted afterwards.
+        adjacency: list[list[int]] = [[] for _ in range(length)]
+        edge_for_pair: dict[tuple[int, int], list[int]] = {}
+        for edge in alive:
+            pair = (lefts[edge], rights[edge])
+            adjacency[pair[0]].append(pair[1])
+            edge_for_pair.setdefault(pair, []).append(edge)
+        match_left, _, size = hopcroft_karp(adjacency, length, length)
+        if size != length:
+            raise ColoringError(
+                f"regular multigraph lacked a perfect matching at color {color}"
+            )
+        removed: set[int] = set()
+        for u_vertex in range(length):
+            pair = (u_vertex, int(match_left[u_vertex]))
+            edge = edge_for_pair[pair].pop()
+            removed.add(edge)
+            if real_ids[edge] >= 0:
+                edge_colors[real_ids[edge]] = color
+        alive = [edge for edge in alive if edge not in removed]
+
+    if (edge_colors < 0).any():
+        raise ColoringError("euler coloring left edges uncolored")
+    return edge_colors
+
+
+#: Registry used by the scheduler's ``algorithm=`` parameter.
+ALGORITHMS = {
+    "matching": greedy_matching_coloring,
+    "first_fit": first_fit_coloring,
+    "euler": euler_coloring,
+}
+
+
+def color_edges(graph: WindowGraph, algorithm: str = "matching") -> np.ndarray:
+    """Dispatch to a registered coloring algorithm by name."""
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ColoringError(
+            f"unknown coloring algorithm {algorithm!r}; "
+            f"choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return fn(graph)

@@ -1,0 +1,106 @@
+"""Bipartite matching algorithms.
+
+:func:`hopcroft_karp` finds a maximum matching; the optimal edge coloring
+(:func:`repro.graph.edge_coloring.euler_coloring`) calls it once per color to
+peel perfect matchings off a regularized multigraph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    adjacency: list[list[int]], n_left: int, n_right: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Maximum bipartite matching via Hopcroft-Karp.
+
+    Args:
+        adjacency: for each left vertex, the list of right neighbours
+            (duplicates allowed; they do not change the matching).
+        n_left: number of left vertices.
+        n_right: number of right vertices.
+
+    Returns:
+        (match_left, match_right, size): ``match_left[u]`` is the right
+        vertex matched to ``u`` or -1; symmetrically for ``match_right``.
+    """
+    match_left = np.full(n_left, -1, dtype=np.int64)
+    match_right = np.full(n_right, -1, dtype=np.int64)
+    size = 0
+
+    while True:
+        # BFS phase: layer the free left vertices.
+        dist = [_INF] * n_left
+        queue: deque[int] = deque()
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dist[u] = 0
+                queue.append(u)
+        found_augmenting_layer = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    found_augmenting_layer = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        if not found_augmenting_layer:
+            return match_left, match_right, size
+
+        # DFS phase: find a maximal set of vertex-disjoint shortest paths.
+        # Iterative to stay clear of Python's recursion limit on long paths.
+        def try_augment(root: int) -> bool:
+            frames = [(root, iter(adjacency[root]))]
+            pending: list[tuple[int, int]] = []
+            while frames:
+                u, neighbours = frames[-1]
+                descended = False
+                for v in neighbours:
+                    w = int(match_right[v])
+                    if w == -1:
+                        match_left[u] = v
+                        match_right[v] = u
+                        for up, vp in reversed(pending):
+                            match_left[up] = vp
+                            match_right[vp] = up
+                        return True
+                    if dist[w] == dist[u] + 1:
+                        pending.append((u, v))
+                        frames.append((w, iter(adjacency[w])))
+                        descended = True
+                        break
+                if not descended:
+                    dist[u] = _INF
+                    frames.pop()
+                    if pending:
+                        pending.pop()
+            return False
+
+        for u in range(n_left):
+            if match_left[u] == -1 and try_augment(u):
+                size += 1
+
+
+def greedy_maximal_matching(
+    adjacency: list[list[int]], n_left: int, n_right: int
+) -> list[tuple[int, int]]:
+    """One greedy maximal matching: scan left vertices in index order, take
+    the first unmatched right neighbour.  This is exactly one round of the
+    paper's Listing 1 (without the edge bookkeeping, which the scheduler owns).
+    """
+    taken_right = bytearray(n_right)
+    matching: list[tuple[int, int]] = []
+    for u in range(n_left):
+        for v in adjacency[u]:
+            if not taken_right[v]:
+                taken_right[v] = 1
+                matching.append((u, v))
+                break
+    return matching

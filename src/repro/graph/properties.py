@@ -1,0 +1,47 @@
+"""Validation and measurement helpers for edge colorings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ColoringError
+from repro.graph.bipartite import WindowGraph
+
+
+def max_bipartite_degree(graph: WindowGraph) -> int:
+    """Maximum degree over both sides — the Eq. (1) color lower bound."""
+    return graph.max_degree()
+
+
+def color_count(colors: np.ndarray) -> int:
+    """Number of distinct time slots used (max color + 1)."""
+    if colors.size == 0:
+        return 0
+    return int(colors.max()) + 1
+
+
+def validate_coloring(graph: WindowGraph, colors: np.ndarray) -> None:
+    """Raise :class:`ColoringError` unless ``colors`` is proper and complete.
+
+    Proper means no two edges sharing a left vertex (row/adder) or right
+    vertex (column segment/multiplier) carry the same color — precisely the
+    collision-freedom condition of Section 3.3.
+    """
+    colors = np.asarray(colors)
+    if colors.shape != (graph.edge_count,):
+        raise ColoringError(
+            f"colors has shape {colors.shape}, expected ({graph.edge_count},)"
+        )
+    if graph.edge_count == 0:
+        return
+    if (colors < 0).any():
+        raise ColoringError("some edges are uncolored (color < 0)")
+
+    row_keys = graph.local_rows * (colors.max() + 1) + colors
+    if np.unique(row_keys).size != row_keys.size:
+        raise ColoringError("two edges on one row (adder) share a color")
+    seg_keys = graph.colsegs * (colors.max() + 1) + colors
+    if np.unique(seg_keys).size != seg_keys.size:
+        raise ColoringError(
+            "two edges on one column segment (multiplier) share a color"
+        )

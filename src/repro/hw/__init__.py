@@ -1,0 +1,20 @@
+"""Reusable hardware primitives for the cycle-accurate GUST machine.
+
+These model the boxes in the paper's Figure 2: FIFO input buffers, the
+multiplier and adder banks, the crossbar connector, and the off-/on-chip
+memory with the Buffer Filler's double-buffered streaming.
+"""
+
+from repro.hw.arith import AdderBank, MultiplierBank
+from repro.hw.crossbar import Crossbar
+from repro.hw.fifo import Fifo
+from repro.hw.memory import MemoryModel, StreamStats
+
+__all__ = [
+    "AdderBank",
+    "Crossbar",
+    "Fifo",
+    "MemoryModel",
+    "MultiplierBank",
+    "StreamStats",
+]

@@ -1,0 +1,67 @@
+"""Multiplier and adder banks with per-cycle activity accounting.
+
+The banks record how many units performed a nonzero operation each cycle,
+which is exactly the numerator of the paper's hardware-utilization metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HardwareConfigError
+
+
+class MultiplierBank:
+    """``length`` multipliers; lane j multiplies a matrix and vector element."""
+
+    def __init__(self, length: int):
+        if length <= 0:
+            raise HardwareConfigError(f"length must be positive, got {length}")
+        self.length = length
+        self.active_ops = 0
+
+    def cycle(
+        self, matrix_elems: np.ndarray, vector_elems: np.ndarray, valid: np.ndarray
+    ) -> np.ndarray:
+        """One cycle: elementwise products on valid lanes, NaN elsewhere.
+
+        Returns the partial-product vector handed to the crossbar.
+        """
+        if matrix_elems.shape != (self.length,) or vector_elems.shape != (self.length,):
+            raise HardwareConfigError("lane count mismatch at multiplier bank")
+        products = np.where(valid, matrix_elems * vector_elems, np.nan)
+        self.active_ops += int(valid.sum())
+        return products
+
+
+class AdderBank:
+    """``length`` accumulators; adder i holds the partial sum of one row.
+
+    ``accumulate`` adds routed partial products; ``dump`` emits and clears a
+    lane's stored value (the dump-signal path of Figure 2).
+    """
+
+    def __init__(self, length: int):
+        if length <= 0:
+            raise HardwareConfigError(f"length must be positive, got {length}")
+        self.length = length
+        self.active_ops = 0
+        self._stored = np.zeros(length, dtype=np.float64)
+
+    def accumulate(self, routed: np.ndarray, valid: np.ndarray) -> None:
+        """One cycle: stored[i] += routed[i] on valid lanes."""
+        if routed.shape != (self.length,):
+            raise HardwareConfigError("lane count mismatch at adder bank")
+        self._stored[valid] += routed[valid]
+        self.active_ops += int(valid.sum())
+
+    def dump(self, lanes: np.ndarray) -> np.ndarray:
+        """Emit and zero the stored values of ``lanes``."""
+        values = self._stored[lanes].copy()
+        self._stored[lanes] = 0.0
+        return values
+
+    @property
+    def stored(self) -> np.ndarray:
+        """Read-only view of the accumulator state (for tests)."""
+        return self._stored.copy()

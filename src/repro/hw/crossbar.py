@@ -1,0 +1,61 @@
+"""The crossbar connector: routes partial products to adders by row index.
+
+Section 3.2: the connector's first ``l`` inputs are partial products from the
+multipliers; the second ``l`` inputs are indices that say which adder each
+product goes to.  Routing two valid products to one adder in the same cycle
+is a collision — the exact failure mode the edge-coloring scheduler
+eliminates — and the model raises :class:`CollisionError` when it happens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CollisionError, HardwareConfigError
+
+
+class Crossbar:
+    """An ``l``-to-``l`` crossbar with collision detection."""
+
+    def __init__(self, length: int):
+        if length <= 0:
+            raise HardwareConfigError(f"length must be positive, got {length}")
+        self.length = length
+        self.routed_count = 0
+
+    def route(
+        self, products: np.ndarray, indices: np.ndarray, valid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One cycle of routing.
+
+        Args:
+            products: partial products from the multipliers (length l).
+            indices: destination adder per lane (length l; ignored when
+                invalid).
+            valid: lanes carrying real data this cycle.
+
+        Returns:
+            (routed, routed_valid): per-adder input value and validity.
+
+        Raises:
+            CollisionError: two valid lanes named the same adder.
+        """
+        if products.shape != (self.length,) or indices.shape != (self.length,):
+            raise HardwareConfigError("lane count mismatch at crossbar")
+        routed = np.zeros(self.length, dtype=np.float64)
+        routed_valid = np.zeros(self.length, dtype=bool)
+        dests = indices[valid]
+        if dests.size:
+            if dests.min() < 0 or dests.max() >= self.length:
+                raise HardwareConfigError("crossbar destination out of range")
+            occupied = np.bincount(dests, minlength=self.length)
+            if (occupied > 1).any():
+                clashing = int(np.argmax(occupied))
+                raise CollisionError(
+                    f"{int(occupied[clashing])} partial products routed to "
+                    f"adder {clashing} in one cycle"
+                )
+            routed[dests] = products[valid]
+            routed_valid[dests] = True
+            self.routed_count += int(dests.size)
+        return routed, routed_valid

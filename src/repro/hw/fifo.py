@@ -1,0 +1,63 @@
+"""A bounded FIFO buffer with push/pop accounting.
+
+GUST's four input streams (matrix elements, vector elements, row indices,
+dump signals) each flow through one FIFO per lane (Figure 2).  The machine
+uses one :class:`Fifo` per lane per stream; ``None`` entries model bubbles
+(slots with no nonzero scheduled).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import HardwareConfigError
+
+
+class Fifo:
+    """First-in first-out queue with optional capacity and depth tracking."""
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise HardwareConfigError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._queue: deque[Any] = deque()
+        self._max_depth = 0
+        self._total_pushed = 0
+
+    def push(self, item: Any) -> None:
+        """Append an item; raises if the buffer is full."""
+        if self._capacity is not None and len(self._queue) >= self._capacity:
+            raise HardwareConfigError("FIFO overflow")
+        self._queue.append(item)
+        self._total_pushed += 1
+        if len(self._queue) > self._max_depth:
+            self._max_depth = len(self._queue)
+
+    def pop(self) -> Any:
+        """Remove and return the oldest item; raises on empty pop."""
+        if not self._queue:
+            raise HardwareConfigError("FIFO underflow")
+        return self._queue.popleft()
+
+    def peek(self) -> Any:
+        """Return the oldest item without removing it."""
+        if not self._queue:
+            raise HardwareConfigError("FIFO empty")
+        return self._queue[0]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def max_depth(self) -> int:
+        """High-water mark, for sizing the physical buffer."""
+        return self._max_depth
+
+    @property
+    def total_pushed(self) -> int:
+        return self._total_pushed

@@ -1,0 +1,105 @@
+"""Off-chip/on-chip memory traffic model and the Buffer Filler stream.
+
+Section 4 of the paper counts energy for off-chip and on-chip reads and
+writes and sizes the Buffer Filler's double buffer at twice one timestep of
+input (36,866 bits for length 256).  This module tracks those quantities for
+one SpMV so the energy model can price them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareConfigError
+
+#: Matrix values and vector values are 32-bit floats in the paper.
+VALUE_BITS = 32
+#: Col_sch entries are assumed 32-bit (Section 3.3, "Streaming the Inputs").
+COL_INDEX_BITS = 32
+
+
+def row_index_bits(length: int) -> int:
+    """Bits per Row_sch entry: log2(l), since it indexes 1..l."""
+    if length <= 0:
+        raise HardwareConfigError(f"length must be positive, got {length}")
+    return max(1, (length - 1).bit_length())
+
+
+def timestep_bits(length: int) -> int:
+    """Bits streamed per timestep: matrix + vector + row indices + dump.
+
+    Matches the paper's 18,433-logical-input accounting for length 256
+    (256*32 matrix + 256*32 vector + 256*8 index + 1 dump), in bits:
+    256*32*2 + 256*8 + 1 = 18,433 wires; doubled on chip for the Buffer
+    Filler's ping-pong buffer.
+    """
+    return length * VALUE_BITS * 2 + length * row_index_bits(length) + 1
+
+
+def buffer_filler_bits(length: int) -> int:
+    """On-chip double-buffer size in bits (twice one timestep)."""
+    return 2 * timestep_bits(length)
+
+
+@dataclass
+class StreamStats:
+    """Counts of memory events accumulated while streaming one SpMV."""
+
+    offchip_read_words: int = 0
+    offchip_write_words: int = 0
+    onchip_read_words: int = 0
+    onchip_write_words: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "StreamStats") -> "StreamStats":
+        return StreamStats(
+            offchip_read_words=self.offchip_read_words + other.offchip_read_words,
+            offchip_write_words=self.offchip_write_words + other.offchip_write_words,
+            onchip_read_words=self.onchip_read_words + other.onchip_read_words,
+            onchip_write_words=self.onchip_write_words + other.onchip_write_words,
+            extra={**self.extra, **other.extra},
+        )
+
+
+class MemoryModel:
+    """Counts 32-bit-word traffic for the GUST streaming protocol.
+
+    The protocol (Section 3.3, "Streaming the Inputs"):
+
+    1. The whole input vector moves off-chip -> Buffer Filler on-chip memory.
+    2. Per timestep, one partition of M_sch / Row_sch / Col_sch moves
+       off-chip -> on-chip (double buffered).
+    3. The Buffer Filler writes the four input buffers on-chip; vector
+       entries are read back from on-chip memory via Col_sch.
+    4. Output vector elements are written back off-chip on dump.
+    """
+
+    def __init__(self, length: int):
+        if length <= 0:
+            raise HardwareConfigError(f"length must be positive, got {length}")
+        self.length = length
+        self.stats = StreamStats()
+
+    def stream_vector_in(self, n: int) -> None:
+        """Step 1: vector from off-chip memory into the Buffer Filler."""
+        self.stats.offchip_read_words += n
+        self.stats.onchip_write_words += n
+
+    def stream_timestep(self, valid_lanes: int) -> None:
+        """Steps 2-3 for one timestep with ``valid_lanes`` scheduled nonzeros.
+
+        Each nonzero moves one matrix word, one Col_sch word and one Row_sch
+        word off-chip -> on-chip, then the filler reads the vector word from
+        on-chip memory and writes the four input buffers.
+        """
+        words_in = 3 * valid_lanes
+        self.stats.offchip_read_words += words_in
+        self.stats.onchip_write_words += words_in
+        # Vector gather + buffer fill are on-chip reads/writes.
+        self.stats.onchip_read_words += 2 * valid_lanes
+        self.stats.onchip_write_words += 2 * valid_lanes
+
+    def write_outputs(self, count: int) -> None:
+        """Step 4: dumped output elements written back off-chip."""
+        self.stats.offchip_write_words += count
+        self.stats.onchip_read_words += count

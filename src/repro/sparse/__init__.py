@@ -1,0 +1,42 @@
+"""Sparse-matrix substrate for the GUST reproduction.
+
+This subpackage provides the matrix containers, synthetic generators, and
+surrogate datasets every simulator in the library consumes.  The containers
+are thin, validated wrappers around numpy arrays; scipy interoperability
+lives in :mod:`repro.sparse.convert` so the core never requires scipy.
+"""
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.convert import from_dense, from_scipy, to_dense, to_scipy
+from repro.sparse.generators import (
+    banded,
+    block_diagonal,
+    k_regular,
+    power_law,
+    uniform_random,
+)
+from repro.sparse.datasets import (
+    DatasetSpec,
+    figure7_suite,
+    load_dataset,
+    serpens_suite,
+)
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "DatasetSpec",
+    "banded",
+    "block_diagonal",
+    "figure7_suite",
+    "from_dense",
+    "from_scipy",
+    "k_regular",
+    "load_dataset",
+    "power_law",
+    "serpens_suite",
+    "to_dense",
+    "to_scipy",
+    "uniform_random",
+]

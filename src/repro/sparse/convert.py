@@ -1,0 +1,45 @@
+"""Boundary conversions: scipy.sparse and dense numpy interop.
+
+scipy is confined to this module (and tests, where it serves as the
+numerical oracle) so the rest of the library stays dependency-light.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.sparse.coo import CooMatrix
+
+
+def from_scipy(matrix) -> CooMatrix:
+    """Convert any scipy.sparse matrix to a canonical :class:`CooMatrix`."""
+    coo = matrix.tocoo()
+    return CooMatrix.from_arrays(
+        np.asarray(coo.row), np.asarray(coo.col), np.asarray(coo.data), coo.shape
+    )
+
+
+def to_scipy(matrix: CooMatrix):
+    """Convert a :class:`CooMatrix` to ``scipy.sparse.coo_matrix``."""
+    import scipy.sparse as sp
+
+    return sp.coo_matrix(
+        (matrix.data, (matrix.rows, matrix.cols)), shape=matrix.shape
+    )
+
+
+def from_dense(array: np.ndarray) -> CooMatrix:
+    """Convert a dense 2-D array, dropping zeros."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 2:
+        raise MatrixFormatError("dense input must be 2-D")
+    rows, cols = np.nonzero(array)
+    return CooMatrix.from_arrays(rows, cols, array[rows, cols], array.shape)
+
+
+def to_dense(matrix: CooMatrix) -> np.ndarray:
+    """Materialize a :class:`CooMatrix` as a dense float64 array."""
+    out = np.zeros(matrix.shape, dtype=np.float64)
+    out[matrix.rows, matrix.cols] = matrix.data
+    return out

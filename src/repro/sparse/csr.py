@@ -1,0 +1,103 @@
+"""Compressed sparse row container.
+
+CSR is what the baseline accelerator simulators iterate over: it gives O(1)
+access to each row's nonzeros, which matches how 1D systolic arrays, adder
+trees, and Serpens consume the matrix row by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.sparse.coo import CooMatrix
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """An immutable CSR matrix (indptr / indices / data).
+
+    Column indices are sorted within each row.  Construct via
+    :meth:`from_coo` or :meth:`from_arrays`.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CsrMatrix":
+        """Validate and canonicalize raw CSR arrays."""
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        m, n = int(shape[0]), int(shape[1])
+        if indptr.ndim != 1 or indptr.size != m + 1:
+            raise MatrixFormatError(f"indptr must have length m+1={m + 1}")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise MatrixFormatError("indptr must start at 0 and end at nnz")
+        if (np.diff(indptr) < 0).any():
+            raise MatrixFormatError("indptr must be non-decreasing")
+        if indices.size != data.size:
+            raise MatrixFormatError("indices and data must have equal length")
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise MatrixFormatError("column index out of range")
+        return cls(indptr=indptr, indices=indices, data=data, shape=(m, n))
+
+    @classmethod
+    def from_coo(cls, coo: CooMatrix) -> "CsrMatrix":
+        """Convert a canonical COO matrix (already row-major sorted)."""
+        m, _ = coo.shape
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(coo.rows, minlength=m), out=indptr[1:])
+        return cls(
+            indptr=indptr,
+            indices=coo.cols.copy(),
+            data=coo.data.copy(),
+            shape=coo.shape,
+        )
+
+    def to_coo(self) -> CooMatrix:
+        """Convert back to the canonical COO container."""
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        return CooMatrix.from_arrays(rows, self.indices, self.data, self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def row_nnz(self, i: int) -> int:
+        """Number of nonzeros in row ``i``."""
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of row ``i``, sorted by column."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference y = A @ x."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise MatrixFormatError(
+                f"vector length {x.shape} incompatible with shape {self.shape}"
+            )
+        products = self.data * x[self.indices]
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        return np.bincount(rows, weights=products, minlength=self.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,192 @@
+"""Surrogate datasets for the paper's real-world matrix suites.
+
+The paper evaluates on SuiteSparse/SNAP matrices that are not available
+offline.  For each named matrix we record its true dimension, nonzero count,
+and density (from the paper's Table 3 and the density labels of Figures 7-9),
+assign a structure family, and generate a deterministic synthetic surrogate
+from the matching generator in :mod:`repro.sparse.generators`.
+
+Scaling: pure-Python simulation cannot process tens of millions of nonzeros,
+so :func:`load_dataset` accepts a ``scale`` factor that divides the dimension
+while *preserving the mean row degree* (so density rises by roughly the same
+factor).  GUST's utilization depends on the row/column-segment degree
+distribution relative to the accelerator length (Eq. 11 of the paper), which
+this scaling preserves; EXPERIMENTS.md records the scale used per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.generators import (
+    banded,
+    block_diagonal,
+    k_regular,
+    power_law,
+    uniform_random,
+)
+
+import numpy as np
+
+#: Families understood by the generator dispatch below.
+_FAMILIES = ("circuit", "fem", "social", "kreg", "block", "dense", "quantum")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata for one paper matrix and its surrogate recipe.
+
+    Attributes:
+        name: the paper's matrix name.
+        paper_dim: true square dimension reported by the paper/SuiteSparse.
+        paper_nnz: true nonzero count.
+        family: structure family used to synthesize the surrogate.
+        source: collection the paper took it from (informational).
+        seed: deterministic generation seed.
+    """
+
+    name: str
+    paper_dim: int
+    paper_nnz: int
+    family: str
+    source: str
+    seed: int
+
+    @property
+    def paper_density(self) -> float:
+        return self.paper_nnz / (self.paper_dim * self.paper_dim)
+
+    @property
+    def mean_row_degree(self) -> float:
+        return self.paper_nnz / self.paper_dim
+
+
+_FIGURE7_SPECS = [
+    DatasetSpec("scircuit", 170_998, 958_936, "circuit", "SuiteSparse", 101),
+    DatasetSpec("pre2", 659_033, 5_834_044, "circuit", "SuiteSparse", 102),
+    DatasetSpec("poisson3db", 85_623, 2_374_949, "fem", "SuiteSparse", 103),
+    DatasetSpec("bcircuit", 68_902, 375_558, "circuit", "SuiteSparse", 104),
+    DatasetSpec("soc-Epinions1", 75_888, 508_837, "social", "SNAP", 105),
+    DatasetSpec("cage12", 130_228, 2_032_536, "kreg", "SuiteSparse", 106),
+    DatasetSpec("nopoly", 10_774, 70_842, "fem", "SuiteSparse", 107),
+    DatasetSpec("wiki-Vote", 8_297, 103_689, "social", "SNAP", 108),
+    DatasetSpec("CollegeMsg", 1_899, 20_296, "social", "SNAP", 109),
+    DatasetSpec("TSCOPF-1047", 1_047, 32_887, "block", "SuiteSparse", 110),
+    DatasetSpec("mycielskian11", 1_535, 134_710, "dense", "SuiteSparse", 111),
+    DatasetSpec("heart1", 3_557, 1_385_317, "dense", "SuiteSparse", 112),
+]
+
+_SERPENS_SPECS = [
+    DatasetSpec("crankseg_2", 63_838, 14_148_858, "fem", "SuiteSparse", 201),
+    DatasetSpec("Si41Ge41H72", 185_639, 15_011_265, "quantum", "SuiteSparse", 202),
+    DatasetSpec("TSOPF_RS_b2383", 38_120, 16_171_169, "block", "SuiteSparse", 203),
+    DatasetSpec("ML_Laplace", 377_002, 27_582_698, "fem", "SuiteSparse", 204),
+    DatasetSpec("mouse_gene", 45_101, 28_967_291, "dense", "SuiteSparse", 205),
+    DatasetSpec("coPapersCiteseer", 434_102, 21_148_134, "social", "SuiteSparse", 206),
+    DatasetSpec("PFlow_742", 742_793, 37_138_461, "fem", "SuiteSparse", 207),
+    DatasetSpec("googleplus", 107_614, 13_673_453, "social", "SNAP", 208),
+    DatasetSpec("soc_pokec", 1_632_803, 30_622_564, "social", "SNAP", 209),
+]
+
+_REGISTRY = {spec.name: spec for spec in _FIGURE7_SPECS + _SERPENS_SPECS}
+
+
+def figure7_suite() -> list[DatasetSpec]:
+    """The 12 matrices of Figures 7-9, in the paper's plotting order."""
+    return list(_FIGURE7_SPECS)
+
+
+def serpens_suite() -> list[DatasetSpec]:
+    """The 9 matrices of Tables 3-4 (GUST vs Serpens comparison)."""
+    return list(_SERPENS_SPECS)
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names."""
+    return list(_REGISTRY)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def load_dataset(
+    name: str,
+    scale: float = 1.0,
+    floor_dim: int = 1024,
+) -> CooMatrix:
+    """Generate the surrogate for ``name`` at a reduced scale.
+
+    Args:
+        name: a registered dataset name (see :func:`dataset_names`).
+        scale: dimension divisor; 1.0 reproduces the paper's dimension.
+        floor_dim: dimensions are never scaled below this (small matrices
+            like CollegeMsg are generated at their true size regardless).
+
+    The mean row degree of the original is preserved, capped so density never
+    exceeds 0.5.
+    """
+    spec = get_spec(name)
+    if scale < 1.0:
+        raise DatasetError(f"scale must be >= 1, got {scale}")
+    dim = spec.paper_dim
+    if dim > floor_dim:
+        dim = max(floor_dim, int(round(dim / scale)))
+    row_degree = min(spec.mean_row_degree, 0.5 * dim)
+    return _generate(spec, dim, row_degree)
+
+
+def _generate(spec: DatasetSpec, dim: int, row_degree: float) -> CooMatrix:
+    density = row_degree / dim
+    if spec.family == "circuit":
+        # Sparse near-diagonal structure plus off-band couplings.
+        band_part = banded(dim, dim, bandwidth=2, fill=0.5, seed=spec.seed)
+        remaining = max(0.0, density - band_part.density)
+        sprinkle = uniform_random(dim, dim, remaining, seed=spec.seed + 1)
+        return _overlay(band_part, sprinkle)
+    if spec.family == "fem":
+        # Stencil band: nonzeros cluster near the diagonal but scatter
+        # within a band ~3x wider than the row degree, like real FEM
+        # stiffness matrices (a *dense* band would resonate with the
+        # accelerator length: columns one length apart share a segment).
+        bandwidth = max(1, int(round(1.5 * row_degree)))
+        fill = min(1.0, row_degree / (2 * bandwidth + 1))
+        return banded(dim, dim, bandwidth=bandwidth, fill=fill, seed=spec.seed)
+    if spec.family == "social":
+        return power_law(dim, dim, density, seed=spec.seed)
+    if spec.family == "kreg":
+        k = max(1, min(dim, int(round(row_degree))))
+        return k_regular(dim, dim, k, seed=spec.seed)
+    if spec.family == "block":
+        block = max(2, int(round(row_degree / 0.8)))
+        return block_diagonal(dim, dim, block, block_density=0.8, seed=spec.seed)
+    if spec.family == "dense":
+        return uniform_random(dim, dim, density, seed=spec.seed)
+    if spec.family == "quantum":
+        # Electronic-structure matrices: a band plus long-range couplings.
+        bandwidth = max(1, int(round(row_degree / 4)))
+        band_part = banded(dim, dim, bandwidth=bandwidth, fill=0.8, seed=spec.seed)
+        remaining = max(0.0, density - band_part.density)
+        tail = uniform_random(dim, dim, remaining, seed=spec.seed + 1)
+        return _overlay(band_part, tail)
+    raise DatasetError(f"spec {spec.name!r} has unknown family {spec.family!r}")
+
+
+def _overlay(a: CooMatrix, b: CooMatrix) -> CooMatrix:
+    """Sum of two matrices of identical shape, as a canonical COO."""
+    if a.shape != b.shape:
+        raise DatasetError("overlay requires matching shapes")
+    return CooMatrix.from_arrays(
+        np.concatenate([a.rows, b.rows]),
+        np.concatenate([a.cols, b.cols]),
+        np.concatenate([a.data, b.data]),
+        a.shape,
+    )

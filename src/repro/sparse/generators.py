@@ -1,0 +1,249 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates GUST on synthetic matrices with uniform, power-law, and
+k-regular nonzero distributions (Section 4, "Dataset"), generated there with
+the SNAP tooling.  Offline, we regenerate the same families directly:
+
+* :func:`uniform_random` — every cell nonzero independently with probability
+  equal to the target density (the model behind the paper's statistical
+  bound, Section 3.4).
+* :func:`power_law` — Zipf-distributed row degrees with Zipf-weighted column
+  selection, matching social/web graph structure.
+* :func:`k_regular` — exactly ``k`` nonzeros per row and per column, built as
+  a union of ``k`` random permutation matrices.
+* :func:`banded` and :func:`block_diagonal` — structured families used by the
+  surrogate datasets (FEM meshes, circuits, power networks).
+
+All generators are deterministic given ``seed`` and return
+:class:`~repro.sparse.coo.CooMatrix` with values drawn uniformly from
+[value_lo, value_hi] excluding zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.sparse.coo import CooMatrix
+
+_VALUE_LO = 0.1
+_VALUE_HI = 1.0
+
+
+def _values(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Nonzero values bounded away from zero so dedup never drops entries."""
+    return rng.uniform(_VALUE_LO, _VALUE_HI, size=count)
+
+
+def uniform_random(
+    m: int, n: int, density: float, seed: int = 0
+) -> CooMatrix:
+    """Bernoulli-uniform sparse matrix: each cell is NZ with prob ``density``.
+
+    The expected nonzero count is ``m * n * density``; we sample the exact
+    count from the corresponding binomial so small matrices stay faithful to
+    the Bernoulli model without requiring an m*n materialization.
+    """
+    _check_shape(m, n)
+    if not 0.0 <= density <= 1.0:
+        raise DatasetError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    total = m * n
+    if total == 0 or density == 0.0:
+        return CooMatrix.empty((m, n))
+    nnz = int(rng.binomial(total, density))
+    if nnz == 0:
+        return CooMatrix.empty((m, n))
+    # Sample distinct flat positions.  For the densities used in the paper
+    # (<= 1e-1) rejection via unique-choice is cheap and exact.
+    flat = rng.choice(total, size=nnz, replace=False)
+    rows, cols = np.divmod(flat, n)
+    return CooMatrix.from_arrays(rows, cols, _values(rng, nnz), (m, n))
+
+
+def power_law(
+    m: int,
+    n: int,
+    density: float,
+    seed: int = 0,
+    exponent: float = 2.1,
+    hub_cap: float = 50.0,
+) -> CooMatrix:
+    """Power-law matrix: Zipf row degrees, Zipf-weighted column endpoints.
+
+    ``exponent`` is the Zipf tail exponent; 2.1 matches typical social
+    networks.  ``hub_cap`` bounds the expected degree of the heaviest hub at
+    that multiple of the mean degree (wiki-Vote's real hub sits at ~37x its
+    mean; 50 is a representative social-graph ceiling) so that scaled-down
+    surrogates keep realistic tails instead of one row swallowing the
+    matrix.  The realized nnz approximates ``m * n * density`` (duplicate
+    endpoints within a row are merged, as in a simple graph).
+    """
+    _check_shape(m, n)
+    if density <= 0.0:
+        return CooMatrix.empty((m, n))
+    if hub_cap <= 1.0:
+        raise DatasetError(f"hub_cap must exceed 1, got {hub_cap}")
+    rng = np.random.default_rng(seed)
+    target_nnz = max(1, int(round(m * n * density)))
+
+    row_weights = _zipf_weights(m, exponent, hub_cap, rng)
+    col_weights = _zipf_weights(n, exponent, hub_cap, rng)
+
+    # Oversample, then dedup: power-law sampling collides on hub cells.
+    oversample = int(target_nnz * 1.5) + 8
+    rows = rng.choice(m, size=oversample, p=row_weights)
+    cols = rng.choice(n, size=oversample, p=col_weights)
+    flat = rows.astype(np.int64) * n + cols
+    unique_flat = np.unique(flat)[: target_nnz]
+    rows, cols = np.divmod(unique_flat, n)
+    return CooMatrix.from_arrays(
+        rows, cols, _values(rng, rows.size), (m, n)
+    )
+
+
+def k_regular(m: int, n: int, k: int, seed: int = 0) -> CooMatrix:
+    """Exactly ``k`` nonzeros per row; columns balanced to ceil/floor of k*m/n.
+
+    For square matrices this is a true k-regular bipartite structure: the
+    union of ``k`` random permutation matrices, with duplicate cells repaired
+    by cyclic shifting so every permutation stays disjoint from the others.
+    For rectangular matrices each round assigns columns round-robin from a
+    fresh random permutation.
+    """
+    _check_shape(m, n)
+    if k < 0:
+        raise DatasetError(f"k must be non-negative, got {k}")
+    if k > n:
+        raise DatasetError(f"k={k} exceeds column count n={n}")
+    if k == 0 or m == 0:
+        return CooMatrix.empty((m, n))
+    rng = np.random.default_rng(seed)
+    taken: set[tuple[int, int]] = set()
+    rows_out: list[np.ndarray] = []
+    cols_out: list[np.ndarray] = []
+    for _ in range(k):
+        # Tile column permutations to length m (handles rectangular shapes).
+        reps = -(-m // n)  # ceil
+        cols_round = np.concatenate(
+            [rng.permutation(n) for _ in range(reps)]
+        )[:m]
+        # Repair duplicates against previous rounds by cyclic shift.
+        for i in range(m):
+            attempts = 0
+            while (i, int(cols_round[i])) in taken:
+                cols_round[i] = (cols_round[i] + 1) % n
+                attempts += 1
+                if attempts > n:
+                    raise DatasetError(
+                        "could not complete k-regular structure; k too close to n"
+                    )
+        for i in range(m):
+            taken.add((i, int(cols_round[i])))
+        rows_out.append(np.arange(m, dtype=np.int64))
+        cols_out.append(cols_round.astype(np.int64))
+    rows = np.concatenate(rows_out)
+    cols = np.concatenate(cols_out)
+    return CooMatrix.from_arrays(rows, cols, _values(rng, rows.size), (m, n))
+
+
+def banded(
+    m: int,
+    n: int,
+    bandwidth: int,
+    fill: float = 1.0,
+    seed: int = 0,
+) -> CooMatrix:
+    """Band matrix: nonzeros within ``bandwidth`` of the scaled diagonal.
+
+    ``fill`` is the probability that each in-band cell is nonzero; 1.0 gives
+    a full band (FEM-stencil-like structure).
+    """
+    _check_shape(m, n)
+    if bandwidth < 0:
+        raise DatasetError("bandwidth must be non-negative")
+    if not 0.0 <= fill <= 1.0:
+        raise DatasetError("fill must be in [0, 1]")
+    if m == 0 or n == 0:
+        return CooMatrix.empty((m, n))
+    rng = np.random.default_rng(seed)
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    scale = n / m if m else 1.0
+    for i in range(m):
+        center = int(i * scale)
+        lo = max(0, center - bandwidth)
+        hi = min(n, center + bandwidth + 1)
+        cols_i = np.arange(lo, hi, dtype=np.int64)
+        if fill < 1.0:
+            keep = rng.random(cols_i.size) < fill
+            # Always keep the diagonal cell when it exists so rows stay nonempty.
+            if lo <= center < hi:
+                keep[center - lo] = True
+            cols_i = cols_i[keep]
+        rows_list.append(np.full(cols_i.size, i, dtype=np.int64))
+        cols_list.append(cols_i)
+    rows = np.concatenate(rows_list) if rows_list else np.zeros(0, dtype=np.int64)
+    cols = np.concatenate(cols_list) if cols_list else np.zeros(0, dtype=np.int64)
+    return CooMatrix.from_arrays(rows, cols, _values(rng, rows.size), (m, n))
+
+
+def block_diagonal(
+    m: int,
+    n: int,
+    block: int,
+    block_density: float = 0.8,
+    seed: int = 0,
+) -> CooMatrix:
+    """Dense-ish blocks along the diagonal (power-network / TSOPF structure)."""
+    _check_shape(m, n)
+    if block <= 0:
+        raise DatasetError("block size must be positive")
+    if not 0.0 <= block_density <= 1.0:
+        raise DatasetError("block_density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    blocks = -(-m // block)
+    for b in range(blocks):
+        r0 = b * block
+        c0 = min(b * block, max(0, n - block))
+        r_hi = min(m, r0 + block)
+        c_hi = min(n, c0 + block)
+        height, width = r_hi - r0, c_hi - c0
+        if height <= 0 or width <= 0:
+            continue
+        mask = rng.random((height, width)) < block_density
+        r_local, c_local = np.nonzero(mask)
+        rows_list.append(r_local + r0)
+        cols_list.append(c_local + c0)
+    if not rows_list:
+        return CooMatrix.empty((m, n))
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return CooMatrix.from_arrays(rows, cols, _values(rng, rows.size), (m, n))
+
+
+def _check_shape(m: int, n: int) -> None:
+    if m < 0 or n < 0:
+        raise DatasetError(f"matrix dimensions must be non-negative, got {(m, n)}")
+
+
+def _zipf_weights(
+    count: int, exponent: float, hub_cap: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Shuffled, normalized Zipf weights with the head clipped at
+    ``hub_cap`` times the mean weight."""
+    weights = 1.0 / np.power(
+        np.arange(1, count + 1, dtype=np.float64), exponent - 1.0
+    )
+    rng.shuffle(weights)
+    weights /= weights.sum()
+    ceiling = hub_cap / count
+    for _ in range(4):  # clip/renormalize to convergence
+        clipped = np.minimum(weights, ceiling)
+        clipped /= clipped.sum()
+        if np.allclose(clipped, weights):
+            break
+        weights = clipped
+    return weights

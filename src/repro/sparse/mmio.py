@@ -1,0 +1,71 @@
+"""Minimal Matrix Market (coordinate, real, general) reader and writer.
+
+Lets users persist surrogate matrices and load real SuiteSparse downloads
+when they have them, without relying on scipy.io at the core layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.sparse.coo import CooMatrix
+
+_HEADER = "%%MatrixMarket matrix coordinate real general"
+
+
+def write_matrix_market(matrix: CooMatrix, path: str | Path) -> None:
+    """Write a matrix in MatrixMarket coordinate format (1-based indices)."""
+    path = Path(path)
+    m, n = matrix.shape
+    with path.open("w", encoding="ascii") as handle:
+        handle.write(_HEADER + "\n")
+        handle.write(f"{m} {n} {matrix.nnz}\n")
+        for r, c, v in zip(matrix.rows, matrix.cols, matrix.data):
+            handle.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")
+
+
+def read_matrix_market(path: str | Path) -> CooMatrix:
+    """Read a MatrixMarket coordinate file (real or pattern, general or
+    symmetric).  Symmetric storage is expanded to full."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        header = handle.readline().strip()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixFormatError(f"{path}: missing MatrixMarket header")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise MatrixFormatError(f"{path}: only coordinate format supported")
+        pattern = "pattern" in tokens
+        symmetric = "symmetric" in tokens
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        try:
+            m, n, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise MatrixFormatError(f"{path}: bad size line {line!r}") from exc
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        data = np.ones(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = handle.readline().split()
+            if len(parts) < 2:
+                raise MatrixFormatError(f"{path}: truncated at entry {k}")
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            if not pattern:
+                data[k] = float(parts[2])
+
+    if symmetric:
+        off_diag = rows != cols
+        mirrored_rows = cols[off_diag]
+        mirrored_cols = rows[off_diag]
+        rows = np.concatenate([rows, mirrored_rows])
+        cols = np.concatenate([cols, mirrored_cols])
+        data = np.concatenate([data, data[off_diag]])
+    return CooMatrix.from_arrays(rows, cols, data, (m, n))

@@ -1,0 +1,108 @@
+"""Sparsity statistics used by the scheduler, bound model, and experiments.
+
+The quantities here mirror Section 3.4/3.5 of the paper: per-row nonzero
+counts, per-column-*segment* nonzero counts within a row window (column
+segments are the columns folded modulo the accelerator length ``l``), and
+the standard deviations the load balancer tries to shrink.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+
+
+def require_positive_length(length: int) -> None:
+    """Validate an accelerator length parameter."""
+    if length <= 0:
+        raise HardwareConfigError(f"accelerator length must be positive, got {length}")
+
+
+def window_count(m: int, length: int) -> int:
+    """Number of row windows (ceil(m / l)); at least the paper's m/l."""
+    require_positive_length(length)
+    return -(-m // length) if m > 0 else 0
+
+
+def window_bounds(m: int, length: int) -> list[tuple[int, int]]:
+    """[start, stop) row ranges of every window."""
+    return [
+        (w * length, min(m, (w + 1) * length))
+        for w in range(window_count(m, length))
+    ]
+
+
+def row_degrees(matrix: CooMatrix) -> np.ndarray:
+    """Nonzeros per row (length m)."""
+    return matrix.row_counts()
+
+
+def colseg_degrees(matrix: CooMatrix, length: int) -> np.ndarray:
+    """Nonzeros per column segment, whole matrix (length l).
+
+    Column segment ``j`` aggregates columns j, j+l, j+2l, ... — the columns
+    that share the ``j``-th multiplier.
+    """
+    require_positive_length(length)
+    return np.bincount(matrix.cols % length, minlength=length)
+
+
+def window_color_lower_bound(matrix: CooMatrix, length: int) -> list[int]:
+    """Per-window max bipartite degree — the paper's Eq. (1) value of C.
+
+    For each window of ``l`` rows, the minimum schedulable buffer length is
+    the larger of (max nonzeros in any row of the window) and (max nonzeros
+    in any column segment of the window).
+    """
+    require_positive_length(length)
+    m, _ = matrix.shape
+    bounds = []
+    window_of_row = matrix.rows // length
+    for w in range(window_count(m, length)):
+        mask = window_of_row == w
+        if not mask.any():
+            bounds.append(0)
+            continue
+        rows_w = matrix.rows[mask] % length
+        cols_w = matrix.cols[mask] % length
+        max_row = int(np.bincount(rows_w, minlength=length).max())
+        max_col = int(np.bincount(cols_w, minlength=length).max())
+        bounds.append(max(max_row, max_col))
+    return bounds
+
+
+def window_degree_std(matrix: CooMatrix, length: int) -> tuple[float, float]:
+    """(row-degree STD, column-segment-degree STD) averaged over windows.
+
+    Section 3.5: "the smaller the standard deviation of #NZ in rows and
+    column segments within row sets, the smaller the execution time."
+    """
+    require_positive_length(length)
+    m, _ = matrix.shape
+    row_stds: list[float] = []
+    col_stds: list[float] = []
+    window_of_row = matrix.rows // length
+    for w in range(window_count(m, length)):
+        mask = window_of_row == w
+        rows_w = matrix.rows[mask] % length
+        cols_w = matrix.cols[mask] % length
+        rows_in_window = min(length, m - w * length)
+        row_counts = np.bincount(rows_w, minlength=rows_in_window)
+        col_counts = np.bincount(cols_w, minlength=length)
+        row_stds.append(float(np.std(row_counts)))
+        col_stds.append(float(np.std(col_counts)))
+    if not row_stds:
+        return 0.0, 0.0
+    return float(np.mean(row_stds)), float(np.mean(col_stds))
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (the paper's summary statistic)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

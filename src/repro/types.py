@@ -1,0 +1,91 @@
+"""Shared lightweight types used across the library.
+
+These are deliberately plain dataclasses: they carry measurement results
+between the simulators, the energy model, and the evaluation harness without
+imposing behaviour of their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Cycle-level outcome of running one SpMV on an accelerator.
+
+    Attributes:
+        cycles: total clock cycles, including pipeline fill/drain.
+        useful_ops: arithmetic operations performed on nonzero data
+            (a multiply and an accumulate each count as one operation).
+        total_units: number of arithmetic units in the design.
+        stalls: cycles in which at least one unit was stalled by a hazard
+            (collisions for naive GUST; always zero for edge-colored GUST).
+    """
+
+    cycles: int
+    useful_ops: int
+    total_units: int
+    stalls: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Hardware utilization per the paper's definition (Section 1).
+
+        Ratio of the average number of arithmetic units performing nonzero
+        operations per cycle to the total number of arithmetic units.
+        """
+        if self.cycles <= 0 or self.total_units <= 0:
+            return 0.0
+        return self.useful_ops / (self.total_units * self.cycles)
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one SpMV, in joules.
+
+    The components follow the paper's Section 4 model: dynamic power
+    integrated over the run, off-/on-chip reads and writes, arithmetic,
+    and wire data movement.
+    """
+
+    dynamic_j: float
+    memory_j: float
+    arithmetic_j: float
+    movement_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.memory_j + self.arithmetic_j + self.movement_j
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """A complete measurement for one (accelerator, matrix) pair."""
+
+    design: str
+    matrix: str
+    cycle_report: CycleReport
+    frequency_hz: float
+    energy: EnergyReport | None = None
+
+    @property
+    def seconds(self) -> float:
+        return self.cycle_report.cycles / self.frequency_hz
+
+    @property
+    def gflops(self) -> float:
+        """Throughput in GFLOP/s counting 2 flops per nonzero (mult+add)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return (self.cycle_report.useful_ops / self.seconds) / 1e9
+
+
+@dataclass
+class PreprocessReport:
+    """Wall-clock and output statistics for a scheduling/preprocessing run."""
+
+    seconds: float
+    windows: int = 0
+    total_colors: int = 0
+    notes: dict[str, float] = field(default_factory=dict)

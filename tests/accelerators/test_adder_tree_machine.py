@@ -1,0 +1,54 @@
+"""Cycle-accurate adder tree vs its analytic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import CooMatrix
+from repro.accelerators import AdderTree
+from repro.accelerators.adder_tree_machine import AdderTreeMachine
+from repro.errors import HardwareConfigError
+from tests.strategies import coo_matrices
+
+
+class TestAdderTreeMachine:
+    def test_output_matches_oracle(self, square_matrix, rng):
+        machine = AdderTreeMachine(16)
+        x = rng.normal(size=square_matrix.shape[1])
+        result = machine.run(square_matrix, x)
+        np.testing.assert_allclose(result.y, square_matrix.matvec(x))
+
+    def test_cycles_match_analytic_model(self, square_matrix):
+        machine = AdderTreeMachine(16)
+        analytic = AdderTree(16)
+        result = machine.run(square_matrix, np.zeros(square_matrix.shape[1]))
+        assert result.cycles == analytic.run(square_matrix).cycles
+
+    def test_occupancy_equals_density_with_padding(self, square_matrix):
+        machine = AdderTreeMachine(16)
+        result = machine.run(square_matrix, np.ones(square_matrix.shape[1]))
+        assert result.nonzero_multiplies == square_matrix.nnz
+        # 96 columns divide evenly into 16-wide chunks here.
+        assert result.occupancy == pytest.approx(square_matrix.density)
+
+    def test_empty(self):
+        result = AdderTreeMachine(8).run(CooMatrix.empty((4, 4)), np.ones(4))
+        assert result.cycles == 0
+
+    def test_rejects_length_one(self):
+        with pytest.raises(HardwareConfigError):
+            AdderTreeMachine(1)
+
+    def test_vector_mismatch(self, square_matrix):
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            AdderTreeMachine(8).run(square_matrix, np.zeros(3))
+
+    @given(matrix=coo_matrices(max_dim=20))
+    @settings(max_examples=15, deadline=None)
+    def test_machine_equals_analytic_everywhere(self, matrix):
+        machine = AdderTreeMachine(8)
+        analytic = AdderTree(8)
+        x = np.linspace(0.5, 1.5, matrix.shape[1])
+        result = machine.run(matrix, x)
+        np.testing.assert_allclose(result.y, matrix.matvec(x), atol=1e-12)
+        assert result.cycles == analytic.run(matrix).cycles

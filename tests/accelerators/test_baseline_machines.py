@@ -1,0 +1,104 @@
+"""Cycle-accurate baseline machines vs their analytic models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import CooMatrix, uniform_random
+from repro.accelerators import FlexTpu, Systolic1D
+from repro.accelerators.flex_tpu_machine import FlexTpuMachine
+from repro.accelerators.systolic_1d_machine import Systolic1DMachine
+from repro.errors import HardwareConfigError
+from tests.strategies import coo_matrices
+
+
+class TestSystolic1DMachine:
+    def test_output_matches_oracle(self, square_matrix, rng):
+        machine = Systolic1DMachine(32)
+        x = rng.normal(size=square_matrix.shape[1])
+        result = machine.run(square_matrix, x)
+        np.testing.assert_allclose(result.y, square_matrix.matvec(x))
+
+    def test_cycles_match_analytic_model(self, square_matrix):
+        machine = Systolic1DMachine(32)
+        analytic = Systolic1D(32)
+        result = machine.run(square_matrix, np.zeros(square_matrix.shape[1]))
+        assert result.cycles == analytic.run(square_matrix).cycles
+
+    def test_occupancy_equals_density(self, square_matrix):
+        machine = Systolic1DMachine(32)
+        result = machine.run(square_matrix, np.ones(square_matrix.shape[1]))
+        # Every cell of every window is a multiply slot; nonzero ones are
+        # exactly the matrix nonzeros.
+        assert result.nonzero_multiplies == square_matrix.nnz
+        assert result.occupancy == pytest.approx(square_matrix.density)
+
+    def test_empty(self):
+        result = Systolic1DMachine(8).run(CooMatrix.empty((4, 4)), np.ones(4))
+        assert result.cycles == 0
+
+    def test_vector_mismatch(self, square_matrix):
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            Systolic1DMachine(8).run(square_matrix, np.zeros(3))
+
+    @given(matrix=coo_matrices(max_dim=24))
+    @settings(max_examples=20, deadline=None)
+    def test_machine_equals_analytic_everywhere(self, matrix):
+        machine = Systolic1DMachine(8)
+        analytic = Systolic1D(8)
+        x = np.linspace(-1, 1, matrix.shape[1])
+        result = machine.run(matrix, x)
+        np.testing.assert_allclose(result.y, matrix.matvec(x), atol=1e-12)
+        assert result.cycles == analytic.run(matrix).cycles
+
+
+class TestFlexTpuMachine:
+    def test_output_matches_oracle(self, square_matrix, rng):
+        machine = FlexTpuMachine(8)
+        x = rng.normal(size=square_matrix.shape[1])
+        result = machine.run(square_matrix, x)
+        np.testing.assert_allclose(result.y, square_matrix.matvec(x))
+
+    def test_partitions_match_analytic_model(self, square_matrix):
+        machine = FlexTpuMachine(8)
+        analytic = FlexTpu(8)
+        result = machine.run(square_matrix, np.zeros(square_matrix.shape[1]))
+        assert result.cycles == analytic.run(square_matrix).cycles
+
+    def test_slot_accounting(self, square_matrix):
+        machine = FlexTpuMachine(8)
+        result = machine.run(square_matrix, np.ones(square_matrix.shape[1]))
+        nonempty_rows = int(np.unique(square_matrix.rows).size)
+        assert result.normal_pe_slots == square_matrix.nnz
+        assert result.separator_slots == nonempty_rows
+
+    def test_empty(self):
+        result = FlexTpuMachine(4).run(CooMatrix.empty((4, 4)), np.ones(4))
+        assert result.cycles == 0
+        assert result.partitions == 0
+
+    def test_row_wrapping_across_partitions(self, rng):
+        # One row with more nonzeros than a whole partition must still sum
+        # correctly via separator carry.
+        n = 40
+        matrix = CooMatrix.from_arrays(
+            np.zeros(n, dtype=np.int64),
+            np.arange(n),
+            rng.uniform(0.5, 1.5, size=n),
+            (1, n),
+        )
+        machine = FlexTpuMachine(4)  # 16 PEs per partition
+        x = rng.normal(size=n)
+        result = machine.run(matrix, x)
+        np.testing.assert_allclose(result.y, matrix.matvec(x))
+        assert result.partitions == -(-(n + 1) // 16)
+
+    @given(matrix=coo_matrices(max_dim=24))
+    @settings(max_examples=20, deadline=None)
+    def test_machine_equals_analytic_everywhere(self, matrix):
+        machine = FlexTpuMachine(4)
+        analytic = FlexTpu(4)
+        x = np.linspace(0.5, 1.5, matrix.shape[1])
+        result = machine.run(matrix, x)
+        np.testing.assert_allclose(result.y, matrix.matvec(x), atol=1e-12)
+        assert result.cycles == analytic.run(matrix).cycles

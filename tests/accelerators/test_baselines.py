@@ -1,0 +1,119 @@
+"""Tests for the baseline accelerator models (1D, AT, Flex-TPU, Fafnir)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import CooMatrix, uniform_random
+from repro.accelerators import AdderTree, Fafnir, FlexTpu, Systolic1D
+from repro.errors import HardwareConfigError
+from tests.strategies import coo_matrices
+
+ALL_BASELINES = [
+    lambda: Systolic1D(16),
+    lambda: AdderTree(16),
+    lambda: FlexTpu(4),
+    lambda: Fafnir(8),
+]
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_spmv_matches_oracle(self, factory, square_matrix, rng):
+        design = factory()
+        x = rng.normal(size=square_matrix.shape[1])
+        np.testing.assert_allclose(
+            design.spmv(square_matrix, x), square_matrix.matvec(x)
+        )
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_wrong_vector_length(self, factory, square_matrix):
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            factory().spmv(square_matrix, np.zeros(5))
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    @given(matrix=coo_matrices(max_dim=24))
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_matrices(self, factory, matrix):
+        design = factory()
+        x = np.linspace(0.5, 1.5, matrix.shape[1])
+        np.testing.assert_allclose(
+            design.spmv(matrix, x), matrix.matvec(x), atol=1e-12
+        )
+
+
+class TestSystolic1D:
+    def test_cycle_formula(self):
+        # Table 1: m*n/l + l + 1.
+        matrix = uniform_random(64, 48, 0.1, seed=1)
+        report = Systolic1D(16).run(matrix)
+        assert report.cycles == (64 // 16) * 48 + 16 + 1
+
+    def test_utilization_equals_density(self):
+        matrix = uniform_random(64, 64, 0.05, seed=2)
+        report = Systolic1D(16).run(matrix)
+        # nnz/(l * windows * n) == density, up to the +l+1 pipeline term
+        # (17 extra cycles on 256 here, ~6%).
+        assert report.utilization == pytest.approx(matrix.density, rel=0.10)
+
+    def test_empty(self):
+        assert Systolic1D(8).run(CooMatrix.empty((8, 8))).cycles == 0
+
+
+class TestAdderTree:
+    def test_cycle_formula(self):
+        matrix = uniform_random(32, 64, 0.1, seed=3)
+        report = AdderTree(16).run(matrix)
+        assert report.cycles == 32 * (64 // 16) + 4 + 1  # log2(16)=4
+
+    def test_units(self):
+        assert AdderTree(16).total_units == 31
+
+    def test_rejects_length_one(self):
+        with pytest.raises(HardwareConfigError):
+            AdderTree(1)
+
+
+class TestFlexTpu:
+    def test_with_units(self):
+        assert FlexTpu.with_units(256).grid == 16
+
+    def test_with_units_rejects_non_square(self):
+        with pytest.raises(HardwareConfigError, match="square"):
+            FlexTpu.with_units(200)
+
+    def test_partition_cycle_model(self):
+        # 10 nonzeros in 2 rows on a 4x4 grid: 12 slots fit one partition.
+        matrix = uniform_random(2, 16, 0.3125, seed=4)
+        report = FlexTpu(4).run(matrix)
+        slots = matrix.nnz + len(set(matrix.rows.tolist()))
+        partitions = -(-slots // 16)
+        assert report.cycles == partitions * 12  # 3 * grid per partition
+
+    def test_denser_matrix_needs_more_partitions(self):
+        sparse = uniform_random(32, 32, 0.05, seed=5)
+        dense = uniform_random(32, 32, 0.4, seed=5)
+        ftpu = FlexTpu(4)
+        assert ftpu.run(dense).cycles > ftpu.run(sparse).cycles
+
+
+class TestFafnir:
+    def test_length_must_be_power_of_two(self):
+        with pytest.raises(HardwareConfigError, match="power of two"):
+            Fafnir(12)
+
+    def test_adder_budget(self):
+        # Paper: length-128 Fafnir has 448 adders (l/2 per level).
+        assert Fafnir(128).adder_count == 448
+        assert Fafnir(128).total_units == 128 + 448
+
+    def test_cycles_bounded_by_rows_and_leaf_work(self):
+        matrix = uniform_random(64, 64, 0.1, seed=6)
+        fafnir = Fafnir(8)
+        report = fafnir.run(matrix)
+        leaf_work = np.bincount(matrix.cols % 8, minlength=8).max()
+        nonempty = len(set(matrix.rows.tolist()))
+        assert report.cycles == max(leaf_work, nonempty) + 3 + 1
+
+    def test_empty(self):
+        assert Fafnir(8).run(CooMatrix.empty((4, 4))).cycles == 0

@@ -1,0 +1,46 @@
+"""Tests for the GUST accelerator adapter."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import GustAccelerator
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "algorithm,load_balance,expected",
+        [
+            ("naive", False, "GUST-Naive"),
+            ("matching", False, "GUST-EC"),
+            ("matching", True, "GUST-EC/LB"),
+            ("euler", True, "GUST-OPT/LB"),
+        ],
+    )
+    def test_names(self, algorithm, load_balance, expected):
+        design = GustAccelerator(
+            16, algorithm=algorithm, load_balance=load_balance
+        )
+        assert design.name == expected
+
+
+class TestConsistency:
+    def test_run_matches_pipeline(self, square_matrix):
+        design = GustAccelerator(32)
+        report = design.run(square_matrix)
+        schedule, _, _ = design.pipeline.preprocess(square_matrix)
+        assert report.cycles == schedule.execution_cycles
+        assert design.last_preprocess is not None
+        assert design.last_preprocess.total_colors == schedule.total_colors
+
+    def test_spmv_matches_oracle(self, square_matrix, rng):
+        design = GustAccelerator(32)
+        x = rng.normal(size=square_matrix.shape[1])
+        np.testing.assert_allclose(
+            design.spmv(square_matrix, x), square_matrix.matvec(x)
+        )
+
+    def test_utilization_helper(self, square_matrix):
+        design = GustAccelerator(32)
+        assert design.utilization(square_matrix) == pytest.approx(
+            design.run(square_matrix).utilization
+        )

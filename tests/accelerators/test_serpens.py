@@ -1,0 +1,70 @@
+"""Tests for the Serpens channel/lane model."""
+
+import numpy as np
+import pytest
+
+from repro import CooMatrix, power_law, uniform_random
+from repro.accelerators import Serpens
+from repro.errors import HardwareConfigError
+
+
+class TestCycleModel:
+    def test_group_heaviest_row_drives_cost(self):
+        # One 8-row group; heaviest row has 5 nonzeros -> 5 * 2.2 cycles.
+        rows = np.array([0, 0, 0, 0, 0, 1, 2])
+        cols = np.arange(7)
+        matrix = CooMatrix.from_arrays(rows, cols, np.ones(7), (8, 7))
+        serpens = Serpens(channels=2, lanes=8, cycles_per_element=2.0,
+                          startup_cycles=0)
+        assert serpens.run(matrix).cycles == 10
+
+    def test_channel_imbalance_takes_max(self):
+        # Two groups on two channels: 3-heavy and 1-heavy rows.
+        rows = np.array([0, 0, 0, 8])
+        cols = np.array([0, 1, 2, 0])
+        matrix = CooMatrix.from_arrays(rows, cols, np.ones(4), (16, 4))
+        serpens = Serpens(channels=2, lanes=8, cycles_per_element=1.0,
+                          startup_cycles=0)
+        assert serpens.run(matrix).cycles == 3  # max(3, 1)
+
+    def test_power_law_hurts_more_than_uniform(self):
+        uniform = uniform_random(2048, 2048, 0.01, seed=1)
+        skewed = power_law(2048, 2048, 0.01, seed=1)
+        serpens = Serpens()
+        uniform_eff = uniform.nnz / serpens.run(uniform).cycles
+        skewed_eff = skewed.nnz / serpens.run(skewed).cycles
+        assert skewed_eff < uniform_eff
+
+    def test_empty(self):
+        assert Serpens().run(CooMatrix.empty((8, 8))).cycles == 0
+
+    def test_units(self):
+        assert Serpens(channels=24, lanes=8).total_units == 384
+
+
+class TestPreprocess:
+    def test_padding_accounted(self):
+        rows = np.array([0, 0, 0, 1])
+        cols = np.array([0, 1, 2, 0])
+        matrix = CooMatrix.from_arrays(rows, cols, np.ones(4), (8, 4))
+        serpens = Serpens(channels=2, lanes=8)
+        report = serpens.preprocess(matrix)
+        # 8 lanes each padded to the heaviest row (3) = 24 slots.
+        assert report.notes["padded_elements"] == 24.0
+        assert report.seconds >= 0.0
+
+    def test_spmv_matches_oracle(self, square_matrix, rng):
+        x = rng.normal(size=square_matrix.shape[1])
+        np.testing.assert_allclose(
+            Serpens().spmv(square_matrix, x), square_matrix.matvec(x)
+        )
+
+
+class TestValidation:
+    def test_bad_channels(self):
+        with pytest.raises(HardwareConfigError):
+            Serpens(channels=0)
+
+    def test_bad_rate(self):
+        with pytest.raises(HardwareConfigError):
+            Serpens(cycles_per_element=0.0)

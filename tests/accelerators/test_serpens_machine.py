@@ -1,0 +1,68 @@
+"""The Serpens group walker must agree with the analytic channel model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import CooMatrix, power_law, uniform_random
+from repro.accelerators import Serpens
+from repro.accelerators.serpens_machine import SerpensMachine
+from repro.errors import HardwareConfigError
+from tests.strategies import coo_matrices
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_cycles_match_analytic_model(self, seed):
+        matrix = uniform_random(512, 512, 0.02, seed=seed)
+        machine = SerpensMachine(channels=8, lanes=8)
+        analytic = Serpens(channels=8, lanes=8)
+        result = machine.run(matrix, np.ones(512))
+        assert result.cycles == analytic.run(matrix).cycles
+
+    def test_power_law_agreement(self):
+        matrix = power_law(1024, 1024, 0.005, seed=4)
+        machine = SerpensMachine()
+        analytic = Serpens()
+        result = machine.run(matrix, np.ones(1024))
+        assert result.cycles == analytic.run(matrix).cycles
+
+    @given(matrix=coo_matrices(max_dim=40))
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_everywhere(self, matrix):
+        machine = SerpensMachine(channels=3, lanes=4, startup_cycles=16)
+        analytic = Serpens(channels=3, lanes=4, startup_cycles=16)
+        x = np.linspace(0.5, 1.5, matrix.shape[1])
+        result = machine.run(matrix, x)
+        assert result.cycles == analytic.run(matrix).cycles
+        np.testing.assert_allclose(result.y, matrix.matvec(x), atol=1e-12)
+
+
+class TestLaneAccounting:
+    def test_idle_slots_measure_imbalance(self):
+        # One hub row forces 7 lanes idle for most of the group.
+        rows = np.concatenate([np.zeros(64, np.int64), np.array([1])])
+        cols = np.concatenate([np.arange(64), np.array([0])])
+        matrix = CooMatrix.from_arrays(rows, cols, np.ones(65), (8, 64))
+        result = SerpensMachine(channels=1, lanes=8).run(matrix, np.ones(64))
+        # Hub row: 64 elements; row 1: 1; six empty rows idle 64 each.
+        assert result.lane_idle_slots == (64 - 1) + 6 * 64
+        assert result.lane_efficiency < 0.2
+
+    def test_balanced_rows_fully_efficient(self):
+        # Every row identical: no intra-group waste.
+        n = 32
+        rows = np.repeat(np.arange(8), 4)
+        cols = np.concatenate([np.arange(4) + 4 * i for i in range(8)])
+        matrix = CooMatrix.from_arrays(rows, cols, np.ones(32), (8, n))
+        result = SerpensMachine(channels=1, lanes=8).run(matrix, np.ones(n))
+        assert result.lane_idle_slots == 0
+        assert result.lane_efficiency == 1.0
+
+    def test_empty(self):
+        result = SerpensMachine().run(CooMatrix.empty((8, 8)), np.ones(8))
+        assert result.cycles == 0
+
+    def test_bad_config(self):
+        with pytest.raises(HardwareConfigError):
+            SerpensMachine(lanes=0)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CooMatrix, uniform_random
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix() -> CooMatrix:
+    """A deterministic 40x60 sparse matrix with varied row loads."""
+    return uniform_random(40, 60, density=0.08, seed=7)
+
+
+@pytest.fixture
+def square_matrix() -> CooMatrix:
+    """A deterministic 96x96 matrix sized to cross window boundaries."""
+    return uniform_random(96, 96, density=0.06, seed=11)
+
+
+@pytest.fixture
+def figure5_matrix() -> CooMatrix:
+    """The paper's Figure 5 example: 6x9, 26 nonzeros."""
+    pattern = {
+        0: "ACDEH",
+        1: "ABFGH",
+        2: "BCDI",
+        3: "ACEI",
+        4: "CFGH",
+        5: "ABDH",
+    }
+    rows, cols = [], []
+    for row, letters in pattern.items():
+        for letter in letters:
+            rows.append(row)
+            cols.append(ord(letter) - ord("A"))
+    values = np.arange(1.0, len(rows) + 1.0)
+    return CooMatrix.from_arrays(np.array(rows), np.array(cols), values, (6, 9))

@@ -1,0 +1,85 @@
+"""Tests for the statistical bound formulas (Section 3.4)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    clt_applicable,
+    expected_colors,
+    expected_execution_cycles,
+    expected_utilization,
+)
+from repro.errors import HardwareConfigError
+
+
+class TestFormulas:
+    def test_expected_colors_value(self):
+        # Eq. 9: N p + sqrt(2 N p (1-p) ln(2l)) computed by hand.
+        n, p, length = 1000, 0.01, 64
+        sigma = math.sqrt(n * p * (1 - p))
+        expected = n * p + sigma * math.sqrt(2 * math.log(2 * length))
+        assert expected_colors(n, p, length) == pytest.approx(expected)
+
+    def test_expected_cycles_value(self):
+        n, p, length = 1024, 0.02, 128
+        expected = (n / length) * expected_colors(n, p, length) + 2
+        assert expected_execution_cycles(n, p, length) == pytest.approx(expected)
+
+    def test_utilization_closed_form(self):
+        n, p, length = 4096, 0.01, 256
+        denominator = 1 + math.sqrt(2 * (1 - p) * math.log(2 * length) / (n * p))
+        assert expected_utilization(n, p, length) == pytest.approx(
+            1 / denominator
+        )
+
+    def test_dense_limit(self):
+        # p -> 1 drives utilization to 1.
+        assert expected_utilization(1000, 1.0, 64) == pytest.approx(1.0)
+
+
+class TestMonotonicity:
+    def test_utilization_increases_with_density(self):
+        values = [
+            expected_utilization(4096, p, 256)
+            for p in (0.001, 0.01, 0.05, 0.2)
+        ]
+        assert values == sorted(values)
+
+    def test_utilization_increases_with_dimension(self):
+        values = [
+            expected_utilization(n, 0.01, 256) for n in (512, 2048, 8192)
+        ]
+        assert values == sorted(values)
+
+    def test_utilization_decreases_with_length(self):
+        values = [
+            expected_utilization(4096, 0.01, length)
+            for length in (32, 128, 512)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_colors_grow_with_density(self):
+        assert expected_colors(4096, 0.02, 256) > expected_colors(
+            4096, 0.01, 256
+        )
+
+
+class TestApplicability:
+    def test_clt_condition(self):
+        # N > 9 (1-p)/p
+        assert clt_applicable(1000, 0.01)  # 9 * 99 = 891 < 1000
+        assert not clt_applicable(800, 0.01)
+        assert not clt_applicable(100, 0.0)
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        with pytest.raises(HardwareConfigError):
+            expected_colors(0, 0.1, 8)
+        with pytest.raises(HardwareConfigError):
+            expected_colors(10, 0.0, 8)
+        with pytest.raises(HardwareConfigError):
+            expected_colors(10, 1.5, 8)
+        with pytest.raises(HardwareConfigError):
+            expected_execution_cycles(10, 0.1, 0)

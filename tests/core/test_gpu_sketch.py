@@ -1,0 +1,46 @@
+"""Tests for the GPU-analogue cost model (paper Section 7)."""
+
+import pytest
+
+from repro import uniform_random
+from repro.core.gpu_sketch import GpuGustSketch
+from repro.errors import HardwareConfigError
+
+
+class TestCostModel:
+    def test_spmv_is_memory_bound(self):
+        """The paper's caveat: GPU SpMV sits under the bandwidth roof."""
+        matrix = uniform_random(4096, 4096, 0.002, seed=1)
+        report = GpuGustSketch().estimate(matrix)
+        assert report.memory_bound
+        assert report.seconds == report.memory_seconds
+
+    def test_tiny_bandwidth_flips_to_memory_side_harder(self):
+        matrix = uniform_random(1024, 1024, 0.01, seed=2)
+        fast_memory = GpuGustSketch(memory_bandwidth_gbps=2000.0).estimate(matrix)
+        slow_memory = GpuGustSketch(memory_bandwidth_gbps=50.0).estimate(matrix)
+        assert slow_memory.memory_seconds > fast_memory.memory_seconds
+        assert slow_memory.seconds >= fast_memory.seconds
+
+    def test_more_blocks_reduce_compute_time(self):
+        matrix = uniform_random(2048, 2048, 0.01, seed=3)
+        few = GpuGustSketch(blocks=4).estimate(matrix)
+        many = GpuGustSketch(blocks=256).estimate(matrix)
+        assert many.compute_seconds < few.compute_seconds
+        # The bandwidth roof is block-count independent.
+        assert many.memory_seconds == few.memory_seconds
+
+    def test_empty_matrix(self):
+        from repro import CooMatrix
+
+        report = GpuGustSketch().estimate(CooMatrix.empty((8, 8)))
+        assert report.compute_seconds == 0.0
+        assert report.seconds >= 0.0
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(HardwareConfigError):
+            GpuGustSketch(blocks=0)
+        with pytest.raises(HardwareConfigError):
+            GpuGustSketch(memory_bandwidth_gbps=-1.0)

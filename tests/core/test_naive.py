@@ -1,0 +1,104 @@
+"""Tests for the naive stall-and-serialize scheduling policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import GustScheduler, uniform_random
+from repro.core.naive import naive_coloring, naive_stalls
+from repro.graph.bipartite import WindowGraph
+from repro.graph.properties import validate_coloring
+from tests.strategies import window_graphs
+
+
+def _graph(rows, segs, length):
+    rows = np.asarray(rows, dtype=np.int64)
+    segs = np.asarray(segs, dtype=np.int64)
+    return WindowGraph(
+        length=length,
+        local_rows=rows,
+        colsegs=segs,
+        cols=segs.copy(),
+        values=np.ones(rows.size),
+    )
+
+
+class TestSemantics:
+    def test_collision_free_heads_share_a_cycle(self):
+        # Two lanes, different rows: both issue at cycle 0.
+        graph = _graph([0, 1], [0, 1], length=2)
+        assert naive_coloring(graph).tolist() == [0, 0]
+
+    def test_colliding_heads_serialize(self):
+        # Two lanes, same destination row: the whole position serializes.
+        graph = _graph([0, 0], [0, 1], length=2)
+        colors = sorted(naive_coloring(graph).tolist())
+        assert colors == [0, 1]
+
+    def test_mixed_position_costs_free_plus_collided(self):
+        # Three lanes: lanes 0,1 collide on row 0; lane 2 is free.
+        # Cycle 0: free head issues; cycles 1,2: serialized replays.
+        graph = _graph([0, 0, 1], [0, 1, 2], length=3)
+        colors = naive_coloring(graph)
+        assert colors[2] == 0  # the free head
+        assert sorted(colors[:2].tolist()) == [1, 2]
+
+    def test_lockstep_blocks_lane_progress(self):
+        # Lane 0 holds two elements; lane 1 holds one colliding with the
+        # first.  Lane 0's second element cannot issue before the first
+        # buffer position fully drains.
+        graph = _graph([0, 1, 0], [0, 0, 1], length=2)
+        colors = naive_coloring(graph)
+        # Position 0 of lanes {0,1} collide (rows 0 and... rows differ) —
+        # construct explicitly instead: lane0=[r0], lane1=[r0, r1].
+        graph = _graph([0, 0, 1], [0, 1, 1], length=2)
+        colors = naive_coloring(graph)
+        first_position = sorted([colors[0], colors[1]])
+        assert first_position == [0, 1]  # serialized
+        assert colors[2] > max(first_position)  # lane 1 advances only after
+
+    def test_empty(self):
+        graph = _graph([], [], length=4)
+        assert naive_coloring(graph).size == 0
+        assert naive_stalls(graph, np.zeros(0, dtype=np.int64)) == 0
+
+
+class TestProperties:
+    @given(graph=window_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_always_proper(self, graph):
+        colors = naive_coloring(graph)
+        validate_coloring(graph, colors)
+
+    @given(graph=window_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_never_beats_the_degree_bound(self, graph):
+        colors = naive_coloring(graph)
+        if graph.edge_count:
+            assert int(colors.max()) + 1 >= graph.max_degree()
+
+    @given(graph=window_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_stalls_non_negative(self, graph):
+        colors = naive_coloring(graph)
+        assert naive_stalls(graph, colors) >= 0
+
+
+class TestVersusEdgeColoring:
+    def test_naive_much_worse_on_dense_uniform(self):
+        matrix = uniform_random(256, 256, 0.1, seed=5)
+        naive = GustScheduler(64, algorithm="naive").schedule(matrix)
+        colored = GustScheduler(64, algorithm="matching").schedule(matrix)
+        assert naive.execution_cycles > 5 * colored.execution_cycles
+
+    def test_naive_equals_ec_when_no_collisions(self):
+        # A diagonal matrix never collides: both policies are optimal.
+        from repro import CooMatrix
+
+        n = 16
+        matrix = CooMatrix.from_arrays(
+            np.arange(n), np.arange(n), np.ones(n), (n, n)
+        )
+        naive = GustScheduler(16, algorithm="naive").schedule(matrix)
+        colored = GustScheduler(16, algorithm="matching").schedule(matrix)
+        assert naive.execution_cycles == colored.execution_cycles == 3

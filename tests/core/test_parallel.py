@@ -1,0 +1,66 @@
+"""Tests for the parallel GUST arrangement (Section 5.5)."""
+
+import pytest
+
+from repro import ParallelGust, uniform_random
+from repro.core.schedule import PIPELINE_FILL_CYCLES
+from repro.errors import HardwareConfigError
+
+
+class TestAssignment:
+    def test_round_robin_distribution(self, square_matrix):
+        parallel = ParallelGust(32, units=3)
+        report = parallel.run(square_matrix)
+        assert len(report.unit_cycles) == 3
+        colors = report.schedule.window_colors
+        expected = [0, 0, 0]
+        for index, c in enumerate(colors):
+            expected[index % 3] += c
+        assert list(report.unit_cycles) == expected
+
+    def test_lpt_no_worse_than_round_robin(self):
+        matrix = uniform_random(256, 256, 0.05, seed=8)
+        round_robin = ParallelGust(32, units=4, assignment="round_robin")
+        lpt = ParallelGust(32, units=4, assignment="lpt")
+        assert lpt.run(matrix).cycles <= round_robin.run(matrix).cycles
+
+    def test_cycles_is_max_plus_fill(self, square_matrix):
+        parallel = ParallelGust(32, units=2)
+        report = parallel.run(square_matrix)
+        assert report.cycles == max(report.unit_cycles) + PIPELINE_FILL_CYCLES
+
+    def test_single_unit_equals_pipeline(self, square_matrix):
+        parallel = ParallelGust(32, units=1)
+        report = parallel.run(square_matrix)
+        schedule, _, _ = parallel.pipeline.preprocess(square_matrix)
+        assert report.cycles == schedule.execution_cycles
+
+
+class TestMetrics:
+    def test_imbalance_at_least_one(self, square_matrix):
+        parallel = ParallelGust(32, units=4)
+        report = parallel.run(square_matrix)
+        assert report.imbalance >= 1.0
+
+    def test_cycle_report_units(self, square_matrix):
+        parallel = ParallelGust(32, units=4)
+        report = parallel.cycle_report(parallel.run(square_matrix))
+        assert report.total_units == 2 * 32 * 4
+        assert report.useful_ops == 2 * square_matrix.nnz
+
+    def test_more_units_never_slower(self, square_matrix):
+        cycles = [
+            ParallelGust(32, units=k).run(square_matrix).cycles
+            for k in (1, 2, 4)
+        ]
+        assert cycles[0] >= cycles[-1] * 0.5  # sanity: same order of magnitude
+
+
+class TestValidation:
+    def test_bad_units(self):
+        with pytest.raises(HardwareConfigError, match="units"):
+            ParallelGust(32, units=0)
+
+    def test_bad_assignment(self):
+        with pytest.raises(HardwareConfigError, match="assignment"):
+            ParallelGust(32, units=2, assignment="psychic")

@@ -1,0 +1,117 @@
+"""Tests for the end-to-end GUST pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import CooMatrix, GustPipeline, uniform_random
+from repro.errors import HardwareConfigError
+from tests.strategies import coo_matrices
+
+CONFIGS = [
+    ("matching", False),
+    ("matching", True),
+    ("first_fit", True),
+    ("euler", False),
+    ("naive", False),
+]
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("algorithm,load_balance", CONFIGS)
+    def test_matches_oracle(self, square_matrix, rng, algorithm, load_balance):
+        pipeline = GustPipeline(
+            32, algorithm=algorithm, load_balance=load_balance, validate=True
+        )
+        x = rng.normal(size=square_matrix.shape[1])
+        result = pipeline.spmv(square_matrix, x)
+        np.testing.assert_allclose(result.y, square_matrix.matvec(x))
+
+    def test_fast_replay_equals_machine(self, square_matrix, rng):
+        pipeline = GustPipeline(32, validate=True)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        fast = pipeline.execute(schedule, balanced, x)
+        slow, _ = pipeline.execute_cycle_accurate(schedule, balanced, x)
+        np.testing.assert_allclose(fast, slow)
+
+    def test_schedule_reused_across_vectors(self, square_matrix, rng):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        for _ in range(3):
+            x = rng.normal(size=square_matrix.shape[1])
+            np.testing.assert_allclose(
+                pipeline.execute(schedule, balanced, x),
+                square_matrix.matvec(x),
+            )
+
+    def test_wrong_vector_length(self, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            pipeline.execute(schedule, balanced, np.zeros(7))
+
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_matrices(self, matrix):
+        pipeline = GustPipeline(8, validate=True)
+        x = np.linspace(-1.0, 1.0, matrix.shape[1])
+        result = pipeline.spmv(matrix, x)
+        np.testing.assert_allclose(
+            result.y, matrix.matvec(x), atol=1e-12
+        )
+
+
+class TestReports:
+    def test_preprocess_stats_equals_full_preprocess(self, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, _, _ = pipeline.preprocess(square_matrix)
+        stats_report, preprocess = pipeline.preprocess_stats(square_matrix)
+        assert stats_report.cycles == schedule.execution_cycles
+        assert preprocess.total_colors == schedule.total_colors
+        assert preprocess.windows == schedule.window_count
+
+    def test_cycle_report_fields(self, square_matrix):
+        pipeline = GustPipeline(32)
+        result = pipeline.spmv(
+            square_matrix, np.zeros(square_matrix.shape[1])
+        )
+        report = result.cycle_report
+        assert report.useful_ops == 2 * square_matrix.nnz
+        assert report.total_units == 64
+        assert 0 < report.utilization <= 1
+
+    def test_naive_reports_stalls(self, square_matrix):
+        pipeline = GustPipeline(32, algorithm="naive")
+        report, preprocess = pipeline.preprocess_stats(square_matrix)
+        assert report.stalls > 0
+        assert preprocess.notes["stalls"] == report.stalls
+
+    def test_load_balance_disabled_for_naive(self):
+        pipeline = GustPipeline(32, algorithm="naive", load_balance=True)
+        assert pipeline.load_balance is False
+
+    def test_empty_matrix_report(self):
+        pipeline = GustPipeline(8)
+        report, _ = pipeline.preprocess_stats(CooMatrix.empty((4, 4)))
+        assert report.cycles == 0
+        assert report.utilization == 0.0
+
+
+class TestUtilizationOrdering:
+    def test_load_balancing_helps_skewed_matrices(self):
+        from repro import power_law
+
+        matrix = power_law(512, 512, 0.02, seed=4)
+        with_lb = GustPipeline(64, load_balance=True)
+        without_lb = GustPipeline(64, load_balance=False)
+        cycles_lb, _ = with_lb.preprocess_stats(matrix)
+        cycles_plain, _ = without_lb.preprocess_stats(matrix)
+        assert cycles_lb.cycles < cycles_plain.cycles
+
+    def test_ec_beats_naive(self, square_matrix):
+        colored, _ = GustPipeline(32).preprocess_stats(square_matrix)
+        naive, _ = GustPipeline(32, algorithm="naive").preprocess_stats(
+            square_matrix
+        )
+        assert colored.cycles < naive.cycles

@@ -1,0 +1,127 @@
+"""Tests for the Schedule container and its validation."""
+
+import numpy as np
+import pytest
+
+from repro import GustScheduler, uniform_random
+from repro.core.schedule import EMPTY, PIPELINE_FILL_CYCLES, Schedule
+from repro.errors import ScheduleError
+
+
+@pytest.fixture
+def schedule(square_matrix):
+    return GustScheduler(32, validate=True).schedule(square_matrix)
+
+
+class TestSizes:
+    def test_totals(self, schedule, square_matrix):
+        assert schedule.total_colors == sum(schedule.window_colors)
+        assert schedule.nnz == square_matrix.nnz
+        assert schedule.window_count == 3
+        assert (
+            schedule.execution_cycles
+            == schedule.total_colors + PIPELINE_FILL_CYCLES
+        )
+
+    def test_empty_schedule(self):
+        from repro import CooMatrix
+
+        empty = GustScheduler(8).schedule(CooMatrix.empty((4, 4)))
+        assert empty.execution_cycles == 0
+        assert empty.utilization == 0.0
+
+    def test_utilization_formula(self, schedule):
+        expected = schedule.nnz / (schedule.length * schedule.execution_cycles)
+        assert schedule.utilization == pytest.approx(expected)
+
+    def test_occupancy_bounds(self, schedule):
+        assert 0 < schedule.occupancy <= 1
+
+    def test_window_offsets(self, schedule):
+        offsets = schedule.window_offsets()
+        assert offsets[0] == 0
+        np.testing.assert_array_equal(
+            np.diff(offsets), np.asarray(schedule.window_colors[:-1])
+        )
+
+    def test_window_of_timestep(self, schedule):
+        owners = schedule.window_of_timestep()
+        assert owners.shape == (schedule.total_colors,)
+        counts = np.bincount(owners, minlength=schedule.window_count)
+        assert counts.tolist() == list(schedule.window_colors)
+
+
+class TestValidation:
+    def _clone(self, schedule, **overrides):
+        fields = {
+            "length": schedule.length,
+            "shape": schedule.shape,
+            "m_sch": schedule.m_sch.copy(),
+            "row_sch": schedule.row_sch.copy(),
+            "col_sch": schedule.col_sch.copy(),
+            "window_colors": schedule.window_colors,
+        }
+        fields.update(overrides)
+        return Schedule(**fields)
+
+    def test_valid_passes(self, schedule):
+        schedule.validate()
+
+    def test_shape_mismatch(self, schedule):
+        bad = self._clone(schedule, m_sch=schedule.m_sch[:-1].copy())
+        with pytest.raises(ScheduleError, match="shape"):
+            bad.validate()
+
+    def test_window_colors_mismatch(self, schedule):
+        bad = self._clone(
+            schedule,
+            window_colors=schedule.window_colors[:-1]
+            + (schedule.window_colors[-1] + 1,),
+        )
+        with pytest.raises(ScheduleError, match="window_colors"):
+            bad.validate()
+
+    def test_occupancy_disagreement(self, schedule):
+        row_sch = schedule.row_sch.copy()
+        step, lane = np.argwhere(row_sch != EMPTY)[0]
+        col_sch = schedule.col_sch.copy()
+        col_sch[step, lane] = EMPTY
+        bad = self._clone(schedule, col_sch=col_sch)
+        with pytest.raises(ScheduleError, match="disagree"):
+            bad.validate()
+
+    def test_value_in_empty_slot(self, schedule):
+        m_sch = schedule.m_sch.copy()
+        step, lane = np.argwhere(schedule.row_sch == EMPTY)[0]
+        m_sch[step, lane] = 1.0
+        bad = self._clone(schedule, m_sch=m_sch)
+        with pytest.raises(ScheduleError, match="empty slot"):
+            bad.validate()
+
+    def test_collision_detected(self, schedule):
+        row_sch = schedule.row_sch.copy()
+        # Find a timestep with two occupied lanes and alias their adders.
+        for step in range(schedule.total_colors):
+            lanes = np.nonzero(row_sch[step] != EMPTY)[0]
+            if lanes.size >= 2:
+                row_sch[step, lanes[1]] = row_sch[step, lanes[0]]
+                break
+        bad = self._clone(schedule, row_sch=row_sch)
+        with pytest.raises(ScheduleError, match="collision"):
+            bad.validate()
+
+    def test_destination_out_of_range(self, schedule):
+        row_sch = schedule.row_sch.copy()
+        step, lane = np.argwhere(row_sch != EMPTY)[0]
+        row_sch[step, lane] = schedule.length + 5
+        bad = self._clone(schedule, row_sch=row_sch)
+        with pytest.raises(ScheduleError, match="out of range"):
+            bad.validate()
+
+    def test_column_out_of_range(self, schedule):
+        col_sch = schedule.col_sch.copy()
+        step, lane = np.argwhere(col_sch != EMPTY)[0]
+        col_sch[step, lane] = schedule.shape[1] + 7
+        bad = self._clone(schedule, col_sch=col_sch)
+        with pytest.raises(ScheduleError, match="out of range"):
+            bad.validate()

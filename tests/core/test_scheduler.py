@@ -1,0 +1,109 @@
+"""Tests for the GUST scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import CooMatrix, GustScheduler, LoadBalancer, uniform_random
+from repro.core.load_balance import identity_balance
+from repro.errors import ColoringError
+from tests.strategies import coo_matrices
+
+ALGORITHMS = ("matching", "first_fit", "euler", "naive")
+
+
+class TestScheduling:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_nonzeros_scheduled(self, square_matrix, algorithm):
+        scheduler = GustScheduler(32, algorithm=algorithm, validate=True)
+        schedule = scheduler.schedule(square_matrix)
+        assert schedule.nnz == square_matrix.nnz
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_schedule_content_matches_matrix(self, small_matrix, algorithm):
+        scheduler = GustScheduler(16, algorithm=algorithm, validate=True)
+        schedule = scheduler.schedule(small_matrix)
+        from repro.core.schedule import EMPTY
+
+        occupied = schedule.row_sch != EMPTY
+        steps, lanes = np.nonzero(occupied)
+        owners = schedule.window_of_timestep()
+        rows = owners[steps] * 16 + schedule.row_sch[steps, lanes]
+        cols = schedule.col_sch[steps, lanes]
+        values = schedule.m_sch[steps, lanes]
+        rebuilt = CooMatrix.from_arrays(rows, cols, values, small_matrix.shape)
+        assert rebuilt == small_matrix
+
+    def test_color_counts_matches_schedule(self, square_matrix):
+        scheduler = GustScheduler(32)
+        balanced = identity_balance(square_matrix, 32)
+        counts = scheduler.color_counts(balanced)
+        schedule = scheduler.schedule_balanced(balanced)
+        assert tuple(counts) == schedule.window_colors
+
+    def test_balanced_scheduling_valid(self, square_matrix):
+        balanced = LoadBalancer(32).balance(square_matrix)
+        schedule = GustScheduler(32, validate=True).schedule_balanced(balanced)
+        assert schedule.nnz == square_matrix.nnz
+
+    def test_length_larger_than_matrix(self, small_matrix):
+        scheduler = GustScheduler(128, validate=True)
+        schedule = scheduler.schedule(small_matrix)
+        assert schedule.window_count == 1
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ColoringError, match="unknown"):
+            GustScheduler(8, algorithm="psychic")
+
+    def test_stalls_only_for_naive(self, square_matrix):
+        naive = GustScheduler(32, algorithm="naive")
+        naive.schedule(square_matrix)
+        assert naive.last_stalls > 0
+        colored = GustScheduler(32, algorithm="matching")
+        colored.schedule(square_matrix)
+        assert colored.last_stalls == 0
+
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=30, deadline=None)
+    def test_any_matrix_schedules_validly(self, matrix):
+        scheduler = GustScheduler(8, validate=True)
+        schedule = scheduler.schedule(matrix)
+        assert schedule.nnz == matrix.nnz
+
+
+class TestValueReuse:
+    def test_reschedule_values(self, square_matrix, rng):
+        scheduler = GustScheduler(32, validate=True)
+        balanced = identity_balance(square_matrix, 32)
+        schedule = scheduler.schedule_balanced(balanced)
+
+        new_values = rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        updated_matrix = square_matrix.with_data(new_values)
+        updated = scheduler.reschedule_values(
+            schedule, identity_balance(updated_matrix, 32)
+        )
+        # Same structure, new values, still numerically exact.
+        assert updated.window_colors == schedule.window_colors
+        np.testing.assert_array_equal(updated.row_sch, schedule.row_sch)
+        x = rng.normal(size=square_matrix.shape[1])
+        from repro import GustPipeline
+
+        pipeline = GustPipeline(32, load_balance=False)
+        y = pipeline.execute(updated, identity_balance(updated_matrix, 32), x)
+        np.testing.assert_allclose(y, updated_matrix.matvec(x))
+
+    def test_reschedule_rejects_pattern_change(self, square_matrix):
+        scheduler = GustScheduler(32)
+        balanced = identity_balance(square_matrix, 32)
+        schedule = scheduler.schedule_balanced(balanced)
+        # Drop one entry: the pattern no longer matches the schedule.
+        smaller = CooMatrix.from_arrays(
+            square_matrix.rows[1:],
+            square_matrix.cols[1:],
+            square_matrix.data[1:],
+            square_matrix.shape,
+        )
+        with pytest.raises(ColoringError, match="pattern"):
+            scheduler.reschedule_values(
+                schedule, identity_balance(smaller, 32)
+            )

@@ -1,0 +1,69 @@
+"""Tests for schedule persistence."""
+
+import numpy as np
+import pytest
+
+from repro import GustPipeline, load_schedule, save_schedule
+from repro.errors import ScheduleError
+
+
+class TestRoundtrip:
+    def test_save_load_execute(self, square_matrix, rng, tmp_path):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        path = tmp_path / "schedule.npz"
+        save_schedule(path, schedule, balanced)
+
+        loaded_schedule, loaded_balanced = load_schedule(path)
+        assert loaded_schedule.window_colors == schedule.window_colors
+        assert loaded_schedule.shape == schedule.shape
+        x = rng.normal(size=square_matrix.shape[1])
+        y = pipeline.execute(loaded_schedule, loaded_balanced, x)
+        np.testing.assert_allclose(y, square_matrix.matvec(x))
+
+    def test_roundtrip_without_load_balancing(self, small_matrix, rng, tmp_path):
+        pipeline = GustPipeline(16, load_balance=False)
+        schedule, balanced, _ = pipeline.preprocess(small_matrix)
+        path = tmp_path / "plain.npz"
+        save_schedule(path, schedule, balanced)
+        loaded_schedule, loaded_balanced = load_schedule(path)
+        x = rng.normal(size=small_matrix.shape[1])
+        np.testing.assert_allclose(
+            pipeline.execute(loaded_schedule, loaded_balanced, x),
+            small_matrix.matvec(x),
+        )
+
+
+class TestTamperResistance:
+    def test_corrupted_schedule_rejected(self, square_matrix, tmp_path):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        path = tmp_path / "schedule.npz"
+        save_schedule(path, schedule, balanced)
+
+        # Rewrite the archive with an aliased adder destination.
+        with np.load(path) as archive:
+            arrays = {name: archive[name].copy() for name in archive.files}
+        row_sch = arrays["row_sch"]
+        from repro.core.schedule import EMPTY
+
+        for step in range(row_sch.shape[0]):
+            lanes = np.nonzero(row_sch[step] != EMPTY)[0]
+            if lanes.size >= 2:
+                row_sch[step, lanes[1]] = row_sch[step, lanes[0]]
+                break
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ScheduleError, match="collision"):
+            load_schedule(path)
+
+    def test_wrong_version_rejected(self, square_matrix, tmp_path):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        path = tmp_path / "schedule.npz"
+        save_schedule(path, schedule, balanced)
+        with np.load(path) as archive:
+            arrays = {name: archive[name].copy() for name in archive.files}
+        arrays["version"] = np.array([999], dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ScheduleError, match="version"):
+            load_schedule(path)

@@ -1,0 +1,65 @@
+"""Tests for the SpMM extension."""
+
+import numpy as np
+import pytest
+
+from repro import GustSpmm, uniform_random
+from repro.errors import HardwareConfigError
+
+
+class TestCorrectness:
+    def test_matches_dense_product(self, square_matrix, rng):
+        dense = rng.normal(size=(square_matrix.shape[1], 5))
+        result = GustSpmm(32).spmm(square_matrix, dense)
+        expected = np.column_stack(
+            [square_matrix.matvec(dense[:, j]) for j in range(5)]
+        )
+        np.testing.assert_allclose(result.y, expected)
+
+    def test_single_column_equals_spmv(self, square_matrix, rng):
+        x = rng.normal(size=square_matrix.shape[1])
+        result = GustSpmm(32).spmm(square_matrix, x[:, None])
+        np.testing.assert_allclose(result.y[:, 0], square_matrix.matvec(x))
+
+    def test_schedule_shared_across_columns(self, square_matrix, rng):
+        engine = GustSpmm(32)
+        schedule, balanced = engine.preprocess(square_matrix)
+        first = engine.multiply(
+            schedule, balanced, rng.normal(size=(square_matrix.shape[1], 3))
+        )
+        second = engine.multiply(
+            schedule, balanced, rng.normal(size=(square_matrix.shape[1], 4))
+        )
+        assert first.schedule is second.schedule
+
+    def test_wrong_operand_shape(self, square_matrix):
+        engine = GustSpmm(32)
+        schedule, balanced = engine.preprocess(square_matrix)
+        with pytest.raises(HardwareConfigError, match="dense operand"):
+            engine.multiply(schedule, balanced, np.zeros((3, 3)))
+
+
+class TestCycleModel:
+    def test_cycles_scale_with_columns(self, square_matrix):
+        engine = GustSpmm(32)
+        schedule, _ = engine.preprocess(square_matrix)
+        one = engine.cycle_report(schedule, 1).cycles
+        eight = engine.cycle_report(schedule, 8).cycles
+        assert eight == pytest.approx(8 * schedule.total_colors + 2)
+        assert one < eight
+
+    def test_replicas_divide_columns(self, square_matrix):
+        schedule, _ = GustSpmm(32).preprocess(square_matrix)
+        single = GustSpmm(32, replicas=1).cycle_report(schedule, 8)
+        quad = GustSpmm(32, replicas=4).cycle_report(schedule, 8)
+        assert quad.cycles < single.cycles
+        assert quad.total_units == 4 * single.total_units
+        assert quad.useful_ops == single.useful_ops
+
+    def test_zero_columns(self, square_matrix):
+        schedule, _ = GustSpmm(32).preprocess(square_matrix)
+        assert GustSpmm(32).cycle_report(schedule, 0).cycles == 0
+
+    def test_bad_replicas(self):
+        with pytest.raises(HardwareConfigError, match="replicas"):
+            GustSpmm(32, replicas=0)

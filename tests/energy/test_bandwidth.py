@@ -1,0 +1,55 @@
+"""Tests for bandwidth requirement and utilization."""
+
+import pytest
+
+from repro import CooMatrix, GustPipeline, uniform_random
+from repro.energy.bandwidth import (
+    average_bandwidth_1d_gbps,
+    average_bandwidth_gbps,
+    required_bandwidth_gbps,
+)
+from repro.errors import HardwareConfigError
+
+
+class TestRequired:
+    def test_paper_values(self):
+        # Section 4: 224 GB/s needed for length 256 at 96 MHz (we compute
+        # 221 with decimal GB; the paper rounds).
+        assert required_bandwidth_gbps(256, 96e6) == pytest.approx(221.2, abs=0.5)
+        assert required_bandwidth_gbps(87, 96e6) == pytest.approx(74.1, abs=0.5)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(HardwareConfigError):
+            required_bandwidth_gbps(8, 0.0)
+
+
+class TestAverage:
+    def test_average_below_max(self):
+        matrix = uniform_random(256, 256, 0.02, seed=1)
+        schedule, _, _ = GustPipeline(64).preprocess(matrix)
+        average = average_bandwidth_gbps(schedule, 96e6)
+        assert 0 < average < required_bandwidth_gbps(64, 96e6)
+
+    def test_denser_schedule_higher_average(self):
+        sparse = uniform_random(256, 256, 0.005, seed=2)
+        dense = uniform_random(256, 256, 0.08, seed=2)
+        pipeline = GustPipeline(64)
+        bw_sparse = average_bandwidth_gbps(pipeline.preprocess(sparse)[0], 96e6)
+        bw_dense = average_bandwidth_gbps(pipeline.preprocess(dense)[0], 96e6)
+        assert bw_dense > bw_sparse
+
+    def test_empty_schedule(self):
+        schedule, _, _ = GustPipeline(8).preprocess(CooMatrix.empty((4, 4)))
+        assert average_bandwidth_gbps(schedule, 96e6) == 0.0
+
+
+class Test1D:
+    def test_1d_average_far_below_gust(self):
+        matrix = uniform_random(512, 512, 0.005, seed=3)
+        schedule, _, _ = GustPipeline(64).preprocess(matrix)
+        gust_bw = average_bandwidth_gbps(schedule, 96e6)
+        one_d_bw = average_bandwidth_1d_gbps(matrix, 64, 96e6)
+        assert gust_bw > 10 * one_d_bw
+
+    def test_empty(self):
+        assert average_bandwidth_1d_gbps(CooMatrix.empty((4, 4)), 8, 96e6) == 0.0

@@ -1,0 +1,54 @@
+"""Tests for the bandwidth-stall model."""
+
+import pytest
+
+from repro.energy.bandwidth import required_bandwidth_gbps
+from repro.energy.bw_stall import bandwidth_knee_sweep, bandwidth_limited_cycles
+from repro.errors import HardwareConfigError
+
+
+class TestKnee:
+    def test_no_stalls_at_requirement(self):
+        required = required_bandwidth_gbps(256, 96e6)
+        report = bandwidth_limited_cycles(1000, 256, 96e6, required)
+        assert report.stall_cycles == 0
+        assert not report.bandwidth_bound
+
+    def test_no_stalls_above_requirement(self):
+        # The paper's provisioning: U280's 460 GB/s against a 221 GB/s need.
+        report = bandwidth_limited_cycles(1000, 256, 96e6, 460.0)
+        assert report.effective_cycles == 1000
+        assert not report.bandwidth_bound
+
+    def test_half_bandwidth_doubles_time(self):
+        required = required_bandwidth_gbps(256, 96e6)
+        report = bandwidth_limited_cycles(1000, 256, 96e6, required / 2)
+        assert report.slowdown == pytest.approx(2.0, rel=0.01)
+        assert report.bandwidth_bound
+
+    def test_inverse_scaling_below_knee(self):
+        required = required_bandwidth_gbps(128, 96e6)
+        sweep = bandwidth_knee_sweep(
+            5000, 128, 96e6,
+            (required / 4, required / 2, required, 2 * required),
+        )
+        slowdowns = [report.slowdown for report in sweep]
+        assert slowdowns[0] == pytest.approx(4.0, rel=0.01)
+        assert slowdowns[1] == pytest.approx(2.0, rel=0.01)
+        assert slowdowns[2] == 1.0
+        assert slowdowns[3] == 1.0  # bandwidth beyond the knee buys nothing
+
+    def test_zero_compute(self):
+        report = bandwidth_limited_cycles(0, 256, 96e6, 10.0)
+        assert report.effective_cycles == 0
+        assert report.slowdown == 1.0
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        with pytest.raises(HardwareConfigError):
+            bandwidth_limited_cycles(-1, 256, 96e6, 100.0)
+        with pytest.raises(HardwareConfigError):
+            bandwidth_limited_cycles(10, 256, 96e6, 0.0)
+        with pytest.raises(HardwareConfigError):
+            bandwidth_limited_cycles(10, 256, 0.0, 100.0)

@@ -1,0 +1,107 @@
+"""Tests for the per-design energy model."""
+
+import numpy as np
+import pytest
+
+from repro import CooMatrix, uniform_random
+from repro.energy.model import (
+    EnergyModel,
+    gust_spec,
+    serpens_spec,
+    systolic1d_spec,
+)
+from repro.errors import HardwareConfigError
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+@pytest.fixture
+def matrix():
+    return uniform_random(128, 128, 0.05, seed=1)
+
+
+class TestComponents:
+    def test_all_non_negative(self, model, matrix):
+        spec = gust_spec(64, 20.0, 96e6)
+        report = model.spmv_energy(spec, matrix, cycles=1000)
+        assert report.dynamic_j >= 0
+        assert report.memory_j >= 0
+        assert report.arithmetic_j >= 0
+        assert report.movement_j >= 0
+
+    def test_total_is_sum(self, model, matrix):
+        spec = gust_spec(64, 20.0, 96e6)
+        report = model.spmv_energy(spec, matrix, cycles=1000)
+        assert report.total_j == pytest.approx(
+            report.dynamic_j
+            + report.memory_j
+            + report.arithmetic_j
+            + report.movement_j
+        )
+
+    def test_dynamic_scales_with_cycles(self, model, matrix):
+        spec = gust_spec(64, 20.0, 96e6)
+        fast = model.spmv_energy(spec, matrix, cycles=1000)
+        slow = model.spmv_energy(spec, matrix, cycles=2000)
+        assert slow.dynamic_j == pytest.approx(2 * fast.dynamic_j)
+        # Traffic terms don't depend on cycles.
+        assert slow.memory_j == fast.memory_j
+        assert slow.movement_j == fast.movement_j
+
+    def test_arithmetic_hand_computed(self, model):
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 1]), np.array([0, 1]), np.ones(2), (2, 2)
+        )
+        spec = systolic1d_spec(35.3, 96e6)
+        report = model.spmv_energy(spec, matrix, cycles=10)
+        # 2 nonzeros * 2 flops * 10 pJ = 40 pJ.
+        assert report.arithmetic_j == pytest.approx(40e-12)
+
+    def test_negative_cycles_rejected(self, model, matrix):
+        with pytest.raises(HardwareConfigError):
+            model.spmv_energy(gust_spec(8, 1.0, 1e6), matrix, cycles=-1)
+
+
+class TestDesignSpecs:
+    def test_gust_streams_more_words_than_1d(self):
+        gust = gust_spec(256, 56.9, 96e6)
+        one_d = systolic1d_spec(35.3, 96e6)
+        assert gust.words_per_nnz > one_d.words_per_nnz
+
+    def test_gust_crossbar_distance(self):
+        assert gust_spec(256, 56.9, 96e6).onchip_distance_mm == 129.0
+        assert gust_spec(87, 16.8, 96e6).onchip_distance_mm == pytest.approx(
+            129.0 * 87 / 256
+        )
+
+    def test_serpens_local_hops(self):
+        assert serpens_spec(46.2, 223e6).onchip_distance_mm == 1.0
+
+
+class TestHeadlineShape:
+    def test_gust_beats_1d_on_sparse_input(self, model):
+        """The Fig. 8 energy story: 1D's long runtime dominates."""
+        matrix = uniform_random(2048, 2048, 0.001, seed=2)
+        from repro.accelerators import GustAccelerator, Systolic1D
+
+        gust_cycles = GustAccelerator(256).run(matrix).cycles
+        one_d_cycles = Systolic1D(256).run(matrix).cycles
+        gust_energy = model.spmv_energy(
+            gust_spec(256, 56.9, 96e6), matrix, gust_cycles
+        )
+        one_d_energy = model.spmv_energy(
+            systolic1d_spec(35.3, 96e6), matrix, one_d_cycles
+        )
+        assert one_d_energy.total_j > 10 * gust_energy.total_j
+
+
+class TestPreprocessing:
+    def test_cpu_energy(self):
+        assert EnergyModel.preprocessing_energy_j(2.0) == 90.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(HardwareConfigError):
+            EnergyModel.preprocessing_energy_j(-1.0)

@@ -1,0 +1,48 @@
+"""The energy constants must match the paper's Section 4 verbatim."""
+
+import pytest
+
+from repro.energy.params import (
+    DYNAMIC_POWER_W,
+    GUST_FREQUENCY_HZ,
+    PAPER_PARAMS,
+    PREPROCESS_CPU_POWER_W,
+    SERPENS_FREQUENCY_HZ,
+    U280_PEAK_BANDWIDTH_GBPS,
+)
+
+
+class TestPaperConstants:
+    def test_memory_energies(self):
+        assert PAPER_PARAMS.offchip_read_pj == 64.0
+        assert PAPER_PARAMS.onchip_read_pj == 11.84
+        assert PAPER_PARAMS.offchip_write_pj == 64.0
+        assert PAPER_PARAMS.onchip_write_pj == 16.0
+
+    def test_arithmetic_energy(self):
+        assert PAPER_PARAMS.flop_pj == 10.0
+
+    def test_movement_energies(self):
+        assert PAPER_PARAMS.offchip_move_pj_per_mm == 160.0
+        assert PAPER_PARAMS.onchip_move_pj_per_mm == 0.95
+
+    def test_distances(self):
+        assert PAPER_PARAMS.offchip_distance_mm == 5.0
+        assert PAPER_PARAMS.onchip_distance_1d_mm == 1.0
+        assert PAPER_PARAMS.onchip_distance_gust256_mm == 129.0
+
+    def test_distance_scales_with_length(self):
+        assert PAPER_PARAMS.gust_onchip_distance_mm(256) == 129.0
+        assert PAPER_PARAMS.gust_onchip_distance_mm(128) == pytest.approx(64.5)
+
+    def test_dynamic_power_table(self):
+        assert DYNAMIC_POWER_W[("1D", 256)] == 35.3
+        assert DYNAMIC_POWER_W[("GUST", 256)] == 56.9
+        assert DYNAMIC_POWER_W[("GUST", 87)] == 16.8
+        assert DYNAMIC_POWER_W[("Serpens", 0)] == 46.2
+
+    def test_platform_constants(self):
+        assert GUST_FREQUENCY_HZ == 96e6
+        assert SERPENS_FREQUENCY_HZ == 223e6
+        assert PREPROCESS_CPU_POWER_W == 45.0
+        assert U280_PEAK_BANDWIDTH_GBPS == 460.0

@@ -1,0 +1,99 @@
+"""Tests for the FPGA resource scaling laws (Tables 2 and 5)."""
+
+import pytest
+
+from repro.energy.resources import (
+    arithmetic_resources,
+    crossbar_resources,
+    gust_dynamic_power_w,
+    gust_resources,
+    io_resources,
+    max_bandwidth_gbps,
+    static_power_w,
+    systolic1d_resources,
+)
+from repro.errors import HardwareConfigError
+
+
+class TestAnchorsReproduced:
+    """The paper's synthesis points must come back exactly."""
+
+    def test_crossbar_luts(self):
+        assert crossbar_resources(8).lut == 772
+        assert crossbar_resources(87).lut == 17_300
+        assert crossbar_resources(256).lut == 756_000
+
+    def test_crossbar_power(self):
+        assert crossbar_resources(8).power_w == 1.0
+        assert crossbar_resources(87).power_w == 3.6
+        assert crossbar_resources(256).power_w == 16.4
+
+    def test_arithmetic_at_256(self):
+        arith = arithmetic_resources(256)
+        assert arith.lut == 132_000
+        assert arith.register == 8_192
+        assert arith.dsp == 512
+        assert arith.carry8 == 4_800
+
+    def test_io_linear(self):
+        assert io_resources(256).io_pins == 27_000
+        assert io_resources(256).input_buffers == 18_000
+        assert io_resources(8).io_pins == pytest.approx(844, abs=50)
+
+    def test_total_power_anchored_to_table2(self):
+        assert gust_dynamic_power_w(8) == 3.4
+        assert gust_dynamic_power_w(87) == 16.8
+        assert gust_dynamic_power_w(256) == 56.9
+
+    def test_static_power(self):
+        assert static_power_w(8) == 2.5
+        assert static_power_w(256) == 3.8
+
+
+class TestScalingLaws:
+    def test_crossbar_superlinear(self):
+        # Doubling length should more than double crossbar LUTs in the
+        # upper regime — the Section 5.5 scalability bottleneck.
+        assert crossbar_resources(256).lut > 4 * crossbar_resources(128).lut
+
+    def test_arithmetic_linear(self):
+        assert arithmetic_resources(128).lut == pytest.approx(
+            arithmetic_resources(256).lut / 2, rel=0.01
+        )
+
+    def test_power_monotone(self):
+        values = [gust_dynamic_power_w(length) for length in (8, 32, 87, 128, 256)]
+        assert values == sorted(values)
+
+    def test_sum_of_partitions(self):
+        total = gust_resources(64)
+        parts = (
+            arithmetic_resources(64)
+            + crossbar_resources(64)
+            + io_resources(64)
+        )
+        assert total.lut == parts.lut
+        assert total.register == parts.register
+
+
+class TestBandwidth:
+    def test_gust_256(self):
+        # Paper: 224 GB/s (decimal GB); 18,433 bits * 96 MHz / 8.
+        assert max_bandwidth_gbps("GUST", 256, 96e6) == pytest.approx(
+            221.2, abs=0.5
+        )
+
+    def test_1d_anchor(self):
+        assert max_bandwidth_gbps("1D", 256, 96e6) == pytest.approx(150.0)
+
+    def test_unknown_design(self):
+        with pytest.raises(HardwareConfigError, match="unknown"):
+            max_bandwidth_gbps("TPU", 256, 96e6)
+
+
+class TestValidation:
+    def test_bad_length(self):
+        with pytest.raises(HardwareConfigError):
+            gust_resources(0)
+        with pytest.raises(HardwareConfigError):
+            systolic1d_resources(-5)

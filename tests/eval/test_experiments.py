@@ -1,0 +1,128 @@
+"""Smoke tests: every experiment runs at reduced scale and is well-formed.
+
+These use small scales/dimensions so the whole module stays fast; the
+full-scale runs live in ``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    bandwidth_provisioning,
+    bound_validation,
+    coloring_ablation,
+    fig7_utilization,
+    fig8_speedup,
+    fig9_bandwidth,
+    length_sweep,
+    naive_crossover,
+    scalability,
+    structure_sensitivity,
+    table1_qualities,
+    table2_resources,
+    table3_datasets,
+    table4_serpens,
+    table5_partitions,
+)
+from repro.eval.result import ExperimentResult
+
+
+def _check(result: ExperimentResult):
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, result.experiment_id
+    for row in result.rows:
+        assert len(row) == len(result.headers), result.experiment_id
+    rendered = result.render()
+    assert result.experiment_id in rendered
+    return result
+
+
+class TestTableExperiments:
+    def test_table1(self):
+        result = _check(table1_qualities.run(scale=96.0, length=64))
+        assert "gmean util%" in result.headers[-1]
+
+    def test_table2(self):
+        result = _check(table2_resources.run())
+        assert result.measured_claims["total W GUST-256"] == 56.9
+
+    def test_table3(self):
+        result = _check(table3_datasets.run(scale=128.0))
+        assert len(result.rows) == 9
+
+    def test_table4(self):
+        result = _check(table4_serpens.run(scale=256.0))
+        assert len(result.rows) == 9
+        wins = result.measured_claims["GUST faster (of 9)"]
+        assert 0 <= wins <= 9
+
+    def test_table5(self):
+        result = _check(table5_partitions.run())
+        assert result.measured_claims["crossbar LUT @256"] == 756_000
+
+
+class TestFigureExperiments:
+    def test_fig7(self):
+        result = _check(fig7_utilization.run(scale=96.0, length=64))
+        gmean_row = result.rows[-1]
+        assert gmean_row[0] == "G-Mean"
+
+    def test_fig8(self):
+        result = _check(
+            fig8_speedup.run(scale=96.0, dim=512, densities=(0.005, 0.02))
+        )
+        assert "avg speedup GUST-256 EC/LB" in result.measured_claims
+
+    def test_fig9(self):
+        result = _check(fig9_bandwidth.run(scale=96.0))
+        max_256 = result.measured_claims["maximum BW GUST-256 (GB/s)"]
+        assert max_256 == pytest.approx(221.2, abs=0.5)
+
+
+class TestClaimExperiments:
+    def test_naive_crossover(self):
+        result = _check(
+            naive_crossover.run(dim=1024, densities=(0.002, 0.006, 0.012))
+        )
+        ratios = [row[3] for row in result.rows]
+        assert ratios == sorted(ratios)  # monotone in density
+
+    def test_bound_validation(self):
+        result = _check(
+            bound_validation.run(dim=1024, densities=(0.02,), length=128)
+        )
+        assert result.measured_claims["E[C] within Eq.9 bound"] is True
+
+    def test_scalability(self):
+        result = _check(
+            scalability.run(
+                matrices=("scircuit",), scale=96.0, total_length=64,
+                ways=(1, 2),
+            )
+        )
+        assert result.measured_claims["parallel shrinks crossbar"] is True
+
+    def test_coloring_ablation(self):
+        result = _check(
+            coloring_ablation.run(
+                matrices=("bcircuit",), scale=96.0, length=32
+            )
+        )
+        assert result.measured_claims["euler matches lower bound exactly"]
+
+    def test_length_sweep(self):
+        result = _check(
+            length_sweep.run(dim=512, lengths=(32, 64, 128))
+        )
+        assert result.measured_claims[
+            "utilization falls with length (Eq. 11)"
+        ] is True
+
+    def test_structure_sensitivity(self):
+        result = _check(
+            structure_sensitivity.run(dim=1024, density=0.005, length=128)
+        )
+        assert len(result.rows) == 3
+
+    def test_bandwidth_provisioning(self):
+        result = _check(bandwidth_provisioning.run(scale=96.0))
+        assert result.measured_claims["stall-free at U280's 460 GB/s"] is True

@@ -1,0 +1,93 @@
+"""Tests for evaluation metrics, table rendering, and figures."""
+
+import pytest
+
+from repro.eval.figures import log_bar, render_series
+from repro.eval.metrics import energy_gain, geomean, speedup, wallclock_speedup
+from repro.eval.result import ExperimentResult
+from repro.eval.tables import format_cell, render_table
+from repro.types import EnergyReport
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(1000, 100) == 10.0
+        assert speedup(100, 0) == float("inf")
+        assert speedup(0, 0) == 1.0
+
+    def test_wallclock_speedup_cross_clock(self):
+        # 2x the cycles at 4x the clock is still 2x faster.
+        assert wallclock_speedup(1000, 100e6, 2000, 400e6) == pytest.approx(2.0)
+
+    def test_energy_gain(self):
+        baseline = EnergyReport(1.0, 1.0, 1.0, 1.0)
+        candidate = EnergyReport(0.5, 0.5, 0.5, 0.5)
+        assert energy_gain(baseline, candidate) == pytest.approx(2.0)
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+
+class TestTables:
+    def test_format_cell_scales(self):
+        assert format_cell(1234) == "1234"
+        assert format_cell(123_456) == "123K"
+        assert format_cell(12_345_678) == "12.3M"
+        assert format_cell(0.5) == "0.5000"
+        assert format_cell(1.5e-5) == "1.50e-05"
+        assert format_cell(True) == "True"
+        assert format_cell("text") == "text"
+
+    def test_render_table_aligned(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 44]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_render_empty_rows(self):
+        out = render_table(["x"], [])
+        assert "x" in out
+
+
+class TestFigures:
+    def test_log_bar_range(self):
+        assert len(log_bar(100.0, 1.0, 100.0)) == 40
+        assert len(log_bar(1.0, 1.0, 100.0)) == 1
+        assert log_bar(0.0, 1.0, 100.0) == ""
+
+    def test_render_series(self):
+        out = render_series(
+            ["m1", "m2"],
+            {"design": [1.0, 10.0], "other": [2.0, 20.0]},
+            title="demo",
+        )
+        assert "demo" in out
+        assert out.count("design") == 2
+
+
+class TestExperimentResult:
+    def test_render_includes_claims_and_notes(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="demo",
+            headers=["a"],
+            rows=[[1]],
+            paper_claims={"metric": 10},
+            measured_claims={"metric": 11},
+            notes=["careful"],
+        )
+        text = result.render()
+        assert "[x] demo" in text
+        assert "paper=10" in text
+        assert "measured=11" in text
+        assert "note: careful" in text
+
+    def test_missing_measured_claim_renders_dash(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            headers=["a"],
+            rows=[],
+            paper_claims={"only_paper": 1},
+        )
+        assert "measured=—" in result.render()

@@ -1,0 +1,64 @@
+"""Tests for the aggregate report generator."""
+
+from repro.eval.report import ClaimVerdict, judge_claims, render_markdown
+from repro.eval.result import ExperimentResult
+
+
+def _result(paper, measured):
+    return ExperimentResult(
+        experiment_id="x",
+        title="demo",
+        headers=["a"],
+        rows=[[1]],
+        paper_claims=paper,
+        measured_claims=measured,
+        notes=["scaled"],
+    )
+
+
+class TestJudging:
+    def test_boolean_claims(self):
+        verdicts = judge_claims(_result({"holds": True}, {"holds": True}))
+        assert verdicts[0].verdict == "match"
+        verdicts = judge_claims(_result({"holds": True}, {"holds": False}))
+        assert verdicts[0].verdict == "deviates"
+
+    def test_numeric_within_tolerance(self):
+        verdicts = judge_claims(_result({"speedup": 411.0}, {"speedup": 460.0}))
+        assert verdicts[0].verdict == "match"
+
+    def test_numeric_beyond_tolerance(self):
+        verdicts = judge_claims(_result({"speedup": 411.0}, {"speedup": 50.0}))
+        assert verdicts[0].verdict == "deviates"
+
+    def test_missing_measurement(self):
+        verdicts = judge_claims(_result({"speedup": 411.0}, {}))
+        assert verdicts[0].verdict == "n/a"
+
+    def test_string_claims_informational(self):
+        verdicts = judge_claims(
+            _result({"crossover": "0.008"}, {"crossover": "not crossed"})
+        )
+        assert verdicts[0].verdict == "n/a"
+
+
+class TestRendering:
+    def test_markdown_structure(self):
+        results = [("exp1", _result({"n": 1.0}, {"n": 1.1}), 0.5)]
+        text = render_markdown(results)
+        assert "# GUST reproduction report" in text
+        assert "## exp1 — demo" in text
+        assert "| claim | paper | measured | verdict |" in text
+        assert "1 claims matched, 0 deviated" in text
+        assert "_completed in 0.5s_" in text
+
+    def test_cli_quick_report(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(["report", "--out", str(out), "--quick"])
+        assert code == 0
+        text = out.read_text()
+        assert "# GUST reproduction report" in text
+        assert "table5" in text
+        assert "fig8" not in text  # skipped in quick mode

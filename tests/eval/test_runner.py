@@ -1,0 +1,42 @@
+"""Tests for the experiment runner helpers."""
+
+import pytest
+
+from repro import uniform_random
+from repro.accelerators import GustAccelerator, Systolic1D
+from repro.eval.runner import by_design, report_for, run_designs
+
+
+@pytest.fixture
+def results():
+    matrices = [
+        ("a", uniform_random(64, 64, 0.05, seed=1)),
+        ("b", uniform_random(64, 64, 0.1, seed=2)),
+    ]
+    designs = [Systolic1D(16), GustAccelerator(16)]
+    return run_designs(designs, matrices)
+
+
+class TestRunner:
+    def test_cartesian_product(self, results):
+        assert len(results) == 4
+        assert {r.design for r in results} == {"1D", "GUST-EC/LB"}
+        assert {r.matrix for r in results} == {"a", "b"}
+
+    def test_by_design(self, results):
+        grouped = by_design(results)
+        assert set(grouped) == {"1D", "GUST-EC/LB"}
+        assert [r.matrix for r in grouped["1D"]] == ["a", "b"]
+
+    def test_report_for(self, results):
+        report = report_for(results, "1D", "a")
+        assert report.cycles > 0
+
+    def test_report_for_missing(self, results):
+        with pytest.raises(KeyError):
+            report_for(results, "1D", "zzz")
+
+    def test_run_result_derived_metrics(self, results):
+        result = results[0]
+        assert result.seconds == result.cycle_report.cycles / 96e6
+        assert result.gflops >= 0

@@ -1,0 +1,58 @@
+"""Tests for the terminal visualizations."""
+
+import numpy as np
+
+from repro import CooMatrix, GustPipeline, uniform_random
+from repro.eval.visualize import (
+    degree_profile,
+    schedule_occupancy,
+    window_color_chart,
+)
+
+
+class TestScheduleOccupancy:
+    def test_renders_dimensions_and_fill(self, square_matrix):
+        schedule, _, _ = GustPipeline(32).preprocess(square_matrix)
+        art = schedule_occupancy(schedule, width=16, height=8)
+        lines = art.splitlines()
+        assert "occupancy" in lines[0]
+        assert len(lines) == 9  # header + 8 binned rows
+        assert all(len(line) == 16 for line in lines[1:])
+
+    def test_empty_schedule(self):
+        schedule, _, _ = GustPipeline(8).preprocess(CooMatrix.empty((4, 4)))
+        assert "empty" in schedule_occupancy(schedule)
+
+    def test_dense_schedule_uses_dark_shades(self):
+        # A diagonal matrix schedules to a fully dense single column set.
+        n = 16
+        matrix = CooMatrix.from_arrays(
+            np.arange(n), np.arange(n), np.ones(n), (n, n)
+        )
+        schedule, _, _ = GustPipeline(16, load_balance=False).preprocess(matrix)
+        art = schedule_occupancy(schedule, width=16, height=4)
+        assert "@" in art
+
+
+class TestDegreeProfile:
+    def test_reports_maxima(self, square_matrix):
+        text = degree_profile(square_matrix, 32)
+        assert "max row" in text
+        assert "rows:" in text
+        assert "segments:" in text
+        assert "#" in text
+
+    def test_empty_matrix(self):
+        text = degree_profile(CooMatrix.empty((4, 4)), 4)
+        assert "no nonzeros" in text
+
+
+class TestWindowColorChart:
+    def test_marks_bounds_and_overhead(self, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        chart = window_color_chart(schedule, balanced)
+        assert chart.count("w0") == 1
+        assert "]" in chart or "#" in chart
+        # One line per window plus the header.
+        assert len(chart.splitlines()) == schedule.window_count + 1

@@ -1,0 +1,63 @@
+"""Tests for the window bipartite multigraph."""
+
+import numpy as np
+import pytest
+
+from repro import CooMatrix
+from repro.errors import HardwareConfigError
+from repro.graph.bipartite import WindowGraph
+
+
+def _window(rows, cols, shape):
+    return CooMatrix.from_arrays(
+        np.asarray(rows), np.asarray(cols), np.ones(len(rows)), shape
+    )
+
+
+class TestFromWindow:
+    def test_basic_mapping(self):
+        window = _window([0, 0, 1], [0, 5, 2], (2, 8))
+        graph = WindowGraph.from_window(window, length=4)
+        assert graph.edge_count == 3
+        assert graph.colsegs.tolist() == [0, 1, 2]  # 0%4, 5%4, 2%4
+        assert graph.cols.tolist() == [0, 5, 2]
+
+    def test_rejects_oversized_window(self):
+        window = _window([0, 4], [0, 0], (5, 4))
+        with pytest.raises(HardwareConfigError, match="exceeding"):
+            WindowGraph.from_window(window, length=4)
+
+    def test_rejects_bad_length(self):
+        window = _window([0], [0], (1, 1))
+        with pytest.raises(HardwareConfigError, match="positive"):
+            WindowGraph.from_window(window, length=0)
+
+
+class TestDegrees:
+    def test_degrees_and_max(self):
+        # Rows 0 and 1; columns 0 and 4 share segment 0 for length 4.
+        window = _window([0, 0, 1], [0, 4, 0], (2, 8))
+        graph = WindowGraph.from_window(window, length=4)
+        assert graph.left_degrees().tolist() == [2, 1, 0, 0]
+        assert graph.right_degrees().tolist() == [3, 0, 0, 0]
+        assert graph.max_degree() == 3
+
+    def test_empty_graph(self):
+        graph = WindowGraph.from_window(CooMatrix.empty((2, 8)), length=4)
+        assert graph.max_degree() == 0
+        assert graph.edge_count == 0
+
+
+class TestEdgesByRow:
+    def test_grouping_preserves_column_order(self):
+        window = _window([0, 0, 1, 1], [3, 1, 2, 0], (2, 4))
+        graph = WindowGraph.from_window(window, length=2)
+        groups = graph.edges_by_row()
+        # Canonical COO sorts by (row, col): row 0 -> cols 1,3; row 1 -> 0,2.
+        assert [graph.cols[e] for e in groups[0]] == [1, 3]
+        assert [graph.cols[e] for e in groups[1]] == [0, 2]
+
+    def test_group_count_equals_length(self):
+        window = _window([0], [0], (1, 4))
+        graph = WindowGraph.from_window(window, length=8)
+        assert len(graph.edges_by_row()) == 8

@@ -1,0 +1,128 @@
+"""Tests for the three edge-coloring algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ColoringError
+from repro.graph.edge_coloring import (
+    color_edges,
+    euler_coloring,
+    first_fit_coloring,
+    greedy_matching_coloring,
+)
+from repro.graph.properties import color_count, validate_coloring
+from tests.strategies import window_graphs
+
+ALGORITHMS = {
+    "matching": greedy_matching_coloring,
+    "first_fit": first_fit_coloring,
+    "euler": euler_coloring,
+}
+
+
+class TestAllAlgorithms:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_empty_graph(self, name):
+        from repro.graph.bipartite import WindowGraph
+
+        graph = WindowGraph(
+            length=4,
+            local_rows=np.zeros(0, np.int64),
+            colsegs=np.zeros(0, np.int64),
+            cols=np.zeros(0, np.int64),
+            values=np.zeros(0),
+        )
+        colors = ALGORITHMS[name](graph)
+        assert colors.size == 0
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @given(graph=window_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_proper_coloring(self, name, graph):
+        colors = ALGORITHMS[name](graph)
+        validate_coloring(graph, colors)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @given(graph=window_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_color_bounds(self, name, graph):
+        colors = ALGORITHMS[name](graph)
+        used = color_count(colors)
+        delta = graph.max_degree()
+        assert used >= delta  # cannot beat the degree bound
+        if name == "euler":
+            assert used == delta  # König optimum, exactly
+        else:
+            assert used <= max(0, 2 * delta - 1)  # greedy guarantee
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @given(graph=window_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, name, graph):
+        first = ALGORITHMS[name](graph)
+        second = ALGORITHMS[name](graph)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestGreedyMatchingSemantics:
+    def test_round_structure(self):
+        """Each round is a maximal matching in left-vertex order."""
+        from repro.graph.bipartite import WindowGraph
+
+        # Rows 0 and 1 both want segment 0 first; row 0 wins round 0.
+        graph = WindowGraph(
+            length=2,
+            local_rows=np.array([0, 1], dtype=np.int64),
+            colsegs=np.array([0, 0], dtype=np.int64),
+            cols=np.array([0, 0], dtype=np.int64),
+            values=np.ones(2),
+        )
+        colors = greedy_matching_coloring(graph)
+        assert colors.tolist() == [0, 1]
+
+    def test_second_edge_in_round(self):
+        # Row 1's first edge collides with row 0's, but its second edge is
+        # free in the same round — Listing 1 takes it (the break happens
+        # after coloring one edge).
+        from repro.graph.bipartite import WindowGraph
+
+        graph = WindowGraph(
+            length=2,
+            local_rows=np.array([0, 1, 1], dtype=np.int64),
+            colsegs=np.array([0, 0, 1], dtype=np.int64),
+            cols=np.array([0, 0, 1], dtype=np.int64),
+            values=np.ones(3),
+        )
+        colors = greedy_matching_coloring(graph)
+        assert colors[0] == 0  # row 0 seg 0, round 0
+        assert colors[2] == 0  # row 1 seg 1, round 0
+        assert colors[1] == 1  # row 1 seg 0 deferred to round 1
+
+
+class TestDispatch:
+    def test_color_edges_dispatch(self):
+        from repro.graph.bipartite import WindowGraph
+
+        graph = WindowGraph(
+            length=2,
+            local_rows=np.array([0], dtype=np.int64),
+            colsegs=np.array([1], dtype=np.int64),
+            cols=np.array([1], dtype=np.int64),
+            values=np.ones(1),
+        )
+        for name in ALGORITHMS:
+            validate_coloring(graph, color_edges(graph, name))
+
+    def test_unknown_algorithm(self):
+        from repro.graph.bipartite import WindowGraph
+
+        graph = WindowGraph(
+            length=2,
+            local_rows=np.zeros(0, np.int64),
+            colsegs=np.zeros(0, np.int64),
+            cols=np.zeros(0, np.int64),
+            values=np.zeros(0),
+        )
+        with pytest.raises(ColoringError, match="unknown"):
+            color_edges(graph, "rainbow")

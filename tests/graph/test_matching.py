@@ -1,0 +1,90 @@
+"""Tests for bipartite matching algorithms."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.matching import greedy_maximal_matching, hopcroft_karp
+
+
+def _random_adjacency(n_left, n_right, density, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        [v for v in range(n_right) if rng.random() < density]
+        for _ in range(n_left)
+    ]
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching_on_cycle(self):
+        adjacency = [[0, 1], [1, 2], [2, 0]]
+        _, _, size = hopcroft_karp(adjacency, 3, 3)
+        assert size == 3
+
+    def test_star_graph(self):
+        adjacency = [[0], [0], [0]]
+        match_left, match_right, size = hopcroft_karp(adjacency, 3, 1)
+        assert size == 1
+        assert (match_left != -1).sum() == 1
+        assert match_right[0] != -1
+
+    def test_empty_graph(self):
+        _, _, size = hopcroft_karp([[], []], 2, 2)
+        assert size == 0
+
+    def test_duplicate_edges_harmless(self):
+        adjacency = [[0, 0, 0], [1, 1]]
+        _, _, size = hopcroft_karp(adjacency, 2, 2)
+        assert size == 2
+
+    def test_matching_consistency(self):
+        adjacency = _random_adjacency(20, 20, 0.2, seed=1)
+        match_left, match_right, size = hopcroft_karp(adjacency, 20, 20)
+        matched = 0
+        for u in range(20):
+            v = match_left[u]
+            if v != -1:
+                assert match_right[v] == u
+                assert v in adjacency[u]
+                matched += 1
+        assert matched == size
+
+    @given(
+        st.integers(min_value=1, max_value=14),
+        st.integers(min_value=1, max_value=14),
+        st.floats(min_value=0.0, max_value=0.6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_maximum_size_matches_networkx(self, n_left, n_right, density, seed):
+        adjacency = _random_adjacency(n_left, n_right, density, seed)
+        _, _, size = hopcroft_karp(adjacency, n_left, n_right)
+        graph = nx.Graph()
+        graph.add_nodes_from((f"L{u}" for u in range(n_left)), bipartite=0)
+        graph.add_nodes_from((f"R{v}" for v in range(n_right)), bipartite=1)
+        for u, neighbours in enumerate(adjacency):
+            for v in neighbours:
+                graph.add_edge(f"L{u}", f"R{v}")
+        reference = nx.bipartite.maximum_matching(
+            graph, top_nodes=[f"L{u}" for u in range(n_left)]
+        )
+        assert size == len(reference) // 2
+
+
+class TestGreedyMatching:
+    def test_takes_first_available(self):
+        adjacency = [[0, 1], [0, 1]]
+        matching = greedy_maximal_matching(adjacency, 2, 2)
+        assert matching == [(0, 0), (1, 1)]
+
+    def test_maximality(self):
+        adjacency = _random_adjacency(15, 15, 0.3, seed=2)
+        matching = greedy_maximal_matching(adjacency, 15, 15)
+        matched_left = {u for u, _ in matching}
+        matched_right = {v for _, v in matching}
+        # No remaining edge connects two unmatched vertices.
+        for u, neighbours in enumerate(adjacency):
+            if u in matched_left:
+                continue
+            assert all(v in matched_right for v in neighbours)

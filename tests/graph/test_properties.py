@@ -1,0 +1,64 @@
+"""Tests for coloring validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColoringError
+from repro.graph.bipartite import WindowGraph
+from repro.graph.properties import (
+    color_count,
+    max_bipartite_degree,
+    validate_coloring,
+)
+
+
+def _graph(rows, segs, length=4):
+    rows = np.asarray(rows, dtype=np.int64)
+    segs = np.asarray(segs, dtype=np.int64)
+    return WindowGraph(
+        length=length,
+        local_rows=rows,
+        colsegs=segs,
+        cols=segs.copy(),
+        values=np.ones(rows.size),
+    )
+
+
+class TestValidate:
+    def test_accepts_proper(self):
+        graph = _graph([0, 0, 1], [0, 1, 0])
+        validate_coloring(graph, np.array([0, 1, 1]))
+
+    def test_rejects_row_clash(self):
+        graph = _graph([0, 0], [0, 1])
+        with pytest.raises(ColoringError, match="row"):
+            validate_coloring(graph, np.array([0, 0]))
+
+    def test_rejects_segment_clash(self):
+        graph = _graph([0, 1], [2, 2])
+        with pytest.raises(ColoringError, match="column segment"):
+            validate_coloring(graph, np.array([0, 0]))
+
+    def test_rejects_uncolored(self):
+        graph = _graph([0], [0])
+        with pytest.raises(ColoringError, match="uncolored"):
+            validate_coloring(graph, np.array([-1]))
+
+    def test_rejects_wrong_shape(self):
+        graph = _graph([0], [0])
+        with pytest.raises(ColoringError, match="shape"):
+            validate_coloring(graph, np.array([0, 1]))
+
+    def test_empty_ok(self):
+        graph = _graph([], [])
+        validate_coloring(graph, np.zeros(0, dtype=np.int64))
+
+
+class TestMeasures:
+    def test_color_count(self):
+        assert color_count(np.array([0, 3, 1])) == 4
+        assert color_count(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_max_degree(self):
+        graph = _graph([0, 0, 1], [0, 1, 0])
+        assert max_bipartite_degree(graph) == 2

@@ -1,0 +1,55 @@
+"""Tests for multiplier and adder banks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hw.arith import AdderBank, MultiplierBank
+
+
+class TestMultiplierBank:
+    def test_products_and_counting(self):
+        bank = MultiplierBank(3)
+        products = bank.cycle(
+            np.array([2.0, 3.0, 4.0]),
+            np.array([10.0, 10.0, 10.0]),
+            np.array([True, False, True]),
+        )
+        assert products[0] == 20.0
+        assert np.isnan(products[1])
+        assert products[2] == 40.0
+        assert bank.active_ops == 2
+
+    def test_lane_mismatch(self):
+        bank = MultiplierBank(2)
+        with pytest.raises(HardwareConfigError, match="lane count"):
+            bank.cycle(np.zeros(3), np.zeros(3), np.ones(3, dtype=bool))
+
+    def test_bad_length(self):
+        with pytest.raises(HardwareConfigError, match="positive"):
+            MultiplierBank(0)
+
+
+class TestAdderBank:
+    def test_accumulate_and_dump(self):
+        bank = AdderBank(2)
+        bank.accumulate(np.array([1.0, 2.0]), np.array([True, True]))
+        bank.accumulate(np.array([3.0, 0.0]), np.array([True, False]))
+        assert bank.active_ops == 3
+        np.testing.assert_array_equal(bank.stored, [4.0, 2.0])
+
+        dumped = bank.dump(np.array([0]))
+        assert dumped.tolist() == [4.0]
+        np.testing.assert_array_equal(bank.stored, [0.0, 2.0])
+
+    def test_dump_clears_for_next_window(self):
+        bank = AdderBank(1)
+        bank.accumulate(np.array([5.0]), np.array([True]))
+        bank.dump(np.array([0]))
+        bank.accumulate(np.array([7.0]), np.array([True]))
+        assert bank.dump(np.array([0])).tolist() == [7.0]
+
+    def test_lane_mismatch(self):
+        bank = AdderBank(2)
+        with pytest.raises(HardwareConfigError, match="lane count"):
+            bank.accumulate(np.zeros(3), np.ones(3, dtype=bool))

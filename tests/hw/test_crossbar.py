@@ -1,0 +1,64 @@
+"""Tests for the crossbar connector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CollisionError, HardwareConfigError
+from repro.hw.crossbar import Crossbar
+
+
+class TestRouting:
+    def test_routes_by_index(self):
+        crossbar = Crossbar(4)
+        products = np.array([1.0, 2.0, 3.0, 4.0])
+        indices = np.array([2, 0, 3, 1])
+        valid = np.ones(4, dtype=bool)
+        routed, routed_valid = crossbar.route(products, indices, valid)
+        np.testing.assert_array_equal(routed, [2.0, 4.0, 1.0, 3.0])
+        assert routed_valid.all()
+        assert crossbar.routed_count == 4
+
+    def test_invalid_lanes_ignored(self):
+        crossbar = Crossbar(3)
+        products = np.array([1.0, np.nan, 3.0])
+        indices = np.array([0, 0, 2])  # lane 1 also says 0, but is invalid
+        valid = np.array([True, False, True])
+        routed, routed_valid = crossbar.route(products, indices, valid)
+        assert routed_valid.tolist() == [True, False, True]
+        assert routed[0] == 1.0
+
+    def test_empty_cycle(self):
+        crossbar = Crossbar(2)
+        routed, routed_valid = crossbar.route(
+            np.zeros(2), np.zeros(2, dtype=np.int64), np.zeros(2, dtype=bool)
+        )
+        assert not routed_valid.any()
+
+
+class TestGuards:
+    def test_collision_raises(self):
+        crossbar = Crossbar(2)
+        with pytest.raises(CollisionError, match="adder 1"):
+            crossbar.route(
+                np.array([1.0, 2.0]),
+                np.array([1, 1]),
+                np.ones(2, dtype=bool),
+            )
+
+    def test_destination_out_of_range(self):
+        crossbar = Crossbar(2)
+        with pytest.raises(HardwareConfigError, match="destination"):
+            crossbar.route(
+                np.array([1.0, 2.0]),
+                np.array([0, 5]),
+                np.ones(2, dtype=bool),
+            )
+
+    def test_lane_mismatch(self):
+        crossbar = Crossbar(2)
+        with pytest.raises(HardwareConfigError, match="lane count"):
+            crossbar.route(np.zeros(3), np.zeros(3, dtype=np.int64), np.ones(3, bool))
+
+    def test_bad_length(self):
+        with pytest.raises(HardwareConfigError, match="positive"):
+            Crossbar(-1)

@@ -1,0 +1,68 @@
+"""Tests for the FIFO primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareConfigError
+from repro.hw.fifo import Fifo
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        fifo = Fifo()
+        for item in (1, 2, 3):
+            fifo.push(item)
+        assert [fifo.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_peek_does_not_remove(self):
+        fifo = Fifo()
+        fifo.push("a")
+        assert fifo.peek() == "a"
+        assert len(fifo) == 1
+
+    def test_underflow(self):
+        with pytest.raises(HardwareConfigError, match="underflow"):
+            Fifo().pop()
+
+    def test_peek_empty(self):
+        with pytest.raises(HardwareConfigError, match="empty"):
+            Fifo().peek()
+
+    def test_overflow(self):
+        fifo = Fifo(capacity=1)
+        fifo.push(1)
+        with pytest.raises(HardwareConfigError, match="overflow"):
+            fifo.push(2)
+
+    def test_bad_capacity(self):
+        with pytest.raises(HardwareConfigError, match="capacity"):
+            Fifo(capacity=0)
+
+
+class TestAccounting:
+    def test_max_depth_high_water(self):
+        fifo = Fifo()
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        fifo.push(3)
+        assert fifo.max_depth == 2
+        assert fifo.total_pushed == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_depth_invariants(self, ops):
+        fifo = Fifo()
+        depth = 0
+        max_depth = 0
+        for op in ops:
+            if op == 0:
+                fifo.push(object())
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif depth:
+                fifo.pop()
+                depth -= 1
+        assert len(fifo) == depth
+        assert fifo.max_depth == max_depth

@@ -1,0 +1,58 @@
+"""Tests for the memory model and the paper's bit-width arithmetic."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hw.memory import (
+    MemoryModel,
+    buffer_filler_bits,
+    row_index_bits,
+    timestep_bits,
+)
+
+
+class TestBitWidths:
+    def test_paper_logical_inputs(self):
+        # Section 4: a length-256 GUST has 18,433 logical input bits
+        # (256*32 matrix + 256*32 vector + 256*8 indices + 1 dump).
+        assert timestep_bits(256) == 18_433
+
+    def test_buffer_filler_double_buffer(self):
+        # Section 4: 36,866 bits of on-chip memory for length 256.
+        assert buffer_filler_bits(256) == 36_866
+
+    def test_row_index_bits(self):
+        assert row_index_bits(256) == 8
+        assert row_index_bits(87) == 7
+        assert row_index_bits(2) == 1
+        assert row_index_bits(1) == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(HardwareConfigError, match="positive"):
+            row_index_bits(0)
+
+
+class TestMemoryModel:
+    def test_traffic_accounting(self):
+        model = MemoryModel(4)
+        model.stream_vector_in(10)
+        model.stream_timestep(valid_lanes=3)
+        model.write_outputs(4)
+        stats = model.stats
+        assert stats.offchip_read_words == 10 + 9
+        assert stats.onchip_write_words == 10 + 9 + 6
+        assert stats.onchip_read_words == 6 + 4
+        assert stats.offchip_write_words == 4
+
+    def test_merge(self):
+        a = MemoryModel(2)
+        a.stream_vector_in(5)
+        b = MemoryModel(2)
+        b.write_outputs(3)
+        merged = a.stats.merge(b.stats)
+        assert merged.offchip_read_words == 5
+        assert merged.offchip_write_words == 3
+
+    def test_bad_length(self):
+        with pytest.raises(HardwareConfigError, match="positive"):
+            MemoryModel(0)

@@ -1,0 +1,127 @@
+"""Tests for the iterative solvers on GUST-scheduled operators."""
+
+import numpy as np
+import pytest
+
+from repro import CooMatrix, GustPipeline
+from repro.errors import SolverError
+from repro.solvers import conjugate_gradient, jacobi, power_iteration
+from repro.sparse.convert import from_dense, to_dense
+
+
+def _spd_matrix(n: int, seed: int = 0) -> CooMatrix:
+    """Sparse diagonally dominant SPD matrix."""
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n, n))
+    for i in range(n):
+        neighbours = rng.choice(n, size=3, replace=False)
+        for j in neighbours:
+            if i != j:
+                value = -abs(rng.normal())
+                dense[i, j] += value
+                dense[j, i] += value
+    dense += np.diag(np.abs(dense).sum(axis=1) + 1.0)
+    return from_dense(dense)
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, rng):
+        matrix = _spd_matrix(120, seed=1)
+        x_true = rng.normal(size=120)
+        b = matrix.matvec(x_true)
+        result = conjugate_gradient(matrix, b, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+
+    def test_matches_numpy_solve(self, rng):
+        matrix = _spd_matrix(60, seed=2)
+        b = rng.normal(size=60)
+        result = conjugate_gradient(matrix, b, tol=1e-12)
+        np.testing.assert_allclose(
+            result.x, np.linalg.solve(to_dense(matrix), b), atol=1e-6
+        )
+
+    def test_accounting(self, rng):
+        matrix = _spd_matrix(80, seed=3)
+        b = rng.normal(size=80)
+        result = conjugate_gradient(matrix, b)
+        assert result.spmv_count == result.iterations
+        assert result.total_accelerator_cycles > 0
+        assert result.preprocess_seconds > 0
+
+    def test_rejects_non_square(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0]), np.array([0]), np.ones(1), (2, 3)
+        )
+        with pytest.raises(SolverError, match="square"):
+            conjugate_gradient(matrix, np.zeros(3))
+
+    def test_rejects_indefinite(self):
+        # -I is negative definite; CG must refuse.
+        n = 8
+        matrix = CooMatrix.from_arrays(
+            np.arange(n), np.arange(n), -np.ones(n), (n, n)
+        )
+        with pytest.raises(SolverError, match="positive definite"):
+            conjugate_gradient(matrix, np.ones(n))
+
+    def test_wrong_b_length(self):
+        matrix = _spd_matrix(10)
+        with pytest.raises(SolverError, match="shape"):
+            conjugate_gradient(matrix, np.zeros(11))
+
+    def test_custom_pipeline(self, rng):
+        matrix = _spd_matrix(64, seed=4)
+        b = rng.normal(size=64)
+        pipeline = GustPipeline(16, algorithm="first_fit")
+        result = conjugate_gradient(matrix, b, pipeline=pipeline, tol=1e-10)
+        assert result.converged
+
+
+class TestJacobi:
+    def test_solves_dominant_system(self, rng):
+        matrix = _spd_matrix(100, seed=5)
+        x_true = rng.normal(size=100)
+        b = matrix.matvec(x_true)
+        result = jacobi(matrix, b, tol=1e-10, max_iterations=2000)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-5)
+
+    def test_rejects_zero_diagonal(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 1]), np.array([1, 0]), np.ones(2), (2, 2)
+        )
+        with pytest.raises(SolverError, match="diagonal"):
+            jacobi(matrix, np.ones(2))
+
+    def test_rejects_non_square(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0]), np.array([0]), np.ones(1), (1, 2)
+        )
+        with pytest.raises(SolverError, match="square"):
+            jacobi(matrix, np.zeros(2))
+
+
+class TestPowerIteration:
+    def test_finds_dominant_eigenpair(self):
+        matrix = _spd_matrix(60, seed=6)
+        result = power_iteration(matrix, tol=1e-12, max_iterations=3000)
+        dense = to_dense(matrix)
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert result.eigenvalue == pytest.approx(
+            eigenvalues[-1], rel=1e-6
+        )
+        residual = dense @ result.vector - result.eigenvalue * result.vector
+        assert np.linalg.norm(residual) < 1e-5
+
+    def test_rejects_non_square(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0]), np.array([0]), np.ones(1), (1, 2)
+        )
+        with pytest.raises(SolverError, match="square"):
+            power_iteration(matrix)
+
+    def test_rejects_zero_matrix(self):
+        matrix = CooMatrix.empty((4, 4))
+        with pytest.raises(SolverError, match="annihilated"):
+            power_iteration(matrix)

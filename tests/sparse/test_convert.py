@@ -1,0 +1,48 @@
+"""Tests for scipy/dense boundary conversions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro.errors import MatrixFormatError
+from repro.sparse.convert import from_dense, from_scipy, to_dense, to_scipy
+from tests.strategies import coo_matrices
+
+
+class TestScipy:
+    def test_roundtrip(self, small_matrix):
+        assert from_scipy(to_scipy(small_matrix)) == small_matrix
+
+    def test_from_scipy_formats(self, small_matrix):
+        scipy_matrix = to_scipy(small_matrix)
+        for converted in (scipy_matrix.tocsr(), scipy_matrix.tocsc()):
+            assert from_scipy(converted) == small_matrix
+
+    def test_from_scipy_sums_duplicates(self):
+        scipy_matrix = sp.coo_matrix(
+            (np.array([1.0, 2.0]), (np.array([0, 0]), np.array([0, 0]))),
+            shape=(1, 1),
+        )
+        assert from_scipy(scipy_matrix).data.tolist() == [3.0]
+
+
+class TestDense:
+    def test_roundtrip(self, small_matrix):
+        assert from_dense(to_dense(small_matrix)) == small_matrix
+
+    def test_from_dense_drops_zeros(self):
+        matrix = from_dense(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert matrix.nnz == 2
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(MatrixFormatError, match="2-D"):
+            from_dense(np.zeros(4))
+
+    @given(coo_matrices(max_dim=20))
+    @settings(max_examples=30, deadline=None)
+    def test_dense_matvec_agreement(self, matrix):
+        x = np.linspace(-1, 1, matrix.shape[1])
+        np.testing.assert_allclose(
+            matrix.matvec(x), to_dense(matrix) @ x, atol=1e-12
+        )

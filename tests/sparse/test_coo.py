@@ -1,0 +1,212 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro import CooMatrix
+from repro.errors import MatrixFormatError
+from tests.strategies import coo_matrices
+
+
+class TestConstruction:
+    def test_sorted_and_deduplicated(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([1, 0, 1]), np.array([0, 1, 0]), np.array([2.0, 3.0, 4.0]),
+            (2, 2),
+        )
+        assert matrix.nnz == 2
+        assert matrix.rows.tolist() == [0, 1]
+        assert matrix.cols.tolist() == [1, 0]
+        assert matrix.data.tolist() == [3.0, 6.0]  # duplicates summed
+
+    def test_duplicates_rejected_when_disallowed(self):
+        with pytest.raises(MatrixFormatError, match="duplicate"):
+            CooMatrix.from_arrays(
+                np.array([0, 0]), np.array([0, 0]), np.array([1.0, 1.0]),
+                (1, 1), sum_duplicates=False,
+            )
+
+    def test_explicit_zeros_dropped(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 1]), np.array([0, 1]), np.array([0.0, 5.0]), (2, 2)
+        )
+        assert matrix.nnz == 1
+        assert matrix.data.tolist() == [5.0]
+
+    def test_duplicates_cancelling_to_zero_dropped(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 0]), np.array([0, 0]), np.array([1.0, -1.0]), (1, 1)
+        )
+        assert matrix.nnz == 0
+
+    def test_row_out_of_range(self):
+        with pytest.raises(MatrixFormatError, match="row index"):
+            CooMatrix.from_arrays(
+                np.array([2]), np.array([0]), np.array([1.0]), (2, 2)
+            )
+
+    def test_col_out_of_range(self):
+        with pytest.raises(MatrixFormatError, match="column index"):
+            CooMatrix.from_arrays(
+                np.array([0]), np.array([5]), np.array([1.0]), (2, 2)
+            )
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            CooMatrix.from_arrays(
+                np.array([-1]), np.array([0]), np.array([1.0]), (2, 2)
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MatrixFormatError, match="disagree"):
+            CooMatrix.from_arrays(
+                np.array([0]), np.array([0, 1]), np.array([1.0]), (2, 2)
+            )
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(MatrixFormatError, match="shape"):
+            CooMatrix.from_arrays(
+                np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0), (-1, 2)
+            )
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(MatrixFormatError, match="1-D"):
+            CooMatrix.from_arrays(
+                np.zeros((1, 1), np.int64), np.zeros(1, np.int64),
+                np.zeros(1), (2, 2),
+            )
+
+    def test_empty(self):
+        matrix = CooMatrix.empty((3, 4))
+        assert matrix.nnz == 0
+        assert matrix.shape == (3, 4)
+        assert matrix.density == 0.0
+
+
+class TestProperties:
+    def test_density(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0]), np.array([0]), np.array([1.0]), (2, 5)
+        )
+        assert matrix.density == pytest.approx(0.1)
+
+    def test_zero_dim_density(self):
+        assert CooMatrix.empty((0, 5)).density == 0.0
+
+    def test_row_col_counts(self, small_matrix):
+        assert small_matrix.row_counts().sum() == small_matrix.nnz
+        assert small_matrix.col_counts().sum() == small_matrix.nnz
+        assert small_matrix.row_counts().shape == (small_matrix.shape[0],)
+        assert small_matrix.col_counts().shape == (small_matrix.shape[1],)
+
+
+class TestOperations:
+    def test_matvec_matches_scipy(self, small_matrix, rng):
+        x = rng.normal(size=small_matrix.shape[1])
+        reference = sp.coo_matrix(
+            (small_matrix.data, (small_matrix.rows, small_matrix.cols)),
+            shape=small_matrix.shape,
+        )
+        np.testing.assert_allclose(small_matrix.matvec(x), reference @ x)
+
+    def test_matvec_wrong_length(self, small_matrix):
+        with pytest.raises(MatrixFormatError, match="incompatible"):
+            small_matrix.matvec(np.zeros(small_matrix.shape[1] + 1))
+
+    def test_transpose_involution(self, small_matrix):
+        assert small_matrix.transpose().transpose() == small_matrix
+
+    def test_transpose_matvec(self, small_matrix, rng):
+        x = rng.normal(size=small_matrix.shape[0])
+        reference = sp.coo_matrix(
+            (small_matrix.data, (small_matrix.rows, small_matrix.cols)),
+            shape=small_matrix.shape,
+        ).T
+        np.testing.assert_allclose(
+            small_matrix.transpose().matvec(x), reference @ x
+        )
+
+    def test_permute_rows_roundtrip(self, small_matrix, rng):
+        m = small_matrix.shape[0]
+        perm = rng.permutation(m)
+        inverse = np.empty(m, dtype=np.int64)
+        inverse[perm] = np.arange(m)
+        assert small_matrix.permute_rows(perm).permute_rows(inverse) == small_matrix
+
+    def test_permute_rows_moves_data(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0]), np.array([1]), np.array([5.0]), (2, 2)
+        )
+        permuted = matrix.permute_rows(np.array([1, 0]))
+        assert permuted.rows.tolist() == [1]
+
+    def test_permute_rejects_non_permutation(self, small_matrix):
+        bad = np.zeros(small_matrix.shape[0], dtype=np.int64)
+        with pytest.raises(MatrixFormatError, match="permutation"):
+            small_matrix.permute_rows(bad)
+
+    def test_permute_cols_matvec_consistency(self, small_matrix, rng):
+        n = small_matrix.shape[1]
+        perm = rng.permutation(n)
+        permuted = small_matrix.permute_cols(perm)
+        x = rng.normal(size=n)
+        # Permuting the vector the same way leaves the product unchanged.
+        np.testing.assert_allclose(
+            small_matrix.matvec(x),
+            permuted.matvec(_permute_vector(x, perm)),
+        )
+
+    def test_row_window_extracts_and_rebases(self, square_matrix):
+        window = square_matrix.row_window(32, 64)
+        assert window.shape == (32, square_matrix.shape[1])
+        mask = (square_matrix.rows >= 32) & (square_matrix.rows < 64)
+        assert window.nnz == int(mask.sum())
+        assert (window.rows < 32).all()
+
+    def test_row_window_bad_range(self, square_matrix):
+        with pytest.raises(MatrixFormatError, match="window"):
+            square_matrix.row_window(10, 5)
+
+    def test_with_data_same_pattern(self, small_matrix, rng):
+        new_values = rng.uniform(1.0, 2.0, size=small_matrix.nnz)
+        updated = small_matrix.with_data(new_values)
+        assert np.array_equal(updated.rows, small_matrix.rows)
+        np.testing.assert_array_equal(updated.data, new_values)
+
+    def test_with_data_wrong_length(self, small_matrix):
+        with pytest.raises(MatrixFormatError, match="length"):
+            small_matrix.with_data(np.ones(small_matrix.nnz + 1))
+
+    def test_with_data_rejects_zeros(self, small_matrix):
+        values = np.ones(small_matrix.nnz)
+        values[0] = 0.0
+        with pytest.raises(MatrixFormatError, match="zero"):
+            small_matrix.with_data(values)
+
+
+def _permute_vector(x, perm):
+    """x in new column order: position perm[j] holds old x[j]."""
+    out = np.empty_like(x)
+    out[perm] = x
+    return out
+
+
+class TestPropertyBased:
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_invariants(self, matrix):
+        # Sorted by (row, col), no duplicates, no zeros, counts consistent.
+        keys = matrix.rows * max(1, matrix.shape[1]) + matrix.cols
+        assert (np.diff(keys) > 0).all() if keys.size > 1 else True
+        assert (matrix.data != 0).all()
+        assert matrix.row_counts().sum() == matrix.nnz
+
+    @given(coo_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_matches_dense(self, matrix):
+        x = np.linspace(-1.0, 1.0, matrix.shape[1])
+        dense = np.zeros(matrix.shape)
+        dense[matrix.rows, matrix.cols] = matrix.data
+        np.testing.assert_allclose(matrix.matvec(x), dense @ x, atol=1e-12)

@@ -1,0 +1,76 @@
+"""Unit tests for the CSR container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro import CooMatrix, CsrMatrix
+from repro.errors import MatrixFormatError
+from tests.strategies import coo_matrices
+
+
+class TestConstruction:
+    def test_from_coo_roundtrip(self, small_matrix):
+        csr = CsrMatrix.from_coo(small_matrix)
+        assert csr.to_coo() == small_matrix
+
+    def test_from_arrays_validation(self):
+        with pytest.raises(MatrixFormatError, match="indptr"):
+            CsrMatrix.from_arrays(np.array([0, 1]), np.array([0]), np.ones(1), (3, 3))
+        with pytest.raises(MatrixFormatError, match="end at nnz"):
+            CsrMatrix.from_arrays(
+                np.array([0, 2]), np.array([0]), np.ones(1), (1, 3)
+            )
+        with pytest.raises(MatrixFormatError, match="non-decreasing"):
+            CsrMatrix.from_arrays(
+                np.array([0, 2, 1, 3]), np.array([0, 1, 2]), np.ones(3), (3, 3)
+            )
+        with pytest.raises(MatrixFormatError, match="column index"):
+            CsrMatrix.from_arrays(
+                np.array([0, 1]), np.array([9]), np.ones(1), (1, 3)
+            )
+        with pytest.raises(MatrixFormatError, match="equal length"):
+            CsrMatrix.from_arrays(
+                np.array([0, 1]), np.array([0]), np.ones(2), (1, 3)
+            )
+
+
+class TestAccess:
+    def test_row_access(self, small_matrix):
+        csr = CsrMatrix.from_coo(small_matrix)
+        for i in range(small_matrix.shape[0]):
+            cols, vals = csr.row(i)
+            mask = small_matrix.rows == i
+            np.testing.assert_array_equal(cols, small_matrix.cols[mask])
+            np.testing.assert_array_equal(vals, small_matrix.data[mask])
+            assert csr.row_nnz(i) == int(mask.sum())
+
+    def test_nnz(self, small_matrix):
+        assert CsrMatrix.from_coo(small_matrix).nnz == small_matrix.nnz
+
+
+class TestMatvec:
+    def test_matches_scipy(self, small_matrix, rng):
+        csr = CsrMatrix.from_coo(small_matrix)
+        x = rng.normal(size=small_matrix.shape[1])
+        reference = sp.csr_matrix(
+            (csr.data, csr.indices, csr.indptr), shape=csr.shape
+        )
+        np.testing.assert_allclose(csr.matvec(x), reference @ x)
+
+    def test_wrong_vector_length(self, small_matrix):
+        csr = CsrMatrix.from_coo(small_matrix)
+        with pytest.raises(MatrixFormatError, match="incompatible"):
+            csr.matvec(np.zeros(small_matrix.shape[1] + 3))
+
+    def test_empty_matrix(self):
+        csr = CsrMatrix.from_coo(CooMatrix.empty((4, 5)))
+        np.testing.assert_array_equal(csr.matvec(np.ones(5)), np.zeros(4))
+
+    @given(coo_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_equals_coo(self, matrix):
+        csr = CsrMatrix.from_coo(matrix)
+        x = np.linspace(0.5, 1.5, matrix.shape[1])
+        np.testing.assert_allclose(csr.matvec(x), matrix.matvec(x), atol=1e-12)

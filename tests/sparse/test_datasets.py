@@ -1,0 +1,88 @@
+"""Tests for the surrogate dataset registry."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.sparse.datasets import (
+    dataset_names,
+    figure7_suite,
+    get_spec,
+    load_dataset,
+    serpens_suite,
+)
+
+
+class TestRegistry:
+    def test_suite_sizes(self):
+        assert len(figure7_suite()) == 12
+        assert len(serpens_suite()) == 9
+        assert len(dataset_names()) == 21
+
+    def test_paper_metadata_consistent(self):
+        for spec in figure7_suite() + serpens_suite():
+            assert spec.paper_dim > 0
+            assert spec.paper_nnz > 0
+            assert 0 < spec.paper_density < 1
+            assert spec.mean_row_degree == pytest.approx(
+                spec.paper_nnz / spec.paper_dim
+            )
+
+    def test_known_matrix_values(self):
+        spec = get_spec("wiki-Vote")
+        assert spec.paper_dim == 8_297
+        assert spec.source == "SNAP"
+        spec = get_spec("crankseg_2")
+        assert spec.paper_nnz == 14_148_858
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            get_spec("not_a_matrix")
+
+
+class TestLoading:
+    def test_small_matrix_loaded_at_paper_size(self):
+        spec = get_spec("CollegeMsg")  # dim 1899 > floor 1024, stays close
+        matrix = load_dataset("CollegeMsg", scale=64)
+        assert matrix.shape[0] >= 1024
+
+    def test_scaling_preserves_row_degree(self):
+        spec = get_spec("scircuit")
+        matrix = load_dataset("scircuit", scale=32)
+        measured = matrix.nnz / matrix.shape[0]
+        assert measured == pytest.approx(spec.mean_row_degree, rel=0.35)
+
+    def test_scale_one_gives_paper_dim(self):
+        matrix = load_dataset("TSCOPF-1047", scale=1.0)
+        assert matrix.shape == (1_047, 1_047)
+
+    def test_floor_dim_respected(self):
+        matrix = load_dataset("soc_pokec", scale=10_000, floor_dim=2048)
+        assert matrix.shape[0] == 2048
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError, match="scale"):
+            load_dataset("scircuit", scale=0.5)
+
+    def test_deterministic(self):
+        assert load_dataset("wiki-Vote", scale=8) == load_dataset(
+            "wiki-Vote", scale=8
+        )
+
+    def test_every_family_generates(self):
+        # One representative per family keeps this fast.
+        for name in (
+            "scircuit",       # circuit
+            "poisson3db",     # fem
+            "wiki-Vote",      # social
+            "cage12",         # kreg
+            "TSCOPF-1047",    # block
+            "mycielskian11",  # dense
+            "Si41Ge41H72",    # quantum
+        ):
+            matrix = load_dataset(name, scale=64)
+            assert matrix.nnz > 0, name
+
+    def test_density_capped(self):
+        # heart1 at tiny dimension would exceed density 0.5 without the cap.
+        matrix = load_dataset("heart1", scale=1000, floor_dim=512)
+        assert matrix.density <= 0.55

@@ -1,0 +1,171 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.sparse.generators import (
+    banded,
+    block_diagonal,
+    k_regular,
+    power_law,
+    uniform_random,
+)
+
+
+class TestUniform:
+    def test_density_approximate(self):
+        matrix = uniform_random(200, 200, 0.05, seed=1)
+        assert matrix.density == pytest.approx(0.05, rel=0.15)
+
+    def test_deterministic(self):
+        assert uniform_random(50, 50, 0.1, seed=3) == uniform_random(
+            50, 50, 0.1, seed=3
+        )
+
+    def test_seed_changes_output(self):
+        assert uniform_random(50, 50, 0.1, seed=3) != uniform_random(
+            50, 50, 0.1, seed=4
+        )
+
+    def test_zero_density(self):
+        assert uniform_random(10, 10, 0.0).nnz == 0
+
+    def test_full_density(self):
+        assert uniform_random(8, 8, 1.0, seed=0).nnz == 64
+
+    def test_invalid_density(self):
+        with pytest.raises(DatasetError, match="density"):
+            uniform_random(10, 10, 1.5)
+
+    def test_negative_dim(self):
+        with pytest.raises(DatasetError, match="non-negative"):
+            uniform_random(-1, 10, 0.1)
+
+    def test_zero_dim(self):
+        assert uniform_random(0, 10, 0.5).nnz == 0
+
+    def test_values_nonzero(self):
+        matrix = uniform_random(100, 100, 0.05, seed=2)
+        assert (matrix.data != 0).all()
+        assert (matrix.data >= 0.1).all()
+
+
+class TestPowerLaw:
+    def test_nnz_close_to_target(self):
+        matrix = power_law(400, 400, 0.01, seed=5)
+        assert matrix.nnz == pytest.approx(400 * 400 * 0.01, rel=0.25)
+
+    def test_heavy_tail_present(self):
+        matrix = power_law(600, 600, 0.01, seed=6)
+        counts = matrix.row_counts()
+        assert counts.max() > 4 * counts.mean()
+
+    def test_hub_cap_respected(self):
+        matrix = power_law(600, 600, 0.01, seed=6, hub_cap=50.0)
+        counts = matrix.row_counts()
+        # Expected max degree is capped at 50x mean; allow sampling headroom.
+        assert counts.max() <= 50.0 * max(1.0, counts.mean()) * 2.0
+
+    def test_tighter_cap_smaller_hub(self):
+        loose = power_law(600, 600, 0.01, seed=6, hub_cap=200.0)
+        tight = power_law(600, 600, 0.01, seed=6, hub_cap=5.0)
+        assert tight.row_counts().max() <= loose.row_counts().max()
+
+    def test_invalid_hub_cap(self):
+        with pytest.raises(DatasetError, match="hub_cap"):
+            power_law(10, 10, 0.1, hub_cap=0.5)
+
+    def test_zero_density(self):
+        assert power_law(10, 10, 0.0).nnz == 0
+
+    def test_deterministic(self):
+        assert power_law(100, 100, 0.02, seed=1) == power_law(
+            100, 100, 0.02, seed=1
+        )
+
+
+class TestKRegular:
+    def test_exact_row_degree(self):
+        matrix = k_regular(64, 64, 5, seed=1)
+        assert (matrix.row_counts() == 5).all()
+
+    def test_square_column_degree_balanced(self):
+        matrix = k_regular(64, 64, 5, seed=1)
+        counts = matrix.col_counts()
+        # Union of permutations with small repair drift.
+        assert counts.min() >= 3
+        assert counts.max() <= 8
+
+    def test_rectangular(self):
+        matrix = k_regular(30, 50, 4, seed=2)
+        assert (matrix.row_counts() == 4).all()
+        assert matrix.shape == (30, 50)
+
+    def test_k_zero(self):
+        assert k_regular(10, 10, 0).nnz == 0
+
+    def test_k_exceeds_n(self):
+        with pytest.raises(DatasetError, match="exceeds"):
+            k_regular(10, 5, 6)
+
+    def test_negative_k(self):
+        with pytest.raises(DatasetError, match="non-negative"):
+            k_regular(10, 10, -1)
+
+    def test_k_equals_n_is_dense(self):
+        matrix = k_regular(6, 6, 6, seed=0)
+        assert matrix.nnz == 36
+
+
+class TestBanded:
+    def test_full_band_width(self):
+        matrix = banded(20, 20, bandwidth=2, fill=1.0, seed=0)
+        spread = np.abs(matrix.rows - matrix.cols)
+        assert spread.max() <= 2
+        # Interior rows get the full 2*bw+1 band.
+        assert matrix.row_counts()[5] == 5
+
+    def test_partial_fill_keeps_diagonal(self):
+        matrix = banded(50, 50, bandwidth=3, fill=0.3, seed=1)
+        diag_present = set(
+            zip(matrix.rows.tolist(), matrix.cols.tolist())
+        )
+        assert all((i, i) in diag_present for i in range(50))
+
+    def test_rectangular_band_follows_scaled_diagonal(self):
+        matrix = banded(10, 40, bandwidth=1, fill=1.0, seed=0)
+        centers = (matrix.rows * 4).astype(np.int64)
+        assert (np.abs(matrix.cols - centers) <= 1).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(DatasetError, match="bandwidth"):
+            banded(5, 5, bandwidth=-1)
+        with pytest.raises(DatasetError, match="fill"):
+            banded(5, 5, bandwidth=1, fill=2.0)
+
+    def test_zero_dim(self):
+        assert banded(0, 5, 1).nnz == 0
+
+
+class TestBlockDiagonal:
+    def test_blocks_on_diagonal(self):
+        matrix = block_diagonal(40, 40, block=10, block_density=1.0, seed=0)
+        assert (matrix.rows // 10 == matrix.cols // 10).all()
+        assert matrix.nnz == 40 * 10
+
+    def test_density_within_blocks(self):
+        matrix = block_diagonal(100, 100, block=20, block_density=0.5, seed=1)
+        expected = 100 * 20 * 0.5
+        assert matrix.nnz == pytest.approx(expected, rel=0.2)
+
+    def test_invalid_args(self):
+        with pytest.raises(DatasetError, match="block size"):
+            block_diagonal(10, 10, block=0)
+        with pytest.raises(DatasetError, match="block_density"):
+            block_diagonal(10, 10, block=2, block_density=-0.1)
+
+    def test_non_divisible_dimension(self):
+        matrix = block_diagonal(25, 25, block=10, block_density=1.0, seed=0)
+        assert matrix.shape == (25, 25)
+        assert (matrix.rows < 25).all() and (matrix.cols < 25).all()

@@ -1,0 +1,85 @@
+"""Tests for the Matrix Market reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro import CooMatrix
+from repro.errors import MatrixFormatError
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+
+class TestRoundtrip:
+    def test_write_read(self, small_matrix, tmp_path):
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(small_matrix, path)
+        assert read_matrix_market(path) == small_matrix
+
+    def test_empty_matrix(self, tmp_path):
+        path = tmp_path / "empty.mtx"
+        write_matrix_market(CooMatrix.empty((3, 7)), path)
+        loaded = read_matrix_market(path)
+        assert loaded.shape == (3, 7)
+        assert loaded.nnz == 0
+
+
+class TestFormats:
+    def test_pattern_matrix(self, tmp_path):
+        path = tmp_path / "pattern.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        matrix = read_matrix_market(path)
+        assert matrix.nnz == 2
+        assert (matrix.data == 1.0).all()
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n1 1 5.0\n3 1 2.0\n"
+        )
+        matrix = read_matrix_market(path)
+        assert matrix.nnz == 3  # diagonal + two mirrored off-diagonals
+        dense = np.zeros((3, 3))
+        dense[matrix.rows, matrix.cols] = matrix.data
+        np.testing.assert_array_equal(dense, dense.T)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "comments.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "1 1 1\n1 1 4.0\n"
+        )
+        assert read_matrix_market(path).data.tolist() == [4.0]
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix\n1 1 0\n")
+        with pytest.raises(MatrixFormatError, match="header"):
+            read_matrix_market(path)
+
+    def test_array_format_rejected(self, tmp_path):
+        path = tmp_path / "array.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n1 1\n1.0\n")
+        with pytest.raises(MatrixFormatError, match="coordinate"):
+            read_matrix_market(path)
+
+    def test_truncated_entries(self, tmp_path):
+        path = tmp_path / "trunc.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        )
+        with pytest.raises(MatrixFormatError, match="truncated"):
+            read_matrix_market(path)
+
+    def test_bad_size_line(self, tmp_path):
+        path = tmp_path / "size.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\nnot numbers\n"
+        )
+        with pytest.raises(MatrixFormatError, match="size line"):
+            read_matrix_market(path)

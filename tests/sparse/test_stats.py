@@ -1,0 +1,121 @@
+"""Tests for sparsity statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import CooMatrix, uniform_random
+from repro.errors import HardwareConfigError
+from repro.sparse.stats import (
+    colseg_degrees,
+    geometric_mean,
+    row_degrees,
+    window_bounds,
+    window_color_lower_bound,
+    window_count,
+    window_degree_std,
+)
+from tests.strategies import coo_matrices
+
+
+class TestWindows:
+    def test_window_count(self):
+        assert window_count(100, 32) == 4
+        assert window_count(96, 32) == 3
+        assert window_count(1, 32) == 1
+        assert window_count(0, 32) == 0
+
+    def test_window_bounds_cover_rows(self):
+        bounds = window_bounds(100, 32)
+        assert bounds[0] == (0, 32)
+        assert bounds[-1] == (96, 100)
+        covered = sum(stop - start for start, stop in bounds)
+        assert covered == 100
+
+    def test_invalid_length(self):
+        with pytest.raises(HardwareConfigError, match="positive"):
+            window_count(10, 0)
+
+
+class TestDegrees:
+    def test_row_degrees(self, small_matrix):
+        np.testing.assert_array_equal(
+            row_degrees(small_matrix), small_matrix.row_counts()
+        )
+
+    def test_colseg_degrees_sum(self, small_matrix):
+        segs = colseg_degrees(small_matrix, 8)
+        assert segs.sum() == small_matrix.nnz
+        assert segs.shape == (8,)
+
+    def test_colseg_folding(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 0, 0]), np.array([1, 5, 9]), np.ones(3), (1, 12)
+        )
+        segs = colseg_degrees(matrix, 4)
+        assert segs[1] == 3  # columns 1, 5, 9 all fold onto segment 1
+
+
+class TestColorLowerBound:
+    def test_single_window_max_degree(self):
+        # One row with 3 nonzeros in distinct segments: row degree dominates.
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 0, 0]), np.array([0, 1, 2]), np.ones(3), (2, 4)
+        )
+        assert window_color_lower_bound(matrix, 2) == [3]
+
+    def test_column_segment_dominates(self):
+        # Two rows, both hitting column 0: segment degree 2 > row degree 1.
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 1]), np.array([0, 0]), np.ones(2), (2, 4)
+        )
+        assert window_color_lower_bound(matrix, 2) == [2]
+
+    def test_multiple_windows(self, square_matrix):
+        bounds = window_color_lower_bound(square_matrix, 32)
+        assert len(bounds) == 3
+        assert all(b >= 1 for b in bounds)
+
+    def test_empty_matrix(self):
+        assert window_color_lower_bound(CooMatrix.empty((10, 10)), 4) == [
+            0,
+            0,
+            0,
+        ]
+
+    @given(coo_matrices(max_dim=30))
+    @settings(max_examples=40, deadline=None)
+    def test_bound_at_least_mean_work(self, matrix):
+        length = 8
+        bounds = window_color_lower_bound(matrix, length)
+        # Sum of window maxima is at least total work / length.
+        assert sum(bounds) >= matrix.nnz / length - 1e-9
+
+
+class TestDegreeStd:
+    def test_uniform_rows_zero_std(self):
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 1, 2, 3]), np.array([0, 1, 2, 3]), np.ones(4), (4, 4)
+        )
+        row_std, _ = window_degree_std(matrix, 4)
+        assert row_std == 0.0
+
+    def test_skewed_rows_positive_std(self, square_matrix):
+        row_std, col_std = window_degree_std(square_matrix, 32)
+        assert row_std > 0
+        assert col_std > 0
+
+    def test_empty(self):
+        assert window_degree_std(CooMatrix.empty((0, 0)), 4) == (0.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,61 @@
+"""Hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro import CooMatrix
+from repro.graph.bipartite import WindowGraph
+
+
+@st.composite
+def coo_matrices(
+    draw,
+    max_dim: int = 48,
+    max_density: float = 0.4,
+    min_dim: int = 1,
+):
+    """Random canonical COO matrices, including empty and degenerate ones."""
+    m = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    n = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    density = draw(st.floats(min_value=0.0, max_value=max_density))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    total = m * n
+    nnz = int(round(total * density))
+    if nnz == 0:
+        return CooMatrix.empty((m, n))
+    flat = rng.choice(total, size=min(nnz, total), replace=False)
+    rows, cols = np.divmod(flat, n)
+    values = rng.uniform(0.5, 2.0, size=rows.size)
+    return CooMatrix.from_arrays(rows, cols, values, (m, n))
+
+
+@st.composite
+def window_graphs(draw, max_length: int = 16, max_edges: int = 120):
+    """Random window bipartite multigraphs (parallel edges included)."""
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    local_rows = rng.integers(0, length, size=edge_count)
+    # Columns span several fold layers so parallel edges occur naturally.
+    cols = rng.integers(0, length * 4, size=edge_count)
+    # Deduplicate (row, col) pairs to mirror canonical COO input.
+    if edge_count:
+        keys = local_rows * (length * 4) + cols
+        _, unique_idx = np.unique(keys, return_index=True)
+        unique_idx.sort()
+        local_rows = local_rows[unique_idx]
+        cols = cols[unique_idx]
+    order = np.lexsort((cols, local_rows))
+    local_rows, cols = local_rows[order], cols[order]
+    values = rng.uniform(0.5, 2.0, size=local_rows.size)
+    return WindowGraph(
+        length=length,
+        local_rows=local_rows.astype(np.int64),
+        colsegs=(cols % length).astype(np.int64),
+        cols=cols.astype(np.int64),
+        values=values,
+    )

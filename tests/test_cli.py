@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+
+@pytest.fixture
+def matrix_file(tmp_path, small_matrix):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(small_matrix, path)
+    return path
+
+
+class TestGenerate:
+    def test_uniform(self, tmp_path, capsys):
+        out = tmp_path / "u.mtx"
+        code = main(
+            [
+                "generate", "--family", "uniform", "--dim", "64",
+                "--density", "0.05", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        matrix = read_matrix_market(out)
+        assert matrix.shape == (64, 64)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_dataset_surrogate(self, tmp_path, capsys):
+        out = tmp_path / "d.mtx"
+        code = main(
+            [
+                "generate", "--dataset", "wiki-Vote", "--scale", "64",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert read_matrix_market(out).nnz > 0
+
+    def test_k_regular(self, tmp_path):
+        out = tmp_path / "k.mtx"
+        code = main(
+            [
+                "generate", "--family", "k_regular", "--dim", "32",
+                "--k", "3", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert (read_matrix_market(out).row_counts() == 3).all()
+
+
+class TestScheduleAndSpmv:
+    def test_schedule_then_spmv(self, matrix_file, tmp_path, capsys):
+        sched = tmp_path / "m.sched.npz"
+        code = main(
+            ["schedule", str(matrix_file), "--length", "16", "--out", str(sched)]
+        )
+        assert code == 0
+        assert "utilization" in capsys.readouterr().out
+
+        code = main(["spmv", str(sched), "--seed", "3"])
+        assert code == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_spmv_cycle_accurate(self, matrix_file, tmp_path, capsys):
+        sched = tmp_path / "m.sched.npz"
+        main(["schedule", str(matrix_file), "--length", "16", "--out", str(sched)])
+        capsys.readouterr()
+        code = main(["spmv", str(sched), "--cycle-accurate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "machine run" in out
+        assert "verified=True" in out
+
+    def test_inspect(self, matrix_file, tmp_path, capsys):
+        sched = tmp_path / "m.sched.npz"
+        main(["schedule", str(matrix_file), "--length", "16", "--out", str(sched)])
+        capsys.readouterr()
+        code = main(["inspect", str(sched)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles/SpMV" in out
+        assert "window colors" in out
+
+    def test_naive_algorithm(self, matrix_file, tmp_path, capsys):
+        sched = tmp_path / "naive.npz"
+        code = main(
+            [
+                "schedule", str(matrix_file), "--length", "16",
+                "--algorithm", "naive", "--out", str(sched),
+            ]
+        )
+        assert code == 0
+        assert "naive" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_table(self, matrix_file, capsys):
+        code = main(["compare", str(matrix_file), "--length", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GUST-EC/LB" in out
+        assert "1D" in out
+        assert "Serpens" in out
+
+
+class TestExperiment:
+    def test_known_experiment(self, capsys):
+        code = main(["experiment", "table5"])
+        assert code == 0
+        assert "crossbar" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["experiment", "fig99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        code = main(["schedule", "no_such.mtx", "--out", "x.npz"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_generate_args(self, tmp_path, capsys):
+        out = tmp_path / "bad.mtx"
+        code = main(
+            [
+                "generate", "--family", "uniform", "--dim", "16",
+                "--density", "2.0", "--out", str(out),
+            ]
+        )
+        assert code == 1

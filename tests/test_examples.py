@@ -1,0 +1,48 @@
+"""The example scripts must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "scheduling_anatomy.py",
+    "iterative_solver.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_utilization():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "utilization" in completed.stdout
+
+
+def test_anatomy_matches_figure5():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "scheduling_anatomy.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "(5, 4)" in completed.stdout  # the paper's window colors
+    assert "correctly rejected" in completed.stdout

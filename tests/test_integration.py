@@ -1,0 +1,113 @@
+"""Cross-module integration tests: dataset -> schedule -> machine -> solver."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GustPipeline,
+    GustScheduler,
+    ParallelGust,
+    load_dataset,
+    uniform_random,
+)
+from repro.accelerators import (
+    AdderTree,
+    Fafnir,
+    FlexTpu,
+    GustAccelerator,
+    Serpens,
+    Systolic1D,
+)
+from repro.core.load_balance import LoadBalancer
+
+
+class TestDatasetsThroughPipeline:
+    @pytest.mark.parametrize(
+        "name", ["scircuit", "wiki-Vote", "TSCOPF-1047", "cage12"]
+    )
+    def test_surrogate_spmv_correct(self, name, rng):
+        matrix = load_dataset(name, scale=128.0, floor_dim=512)
+        x = rng.normal(size=matrix.shape[1])
+        pipeline = GustPipeline(64, validate=True)
+        result = pipeline.spmv(matrix, x)
+        np.testing.assert_allclose(result.y, matrix.matvec(x), rtol=1e-9)
+
+
+class TestAllDesignsAgree:
+    def test_every_design_computes_the_same_product(self, rng):
+        matrix = uniform_random(128, 128, 0.05, seed=21)
+        x = rng.normal(size=128)
+        expected = matrix.matvec(x)
+        designs = [
+            Systolic1D(32),
+            AdderTree(32),
+            FlexTpu(8),
+            Fafnir(16),
+            Serpens(channels=4, lanes=8),
+            GustAccelerator(32),
+            GustAccelerator(32, algorithm="naive", load_balance=False),
+        ]
+        for design in designs:
+            np.testing.assert_allclose(
+                design.spmv(matrix, x), expected, err_msg=design.name
+            )
+
+    def test_utilization_ordering_matches_paper(self):
+        """Table 1's ordering: GUST EC/LB > Fafnir > FTPU > 1D ~= AT."""
+        matrix = load_dataset("soc-Epinions1", scale=64.0, floor_dim=1024)
+        utilizations = {
+            "1D": Systolic1D(256).utilization(matrix),
+            "AT": AdderTree(256).utilization(matrix),
+            "FTPU": FlexTpu.with_units(256).utilization(matrix),
+            "FAFNIR": Fafnir(128).utilization(matrix),
+            "GUST": GustAccelerator(256).utilization(matrix),
+        }
+        assert utilizations["GUST"] > utilizations["FAFNIR"]
+        assert utilizations["FAFNIR"] > utilizations["FTPU"]
+        assert utilizations["FTPU"] > utilizations["1D"]
+        assert utilizations["AT"] == pytest.approx(
+            utilizations["1D"], rel=0.25
+        )
+
+
+class TestScheduleReuseChain:
+    def test_pattern_reuse_through_value_updates(self, rng):
+        """The Jacobian workflow: one coloring, many value refreshes."""
+        matrix = uniform_random(96, 96, 0.06, seed=22)
+        scheduler = GustScheduler(32, validate=True)
+        balancer = LoadBalancer(32)
+        balanced = balancer.balance(matrix)
+        schedule = scheduler.schedule_balanced(balanced)
+        pipeline = GustPipeline(32)
+
+        for trial in range(3):
+            values = rng.uniform(0.5, 1.5, size=matrix.nnz)
+            updated = matrix.with_data(values)
+            updated_balanced = balancer.balance(updated)
+            refreshed = scheduler.reschedule_values(schedule, updated_balanced)
+            x = rng.normal(size=96)
+            y = pipeline.execute(refreshed, updated_balanced, x)
+            np.testing.assert_allclose(y, updated.matvec(x))
+
+
+class TestParallelEquivalence:
+    def test_parallel_cycles_consistent_with_windows(self):
+        matrix = load_dataset("bcircuit", scale=64.0, floor_dim=512)
+        parallel = ParallelGust(64, units=4)
+        report = parallel.run(matrix)
+        assert sum(report.unit_cycles) == report.schedule.total_colors
+        assert report.cycles >= max(report.unit_cycles)
+
+
+class TestWindowEdgeCases:
+    @pytest.mark.parametrize("m,n,length", [(5, 7, 8), (8, 8, 8), (9, 3, 4), (1, 1, 16)])
+    def test_odd_shapes(self, m, n, length, rng):
+        matrix = uniform_random(m, n, 0.5, seed=23)
+        x = rng.normal(size=n)
+        pipeline = GustPipeline(length, validate=True)
+        result = pipeline.spmv(matrix, x)
+        np.testing.assert_allclose(result.y, matrix.matvec(x))
+        y_machine, _ = pipeline.execute_cycle_accurate(
+            result.schedule, result.balanced, x
+        )
+        np.testing.assert_allclose(y_machine, matrix.matvec(x))

@@ -1,0 +1,131 @@
+"""Cross-cutting property-based invariants over the whole stack.
+
+These complement the per-module tests with end-to-end properties that must
+hold for *any* input matrix: scheduling is complete and collision-free,
+cycle counts respect the Eq. (1) lower bound, the optimal coloring never
+loses to the greedy one, and every execution path computes the same
+product.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro import GustPipeline, GustScheduler, GustSpmm
+from repro.core.load_balance import LoadBalancer, identity_balance
+from tests.strategies import coo_matrices
+
+LENGTH = 8
+
+
+class TestSchedulingInvariants:
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_at_least_lower_bound(self, matrix):
+        balanced = identity_balance(matrix, LENGTH)
+        counts = GustScheduler(LENGTH).color_counts(balanced)
+        bounds = balanced.color_lower_bounds(LENGTH)
+        assert all(c >= b for c, b in zip(counts, bounds))
+
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=40, deadline=None)
+    def test_euler_never_worse_than_matching(self, matrix):
+        balanced = identity_balance(matrix, LENGTH)
+        greedy = sum(GustScheduler(LENGTH, "matching").color_counts(balanced))
+        optimal = sum(GustScheduler(LENGTH, "euler").color_counts(balanced))
+        assert optimal <= greedy
+
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=40, deadline=None)
+    def test_euler_hits_lower_bound_exactly(self, matrix):
+        balanced = identity_balance(matrix, LENGTH)
+        optimal = GustScheduler(LENGTH, "euler").color_counts(balanced)
+        assert optimal == balanced.color_lower_bounds(LENGTH)
+
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=40, deadline=None)
+    def test_naive_never_beats_matching(self, matrix):
+        balanced = identity_balance(matrix, LENGTH)
+        greedy = sum(GustScheduler(LENGTH, "matching").color_counts(balanced))
+        naive = sum(GustScheduler(LENGTH, "naive").color_counts(balanced))
+        assert naive >= greedy
+
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=30, deadline=None)
+    def test_utilization_bounded(self, matrix):
+        pipeline = GustPipeline(LENGTH)
+        report, _ = pipeline.preprocess_stats(matrix)
+        assert 0.0 <= report.utilization <= 1.0
+
+
+class TestBalancingInvariants:
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=30, deadline=None)
+    def test_balancing_preserves_product(self, matrix):
+        x = np.linspace(-1.0, 1.0, matrix.shape[1])
+        plain = GustPipeline(LENGTH, load_balance=False).spmv(matrix, x)
+        balanced = GustPipeline(LENGTH, load_balance=True).spmv(matrix, x)
+        np.testing.assert_allclose(plain.y, balanced.y, atol=1e-12)
+
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=30, deadline=None)
+    def test_balanced_bounds_never_exceed_identity_on_segments(self, matrix):
+        # The balancer's snake dealing minimizes per-window segment maxima
+        # heuristically; at minimum it must keep the row-side bound intact
+        # (rows only permuted) and never schedule fewer nonzeros.
+        balanced = LoadBalancer(LENGTH).balance(matrix)
+        assert balanced.matrix.nnz == matrix.nnz
+
+    @given(coo_matrices(max_dim=40))
+    @settings(max_examples=30, deadline=None)
+    def test_colseg_map_is_window_consistent(self, matrix):
+        balanced = LoadBalancer(LENGTH).balance(matrix)
+        m = matrix.shape[0]
+        window_of_row = (
+            balanced.matrix.rows // LENGTH
+            if balanced.matrix.nnz
+            else np.zeros(0, np.int64)
+        )
+        windows = -(-m // LENGTH) if m else 0
+        for w in range(windows):
+            mask = window_of_row == w
+            cols = balanced.matrix.cols[mask]
+            segs = balanced.colseg_of(w, cols, LENGTH)
+            if segs.size:
+                assert segs.min() >= 0
+                assert segs.max() < LENGTH
+                # Same column, same lane — the map is a function.
+                pairs = {}
+                for col, seg in zip(cols.tolist(), segs.tolist()):
+                    assert pairs.setdefault(col, seg) == seg
+
+
+class TestExecutionAgreement:
+    @given(coo_matrices(max_dim=32))
+    @settings(max_examples=20, deadline=None)
+    def test_replay_machine_and_oracle_agree(self, matrix):
+        pipeline = GustPipeline(LENGTH, validate=True)
+        schedule, balanced, _ = pipeline.preprocess(matrix)
+        x = np.linspace(0.5, 1.5, matrix.shape[1])
+        fast = pipeline.execute(schedule, balanced, x)
+        slow, machine = pipeline.execute_cycle_accurate(schedule, balanced, x)
+        oracle = matrix.matvec(x)
+        np.testing.assert_allclose(fast, oracle, atol=1e-12)
+        np.testing.assert_allclose(slow, oracle, atol=1e-12)
+        assert machine.cycles == schedule.execution_cycles
+
+    @given(coo_matrices(max_dim=24, min_dim=2))
+    @settings(max_examples=15, deadline=None)
+    def test_spmm_consistent_with_columnwise_spmv(self, matrix):
+        engine = GustSpmm(LENGTH)
+        dense = np.stack(
+            [
+                np.linspace(0.0, 1.0, matrix.shape[1]),
+                np.linspace(1.0, -1.0, matrix.shape[1]),
+            ],
+            axis=1,
+        )
+        result = engine.spmm(matrix, dense)
+        for j in range(2):
+            np.testing.assert_allclose(
+                result.y[:, j], matrix.matvec(dense[:, j]), atol=1e-12
+            )

@@ -1,0 +1,57 @@
+"""Tests for the shared measurement dataclasses."""
+
+import pytest
+
+from repro.types import CycleReport, EnergyReport, PreprocessReport, RunResult
+
+
+class TestCycleReport:
+    def test_utilization(self):
+        report = CycleReport(cycles=100, useful_ops=50, total_units=10)
+        assert report.utilization == pytest.approx(0.05)
+
+    def test_degenerate_cases(self):
+        assert CycleReport(cycles=0, useful_ops=0, total_units=4).utilization == 0.0
+        assert CycleReport(cycles=10, useful_ops=0, total_units=0).utilization == 0.0
+
+    def test_full_utilization(self):
+        report = CycleReport(cycles=10, useful_ops=40, total_units=4)
+        assert report.utilization == 1.0
+
+    def test_frozen(self):
+        report = CycleReport(cycles=1, useful_ops=1, total_units=1)
+        with pytest.raises(AttributeError):
+            report.cycles = 2
+
+
+class TestEnergyReport:
+    def test_total(self):
+        report = EnergyReport(
+            dynamic_j=1.0, memory_j=2.0, arithmetic_j=3.0, movement_j=4.0
+        )
+        assert report.total_j == 10.0
+
+
+class TestRunResult:
+    def test_derived_metrics(self):
+        report = CycleReport(cycles=96, useful_ops=192, total_units=4)
+        result = RunResult(
+            design="x", matrix="m", cycle_report=report, frequency_hz=96e6
+        )
+        assert result.seconds == pytest.approx(1e-6)
+        assert result.gflops == pytest.approx(192 / 1e-6 / 1e9)
+
+    def test_zero_time(self):
+        report = CycleReport(cycles=0, useful_ops=0, total_units=4)
+        result = RunResult(
+            design="x", matrix="m", cycle_report=report, frequency_hz=96e6
+        )
+        assert result.gflops == 0.0
+
+
+class TestPreprocessReport:
+    def test_notes_default(self):
+        report = PreprocessReport(seconds=1.0)
+        assert report.notes == {}
+        report.notes["stalls"] = 3.0
+        assert report.notes["stalls"] == 3.0
