@@ -38,6 +38,7 @@ from repro.core.bounds import (
     expected_execution_cycles,
     expected_utilization,
 )
+from repro.core.cache import CacheStats, ScheduleCache
 from repro.core.load_balance import BalancedMatrix, LoadBalancer
 from repro.core.machine import GustMachine, MachineResult
 from repro.core.parallel import ParallelGust
@@ -67,6 +68,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BalancedMatrix",
+    "CacheStats",
     "CooMatrix",
     "CsrMatrix",
     "CycleReport",
@@ -84,6 +86,7 @@ __all__ = [
     "RunResult",
     "SCHEDULING_ALGORITHMS",
     "Schedule",
+    "ScheduleCache",
     "SpmmResult",
     "banded",
     "load_schedule",

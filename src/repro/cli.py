@@ -76,6 +76,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     schedule.add_argument("--no-load-balance", action="store_true")
     schedule.add_argument("--out", required=True)
+    schedule.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="preprocess the matrix this many times (with --cache-size > 0, "
+        "repeats after the first hit the schedule cache)",
+    )
+    schedule.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="pattern-keyed schedule cache capacity (0 disables caching)",
+    )
 
     spmv = commands.add_parser("spmv", help="run a scheduled SpMV")
     spmv.add_argument("schedule", help=".npz schedule file")
@@ -133,13 +146,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
     matrix = read_matrix_market(args.matrix)
     pipeline = GustPipeline(
         args.length,
         algorithm=args.algorithm,
         load_balance=not args.no_load_balance,
+        cache=args.cache_size if args.cache_size > 0 else None,
     )
     schedule, balanced, report = pipeline.preprocess(matrix)
+    for repeat in range(1, args.repeats):
+        schedule, balanced, repeat_report = pipeline.preprocess(matrix)
+        kind = "hit" if repeat_report.notes.get("cache_hit") else "cold"
+        print(
+            f"repeat {repeat}: {repeat_report.seconds * 1e3:.2f} ms ({kind})"
+        )
     save_schedule(args.out, schedule, balanced)
     print(
         f"scheduled {matrix} with length-{args.length} {args.algorithm}: "
@@ -148,6 +171,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         f"utilization {schedule.utilization:.1%}, "
         f"preprocessing {report.seconds * 1e3:.1f} ms -> {args.out}"
     )
+    if pipeline.cache is not None:
+        stats = pipeline.cache.stats
+        print(
+            f"schedule cache: {stats.hits} hits, {stats.refreshes} refreshes, "
+            f"{stats.misses} misses (hit rate {stats.hit_rate:.0%})"
+        )
     return 0
 
 

@@ -10,6 +10,7 @@ from repro.core.bounds import (
     expected_execution_cycles,
     expected_utilization,
 )
+from repro.core.cache import CacheStats, ScheduleCache
 from repro.core.load_balance import BalancedMatrix, LoadBalancer
 from repro.core.machine import GustMachine, MachineResult
 from repro.core.naive import naive_coloring, naive_stalls
@@ -22,6 +23,7 @@ from repro.core.spmm import GustSpmm, SpmmResult
 
 __all__ = [
     "BalancedMatrix",
+    "CacheStats",
     "GustMachine",
     "GustPipeline",
     "GustScheduler",
@@ -31,6 +33,7 @@ __all__ = [
     "ParallelGust",
     "PipelineResult",
     "Schedule",
+    "ScheduleCache",
     "SpmmResult",
     "expected_colors",
     "expected_execution_cycles",

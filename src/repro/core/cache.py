@@ -1,0 +1,275 @@
+"""Pattern-keyed schedule cache: pay GUST preprocessing once per pattern.
+
+The paper's economics (Section 3.3, Table 4) rest on scheduling being a
+one-time cost amortized over many SpMV replays.  Iterative workloads
+stretch that further: a Newton solver re-assembles a Jacobian with the same
+sparsity pattern but new values every step, and an SpMM replays one
+schedule per dense column.  This module makes that amortization automatic:
+
+* The cache key is a fingerprint of everything the *coloring* depends on —
+  the sparsity pattern (rows, cols, shape) plus the scheduling
+  configuration (length, algorithm, load-balance flag).  An identity memo
+  recognizes the shared index arrays of :meth:`CooMatrix.with_data`
+  matrices so steady-state lookups skip rehashing; values are compared
+  directly against a stored snapshot (memcmp-speed equality), so even
+  in-place edits of a cached matrix's data register as changes.
+* A lookup with identical pattern **and** values returns the stored
+  schedule outright (a *hit*).
+* A lookup with identical pattern but new values performs a *refresh*: the
+  stored coloring, row permutation, and slot->entry join are reused, so
+  only the value scatter runs — O(nnz) fancy indexing, orders of magnitude
+  cheaper than rescheduling (``benchmarks/bench_scheduling_throughput.py``
+  demands >= 50x).
+* Anything else is a *miss*; the caller schedules cold and inserts.
+
+Entries are kept in LRU order with a bounded capacity.  The cache is not
+thread-safe; wrap it externally if shared across threads.
+
+Used by :class:`repro.core.pipeline.GustPipeline` (pass ``cache=``) and,
+through it, :class:`repro.core.spmm.GustSpmm` and every solver in
+:mod:`repro.solvers` that reuses a pipeline across calls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.load_balance import BalancedMatrix
+from repro.core.schedule import Schedule
+from repro.core.scheduler import slot_value_sources
+from repro.errors import HardwareConfigError
+from repro.sparse.coo import CooMatrix
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters for one :class:`ScheduleCache` instance."""
+
+    hits: int = 0
+    refreshes: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.refreshes + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that avoided a cold scheduling pass."""
+        total = self.lookups
+        return (self.hits + self.refreshes) / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    """One cached schedule plus the metadata needed for value refreshes."""
+
+    schedule: Schedule
+    balanced: BalancedMatrix
+    #: snapshot of the original-order value stream the stored schedule was
+    #: built from (a copy, so in-place edits of the caller's array differ).
+    last_data: np.ndarray
+    #: original-order data -> balanced-order data permutation.
+    data_order: np.ndarray
+    #: occupied slot coordinates and their balanced-data source indices.
+    slot_steps: np.ndarray
+    slot_lanes: np.ndarray
+    slot_source: np.ndarray
+    #: naive-policy stall count captured at scheduling time.
+    stalls: int
+
+
+def pattern_digest(
+    matrix: CooMatrix, length: int, algorithm: str, load_balance: bool
+) -> bytes:
+    """Fingerprint of the inputs the edge coloring depends on."""
+    h = hashlib.blake2b(digest_size=16)
+    m, n = matrix.shape
+    h.update(
+        np.array([m, n, length, int(load_balance)], dtype=np.int64).tobytes()
+    )
+    h.update(algorithm.encode("utf-8"))
+    h.update(np.ascontiguousarray(matrix.rows).tobytes())
+    h.update(np.ascontiguousarray(matrix.cols).tobytes())
+    return h.digest()
+
+
+class ScheduleCache:
+    """Bounded LRU cache of (pattern, config) -> prepared schedule.
+
+    Args:
+        capacity: maximum number of distinct patterns retained.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity <= 0:
+            raise HardwareConfigError(
+                f"cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[bytes, _Entry] = OrderedDict()
+        # Identity memo: CooMatrix.with_data shares the index arrays of its
+        # source, so repeated lookups for a pattern usually present the
+        # *same* rows/cols objects and can skip rehashing ~nnz bytes.  Keyed
+        # by array identity, guarded by weakrefs so a recycled id() of a
+        # collected array can never alias.
+        self._digest_memo: OrderedDict[
+            tuple, tuple[weakref.ref, weakref.ref, bytes]
+        ] = OrderedDict()
+        self._hits = 0
+        self._refreshes = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            refreshes=self._refreshes,
+            misses=self._misses,
+            evictions=self._evictions,
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are preserved)."""
+        self._entries.clear()
+        self._digest_memo.clear()
+
+    # -- fingerprints -------------------------------------------------------
+
+    def _pattern_key(
+        self,
+        matrix: CooMatrix,
+        length: int,
+        algorithm: str,
+        load_balance: bool,
+    ) -> bytes:
+        memo_key = (
+            id(matrix.rows),
+            id(matrix.cols),
+            matrix.shape,
+            length,
+            algorithm,
+            load_balance,
+        )
+        memoized = self._digest_memo.get(memo_key)
+        if memoized is not None:
+            rows_ref, cols_ref, digest = memoized
+            if rows_ref() is matrix.rows and cols_ref() is matrix.cols:
+                self._digest_memo.move_to_end(memo_key)
+                return digest
+        digest = pattern_digest(matrix, length, algorithm, load_balance)
+        self._digest_memo[memo_key] = (
+            weakref.ref(matrix.rows),
+            weakref.ref(matrix.cols),
+            digest,
+        )
+        while len(self._digest_memo) > 4 * self.capacity:
+            self._digest_memo.popitem(last=False)
+        return digest
+
+    # -- lookup / insert ----------------------------------------------------
+
+    def fetch(
+        self,
+        matrix: CooMatrix,
+        length: int,
+        algorithm: str,
+        load_balance: bool,
+    ) -> tuple[Schedule, BalancedMatrix, int, bool] | None:
+        """Return ``(schedule, balanced, stalls, refreshed)`` or None on miss.
+
+        A pattern hit with changed values refreshes the stored schedule in
+        place: only the value scatter runs; the coloring, permutation, and
+        slot join are reused.
+        """
+        key = self._pattern_key(matrix, length, algorithm, load_balance)
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+
+        if np.array_equal(matrix.data, entry.last_data):
+            self._hits += 1
+            return entry.schedule, entry.balanced, entry.stalls, False
+
+        # Same pattern, new values: rebuild the permuted value stream and
+        # scatter it into a fresh M_sch; index arrays are shared.
+        self._refreshes += 1
+        permuted_data = matrix.data[entry.data_order]
+        old = entry.balanced
+        refreshed_matrix = CooMatrix(
+            rows=old.matrix.rows,
+            cols=old.matrix.cols,
+            data=permuted_data,
+            shape=old.matrix.shape,
+        )
+        balanced = BalancedMatrix(
+            matrix=refreshed_matrix,
+            row_perm=old.row_perm,
+            window_col_maps=old.window_col_maps,
+        )
+        m_sch = np.zeros_like(entry.schedule.m_sch)
+        m_sch[entry.slot_steps, entry.slot_lanes] = permuted_data[
+            entry.slot_source
+        ]
+        schedule = Schedule(
+            length=entry.schedule.length,
+            shape=entry.schedule.shape,
+            m_sch=m_sch,
+            row_sch=entry.schedule.row_sch,
+            col_sch=entry.schedule.col_sch,
+            window_colors=entry.schedule.window_colors,
+        )
+        entry.schedule = schedule
+        entry.balanced = balanced
+        # Snapshot, not alias: an in-place edit of the caller's data array
+        # must read as "values changed" on the next lookup.
+        entry.last_data = matrix.data.copy()
+        return schedule, balanced, entry.stalls, True
+
+    def insert(
+        self,
+        matrix: CooMatrix,
+        length: int,
+        algorithm: str,
+        load_balance: bool,
+        schedule: Schedule,
+        balanced: BalancedMatrix,
+        stalls: int = 0,
+    ) -> None:
+        """Store a cold-scheduled result for future hits/refreshes.
+
+        ``matrix`` is the *original* (pre-permutation) operand the caller
+        scheduled; the entry records how its value stream maps into the
+        balanced order so refreshes can skip re-canonicalization.
+        """
+        key = self._pattern_key(matrix, length, algorithm, load_balance)
+        data_order = np.lexsort((matrix.cols, balanced.row_perm[matrix.rows]))
+        steps, lanes, source = slot_value_sources(schedule, balanced.matrix)
+        self._entries[key] = _Entry(
+            schedule=schedule,
+            balanced=balanced,
+            last_data=matrix.data.copy(),
+            data_order=data_order,
+            slot_steps=steps,
+            slot_lanes=lanes,
+            slot_source=source,
+            stalls=stalls,
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1

@@ -19,11 +19,19 @@ is physically moved.  Step 1 is a real row permutation, which the pipeline
 inverts on the output vector.  Reproducing the paper's Figure 6 example:
 the 4x4 matrix costs 7 cycles unbalanced and 5 balanced
 (``tests/core/test_load_balance.py``).
+
+All three steps are fully vectorized: steps 2-3 run as one global
+lexsort/run-length pass over every window at once, and
+:meth:`BalancedMatrix.colseg_of_all` resolves column-to-lane assignments
+for the whole matrix with a single ``searchsorted`` against a flattened
+(window, column) -> lane table, which the vectorized scheduling engine
+consumes directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -49,6 +57,22 @@ class BalancedMatrix:
     row_perm: np.ndarray
     window_col_maps: list[tuple[np.ndarray, np.ndarray]]
 
+    @cached_property
+    def _flat_col_map(self) -> tuple[np.ndarray, np.ndarray]:
+        """All window column maps in one sorted (window*n + col, lane) table."""
+        sizes = [cols.size for cols, _ in self.window_col_maps]
+        total = int(sum(sizes))
+        n = max(1, self.matrix.shape[1])
+        keys = np.empty(total, dtype=np.int64)
+        lanes = np.empty(total, dtype=np.int64)
+        offset = 0
+        for w, (cols, ln) in enumerate(self.window_col_maps):
+            span = cols.size
+            keys[offset : offset + span] = w * n + cols
+            lanes[offset : offset + span] = ln
+            offset += span
+        return keys, lanes
+
     def colseg_of(self, window: int, cols: np.ndarray, length: int) -> np.ndarray:
         """Multiplier lane for each original column index in ``window``."""
         cols = np.asarray(cols, dtype=np.int64)
@@ -59,6 +83,27 @@ class BalancedMatrix:
         positions = np.searchsorted(mapped_cols, cols)
         positions = np.minimum(positions, mapped_cols.size - 1)
         hit = mapped_cols[positions] == cols
+        return np.where(hit, lanes[positions], base)
+
+    def colseg_of_all(
+        self, window_ids: np.ndarray, cols: np.ndarray, length: int
+    ) -> np.ndarray:
+        """Multiplier lane for every edge of the matrix in one pass.
+
+        Vectorized across windows: equivalent to calling :meth:`colseg_of`
+        window by window, but with a single binary search against the
+        flattened column map.  ``window_ids`` is the per-edge owning window.
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        base = cols % length
+        keys, lanes = self._flat_col_map
+        if keys.size == 0 or cols.size == 0:
+            return base
+        n = max(1, self.matrix.shape[1])
+        wanted = np.asarray(window_ids, dtype=np.int64) * n + cols
+        positions = np.searchsorted(keys, wanted)
+        positions = np.minimum(positions, keys.size - 1)
+        hit = keys[positions] == wanted
         return np.where(hit, lanes[positions], base)
 
     def unpermute_output(self, y_permuted: np.ndarray) -> np.ndarray:
@@ -74,21 +119,22 @@ class BalancedMatrix:
         """
         matrix = self.matrix
         m, _ = matrix.shape
-        bounds: list[int] = []
-        window_of_row = (
-            matrix.rows // length if matrix.nnz else np.zeros(0, np.int64)
-        )
-        for w in range(window_count(m, length)):
-            mask = window_of_row == w
-            if not mask.any():
-                bounds.append(0)
-                continue
-            local_rows = matrix.rows[mask] % length
-            colsegs = self.colseg_of(w, matrix.cols[mask], length)
-            max_row = int(np.bincount(local_rows, minlength=length).max())
-            max_seg = int(np.bincount(colsegs, minlength=length).max())
-            bounds.append(max(max_row, max_seg))
-        return bounds
+        windows = window_count(m, length)
+        if windows == 0:
+            return []
+        if matrix.nnz == 0:
+            return [0] * windows
+        window_ids = matrix.rows // length
+        local_rows = matrix.rows % length
+        colsegs = self.colseg_of_all(window_ids, matrix.cols, length)
+        row_deg = np.bincount(
+            window_ids * length + local_rows, minlength=windows * length
+        ).reshape(windows, length)
+        seg_deg = np.bincount(
+            window_ids * length + colsegs, minlength=windows * length
+        ).reshape(windows, length)
+        bounds = np.maximum(row_deg.max(axis=1), seg_deg.max(axis=1))
+        return [int(b) for b in bounds]
 
 
 class LoadBalancer:
@@ -101,7 +147,7 @@ class LoadBalancer:
     def balance(self, matrix: CooMatrix) -> BalancedMatrix:
         """Run steps 1-3 and return the permuted matrix plus metadata."""
         length = self.length
-        m, _ = matrix.shape
+        m, n = matrix.shape
 
         # Step 1: stable-sort rows by nonzero count (descending), so heavy
         # rows share windows with other heavy rows.
@@ -111,37 +157,68 @@ class LoadBalancer:
         row_perm[order] = np.arange(m, dtype=np.int64)
         permuted = matrix.permute_rows(row_perm) if m else matrix
 
-        # Steps 2-3, per window: sort the window's columns by nonzero count
-        # (descending, stable) and deal them into lanes in snake order.
-        maps: list[tuple[np.ndarray, np.ndarray]] = []
-        window_of_row = (
-            permuted.rows // length if permuted.nnz else np.zeros(0, np.int64)
-        )
-        for w in range(window_count(m, length)):
-            mask = window_of_row == w
-            window_cols = permuted.cols[mask]
-            if window_cols.size == 0:
-                maps.append(
-                    (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
-                )
-                continue
-            unique_cols, col_counts = np.unique(window_cols, return_counts=True)
-            by_load = unique_cols[np.argsort(-col_counts, kind="stable")]
-            lanes_dealt = _snake_deal(by_load.size, length)
-            resort = np.argsort(by_load)
-            maps.append((by_load[resort], lanes_dealt[resort]))
+        # Steps 2-3, every window at once: run-length encode the (window,
+        # column) pairs, stable-sort each window's columns by descending
+        # count, and deal them into lanes in snake order.
+        windows = window_count(m, length)
+        maps = self._window_maps(permuted, windows, n)
 
         return BalancedMatrix(
             matrix=permuted, row_perm=row_perm, window_col_maps=maps
         )
 
+    def _window_maps(
+        self, permuted: CooMatrix, windows: int, n: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        length = self.length
+        empty = np.zeros(0, dtype=np.int64)
+        if windows == 0:
+            return []
+        if permuted.nnz == 0:
+            return [(empty, empty) for _ in range(windows)]
 
-def _snake_deal(count: int, length: int) -> np.ndarray:
-    """Lane assignment for ``count`` items dealt snake-wise into ``length``
-    lanes: round 0 left-to-right, round 1 right-to-left, and so on."""
-    positions = np.arange(count, dtype=np.int64)
-    rounds = positions // length
-    offsets = positions % length
+        # Unique (window, column) pairs with counts.  The canonical COO
+        # order is already sorted by (row, col); sorting its flat
+        # window*n + col key groups duplicates of a column within a window.
+        pair_key = (permuted.rows // length) * np.int64(n) + permuted.cols
+        sorted_key = np.sort(pair_key, kind="stable")
+        firsts = np.empty(sorted_key.size, dtype=bool)
+        firsts[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=firsts[1:])
+        unique_key = sorted_key[firsts]
+        boundaries = np.flatnonzero(firsts)
+        col_counts = np.diff(np.append(boundaries, sorted_key.size))
+        win_of_unique = unique_key // n
+        col_of_unique = unique_key % n
+
+        # Per window: order by descending count, ties by ascending column
+        # (the unique keys are already column-ascending inside a window,
+        # matching the seed's stable argsort).
+        by_load = np.lexsort((col_of_unique, -col_counts, win_of_unique))
+        win_sorted = win_of_unique[by_load]
+        window_starts = np.searchsorted(win_sorted, np.arange(windows + 1))
+        rank = np.arange(by_load.size, dtype=np.int64) - window_starts[win_sorted]
+        lanes_dealt = _snake_deal_ranks(rank, length)
+
+        # Back to ascending-column order per window for binary-search maps.
+        # win_sorted is a permutation of win_of_unique with identical
+        # per-window multiplicities, so window_starts delimits both orders.
+        lanes = np.empty(by_load.size, dtype=np.int64)
+        lanes[by_load] = lanes_dealt
+        return [
+            (
+                col_of_unique[window_starts[w] : window_starts[w + 1]],
+                lanes[window_starts[w] : window_starts[w + 1]],
+            )
+            for w in range(windows)
+        ]
+
+
+def _snake_deal_ranks(ranks: np.ndarray, length: int) -> np.ndarray:
+    """Lane for each dealing rank, snake-wise into ``length`` lanes: round 0
+    left-to-right, round 1 right-to-left, and so on."""
+    rounds = ranks // length
+    offsets = ranks % length
     return np.where(rounds % 2 == 0, offsets, length - 1 - offsets)
 
 

@@ -5,6 +5,12 @@ flow: (optional) load balancing, edge-coloring scheduling (the one-time
 preprocessing step), then repeated SpMV execution — either the fast
 vectorized replay (used by the experiment harness) or the cycle-accurate
 :class:`~repro.core.machine.GustMachine`.
+
+Pass ``cache=`` to layer a :class:`~repro.core.cache.ScheduleCache` under
+:meth:`GustPipeline.preprocess`: repeated preprocessing of the same
+sparsity pattern returns the stored schedule (identical values) or runs
+only the value scatter (same pattern, new values — the Jacobian/Hessian
+case), so iterative solvers and SpMM replays pay the coloring once.
 """
 
 from __future__ import annotations
@@ -14,9 +20,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.cache import ScheduleCache
 from repro.core.load_balance import BalancedMatrix, LoadBalancer, identity_balance
 from repro.core.machine import GustMachine, MachineResult
-from repro.core.schedule import EMPTY, PIPELINE_FILL_CYCLES, Schedule
+from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
 from repro.core.scheduler import GustScheduler
 from repro.errors import HardwareConfigError
 from repro.sparse.coo import CooMatrix
@@ -45,6 +52,11 @@ class GustPipeline:
             EC/LB configuration).  Ignored for "naive", matching the paper's
             series (Naive has no LB variant).
         validate: run structural validation on every schedule (slow).
+        cache: pattern-keyed schedule cache.  Pass a
+            :class:`~repro.core.cache.ScheduleCache` (shareable across
+            pipelines), ``True`` for a private default-capacity cache, an
+            ``int`` for a private cache of that capacity, or ``None``/
+            ``False`` (default) to schedule cold every time.
     """
 
     def __init__(
@@ -53,12 +65,20 @@ class GustPipeline:
         algorithm: str = "matching",
         load_balance: bool = True,
         validate: bool = False,
+        cache: ScheduleCache | int | bool | None = None,
     ):
         self.length = length
         self.algorithm = algorithm
         self.load_balance = load_balance and algorithm != "naive"
         self.scheduler = GustScheduler(length, algorithm, validate=validate)
         self._balancer = LoadBalancer(length) if self.load_balance else None
+        if cache is True:
+            cache = ScheduleCache()
+        elif cache is False:
+            cache = None
+        elif isinstance(cache, int):
+            cache = ScheduleCache(capacity=cache)
+        self.cache = cache
 
     # -- preprocessing -------------------------------------------------------
 
@@ -68,20 +88,57 @@ class GustPipeline:
         """One-time scheduling of a matrix (the paper's preprocessing phase).
 
         Returns the schedule, the balanced matrix (identity when load
-        balancing is off), and a wall-clock report.
+        balancing is off), and a wall-clock report.  With a cache attached,
+        a previously seen pattern skips the coloring entirely: the report's
+        ``notes["cache_hit"]`` / ``notes["cache_refresh"]`` flags record
+        which path ran.
         """
         started = time.perf_counter()
+        cached = None
+        if self.cache is not None:
+            cached = self.cache.fetch(
+                matrix, self.length, self.algorithm, self.load_balance
+            )
+        if cached is not None:
+            schedule, balanced, stalls, refreshed = cached
+            self.scheduler.last_stalls = stalls
+            elapsed = time.perf_counter() - started
+            report = PreprocessReport(
+                seconds=elapsed,
+                windows=schedule.window_count,
+                total_colors=schedule.total_colors,
+                notes={
+                    "stalls": float(stalls),
+                    "cache_hit": 0.0 if refreshed else 1.0,
+                    "cache_refresh": 1.0 if refreshed else 0.0,
+                },
+            )
+            return schedule, balanced, report
         if self._balancer is not None:
             balanced = self._balancer.balance(matrix)
         else:
             balanced = identity_balance(matrix, self.length)
         schedule = self.scheduler.schedule_balanced(balanced)
+        if self.cache is not None:
+            self.cache.insert(
+                matrix,
+                self.length,
+                self.algorithm,
+                self.load_balance,
+                schedule,
+                balanced,
+                stalls=self.scheduler.last_stalls,
+            )
         elapsed = time.perf_counter() - started
+        notes = {"stalls": float(self.scheduler.last_stalls)}
+        if self.cache is not None:
+            notes["cache_hit"] = 0.0
+            notes["cache_refresh"] = 0.0
         report = PreprocessReport(
             seconds=elapsed,
             windows=schedule.window_count,
             total_colors=schedule.total_colors,
-            notes={"stalls": float(self.scheduler.last_stalls)},
+            notes=notes,
         )
         return schedule, balanced, report
 
@@ -132,13 +189,7 @@ class GustPipeline:
             raise HardwareConfigError(
                 f"vector length {x.shape} incompatible with shape {schedule.shape}"
             )
-        occupied = schedule.row_sch != EMPTY
-        steps, lanes = np.nonzero(occupied)
-        window_of_step = schedule.window_of_timestep()
-        global_rows = (
-            window_of_step[steps] * schedule.length
-            + schedule.row_sch[steps, lanes]
-        )
+        steps, lanes, global_rows = schedule.occupied_slots()
         products = schedule.m_sch[steps, lanes] * x[schedule.col_sch[steps, lanes]]
         y_permuted = np.zeros(m, dtype=np.float64)
         np.add.at(y_permuted, global_rows, products)

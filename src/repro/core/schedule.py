@@ -103,6 +103,21 @@ class Schedule:
             np.asarray(self.window_colors, dtype=np.int64),
         )
 
+    def occupied_slots(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Coordinates of every scheduled nonzero: (steps, lanes, rows).
+
+        ``steps``/``lanes`` index into the schedule arrays; ``rows`` is the
+        global (window-offset) destination row of each occupied slot.  This
+        is the gather every replay/refresh path starts from.
+        """
+        occupied = self.row_sch != EMPTY
+        steps, lanes = np.nonzero(occupied)
+        window_of_step = self.window_of_timestep()
+        global_rows = (
+            window_of_step[steps] * self.length + self.row_sch[steps, lanes]
+        )
+        return steps, lanes, global_rows
+
     # -- validation ---------------------------------------------------------
 
     def validate(self) -> None:

@@ -22,12 +22,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.cache import ScheduleCache
 from repro.core.load_balance import BalancedMatrix
 from repro.core.pipeline import GustPipeline
 from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
 from repro.errors import HardwareConfigError
 from repro.sparse.coo import CooMatrix
 from repro.types import CycleReport
+
+#: Element budget for the per-tile product temporary in :meth:`GustSpmm.
+#: multiply` (~512 MB of float64 at the default); wide dense blocks are
+#: processed in column tiles of ``budget // occupied_slots`` so memory
+#: stays bounded while keeping the replay vectorized.
+_SPMM_PRODUCT_BUDGET = 1 << 26
 
 
 @dataclass(frozen=True)
@@ -48,6 +55,11 @@ class GustSpmm:
         length: accelerator length ``l``.
         replicas: parallel GUST count sharing the column work.
         algorithm / load_balance: forwarded to the scheduling pipeline.
+        cache: forwarded to :class:`~repro.core.pipeline.GustPipeline`; with
+            a cache attached, calling :meth:`spmm` repeatedly on operands
+            sharing one sparsity pattern (e.g. a re-assembled Jacobian
+            against fresh blocks) pays the coloring once and refreshes only
+            the value stream thereafter.
     """
 
     def __init__(
@@ -56,12 +68,13 @@ class GustSpmm:
         replicas: int = 1,
         algorithm: str = "matching",
         load_balance: bool = True,
+        cache: ScheduleCache | int | bool | None = None,
     ):
         if replicas <= 0:
             raise HardwareConfigError(f"replicas must be positive, got {replicas}")
         self.replicas = replicas
         self.pipeline = GustPipeline(
-            length, algorithm=algorithm, load_balance=load_balance
+            length, algorithm=algorithm, load_balance=load_balance, cache=cache
         )
 
     def preprocess(self, matrix: CooMatrix) -> tuple[Schedule, BalancedMatrix]:
@@ -83,9 +96,20 @@ class GustSpmm:
                 f"dense operand must be ({n}, k), got {dense.shape}"
             )
         k = dense.shape[1]
-        y = np.empty((m, k), dtype=np.float64)
-        for j in range(k):
-            y[:, j] = self.pipeline.execute(schedule, balanced, dense[:, j])
+        # Vectorized replay: gather each occupied slot's value and row once,
+        # multiply against many columns of B simultaneously, and scatter-add
+        # into the output block.  Columns are tiled so the (slots x tile)
+        # product temporary stays bounded regardless of B's width.
+        steps, lanes, global_rows = schedule.occupied_slots()
+        values = schedule.m_sch[steps, lanes][:, None]
+        sources = schedule.col_sch[steps, lanes]
+        y_permuted = np.zeros((m, k), dtype=np.float64)
+        tile = max(1, _SPMM_PRODUCT_BUDGET // max(1, values.size))
+        for start in range(0, k, tile):
+            stop = min(k, start + tile)
+            products = values * dense[sources, start:stop]
+            np.add.at(y_permuted[:, start:stop], global_rows, products)
+        y = balanced.unpermute_output(y_permuted)
         report = self.cycle_report(schedule, k)
         return SpmmResult(
             y=y,

@@ -1,0 +1,124 @@
+"""Frozen seed implementations of the scheduling hot path.
+
+These are the original pure-Python, per-window implementations of the
+paper's Listing 1 greedy matching, the first-fit bitmask variant, and the
+boolean-mask window partition that :class:`repro.core.scheduler.GustScheduler`
+shipped with before the vectorized batch engine replaced them.
+
+They are kept verbatim for two purposes:
+
+* **Regression oracle** — the vectorized kernels must reproduce these
+  per-edge colorings exactly (``tests/graph/test_vectorized_equivalence.py``).
+* **Speedup baseline** — ``benchmarks/bench_scheduling_throughput.py``
+  measures the vectorized engine against these functions.
+
+Do not "improve" this module; its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.load_balance import BalancedMatrix
+from repro.graph.bipartite import WindowGraph
+from repro.sparse.stats import window_count
+
+
+def reference_greedy_matching_coloring(graph: WindowGraph) -> np.ndarray:
+    """Seed Listing 1: round-based greedy matching over per-row edge lists."""
+    edge_colors = np.full(graph.edge_count, -1, dtype=np.int64)
+    if graph.edge_count == 0:
+        return edge_colors
+
+    remaining = graph.edges_by_row()
+    colsegs = graph.colsegs
+    active = [i for i, edges in enumerate(remaining) if edges]
+
+    clr = 0
+    while active:
+        claimed = bytearray(graph.length)
+        next_active: list[int] = []
+        for i in active:
+            edges = remaining[i]
+            for k, edge_id in enumerate(edges):
+                seg = colsegs[edge_id]
+                if not claimed[seg]:
+                    claimed[seg] = 1
+                    edge_colors[edge_id] = clr
+                    del edges[k]
+                    break
+            if edges:
+                next_active.append(i)
+        active = next_active
+        clr += 1
+    return edge_colors
+
+
+def reference_first_fit_coloring(graph: WindowGraph) -> np.ndarray:
+    """Seed first-fit: per-edge Python loop over big-int color bitmasks."""
+    edge_colors = np.full(graph.edge_count, -1, dtype=np.int64)
+    if graph.edge_count == 0:
+        return edge_colors
+    row_used = [0] * graph.length
+    seg_used = [0] * graph.length
+    local_rows = graph.local_rows
+    colsegs = graph.colsegs
+    for edge_id in range(graph.edge_count):
+        i = local_rows[edge_id]
+        j = colsegs[edge_id]
+        free = ~(row_used[i] | seg_used[j])
+        color = (free & -free).bit_length() - 1
+        bit = 1 << color
+        row_used[i] |= bit
+        seg_used[j] |= bit
+        edge_colors[edge_id] = color
+    return edge_colors
+
+
+REFERENCE_ALGORITHMS = {
+    "matching": reference_greedy_matching_coloring,
+    "first_fit": reference_first_fit_coloring,
+}
+
+
+def reference_window_graphs(
+    balanced: BalancedMatrix, length: int
+) -> list[WindowGraph]:
+    """Seed window partition: one boolean mask scan of the COO arrays per
+    window (the O(windows x nnz) loop the vectorized engine replaces)."""
+    matrix = balanced.matrix
+    m, _ = matrix.shape
+    window_of_row = matrix.rows // length if matrix.nnz else np.zeros(0, np.int64)
+    graphs: list[WindowGraph] = []
+    for w in range(window_count(m, length)):
+        mask = window_of_row == w
+        graphs.append(
+            WindowGraph(
+                length=length,
+                local_rows=(matrix.rows[mask] % length).astype(np.int64),
+                colsegs=balanced.colseg_of(w, matrix.cols[mask], length),
+                cols=matrix.cols[mask].astype(np.int64),
+                values=matrix.data[mask].astype(np.float64),
+            )
+        )
+    return graphs
+
+
+def reference_color_counts(
+    balanced: BalancedMatrix, length: int, algorithm: str
+) -> list[int]:
+    """Seed scheduling pass: per-window graphs colored one at a time."""
+    fn = REFERENCE_ALGORITHMS[algorithm]
+    counts: list[int] = []
+    for graph in reference_window_graphs(balanced, length):
+        colors = fn(graph)
+        counts.append(int(colors.max()) + 1 if colors.size else 0)
+    return counts
+
+
+def reference_window_colorings(
+    balanced: BalancedMatrix, length: int, algorithm: str
+) -> list[np.ndarray]:
+    """Per-window edge color arrays from the seed implementations."""
+    fn = REFERENCE_ALGORITHMS[algorithm]
+    return [fn(graph) for graph in reference_window_graphs(balanced, length)]

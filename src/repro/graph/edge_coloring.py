@@ -17,7 +17,33 @@ euler (matching peel)  == Delta exactly             König optimum, ablation
 =====================  ===========================  =======================
 
 All three take a :class:`~repro.graph.bipartite.WindowGraph` and return a
-per-edge int64 color array aligned with the graph's edge arrays.
+per-edge int64 color array aligned with the graph's edge arrays, using
+``-1`` for "uncolored" (a completed coloring contains no ``-1``; the
+dispatcher :func:`color_edges` enforces this).
+
+Vectorized batch kernels
+------------------------
+
+``greedy_matching`` and ``first_fit`` are backed by NumPy kernels
+(:func:`matching_coloring_flat`, :func:`first_fit_coloring_flat`) that
+operate on *flat edge arrays spanning every window at once* rather than
+per-vertex Python lists.  Window graphs are independent, so the kernels
+batch the embarrassingly parallel dimension (windows) and keep only the
+semantically sequential dimension as a Python loop:
+
+* greedy matching iterates (round, local row) — within a round, Listing 1
+  scans left vertices in index order and claims accumulate, so rows are
+  sequential, but the same local row of every window is processed in one
+  vectorized step;
+* first-fit iterates the within-window edge rank — edge ``k`` of every
+  window takes its smallest free color in one vectorized step against
+  boolean (vertex, color) occupancy tables.
+
+Both kernels reproduce the original per-window Python implementations
+(preserved in :mod:`repro.graph._reference`) *edge-for-edge*, which
+``tests/graph/test_vectorized_equivalence.py`` pins down.  The batch entry
+points are what :class:`repro.core.scheduler.GustScheduler` calls; the
+per-graph functions below wrap them for single windows.
 """
 
 from __future__ import annotations
@@ -28,61 +54,126 @@ from repro.errors import ColoringError
 from repro.graph.bipartite import WindowGraph
 from repro.graph.matching import hopcroft_karp
 
+#: Byte budget for first-fit's two boolean occupancy tables; beyond it the
+#: kernel colors window by window so a degree hub cannot inflate the
+#: (slots x palette) allocation (the tables fall back to O(l x palette_w)).
+_FIRST_FIT_TABLE_BUDGET = 1 << 27
 
-def greedy_matching_coloring(graph: WindowGraph) -> np.ndarray:
-    """The paper's Listing 1: round-based greedy maximal matching.
 
-    Round ``clr`` scans left vertices in index order; each vertex colors its
-    first remaining edge whose column segment is not yet claimed this round,
-    then stops (the ``break`` in Listing 1).  Rounds repeat until every edge
-    is colored.
+def matching_coloring_flat(
+    local_rows: np.ndarray,
+    colsegs: np.ndarray,
+    window_ids: np.ndarray,
+    length: int,
+    n_windows: int,
+) -> np.ndarray:
+    """Listing 1 greedy matching over the flat edge arrays of many windows.
+
+    Args:
+        local_rows: per-edge left vertex (row index within its window).
+        colsegs: per-edge right vertex (multiplier lane).
+        window_ids: per-edge owning window; edges must be grouped by window
+            and, within a (window, row) pair, ordered by column — the
+            canonical COO order delivers exactly this.
+        length: accelerator length ``l``.
+        n_windows: total window count (claim-table width).
+
+    Returns:
+        int64 colors aligned with the edge arrays; every edge is colored.
+
+    Round ``clr`` scans local rows in index order; each row colors its
+    first remaining edge whose column segment is not yet claimed *in its
+    own window* this round, then stops (the ``break`` in Listing 1).
+    Claims only interact within a window, so one step resolves local row
+    ``i`` of every window simultaneously and exactly reproduces the
+    sequential per-window result.
     """
-    edge_colors = np.full(graph.edge_count, -1, dtype=np.int64)
-    if graph.edge_count == 0:
-        return edge_colors
+    edge_count = int(local_rows.size)
+    colors = np.full(edge_count, -1, dtype=np.int64)
+    if edge_count == 0:
+        return colors
 
-    # remaining[i] holds edge ids of left vertex i, in column order.
-    remaining = graph.edges_by_row()
-    colsegs = graph.colsegs
-    active = [i for i, edges in enumerate(remaining) if edges]
+    # Group edges by local row; the stable sort keeps (window, column)
+    # order inside each group, i.e. each row's Listing-1 scan order.  The
+    # pending edge ids and their (window, seg) claim keys travel as aligned
+    # arrays compacted once per round, so the hot per-row step works on
+    # views instead of re-gathering.  int32 halves the gather bandwidth
+    # (edge counts and claim keys comfortably fit).
+    index_dtype = (
+        np.int32
+        if max(edge_count, n_windows * length) <= np.iinfo(np.int32).max
+        else np.int64
+    )
+    # Narrow sort keys make NumPy's stable radix sort a single pass.
+    sort_keys = (
+        local_rows.astype(np.int16)
+        if length <= np.iinfo(np.int16).max
+        else local_rows
+    )
+    pending = np.argsort(sort_keys, kind="stable").astype(index_dtype)
+    pending_rows = local_rows[pending].astype(index_dtype)
+    pending_segs = (window_ids[pending] * length + colsegs[pending]).astype(
+        index_dtype
+    )
+    claimed = np.zeros(n_windows * length, dtype=bool)
+    row_range = np.arange(length + 1)
 
     clr = 0
-    while active:
-        claimed = bytearray(graph.length)
-        next_active: list[int] = []
-        for i in active:
-            edges = remaining[i]
-            for k, edge_id in enumerate(edges):
-                seg = colsegs[edge_id]
-                if not claimed[seg]:
-                    claimed[seg] = 1
-                    edge_colors[edge_id] = clr
-                    del edges[k]
-                    break
-            if edges:
-                next_active.append(i)
-        active = next_active
+    while pending.size:
+        block_starts = np.searchsorted(pending_rows, row_range)
+        round_claims: list[np.ndarray] = []
+        for i in range(length):
+            lo, hi = block_starts[i], block_starts[i + 1]
+            if lo == hi:
+                continue
+            seg_view = pending_segs[lo:hi]
+            open_mask = claimed[seg_view]
+            np.logical_not(open_mask, out=open_mask)
+            cand_segs = seg_view[open_mask]
+            if cand_segs.size == 0:
+                continue
+            # First unclaimed edge per window: candidates are window-grouped
+            # and the claim key's high digits are the window id, so key-
+            # group boundaries mark each window's winning edge.
+            cand_wins = cand_segs // length
+            first = np.empty(cand_segs.size, dtype=bool)
+            first[0] = True
+            np.not_equal(cand_wins[1:], cand_wins[:-1], out=first[1:])
+            colors[pending[lo:hi][open_mask][first]] = clr
+            won_segs = cand_segs[first]
+            claimed[won_segs] = True
+            round_claims.append(won_segs)
+        # Retract only this round's claims: one edge colored = one claim,
+        # so the total reset work is O(nnz) over the whole run instead of
+        # O(rounds x n_windows x length) full-table clears.
+        for won_segs in round_claims:
+            claimed[won_segs] = False
+        still_pending = colors[pending] < 0
+        if still_pending.all():
+            raise ColoringError(
+                "greedy matching made no progress; inconsistent edge arrays"
+            )
+        pending = pending[still_pending]
+        pending_rows = pending_rows[still_pending]
+        pending_segs = pending_segs[still_pending]
         clr += 1
-    return edge_colors
+    return colors
 
 
-def first_fit_coloring(graph: WindowGraph) -> np.ndarray:
-    """Per-edge first-fit: each edge takes the smallest color free at both
-    endpoints, processed in row-major (canonical COO) order.
+def _first_fit_bigint(
+    local_rows: np.ndarray, colsegs: np.ndarray, length: int
+) -> np.ndarray:
+    """Single-window first-fit over per-vertex big-int color bitmasks.
 
-    Uses arbitrary-precision int bitmasks, making each assignment O(1)-ish;
-    this is the fast path for large experiment sweeps.  Color count is
-    bounded by deg(row) + deg(colseg) - 1 <= 2*Delta - 1 and is typically
-    within a few percent of Delta.
+    Memory floor for degree-hub windows where even one window's boolean
+    occupancy tables would exceed the budget: O(length) Python integers,
+    the seed implementation's layout.  Identical colors by construction —
+    both walk the edges in storage order taking the smallest free color.
     """
-    edge_colors = np.empty(graph.edge_count, dtype=np.int64)
-    if graph.edge_count == 0:
-        return edge_colors
-    row_used = [0] * graph.length
-    seg_used = [0] * graph.length
-    local_rows = graph.local_rows
-    colsegs = graph.colsegs
-    for edge_id in range(graph.edge_count):
+    edge_colors = np.full(local_rows.size, -1, dtype=np.int64)
+    row_used = [0] * length
+    seg_used = [0] * length
+    for edge_id in range(local_rows.size):
         i = local_rows[edge_id]
         j = colsegs[edge_id]
         free = ~(row_used[i] | seg_used[j])
@@ -92,6 +183,135 @@ def first_fit_coloring(graph: WindowGraph) -> np.ndarray:
         seg_used[j] |= bit
         edge_colors[edge_id] = color
     return edge_colors
+
+
+def first_fit_coloring_flat(
+    local_rows: np.ndarray,
+    colsegs: np.ndarray,
+    window_ids: np.ndarray,
+    length: int,
+    n_windows: int,
+    window_starts: np.ndarray,
+) -> np.ndarray:
+    """First-fit coloring over the flat edge arrays of many windows.
+
+    Args:
+        window_starts: int64 array of ``n_windows + 1`` offsets delimiting
+            each window's contiguous edge slice; other arguments as in
+            :func:`matching_coloring_flat`.
+
+    Each window processes its edges in storage (row-major) order; windows
+    are independent, so step ``k`` assigns the ``k``-th edge of every
+    still-active window at once.  The smallest color free at both
+    endpoints is found with an ``argmax`` over boolean per-vertex
+    occupancy rows; a palette of ``max_row_deg + max_seg_deg - 1`` colors
+    always contains a free slot (the classic first-fit bound), so no
+    reallocation is ever needed.
+    """
+    edge_count = int(local_rows.size)
+    colors = np.full(edge_count, -1, dtype=np.int64)
+    if edge_count == 0:
+        return colors
+
+    row_key = window_ids * length + local_rows
+    seg_key = window_ids * length + colsegs
+    max_row_deg = int(np.bincount(row_key).max())
+    max_seg_deg = int(np.bincount(seg_key).max())
+    palette = max(1, max_row_deg + max_seg_deg - 1)
+    slots = n_windows * length
+
+    if 2 * slots * palette > _FIRST_FIT_TABLE_BUDGET:
+        # The palette is sized by the *global* degree maximum, so one hub
+        # row or column would inflate the occupancy tables of every window.
+        # Windows are independent: color them one at a time with window-
+        # local tables instead — identical colors, O(l * palette_w) memory
+        # per window.  A single window whose own tables would still bust
+        # the budget drops to O(l) big-int bitmasks.
+        if n_windows == 1:
+            return _first_fit_bigint(local_rows, colsegs, length)
+        for w in range(n_windows):
+            lo, hi = int(window_starts[w]), int(window_starts[w + 1])
+            if lo == hi:
+                continue
+            colors[lo:hi] = first_fit_coloring_flat(
+                local_rows[lo:hi],
+                colsegs[lo:hi],
+                np.zeros(hi - lo, dtype=np.int64),
+                length,
+                1,
+                np.array([0, hi - lo], dtype=np.int64),
+            )
+        return colors
+
+    row_used = np.zeros((slots, palette), dtype=bool)
+    seg_used = np.zeros((slots, palette), dtype=bool)
+
+    # Re-sort the edges rank-major (k-th edge of every window adjacent) so
+    # each step's operands are contiguous views, not fancy gathers.  A
+    # stable single-key sort on the rank preserves window order inside
+    # each rank group; int32 operands halve the gather bandwidth.
+    index_dtype = (
+        np.int32
+        if max(edge_count, slots) <= np.iinfo(np.int32).max
+        else np.int64
+    )
+    ranks = (
+        np.arange(edge_count, dtype=np.int64) - window_starts[window_ids]
+    ).astype(index_dtype)
+    by_rank = np.argsort(ranks, kind="stable")
+    row_by_rank = row_key[by_rank].astype(index_dtype)
+    seg_by_rank = seg_key[by_rank].astype(index_dtype)
+    rank_starts = np.searchsorted(
+        ranks[by_rank], np.arange(int(ranks.max()) + 2)
+    )
+    for k in range(rank_starts.size - 1):
+        lo, hi = rank_starts[k], rank_starts[k + 1]
+        rows = row_by_rank[lo:hi]
+        segs = seg_by_rank[lo:hi]
+        free = row_used[rows]
+        np.logical_or(free, seg_used[segs], out=free)
+        np.logical_not(free, out=free)
+        chosen = free.argmax(axis=1)
+        row_used[rows, chosen] = True
+        seg_used[segs, chosen] = True
+        colors[by_rank[lo:hi]] = chosen
+    return colors
+
+
+def greedy_matching_coloring(graph: WindowGraph) -> np.ndarray:
+    """The paper's Listing 1: round-based greedy maximal matching.
+
+    Round ``clr`` scans left vertices in index order; each vertex colors its
+    first remaining edge whose column segment is not yet claimed this round,
+    then stops (the ``break`` in Listing 1).  Rounds repeat until every edge
+    is colored.  Single-window wrapper over :func:`matching_coloring_flat`.
+    """
+    return matching_coloring_flat(
+        np.asarray(graph.local_rows, dtype=np.int64),
+        np.asarray(graph.colsegs, dtype=np.int64),
+        np.zeros(graph.edge_count, dtype=np.int64),
+        graph.length,
+        1,
+    )
+
+
+def first_fit_coloring(graph: WindowGraph) -> np.ndarray:
+    """Per-edge first-fit: each edge takes the smallest color free at both
+    endpoints, processed in row-major (canonical COO) order.
+
+    Color count is bounded by deg(row) + deg(colseg) - 1 <= 2*Delta - 1 and
+    is typically within a few percent of Delta.  Single-window wrapper over
+    :func:`first_fit_coloring_flat`; zero-edge graphs return the documented
+    ``-1``-filled (here: empty) array like every other algorithm.
+    """
+    return first_fit_coloring_flat(
+        np.asarray(graph.local_rows, dtype=np.int64),
+        np.asarray(graph.colsegs, dtype=np.int64),
+        np.zeros(graph.edge_count, dtype=np.int64),
+        graph.length,
+        1,
+        np.array([0, graph.edge_count], dtype=np.int64),
+    )
 
 
 def euler_coloring(graph: WindowGraph) -> np.ndarray:
@@ -181,7 +401,11 @@ ALGORITHMS = {
 
 
 def color_edges(graph: WindowGraph, algorithm: str = "matching") -> np.ndarray:
-    """Dispatch to a registered coloring algorithm by name."""
+    """Dispatch to a registered coloring algorithm by name.
+
+    Enforces the library-wide contract: the result is one int64 color per
+    edge and a *complete* coloring — ``-1`` ("uncolored") never escapes.
+    """
     try:
         fn = ALGORITHMS[algorithm]
     except KeyError:
@@ -189,4 +413,12 @@ def color_edges(graph: WindowGraph, algorithm: str = "matching") -> np.ndarray:
             f"unknown coloring algorithm {algorithm!r}; "
             f"choose from {sorted(ALGORITHMS)}"
         ) from None
-    return fn(graph)
+    colors = fn(graph)
+    if colors.shape != (graph.edge_count,):
+        raise ColoringError(
+            f"{algorithm} returned {colors.shape[0] if colors.ndim else 0} "
+            f"colors for {graph.edge_count} edges"
+        )
+    if graph.edge_count and int(colors.min()) < 0:
+        raise ColoringError(f"{algorithm} left edges uncolored (-1)")
+    return colors

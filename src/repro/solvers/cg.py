@@ -3,6 +3,11 @@
 Solves ``A x = b`` for symmetric positive-definite ``A``.  The matrix is
 scheduled once; each iteration replays the schedule against a new direction
 vector — the precise amortization argument of Section 5.3.
+
+Pass a shared ``GustPipeline(..., cache=...)`` when solving a *sequence*
+of systems whose matrices keep one sparsity pattern (e.g. re-assembled
+stiffness matrices): ``preprocess_seconds`` then collapses to the cache's
+value-refresh cost for every solve after the first.
 """
 
 from __future__ import annotations

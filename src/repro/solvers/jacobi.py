@@ -3,6 +3,11 @@
 Solves ``A x = b`` for diagonally dominant ``A`` via
 ``x' = D^-1 (b - R x)``.  Exercises the paper's pattern-reuse path: the
 off-diagonal operator ``R`` shares its schedule across all iterations.
+
+Pass a shared ``GustPipeline(..., cache=...)`` when solving a *sequence*
+of systems whose matrices keep one sparsity pattern (time-stepped or
+Newton-style re-assembly): the schedule cache then skips the edge coloring
+for every solve after the first, refreshing only the value stream.
 """
 
 from __future__ import annotations

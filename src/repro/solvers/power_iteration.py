@@ -2,7 +2,9 @@
 
 Graph analysis is one of the paper's motivating workloads; PageRank is
 repeated SpMV against a (damped, column-stochastic) adjacency matrix —
-ideal for schedule reuse.
+ideal for schedule reuse.  With a cached pipeline
+(``GustPipeline(..., cache=...)``) even re-running the iteration on an
+edge-reweighted graph (same topology, new weights) skips the coloring.
 """
 
 from __future__ import annotations

@@ -1,0 +1,206 @@
+"""Tests for the pattern-keyed schedule cache."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CooMatrix,
+    GustPipeline,
+    GustSpmm,
+    ScheduleCache,
+    uniform_random,
+)
+from repro.errors import HardwareConfigError
+from repro.solvers.cg import conjugate_gradient
+
+
+def _spd_matrix(n: int, seed: int) -> CooMatrix:
+    """A small diagonally dominant SPD matrix."""
+    base = uniform_random(n, n, density=0.08, seed=seed)
+    sym_rows = np.concatenate([base.rows, base.cols, np.arange(n)])
+    sym_cols = np.concatenate([base.cols, base.rows, np.arange(n)])
+    sym_data = np.concatenate(
+        [np.abs(base.data), np.abs(base.data), np.full(n, 50.0)]
+    )
+    return CooMatrix.from_arrays(sym_rows, sym_cols, sym_data, (n, n))
+
+
+class TestCacheSemantics:
+    def test_miss_then_hit(self, square_matrix):
+        cache = ScheduleCache()
+        pipeline = GustPipeline(32, cache=cache)
+        _, _, first = pipeline.preprocess(square_matrix)
+        assert first.notes["cache_hit"] == 0.0
+        assert cache.stats.misses == 1
+
+        schedule, balanced, second = pipeline.preprocess(square_matrix)
+        assert second.notes["cache_hit"] == 1.0
+        assert cache.stats.hits == 1
+        # The cached schedule is still numerically exact.
+        x = np.random.default_rng(0).normal(size=square_matrix.shape[1])
+        np.testing.assert_allclose(
+            pipeline.execute(schedule, balanced, x), square_matrix.matvec(x)
+        )
+
+    def test_value_change_refreshes_without_recoloring(self, square_matrix, rng):
+        cache = ScheduleCache()
+        pipeline = GustPipeline(32, cache=cache)
+        cold_schedule, _, _ = pipeline.preprocess(square_matrix)
+
+        updated = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        schedule, balanced, report = pipeline.preprocess(updated)
+        assert report.notes["cache_refresh"] == 1.0
+        assert cache.stats.refreshes == 1
+        # Coloring (structure) identical; only values moved.
+        assert schedule.window_colors == cold_schedule.window_colors
+        np.testing.assert_array_equal(schedule.row_sch, cold_schedule.row_sch)
+        np.testing.assert_array_equal(schedule.col_sch, cold_schedule.col_sch)
+        x = rng.normal(size=updated.shape[1])
+        np.testing.assert_allclose(
+            pipeline.execute(schedule, balanced, x), updated.matvec(x)
+        )
+
+    def test_refreshed_schedule_equals_cold_schedule(self, square_matrix, rng):
+        """A refresh must equal scheduling the updated matrix from scratch."""
+        updated = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        for algorithm in ("matching", "first_fit", "euler"):
+            cached = GustPipeline(32, algorithm=algorithm, cache=True)
+            cached.preprocess(square_matrix)
+            via_cache, _, _ = cached.preprocess(updated)
+            cold, _, _ = GustPipeline(32, algorithm=algorithm).preprocess(
+                updated
+            )
+            assert via_cache.window_colors == cold.window_colors
+            np.testing.assert_array_equal(via_cache.m_sch, cold.m_sch)
+            np.testing.assert_array_equal(via_cache.row_sch, cold.row_sch)
+            np.testing.assert_array_equal(via_cache.col_sch, cold.col_sch)
+
+    def test_refresh_then_hit_on_same_values(self, square_matrix, rng):
+        pipeline = GustPipeline(32, cache=True)
+        pipeline.preprocess(square_matrix)
+        updated = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        pipeline.preprocess(updated)
+        pipeline.preprocess(updated)
+        assert pipeline.cache.stats.refreshes == 1
+        assert pipeline.cache.stats.hits == 1
+
+    def test_in_place_value_mutation_is_not_a_stale_hit(self, square_matrix, rng):
+        """Mutating matrix.data in place must not return the old schedule."""
+        pipeline = GustPipeline(32, cache=True)
+        pipeline.preprocess(square_matrix)
+        square_matrix.data[:] = rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        schedule, balanced, report = pipeline.preprocess(square_matrix)
+        assert report.notes["cache_refresh"] == 1.0
+        x = rng.normal(size=square_matrix.shape[1])
+        np.testing.assert_allclose(
+            pipeline.execute(schedule, balanced, x), square_matrix.matvec(x)
+        )
+
+    def test_different_pattern_misses(self, square_matrix, small_matrix):
+        pipeline = GustPipeline(32, cache=True)
+        pipeline.preprocess(square_matrix)
+        pipeline.preprocess(small_matrix)
+        assert pipeline.cache.stats.misses == 2
+        assert len(pipeline.cache) == 2
+
+    def test_configuration_is_part_of_the_key(self, square_matrix):
+        cache = ScheduleCache()
+        GustPipeline(32, cache=cache).preprocess(square_matrix)
+        GustPipeline(32, algorithm="first_fit", cache=cache).preprocess(
+            square_matrix
+        )
+        GustPipeline(16, cache=cache).preprocess(square_matrix)
+        assert cache.stats.misses == 3
+        assert cache.stats.hits == 0
+
+    def test_lru_eviction(self, rng):
+        cache = ScheduleCache(capacity=2)
+        pipeline = GustPipeline(16, cache=cache)
+        matrices = [uniform_random(40, 40, 0.1, seed=s) for s in range(3)]
+        for matrix in matrices:
+            pipeline.preprocess(matrix)
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+        # The oldest entry (seed 0) was evicted; re-preprocessing misses.
+        pipeline.preprocess(matrices[0])
+        assert cache.stats.misses == 4
+
+    def test_clear(self, square_matrix):
+        pipeline = GustPipeline(32, cache=True)
+        pipeline.preprocess(square_matrix)
+        pipeline.cache.clear()
+        assert len(pipeline.cache) == 0
+        pipeline.preprocess(square_matrix)
+        assert pipeline.cache.stats.misses == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(HardwareConfigError, match="capacity"):
+            ScheduleCache(capacity=0)
+
+    def test_pipeline_cache_parameter_forms(self, small_matrix):
+        assert GustPipeline(16).cache is None
+        assert GustPipeline(16, cache=False).cache is None
+        assert GustPipeline(16, cache=True).cache is not None
+        sized = GustPipeline(16, cache=3)
+        assert sized.cache.capacity == 3
+        shared = ScheduleCache()
+        assert GustPipeline(16, cache=shared).cache is shared
+
+
+class TestCacheIntegration:
+    def test_shared_cache_across_pipelines(self, square_matrix):
+        cache = ScheduleCache()
+        GustPipeline(32, cache=cache).preprocess(square_matrix)
+        _, _, report = GustPipeline(32, cache=cache).preprocess(square_matrix)
+        assert report.notes["cache_hit"] == 1.0
+
+    def test_spmm_reuses_schedule_across_blocks(self, square_matrix, rng):
+        spmm = GustSpmm(32, cache=True)
+        dense = rng.normal(size=(square_matrix.shape[1], 3))
+        first = spmm.spmm(square_matrix, dense)
+        second = spmm.spmm(square_matrix, dense)
+        assert spmm.pipeline.cache.stats.hits == 1
+        np.testing.assert_allclose(first.y, second.y)
+        # New values, same pattern: refresh, not a cold pass.
+        reweighted = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        result = spmm.spmm(reweighted, dense)
+        assert spmm.pipeline.cache.stats.refreshes == 1
+        expected = np.column_stack(
+            [reweighted.matvec(dense[:, j]) for j in range(3)]
+        )
+        np.testing.assert_allclose(result.y, expected)
+
+    def test_solver_sequence_amortizes_preprocessing(self, rng):
+        matrix = _spd_matrix(48, seed=1)
+        pipeline = GustPipeline(16, cache=True)
+        b = rng.normal(size=48)
+        first = conjugate_gradient(matrix, b, pipeline=pipeline)
+        assert first.converged
+        # Same pattern, re-assembled values: the coloring is not repeated.
+        reassembled = matrix.with_data(matrix.data * 1.5)
+        second = conjugate_gradient(reassembled, b, pipeline=pipeline)
+        assert second.converged
+        stats = pipeline.cache.stats
+        assert stats.misses == 1
+        assert stats.refreshes == 1
+        np.testing.assert_allclose(
+            reassembled.matvec(second.x), b, atol=1e-6 * np.linalg.norm(b)
+        )
+
+    def test_naive_stalls_survive_caching(self, square_matrix):
+        pipeline = GustPipeline(32, algorithm="naive", cache=True)
+        pipeline.preprocess(square_matrix)
+        cold_stalls = pipeline.scheduler.last_stalls
+        assert cold_stalls > 0
+        pipeline.scheduler.last_stalls = -1
+        _, _, report = pipeline.preprocess(square_matrix)
+        assert report.notes["cache_hit"] == 1.0
+        assert pipeline.scheduler.last_stalls == cold_stalls

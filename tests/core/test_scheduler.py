@@ -107,3 +107,96 @@ class TestValueReuse:
             scheduler.reschedule_values(
                 schedule, identity_balance(smaller, 32)
             )
+
+    def test_reschedule_rejects_extra_nonzeros(self, square_matrix):
+        """Regression: a matrix with *extra* entries used to be silently
+        accepted (the old lookup only caught missing ones)."""
+        scheduler = GustScheduler(32)
+        schedule = scheduler.schedule_balanced(
+            identity_balance(square_matrix, 32)
+        )
+        free = np.argwhere(
+            ~np.isin(
+                np.arange(square_matrix.shape[0] * square_matrix.shape[1]),
+                square_matrix.rows * square_matrix.shape[1] + square_matrix.cols,
+            )
+        ).ravel()[0]
+        extra_row, extra_col = divmod(int(free), square_matrix.shape[1])
+        bigger = CooMatrix.from_arrays(
+            np.append(square_matrix.rows, extra_row),
+            np.append(square_matrix.cols, extra_col),
+            np.append(square_matrix.data, 1.5),
+            square_matrix.shape,
+        )
+        with pytest.raises(ColoringError, match="pattern changed"):
+            scheduler.reschedule_values(
+                schedule, identity_balance(bigger, 32)
+            )
+
+    def test_reschedule_rejects_swapped_entry_same_nnz(self, square_matrix):
+        """Same nonzero count but one entry moved: caught by the key join."""
+        scheduler = GustScheduler(32)
+        schedule = scheduler.schedule_balanced(
+            identity_balance(square_matrix, 32)
+        )
+        n = square_matrix.shape[1]
+        occupied = set(
+            (int(r), int(c))
+            for r, c in zip(square_matrix.rows, square_matrix.cols)
+        )
+        move_to = next(
+            (r, c)
+            for r in range(square_matrix.shape[0])
+            for c in range(n)
+            if (r, c) not in occupied
+        )
+        rows = square_matrix.rows.copy()
+        cols = square_matrix.cols.copy()
+        rows[0], cols[0] = move_to
+        moved = CooMatrix.from_arrays(
+            rows, cols, square_matrix.data, square_matrix.shape
+        )
+        with pytest.raises(ColoringError, match="pattern"):
+            scheduler.reschedule_values(schedule, identity_balance(moved, 32))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_reschedule_matches_from_scratch(self, square_matrix, rng, algorithm):
+        """Value refresh must equal a cold schedule of the updated matrix."""
+        scheduler = GustScheduler(32, algorithm=algorithm)
+        balanced = identity_balance(square_matrix, 32)
+        schedule = scheduler.schedule_balanced(balanced)
+
+        updated = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        refreshed = scheduler.reschedule_values(
+            schedule, identity_balance(updated, 32)
+        )
+        cold = GustScheduler(32, algorithm=algorithm).schedule_balanced(
+            identity_balance(updated, 32)
+        )
+        assert refreshed.window_colors == cold.window_colors
+        np.testing.assert_array_equal(refreshed.row_sch, cold.row_sch)
+        np.testing.assert_array_equal(refreshed.col_sch, cold.col_sch)
+        np.testing.assert_array_equal(refreshed.m_sch, cold.m_sch)
+
+    @pytest.mark.parametrize("algorithm", ("matching", "first_fit", "euler"))
+    def test_reschedule_matches_from_scratch_balanced(
+        self, square_matrix, rng, algorithm
+    ):
+        """Same invariant through the load-balanced (EC/LB) path."""
+        balancer = LoadBalancer(32)
+        scheduler = GustScheduler(32, algorithm=algorithm)
+        schedule = scheduler.schedule_balanced(balancer.balance(square_matrix))
+
+        updated = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        refreshed = scheduler.reschedule_values(
+            schedule, balancer.balance(updated)
+        )
+        cold = GustScheduler(32, algorithm=algorithm).schedule_balanced(
+            balancer.balance(updated)
+        )
+        np.testing.assert_array_equal(refreshed.m_sch, cold.m_sch)
+        np.testing.assert_array_equal(refreshed.row_sch, cold.row_sch)
