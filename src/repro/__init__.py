@@ -38,15 +38,21 @@ from repro.core.bounds import (
     expected_execution_cycles,
     expected_utilization,
 )
-from repro.core.cache import CacheStats, ScheduleCache
+from repro.core.cache import CacheLookup, CacheStats, ScheduleCache
 from repro.core.load_balance import BalancedMatrix, LoadBalancer
 from repro.core.machine import GustMachine, MachineResult
 from repro.core.parallel import ParallelGust
 from repro.core.pipeline import GustPipeline, PipelineResult
 from repro.core.schedule import Schedule
 from repro.core.scheduler import SCHEDULING_ALGORITHMS, GustScheduler
-from repro.core.serialize import load_schedule, save_schedule
+from repro.core.serialize import (
+    StoredSchedule,
+    load_schedule,
+    load_schedule_entry,
+    save_schedule,
+)
 from repro.core.spmm import GustSpmm, SpmmResult
+from repro.core.store import DiskScheduleStore, DiskStoreStats, default_store_dir
 from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.datasets import (
@@ -68,11 +74,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BalancedMatrix",
+    "CacheLookup",
     "CacheStats",
     "CooMatrix",
     "CsrMatrix",
     "CycleReport",
     "DatasetSpec",
+    "DiskScheduleStore",
+    "DiskStoreStats",
     "EnergyReport",
     "GustMachine",
     "GustPipeline",
@@ -88,8 +97,11 @@ __all__ = [
     "Schedule",
     "ScheduleCache",
     "SpmmResult",
+    "StoredSchedule",
     "banded",
+    "default_store_dir",
     "load_schedule",
+    "load_schedule_entry",
     "save_schedule",
     "block_diagonal",
     "expected_colors",

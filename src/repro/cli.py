@@ -4,19 +4,27 @@ Commands
 --------
 
 generate    synthesize a matrix (family generator or paper surrogate) to .mtx
-schedule    preprocess a .mtx matrix into a reusable .npz schedule
+schedule    preprocess a .mtx matrix into a reusable schedule artifact
 spmv        execute a scheduled SpMV against a vector and verify it
 inspect     print statistics of a saved schedule
+cache       inspect or clear the persistent schedule store
 compare     run every accelerator model on one matrix, print the table
 experiment  regenerate one of the paper's tables/figures
+
+The ``schedule`` command keeps a persistent, content-addressed schedule
+store (default ``~/.cache/gust``; override with ``--cache-dir`` or the
+``GUST_CACHE_DIR`` environment variable, disable with ``--no-disk-cache``).
+A pattern scheduled by any previous process — on this or another worker
+sharing the directory — warm-starts from disk instead of recoloring.
 
 Examples::
 
     python -m repro generate --family uniform --dim 2048 --density 0.01 \
         --out m.mtx
     python -m repro generate --dataset scircuit --scale 16 --out scircuit.mtx
-    python -m repro schedule m.mtx --length 128 --out m.sched.npz
-    python -m repro spmv m.sched.npz --seed 7
+    python -m repro schedule m.mtx --length 128 --out m.sched
+    python -m repro spmv m.sched --seed 7
+    python -m repro cache stats
     python -m repro compare m.mtx --length 256
     python -m repro experiment fig7 --scale 16
 """
@@ -31,6 +39,7 @@ import numpy as np
 from repro import __version__
 from repro.core.pipeline import GustPipeline
 from repro.core.serialize import load_schedule, save_schedule
+from repro.core.store import DiskScheduleStore
 from repro.errors import ReproError
 from repro.sparse.datasets import dataset_names, load_dataset
 from repro.sparse.generators import (
@@ -87,11 +96,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-size",
         type=int,
         default=0,
-        help="pattern-keyed schedule cache capacity (0 disables caching)",
+        help="in-memory pattern-keyed cache capacity (0 uses the default "
+        "when the disk cache is active, else disables in-memory caching)",
+    )
+    schedule.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent schedule store directory (default ~/.cache/gust, "
+        "or $GUST_CACHE_DIR)",
+    )
+    schedule.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the persistent schedule store for this run",
     )
 
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the persistent schedule store"
+    )
+    cache_actions = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_actions.add_parser(
+        "stats", help="print artifact count and size of the store"
+    )
+    cache_stats.add_argument("--cache-dir", default=None)
+    cache_clear = cache_actions.add_parser(
+        "clear", help="delete every artifact in the store"
+    )
+    cache_clear.add_argument("--cache-dir", default=None)
+
     spmv = commands.add_parser("spmv", help="run a scheduled SpMV")
-    spmv.add_argument("schedule", help=".npz schedule file")
+    spmv.add_argument("schedule", help="schedule artifact file")
     spmv.add_argument("--seed", type=int, default=0, help="input vector seed")
     spmv.add_argument(
         "--cycle-accurate",
@@ -100,7 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     inspect = commands.add_parser("inspect", help="describe a saved schedule")
-    inspect.add_argument("schedule", help=".npz schedule file")
+    inspect.add_argument("schedule", help="schedule artifact file")
 
     compare = commands.add_parser(
         "compare", help="run all accelerator models on one matrix"
@@ -145,21 +179,37 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lookup_kind(notes: dict[str, float]) -> str:
+    """Human label for which cache path served one preprocess call."""
+    if notes.get("disk_hit"):
+        return "disk refresh" if notes.get("cache_refresh") else "disk hit"
+    if notes.get("cache_refresh"):
+        return "refresh"
+    if notes.get("cache_hit"):
+        return "hit"
+    return "cold"
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print("error: --repeats must be >= 1", file=sys.stderr)
         return 2
     matrix = read_matrix_market(args.matrix)
+    store = None
+    if not args.no_disk_cache:
+        store = DiskScheduleStore(directory=args.cache_dir)
     pipeline = GustPipeline(
         args.length,
         algorithm=args.algorithm,
         load_balance=not args.no_load_balance,
         cache=args.cache_size if args.cache_size > 0 else None,
+        store=store,
     )
     schedule, balanced, report = pipeline.preprocess(matrix)
+    first_kind = _lookup_kind(report.notes)
     for repeat in range(1, args.repeats):
         schedule, balanced, repeat_report = pipeline.preprocess(matrix)
-        kind = "hit" if repeat_report.notes.get("cache_hit") else "cold"
+        kind = _lookup_kind(repeat_report.notes)
         print(
             f"repeat {repeat}: {repeat_report.seconds * 1e3:.2f} ms ({kind})"
         )
@@ -169,14 +219,37 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         f"{schedule.window_count} windows, {schedule.total_colors} slots, "
         f"{schedule.execution_cycles} cycles/SpMV, "
         f"utilization {schedule.utilization:.1%}, "
-        f"preprocessing {report.seconds * 1e3:.1f} ms -> {args.out}"
+        f"preprocessing {report.seconds * 1e3:.1f} ms ({first_kind}) "
+        f"-> {args.out}"
     )
     if pipeline.cache is not None:
         stats = pipeline.cache.stats
-        print(
+        line = (
             f"schedule cache: {stats.hits} hits, {stats.refreshes} refreshes, "
             f"{stats.misses} misses (hit rate {stats.hit_rate:.0%})"
         )
+        if store is not None:
+            line += (
+                f"; disk: {stats.disk_hits} hits, "
+                f"{store.stats.writes} writes -> {store.directory}"
+            )
+        print(line)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = DiskScheduleStore(directory=args.cache_dir)
+    if args.cache_command == "stats":
+        count = store.artifact_count()
+        total = store.total_bytes()
+        print(f"schedule store: {store.directory}")
+        print(
+            f"  {count} artifacts, {total / 1e6:.2f} MB "
+            f"(budget {store.max_bytes / 1e6:.0f} MB)"
+        )
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} artifacts from {store.directory}")
     return 0
 
 
@@ -321,6 +394,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "generate": _cmd_generate,
     "schedule": _cmd_schedule,
+    "cache": _cmd_cache,
     "spmv": _cmd_spmv,
     "inspect": _cmd_inspect,
     "compare": _cmd_compare,

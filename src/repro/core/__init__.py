@@ -10,7 +10,7 @@ from repro.core.bounds import (
     expected_execution_cycles,
     expected_utilization,
 )
-from repro.core.cache import CacheStats, ScheduleCache
+from repro.core.cache import CacheLookup, CacheStats, ScheduleCache
 from repro.core.load_balance import BalancedMatrix, LoadBalancer
 from repro.core.machine import GustMachine, MachineResult
 from repro.core.naive import naive_coloring, naive_stalls
@@ -18,12 +18,28 @@ from repro.core.parallel import ParallelGust
 from repro.core.pipeline import GustPipeline, PipelineResult
 from repro.core.schedule import Schedule
 from repro.core.scheduler import GustScheduler
-from repro.core.serialize import load_schedule, save_schedule
+from repro.core.serialize import (
+    StoredSchedule,
+    load_schedule,
+    load_schedule_entry,
+    save_schedule,
+)
 from repro.core.spmm import GustSpmm, SpmmResult
+from repro.core.store import (
+    DiskScheduleStore,
+    DiskStoreStats,
+    default_store_dir,
+)
 
 __all__ = [
     "BalancedMatrix",
+    "CacheLookup",
     "CacheStats",
+    "DiskScheduleStore",
+    "DiskStoreStats",
+    "StoredSchedule",
+    "default_store_dir",
+    "load_schedule_entry",
     "GustMachine",
     "GustPipeline",
     "GustScheduler",

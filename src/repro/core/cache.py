@@ -22,12 +22,29 @@ schedule per dense column.  This module makes that amortization automatic:
   demands >= 50x).
 * Anything else is a *miss*; the caller schedules cold and inserts.
 
-Entries are kept in LRU order with a bounded capacity.  The cache is not
-thread-safe; wrap it externally if shared across threads.
+Persistent tier
+---------------
 
-Used by :class:`repro.core.pipeline.GustPipeline` (pass ``cache=``) and,
-through it, :class:`repro.core.spmm.GustSpmm` and every solver in
-:mod:`repro.solvers` that reuses a pipeline across calls.
+Pass ``store=`` (a :class:`~repro.core.store.DiskScheduleStore`) to layer a
+content-addressed on-disk tier underneath: lookups then go **memory ->
+disk -> compute**.  A memory miss consults the store; a disk hit
+reconstitutes the full in-memory entry (including the value-refresh
+metadata) and is then served through the normal hit/refresh logic — so a
+worker process restarted against a warm store pays a file read, never a
+coloring, even when the matrix values have moved since the artifact was
+written.  :meth:`insert` writes through to the store, and artifacts are
+shared freely between processes (atomic writes, checksum-verified reads).
+Value refreshes do *not* rewrite the artifact: the coloring it persists is
+value-independent, and the refresh machinery re-derives values on load.
+
+Entries are kept in LRU order with a bounded capacity.  The cache is not
+thread-safe; wrap it externally if shared across threads.  (The disk tier
+*is* multi-process safe; what needs external locking is only the in-memory
+bookkeeping.)
+
+Used by :class:`repro.core.pipeline.GustPipeline` (pass ``cache=`` /
+``store=``) and, through it, :class:`repro.core.spmm.GustSpmm` and every
+solver in :mod:`repro.solvers` that reuses a pipeline across calls.
 """
 
 from __future__ import annotations
@@ -42,18 +59,27 @@ import numpy as np
 from repro.core.load_balance import BalancedMatrix
 from repro.core.schedule import Schedule
 from repro.core.scheduler import slot_value_sources
+from repro.core.store import DiskScheduleStore, store_key_from_digest
 from repro.errors import HardwareConfigError
 from repro.sparse.coo import CooMatrix
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counters for one :class:`ScheduleCache` instance."""
+    """Counters for one :class:`ScheduleCache` instance.
+
+    ``hits``/``refreshes`` count every lookup that avoided a cold
+    scheduling pass, whichever tier satisfied it; ``disk_hits`` records the
+    subset that was served from the persistent store, and ``disk_misses``
+    the memory misses that consulted the store and found nothing usable.
+    """
 
     hits: int = 0
     refreshes: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -66,6 +92,19 @@ class CacheStats:
         return (self.hits + self.refreshes) / total if total else 0.0
 
 
+@dataclass(frozen=True)
+class CacheLookup:
+    """Result of a :meth:`ScheduleCache.fetch` that found the pattern."""
+
+    schedule: Schedule
+    balanced: BalancedMatrix
+    stalls: int
+    #: True when the stored coloring was reused but the value scatter ran.
+    refreshed: bool
+    #: True when the entry was faulted in from the persistent store.
+    from_disk: bool
+
+
 @dataclass
 class _Entry:
     """One cached schedule plus the metadata needed for value refreshes."""
@@ -75,28 +114,46 @@ class _Entry:
     #: snapshot of the original-order value stream the stored schedule was
     #: built from (a copy, so in-place edits of the caller's array differ).
     last_data: np.ndarray
-    #: original-order data -> balanced-order data permutation.
-    data_order: np.ndarray
+    #: original-order data -> balanced-order data permutation.  May be
+    #: ``None`` for entries faulted in from a disk artifact (which persists
+    #: only the inverse); materialized lazily on the first value refresh.
+    data_order: np.ndarray | None
     #: occupied slot coordinates and their balanced-data source indices.
     slot_steps: np.ndarray
     slot_lanes: np.ndarray
     slot_source: np.ndarray
     #: naive-policy stall count captured at scheduling time.
     stalls: int
+    #: balanced-order -> original-order permutation from a disk artifact.
+    inv_order: np.ndarray | None = None
 
 
 def pattern_digest(
     matrix: CooMatrix, length: int, algorithm: str, load_balance: bool
 ) -> bytes:
-    """Fingerprint of the inputs the edge coloring depends on."""
-    h = hashlib.blake2b(digest_size=16)
+    """Fingerprint of the inputs the edge coloring depends on.
+
+    The index arrays are hashed as one combined ``row * n + col`` key per
+    nonzero — bijective given the (m, n) already in the header, and half
+    the bytes of hashing rows and cols separately, which matters because
+    this digest sits on the warm-start path of every store lookup.
+    SHA-256 over blake2b for the same reason: hardware SHA extensions make
+    it ~2x faster per byte here, and the digest only needs to be
+    collision-free, not keyed.
+    """
+    h = hashlib.sha256()
     m, n = matrix.shape
     h.update(
         np.array([m, n, length, int(load_balance)], dtype=np.int64).tobytes()
     )
     h.update(algorithm.encode("utf-8"))
-    h.update(np.ascontiguousarray(matrix.rows).tobytes())
-    h.update(np.ascontiguousarray(matrix.cols).tobytes())
+    keys = matrix.rows.astype(np.int64) * np.int64(max(n, 1)) + matrix.cols
+    if keys.size and m * n <= np.iinfo(np.int32).max:
+        # Same information, half the bytes to hash.  The narrowing is a
+        # pure function of (m, n), so every process derives the same
+        # digest for one pattern.
+        keys = keys.astype(np.int32)
+    h.update(np.ascontiguousarray(keys).tobytes())
     return h.digest()
 
 
@@ -104,15 +161,20 @@ class ScheduleCache:
     """Bounded LRU cache of (pattern, config) -> prepared schedule.
 
     Args:
-        capacity: maximum number of distinct patterns retained.
+        capacity: maximum number of distinct patterns retained in memory.
+        store: optional persistent tier consulted on memory misses and
+            written through on inserts.
     """
 
-    def __init__(self, capacity: int = 8):
+    def __init__(
+        self, capacity: int = 8, store: DiskScheduleStore | None = None
+    ):
         if capacity <= 0:
             raise HardwareConfigError(
                 f"cache capacity must be positive, got {capacity}"
             )
         self.capacity = capacity
+        self.store = store
         self._entries: OrderedDict[bytes, _Entry] = OrderedDict()
         # Identity memo: CooMatrix.with_data shares the index arrays of its
         # source, so repeated lookups for a pattern usually present the
@@ -126,6 +188,8 @@ class ScheduleCache:
         self._refreshes = 0
         self._misses = 0
         self._evictions = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
 
     # -- introspection ------------------------------------------------------
 
@@ -139,10 +203,13 @@ class ScheduleCache:
             refreshes=self._refreshes,
             misses=self._misses,
             evictions=self._evictions,
+            disk_hits=self._disk_hits,
+            disk_misses=self._disk_misses,
         )
 
     def clear(self) -> None:
-        """Drop every entry (statistics are preserved)."""
+        """Drop every in-memory entry (statistics and the disk tier are
+        untouched; use ``cache.store.clear()`` to purge artifacts)."""
         self._entries.clear()
         self._digest_memo.clear()
 
@@ -187,27 +254,53 @@ class ScheduleCache:
         length: int,
         algorithm: str,
         load_balance: bool,
-    ) -> tuple[Schedule, BalancedMatrix, int, bool] | None:
-        """Return ``(schedule, balanced, stalls, refreshed)`` or None on miss.
+    ) -> CacheLookup | None:
+        """Return a :class:`CacheLookup` or ``None`` on a full miss.
 
-        A pattern hit with changed values refreshes the stored schedule in
-        place: only the value scatter runs; the coloring, permutation, and
-        slot join are reused.
+        Lookup order is memory -> disk -> caller computes.  A pattern hit
+        with changed values refreshes the stored schedule in place: only
+        the value scatter runs; the coloring, permutation, and slot join
+        are reused.  Entries faulted in from the disk tier go through the
+        identical hit/refresh logic, so a warm store serves value-updated
+        matrices without recoloring.
         """
         key = self._pattern_key(matrix, length, algorithm, load_balance)
         entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return self._serve(entry, matrix, from_disk=False)
 
+        if self.store is not None:
+            stored = self.store.load(store_key_from_digest(key, matrix.nnz))
+            if stored is not None:
+                self._disk_hits += 1
+                entry = self._entry_from_artifact(matrix, stored)
+                self._put(key, entry)
+                return self._serve(entry, matrix, from_disk=True)
+            self._disk_misses += 1
+
+        self._misses += 1
+        return None
+
+    def _serve(
+        self, entry: _Entry, matrix: CooMatrix, from_disk: bool
+    ) -> CacheLookup:
+        """Serve one entry: verbatim hit, or in-place value refresh."""
         if np.array_equal(matrix.data, entry.last_data):
             self._hits += 1
-            return entry.schedule, entry.balanced, entry.stalls, False
+            return CacheLookup(
+                schedule=entry.schedule,
+                balanced=entry.balanced,
+                stalls=entry.stalls,
+                refreshed=False,
+                from_disk=from_disk,
+            )
 
         # Same pattern, new values: rebuild the permuted value stream and
         # scatter it into a fresh M_sch; index arrays are shared.
         self._refreshes += 1
+        if entry.data_order is None:
+            entry.data_order = self._materialize_data_order(entry, matrix)
         permuted_data = matrix.data[entry.data_order]
         old = entry.balanced
         refreshed_matrix = CooMatrix(
@@ -238,7 +331,70 @@ class ScheduleCache:
         # Snapshot, not alias: an in-place edit of the caller's data array
         # must read as "values changed" on the next lookup.
         entry.last_data = matrix.data.copy()
-        return schedule, balanced, entry.stalls, True
+        return CacheLookup(
+            schedule=schedule,
+            balanced=balanced,
+            stalls=entry.stalls,
+            refreshed=True,
+            from_disk=from_disk,
+        )
+
+    def _entry_from_artifact(
+        self, matrix: CooMatrix, stored
+    ) -> _Entry:
+        """Reconstitute the in-memory entry for a disk artifact.
+
+        The artifact persists the *balanced-order* matrix plus the slot
+        join, and — when written through a cache like this one — the
+        original->balanced permutation.  The requesting ``matrix`` supplies
+        the original-order pattern (identical by key construction), so the
+        only work here is scattering the artifact's values back into
+        original order for the hit/refresh comparison; the sorts and
+        searchsorted joins were paid once at write time.
+        """
+        balanced = stored.balanced
+        data_order = stored.data_order
+        if stored.inv_order is not None:
+            # Gather via the persisted inverse permutation (cheaper than
+            # the scatter the forward form would need); the forward
+            # permutation stays lazy until a value refresh needs it.
+            artifact_data = balanced.matrix.data[stored.inv_order]
+        else:
+            if data_order is None:
+                data_order = np.lexsort(
+                    (matrix.cols, balanced.row_perm[matrix.rows])
+                )
+            artifact_data = np.empty_like(balanced.matrix.data)
+            artifact_data[data_order] = balanced.matrix.data
+        return _Entry(
+            schedule=stored.schedule,
+            balanced=balanced,
+            last_data=artifact_data,
+            data_order=data_order,
+            slot_steps=stored.slot_steps,
+            slot_lanes=stored.slot_lanes,
+            slot_source=stored.slot_source,
+            stalls=stored.stalls,
+            inv_order=stored.inv_order,
+        )
+
+    @staticmethod
+    def _materialize_data_order(entry: _Entry, matrix: CooMatrix) -> np.ndarray:
+        """Forward (original -> balanced) permutation for a lazy entry."""
+        inv = entry.inv_order
+        if inv is not None:
+            order = np.empty(inv.size, dtype=np.int64)
+            order[inv] = np.arange(inv.size, dtype=np.int64)
+            return order
+        return np.lexsort((matrix.cols, entry.balanced.row_perm[matrix.rows]))
+
+    def _put(self, key: bytes, entry: _Entry) -> None:
+        """Install an entry at most-recent position, evicting over capacity."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
 
     def insert(
         self,
@@ -254,22 +410,35 @@ class ScheduleCache:
 
         ``matrix`` is the *original* (pre-permutation) operand the caller
         scheduled; the entry records how its value stream maps into the
-        balanced order so refreshes can skip re-canonicalization.
+        balanced order so refreshes can skip re-canonicalization.  With a
+        persistent tier attached, the result is also written through to
+        disk (skipped when the content-addressed artifact already exists —
+        the coloring it stores is value-independent).
         """
         key = self._pattern_key(matrix, length, algorithm, load_balance)
         data_order = np.lexsort((matrix.cols, balanced.row_perm[matrix.rows]))
         steps, lanes, source = slot_value_sources(schedule, balanced.matrix)
-        self._entries[key] = _Entry(
-            schedule=schedule,
-            balanced=balanced,
-            last_data=matrix.data.copy(),
-            data_order=data_order,
-            slot_steps=steps,
-            slot_lanes=lanes,
-            slot_source=source,
-            stalls=stalls,
+        self._put(
+            key,
+            _Entry(
+                schedule=schedule,
+                balanced=balanced,
+                last_data=matrix.data.copy(),
+                data_order=data_order,
+                slot_steps=steps,
+                slot_lanes=lanes,
+                slot_source=source,
+                stalls=stalls,
+            ),
         )
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        if self.store is not None:
+            store_key = store_key_from_digest(key, matrix.nnz)
+            if not self.store.contains(store_key):
+                self.store.store(
+                    store_key,
+                    schedule,
+                    balanced,
+                    stalls=stalls,
+                    slots=(steps, lanes, source),
+                    data_order=data_order,
+                )

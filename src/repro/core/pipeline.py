@@ -11,16 +11,25 @@ Pass ``cache=`` to layer a :class:`~repro.core.cache.ScheduleCache` under
 sparsity pattern returns the stored schedule (identical values) or runs
 only the value scatter (same pattern, new values — the Jacobian/Hessian
 case), so iterative solvers and SpMM replays pay the coloring once.
+
+Pass ``store=`` to add the persistent tier: a
+:class:`~repro.core.store.DiskScheduleStore` (or a directory path, or
+``True`` for the default ``~/.cache/gust`` location) layered under the
+memory cache, so lookups go memory -> disk -> compute and schedules
+survive process restarts — the paper's Table 4 deployment model, where a
+fleet of workers shares one schedule artifact store.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.cache import ScheduleCache
+from repro.core.store import DiskScheduleStore
 from repro.core.load_balance import BalancedMatrix, LoadBalancer, identity_balance
 from repro.core.machine import GustMachine, MachineResult
 from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
@@ -57,6 +66,13 @@ class GustPipeline:
             pipelines), ``True`` for a private default-capacity cache, an
             ``int`` for a private cache of that capacity, or ``None``/
             ``False`` (default) to schedule cold every time.
+        store: persistent schedule tier.  Pass a
+            :class:`~repro.core.store.DiskScheduleStore` (shareable across
+            pipelines *and* processes), a directory path, or ``True`` for
+            the default store location.  A store implies a memory cache: if
+            ``cache`` is unset, a private default-capacity one is created
+            to front it; if ``cache`` is an existing :class:`ScheduleCache`
+            without a store, the store is attached to it.
     """
 
     def __init__(
@@ -66,19 +82,40 @@ class GustPipeline:
         load_balance: bool = True,
         validate: bool = False,
         cache: ScheduleCache | int | bool | None = None,
+        store: DiskScheduleStore | str | Path | bool | None = None,
     ):
         self.length = length
         self.algorithm = algorithm
         self.load_balance = load_balance and algorithm != "naive"
         self.scheduler = GustScheduler(length, algorithm, validate=validate)
         self._balancer = LoadBalancer(length) if self.load_balance else None
+        if store is True:
+            store = DiskScheduleStore()
+        elif store is False:
+            store = None
+        elif isinstance(store, (str, Path)):
+            store = DiskScheduleStore(directory=store)
+        if cache is False and store is not None:
+            # The store is only reachable through the memory tier, so this
+            # combination would silently never persist anything.
+            raise HardwareConfigError(
+                "cache=False disables all caching and is incompatible with "
+                "a persistent store; drop one of the two arguments"
+            )
         if cache is True:
-            cache = ScheduleCache()
+            cache = ScheduleCache(store=store)
         elif cache is False:
             cache = None
         elif isinstance(cache, int):
-            cache = ScheduleCache(capacity=cache)
+            cache = ScheduleCache(capacity=cache, store=store)
+        elif cache is None and store is not None:
+            cache = ScheduleCache(store=store)
+        if cache is not None and store is not None and cache.store is None:
+            cache.store = store
         self.cache = cache
+        self.store = store if store is not None else (
+            cache.store if cache is not None else None
+        )
 
     # -- preprocessing -------------------------------------------------------
 
@@ -91,7 +128,8 @@ class GustPipeline:
         balancing is off), and a wall-clock report.  With a cache attached,
         a previously seen pattern skips the coloring entirely: the report's
         ``notes["cache_hit"]`` / ``notes["cache_refresh"]`` flags record
-        which path ran.
+        which path ran, and ``notes["disk_hit"]`` whether the persistent
+        tier (rather than process memory) supplied the schedule.
         """
         started = time.perf_counter()
         cached = None
@@ -100,20 +138,20 @@ class GustPipeline:
                 matrix, self.length, self.algorithm, self.load_balance
             )
         if cached is not None:
-            schedule, balanced, stalls, refreshed = cached
-            self.scheduler.last_stalls = stalls
+            self.scheduler.last_stalls = cached.stalls
             elapsed = time.perf_counter() - started
             report = PreprocessReport(
                 seconds=elapsed,
-                windows=schedule.window_count,
-                total_colors=schedule.total_colors,
+                windows=cached.schedule.window_count,
+                total_colors=cached.schedule.total_colors,
                 notes={
-                    "stalls": float(stalls),
-                    "cache_hit": 0.0 if refreshed else 1.0,
-                    "cache_refresh": 1.0 if refreshed else 0.0,
+                    "stalls": float(cached.stalls),
+                    "cache_hit": 0.0 if cached.refreshed else 1.0,
+                    "cache_refresh": 1.0 if cached.refreshed else 0.0,
+                    "disk_hit": 1.0 if cached.from_disk else 0.0,
                 },
             )
-            return schedule, balanced, report
+            return cached.schedule, cached.balanced, report
         if self._balancer is not None:
             balanced = self._balancer.balance(matrix)
         else:
@@ -134,6 +172,7 @@ class GustPipeline:
         if self.cache is not None:
             notes["cache_hit"] = 0.0
             notes["cache_refresh"] = 0.0
+            notes["disk_hit"] = 0.0
         report = PreprocessReport(
             seconds=elapsed,
             windows=schedule.window_count,

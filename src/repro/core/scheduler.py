@@ -304,7 +304,13 @@ def slot_value_sources(
     cols = schedule.col_sch[steps, lanes]
     n = max(1, schedule.shape[1])
     slot_keys = global_rows * np.int64(n) + cols
-    matrix_keys = matrix.rows * np.int64(n) + matrix.cols
+    # Widen explicitly: matrices reconstituted from disk artifacts carry
+    # narrow index dtypes, and NumPy 1.x value-based casting would keep
+    # the product in int16/int32 and overflow the key space.
+    matrix_keys = (
+        matrix.rows.astype(np.int64, copy=False) * np.int64(n)
+        + matrix.cols.astype(np.int64, copy=False)
+    )
     source = np.searchsorted(matrix_keys, slot_keys)
     in_range = np.minimum(source, max(0, matrix_keys.size - 1))
     missing = (source >= matrix_keys.size) | (matrix_keys[in_range] != slot_keys)

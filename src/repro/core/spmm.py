@@ -19,12 +19,14 @@ Both reuse the single schedule and therefore pay preprocessing once.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.cache import ScheduleCache
 from repro.core.load_balance import BalancedMatrix
 from repro.core.pipeline import GustPipeline
+from repro.core.store import DiskScheduleStore
 from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
 from repro.errors import HardwareConfigError
 from repro.sparse.coo import CooMatrix
@@ -60,6 +62,10 @@ class GustSpmm:
             sharing one sparsity pattern (e.g. a re-assembled Jacobian
             against fresh blocks) pays the coloring once and refreshes only
             the value stream thereafter.
+        store: forwarded to the pipeline; a persistent
+            :class:`~repro.core.store.DiskScheduleStore` tier makes the
+            schedule survive process restarts, so a restarted SpMM worker
+            warm-starts from disk instead of recoloring.
     """
 
     def __init__(
@@ -69,12 +75,17 @@ class GustSpmm:
         algorithm: str = "matching",
         load_balance: bool = True,
         cache: ScheduleCache | int | bool | None = None,
+        store: DiskScheduleStore | str | Path | bool | None = None,
     ):
         if replicas <= 0:
             raise HardwareConfigError(f"replicas must be positive, got {replicas}")
         self.replicas = replicas
         self.pipeline = GustPipeline(
-            length, algorithm=algorithm, load_balance=load_balance, cache=cache
+            length,
+            algorithm=algorithm,
+            load_balance=load_balance,
+            cache=cache,
+            store=store,
         )
 
     def preprocess(self, matrix: CooMatrix) -> tuple[Schedule, BalancedMatrix]:

@@ -1,0 +1,314 @@
+"""Content-addressed on-disk schedule store: the persistent cache tier.
+
+GUST's deployment story (Table 4 vs. Serpens) assumes the edge-coloring
+schedule outlives a single process: a fleet of workers serves SpMV traffic
+against a shared artifact store and never pays the coloring cost twice for
+one sparsity pattern.  RACE (Alappat et al.) treats coloring the same way —
+a reusable preprocessing artifact, not a per-run expense.
+
+This module is that store.  Artifacts are addressed by content, not by
+name: the key is a stable fingerprint of everything the stored schedule
+depends on —
+
+* the sparsity pattern (shape, nnz, and the hashed canonical COO index
+  arrays, via :func:`repro.core.cache.pattern_digest`),
+* the scheduling configuration (length ``l``, coloring algorithm,
+  load-balance flag), and
+* the code/format version (:data:`SCHEDULER_CODE_VERSION` plus the
+  serializer's format version), so artifacts from incompatible library
+  revisions can never be confused for fresh ones.
+
+Two processes that schedule the same pattern derive the same key and write
+the same artifact; :func:`repro.core.serialize.save_schedule`'s atomic
+write-then-rename makes the race harmless (last writer wins, every reader
+sees a complete file).  A corrupt or truncated artifact — failed checksum,
+bad zip, wrong version — is quarantined (deleted) and reported as a miss,
+so the caller falls through to recomputation; corruption never propagates.
+
+The store holds a bounded byte budget.  After each write, artifacts are
+evicted oldest-modification-first until the directory fits the budget
+(an approximate LRU: loads refresh the file's mtime).
+
+Layered under :class:`~repro.core.cache.ScheduleCache` (pass ``store=``),
+lookups go memory -> disk -> compute with write-back on miss; see
+:class:`~repro.core.pipeline.GustPipeline`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.load_balance import BalancedMatrix
+from repro.core.schedule import Schedule
+from repro.core.serialize import (
+    _FORMAT_VERSION,
+    StoredSchedule,
+    load_schedule_entry,
+    save_schedule,
+)
+from repro.errors import HardwareConfigError, ScheduleError
+from repro.sparse.coo import CooMatrix
+
+#: Bump when scheduling *semantics* change (coloring order, balancer
+#: behavior, schedule layout): persisted artifacts keyed under the old
+#: version then simply miss instead of replaying stale schedules.
+SCHEDULER_CODE_VERSION = 1
+
+#: Default size budget for a store directory (1 GiB).
+DEFAULT_MAX_BYTES = 1 << 30
+
+#: Artifact filename suffix.
+_SUFFIX = ".sched"
+
+
+def default_store_dir() -> Path:
+    """The conventional store location, ``~/.cache/gust``.
+
+    ``GUST_CACHE_DIR`` overrides outright; otherwise ``XDG_CACHE_HOME`` (or
+    ``~/.cache``) is used as the base, matching the usual Linux cache
+    conventions.
+    """
+    override = os.environ.get("GUST_CACHE_DIR")
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME")
+    if base:
+        return Path(base) / "gust"
+    return Path.home() / ".cache" / "gust"
+
+
+def store_key_from_digest(digest: bytes, nnz: int) -> str:
+    """Content address for a pattern digest under the current code version."""
+    h = hashlib.blake2b(digest_size=20)
+    h.update(b"gust-schedule-artifact")
+    h.update(
+        np.array(
+            [SCHEDULER_CODE_VERSION, _FORMAT_VERSION, nnz], dtype=np.int64
+        ).tobytes()
+    )
+    h.update(digest)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class DiskStoreStats:
+    """Counters for one :class:`DiskScheduleStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    write_errors: int = 0
+    corrupt_dropped: int = 0
+    evictions: int = 0
+
+
+class DiskScheduleStore:
+    """Bounded directory of content-addressed schedule artifacts.
+
+    Args:
+        directory: artifact directory; created on first use.  Defaults to
+            :func:`default_store_dir`.
+        max_bytes: total artifact byte budget; oldest artifacts are evicted
+            after each write until the directory fits.
+
+    The store is safe to share between processes: writes are atomic
+    renames, reads only ever see complete files, and corrupt files are
+    quarantined on first contact.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ):
+        if max_bytes <= 0:
+            raise HardwareConfigError(
+                f"store byte budget must be positive, got {max_bytes}"
+            )
+        self.directory = (
+            Path(directory) if directory is not None else default_store_dir()
+        )
+        self.max_bytes = max_bytes
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._write_errors = 0
+        self._corrupt_dropped = 0
+        self._evictions = 0
+
+    # -- keys and paths -----------------------------------------------------
+
+    def key_for(
+        self,
+        matrix: CooMatrix,
+        length: int,
+        algorithm: str,
+        load_balance: bool,
+    ) -> str:
+        """Content address of ``matrix``'s schedule under one configuration."""
+        from repro.core.cache import pattern_digest
+
+        digest = pattern_digest(matrix, length, algorithm, load_balance)
+        return store_key_from_digest(digest, matrix.nnz)
+
+    def path_for(self, key: str) -> Path:
+        """Artifact path for a key (flat layout, one file per pattern)."""
+        return self.directory / f"{key}{_SUFFIX}"
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def stats(self) -> DiskStoreStats:
+        return DiskStoreStats(
+            hits=self._hits,
+            misses=self._misses,
+            writes=self._writes,
+            write_errors=self._write_errors,
+            corrupt_dropped=self._corrupt_dropped,
+            evictions=self._evictions,
+        )
+
+    def _artifacts(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return [
+            p
+            for p in self.directory.iterdir()
+            if p.suffix == _SUFFIX and p.is_file()
+        ]
+
+    def artifact_count(self) -> int:
+        """Number of artifacts currently on disk."""
+        return len(self._artifacts())
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by artifacts."""
+        total = 0
+        for path in self._artifacts():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    # -- load / store / clear ----------------------------------------------
+
+    def load(self, key: str) -> StoredSchedule | None:
+        """Fetch an artifact by key; ``None`` on miss or quarantined file.
+
+        Loads skip the O(nnz log nnz) logical re-validation: the CRC-32
+        checksum already proves the bytes are exactly what
+        :func:`~repro.core.serialize.save_schedule` wrote, and warm-start
+        latency is this tier's reason to exist.  Integrity (bit rot,
+        truncation, version skew) is still fully enforced.
+        """
+        path = self.path_for(key)
+        try:
+            entry = load_schedule_entry(path, validate=False)
+        except FileNotFoundError:
+            self._misses += 1
+            return None
+        except ScheduleError:
+            # Corrupt, truncated, or version-mismatched: drop it so the
+            # slot can be rebuilt, and report a miss — the caller
+            # recomputes.  Never let a bad artifact escape.
+            self._corrupt_dropped += 1
+            self._misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        except OSError:
+            # Transient I/O trouble (e.g. a flaky network mount) is a
+            # miss, not corruption — leave the shared artifact alone.
+            self._misses += 1
+            return None
+        self._hits += 1
+        # Approximate-LRU bookkeeping for the byte-budget eviction.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return entry
+
+    def store(
+        self,
+        key: str,
+        schedule: Schedule,
+        balanced: BalancedMatrix,
+        stalls: int = 0,
+        slots: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+        data_order: np.ndarray | None = None,
+    ) -> bool:
+        """Persist one schedule under ``key``; returns False on I/O failure.
+
+        ``slots``/``data_order`` are forwarded to
+        :func:`~repro.core.serialize.save_schedule` so a cache tier that
+        already computed the refresh joins persists them for free.  Write
+        failures (disk full, permissions) are absorbed and counted — a
+        serving system must keep answering queries when its cache
+        directory is sick — but the artifact is then simply absent.
+        """
+        try:
+            save_schedule(
+                self.path_for(key),
+                schedule,
+                balanced,
+                stalls=stalls,
+                slots=slots,
+                data_order=data_order,
+            )
+        except OSError:
+            self._write_errors += 1
+            return False
+        self._writes += 1
+        self._enforce_budget()
+        return True
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def clear(self) -> int:
+        """Delete every artifact (and stray temporaries); returns the count."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.iterdir():
+            if not path.is_file():
+                continue
+            if path.suffix == _SUFFIX or path.suffix == ".tmp":
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    def _enforce_budget(self) -> None:
+        """Evict oldest-mtime artifacts until the directory fits the budget."""
+        entries = []
+        for path in self._artifacts():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest first
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self._evictions += 1

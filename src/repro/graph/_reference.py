@@ -1,14 +1,16 @@
 """Frozen seed implementations of the scheduling hot path.
 
 These are the original pure-Python, per-window implementations of the
-paper's Listing 1 greedy matching, the first-fit bitmask variant, and the
-boolean-mask window partition that :class:`repro.core.scheduler.GustScheduler`
-shipped with before the vectorized batch engine replaced them.
+paper's Listing 1 greedy matching, the first-fit bitmask variant, the
+Euler/König matching-peel coloring, and the boolean-mask window partition
+that :class:`repro.core.scheduler.GustScheduler` shipped with before the
+vectorized batch engine replaced them.
 
 They are kept verbatim for two purposes:
 
-* **Regression oracle** — the vectorized kernels must reproduce these
-  per-edge colorings exactly (``tests/graph/test_vectorized_equivalence.py``).
+* **Regression oracle** — the live kernels must reproduce these per-edge
+  colorings exactly (``tests/graph/test_vectorized_equivalence.py`` and
+  ``tests/graph/test_coloring_properties.py``).
 * **Speedup baseline** — ``benchmarks/bench_scheduling_throughput.py``
   measures the vectorized engine against these functions.
 
@@ -20,7 +22,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.load_balance import BalancedMatrix
+from repro.errors import ColoringError
 from repro.graph.bipartite import WindowGraph
+from repro.graph.matching import hopcroft_karp
 from repro.sparse.stats import window_count
 
 
@@ -75,9 +79,71 @@ def reference_first_fit_coloring(graph: WindowGraph) -> np.ndarray:
     return edge_colors
 
 
+def reference_euler_coloring(graph: WindowGraph) -> np.ndarray:
+    """Seed Euler/König coloring: regularize with dummy edges, then peel
+    Delta perfect matchings with Hopcroft-Karp, one per color."""
+    edge_colors = np.full(graph.edge_count, -1, dtype=np.int64)
+    if graph.edge_count == 0:
+        return edge_colors
+
+    delta = graph.max_degree()
+    length = graph.length
+    left_deg = graph.left_degrees().astype(np.int64)
+    right_deg = graph.right_degrees().astype(np.int64)
+
+    lefts = list(map(int, graph.local_rows))
+    rights = list(map(int, graph.colsegs))
+    real_ids = list(range(graph.edge_count))
+
+    left_deficit = [delta - int(d) for d in left_deg]
+    right_deficit = [delta - int(d) for d in right_deg]
+    u, v = 0, 0
+    while u < length and v < length:
+        if left_deficit[u] == 0:
+            u += 1
+            continue
+        if right_deficit[v] == 0:
+            v += 1
+            continue
+        lefts.append(u)
+        rights.append(v)
+        real_ids.append(-1)
+        left_deficit[u] -= 1
+        right_deficit[v] -= 1
+    if any(left_deficit) or any(right_deficit):
+        raise ColoringError("regularization failed; unbalanced bipartite sides")
+
+    alive = list(range(len(lefts)))
+    for color in range(delta):
+        adjacency: list[list[int]] = [[] for _ in range(length)]
+        edge_for_pair: dict[tuple[int, int], list[int]] = {}
+        for edge in alive:
+            pair = (lefts[edge], rights[edge])
+            adjacency[pair[0]].append(pair[1])
+            edge_for_pair.setdefault(pair, []).append(edge)
+        match_left, _, size = hopcroft_karp(adjacency, length, length)
+        if size != length:
+            raise ColoringError(
+                f"regular multigraph lacked a perfect matching at color {color}"
+            )
+        removed: set[int] = set()
+        for u_vertex in range(length):
+            pair = (u_vertex, int(match_left[u_vertex]))
+            edge = edge_for_pair[pair].pop()
+            removed.add(edge)
+            if real_ids[edge] >= 0:
+                edge_colors[real_ids[edge]] = color
+        alive = [edge for edge in alive if edge not in removed]
+
+    if (edge_colors < 0).any():
+        raise ColoringError("euler coloring left edges uncolored")
+    return edge_colors
+
+
 REFERENCE_ALGORITHMS = {
     "matching": reference_greedy_matching_coloring,
     "first_fit": reference_first_fit_coloring,
+    "euler": reference_euler_coloring,
 }
 
 

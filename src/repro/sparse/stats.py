@@ -49,28 +49,44 @@ def colseg_degrees(matrix: CooMatrix, length: int) -> np.ndarray:
     return np.bincount(matrix.cols % length, minlength=length)
 
 
+def _window_degree_tables(
+    matrix: CooMatrix, length: int, windows: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(windows, l) nonzero counts per local row and per column segment.
+
+    One flat ``bincount`` over ``window * l + local_index`` keys replaces
+    the former per-window boolean-mask scan (the same partition trick the
+    vectorized scheduler uses: the canonical COO order is row-sorted, so a
+    window is a contiguous slice and its local degree histogram is a
+    bincount on offset keys — no O(windows x nnz) mask passes).
+    """
+    window_ids = matrix.rows // length
+    row_keys = window_ids * length + matrix.rows % length
+    seg_keys = window_ids * length + matrix.cols % length
+    shape = (windows, length)
+    row_deg = np.bincount(row_keys, minlength=windows * length).reshape(shape)
+    seg_deg = np.bincount(seg_keys, minlength=windows * length).reshape(shape)
+    return row_deg, seg_deg
+
+
 def window_color_lower_bound(matrix: CooMatrix, length: int) -> list[int]:
     """Per-window max bipartite degree — the paper's Eq. (1) value of C.
 
     For each window of ``l`` rows, the minimum schedulable buffer length is
     the larger of (max nonzeros in any row of the window) and (max nonzeros
-    in any column segment of the window).
+    in any column segment of the window).  Computed for every window at
+    once from the flat degree tables; empty windows report 0.
     """
     require_positive_length(length)
     m, _ = matrix.shape
-    bounds = []
-    window_of_row = matrix.rows // length
-    for w in range(window_count(m, length)):
-        mask = window_of_row == w
-        if not mask.any():
-            bounds.append(0)
-            continue
-        rows_w = matrix.rows[mask] % length
-        cols_w = matrix.cols[mask] % length
-        max_row = int(np.bincount(rows_w, minlength=length).max())
-        max_col = int(np.bincount(cols_w, minlength=length).max())
-        bounds.append(max(max_row, max_col))
-    return bounds
+    windows = window_count(m, length)
+    if windows == 0:
+        return []
+    if matrix.nnz == 0:
+        return [0] * windows
+    row_deg, seg_deg = _window_degree_tables(matrix, length, windows)
+    bounds = np.maximum(row_deg.max(axis=1), seg_deg.max(axis=1))
+    return [int(b) for b in bounds]
 
 
 def window_degree_std(matrix: CooMatrix, length: int) -> tuple[float, float]:
@@ -78,24 +94,35 @@ def window_degree_std(matrix: CooMatrix, length: int) -> tuple[float, float]:
 
     Section 3.5: "the smaller the standard deviation of #NZ in rows and
     column segments within row sets, the smaller the execution time."
+
+    Row statistics are taken over the rows a window actually has (the last
+    window of a matrix whose height is not a multiple of ``l`` is short);
+    column-segment statistics always span all ``l`` lanes.  Vectorized as
+    moments over the flat degree tables: std^2 = E[d^2] - E[d]^2 per
+    window, with the per-window population size carried explicitly.
     """
     require_positive_length(length)
     m, _ = matrix.shape
-    row_stds: list[float] = []
-    col_stds: list[float] = []
-    window_of_row = matrix.rows // length
-    for w in range(window_count(m, length)):
-        mask = window_of_row == w
-        rows_w = matrix.rows[mask] % length
-        cols_w = matrix.cols[mask] % length
-        rows_in_window = min(length, m - w * length)
-        row_counts = np.bincount(rows_w, minlength=rows_in_window)
-        col_counts = np.bincount(cols_w, minlength=length)
-        row_stds.append(float(np.std(row_counts)))
-        col_stds.append(float(np.std(col_counts)))
-    if not row_stds:
+    windows = window_count(m, length)
+    if windows == 0:
         return 0.0, 0.0
-    return float(np.mean(row_stds)), float(np.mean(col_stds))
+    if matrix.nnz == 0:
+        return 0.0, 0.0
+    row_deg, seg_deg = _window_degree_tables(matrix, length, windows)
+    # Rows actually present in each window (short last window included).
+    rows_in_window = np.full(windows, length, dtype=np.int64)
+    rows_in_window[-1] = m - (windows - 1) * length
+    row_sum = row_deg.sum(axis=1, dtype=np.float64)
+    row_sumsq = (row_deg.astype(np.float64) ** 2).sum(axis=1)
+    row_mean = row_sum / rows_in_window
+    row_var = np.maximum(row_sumsq / rows_in_window - row_mean**2, 0.0)
+    seg = seg_deg.astype(np.float64)
+    seg_mean = seg.mean(axis=1)
+    seg_var = np.maximum((seg**2).mean(axis=1) - seg_mean**2, 0.0)
+    return (
+        float(np.mean(np.sqrt(row_var))),
+        float(np.mean(np.sqrt(seg_var))),
+    )
 
 
 def geometric_mean(values) -> float:

@@ -8,6 +8,17 @@ import pytest
 from repro import CooMatrix, uniform_random
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_schedule_store(tmp_path, monkeypatch):
+    """Point the default persistent schedule store at a per-test temp dir.
+
+    The CLI's disk cache is on by default; without this, tests exercising
+    default paths would write artifacts into the developer's real
+    ``~/.cache/gust`` and could warm-start from a previous run's state.
+    """
+    monkeypatch.setenv("GUST_CACHE_DIR", str(tmp_path / "gust-store"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,22 +1,47 @@
-"""Tests for schedule persistence."""
+"""Tests for schedule persistence: round-trips, integrity, atomicity."""
+
+import os
 
 import numpy as np
 import pytest
 
-from repro import GustPipeline, load_schedule, save_schedule
+from repro import (
+    GustPipeline,
+    load_schedule,
+    load_schedule_entry,
+    save_schedule,
+)
+from repro.core.serialize import _load_container, _save_container
 from repro.errors import ScheduleError
+
+
+def _rewrite(path, mutate):
+    """Load an artifact, apply ``mutate(scalars, arrays)``, re-save in place.
+
+    Re-saving through the writer recomputes the integrity checksum, so
+    this models a *logically* wrong artifact that is nonetheless signed;
+    raw-byte corruption (which the checksum must catch) is done on the
+    file bytes directly in the tests below.
+    """
+    scalars, views = _load_container(path)
+    arrays = {name: arr.copy() for name, arr in views.items()}
+    mutate(scalars, arrays)
+    _save_container(path, scalars, arrays)
 
 
 class TestRoundtrip:
     def test_save_load_execute(self, square_matrix, rng, tmp_path):
         pipeline = GustPipeline(32)
         schedule, balanced, _ = pipeline.preprocess(square_matrix)
-        path = tmp_path / "schedule.npz"
+        path = tmp_path / "schedule.sched"
         save_schedule(path, schedule, balanced)
 
         loaded_schedule, loaded_balanced = load_schedule(path)
         assert loaded_schedule.window_colors == schedule.window_colors
         assert loaded_schedule.shape == schedule.shape
+        np.testing.assert_array_equal(loaded_schedule.m_sch, schedule.m_sch)
+        np.testing.assert_array_equal(loaded_schedule.row_sch, schedule.row_sch)
+        np.testing.assert_array_equal(loaded_schedule.col_sch, schedule.col_sch)
         x = rng.normal(size=square_matrix.shape[1])
         y = pipeline.execute(loaded_schedule, loaded_balanced, x)
         np.testing.assert_allclose(y, square_matrix.matvec(x))
@@ -24,7 +49,7 @@ class TestRoundtrip:
     def test_roundtrip_without_load_balancing(self, small_matrix, rng, tmp_path):
         pipeline = GustPipeline(16, load_balance=False)
         schedule, balanced, _ = pipeline.preprocess(small_matrix)
-        path = tmp_path / "plain.npz"
+        path = tmp_path / "plain.sched"
         save_schedule(path, schedule, balanced)
         loaded_schedule, loaded_balanced = load_schedule(path)
         x = rng.normal(size=small_matrix.shape[1])
@@ -33,37 +58,177 @@ class TestRoundtrip:
             small_matrix.matvec(x),
         )
 
+    def test_empty_matrix_roundtrip(self, tmp_path):
+        from repro import CooMatrix
+
+        pipeline = GustPipeline(8)
+        empty = CooMatrix.empty((16, 16))
+        schedule, balanced, _ = pipeline.preprocess(empty)
+        path = tmp_path / "empty.sched"
+        save_schedule(path, schedule, balanced)
+        loaded_schedule, _ = load_schedule(path)
+        assert loaded_schedule.nnz == 0
+        assert loaded_schedule.window_colors == schedule.window_colors
+
+    def test_stalls_metadata_roundtrip(self, square_matrix, tmp_path):
+        pipeline = GustPipeline(32, algorithm="naive")
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        stalls = pipeline.scheduler.last_stalls
+        assert stalls > 0
+        path = tmp_path / "naive.sched"
+        save_schedule(path, schedule, balanced, stalls=stalls)
+        entry = load_schedule_entry(path)
+        assert entry.stalls == stalls
+
+    def test_window_col_maps_roundtrip_exactly(self, square_matrix, tmp_path):
+        """The flattened map encoding restores every per-window pair."""
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        path = tmp_path / "maps.sched"
+        save_schedule(path, schedule, balanced)
+        _, loaded = load_schedule(path)
+        assert len(loaded.window_col_maps) == len(balanced.window_col_maps)
+        for (cols, lanes), (got_cols, got_lanes) in zip(
+            balanced.window_col_maps, loaded.window_col_maps
+        ):
+            np.testing.assert_array_equal(got_cols, cols)
+            np.testing.assert_array_equal(got_lanes, lanes)
+
+    def test_slot_join_and_data_order_roundtrip(self, square_matrix, tmp_path):
+        """Persisted joins equal what a cold scheduler would recompute."""
+        from repro.core.scheduler import slot_value_sources
+
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        steps, lanes, source = slot_value_sources(schedule, balanced.matrix)
+        order = np.lexsort(
+            (square_matrix.cols, balanced.row_perm[square_matrix.rows])
+        )
+        path = tmp_path / "joined.sched"
+        save_schedule(
+            path, schedule, balanced,
+            slots=(steps, lanes, source), data_order=order,
+        )
+        entry = load_schedule_entry(path)
+        np.testing.assert_array_equal(entry.slot_steps, steps)
+        np.testing.assert_array_equal(entry.slot_lanes, lanes)
+        np.testing.assert_array_equal(entry.slot_source, source)
+        # Only the inverse permutation is persisted; it must invert the
+        # data_order the writer was given.
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(order.size)
+        np.testing.assert_array_equal(entry.inv_order, inverse)
+
+        # Omitting the joins computes them at save time instead.
+        bare = tmp_path / "bare.sched"
+        save_schedule(bare, schedule, balanced)
+        recomputed = load_schedule_entry(bare)
+        np.testing.assert_array_equal(recomputed.slot_steps, steps)
+        np.testing.assert_array_equal(recomputed.slot_source, source)
+        assert recomputed.data_order is None
+        assert recomputed.inv_order is None
+
+    def test_atomic_write_leaves_no_temporaries(self, square_matrix, tmp_path):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        for _ in range(3):
+            save_schedule(tmp_path / "s.sched", schedule, balanced)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["s.sched"]
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_schedule(tmp_path / "absent.sched")
+
+
+@pytest.fixture
+def saved_schedule(square_matrix, tmp_path):
+    pipeline = GustPipeline(32)
+    schedule, balanced, _ = pipeline.preprocess(square_matrix)
+    path = tmp_path / "schedule.sched"
+    save_schedule(path, schedule, balanced)
+    return path
+
 
 class TestTamperResistance:
-    def test_corrupted_schedule_rejected(self, square_matrix, tmp_path):
-        pipeline = GustPipeline(32)
-        schedule, balanced, _ = pipeline.preprocess(square_matrix)
-        path = tmp_path / "schedule.npz"
-        save_schedule(path, schedule, balanced)
+    def test_logically_corrupt_but_signed_schedule_rejected(self, saved_schedule):
+        """A re-signed artifact aliasing two slots onto one adder still
+        fails structural validation — the checksum is not the only gate."""
 
-        # Rewrite the archive with an aliased adder destination.
-        with np.load(path) as archive:
-            arrays = {name: archive[name].copy() for name in archive.files}
-        row_sch = arrays["row_sch"]
-        from repro.core.schedule import EMPTY
+        def alias_destination(scalars, arrays):
+            steps = arrays["slot_steps"]
+            lanes = arrays["slot_lanes"]
+            source = arrays["slot_source"]
+            # Route the last slot to slot 0's timestep and destination row
+            # via a lane that step leaves free: a unique (step, lane) slot
+            # whose (step, row) pair collides with slot 0's adder.
+            target = int(steps[0])
+            used = set(lanes[steps == target].tolist())
+            free = next(
+                lane for lane in range(scalars["length"]) if lane not in used
+            )
+            steps[-1] = target
+            lanes[-1] = free
+            source[-1] = source[0]
+            arrays["slot_rows"][-1] = arrays["slot_rows"][0]
 
-        for step in range(row_sch.shape[0]):
-            lanes = np.nonzero(row_sch[step] != EMPTY)[0]
-            if lanes.size >= 2:
-                row_sch[step, lanes[1]] = row_sch[step, lanes[0]]
-                break
-        np.savez_compressed(path, **arrays)
+        _rewrite(saved_schedule, alias_destination)
         with pytest.raises(ScheduleError, match="collision"):
+            load_schedule(saved_schedule)
+
+    def test_signed_out_of_range_slot_rejected(self, saved_schedule):
+        def break_slot(scalars, arrays):
+            arrays["slot_source"] = arrays["slot_source"].astype(np.int64)
+            arrays["slot_source"][0] = 10**9
+
+        _rewrite(saved_schedule, break_slot)
+        with pytest.raises(ScheduleError, match="out-of-range"):
+            load_schedule(saved_schedule)
+
+    def test_bit_flip_in_payload_fails_checksum(self, saved_schedule):
+        blob = bytearray(saved_schedule.read_bytes())
+        blob[-8] ^= 0x01  # one bit, deep in the payload
+        saved_schedule.write_bytes(bytes(blob))
+        with pytest.raises(ScheduleError, match="checksum"):
+            load_schedule(saved_schedule)
+
+    def test_flipped_checksum_byte_rejected(self, saved_schedule):
+        blob = bytearray(saved_schedule.read_bytes())
+        blob[16] ^= 0xFF  # the stored CRC-32 lives at prologue offset 16
+        saved_schedule.write_bytes(bytes(blob))
+        with pytest.raises(ScheduleError, match="checksum"):
+            load_schedule(saved_schedule)
+
+    def test_wrong_version_rejected(self, saved_schedule):
+        blob = bytearray(saved_schedule.read_bytes())
+        blob[8:12] = (999).to_bytes(4, "little")  # version field
+        saved_schedule.write_bytes(bytes(blob))
+        with pytest.raises(ScheduleError, match="version"):
+            load_schedule(saved_schedule)
+
+    def test_missing_member_rejected(self, saved_schedule):
+        def drop_member(scalars, arrays):
+            del arrays["row_perm"]
+
+        _rewrite(saved_schedule, drop_member)
+        with pytest.raises(ScheduleError, match="missing"):
+            load_schedule(saved_schedule)
+
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.3, 0.9])
+    def test_truncated_file_rejected(self, saved_schedule, keep_fraction):
+        data = saved_schedule.read_bytes()
+        saved_schedule.write_bytes(data[: int(len(data) * keep_fraction)])
+        with pytest.raises(ScheduleError):
+            load_schedule(saved_schedule)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "noise.sched"
+        path.write_bytes(os.urandom(4096))
+        with pytest.raises(ScheduleError, match="not a schedule artifact"):
             load_schedule(path)
 
-    def test_wrong_version_rejected(self, square_matrix, tmp_path):
-        pipeline = GustPipeline(32)
-        schedule, balanced, _ = pipeline.preprocess(square_matrix)
-        path = tmp_path / "schedule.npz"
-        save_schedule(path, schedule, balanced)
-        with np.load(path) as archive:
-            arrays = {name: archive[name].copy() for name in archive.files}
-        arrays["version"] = np.array([999], dtype=np.int64)
-        np.savez_compressed(path, **arrays)
-        with pytest.raises(ScheduleError, match="version"):
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.sched"
+        np.savez(path.with_suffix(".npz"), unrelated=np.arange(4))
+        path.with_suffix(".npz").rename(path)
+        with pytest.raises(ScheduleError, match="not a schedule artifact"):
             load_schedule(path)

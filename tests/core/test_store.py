@@ -1,0 +1,358 @@
+"""Tests for the content-addressed disk schedule store and the tiered cache.
+
+Covers the persistence contract the deployment story rests on: lookups go
+memory -> disk -> compute, artifacts survive "process restarts" (fresh
+in-memory caches), corrupt artifacts fall through to recomputation, and
+concurrent writers racing on one key leave exactly one valid artifact.
+"""
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiskScheduleStore,
+    GustPipeline,
+    GustSpmm,
+    ScheduleCache,
+    uniform_random,
+)
+from repro.core.store import default_store_dir, store_key_from_digest
+from repro.errors import HardwareConfigError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DiskScheduleStore(directory=tmp_path / "store")
+
+
+class TestStoreBasics:
+    def test_roundtrip_by_key(self, store, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        key = store.key_for(square_matrix, 32, "matching", True)
+        assert store.load(key) is None
+        assert store.store(key, schedule, balanced, stalls=3)
+        assert store.contains(key)
+        entry = store.load(key)
+        assert entry is not None
+        assert entry.stalls == 3
+        assert entry.schedule.window_colors == schedule.window_colors
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.artifact_count() == 1
+        assert store.total_bytes() > 0
+
+    def test_key_is_content_addressed(self, store, square_matrix, rng):
+        """Same pattern -> same key, regardless of values; any change to the
+        pattern or configuration changes the key."""
+        base = store.key_for(square_matrix, 32, "matching", True)
+        revalued = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        assert store.key_for(revalued, 32, "matching", True) == base
+        assert store.key_for(square_matrix, 16, "matching", True) != base
+        assert store.key_for(square_matrix, 32, "first_fit", True) != base
+        assert store.key_for(square_matrix, 32, "matching", False) != base
+        other = uniform_random(96, 96, 0.06, seed=99)
+        assert store.key_for(other, 32, "matching", True) != base
+
+    def test_key_depends_on_code_version(self):
+        digest = b"\x00" * 16
+        from repro.core import store as store_module
+
+        before = store_key_from_digest(digest, 10)
+        assert store_key_from_digest(digest, 11) != before
+        old = store_module.SCHEDULER_CODE_VERSION
+        try:
+            store_module.SCHEDULER_CODE_VERSION = old + 1
+            assert store_key_from_digest(digest, 10) != before
+        finally:
+            store_module.SCHEDULER_CODE_VERSION = old
+
+    def test_transient_read_error_is_miss_not_quarantine(
+        self, store, square_matrix, monkeypatch
+    ):
+        """A flaky I/O error (shared filesystem) must not delete a valid
+        artifact; only checksum/format failures are quarantined."""
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        key = store.key_for(square_matrix, 32, "matching", True)
+        store.store(key, schedule, balanced)
+
+        from repro.core import store as store_module
+
+        def flaky(path, validate=True):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(store_module, "load_schedule_entry", flaky)
+        assert store.load(key) is None
+        assert store.stats.corrupt_dropped == 0
+        monkeypatch.undo()
+        assert store.path_for(key).exists()
+        assert store.load(key) is not None
+
+    def test_corrupt_artifact_quarantined(self, store, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        key = store.key_for(square_matrix, 32, "matching", True)
+        store.store(key, schedule, balanced)
+        path = store.path_for(key)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+
+        assert store.load(key) is None
+        assert not path.exists(), "corrupt artifact must be quarantined"
+        assert store.stats.corrupt_dropped == 1
+
+    def test_clear_removes_artifacts_and_temporaries(self, store, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        store.store(store.key_for(square_matrix, 32, "matching", True),
+                    schedule, balanced)
+        stray = store.directory / "abandoned.tmp"
+        stray.write_bytes(b"partial")
+        assert store.clear() == 2
+        assert store.artifact_count() == 0
+        assert not stray.exists()
+
+    def test_byte_budget_evicts_oldest(self, tmp_path):
+        pipeline = GustPipeline(16)
+        matrices = [uniform_random(64, 64, 0.1, seed=s) for s in range(3)]
+        prepared = [pipeline.preprocess(m) for m in matrices]
+
+        # Budget sized to hold roughly two artifacts.
+        probe = DiskScheduleStore(directory=tmp_path / "probe")
+        key0 = probe.key_for(matrices[0], 16, "matching", True)
+        probe.store(key0, prepared[0][0], prepared[0][1])
+        one_size = probe.total_bytes()
+
+        store = DiskScheduleStore(
+            directory=tmp_path / "tight", max_bytes=int(one_size * 2.5)
+        )
+        keys = [store.key_for(m, 16, "matching", True) for m in matrices]
+        for (schedule, balanced, _), key in zip(prepared, keys):
+            store.store(key, schedule, balanced)
+            # Distinct mtimes so "oldest" is well defined on coarse clocks.
+            os.utime(store.path_for(key), (1_000_000 + keys.index(key),) * 2)
+        store._enforce_budget()
+        assert store.stats.evictions >= 1
+        assert not store.contains(keys[0]), "oldest artifact should go first"
+        assert store.contains(keys[2])
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(HardwareConfigError, match="budget"):
+            DiskScheduleStore(directory=tmp_path, max_bytes=0)
+
+    def test_default_dir_honors_gust_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GUST_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_store_dir() == tmp_path / "custom"
+        monkeypatch.delenv("GUST_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_store_dir() == tmp_path / "xdg" / "gust"
+
+
+class TestTieredLookup:
+    def test_full_miss_counts_both_tiers(self, store, square_matrix):
+        first = ScheduleCache(store=store)
+        assert first.fetch(square_matrix, 32, "matching", True) is None
+        assert first.stats.misses == 1
+        assert first.stats.disk_misses == 1
+        assert store.stats.misses == 1
+
+    def test_tier_progression(self, store, square_matrix, rng):
+        pipeline = GustPipeline(32, store=store)
+        _, _, cold = pipeline.preprocess(square_matrix)
+        assert cold.notes["cache_hit"] == 0.0
+        assert cold.notes["disk_hit"] == 0.0
+        assert store.stats.writes == 1
+
+        # "Restarted worker": same store, empty memory cache.
+        warm = GustPipeline(32, store=store)
+        schedule, balanced, report = warm.preprocess(square_matrix)
+        assert report.notes["cache_hit"] == 1.0
+        assert report.notes["disk_hit"] == 1.0
+        x = rng.normal(size=square_matrix.shape[1])
+        np.testing.assert_allclose(
+            warm.execute(schedule, balanced, x), square_matrix.matvec(x)
+        )
+
+        # Third lookup: memory tier, disk untouched.
+        hits_before = store.stats.hits
+        _, _, again = warm.preprocess(square_matrix)
+        assert again.notes["cache_hit"] == 1.0
+        assert again.notes["disk_hit"] == 0.0
+        assert store.stats.hits == hits_before
+
+    def test_disk_hit_with_new_values_refreshes(self, store, square_matrix, rng):
+        """A restarted worker with a re-assembled (same-pattern) matrix gets
+        the artifact's coloring plus a value refresh — never a recolor."""
+        GustPipeline(32, store=store).preprocess(square_matrix)
+        updated = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        warm = GustPipeline(32, store=store)
+        schedule, balanced, report = warm.preprocess(updated)
+        assert report.notes["disk_hit"] == 1.0
+        assert report.notes["cache_refresh"] == 1.0
+        x = rng.normal(size=updated.shape[1])
+        np.testing.assert_allclose(
+            warm.execute(schedule, balanced, x), updated.matvec(x)
+        )
+        # The refreshed schedule matches a cold schedule of the new matrix.
+        cold, _, _ = GustPipeline(32).preprocess(updated)
+        np.testing.assert_array_equal(schedule.m_sch, cold.m_sch)
+
+    def test_corrupt_artifact_falls_through_to_recompute(
+        self, store, square_matrix, rng
+    ):
+        """Satellite: a damaged artifact must never surface — the lookup
+        reports a miss, the pipeline recomputes, and the slot heals."""
+        GustPipeline(32, store=store).preprocess(square_matrix)
+        key = store.key_for(square_matrix, 32, "matching", True)
+        path = store.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one byte mid-archive
+        path.write_bytes(bytes(blob))
+
+        recovering = GustPipeline(32, store=store)
+        schedule, balanced, report = recovering.preprocess(square_matrix)
+        assert report.notes["cache_hit"] == 0.0  # honest cold pass
+        assert recovering.cache.stats.disk_misses == 1
+        assert store.stats.corrupt_dropped == 1
+        x = rng.normal(size=square_matrix.shape[1])
+        np.testing.assert_allclose(
+            recovering.execute(schedule, balanced, x), square_matrix.matvec(x)
+        )
+        # Write-through healed the slot: next restart warm-starts again.
+        healed = GustPipeline(32, store=store)
+        _, _, after = healed.preprocess(square_matrix)
+        assert after.notes["disk_hit"] == 1.0
+
+    def test_insert_skips_existing_artifact(self, store, square_matrix):
+        GustPipeline(32, store=store).preprocess(square_matrix)
+        assert store.stats.writes == 1
+        GustPipeline(32, store=store).preprocess(square_matrix)
+        assert store.stats.writes == 1, "content-addressed: no rewrite"
+
+    def test_naive_stalls_survive_disk_roundtrip(self, store, square_matrix):
+        cold = GustPipeline(32, algorithm="naive", store=store)
+        cold.preprocess(square_matrix)
+        stalls = cold.scheduler.last_stalls
+        assert stalls > 0
+        warm = GustPipeline(32, algorithm="naive", store=store)
+        _, _, report = warm.preprocess(square_matrix)
+        assert report.notes["disk_hit"] == 1.0
+        assert warm.scheduler.last_stalls == stalls
+
+    def test_pipeline_store_parameter_forms(self, tmp_path):
+        directory = tmp_path / "via-path"
+        by_path = GustPipeline(16, store=directory)
+        assert isinstance(by_path.store, DiskScheduleStore)
+        assert by_path.store.directory == directory
+        assert by_path.cache is not None, "store implies a memory tier"
+
+        shared = DiskScheduleStore(directory=tmp_path / "shared")
+        cache = ScheduleCache()
+        attached = GustPipeline(16, cache=cache, store=shared)
+        assert attached.cache is cache
+        assert cache.store is shared
+
+        assert GustPipeline(16).store is None
+        assert GustPipeline(16, store=False).store is None
+
+    def test_cache_false_with_store_rejected(self, tmp_path):
+        """cache=False + store would silently never persist; refuse it."""
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            GustPipeline(16, cache=False, store=tmp_path / "s")
+
+    def test_loaded_artifact_saves_cleanly(self, store, square_matrix, tmp_path):
+        """The CLI flow on a disk hit: re-serialize a schedule whose
+        matrix came from an artifact (narrow index dtypes) and read it
+        back — the key join must not overflow in narrower arithmetic."""
+        from repro import load_schedule, save_schedule
+
+        GustPipeline(32, store=store).preprocess(square_matrix)
+        warm = GustPipeline(32, store=store)
+        schedule, balanced, report = warm.preprocess(square_matrix)
+        assert report.notes["disk_hit"] == 1.0
+        out = tmp_path / "resaved.sched"
+        save_schedule(out, schedule, balanced)
+        reloaded_schedule, _ = load_schedule(out)
+        np.testing.assert_array_equal(reloaded_schedule.m_sch, schedule.m_sch)
+
+    def test_spmm_warm_starts_from_disk(self, store, square_matrix, rng):
+        dense = rng.normal(size=(square_matrix.shape[1], 3))
+        first = GustSpmm(32, store=store)
+        expected = first.spmm(square_matrix, dense).y
+        restarted = GustSpmm(32, store=store)
+        result = restarted.spmm(square_matrix, dense)
+        assert restarted.pipeline.cache.stats.disk_hits == 1
+        np.testing.assert_allclose(result.y, expected)
+
+
+def _race_one_worker(directory, seed, queue):
+    """One 'process' of the racing fleet: schedule, execute, verify."""
+    matrix = uniform_random(96, 96, 0.06, seed=11)
+    pipeline = GustPipeline(32, store=DiskScheduleStore(directory=directory))
+    schedule, balanced, _ = pipeline.preprocess(matrix)
+    x = np.random.default_rng(seed).normal(size=96)
+    ok = np.allclose(pipeline.execute(schedule, balanced, x), matrix.matvec(x))
+    queue.put(bool(ok))
+
+
+class TestConcurrency:
+    def test_thread_race_leaves_one_valid_artifact(self, tmp_path, square_matrix, rng):
+        """Two 'workers' (separate memory caches, one store directory) racing
+        on the same key must both succeed and leave one valid artifact."""
+        directory = tmp_path / "racing"
+        workers = [
+            GustPipeline(32, store=DiskScheduleStore(directory=directory))
+            for _ in range(4)
+        ]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(
+                pool.map(lambda p: p.preprocess(square_matrix), workers)
+            )
+        x = rng.normal(size=square_matrix.shape[1])
+        for pipeline, (schedule, balanced, _) in zip(workers, results):
+            np.testing.assert_allclose(
+                pipeline.execute(schedule, balanced, x),
+                square_matrix.matvec(x),
+            )
+        artifacts = [p for p in directory.iterdir() if p.suffix == ".sched"]
+        leftovers = [p for p in directory.iterdir() if p.suffix == ".tmp"]
+        assert len(artifacts) == 1, "exactly one valid artifact"
+        assert leftovers == [], "atomic rename leaves no temporaries"
+        entry = DiskScheduleStore(directory=directory).load(
+            workers[0].store.key_for(square_matrix, 32, "matching", True)
+        )
+        assert entry is not None
+
+    def test_process_race_leaves_one_valid_artifact(self, tmp_path):
+        directory = tmp_path / "proc-racing"
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_race_one_worker, args=(str(directory), s, queue))
+            for s in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in procs)
+        assert [queue.get(timeout=5) for _ in procs] == [True, True]
+        artifacts = [p for p in directory.iterdir() if p.suffix == ".sched"]
+        leftovers = [p for p in directory.iterdir() if p.suffix == ".tmp"]
+        assert len(artifacts) == 1
+        assert leftovers == []
+        # The surviving artifact is complete and checksum-clean.
+        matrix = uniform_random(96, 96, 0.06, seed=11)
+        store = DiskScheduleStore(directory=directory)
+        entry = store.load(store.key_for(matrix, 32, "matching", True))
+        assert entry is not None
+        assert entry.schedule.nnz == matrix.nnz

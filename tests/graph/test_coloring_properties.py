@@ -1,0 +1,101 @@
+"""Property-based contracts for every edge-coloring engine.
+
+Random window multigraphs (``tests/strategies.window_graphs``) drive all
+three engines through the invariants the scheduler's correctness rests on:
+
+* **properness/completeness** — no two edges sharing a row (adder) or a
+  column segment (multiplier) take one color, and no edge is left
+  uncolored: exactly Section 3.3's collision-freedom condition;
+* **palette bounds** — every engine needs at least Delta colors (Eq. 1);
+  "euler" attains Delta exactly (König's theorem), while the greedy
+  engines stay within the classic first-fit bound 2*Delta - 1 (bipartite
+  multigraphs sit on the Vizing/Shannon boundary, so the optimum itself is
+  Delta — the greedy bound is what the paper trades for speed);
+* **oracle agreement** — each engine reproduces the frozen seed
+  implementation in :mod:`repro.graph._reference` edge for edge, so any
+  behavioral drift in a future optimization is caught at the color level,
+  not just the count level.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph._reference import REFERENCE_ALGORITHMS
+from repro.graph.edge_coloring import ALGORITHMS, color_edges
+from repro.graph.properties import (
+    color_count,
+    max_bipartite_degree,
+    validate_coloring,
+)
+from tests.strategies import window_graphs
+
+ENGINES = sorted(ALGORITHMS)
+
+
+class TestProperness:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @given(graph=window_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_coloring_is_proper_and_complete(self, engine, graph):
+        colors = color_edges(graph, engine)
+        assert colors.shape == (graph.edge_count,)
+        assert colors.dtype == np.int64
+        validate_coloring(graph, colors)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @given(graph=window_graphs(max_length=4, max_edges=10))
+    @settings(max_examples=40, deadline=None)
+    def test_small_graphs_brute_properness(self, engine, graph):
+        """Independent re-check without validate_coloring: every (row,
+        color) and (seg, color) pair is used at most once."""
+        colors = color_edges(graph, engine)
+        seen_row, seen_seg = set(), set()
+        for row, seg, color in zip(graph.local_rows, graph.colsegs, colors):
+            assert color >= 0
+            assert (int(row), int(color)) not in seen_row
+            assert (int(seg), int(color)) not in seen_seg
+            seen_row.add((int(row), int(color)))
+            seen_seg.add((int(seg), int(color)))
+
+
+class TestPaletteBounds:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @given(graph=window_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_delta(self, graph, engine):
+        """Eq. (1): no proper coloring can use fewer than Delta colors."""
+        colors = color_edges(graph, engine)
+        assert color_count(colors) >= max_bipartite_degree(graph)
+
+    @given(graph=window_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_euler_attains_koenig_optimum(self, graph):
+        """König: a bipartite multigraph is Delta-edge-chromatic, and the
+        matching-peel construction must attain it exactly."""
+        colors = color_edges(graph, "euler")
+        assert color_count(colors) == max_bipartite_degree(graph)
+
+    @pytest.mark.parametrize("engine", ["matching", "first_fit"])
+    @given(graph=window_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_engines_within_two_delta(self, graph, engine):
+        """The greedy engines stay within 2*Delta - 1 (first-fit/Shannon
+        bound); colors are also trivially capped by the edge count."""
+        colors = color_edges(graph, engine)
+        delta = max_bipartite_degree(graph)
+        bound = max(2 * delta - 1, 0)
+        assert color_count(colors) <= min(bound, graph.edge_count)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @given(graph=window_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_for_edge_against_frozen_seed(self, engine, graph):
+        live = color_edges(graph, engine)
+        oracle = REFERENCE_ALGORITHMS[engine](graph)
+        np.testing.assert_array_equal(live, oracle)
+
+    def test_every_engine_has_a_frozen_oracle(self):
+        assert set(REFERENCE_ALGORITHMS) == set(ALGORITHMS)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import CooMatrix, uniform_random
 from repro.errors import HardwareConfigError
@@ -16,6 +17,47 @@ from repro.sparse.stats import (
     window_degree_std,
 )
 from tests.strategies import coo_matrices
+
+
+def _seed_window_color_lower_bound(matrix: CooMatrix, length: int) -> list:
+    """Frozen pre-vectorization implementation: per-window boolean masks.
+
+    Kept verbatim as the equivalence oracle for the flat-bincount port
+    (the same freeze-the-seed discipline as ``repro.graph._reference``).
+    """
+    m, _ = matrix.shape
+    bounds = []
+    window_of_row = matrix.rows // length
+    for w in range(window_count(m, length)):
+        mask = window_of_row == w
+        if not mask.any():
+            bounds.append(0)
+            continue
+        rows_w = matrix.rows[mask] % length
+        cols_w = matrix.cols[mask] % length
+        max_row = int(np.bincount(rows_w, minlength=length).max())
+        max_col = int(np.bincount(cols_w, minlength=length).max())
+        bounds.append(max(max_row, max_col))
+    return bounds
+
+
+def _seed_window_degree_std(matrix: CooMatrix, length: int) -> tuple:
+    """Frozen pre-vectorization implementation of window_degree_std."""
+    m, _ = matrix.shape
+    row_stds, col_stds = [], []
+    window_of_row = matrix.rows // length
+    for w in range(window_count(m, length)):
+        mask = window_of_row == w
+        rows_w = matrix.rows[mask] % length
+        cols_w = matrix.cols[mask] % length
+        rows_in_window = min(length, m - w * length)
+        row_counts = np.bincount(rows_w, minlength=rows_in_window)
+        col_counts = np.bincount(cols_w, minlength=length)
+        row_stds.append(float(np.std(row_counts)))
+        col_stds.append(float(np.std(col_counts)))
+    if not row_stds:
+        return 0.0, 0.0
+    return float(np.mean(row_stds)), float(np.mean(col_stds))
 
 
 class TestWindows:
@@ -107,6 +149,48 @@ class TestDegreeStd:
 
     def test_empty(self):
         assert window_degree_std(CooMatrix.empty((0, 0)), 4) == (0.0, 0.0)
+
+
+class TestVectorizedEquivalence:
+    """The flat-bincount ports must reproduce the seed mask-loop results."""
+
+    @given(coo_matrices(max_dim=40), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=80, deadline=None)
+    def test_lower_bound_matches_seed(self, matrix, length):
+        assert window_color_lower_bound(matrix, length) == (
+            _seed_window_color_lower_bound(matrix, length)
+        )
+
+    @given(coo_matrices(max_dim=40), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=80, deadline=None)
+    def test_degree_std_matches_seed(self, matrix, length):
+        got = window_degree_std(matrix, length)
+        expected = _seed_window_degree_std(matrix, length)
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_short_last_window_row_population(self):
+        """m not a multiple of l: the last window's row std is taken over
+        the rows it actually has, not over l zero-padded slots."""
+        matrix = CooMatrix.from_arrays(
+            np.array([0, 1, 2, 3, 4]),
+            np.array([0, 1, 2, 3, 0]),
+            np.ones(5),
+            (5, 8),
+        )
+        got = window_degree_std(matrix, 4)
+        assert got == pytest.approx(_seed_window_degree_std(matrix, 4))
+        # Window 1 holds exactly one row with one nonzero: zero deviation.
+        assert got[0] == 0.0
+
+    def test_window_with_no_rows_of_matrix(self):
+        """Empty trailing windows (all-zero rows) agree with the seed."""
+        matrix = CooMatrix.from_arrays(
+            np.array([0]), np.array([0]), np.ones(1), (9, 9)
+        )
+        assert window_color_lower_bound(matrix, 3) == [1, 0, 0]
+        assert window_degree_std(matrix, 3) == pytest.approx(
+            _seed_window_degree_std(matrix, 3)
+        )
 
 
 class TestGeometricMean:

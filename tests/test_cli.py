@@ -53,7 +53,7 @@ class TestGenerate:
 
 class TestScheduleAndSpmv:
     def test_schedule_then_spmv(self, matrix_file, tmp_path, capsys):
-        sched = tmp_path / "m.sched.npz"
+        sched = tmp_path / "m.sched"
         code = main(
             ["schedule", str(matrix_file), "--length", "16", "--out", str(sched)]
         )
@@ -65,7 +65,7 @@ class TestScheduleAndSpmv:
         assert "verified=True" in capsys.readouterr().out
 
     def test_spmv_cycle_accurate(self, matrix_file, tmp_path, capsys):
-        sched = tmp_path / "m.sched.npz"
+        sched = tmp_path / "m.sched"
         main(["schedule", str(matrix_file), "--length", "16", "--out", str(sched)])
         capsys.readouterr()
         code = main(["spmv", str(sched), "--cycle-accurate"])
@@ -75,7 +75,7 @@ class TestScheduleAndSpmv:
         assert "verified=True" in out
 
     def test_inspect(self, matrix_file, tmp_path, capsys):
-        sched = tmp_path / "m.sched.npz"
+        sched = tmp_path / "m.sched"
         main(["schedule", str(matrix_file), "--length", "16", "--out", str(sched)])
         capsys.readouterr()
         code = main(["inspect", str(sched)])
@@ -85,7 +85,7 @@ class TestScheduleAndSpmv:
         assert "window colors" in out
 
     def test_naive_algorithm(self, matrix_file, tmp_path, capsys):
-        sched = tmp_path / "naive.npz"
+        sched = tmp_path / "naive.sched"
         code = main(
             [
                 "schedule", str(matrix_file), "--length", "16",
@@ -94,6 +94,95 @@ class TestScheduleAndSpmv:
         )
         assert code == 0
         assert "naive" in capsys.readouterr().out
+
+
+class TestPersistentCache:
+    def test_second_run_warm_starts_from_disk(
+        self, matrix_file, tmp_path, capsys
+    ):
+        """Two CLI invocations sharing --cache-dir model two worker
+        processes: the second must report a disk hit, not a cold pass."""
+        cache_dir = tmp_path / "store"
+        argv = [
+            "schedule", str(matrix_file), "--length", "16",
+            "--out", str(tmp_path / "a.sched"), "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "(cold)" in first
+        assert "1 writes" in first
+
+        argv[5] = str(tmp_path / "b.sched")
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "(disk hit)" in second
+        assert "disk: 1 hits" in second
+
+    def test_default_store_honors_gust_cache_dir_env(
+        self, matrix_file, tmp_path, capsys, monkeypatch
+    ):
+        target = tmp_path / "env-store"
+        monkeypatch.setenv("GUST_CACHE_DIR", str(target))
+        code = main(
+            [
+                "schedule", str(matrix_file), "--length", "16",
+                "--out", str(tmp_path / "s.sched"),
+            ]
+        )
+        assert code == 0
+        assert target.is_dir()
+        assert any(p.suffix == ".sched" for p in target.iterdir())
+
+    def test_no_disk_cache_writes_nothing(
+        self, matrix_file, tmp_path, capsys, monkeypatch
+    ):
+        target = tmp_path / "untouched"
+        monkeypatch.setenv("GUST_CACHE_DIR", str(target))
+        code = main(
+            [
+                "schedule", str(matrix_file), "--length", "16",
+                "--out", str(tmp_path / "s.sched"), "--no-disk-cache",
+            ]
+        )
+        assert code == 0
+        assert not target.exists()
+        assert "disk:" not in capsys.readouterr().out
+
+    def test_repeats_report_memory_hits_over_disk(
+        self, matrix_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "schedule", str(matrix_file), "--length", "16",
+                "--out", str(tmp_path / "r.sched"),
+                "--cache-dir", str(tmp_path / "store"), "--repeats", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("(hit)") == 2, "repeats are memory hits, not disk"
+
+    def test_cache_stats_and_clear(self, matrix_file, tmp_path, capsys):
+        cache_dir = tmp_path / "store"
+        main(
+            [
+                "schedule", str(matrix_file), "--length", "16",
+                "--out", str(tmp_path / "s.sched"),
+                "--cache-dir", str(cache_dir),
+            ]
+        )
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 artifacts" in out
+        assert str(cache_dir) in out
+
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "cleared 1 artifacts" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "0 artifacts" in capsys.readouterr().out
 
 
 class TestCompare:
@@ -120,7 +209,7 @@ class TestExperiment:
 
 class TestErrors:
     def test_missing_file(self, capsys):
-        code = main(["schedule", "no_such.mtx", "--out", "x.npz"])
+        code = main(["schedule", "no_such.mtx", "--out", "x.sched"])
         assert code == 1
         assert "error" in capsys.readouterr().err
 
