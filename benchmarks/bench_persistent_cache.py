@@ -5,12 +5,14 @@ is computed once and amortized across many processes and restarts.  This
 benchmark measures that story end to end on a 100k-nonzero, ``l = 64``
 matrix:
 
-* **cold** — full preprocessing (load balancing + edge coloring) in a
-  pipeline with no cache attached;
+* **cold** — full preprocessing (load balancing + edge coloring) plus
+  execution-plan compilation in a pipeline with no cache attached: the
+  work a fresh worker performs before it can serve its first replay;
 * **warm** — a fresh :class:`~repro.core.pipeline.GustPipeline` per
   measurement (empty in-memory cache, modeling a restarted worker) backed
   by a primed :class:`~repro.core.store.DiskScheduleStore`: the schedule
-  arrives via one checksum-verified artifact read, no coloring.
+  *and its replay-ready plan* arrive via one checksum-verified artifact
+  read — no coloring, no sort.
 
 Acceptance gates (asserted when run as a script or under pytest):
 
@@ -84,7 +86,14 @@ def measure(store_dir: str) -> dict:
     matrix = uniform_random(DIM, DIM, TARGET_NNZ / (DIM * DIM), seed=SEED)
 
     cold_pipeline = GustPipeline(LENGTH)
-    cold_s = _best_of(lambda: cold_pipeline.preprocess(matrix), 5)
+
+    def cold_to_replay_ready():
+        # Both sides of the comparison end in the same state: a worker
+        # holding a compiled, replay-ready execution plan.
+        schedule, balanced, _ = cold_pipeline.preprocess(matrix)
+        cold_pipeline.plan_for(schedule, balanced)
+
+    cold_s = _best_of(cold_to_replay_ready, 5)
 
     # Prime the store once (the "first worker" pays the coloring).
     primer = GustPipeline(LENGTH, store=DiskScheduleStore(store_dir))

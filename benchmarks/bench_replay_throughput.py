@@ -1,0 +1,237 @@
+"""Replay-throughput benchmark: prepared execution plans vs. the pre-plan
+scatter path.
+
+GUST's steady state is replay: scheduling is paid once, then the same
+schedule executes thousands of SpMVs (Section 3.3's amortization, every
+solver in :mod:`repro.solvers`, every SpMM column stream).  This benchmark
+gates the :class:`~repro.core.plan.ExecutionPlan` engine on the paper's
+headline regime — a 100k-nonzero, ``l = 64`` matrix:
+
+* **scatter** — the pre-plan replay kept verbatim as
+  :meth:`~repro.core.pipeline.GustPipeline.execute_scatter`: a dense
+  ``np.nonzero`` over the schedule arrays plus an ``np.add.at``
+  accumulation, every call;
+* **plan** — the prepared plan's gather -> multiply -> segment-reduce
+  replay (compiled once, replayed many).
+
+Acceptance gates (asserted when run as a script or under pytest):
+
+* plan SpMV replay >= 3x faster than the scatter path;
+* plan and scatter replays are **bit-identical** (the plan's stable
+  destination-row sort preserves each row's accumulation order);
+* full solver runs (Jacobi, power iteration) through plan-backed pipelines
+  are bit-identical to the non-plan pipelines, iteration for iteration;
+* cached solver iterations speed up by >= 1.5x.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py --json out.json
+
+or via pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_replay_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import GustPipeline, uniform_random
+from repro.solvers.jacobi import jacobi
+from repro.solvers.power_iteration import power_iteration
+from repro.sparse.coo import CooMatrix
+
+#: Headline configuration: 100k nonzeros at ~3 nnz/row, length 64 (the
+#: acceptance criterion's 100k-nnz, l=64 regime).
+DIM = 32768
+TARGET_NNZ = 100_000
+LENGTH = 64
+SEED = 3
+
+#: Solver benchmark: a smaller diagonally dominant system so the gate
+#: finishes quickly while iterations remain SpMV-dominated.
+SOLVER_DIM = 8192
+SOLVER_NNZ = 60_000
+
+MIN_REPLAY_SPEEDUP = 3.0
+MIN_SOLVER_SPEEDUP = 1.5
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _diag_dominant(dim: int, nnz: int, seed: int) -> CooMatrix:
+    """A square, diagonally dominant system matrix for the solver gate."""
+    base = uniform_random(dim, dim, nnz / (dim * dim), seed=seed)
+    off = base.rows != base.cols
+    rows = np.concatenate([base.rows[off], np.arange(dim)])
+    cols = np.concatenate([base.cols[off], np.arange(dim)])
+    data = np.concatenate([base.data[off], np.full(dim, 64.0)])
+    return CooMatrix.from_arrays(rows, cols, data, (dim, dim))
+
+
+def measure_spmv() -> dict:
+    matrix = uniform_random(DIM, DIM, TARGET_NNZ / (DIM * DIM), seed=SEED)
+    rng = np.random.default_rng(SEED)
+    x = rng.normal(size=DIM)
+
+    pipeline = GustPipeline(LENGTH)
+    schedule, balanced, _ = pipeline.preprocess(matrix)
+    plan = pipeline.plan_for(schedule, balanced)
+
+    scatter_s = _best_of(
+        lambda: pipeline.execute_scatter(schedule, balanced, x), 20
+    )
+    plan_s = _best_of(lambda: plan.execute(x), 20)
+
+    y_scatter = pipeline.execute_scatter(schedule, balanced, x)
+    y_plan = plan.execute(x)
+    bit_identical = bool((y_scatter == y_plan).all())
+    correct = bool(np.allclose(y_plan, matrix.matvec(x)))
+
+    return {
+        "matrix": {"dim": DIM, "nnz": matrix.nnz, "length": LENGTH},
+        "scatter_s": scatter_s,
+        "plan_s": plan_s,
+        "speedup": scatter_s / plan_s,
+        "bit_identical": bit_identical,
+        "correct": correct,
+    }
+
+
+def measure_solvers() -> dict:
+    matrix = _diag_dominant(SOLVER_DIM, SOLVER_NNZ, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    b = rng.normal(size=SOLVER_DIM)
+
+    def run_jacobi(use_plans: bool):
+        pipeline = GustPipeline(LENGTH, cache=True, use_plans=use_plans)
+        return jacobi(matrix, b, pipeline=pipeline, max_iterations=60)
+
+    def run_power(use_plans: bool):
+        pipeline = GustPipeline(LENGTH, cache=True, use_plans=use_plans)
+        return power_iteration(matrix, pipeline=pipeline, max_iterations=40)
+
+    with_plan = run_jacobi(True)
+    without_plan = run_jacobi(False)
+    jacobi_identical = bool(
+        (with_plan.x == without_plan.x).all()
+        and with_plan.iterations == without_plan.iterations
+        and with_plan.residual_norm == without_plan.residual_norm
+    )
+    power_with = run_power(True)
+    power_without = run_power(False)
+    power_identical = bool(
+        (power_with.vector == power_without.vector).all()
+        and power_with.eigenvalue == power_without.eigenvalue
+    )
+
+    # Per-iteration replay cost with a warm cache (the steady state of a
+    # solver fleet): schedule once, then time full solves whose
+    # preprocessing is a cache hit, normalizing by SpMV count.
+    plan_pipeline = GustPipeline(LENGTH, cache=True)
+    scatter_pipeline = GustPipeline(LENGTH, cache=True, use_plans=False)
+    jacobi(matrix, b, pipeline=plan_pipeline, max_iterations=5)  # prime
+    jacobi(matrix, b, pipeline=scatter_pipeline, max_iterations=5)
+    spmvs = with_plan.spmv_count
+    plan_s = _best_of(
+        lambda: jacobi(matrix, b, pipeline=plan_pipeline, max_iterations=60), 5
+    )
+    scatter_s = _best_of(
+        lambda: jacobi(
+            matrix, b, pipeline=scatter_pipeline, max_iterations=60
+        ),
+        5,
+    )
+    return {
+        "matrix": {"dim": SOLVER_DIM, "nnz": matrix.nnz, "length": LENGTH},
+        "jacobi_bit_identical": jacobi_identical,
+        "power_bit_identical": power_identical,
+        "spmv_count": spmvs,
+        "plan_iteration_us": plan_s / spmvs * 1e6,
+        "scatter_iteration_us": scatter_s / spmvs * 1e6,
+        "solver_speedup": scatter_s / plan_s,
+    }
+
+
+def run(json_path: str | None = None) -> dict:
+    spmv = measure_spmv()
+    solvers = measure_solvers()
+    results = {"spmv": spmv, "solvers": solvers}
+    print(
+        f"matrix: {DIM}x{DIM}, nnz={spmv['matrix']['nnz']}, length={LENGTH}"
+    )
+    print(
+        f"scatter replay      {spmv['scatter_s'] * 1e6:>9.1f} us\n"
+        f"plan replay         {spmv['plan_s'] * 1e6:>9.1f} us\n"
+        f"speedup             {spmv['speedup']:>9.1f} x   "
+        f"(bit-identical={spmv['bit_identical']})"
+    )
+    print(
+        f"solver iteration    plan {solvers['plan_iteration_us']:.1f} us vs "
+        f"scatter {solvers['scatter_iteration_us']:.1f} us "
+        f"({solvers['solver_speedup']:.1f}x; jacobi/power bit-identical="
+        f"{solvers['jacobi_bit_identical']}/{solvers['power_bit_identical']})"
+    )
+    if json_path:
+        Path(json_path).write_text(json.dumps(results, indent=2))
+        print(f"wrote {json_path}")
+    return results
+
+
+def _failures(results: dict) -> list[str]:
+    spmv, solvers = results["spmv"], results["solvers"]
+    failures = []
+    if spmv["speedup"] < MIN_REPLAY_SPEEDUP:
+        failures.append(
+            f"plan replay {spmv['speedup']:.1f}x < {MIN_REPLAY_SPEEDUP}x"
+        )
+    if not spmv["bit_identical"]:
+        failures.append("plan replay is not bit-identical to the scatter path")
+    if not spmv["correct"]:
+        failures.append("plan replay disagrees with the dense oracle")
+    if not solvers["jacobi_bit_identical"]:
+        failures.append("jacobi results differ between plan and scatter paths")
+    if not solvers["power_bit_identical"]:
+        failures.append("power iteration differs between plan and scatter paths")
+    if solvers["solver_speedup"] < MIN_SOLVER_SPEEDUP:
+        failures.append(
+            f"cached solver iterations {solvers['solver_speedup']:.1f}x < "
+            f"{MIN_SOLVER_SPEEDUP}x"
+        )
+    return failures
+
+
+def test_replay_throughput():
+    """Pytest entry point enforcing the acceptance thresholds."""
+    results = run()
+    failures = _failures(results)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    json_path = None
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--json":
+        json_path = argv[1]
+    results = run(json_path)
+    failures = _failures(results)
+    if failures:
+        print("FAILED: " + "; ".join(failures), file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"PASS: plan replay >= {MIN_REPLAY_SPEEDUP:.0f}x, bit-identical, "
+        f"cached solver iterations >= {MIN_SOLVER_SPEEDUP:.1f}x"
+    )

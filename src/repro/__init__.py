@@ -43,6 +43,7 @@ from repro.core.load_balance import BalancedMatrix, LoadBalancer
 from repro.core.machine import GustMachine, MachineResult
 from repro.core.parallel import ParallelGust
 from repro.core.pipeline import GustPipeline, PipelineResult
+from repro.core.plan import ExecutionPlan
 from repro.core.schedule import Schedule
 from repro.core.scheduler import SCHEDULING_ALGORITHMS, GustScheduler
 from repro.core.serialize import (
@@ -83,6 +84,7 @@ __all__ = [
     "DiskScheduleStore",
     "DiskStoreStats",
     "EnergyReport",
+    "ExecutionPlan",
     "GustMachine",
     "GustPipeline",
     "GustScheduler",

@@ -247,6 +247,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"  {count} artifacts, {total / 1e6:.2f} MB "
             f"(budget {store.max_bytes / 1e6:.0f} MB)"
         )
+        quarantined = store.quarantined_count()
+        if quarantined:
+            print(
+                f"  {quarantined} corrupt artifact(s) quarantined in "
+                f"{store.quarantine_dir}"
+            )
         return 0
     removed = store.clear()
     print(f"cleared {removed} artifacts from {store.directory}")

@@ -13,9 +13,15 @@ from repro.core.bounds import (
 from repro.core.cache import CacheLookup, CacheStats, ScheduleCache
 from repro.core.load_balance import BalancedMatrix, LoadBalancer
 from repro.core.machine import GustMachine, MachineResult
-from repro.core.naive import naive_coloring, naive_stalls
+from repro.core.naive import (
+    naive_coloring,
+    naive_coloring_flat,
+    naive_stalls,
+    naive_stalls_flat,
+)
 from repro.core.parallel import ParallelGust
 from repro.core.pipeline import GustPipeline, PipelineResult
+from repro.core.plan import ExecutionPlan
 from repro.core.schedule import Schedule
 from repro.core.scheduler import GustScheduler
 from repro.core.serialize import (
@@ -40,6 +46,7 @@ __all__ = [
     "StoredSchedule",
     "default_store_dir",
     "load_schedule_entry",
+    "ExecutionPlan",
     "GustMachine",
     "GustPipeline",
     "GustScheduler",
@@ -56,6 +63,8 @@ __all__ = [
     "expected_utilization",
     "load_schedule",
     "naive_coloring",
+    "naive_coloring_flat",
     "naive_stalls",
+    "naive_stalls_flat",
     "save_schedule",
 ]

@@ -57,6 +57,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.load_balance import BalancedMatrix
+from repro.core.plan import ExecutionPlan
 from repro.core.schedule import Schedule
 from repro.core.scheduler import slot_value_sources
 from repro.core.store import DiskScheduleStore, store_key_from_digest
@@ -103,6 +104,10 @@ class CacheLookup:
     refreshed: bool
     #: True when the entry was faulted in from the persistent store.
     from_disk: bool
+    #: The prepared executor for this schedule (refreshed in lockstep with
+    #: the value stream); ``None`` only for legacy entries without slot
+    #: metadata.
+    plan: ExecutionPlan | None = None
 
 
 @dataclass
@@ -124,6 +129,9 @@ class _Entry:
     slot_source: np.ndarray
     #: naive-policy stall count captured at scheduling time.
     stalls: int
+    #: prepared executor compiled from the stored schedule; its values are
+    #: refreshed in lockstep with ``schedule.m_sch`` on value refreshes.
+    plan: ExecutionPlan | None = None
     #: balanced-order -> original-order permutation from a disk artifact.
     inv_order: np.ndarray | None = None
 
@@ -294,6 +302,7 @@ class ScheduleCache:
                 stalls=entry.stalls,
                 refreshed=False,
                 from_disk=from_disk,
+                plan=entry.plan,
             )
 
         # Same pattern, new values: rebuild the permuted value stream and
@@ -328,6 +337,10 @@ class ScheduleCache:
         )
         entry.schedule = schedule
         entry.balanced = balanced
+        if entry.plan is not None:
+            # One O(nnz) gather: the plan's sorted structure is value-
+            # independent, so a refresh rides the same coloring reuse.
+            entry.plan = entry.plan.with_values(permuted_data)
         # Snapshot, not alias: an in-place edit of the caller's data array
         # must read as "values changed" on the next lookup.
         entry.last_data = matrix.data.copy()
@@ -337,6 +350,7 @@ class ScheduleCache:
             stalls=entry.stalls,
             refreshed=True,
             from_disk=from_disk,
+            plan=entry.plan,
         )
 
     def _entry_from_artifact(
@@ -375,6 +389,7 @@ class ScheduleCache:
             slot_lanes=stored.slot_lanes,
             slot_source=stored.slot_source,
             stalls=stored.stalls,
+            plan=stored.plan,
             inv_order=stored.inv_order,
         )
 
@@ -405,19 +420,26 @@ class ScheduleCache:
         schedule: Schedule,
         balanced: BalancedMatrix,
         stalls: int = 0,
-    ) -> None:
+    ) -> ExecutionPlan:
         """Store a cold-scheduled result for future hits/refreshes.
 
         ``matrix`` is the *original* (pre-permutation) operand the caller
         scheduled; the entry records how its value stream maps into the
-        balanced order so refreshes can skip re-canonicalization.  With a
-        persistent tier attached, the result is also written through to
-        disk (skipped when the content-addressed artifact already exists —
-        the coloring it stores is value-independent).
+        balanced order so refreshes can skip re-canonicalization.  The
+        prepared :class:`~repro.core.plan.ExecutionPlan` is compiled here
+        (and returned, so the scheduling pipeline can start replaying
+        immediately).  With a persistent tier attached, the result is also
+        written through to disk — including the plan's sort order, so a
+        warm start is replay-ready without re-sorting (skipped when the
+        content-addressed artifact already exists; the coloring and plan
+        structure it stores are value-independent).
         """
         key = self._pattern_key(matrix, length, algorithm, load_balance)
         data_order = np.lexsort((matrix.cols, balanced.row_perm[matrix.rows]))
         steps, lanes, source = slot_value_sources(schedule, balanced.matrix)
+        plan = ExecutionPlan.from_schedule(
+            schedule, row_perm=balanced.row_perm, slots=(steps, lanes, source)
+        )
         self._put(
             key,
             _Entry(
@@ -429,6 +451,7 @@ class ScheduleCache:
                 slot_lanes=lanes,
                 slot_source=source,
                 stalls=stalls,
+                plan=plan,
             ),
         )
         if self.store is not None:
@@ -441,4 +464,6 @@ class ScheduleCache:
                     stalls=stalls,
                     slots=(steps, lanes, source),
                     data_order=data_order,
+                    plan_order=plan.slot_order,
                 )
+        return plan

@@ -21,6 +21,21 @@ issues is its buffer slot.  It is proper by construction — collision-free
 heads have distinct rows and lanes; serialized elements occupy private
 cycles — so the whole Schedule/machine stack runs unmodified on naive
 schedules, merely with many more colors.
+
+Flat multi-window kernel
+------------------------
+
+Like "matching" and "first_fit" before it, the naive policy runs through a
+flat NumPy kernel (:func:`naive_coloring_flat`) spanning *every window at
+once*: windows are independent, each keeps its own cycle counter, and only
+the semantically sequential dimension — the lockstep buffer position —
+remains a Python loop.  One round resolves the head-of-line element of
+every (window, lane) queue simultaneously; serialization ranks for
+colliding heads come from a vectorized within-window cumulative count.
+The kernel reproduces the frozen per-window seed implementation
+(:func:`repro.graph._reference.reference_naive_coloring`) edge-for-edge,
+pinned by ``tests/graph/test_coloring_properties.py``; the stall count is
+likewise one vectorized segment-max pass (:func:`naive_stalls_flat`).
 """
 
 from __future__ import annotations
@@ -30,67 +45,138 @@ import numpy as np
 from repro.graph.bipartite import WindowGraph
 
 
-def naive_coloring(graph: WindowGraph) -> np.ndarray:
-    """Lockstep stall-and-serialize schedule for one window.
+def naive_coloring_flat(
+    local_rows: np.ndarray,
+    colsegs: np.ndarray,
+    window_ids: np.ndarray,
+    length: int,
+    n_windows: int,
+) -> np.ndarray:
+    """Lockstep stall-and-serialize schedule over many windows at once.
 
-    Returns a per-edge int64 array: the cycle at which each edge issues.
+    Args:
+        local_rows: per-edge destination adder (row index within window).
+        colsegs: per-edge multiplier lane.
+        window_ids: per-edge owning window; edges must be grouped by window
+            and, within a (window, lane) pair, in row-major arrival order —
+            the canonical COO order delivers exactly this after the stable
+            lane sort below.
+        length: accelerator length ``l``.
+        n_windows: total window count.
+
+    Returns:
+        int64 cycle-of-issue per edge, aligned with the edge arrays.
+
+    Each round advances every still-active (window, lane) queue by one
+    buffer position: heads whose destination adder is unique *within their
+    window* forward together in one cycle; colliding heads serialize one
+    per cycle in lane order.  Cycle counters are per window, so the batch
+    reproduces the sequential per-window result exactly.
     """
-    colors = np.full(graph.edge_count, -1, dtype=np.int64)
-    if graph.edge_count == 0:
+    edge_count = int(local_rows.size)
+    colors = np.full(edge_count, -1, dtype=np.int64)
+    if edge_count == 0:
         return colors
 
-    length = graph.length
-    # Per-lane queues in canonical (row, col) order: a stable sort of edge
-    # ids by column segment preserves row-major arrival order per lane.
-    order = np.argsort(graph.colsegs, kind="stable")
-    seg_sorted = graph.colsegs[order]
-    lane_starts = np.searchsorted(seg_sorted, np.arange(length + 1))
+    # Per-(window, lane) queues in canonical (row, col) order: a stable
+    # sort of edge ids by the combined window-lane key preserves row-major
+    # arrival order inside each queue.
+    lane_key = window_ids * length + colsegs
+    order = np.argsort(lane_key, kind="stable")
+    key_sorted = lane_key[order]
+    queue_starts = np.searchsorted(
+        key_sorted, np.arange(n_windows * length + 1, dtype=np.int64)
+    )
 
-    ptr = lane_starts[:-1].copy()
-    ends = lane_starts[1:]
-    local_rows = graph.local_rows
+    ptr = queue_starts[:-1].copy()
+    ends = queue_starts[1:]
+    cycles = np.zeros(n_windows, dtype=np.int64)
+    window_range = np.arange(n_windows + 1, dtype=np.int64)
 
-    cycle = 0
-    remaining = graph.edge_count
+    remaining = edge_count
     while remaining:
-        active = np.nonzero(ptr < ends)[0]
+        # Heads of every non-empty queue, in flat (window, lane) order.
+        active = np.flatnonzero(ptr < ends)
         head_edges = order[ptr[active]]
         head_rows = local_rows[head_edges]
+        head_wins = active // length
 
-        # Heads whose destination adder is unique forward together.
-        multiplicity = np.bincount(head_rows, minlength=length)
-        free_mask = multiplicity[head_rows] == 1
-        free_edges = head_edges[free_mask]
-        collided_edges = head_edges[~free_mask]
+        # Heads whose destination adder is unique in their window forward
+        # together; duplicates stall and serialize.
+        adder_key = head_wins * length + head_rows
+        multiplicity = np.bincount(adder_key, minlength=n_windows * length)
+        free_mask = multiplicity[adder_key] == 1
 
-        if free_edges.size:
-            colors[free_edges] = cycle
-            cycle += 1
-        # Colliding values are replayed one per cycle, in lane order.
-        for edge in collided_edges:
-            colors[edge] = cycle
-            cycle += 1
+        free_wins = head_wins[free_mask]
+        colors[head_edges[free_mask]] = cycles[free_wins]
 
+        # Windows that forwarded at least one free head spend one cycle on
+        # the parallel forward before serializing their collisions.
+        free_spent = np.zeros(n_windows, dtype=np.int64)
+        free_spent[free_wins] = 1
+
+        coll_wins = head_wins[~free_mask]
+        # Serialization rank: position of each colliding head among its
+        # window's collisions, in lane order (the flat order is already
+        # window-grouped and lane-ascending).
+        coll_starts = np.searchsorted(coll_wins, window_range[:-1])
+        ranks = np.arange(coll_wins.size, dtype=np.int64) - coll_starts[coll_wins]
+        colors[head_edges[~free_mask]] = (
+            cycles[coll_wins] + free_spent[coll_wins] + ranks
+        )
+
+        cycles += free_spent
+        cycles += np.bincount(coll_wins, minlength=n_windows)
         ptr[active] += 1
         remaining -= active.size
     return colors
 
 
-def naive_stalls(graph: WindowGraph, colors: np.ndarray) -> int:
-    """Stall events implied by a naive coloring.
+def naive_stalls_flat(
+    colors: np.ndarray,
+    colsegs: np.ndarray,
+    window_ids: np.ndarray,
+    length: int,
+    n_windows: int,
+) -> int:
+    """Stall events implied by a flat naive coloring, all windows at once.
 
     A lane stalls in every cycle from its first arrival to its last issue
     in which it does not issue; summing ``last_issue_cycle + 1 - queue_len``
-    over lanes counts exactly those events.
+    over non-empty (window, lane) queues counts exactly those events.
     """
-    if graph.edge_count == 0:
+    if colors.size == 0:
         return 0
-    stalls = 0
-    for lane in range(graph.length):
-        mask = graph.colsegs == lane
-        count = int(mask.sum())
-        if count == 0:
-            continue
-        last = int(colors[mask].max())
-        stalls += (last + 1) - count
-    return stalls
+    lane_key = window_ids * length + colsegs
+    slots = n_windows * length
+    last = np.full(slots, -1, dtype=np.int64)
+    np.maximum.at(last, lane_key, colors)
+    counts = np.bincount(lane_key, minlength=slots)
+    occupied = counts > 0
+    return int(((last[occupied] + 1) - counts[occupied]).sum())
+
+
+def naive_coloring(graph: WindowGraph) -> np.ndarray:
+    """Lockstep stall-and-serialize schedule for one window.
+
+    Returns a per-edge int64 array: the cycle at which each edge issues.
+    Single-window wrapper over :func:`naive_coloring_flat`.
+    """
+    return naive_coloring_flat(
+        np.asarray(graph.local_rows, dtype=np.int64),
+        np.asarray(graph.colsegs, dtype=np.int64),
+        np.zeros(graph.edge_count, dtype=np.int64),
+        graph.length,
+        1,
+    )
+
+
+def naive_stalls(graph: WindowGraph, colors: np.ndarray) -> int:
+    """Stall events implied by a naive coloring of one window."""
+    return naive_stalls_flat(
+        np.asarray(colors, dtype=np.int64),
+        np.asarray(graph.colsegs, dtype=np.int64),
+        np.zeros(graph.edge_count, dtype=np.int64),
+        graph.length,
+        1,
+    )

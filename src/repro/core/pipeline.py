@@ -23,8 +23,10 @@ fleet of workers shares one schedule artifact store.
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -32,6 +34,7 @@ from repro.core.cache import ScheduleCache
 from repro.core.store import DiskScheduleStore
 from repro.core.load_balance import BalancedMatrix, LoadBalancer, identity_balance
 from repro.core.machine import GustMachine, MachineResult
+from repro.core.plan import ExecutionPlan
 from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
 from repro.core.scheduler import GustScheduler
 from repro.errors import HardwareConfigError
@@ -73,7 +76,16 @@ class GustPipeline:
             ``cache`` is unset, a private default-capacity one is created
             to front it; if ``cache`` is an existing :class:`ScheduleCache`
             without a store, the store is attached to it.
+        use_plans: replay schedules through prepared
+            :class:`~repro.core.plan.ExecutionPlan` objects (compiled once
+            per schedule, memoized).  ``False`` falls back to the pre-plan
+            ``np.add.at`` scatter path — kept as the reference baseline for
+            ``benchmarks/bench_replay_throughput.py`` and equivalence
+            tests; both paths produce bit-identical results.
     """
+
+    #: Plans memoized per pipeline (keyed by schedule identity).
+    _PLAN_MEMO_CAPACITY = 8
 
     def __init__(
         self,
@@ -83,8 +95,14 @@ class GustPipeline:
         validate: bool = False,
         cache: ScheduleCache | int | bool | None = None,
         store: DiskScheduleStore | str | Path | bool | None = None,
+        use_plans: bool = True,
     ):
         self.length = length
+        self.use_plans = use_plans
+        # id() -> (weakref to the schedule, plan): identity keys are only
+        # trusted while the schedule object is alive, so a recycled id()
+        # can never alias a dead entry.
+        self._plan_memo: dict[int, tuple] = {}
         self.algorithm = algorithm
         self.load_balance = load_balance and algorithm != "naive"
         self.scheduler = GustScheduler(length, algorithm, validate=validate)
@@ -139,6 +157,8 @@ class GustPipeline:
             )
         if cached is not None:
             self.scheduler.last_stalls = cached.stalls
+            if cached.plan is not None:
+                self._memoize_plan(cached.schedule, cached.plan)
             elapsed = time.perf_counter() - started
             report = PreprocessReport(
                 seconds=elapsed,
@@ -158,7 +178,7 @@ class GustPipeline:
             balanced = identity_balance(matrix, self.length)
         schedule = self.scheduler.schedule_balanced(balanced)
         if self.cache is not None:
-            self.cache.insert(
+            plan = self.cache.insert(
                 matrix,
                 self.length,
                 self.algorithm,
@@ -167,6 +187,8 @@ class GustPipeline:
                 balanced,
                 stalls=self.scheduler.last_stalls,
             )
+            if plan is not None:
+                self._memoize_plan(schedule, plan)
         elapsed = time.perf_counter() - started
         notes = {"stalls": float(self.scheduler.last_stalls)}
         if self.cache is not None:
@@ -214,13 +236,76 @@ class GustPipeline:
 
     # -- execution -----------------------------------------------------------
 
+    def _memoize_plan(self, schedule: Schedule, plan: ExecutionPlan) -> None:
+        """Remember a compiled plan for this schedule object's lifetime."""
+        self._plan_memo[id(schedule)] = (weakref.ref(schedule), plan)
+        while len(self._plan_memo) > self._PLAN_MEMO_CAPACITY:
+            self._plan_memo.pop(next(iter(self._plan_memo)))
+
+    def plan_for(
+        self, schedule: Schedule, balanced: BalancedMatrix
+    ) -> ExecutionPlan:
+        """The prepared :class:`ExecutionPlan` for a schedule, compiled once.
+
+        Plans are memoized per schedule object (and pre-seeded by the
+        schedule cache, whose entries carry their plan), so iterative
+        callers — solvers, SpMM column streams — pay the structural sort
+        exactly once and every subsequent call is a dictionary lookup.
+        A memoized plan is only served for the ``balanced`` it was
+        compiled against: pairing the schedule with a different row
+        permutation recompiles, preserving the scatter path's contract.
+        """
+        memoized = self._plan_memo.get(id(schedule))
+        if memoized is not None and memoized[0]() is schedule:
+            plan = memoized[1]
+            # Identity check first: every internal producer hands the
+            # plan and the BalancedMatrix the same row_perm array, so the
+            # O(m) comparison only runs for exotic caller pairings.
+            if plan.row_perm is balanced.row_perm or np.array_equal(
+                plan.row_perm, balanced.row_perm
+            ):
+                return plan
+        plan = ExecutionPlan.from_schedule(schedule, row_perm=balanced.row_perm)
+        self._memoize_plan(schedule, plan)
+        return plan
+
+    def executor(
+        self, schedule: Schedule, balanced: BalancedMatrix
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """A compiled replay callable: ``apply(x) -> y``.
+
+        Solvers bind this once after preprocessing and call it per
+        iteration.  With ``use_plans`` (the default) it is the prepared
+        plan's :meth:`~repro.core.plan.ExecutionPlan.execute`; with
+        ``use_plans=False`` it is the pre-plan scatter path — bit-identical
+        results either way.
+        """
+        if self.use_plans:
+            return self.plan_for(schedule, balanced).execute
+        return lambda x: self.execute_scatter(schedule, balanced, x)
+
     def execute(
         self, schedule: Schedule, balanced: BalancedMatrix, x: np.ndarray
     ) -> np.ndarray:
         """Fast vectorized replay of a schedule (not cycle-accurate).
 
         Numerically identical to the machine: one product per occupied slot,
-        accumulated into its destination row, then un-permuted.
+        accumulated into its destination row, then un-permuted.  Runs
+        through the memoized :class:`ExecutionPlan` (compile once, replay
+        many); ``use_plans=False`` selects :meth:`execute_scatter`.
+        """
+        if self.use_plans:
+            return self.plan_for(schedule, balanced).execute(x)
+        return self.execute_scatter(schedule, balanced, x)
+
+    def execute_scatter(
+        self, schedule: Schedule, balanced: BalancedMatrix, x: np.ndarray
+    ) -> np.ndarray:
+        """The pre-plan replay: per-call ``np.nonzero`` plus ``np.add.at``.
+
+        Kept verbatim as the reference baseline ``benchmarks/
+        bench_replay_throughput.py`` gates the plan path against (>= 3x)
+        and the bit-identity oracle for plan replay tests.
         """
         x = np.asarray(x, dtype=np.float64)
         m, n = schedule.shape

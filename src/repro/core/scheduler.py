@@ -44,7 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.load_balance import BalancedMatrix, identity_balance
-from repro.core.naive import naive_coloring, naive_stalls
+from repro.core.naive import naive_coloring_flat, naive_stalls_flat
 from repro.core.schedule import EMPTY, Schedule
 from repro.errors import ColoringError
 from repro.graph.bipartite import WindowGraph
@@ -63,7 +63,7 @@ from repro.sparse.stats import require_positive_length, window_count
 SCHEDULING_ALGORITHMS = tuple(sorted(_COLORING_ALGORITHMS)) + ("naive",)
 
 #: Policies handled by the flat multi-window NumPy kernels.
-_FLAT_ALGORITHMS = ("matching", "first_fit")
+_FLAT_ALGORITHMS = ("matching", "first_fit", "naive")
 
 
 @dataclass(frozen=True)
@@ -251,15 +251,26 @@ class GustScheduler:
                 max(1, partition.windows),
                 partition.window_starts,
             )
+        elif self.algorithm == "naive":
+            windows = max(1, partition.windows)
+            colors = naive_coloring_flat(
+                partition.local_rows,
+                partition.colsegs,
+                partition.window_ids,
+                length,
+                windows,
+            )
+            self.last_stalls = naive_stalls_flat(
+                colors,
+                partition.colsegs,
+                partition.window_ids,
+                length,
+                windows,
+            )
         else:
             colors = np.full(partition.local_rows.size, -1, dtype=np.int64)
             for graph, lo, hi in self._window_graphs(balanced, partition):
-                if self.algorithm == "naive":
-                    window_colors = naive_coloring(graph)
-                    self.last_stalls += naive_stalls(graph, window_colors)
-                else:
-                    window_colors = _COLORING_ALGORITHMS[self.algorithm](graph)
-                colors[lo:hi] = window_colors
+                colors[lo:hi] = _COLORING_ALGORITHMS[self.algorithm](graph)
         if self.validate:
             for graph, lo, hi in self._window_graphs(balanced, partition):
                 validate_coloring(graph, colors[lo:hi])

@@ -9,7 +9,7 @@ so a solver can restart without rescheduling, and so the content-addressed
 :class:`~repro.core.store.DiskScheduleStore` can share one artifact across
 a fleet of worker processes.
 
-Container format (version 2)
+Container format (version 3)
 ----------------------------
 
 A warm start must be an order of magnitude cheaper than cold scheduling,
@@ -28,9 +28,27 @@ The payload stores the schedule in its *compact* form — the occupied-slot
 coordinates ``(steps, lanes)`` and each slot's source index into the
 balanced value stream — rather than the dense ``M_sch/Row_sch/Col_sch``
 triple, which is mostly empty slots.  The dense arrays are rebuilt with
-three O(nnz) scatters on load; integer arrays are narrowed to the smallest
-sufficient dtype on write.  Both choices shrink the artifact (and the
-checksum pass) by more than half.
+three O(nnz) scatters — *lazily*, on first access (plan-based replay
+never needs them); integer arrays are narrowed to the smallest sufficient
+dtype on write.  These choices shrink the artifact (and the checksum
+pass) by more than half and keep the warm-start path allocation-light.
+
+Version 3 additionally persists the slot arrays **pre-sorted by
+destination row** — the layout of the :class:`~repro.core.plan.
+ExecutionPlan` replay engine.  The dense-rebuild scatters are
+order-independent, so the sorted layout costs the reader nothing, and a
+disk warm start reconstitutes a replay-ready plan from the very gathers
+the rebuild already performs: no sort, no extra payload member.
+Version-2 artifacts (slot arrays in occupied-slot scan order) still load
+through every explicit-path API (:func:`load_schedule`, the CLI's
+``spmv``/``inspect``); the plan order is simply recompiled (one
+``argsort``) on the way in, so user-kept artifacts keep working at a
+small one-time cost.  The content-addressed store deliberately does
+*not* reach v2 artifacts: its keys embed the format version so
+generations stay isolated — in a mixed fleet, a v2-era reader would
+otherwise look up a v3 artifact, fail its version check, and quarantine
+a file the upgraded workers still want.  Old store entries miss once,
+reschedule, and age out of the byte budget.
 
 Writes are atomic: the container is written to a same-directory temporary
 file, flushed and fsynced, then ``os.replace``-d into place.  A reader can
@@ -55,6 +73,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.load_balance import BalancedMatrix
+from repro.core.plan import ExecutionPlan
 from repro.core.schedule import EMPTY, Schedule
 from repro.core.scheduler import slot_value_sources
 from repro.errors import ScheduleError
@@ -66,7 +85,11 @@ _MAGIC = b"GUSTSCH\x00"
 #: On-disk format version.  Version 1 (an ``.npz`` of dense schedule
 #: arrays) is no longer produced or read; bump this whenever the layout or
 #: the meaning of any member changes.
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
+
+#: Versions :func:`load_schedule_entry` accepts.  Version 2 lacks the
+#: persisted execution-plan sort; its plan is recompiled on load.
+_COMPAT_VERSIONS = (2, 3)
 
 #: Prologue layout: magic, u32 version, u32 header length, u32 CRC-32 of
 #: everything after the prologue, u32 reserved.
@@ -106,10 +129,13 @@ class StoredSchedule:
     ``slot_steps``/``slot_lanes``/``slot_source`` are the occupied-slot
     coordinates and their balanced-data source indices — the same join
     :func:`~repro.core.scheduler.slot_value_sources` computes, persisted so
-    a warm start skips it.  ``data_order`` (original-order data -> balanced
-    order permutation) and ``inv_order`` (its inverse) are present when the
-    artifact was written through a :class:`~repro.core.cache.ScheduleCache`,
-    letting the cache reconstruct its refresh entry without re-sorting.
+    a warm start skips it.  From format version 3 they arrive sorted by
+    destination row (the execution plan's layout); every consumer is a
+    scatter or an elementwise join, so the ordering is free to choose.
+    ``data_order`` (original-order data -> balanced order permutation) and
+    ``inv_order`` (its inverse) are present when the artifact was written
+    through a :class:`~repro.core.cache.ScheduleCache`, letting the cache
+    reconstruct its refresh entry without re-sorting.
     """
 
     schedule: Schedule
@@ -122,6 +148,10 @@ class StoredSchedule:
     slot_source: np.ndarray
     data_order: np.ndarray | None
     inv_order: np.ndarray | None
+    #: replay-ready execution plan: reconstituted without a sort from a
+    #: version-3 artifact's persisted ``plan_order``, recompiled (one
+    #: ``argsort``) for version-2 artifacts.
+    plan: ExecutionPlan | None = None
 
 
 def _compact_ints(arr: np.ndarray) -> np.ndarray:
@@ -198,8 +228,11 @@ def _save_container(
         raise
 
 
-def _load_container(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
-    """Read, checksum-verify, and view one artifact's (scalars, arrays).
+def _load_container(
+    path: str | Path,
+) -> tuple[dict, dict[str, np.ndarray], int]:
+    """Read, checksum-verify, and view one artifact's (scalars, arrays,
+    format version).
 
     Returned arrays are read-only ``frombuffer`` views over the single
     file read; callers copy only what they intend to mutate.
@@ -211,10 +244,10 @@ def _load_container(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
     version, header_len, stored_crc, _ = np.frombuffer(
         data, dtype="<u4", count=4, offset=8
     )
-    if int(version) != _FORMAT_VERSION:
+    if int(version) not in _COMPAT_VERSIONS:
         raise ScheduleError(
             f"schedule file version {int(version)} unsupported "
-            f"(expected {_FORMAT_VERSION})"
+            f"(expected one of {_COMPAT_VERSIONS})"
         )
     if zlib.crc32(memoryview(data)[_PROLOGUE_BYTES:]) != int(stored_crc):
         raise ScheduleError(
@@ -242,7 +275,107 @@ def _load_container(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
         raise ScheduleError(
             f"schedule file {path} has a malformed header: {err}"
         ) from err
-    return scalars, arrays
+    return scalars, arrays, int(version)
+
+
+class _CompactSchedule(Schedule):
+    """A loaded schedule whose dense arrays materialize on first touch.
+
+    The artifact's compact slot representation is all the replay engine
+    needs (the :class:`~repro.core.plan.ExecutionPlan` is built from it
+    directly), so the (C_total, l) ``M_sch``/``Row_sch``/``Col_sch``
+    triple — several MB of mostly empty slots on large matrices — is
+    rebuilt only when something actually reads it (the cycle-accurate
+    machine, a value-refresh scatter, re-serialization, validation).
+    Derived quantities used on the hot path (``nnz``, ``total_colors``,
+    ``occupied_slots``) are answered from the compact form without
+    materializing.  Behaviorally identical to an eager
+    :class:`Schedule`; only the allocation time moves.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        shape: tuple[int, int],
+        window_colors: tuple[int, ...],
+        total: int,
+        flat: np.ndarray,
+        slot_values: np.ndarray,
+        slot_rows: np.ndarray,
+        slot_cols: np.ndarray,
+    ):
+        # The dense fields are class-level properties (data descriptors),
+        # so the dataclass __init__ cannot be reused; set the scalar
+        # fields and the compact payload directly.
+        object.__setattr__(self, "length", length)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "window_colors", window_colors)
+        object.__setattr__(self, "_total", total)
+        object.__setattr__(self, "_flat", flat)
+        object.__setattr__(self, "_slot_values", slot_values)
+        object.__setattr__(self, "_slot_rows", slot_rows)
+        object.__setattr__(self, "_slot_cols", slot_cols)
+        object.__setattr__(self, "_dense", None)
+
+    def _materialize(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        dense = self._dense
+        if dense is None:
+            total, length = self._total, self.length
+            m_sch = np.zeros(total * length, dtype=np.float64)
+            row_sch = np.full(total * length, EMPTY, dtype=np.int64)
+            col_sch = np.full(total * length, EMPTY, dtype=np.int64)
+            if self._slot_values.size:
+                try:
+                    m_sch[self._flat] = self._slot_values
+                    row_sch[self._flat] = self._slot_rows
+                    col_sch[self._flat] = self._slot_cols
+                except IndexError as err:
+                    raise ScheduleError(
+                        "schedule artifact holds out-of-range slot indices"
+                    ) from err
+            dense = (
+                m_sch.reshape(total, length),
+                row_sch.reshape(total, length),
+                col_sch.reshape(total, length),
+            )
+            object.__setattr__(self, "_dense", dense)
+        return dense
+
+    @property
+    def m_sch(self) -> np.ndarray:  # type: ignore[override]
+        return self._materialize()[0]
+
+    @property
+    def row_sch(self) -> np.ndarray:  # type: ignore[override]
+        return self._materialize()[1]
+
+    @property
+    def col_sch(self) -> np.ndarray:  # type: ignore[override]
+        return self._materialize()[2]
+
+    # Hot-path derived quantities, answered without materializing.
+
+    @property
+    def total_colors(self) -> int:
+        return int(self._total)
+
+    @property
+    def nnz(self) -> int:
+        return int(self._slot_values.size)
+
+    @property
+    def occupancy(self) -> float:
+        slots = self._total * self.length
+        return self.nnz / slots if slots else 0.0
+
+    def occupied_slots(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        steps = self._flat // self.length
+        lanes = self._flat % self.length
+        global_rows = (
+            self.window_of_timestep()[steps] * self.length
+            + self._slot_rows.astype(np.int64)
+        )
+        return steps, lanes, global_rows
 
 
 def _check_range(name: str, arr: np.ndarray, lo: int, hi: int) -> None:
@@ -261,6 +394,7 @@ def save_schedule(
     stalls: int = 0,
     slots: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     data_order: np.ndarray | None = None,
+    plan_order: np.ndarray | None = None,
 ) -> None:
     """Atomically write a schedule and its balancing metadata to ``path``.
 
@@ -274,11 +408,28 @@ def save_schedule(
         data_order: optional original-order -> balanced-order value
             permutation, persisted so the cache tier can warm-start
             without re-sorting.
+        plan_order: the execution plan's stable destination-row sort over
+            the slot arrays (as from :attr:`~repro.core.plan.
+            ExecutionPlan.slot_order`); computed here when omitted.  The
+            slot arrays are persisted *pre-sorted* by this order — the
+            rebuild scatters on load are order-independent, so a version-3
+            artifact yields a replay-ready plan from the very gathers the
+            dense rebuild already performs, with no sort and no extra
+            payload member.
     """
     if slots is None:
         steps, lanes, source = slot_value_sources(schedule, balanced.matrix)
     else:
         steps, lanes, source = slots
+    source = np.asarray(source, dtype=np.intp)
+    if plan_order is None:
+        # The slots' global destination rows are the balanced matrix rows
+        # they source from; their stable sort is the plan order.
+        plan_order = np.argsort(balanced.matrix.rows[source], kind="stable")
+    plan_order = np.asarray(plan_order, dtype=np.intp)
+    steps = np.asarray(steps)[plan_order]
+    lanes = np.asarray(lanes)[plan_order]
+    source = source[plan_order]
 
     map_cols_parts = [cols for cols, _ in balanced.window_col_maps]
     map_lanes_parts = [lanes_part for _, lanes_part in balanced.window_col_maps]
@@ -343,7 +494,7 @@ def load_schedule_entry(
     passes its checksum is byte-identical to what :func:`save_schedule`
     wrote, so the residual risk is a writer bug, not disk corruption.
     """
-    scalars, arrays = _load_container(path)
+    scalars, arrays, version = _load_container(path)
     missing = [name for name in _REQUIRED if name not in arrays]
     if missing:
         raise ScheduleError(
@@ -386,60 +537,67 @@ def load_schedule_entry(
         raise ScheduleError("slot arrays disagree with the matrix nnz")
     if slot_rows.size != nnz:
         raise ScheduleError("slot row array disagrees with the matrix nnz")
+    if nnz > total * length:
+        # Pigeonhole: more scheduled nonzeros than schedule slots.  Also
+        # closes the total == 0 corner the per-element bounds below would
+        # admit (max(total, 1) keeps an empty range checkable).
+        raise ScheduleError(
+            f"schedule file {path} holds {nnz} nonzeros in "
+            f"{total}x{length} slots"
+        )
+    # Bounds always precede any fancy indexing (even on the checksum-
+    # trusted fast path): the checksum proves these are the writer's
+    # bytes, but a *writer bug* could still persist out-of-range indices,
+    # and the store's quarantine contract requires that to surface as a
+    # clean ScheduleError at load time — not a bare IndexError escaping
+    # the lookup, or a deferred failure from the lazy dense rebuild after
+    # the entry has already been served.  Each check is one O(nnz)
+    # min/max pass over a narrow array.
+    _check_range("matrix_rows", rows, 0, max(m, 1))
+    _check_range("matrix_cols", cols, 0, max(n, 1))
+    _check_range("slot_steps", steps, 0, max(total, 1))
+    _check_range("slot_lanes", lanes, 0, length)
+    _check_range("slot_rows", slot_rows, 0, length)
+    _check_range("slot_source", source, 0, max(nnz, 1))
     if validate:
-        # Bounds precede any fancy indexing.  On the validate=False path
-        # the checksum already proves these are the writer's bytes, so an
-        # out-of-range index would take a writer bug; the except below
-        # still turns it into a clean error rather than corruption.
-        _check_range("matrix_rows", rows, 0, max(m, 1))
-        _check_range("matrix_cols", cols, 0, max(n, 1))
-        _check_range("slot_steps", steps, 0, max(total, 1))
-        _check_range("slot_lanes", lanes, 0, length)
-        _check_range("slot_rows", slot_rows, 0, length)
-        _check_range("slot_source", source, 0, max(nnz, 1))
         expected_rows = rows[source.astype(np.intp)] % length
         if not np.array_equal(slot_rows, expected_rows.astype(slot_rows.dtype)):
             raise ScheduleError(
                 "slot_rows disagree with the matrix rows they index"
             )
 
-    # Rebuild the dense Section 3.3 triple with three O(nnz) scatters.
-    # Linear indices into the flattened (total, length) arrays: one intp
-    # conversion instead of numpy re-deriving a 2D advanced index per
-    # scatter, which is ~3x the cost at this size.
-    m_sch = np.zeros(total * length, dtype=np.float64)
-    row_sch = np.full(total * length, EMPTY, dtype=np.int64)
-    col_sch = np.full(total * length, EMPTY, dtype=np.int64)
-    if nnz:
-        try:
-            flat = steps.astype(np.intp) * length + lanes
-            gathered = source.astype(np.intp)
-            m_sch[flat] = data[gathered]
-            row_sch[flat] = slot_rows
-            col_sch[flat] = cols[gathered]
-        except IndexError as err:
-            raise ScheduleError(
-                f"schedule file {path} holds out-of-range slot indices"
-            ) from err
-    m_sch = m_sch.reshape(total, length)
-    row_sch = row_sch.reshape(total, length)
-    col_sch = col_sch.reshape(total, length)
-
-    schedule = Schedule(
+    # The dense Section 3.3 triple is *deferred*: the compact slot form
+    # is everything the plan-based replay needs, so the (C_total, l)
+    # arrays — mostly empty slots — rebuild lazily on first access
+    # (three O(nnz) scatters at that point; see :class:`_CompactSchedule`).
+    # The gathers below are shared with the execution-plan rebuild.
+    slot_source = source.astype(np.intp)
+    slot_values = data[slot_source] if nnz else data[:0]
+    slot_cols = cols[slot_source] if nnz else cols[:0]
+    flat = (
+        steps.astype(np.intp) * length + lanes
+        if nnz
+        else np.zeros(0, dtype=np.intp)
+    )
+    schedule = _CompactSchedule(
         length=length,
         shape=(m, n),
-        m_sch=m_sch,
-        row_sch=row_sch,
-        col_sch=col_sch,
         window_colors=tuple(window_colors.tolist()),
+        total=total,
+        flat=flat,
+        slot_values=slot_values,
+        slot_rows=slot_rows,
+        slot_cols=slot_cols,
     )
 
     row_perm = arrays["row_perm"]
     if row_perm.size != m:
         raise ScheduleError("row permutation length does not match matrix")
+    # row_perm drives the replay-side gather, so its bounds are enforced
+    # on every path too.
+    _check_range("row_perm", row_perm, 0, max(m, 1))
     if validate:
         row_perm = row_perm.astype(np.int64)
-        _check_range("row_perm", row_perm, 0, max(m, 1))
     matrix = CooMatrix(rows=rows, cols=cols, data=data, shape=(m, n))
 
     offsets = arrays["map_offsets"].astype(np.int64)
@@ -467,13 +625,44 @@ def load_schedule_entry(
     if data_order is not None:
         if data_order.size != nnz:
             raise ScheduleError("data_order length does not match nnz")
-        if validate:
-            _check_range("data_order", data_order, 0, max(nnz, 1))
+        _check_range("data_order", data_order, 0, max(nnz, 1))
     if inv_order is not None:
+        # inv_order feeds the cache tier's warm-start gather after this
+        # function returns, so it is bounds-checked on every path.
         if inv_order.size != nnz:
             raise ScheduleError("inv_order length does not match nnz")
-        if validate:
-            _check_range("inv_order", inv_order, 0, max(nnz, 1))
+        _check_range("inv_order", inv_order, 0, max(nnz, 1))
+
+    # Reconstitute the replay-ready execution plan.  A version-3 artifact
+    # persists its slot arrays already in destination-row order, so the
+    # plan is assembled from the gathers the dense rebuild just performed
+    # — no sort, no extra gathers beyond the per-slot row lookup.  A
+    # version-2 artifact (scan-ordered slots) recompiles the sort.
+    plan_rows = rows[slot_source] if nnz else rows[:0]
+    if version >= 3:
+        plan = ExecutionPlan.from_sorted(
+            length=length,
+            shape=(m, n),
+            values=slot_values,
+            sources=slot_cols,
+            rows=plan_rows,
+            slot_order=None,
+            row_perm=row_perm,
+            value_source=slot_source,
+        )
+    else:
+        plan_order = np.argsort(plan_rows, kind="stable").astype(np.intp)
+        source_sorted = slot_source[plan_order]
+        plan = ExecutionPlan.from_sorted(
+            length=length,
+            shape=(m, n),
+            values=data[source_sorted],
+            sources=cols[source_sorted],
+            rows=plan_rows[plan_order],
+            slot_order=plan_order,
+            row_perm=row_perm,
+            value_source=source_sorted,
+        )
 
     if validate:
         # Canonical order underpins every searchsorted join downstream.
@@ -486,11 +675,17 @@ def load_schedule_entry(
             counts = np.bincount(data_order, minlength=nnz)
             if counts.max() != 1:
                 raise ScheduleError("data_order is not a permutation")
-        if schedule.nnz != nnz:
+        # Count occupancy from the (materialized) dense arrays, not the
+        # compact slot count: duplicate (step, lane) coordinates merge in
+        # the scatter and must be caught here.
+        if int((schedule.row_sch != EMPTY).sum()) != nnz:
             raise ScheduleError(
                 "slot coordinates collide; fewer occupied slots than nonzeros"
             )
         schedule.validate()
+        # Schedule-level diagnostics first (collisions, ranges), then the
+        # plan's own structural checks (sortedness, segment boundaries).
+        plan.validate()
 
     return StoredSchedule(
         schedule=schedule,
@@ -501,6 +696,7 @@ def load_schedule_entry(
         slot_source=source,
         data_order=data_order,
         inv_order=inv_order,
+        plan=plan,
     )
 
 

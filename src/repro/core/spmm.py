@@ -13,7 +13,12 @@ are modeled:
 * ``replicated`` — ``r`` parallel GUSTs (Section 5.5 arrangement) each
   take a slice of B's columns: cycles = ceil(k / r) * C_total + fill.
 
-Both reuse the single schedule and therefore pay preprocessing once.
+Both reuse the single schedule and therefore pay preprocessing once.  The
+software replay reuses the pipeline's prepared
+:class:`~repro.core.plan.ExecutionPlan` across every column tile: the
+occupied-slot flattening and destination-row sort are paid once per
+schedule, and each tile reduces with one contiguous ``np.add.reduceat``
+instead of a scatter.
 """
 
 from __future__ import annotations
@@ -76,6 +81,7 @@ class GustSpmm:
         load_balance: bool = True,
         cache: ScheduleCache | int | bool | None = None,
         store: DiskScheduleStore | str | Path | bool | None = None,
+        use_plans: bool = True,
     ):
         if replicas <= 0:
             raise HardwareConfigError(f"replicas must be positive, got {replicas}")
@@ -86,6 +92,7 @@ class GustSpmm:
             load_balance=load_balance,
             cache=cache,
             store=store,
+            use_plans=use_plans,
         )
 
     def preprocess(self, matrix: CooMatrix) -> tuple[Schedule, BalancedMatrix]:
@@ -107,20 +114,27 @@ class GustSpmm:
                 f"dense operand must be ({n}, k), got {dense.shape}"
             )
         k = dense.shape[1]
-        # Vectorized replay: gather each occupied slot's value and row once,
-        # multiply against many columns of B simultaneously, and scatter-add
-        # into the output block.  Columns are tiled so the (slots x tile)
-        # product temporary stays bounded regardless of B's width.
-        steps, lanes, global_rows = schedule.occupied_slots()
-        values = schedule.m_sch[steps, lanes][:, None]
-        sources = schedule.col_sch[steps, lanes]
-        y_permuted = np.zeros((m, k), dtype=np.float64)
-        tile = max(1, _SPMM_PRODUCT_BUDGET // max(1, values.size))
-        for start in range(0, k, tile):
-            stop = min(k, start + tile)
-            products = values * dense[sources, start:stop]
-            np.add.at(y_permuted[:, start:stop], global_rows, products)
-        y = balanced.unpermute_output(y_permuted)
+        if self.pipeline.use_plans:
+            # Prepared replay: one plan (compiled once, memoized by the
+            # pipeline) drives every column tile; each (slots x tile)
+            # product block reduces with a contiguous segment reduction.
+            plan = self.pipeline.plan_for(schedule, balanced)
+            y = plan.execute_block(dense, tile_budget=_SPMM_PRODUCT_BUDGET)
+        else:
+            # Pre-plan reference replay: gather each occupied slot's value
+            # and row, multiply against many columns of B simultaneously,
+            # and scatter-add into the output block.  Columns are tiled so
+            # the (slots x tile) product temporary stays bounded.
+            steps, lanes, global_rows = schedule.occupied_slots()
+            values = schedule.m_sch[steps, lanes][:, None]
+            sources = schedule.col_sch[steps, lanes]
+            y_permuted = np.zeros((m, k), dtype=np.float64)
+            tile = max(1, _SPMM_PRODUCT_BUDGET // max(1, values.size))
+            for start in range(0, k, tile):
+                stop = min(k, start + tile)
+                products = values * dense[sources, start:stop]
+                np.add.at(y_permuted[:, start:stop], global_rows, products)
+            y = balanced.unpermute_output(y_permuted)
         report = self.cycle_report(schedule, k)
         return SpmmResult(
             y=y,

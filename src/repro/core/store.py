@@ -22,8 +22,12 @@ Two processes that schedule the same pattern derive the same key and write
 the same artifact; :func:`repro.core.serialize.save_schedule`'s atomic
 write-then-rename makes the race harmless (last writer wins, every reader
 sees a complete file).  A corrupt or truncated artifact — failed checksum,
-bad zip, wrong version — is quarantined (deleted) and reported as a miss,
-so the caller falls through to recomputation; corruption never propagates.
+bad format, wrong version — is quarantined into the store's
+``.quarantine/`` subdirectory and reported as a miss, so the caller falls
+through to recomputation and the damaged bytes stay available for
+forensics (a writer bug should be debuggable, not destroyed); corruption
+never propagates.  ``clear()`` empties the quarantine along with the live
+artifacts.
 
 The store holds a bounded byte budget.  After each write, artifacts are
 evicted oldest-modification-first until the directory fits the budget
@@ -64,6 +68,14 @@ DEFAULT_MAX_BYTES = 1 << 30
 
 #: Artifact filename suffix.
 _SUFFIX = ".sched"
+
+#: Subdirectory receiving corrupt artifacts (kept for forensics).
+_QUARANTINE_DIR = ".quarantine"
+
+#: Most corrupt artifacts retained for forensics; a recurring writer bug
+#: must not grow the quarantine without bound, so the oldest files are
+#: pruned past this count.
+_QUARANTINE_KEEP = 8
 
 
 def default_store_dir() -> Path:
@@ -214,15 +226,14 @@ class DiskScheduleStore:
             self._misses += 1
             return None
         except ScheduleError:
-            # Corrupt, truncated, or version-mismatched: drop it so the
-            # slot can be rebuilt, and report a miss — the caller
-            # recomputes.  Never let a bad artifact escape.
+            # Corrupt, truncated, or version-mismatched: move it aside so
+            # the slot can be rebuilt, and report a miss — the caller
+            # recomputes.  The bytes land in ``.quarantine/`` rather than
+            # being destroyed, preserving the evidence a writer bug would
+            # need.  Never let a bad artifact escape.
             self._corrupt_dropped += 1
             self._misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         except OSError:
             # Transient I/O trouble (e.g. a flaky network mount) is a
@@ -245,15 +256,17 @@ class DiskScheduleStore:
         stalls: int = 0,
         slots: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
         data_order: np.ndarray | None = None,
+        plan_order: np.ndarray | None = None,
     ) -> bool:
         """Persist one schedule under ``key``; returns False on I/O failure.
 
-        ``slots``/``data_order`` are forwarded to
+        ``slots``/``data_order``/``plan_order`` are forwarded to
         :func:`~repro.core.serialize.save_schedule` so a cache tier that
-        already computed the refresh joins persists them for free.  Write
-        failures (disk full, permissions) are absorbed and counted — a
-        serving system must keep answering queries when its cache
-        directory is sick — but the artifact is then simply absent.
+        already computed the refresh joins and the execution plan persists
+        them for free.  Write failures (disk full, permissions) are
+        absorbed and counted — a serving system must keep answering
+        queries when its cache directory is sick — but the artifact is
+        then simply absent.
         """
         try:
             save_schedule(
@@ -263,6 +276,7 @@ class DiskScheduleStore:
                 stalls=stalls,
                 slots=slots,
                 data_order=data_order,
+                plan_order=plan_order,
             )
         except OSError:
             self._write_errors += 1
@@ -274,8 +288,52 @@ class DiskScheduleStore:
     def contains(self, key: str) -> bool:
         return self.path_for(key).is_file()
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Directory corrupt artifacts are moved into on first contact."""
+        return self.directory / _QUARANTINE_DIR
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt artifact into the quarantine subdirectory.
+
+        The move is a same-filesystem rename (atomic, no copy); if even
+        that fails — e.g. a read-only store — fall back to deleting so a
+        poisoned slot cannot wedge the store, and absorb errors entirely:
+        quarantine is bookkeeping, not correctness.  The quarantine is
+        bounded: past ``_QUARANTINE_KEEP`` files, the oldest are pruned,
+        so a recurring writer bug keeps its freshest evidence without
+        eating the disk.
+        """
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return
+        try:
+            entries = []
+            for kept in self.quarantine_dir.iterdir():
+                if kept.is_file():
+                    entries.append((kept.stat().st_mtime, kept))
+            entries.sort()  # oldest first
+            for _, stale in entries[: max(0, len(entries) - _QUARANTINE_KEEP)]:
+                stale.unlink()
+        except OSError:
+            pass
+
+    def quarantined_count(self) -> int:
+        """Number of corrupt artifacts currently held in quarantine."""
+        quarantine = self.quarantine_dir
+        if not quarantine.is_dir():
+            return 0
+        return sum(1 for p in quarantine.iterdir() if p.is_file())
+
     def clear(self) -> int:
-        """Delete every artifact (and stray temporaries); returns the count."""
+        """Delete every artifact, stray temporary, and quarantined file;
+        returns the count removed."""
         removed = 0
         if not self.directory.is_dir():
             return removed
@@ -283,6 +341,16 @@ class DiskScheduleStore:
             if not path.is_file():
                 continue
             if path.suffix == _SUFFIX or path.suffix == ".tmp":
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        quarantine = self.quarantine_dir
+        if quarantine.is_dir():
+            for path in quarantine.iterdir():
+                if not path.is_file():
+                    continue
                 try:
                     path.unlink()
                     removed += 1

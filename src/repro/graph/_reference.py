@@ -2,8 +2,9 @@
 
 These are the original pure-Python, per-window implementations of the
 paper's Listing 1 greedy matching, the first-fit bitmask variant, the
-Euler/König matching-peel coloring, and the boolean-mask window partition
-that :class:`repro.core.scheduler.GustScheduler` shipped with before the
+Euler/König matching-peel coloring, the naive stall-and-serialize
+strawman, and the boolean-mask window partition that
+:class:`repro.core.scheduler.GustScheduler` shipped with before the
 vectorized batch engine replaced them.
 
 They are kept verbatim for two purposes:
@@ -138,6 +139,65 @@ def reference_euler_coloring(graph: WindowGraph) -> np.ndarray:
     if (edge_colors < 0).any():
         raise ColoringError("euler coloring left edges uncolored")
     return edge_colors
+
+
+def reference_naive_coloring(graph: WindowGraph) -> np.ndarray:
+    """Seed naive policy: per-window lockstep stall-and-serialize schedule.
+
+    The cycle at which each edge issues is its color; colliding heads are
+    replayed one per cycle in lane order.  Frozen from the pre-vectorized
+    :func:`repro.core.naive.naive_coloring`.
+    """
+    colors = np.full(graph.edge_count, -1, dtype=np.int64)
+    if graph.edge_count == 0:
+        return colors
+
+    length = graph.length
+    order = np.argsort(graph.colsegs, kind="stable")
+    seg_sorted = graph.colsegs[order]
+    lane_starts = np.searchsorted(seg_sorted, np.arange(length + 1))
+
+    ptr = lane_starts[:-1].copy()
+    ends = lane_starts[1:]
+    local_rows = graph.local_rows
+
+    cycle = 0
+    remaining = graph.edge_count
+    while remaining:
+        active = np.nonzero(ptr < ends)[0]
+        head_edges = order[ptr[active]]
+        head_rows = local_rows[head_edges]
+
+        multiplicity = np.bincount(head_rows, minlength=length)
+        free_mask = multiplicity[head_rows] == 1
+        free_edges = head_edges[free_mask]
+        collided_edges = head_edges[~free_mask]
+
+        if free_edges.size:
+            colors[free_edges] = cycle
+            cycle += 1
+        for edge in collided_edges:
+            colors[edge] = cycle
+            cycle += 1
+
+        ptr[active] += 1
+        remaining -= active.size
+    return colors
+
+
+def reference_naive_stalls(graph: WindowGraph, colors: np.ndarray) -> int:
+    """Seed stall count: per-lane Python loop over the naive coloring."""
+    if graph.edge_count == 0:
+        return 0
+    stalls = 0
+    for lane in range(graph.length):
+        mask = graph.colsegs == lane
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        last = int(colors[mask].max())
+        stalls += (last + 1) - count
+    return stalls
 
 
 REFERENCE_ALGORITHMS = {

@@ -59,6 +59,10 @@ from repro.graph.matching import hopcroft_karp
 #: (slots x palette) allocation (the tables fall back to O(l x palette_w)).
 _FIRST_FIT_TABLE_BUDGET = 1 << 27
 
+#: ``np.bitwise_count`` arrived in NumPy 2.0; the uint64 first-fit fast
+#: path silently falls back to the boolean tables without it.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
 
 def matching_coloring_flat(
     local_rows: np.ndarray,
@@ -185,6 +189,65 @@ def _first_fit_bigint(
     return edge_colors
 
 
+def _first_fit_flat_bitmask(
+    local_rows: np.ndarray,
+    colsegs: np.ndarray,
+    window_ids: np.ndarray,
+    length: int,
+    window_starts: np.ndarray,
+    slots: int,
+) -> np.ndarray:
+    """First-fit over uint64 per-vertex color bitmasks (palette <= 64).
+
+    The same rank-major step order as the boolean-table kernel — edge ``k``
+    of every still-active window is resolved in one vectorized step — but
+    each vertex's occupied-color set is a single uint64, so a step is two
+    gathers, three bitwise ops, and a ``np.bitwise_count`` instead of an
+    ``argmax`` over a (heads x palette) boolean block.  The first-fit
+    bound guarantees the smallest free color of every edge fits in
+    ``deg(row) + deg(colseg) - 1 <= 64`` bits, so the masks never
+    overflow; colors are identical to the boolean path by construction
+    (both take the lowest free bit).
+    """
+    edge_count = int(local_rows.size)
+    colors = np.full(edge_count, -1, dtype=np.int64)
+    row_key = window_ids * length + local_rows
+    seg_key = window_ids * length + colsegs
+
+    index_dtype = (
+        np.int32
+        if max(edge_count, slots) <= np.iinfo(np.int32).max
+        else np.int64
+    )
+    ranks = (
+        np.arange(edge_count, dtype=np.int64) - window_starts[window_ids]
+    ).astype(index_dtype)
+    by_rank = np.argsort(ranks, kind="stable")
+    row_by_rank = row_key[by_rank].astype(index_dtype)
+    seg_by_rank = seg_key[by_rank].astype(index_dtype)
+    rank_starts = np.searchsorted(
+        ranks[by_rank], np.arange(int(ranks.max()) + 2)
+    )
+
+    one = np.uint64(1)
+    row_used = np.zeros(slots, dtype=np.uint64)
+    seg_used = np.zeros(slots, dtype=np.uint64)
+    for k in range(rank_starts.size - 1):
+        lo, hi = rank_starts[k], rank_starts[k + 1]
+        rows = row_by_rank[lo:hi]
+        segs = seg_by_rank[lo:hi]
+        used = row_used[rows] | seg_used[segs]
+        # Lowest free bit: free & -free, written as ~used & (used + 1) to
+        # stay in unsigned arithmetic throughout.
+        lsb = ~used & (used + one)
+        colors[by_rank[lo:hi]] = np.bitwise_count(lsb - one)
+        # One edge per window per rank, so rows/segs are duplicate-free
+        # within a step and plain fancy assignment is a safe accumulate.
+        row_used[rows] |= lsb
+        seg_used[segs] |= lsb
+    return colors
+
+
 def first_fit_coloring_flat(
     local_rows: np.ndarray,
     colsegs: np.ndarray,
@@ -219,6 +282,19 @@ def first_fit_coloring_flat(
     max_seg_deg = int(np.bincount(seg_key).max())
     palette = max(1, max_row_deg + max_seg_deg - 1)
     slots = n_windows * length
+
+    if (
+        _HAS_BITWISE_COUNT
+        and palette <= 64
+        and 16 * slots <= _FIRST_FIT_TABLE_BUDGET
+    ):
+        # Bitmask fast path: with at most 64 colors in play, each vertex's
+        # occupancy row collapses from ``palette`` booleans to one uint64,
+        # and the smallest free color is a popcount away — same colors,
+        # an order of magnitude less table memory and per-step work.
+        return _first_fit_flat_bitmask(
+            local_rows, colsegs, window_ids, length, window_starts, slots
+        )
 
     if 2 * slots * palette > _FIRST_FIT_TABLE_BUDGET:
         # The palette is sized by the *global* degree maximum, so one hub
@@ -330,6 +406,13 @@ def euler_coloring(graph: WindowGraph) -> np.ndarray:
 
     This is the ablation counterpart to the paper's greedy scheduler: it
     attains the Eq. (1) lower bound at higher preprocessing cost.
+
+    Only Hopcroft-Karp itself remains sequential: the regularization and
+    the per-color partition walk — adjacency construction over the
+    surviving multigraph and matched-edge removal — run as vectorized
+    sort/searchsorted passes over flat edge arrays, reproducing the frozen
+    per-edge-list seed (:func:`repro.graph._reference.
+    reference_euler_coloring`) edge-for-edge.
     """
     edge_colors = np.full(graph.edge_count, -1, dtype=np.int64)
     if graph.edge_count == 0:
@@ -340,52 +423,67 @@ def euler_coloring(graph: WindowGraph) -> np.ndarray:
     left_deg = graph.left_degrees().astype(np.int64)
     right_deg = graph.right_degrees().astype(np.int64)
 
-    # Edge list with dummies appended; entries are (left, right, real_id).
-    lefts = list(map(int, graph.local_rows))
-    rights = list(map(int, graph.colsegs))
-    real_ids = list(range(graph.edge_count))
-
-    left_deficit = [delta - int(d) for d in left_deg]
-    right_deficit = [delta - int(d) for d in right_deg]
-    u, v = 0, 0
-    while u < length and v < length:
-        if left_deficit[u] == 0:
-            u += 1
-            continue
-        if right_deficit[v] == 0:
-            v += 1
-            continue
-        lefts.append(u)
-        rights.append(v)
-        real_ids.append(-1)
-        left_deficit[u] -= 1
-        right_deficit[v] -= 1
-    if any(left_deficit) or any(right_deficit):
+    # Regularization, vectorized: the seed's two-pointer deficit walk pairs
+    # the k-th unit of left deficit (in ascending vertex order) with the
+    # k-th unit of right deficit — exactly what expanding each side's
+    # deficits with ``np.repeat`` produces.
+    vertex_range = np.arange(length, dtype=np.int64)
+    dummy_lefts = np.repeat(vertex_range, delta - left_deg)
+    dummy_rights = np.repeat(vertex_range, delta - right_deg)
+    if dummy_lefts.size != dummy_rights.size:
         raise ColoringError("regularization failed; unbalanced bipartite sides")
+    n_real = graph.edge_count
+    lefts = np.concatenate(
+        [np.asarray(graph.local_rows, dtype=np.int64), dummy_lefts]
+    )
+    rights = np.concatenate(
+        [np.asarray(graph.colsegs, dtype=np.int64), dummy_rights]
+    )
 
-    alive = list(range(len(lefts)))
+    alive = np.ones(lefts.size, dtype=bool)
+    left_range = np.arange(length + 1)
     for color in range(delta):
-        # Adjacency over the surviving multigraph; remember one edge id per
-        # (left, right) pair so matched pairs can be deleted afterwards.
-        adjacency: list[list[int]] = [[] for _ in range(length)]
-        edge_for_pair: dict[tuple[int, int], list[int]] = {}
-        for edge in alive:
-            pair = (lefts[edge], rights[edge])
-            adjacency[pair[0]].append(pair[1])
-            edge_for_pair.setdefault(pair, []).append(edge)
+        alive_idx = np.flatnonzero(alive)
+        l_alive = lefts[alive_idx]
+        r_alive = rights[alive_idx]
+
+        # Adjacency over the surviving multigraph.  The stable sort by left
+        # vertex keeps ascending edge-id order inside each neighbour list —
+        # the order the seed's append loop produced, which Hopcroft-Karp's
+        # traversal is sensitive to.
+        by_left = np.argsort(l_alive, kind="stable")
+        bounds = np.searchsorted(l_alive[by_left], left_range)
+        r_by_left = r_alive[by_left]
+        adjacency = [
+            r_by_left[lo:hi].tolist()
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
         match_left, _, size = hopcroft_karp(adjacency, length, length)
         if size != length:
             raise ColoringError(
                 f"regular multigraph lacked a perfect matching at color {color}"
             )
-        removed: set[int] = set()
-        for u_vertex in range(length):
-            pair = (u_vertex, int(match_left[u_vertex]))
-            edge = edge_for_pair[pair].pop()
-            removed.add(edge)
-            if real_ids[edge] >= 0:
-                edge_colors[real_ids[edge]] = color
-        alive = [edge for edge in alive if edge not in removed]
+
+        # Delete one surviving edge per matched (left, right) pair — the
+        # highest-id one, matching the seed's ``edge_for_pair[pair].pop()``.
+        # Stable key sort puts equal pairs in ascending edge-id order, so
+        # the rightmost occurrence of each matched key is that edge.
+        pair_keys = l_alive * length + r_alive
+        by_key = np.argsort(pair_keys, kind="stable")
+        keys_sorted = pair_keys[by_key]
+        matched_keys = vertex_range * length + match_left
+        pos = np.searchsorted(keys_sorted, matched_keys, side="right") - 1
+        if pos.size and (
+            (pos < 0).any() or not np.array_equal(keys_sorted[pos], matched_keys)
+        ):
+            raise ColoringError(
+                f"matching produced an edge absent from the multigraph "
+                f"at color {color}"
+            )
+        chosen = alive_idx[by_key[pos]]
+        real = chosen < n_real
+        edge_colors[chosen[real]] = color
+        alive[chosen] = False
 
     if (edge_colors < 0).any():
         raise ColoringError("euler coloring left edges uncolored")

@@ -102,3 +102,42 @@ class TestVersusEdgeColoring:
         naive = GustScheduler(16, algorithm="naive").schedule(matrix)
         colored = GustScheduler(16, algorithm="matching").schedule(matrix)
         assert naive.execution_cycles == colored.execution_cycles == 3
+
+
+class TestFlatKernel:
+    def test_multi_window_matches_per_window_wrappers(self):
+        """The flat kernel with per-window cycle counters equals running
+        the single-window wrapper on each window independently."""
+        from repro import uniform_random
+        from repro.core.load_balance import identity_balance
+        from repro.core.naive import naive_coloring_flat, naive_stalls_flat
+        from repro.graph._reference import reference_window_graphs
+
+        matrix = uniform_random(70, 50, 0.12, seed=31)
+        length = 16
+        balanced = identity_balance(matrix, length)
+        window_ids = matrix.rows // length
+        local_rows = matrix.rows % length
+        colsegs = balanced.colseg_of_all(window_ids, matrix.cols, length)
+        graphs = reference_window_graphs(balanced, length)
+        starts = np.searchsorted(window_ids, np.arange(len(graphs) + 1))
+
+        flat = naive_coloring_flat(
+            local_rows, colsegs, window_ids, length, len(graphs)
+        )
+        stalls = naive_stalls_flat(
+            flat, colsegs, window_ids, length, len(graphs)
+        )
+        per_window_stalls = 0
+        for graph, lo, hi in zip(graphs, starts[:-1], starts[1:]):
+            colors = naive_coloring(graph)
+            np.testing.assert_array_equal(flat[lo:hi], colors)
+            per_window_stalls += naive_stalls(graph, colors)
+        assert stalls == per_window_stalls
+
+    def test_empty_flat_input(self):
+        from repro.core.naive import naive_coloring_flat, naive_stalls_flat
+
+        empty = np.zeros(0, dtype=np.int64)
+        assert naive_coloring_flat(empty, empty, empty, 4, 3).size == 0
+        assert naive_stalls_flat(empty, empty, empty, 4, 3) == 0

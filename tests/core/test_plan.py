@@ -1,0 +1,201 @@
+"""Tests for the prepared execution-plan replay engine.
+
+The plan is the steady-state hot path, so the contract is strict: replay
+must be **bit-identical** to the pre-plan scatter path (not merely close),
+compile exactly once per schedule, refresh values without re-sorting, and
+survive the cache/store tiers intact.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExecutionPlan,
+    GustPipeline,
+    GustSpmm,
+    uniform_random,
+)
+from repro.core.plan import DEFAULT_TILE_BUDGET
+from repro.errors import HardwareConfigError, ScheduleError
+from repro.sparse.coo import CooMatrix
+
+
+@pytest.fixture
+def prepared(square_matrix):
+    pipeline = GustPipeline(32)
+    schedule, balanced, _ = pipeline.preprocess(square_matrix)
+    return pipeline, schedule, balanced
+
+
+class TestCompile:
+    def test_structure_is_row_sorted_csr(self, prepared):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        plan.validate()
+        assert plan.nnz == schedule.nnz
+        assert (np.diff(plan.rows) >= 0).all()
+        assert plan.seg_starts[0] == 0
+        assert plan.segments == np.unique(plan.rows).size
+        # Segment rows are strictly increasing: one segment per dest row.
+        assert (np.diff(plan.seg_rows) > 0).all()
+
+    def test_memoized_per_schedule_object(self, prepared):
+        pipeline, schedule, balanced = prepared
+        assert pipeline.plan_for(schedule, balanced) is pipeline.plan_for(
+            schedule, balanced
+        )
+
+    def test_from_schedule_without_slots(self, prepared):
+        _, schedule, balanced = prepared
+        plan = ExecutionPlan.from_schedule(schedule, row_perm=balanced.row_perm)
+        plan.validate()
+        assert plan.value_source is None
+        with pytest.raises(ScheduleError, match="value-source"):
+            plan.with_values(np.zeros(plan.nnz))
+
+    def test_empty_matrix(self):
+        matrix = CooMatrix.empty((7, 5))
+        pipeline = GustPipeline(4)
+        schedule, balanced, _ = pipeline.preprocess(matrix)
+        plan = pipeline.plan_for(schedule, balanced)
+        plan.validate()
+        assert plan.nnz == 0
+        np.testing.assert_array_equal(plan.execute(np.ones(5)), np.zeros(7))
+
+
+class TestReplay:
+    def test_bit_identical_to_scatter_path(self, square_matrix, rng):
+        plan_pipe = GustPipeline(32)
+        s, b, _ = plan_pipe.preprocess(square_matrix)
+        for _ in range(3):
+            x = rng.normal(size=square_matrix.shape[1])
+            y_plan = plan_pipe.execute(s, b, x)
+            y_scatter = plan_pipe.execute_scatter(s, b, x)
+            np.testing.assert_array_equal(y_plan, y_scatter)
+            np.testing.assert_allclose(y_plan, square_matrix.matvec(x))
+
+    def test_use_plans_false_selects_scatter(self, square_matrix, rng):
+        pipeline = GustPipeline(32, use_plans=False)
+        s, b, _ = pipeline.preprocess(square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        np.testing.assert_array_equal(
+            pipeline.execute(s, b, x), pipeline.execute_scatter(s, b, x)
+        )
+
+    def test_executor_binds_once(self, prepared, rng):
+        pipeline, schedule, balanced = prepared
+        apply_a = pipeline.executor(schedule, balanced)
+        x = rng.normal(size=schedule.shape[1])
+        np.testing.assert_array_equal(
+            apply_a(x), pipeline.execute(schedule, balanced, x)
+        )
+
+    def test_memo_respects_balanced_argument(self, square_matrix, rng):
+        """A schedule executed against a *different* BalancedMatrix must
+        not reuse the memoized plan's row permutation."""
+        from repro.core.load_balance import identity_balance
+
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        pipeline.execute(schedule, balanced, x)  # memoize against balanced
+        other = identity_balance(balanced.matrix, 32)
+        np.testing.assert_array_equal(
+            pipeline.execute(schedule, other, x),
+            pipeline.execute_scatter(schedule, other, x),
+        )
+        # And the original pairing still serves the original plan.
+        np.testing.assert_array_equal(
+            pipeline.execute(schedule, balanced, x),
+            pipeline.execute_scatter(schedule, balanced, x),
+        )
+
+    def test_rectangular_and_unbalanced(self, rng):
+        matrix = uniform_random(50, 130, 0.07, seed=21)
+        for load_balance in (True, False):
+            pipeline = GustPipeline(16, load_balance=load_balance)
+            s, b, _ = pipeline.preprocess(matrix)
+            x = rng.normal(size=130)
+            np.testing.assert_array_equal(
+                pipeline.execute(s, b, x), pipeline.execute_scatter(s, b, x)
+            )
+
+    def test_wrong_vector_shape(self, prepared):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            plan.execute(np.zeros(schedule.shape[1] + 1))
+
+    def test_block_matches_per_column_execute(self, prepared, rng):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        dense = rng.normal(size=(schedule.shape[1], 6))
+        block = plan.execute_block(dense)
+        expected = np.column_stack(
+            [plan.execute(dense[:, j]) for j in range(6)]
+        )
+        np.testing.assert_allclose(block, expected)
+
+    def test_block_wrong_shape(self, prepared):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        with pytest.raises(HardwareConfigError, match="dense operand"):
+            plan.execute_block(np.zeros((3, 3)))
+
+    def test_block_zero_columns(self, prepared):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        out = plan.execute_block(np.zeros((schedule.shape[1], 0)))
+        assert out.shape == (schedule.shape[0], 0)
+
+
+class TestRefresh:
+    def test_with_values_matches_cold_compile(self, square_matrix, rng):
+        cache_pipe = GustPipeline(32, cache=True)
+        s, b, _ = cache_pipe.preprocess(square_matrix)
+        updated = square_matrix.with_data(
+            rng.uniform(1.0, 2.0, size=square_matrix.nnz)
+        )
+        s2, b2, report = cache_pipe.preprocess(updated)
+        assert report.notes["cache_refresh"] == 1.0
+        x = rng.normal(size=square_matrix.shape[1])
+        y_refreshed = cache_pipe.execute(s2, b2, x)
+        cold = GustPipeline(32)
+        s3, b3, _ = cold.preprocess(updated)
+        np.testing.assert_array_equal(y_refreshed, cold.execute(s3, b3, x))
+
+    def test_with_values_rejects_pattern_change(self, prepared):
+        pipeline, schedule, balanced = prepared
+        pipeline_cache = GustPipeline(32, cache=True)
+        s, b, _ = pipeline_cache.preprocess(
+            uniform_random(96, 96, 0.06, seed=11)
+        )
+        plan = pipeline_cache.plan_for(s, b)
+        if plan.value_source is None:
+            pytest.skip("cache did not attach value sources")
+        with pytest.raises(ScheduleError, match="pattern changed"):
+            plan.with_values(np.zeros(plan.nnz + 3))
+
+    def test_cache_hit_reuses_plan_object(self, square_matrix):
+        pipeline = GustPipeline(32, cache=True)
+        s1, b1, _ = pipeline.preprocess(square_matrix)
+        plan_first = pipeline.plan_for(s1, b1)
+        s2, b2, report = pipeline.preprocess(square_matrix)
+        assert report.notes["cache_hit"] == 1.0
+        assert pipeline.plan_for(s2, b2) is plan_first
+
+
+class TestSpmmTiles:
+    def test_plan_block_tile_one_budget(self, prepared, rng):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        dense = rng.normal(size=(schedule.shape[1], 5))
+        tiled = plan.execute_block(dense, tile_budget=1)
+        untiled = plan.execute_block(dense, tile_budget=DEFAULT_TILE_BUDGET)
+        np.testing.assert_array_equal(tiled, untiled)
+
+    def test_plan_and_scatter_spmm_agree(self, square_matrix, rng):
+        dense = rng.normal(size=(square_matrix.shape[1], 9))
+        with_plan = GustSpmm(32).spmm(square_matrix, dense)
+        without = GustSpmm(32, use_plans=False).spmm(square_matrix, dense)
+        np.testing.assert_allclose(with_plan.y, without.y)

@@ -23,7 +23,7 @@ def _rewrite(path, mutate):
     raw-byte corruption (which the checksum must catch) is done on the
     file bytes directly in the tests below.
     """
-    scalars, views = _load_container(path)
+    scalars, views, _version = _load_container(path)
     arrays = {name: arr.copy() for name, arr in views.items()}
     mutate(scalars, arrays)
     _save_container(path, scalars, arrays)
@@ -110,9 +110,13 @@ class TestRoundtrip:
             slots=(steps, lanes, source), data_order=order,
         )
         entry = load_schedule_entry(path)
-        np.testing.assert_array_equal(entry.slot_steps, steps)
-        np.testing.assert_array_equal(entry.slot_lanes, lanes)
-        np.testing.assert_array_equal(entry.slot_source, source)
+        # Version 3 persists the slot join pre-sorted by destination row
+        # (the execution plan's layout); the reordering is a permutation
+        # of the scan-order join the writer was given.
+        plan_order = np.argsort(balanced.matrix.rows[source], kind="stable")
+        np.testing.assert_array_equal(entry.slot_steps, steps[plan_order])
+        np.testing.assert_array_equal(entry.slot_lanes, lanes[plan_order])
+        np.testing.assert_array_equal(entry.slot_source, source[plan_order])
         # Only the inverse permutation is persisted; it must invert the
         # data_order the writer was given.
         inverse = np.empty_like(order)
@@ -123,8 +127,10 @@ class TestRoundtrip:
         bare = tmp_path / "bare.sched"
         save_schedule(bare, schedule, balanced)
         recomputed = load_schedule_entry(bare)
-        np.testing.assert_array_equal(recomputed.slot_steps, steps)
-        np.testing.assert_array_equal(recomputed.slot_source, source)
+        np.testing.assert_array_equal(recomputed.slot_steps, steps[plan_order])
+        np.testing.assert_array_equal(
+            recomputed.slot_source, source[plan_order]
+        )
         assert recomputed.data_order is None
         assert recomputed.inv_order is None
 
@@ -173,6 +179,34 @@ class TestTamperResistance:
 
         _rewrite(saved_schedule, alias_destination)
         with pytest.raises(ScheduleError, match="collision"):
+            load_schedule(saved_schedule)
+
+    def test_signed_zero_colors_with_nonzeros_rejected(self, saved_schedule):
+        """total == 0 with nnz > 0 must fail at load on every path (the
+        lazy dense rebuild would otherwise defer the failure past the
+        store's quarantine window)."""
+
+        def empty_colors(scalars, arrays):
+            arrays["window_colors"] = np.zeros(
+                arrays["window_colors"].size, dtype=np.int16
+            )
+
+        _rewrite(saved_schedule, empty_colors)
+        with pytest.raises(ScheduleError, match="slots"):
+            load_schedule_entry(saved_schedule, validate=False)
+
+    def test_signed_duplicate_slot_rejected(self, saved_schedule):
+        """Two slots on one (step, lane) coordinate merge in the dense
+        scatter; the occupancy count must expose the collision."""
+
+        def duplicate_slot(scalars, arrays):
+            for name in ("slot_steps", "slot_lanes"):
+                member = arrays[name].copy()
+                member[1] = member[0]
+                arrays[name] = member
+
+        _rewrite(saved_schedule, duplicate_slot)
+        with pytest.raises(ScheduleError, match="collide"):
             load_schedule(saved_schedule)
 
     def test_signed_out_of_range_slot_rejected(self, saved_schedule):
@@ -232,3 +266,75 @@ class TestTamperResistance:
         path.with_suffix(".npz").rename(path)
         with pytest.raises(ScheduleError, match="not a schedule artifact"):
             load_schedule(path)
+
+
+class TestExecutionPlanPersistence:
+    """Version 3 persists the plan sort; version 2 recompiles it on load."""
+
+    def test_v3_artifact_is_replay_ready(self, square_matrix, rng, tmp_path):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        path = tmp_path / "planned.sched"
+        save_schedule(path, schedule, balanced)
+        entry = load_schedule_entry(path)
+        assert entry.plan is not None
+        entry.plan.validate()
+        x = rng.normal(size=square_matrix.shape[1])
+        # The reconstituted plan replays bit-identically to a live one.
+        live = pipeline.plan_for(schedule, balanced)
+        np.testing.assert_array_equal(entry.plan.execute(x), live.execute(x))
+
+    def test_persisted_order_equals_live_plan(self, square_matrix, tmp_path):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        live = pipeline.plan_for(schedule, balanced)
+        path = tmp_path / "ordered.sched"
+        save_schedule(path, schedule, balanced, plan_order=live.slot_order)
+        entry = load_schedule_entry(path)
+        # The artifact's slots are persisted pre-sorted, so the loaded
+        # plan's slot order is the identity (None) — but its sorted
+        # arrays must equal the live plan's exactly.
+        assert entry.plan.slot_order is None
+        np.testing.assert_array_equal(entry.plan.rows, live.rows)
+        np.testing.assert_array_equal(entry.plan.values, live.values)
+        np.testing.assert_array_equal(entry.plan.sources, live.sources)
+        np.testing.assert_array_equal(entry.plan.seg_starts, live.seg_starts)
+
+    def test_legacy_v2_artifact_recompiles_plan(self, rng):
+        """The committed pre-bump fixture must keep loading: same schedule
+        semantics, plan rebuilt from scratch (ISSUE 3 compatibility)."""
+        from pathlib import Path
+
+        fixture = Path(__file__).parent.parent / "data" / "legacy_v2.sched"
+        entry = load_schedule_entry(fixture)
+        assert entry.plan is not None
+        entry.plan.validate()
+        entry.schedule.validate()
+        expected = np.load(
+            Path(__file__).parent.parent / "data" / "legacy_v2_expected.npz"
+        )
+        np.testing.assert_allclose(
+            entry.plan.execute(expected["x"]), expected["y"]
+        )
+
+    def test_signed_unsorted_slots_rejected(self, saved_schedule):
+        """Version 3 persists slots sorted by destination row; a re-signed
+        artifact violating that invariant must fail validation (the plan
+        would otherwise mis-replay through its segment boundaries)."""
+
+        def unsort_slots(scalars, arrays):
+            rows = arrays["slot_rows"].astype(np.int64)
+            # Swap two slots from different destination rows, consistently
+            # across every per-slot member, so the schedule itself stays
+            # structurally valid but the sort invariant breaks.
+            others = np.flatnonzero(rows != rows[0])
+            assert others.size, "fixture needs at least two distinct rows"
+            j = int(others[0])
+            for name in ("slot_steps", "slot_lanes", "slot_rows", "slot_source"):
+                member = arrays[name].copy()
+                member[0], member[j] = member[j], member[0]
+                arrays[name] = member
+
+        _rewrite(saved_schedule, unsort_slots)
+        with pytest.raises(ScheduleError, match="not sorted"):
+            load_schedule(saved_schedule)

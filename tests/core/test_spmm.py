@@ -39,6 +39,50 @@ class TestCorrectness:
             engine.multiply(schedule, balanced, np.zeros((3, 3)))
 
 
+class TestTileBoundaries:
+    """Column tiling must be exact at every boundary, on both replay paths."""
+
+    @pytest.mark.parametrize("use_plans", [True, False])
+    def test_k_not_multiple_of_tile(
+        self, square_matrix, rng, monkeypatch, use_plans
+    ):
+        """Column count deliberately not a multiple of the tile width: the
+        trailing partial tile must be reduced and written correctly."""
+        from repro.core import spmm as spmm_module
+
+        engine = GustSpmm(32, use_plans=use_plans)
+        schedule, balanced = engine.preprocess(square_matrix)
+        # Budget of three columns' worth of slots -> tile = 3.
+        monkeypatch.setattr(
+            spmm_module, "_SPMM_PRODUCT_BUDGET", 3 * schedule.nnz
+        )
+        k = 7  # 3 + 3 + 1: exercises a short final tile
+        dense = rng.normal(size=(square_matrix.shape[1], k))
+        result = engine.multiply(schedule, balanced, dense)
+        expected = np.column_stack(
+            [square_matrix.matvec(dense[:, j]) for j in range(k)]
+        )
+        np.testing.assert_allclose(result.y, expected)
+
+    @pytest.mark.parametrize("use_plans", [True, False])
+    def test_single_slot_budget_forces_tile_one(
+        self, square_matrix, rng, monkeypatch, use_plans
+    ):
+        """A budget below one column's slot count clamps the tile to a
+        single column; every column becomes its own reduction."""
+        from repro.core import spmm as spmm_module
+
+        engine = GustSpmm(32, use_plans=use_plans)
+        schedule, balanced = engine.preprocess(square_matrix)
+        monkeypatch.setattr(spmm_module, "_SPMM_PRODUCT_BUDGET", 1)
+        dense = rng.normal(size=(square_matrix.shape[1], 4))
+        result = engine.multiply(schedule, balanced, dense)
+        expected = np.column_stack(
+            [square_matrix.matvec(dense[:, j]) for j in range(4)]
+        )
+        np.testing.assert_allclose(result.y, expected)
+
+
 class TestCycleModel:
     def test_cycles_scale_with_columns(self, square_matrix):
         engine = GustSpmm(32)

@@ -102,11 +102,85 @@ class TestStoreBasics:
         store.store(key, schedule, balanced)
         path = store.path_for(key)
         data = path.read_bytes()
-        path.write_bytes(data[: len(data) // 2])
+        truncated = data[: len(data) // 2]
+        path.write_bytes(truncated)
 
         assert store.load(key) is None
-        assert not path.exists(), "corrupt artifact must be quarantined"
+        assert not path.exists(), "corrupt artifact must leave the store"
         assert store.stats.corrupt_dropped == 1
+        # The damaged bytes survive in .quarantine/ for forensics.
+        moved = store.quarantine_dir / path.name
+        assert moved.is_file()
+        assert moved.read_bytes() == truncated
+        assert store.quarantined_count() == 1
+        # Quarantined files are invisible to the store proper.
+        assert store.artifact_count() == 0
+        assert store.total_bytes() == 0
+
+    def test_quarantine_is_bounded(self, store, square_matrix):
+        """A recurring writer bug must not grow the quarantine without
+        bound: past the retention cap, the oldest evidence is pruned."""
+        import time
+
+        from repro.core.store import _QUARANTINE_KEEP
+
+        pipeline = GustPipeline(16)
+        matrices = [
+            uniform_random(48, 48, 0.08, seed=s)
+            for s in range(_QUARANTINE_KEEP + 3)
+        ]
+        for i, matrix in enumerate(matrices):
+            schedule, balanced, _ = pipeline.preprocess(matrix)
+            key = store.key_for(matrix, 16, "matching", True)
+            store.store(key, schedule, balanced)
+            store.path_for(key).write_bytes(b"GUSTSCH\x00broken")
+            assert store.load(key) is None
+            # Distinct mtimes so "oldest" is well defined on coarse clocks.
+            quarantined = store.quarantine_dir / store.path_for(key).name
+            os.utime(quarantined, (1_000_000 + i,) * 2)
+        assert store.quarantined_count() == _QUARANTINE_KEEP
+        # The survivors are the newest files.
+        kept = sorted(p.name for p in store.quarantine_dir.iterdir())
+        newest = sorted(
+            store.path_for(store.key_for(m, 16, "matching", True)).name
+            for m in matrices[-_QUARANTINE_KEEP:]
+        )
+        assert kept == sorted(newest)
+
+    def test_signed_bad_index_artifact_quarantined_not_crash(
+        self, store, square_matrix
+    ):
+        """A checksum-valid artifact holding out-of-range indices (a
+        writer bug) must quarantine as a miss, never raise IndexError
+        through the lookup."""
+        from repro.core.serialize import _load_container, _save_container
+
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        key = store.key_for(square_matrix, 32, "matching", True)
+        store.store(key, schedule, balanced)
+        path = store.path_for(key)
+        scalars, views, _version = _load_container(path)
+        arrays = {name: arr.copy() for name, arr in views.items()}
+        bad_source = arrays["slot_source"].astype(np.int64)
+        bad_source[0] = 10**9
+        arrays["slot_source"] = bad_source
+        _save_container(path, scalars, arrays)
+
+        assert store.load(key) is None
+        assert store.stats.corrupt_dropped == 1
+        assert store.quarantined_count() == 1
+
+    def test_quarantined_slot_heals_on_rewrite(self, store, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        key = store.key_for(square_matrix, 32, "matching", True)
+        store.store(key, schedule, balanced)
+        store.path_for(key).write_bytes(b"GUSTSCH\x00garbage")
+        assert store.load(key) is None
+        assert store.store(key, schedule, balanced)
+        assert store.load(key) is not None
+        assert store.quarantined_count() == 1, "forensic copy is retained"
 
     def test_clear_removes_artifacts_and_temporaries(self, store, square_matrix):
         pipeline = GustPipeline(32)
@@ -118,6 +192,17 @@ class TestStoreBasics:
         assert store.clear() == 2
         assert store.artifact_count() == 0
         assert not stray.exists()
+
+    def test_clear_empties_quarantine(self, store, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        key = store.key_for(square_matrix, 32, "matching", True)
+        store.store(key, schedule, balanced)
+        store.path_for(key).write_bytes(b"not a schedule at all")
+        assert store.load(key) is None
+        assert store.quarantined_count() == 1
+        assert store.clear() == 1, "quarantined file counts toward clear()"
+        assert store.quarantined_count() == 0
 
     def test_byte_budget_evicts_oldest(self, tmp_path):
         pipeline = GustPipeline(16)
