@@ -27,6 +27,11 @@ Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_replay_throughput.py
     PYTHONPATH=src python benchmarks/bench_replay_throughput.py --json out.json
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py --compare-scipy
+
+(``--compare-scipy`` adds an informational, never-gated scipy CSR matvec
+column — the independent oracle and candidate backend noted in the
+ROADMAP; it reports "unavailable" when scipy is not installed.)
 
 or via pytest::
 
@@ -82,7 +87,7 @@ def _diag_dominant(dim: int, nnz: int, seed: int) -> CooMatrix:
     return CooMatrix.from_arrays(rows, cols, data, (dim, dim))
 
 
-def measure_spmv() -> dict:
+def measure_spmv(compare_scipy: bool = False) -> dict:
     matrix = uniform_random(DIM, DIM, TARGET_NNZ / (DIM * DIM), seed=SEED)
     rng = np.random.default_rng(SEED)
     x = rng.normal(size=DIM)
@@ -101,7 +106,7 @@ def measure_spmv() -> dict:
     bit_identical = bool((y_scatter == y_plan).all())
     correct = bool(np.allclose(y_plan, matrix.matvec(x)))
 
-    return {
+    results = {
         "matrix": {"dim": DIM, "nnz": matrix.nnz, "length": LENGTH},
         "scatter_s": scatter_s,
         "plan_s": plan_s,
@@ -109,6 +114,27 @@ def measure_spmv() -> dict:
         "bit_identical": bit_identical,
         "correct": correct,
     }
+    if compare_scipy:
+        # Informational column (never gated): the plan's sorted CSR
+        # segment layout is exactly what a scipy CSR matvec consumes, so
+        # scipy — where installed — doubles as an independent oracle and
+        # a "natural next backend" reference point.
+        try:
+            import scipy.sparse as sparse
+        except ImportError:
+            results["scipy"] = None
+        else:
+            csr = sparse.coo_matrix(
+                (matrix.data, (matrix.rows, matrix.cols)),
+                shape=matrix.shape,
+            ).tocsr()
+            scipy_s = _best_of(lambda: csr @ x, 20)
+            results["scipy"] = {
+                "scipy_s": scipy_s,
+                "vs_plan": plan_s / scipy_s,
+                "agrees": bool(np.allclose(csr @ x, y_plan)),
+            }
+    return results
 
 
 def measure_solvers() -> dict:
@@ -166,8 +192,10 @@ def measure_solvers() -> dict:
     }
 
 
-def run(json_path: str | None = None) -> dict:
-    spmv = measure_spmv()
+def run(
+    json_path: str | None = None, compare_scipy: bool = False
+) -> dict:
+    spmv = measure_spmv(compare_scipy=compare_scipy)
     solvers = measure_solvers()
     results = {"spmv": spmv, "solvers": solvers}
     print(
@@ -179,6 +207,16 @@ def run(json_path: str | None = None) -> dict:
         f"speedup             {spmv['speedup']:>9.1f} x   "
         f"(bit-identical={spmv['bit_identical']})"
     )
+    if compare_scipy:
+        scipy_col = spmv.get("scipy")
+        if scipy_col is None:
+            print("scipy CSR matvec    unavailable (scipy not installed)")
+        else:
+            print(
+                f"scipy CSR matvec    {scipy_col['scipy_s'] * 1e6:>9.1f} us"
+                f"   (plan/scipy = {scipy_col['vs_plan']:.2f}; "
+                f"agrees={scipy_col['agrees']})"
+            )
     print(
         f"solver iteration    plan {solvers['plan_iteration_us']:.1f} us vs "
         f"scatter {solvers['scatter_iteration_us']:.1f} us "
@@ -224,9 +262,11 @@ def test_replay_throughput():
 if __name__ == "__main__":
     json_path = None
     argv = sys.argv[1:]
+    compare_scipy = "--compare-scipy" in argv
+    argv = [arg for arg in argv if arg != "--compare-scipy"]
     if argv and argv[0] == "--json":
         json_path = argv[1]
-    results = run(json_path)
+    results = run(json_path, compare_scipy=compare_scipy)
     failures = _failures(results)
     if failures:
         print("FAILED: " + "; ".join(failures), file=sys.stderr)

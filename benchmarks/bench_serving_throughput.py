@@ -1,0 +1,59 @@
+"""Serving-throughput benchmark: batched SpMV serving vs. per-request replay.
+
+The serving layer's claim (`repro.serve`) is that coalescing concurrent
+SpMV requests for one matrix into a stacked right-hand side — an SpMM
+tile over the tenant's prepared plan — beats answering them one at a
+time.  This benchmark gates that claim on the serving regime defined by
+the constants in :mod:`repro.serve.bench` (a 2048-dim, ~32k-nnz tenant
+at ``l = 64``):
+
+* **batched serving throughput >= 3x** the sequential single-request plan
+  replay, at batch size >= 8;
+* every batched result **bit-identical** to per-request
+  ``GustPipeline.execute`` (the batch kernel accumulates each destination
+  row sequentially in plan slot order, whatever its backend);
+* an end-to-end threaded run (16 closed-loop clients against a live
+  ``SpmvServer``) answers every request bit-exactly and actually
+  coalesces batches (non-trivial batch-size histogram).
+
+The measurement core lives in :mod:`repro.serve.bench` so the ``repro
+bench-serve`` CLI command runs the identical code.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --json out.json
+
+or via pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.serve import bench
+
+
+def test_serving_throughput():
+    """Pytest entry point enforcing the acceptance thresholds."""
+    results = bench.run()
+    failures = bench.failures(results)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    json_path = None
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--json":
+        json_path = argv[1]
+    results = bench.run(json_path)
+    failures = bench.failures(results)
+    if failures:
+        print("FAILED: " + "; ".join(failures), file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"PASS: batched serving >= {bench.MIN_BATCH_SPEEDUP:.0f}x at batch "
+        f">= {bench.GATE_MIN_BATCH}, bit-identical, threaded run clean"
+    )

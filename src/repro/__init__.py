@@ -52,8 +52,15 @@ from repro.core.serialize import (
     load_schedule_entry,
     save_schedule,
 )
-from repro.core.spmm import GustSpmm, SpmmResult
+from repro.core.spmm import GustSpmm, SpmmResult, StackedReplay
 from repro.core.store import DiskScheduleStore, DiskStoreStats, default_store_dir
+from repro.serve import (
+    BatchPolicy,
+    MatrixRegistry,
+    ServerStats,
+    SpmvClient,
+    SpmvServer,
+)
 from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.datasets import (
@@ -75,6 +82,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BalancedMatrix",
+    "BatchPolicy",
     "CacheLookup",
     "CacheStats",
     "CooMatrix",
@@ -91,6 +99,7 @@ __all__ = [
     "GustSpmm",
     "LoadBalancer",
     "MachineResult",
+    "MatrixRegistry",
     "ParallelGust",
     "PipelineResult",
     "PreprocessReport",
@@ -98,7 +107,11 @@ __all__ = [
     "SCHEDULING_ALGORITHMS",
     "Schedule",
     "ScheduleCache",
+    "ServerStats",
     "SpmmResult",
+    "SpmvClient",
+    "SpmvServer",
+    "StackedReplay",
     "StoredSchedule",
     "banded",
     "default_store_dir",

@@ -6,6 +6,8 @@ Commands
 generate    synthesize a matrix (family generator or paper surrogate) to .mtx
 schedule    preprocess a .mtx matrix into a reusable schedule artifact
 spmv        execute a scheduled SpMV against a vector and verify it
+serve       run the in-process batching SpMV server under synthetic load
+bench-serve run the serving-throughput benchmark (same gates as CI)
 inspect     print statistics of a saved schedule
 cache       inspect or clear the persistent schedule store
 compare     run every accelerator model on one matrix, print the table
@@ -24,6 +26,9 @@ Examples::
     python -m repro generate --dataset scircuit --scale 16 --out scircuit.mtx
     python -m repro schedule m.mtx --length 128 --out m.sched
     python -m repro spmv m.sched --seed 7
+    python -m repro serve --tenants 2 --clients 8 --requests 200
+    python -m repro serve --matrix m.mtx --requests 500 --max-batch 32
+    python -m repro bench-serve --json bench-serve.json
     python -m repro cache stats
     python -m repro compare m.mtx --length 256
     python -m repro experiment fig7 --scale 16
@@ -33,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -123,6 +129,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "clear", help="delete every artifact in the store"
     )
     cache_clear.add_argument("--cache-dir", default=None)
+
+    serve = commands.add_parser(
+        "serve", help="run the in-process batching server under load"
+    )
+    serve.add_argument(
+        "--matrix",
+        action="append",
+        default=None,
+        help="MatrixMarket tenant (repeatable); omit to synthesize",
+    )
+    serve.add_argument("--tenants", type=int, default=2,
+                       help="synthetic tenants when no --matrix is given")
+    serve.add_argument("--dim", type=int, default=2048)
+    serve.add_argument("--density", type=float, default=0.008)
+    serve.add_argument("--length", type=int, default=64)
+    serve.add_argument(
+        "--algorithm",
+        choices=("matching", "first_fit", "euler", "naive"),
+        default="matching",
+    )
+    serve.add_argument("--requests", type=int, default=200,
+                       help="total requests driven across all clients")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client threads")
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument("--max-batch", type=int, default=16)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--queue-size", type=int, default=256)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent schedule store directory (default ~/.cache/gust, "
+        "or $GUST_CACHE_DIR) — a restarted server warm-starts its tenants",
+    )
+    serve.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the persistent schedule store for this run",
+    )
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="serving-throughput benchmark (same gates as CI)",
+    )
+    bench_serve.add_argument("--json", default=None, dest="json_path")
 
     spmv = commands.add_parser("spmv", help="run a scheduled SpMV")
     spmv.add_argument("schedule", help="schedule artifact file")
@@ -234,6 +286,105 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 f"{store.stats.writes} writes -> {store.directory}"
             )
         print(line)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serve import BatchPolicy, MatrixRegistry, SpmvClient, SpmvServer
+
+    if args.requests < 1 or args.clients < 1:
+        print("error: --requests and --clients must be >= 1", file=sys.stderr)
+        return 2
+    store = None
+    if not args.no_disk_cache:
+        store = DiskScheduleStore(directory=args.cache_dir)
+    registry = MatrixRegistry(
+        length=args.length, algorithm=args.algorithm, store=store
+    )
+    server = SpmvServer(
+        registry=registry,
+        policy=BatchPolicy(
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            max_queue=max(args.queue_size, args.max_batch),
+        ),
+        workers=args.workers,
+    )
+    entries = {}
+    if args.matrix:
+        for path in args.matrix:
+            name = Path(path).stem
+            entries[name] = server.register(name, read_matrix_market(path))
+    else:
+        for index in range(max(1, args.tenants)):
+            name = f"tenant{index}"
+            entries[name] = server.register(
+                name,
+                uniform_random(
+                    args.dim,
+                    args.dim,
+                    args.density,
+                    seed=args.seed + index,
+                ),
+            )
+    for name, entry in sorted(entries.items()):
+        report = entry.preprocess
+        print(
+            f"registered {name}: {entry.matrix} "
+            f"({report.seconds * 1e3:.1f} ms, {_lookup_kind(report.notes)}; "
+            f"batch backend {entry.stacked.backend})"
+        )
+
+    client = SpmvClient(server)
+    names = sorted(entries)
+    per_client = -(-args.requests // args.clients)
+    mismatches = []
+    lock = threading.Lock()
+
+    def client_loop(index: int) -> None:
+        rng = np.random.default_rng(args.seed + 7000 + index)
+        for request in range(per_client):
+            name = names[(index + request) % len(names)]
+            entry = entries[name]
+            x = rng.normal(size=entry.shape[1])
+            y = client.spmv(name, x, timeout=60.0, retries=50)
+            if not (np.asarray(y) == entry.execute(x)).all():
+                with lock:
+                    mismatches.append(name)
+
+    with server:
+        threads = [
+            threading.Thread(target=client_loop, args=(i,))
+            for i in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    # Snapshot only after stop() has joined the workers: a worker records
+    # a batch's metrics after resolving its futures, so an in-flight
+    # snapshot could still miss the final batch.
+    stats = server.stats()
+    print(stats.render())
+    verified = not mismatches and stats.completed == per_client * args.clients
+    print(f"verified={verified} (exact match against per-request replay)")
+    return 0 if verified else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve import bench
+
+    results = bench.run(args.json_path)
+    failures = bench.failures(results)
+    if failures:
+        print("FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"PASS: batched serving >= {bench.MIN_BATCH_SPEEDUP:.0f}x at batch "
+        f">= {bench.GATE_MIN_BATCH}, bit-identical, threaded run clean"
+    )
     return 0
 
 
@@ -383,8 +534,6 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from repro.eval.report import render_markdown, run_all
 
     registry = _experiment_registry()
@@ -402,6 +551,8 @@ _HANDLERS = {
     "schedule": _cmd_schedule,
     "cache": _cmd_cache,
     "spmv": _cmd_spmv,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
     "inspect": _cmd_inspect,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,

@@ -37,10 +37,14 @@ shared freely between processes (atomic writes, checksum-verified reads).
 Value refreshes do *not* rewrite the artifact: the coloring it persists is
 value-independent, and the refresh machinery re-derives values on load.
 
-Entries are kept in LRU order with a bounded capacity.  The cache is not
-thread-safe; wrap it externally if shared across threads.  (The disk tier
-*is* multi-process safe; what needs external locking is only the in-memory
-bookkeeping.)
+Entries are kept in LRU order with a bounded capacity.  The cache is
+thread-safe: every lookup, insert, and stats read runs under one
+re-entrant lock, so a registry of serving tenants can share a single
+cache across registration threads and metrics readers.  (The disk tier
+is additionally multi-process safe via atomic artifact writes.)  The
+lock serializes value refreshes too — a refresh mutates the stored
+entry in place, and two threads refreshing one entry concurrently must
+not interleave.
 
 Used by :class:`repro.core.pipeline.GustPipeline` (pass ``cache=`` /
 ``store=``) and, through it, :class:`repro.core.spmm.GustSpmm` and every
@@ -50,6 +54,7 @@ solver in :mod:`repro.solvers` that reuses a pipeline across calls.
 from __future__ import annotations
 
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -183,6 +188,10 @@ class ScheduleCache:
             )
         self.capacity = capacity
         self.store = store
+        # Re-entrant: fetch -> store.load -> (callbacks) may re-enter, and
+        # callers composing fetch+insert under their own use of the cache
+        # must never deadlock against the internal guard.
+        self._lock = threading.RLock()
         self._entries: OrderedDict[bytes, _Entry] = OrderedDict()
         # Identity memo: CooMatrix.with_data shares the index arrays of its
         # source, so repeated lookups for a pattern usually present the
@@ -202,24 +211,27 @@ class ScheduleCache:
     # -- introspection ------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            refreshes=self._refreshes,
-            misses=self._misses,
-            evictions=self._evictions,
-            disk_hits=self._disk_hits,
-            disk_misses=self._disk_misses,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                refreshes=self._refreshes,
+                misses=self._misses,
+                evictions=self._evictions,
+                disk_hits=self._disk_hits,
+                disk_misses=self._disk_misses,
+            )
 
     def clear(self) -> None:
         """Drop every in-memory entry (statistics and the disk tier are
         untouched; use ``cache.store.clear()`` to purge artifacts)."""
-        self._entries.clear()
-        self._digest_memo.clear()
+        with self._lock:
+            self._entries.clear()
+            self._digest_memo.clear()
 
     # -- fingerprints -------------------------------------------------------
 
@@ -272,23 +284,26 @@ class ScheduleCache:
         identical hit/refresh logic, so a warm store serves value-updated
         matrices without recoloring.
         """
-        key = self._pattern_key(matrix, length, algorithm, load_balance)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            return self._serve(entry, matrix, from_disk=False)
+        with self._lock:
+            key = self._pattern_key(matrix, length, algorithm, load_balance)
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                return self._serve(entry, matrix, from_disk=False)
 
-        if self.store is not None:
-            stored = self.store.load(store_key_from_digest(key, matrix.nnz))
-            if stored is not None:
-                self._disk_hits += 1
-                entry = self._entry_from_artifact(matrix, stored)
-                self._put(key, entry)
-                return self._serve(entry, matrix, from_disk=True)
-            self._disk_misses += 1
+            if self.store is not None:
+                stored = self.store.load(
+                    store_key_from_digest(key, matrix.nnz)
+                )
+                if stored is not None:
+                    self._disk_hits += 1
+                    entry = self._entry_from_artifact(matrix, stored)
+                    self._put(key, entry)
+                    return self._serve(entry, matrix, from_disk=True)
+                self._disk_misses += 1
 
-        self._misses += 1
-        return None
+            self._misses += 1
+            return None
 
     def _serve(
         self, entry: _Entry, matrix: CooMatrix, from_disk: bool
@@ -434,36 +449,37 @@ class ScheduleCache:
         content-addressed artifact already exists; the coloring and plan
         structure it stores are value-independent).
         """
-        key = self._pattern_key(matrix, length, algorithm, load_balance)
         data_order = np.lexsort((matrix.cols, balanced.row_perm[matrix.rows]))
         steps, lanes, source = slot_value_sources(schedule, balanced.matrix)
         plan = ExecutionPlan.from_schedule(
             schedule, row_perm=balanced.row_perm, slots=(steps, lanes, source)
         )
-        self._put(
-            key,
-            _Entry(
-                schedule=schedule,
-                balanced=balanced,
-                last_data=matrix.data.copy(),
-                data_order=data_order,
-                slot_steps=steps,
-                slot_lanes=lanes,
-                slot_source=source,
-                stalls=stalls,
-                plan=plan,
-            ),
-        )
-        if self.store is not None:
-            store_key = store_key_from_digest(key, matrix.nnz)
-            if not self.store.contains(store_key):
-                self.store.store(
-                    store_key,
-                    schedule,
-                    balanced,
-                    stalls=stalls,
-                    slots=(steps, lanes, source),
+        with self._lock:
+            key = self._pattern_key(matrix, length, algorithm, load_balance)
+            self._put(
+                key,
+                _Entry(
+                    schedule=schedule,
+                    balanced=balanced,
+                    last_data=matrix.data.copy(),
                     data_order=data_order,
-                    plan_order=plan.slot_order,
-                )
+                    slot_steps=steps,
+                    slot_lanes=lanes,
+                    slot_source=source,
+                    stalls=stalls,
+                    plan=plan,
+                ),
+            )
+            if self.store is not None:
+                store_key = store_key_from_digest(key, matrix.nnz)
+                if not self.store.contains(store_key):
+                    self.store.store(
+                        store_key,
+                        schedule,
+                        balanced,
+                        stalls=stalls,
+                        slots=(steps, lanes, source),
+                        data_order=data_order,
+                        plan_order=plan.slot_order,
+                    )
         return plan

@@ -22,6 +22,7 @@ fleet of workers shares one schedule artifact store.
 
 from __future__ import annotations
 
+import threading
 import time
 import weakref
 from dataclasses import dataclass
@@ -101,8 +102,10 @@ class GustPipeline:
         self.use_plans = use_plans
         # id() -> (weakref to the schedule, plan): identity keys are only
         # trusted while the schedule object is alive, so a recycled id()
-        # can never alias a dead entry.
+        # can never alias a dead entry.  Guarded by a lock: the serving
+        # layer replays one pipeline's plans from many worker threads.
         self._plan_memo: dict[int, tuple] = {}
+        self._plan_lock = threading.Lock()
         self.algorithm = algorithm
         self.load_balance = load_balance and algorithm != "naive"
         self.scheduler = GustScheduler(length, algorithm, validate=validate)
@@ -238,9 +241,10 @@ class GustPipeline:
 
     def _memoize_plan(self, schedule: Schedule, plan: ExecutionPlan) -> None:
         """Remember a compiled plan for this schedule object's lifetime."""
-        self._plan_memo[id(schedule)] = (weakref.ref(schedule), plan)
-        while len(self._plan_memo) > self._PLAN_MEMO_CAPACITY:
-            self._plan_memo.pop(next(iter(self._plan_memo)))
+        with self._plan_lock:
+            self._plan_memo[id(schedule)] = (weakref.ref(schedule), plan)
+            while len(self._plan_memo) > self._PLAN_MEMO_CAPACITY:
+                self._plan_memo.pop(next(iter(self._plan_memo)))
 
     def plan_for(
         self, schedule: Schedule, balanced: BalancedMatrix
@@ -254,8 +258,13 @@ class GustPipeline:
         A memoized plan is only served for the ``balanced`` it was
         compiled against: pairing the schedule with a different row
         permutation recompiles, preserving the scatter path's contract.
+
+        Thread-safe: the memo is lock-guarded, and a rare concurrent
+        compile of the same schedule is benign (identical plans; last
+        writer's is memoized).
         """
-        memoized = self._plan_memo.get(id(schedule))
+        with self._plan_lock:
+            memoized = self._plan_memo.get(id(schedule))
         if memoized is not None and memoized[0]() is schedule:
             plan = memoized[1]
             # Identity check first: every internal producer hands the
@@ -279,6 +288,11 @@ class GustPipeline:
         plan's :meth:`~repro.core.plan.ExecutionPlan.execute`; with
         ``use_plans=False`` it is the pre-plan scatter path — bit-identical
         results either way.
+
+        The plan-backed handle is safe to share across threads: the plan
+        is immutable and its replay scratch buffer is thread-local, so a
+        serving fleet can bind one executor per matrix and call it from
+        every worker concurrently.
         """
         if self.use_plans:
             return self.plan_for(schedule, balanced).execute

@@ -37,7 +37,8 @@ Compiled and memoized by :class:`repro.core.pipeline.GustPipeline` (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import threading
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -88,6 +89,15 @@ class ExecutionPlan:
     slot_order: np.ndarray | None
     row_perm: np.ndarray
     value_source: np.ndarray | None = None
+    #: Per-thread scratch for the replay's product buffer: replay is the
+    #: hot path, and at high call rates the per-call ``products`` temporary
+    #: was the last allocation left in it.  Thread-local so one plan can be
+    #: replayed concurrently from many server workers without sharing a
+    #: buffer; excluded from comparison/replace (a refreshed plan starts
+    #: with fresh scratch).
+    _scratch: threading.local = field(
+        default_factory=threading.local, init=False, repr=False, compare=False
+    )
 
     # -- construction --------------------------------------------------------
 
@@ -248,6 +258,12 @@ class ExecutionPlan:
         each row's slot order the result is bit-identical to the reference
         ``np.add.at`` scatter path — just several times faster, with no
         per-call ``np.nonzero``.
+
+        The gather and multiply run through a reusable per-plan scratch
+        buffer (``np.take``/``np.multiply`` with ``out=``), so steady-state
+        replay allocates only its output vector.  The scratch is
+        thread-local: the same plan object can be replayed concurrently
+        from many threads (server workers, solver pools) without locking.
         """
         x = np.asarray(x, dtype=np.float64)
         m, n = self.shape
@@ -257,8 +273,15 @@ class ExecutionPlan:
             )
         if self.nnz == 0:
             return np.zeros(m, dtype=np.float64)[self.row_perm]
-        products = self.values * x[self.sources]
-        y_permuted = np.bincount(self.rows, weights=products, minlength=m)
+        buf = getattr(self._scratch, "products", None)
+        if buf is None:
+            buf = np.empty(self.nnz, dtype=np.float64)
+            self._scratch.products = buf
+        # mode="clip" skips the per-element bounds check; sources were
+        # bounds-validated against n at compile time, x against n above.
+        np.take(x, self.sources, out=buf, mode="clip")
+        np.multiply(self.values, buf, out=buf)
+        y_permuted = np.bincount(self.rows, weights=buf, minlength=m)
         return y_permuted[self.row_perm]
 
     def execute_block(
@@ -289,6 +312,48 @@ class ExecutionPlan:
                     products, self.seg_starts, axis=0
                 )
         return y_permuted[self.row_perm]
+
+    def csr_layout(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSR components in *original* row order, slot order preserved.
+
+        Returns ``(indptr, cols, vals, order)``: a classic CSR triple whose
+        row ``i`` is the plan segment destined for original row ``i`` (the
+        :attr:`row_perm` un-permutation folded into the layout), plus the
+        ``order`` gather taking plan-slot arrays into it.  Within each row
+        the slots keep their plan order, so any consumer that accumulates
+        rows sequentially in storage order — ``scipy.sparse`` CSR matvec,
+        :class:`~repro.core.spmm.StackedReplay` — reproduces
+        :meth:`execute` bit for bit while skipping the per-call
+        ``row_perm`` gather entirely.  Computed once per plan and cached
+        (the layout is value-independent apart from ``vals = values[order]``).
+        """
+        cached = self.__dict__.get("_csr_layout_cache")
+        if cached is not None:
+            return cached
+        m, _ = self.shape
+        seg_counts = np.diff(np.append(self.seg_starts, self.nnz))
+        counts_perm = np.zeros(m, dtype=np.intp)
+        counts_perm[self.seg_rows] = seg_counts
+        counts = counts_perm[self.row_perm]
+        indptr = np.zeros(m + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        starts_perm = np.zeros(m, dtype=np.intp)
+        starts_perm[self.seg_rows] = self.seg_starts
+        if self.nnz:
+            # order[indptr[i]:indptr[i+1]] = start_of(row_perm[i]) + 0..len
+            offsets = np.arange(self.nnz, dtype=np.intp) - np.repeat(
+                indptr[:-1], counts
+            )
+            order = np.repeat(starts_perm[self.row_perm], counts) + offsets
+        else:
+            order = np.zeros(0, dtype=np.intp)
+        layout = (indptr, self.sources[order], self.values[order], order)
+        # Lazy idempotent memo: concurrent first calls compute identical
+        # arrays, last writer wins.  object.__setattr__ bypasses frozen.
+        object.__setattr__(self, "_csr_layout_cache", layout)
+        return layout
 
     # -- refresh -------------------------------------------------------------
 

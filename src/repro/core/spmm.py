@@ -31,17 +31,114 @@ import numpy as np
 from repro.core.cache import ScheduleCache
 from repro.core.load_balance import BalancedMatrix
 from repro.core.pipeline import GustPipeline
+from repro.core.plan import ExecutionPlan
 from repro.core.store import DiskScheduleStore
 from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
 from repro.errors import HardwareConfigError
 from repro.sparse.coo import CooMatrix
 from repro.types import CycleReport
 
+try:  # pragma: no cover - exercised via the scipy-present environment
+    import scipy.sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised when scipy is absent
+    _scipy_sparse = None
+
 #: Element budget for the per-tile product temporary in :meth:`GustSpmm.
 #: multiply` (~512 MB of float64 at the default); wide dense blocks are
 #: processed in column tiles of ``budget // occupied_slots`` so memory
 #: stays bounded while keeping the replay vectorized.
 _SPMM_PRODUCT_BUDGET = 1 << 26
+
+
+class StackedReplay:
+    """Batched SpMV: ``k`` stacked right-hand sides against one plan.
+
+    Concurrent SpMV requests for the same matrix are algebraically an SpMM
+    — ``k`` parallel replays of one schedule — so the serving layer's
+    batcher coalesces them into a single stacked block and executes the
+    block in one pass.  Unlike :meth:`ExecutionPlan.execute_block` (whose
+    ``np.add.reduceat`` tile reduction uses NumPy's unrolled partial-sum
+    accumulators and is therefore only *numerically close* to per-request
+    replay for rows with >= 8 slots), this kernel guarantees **bit-identical
+    results**: every backend accumulates each destination row strictly
+    sequentially in plan slot order, exactly like the ``np.bincount``
+    reduction in :meth:`ExecutionPlan.execute` and the ``np.add.at``
+    scatter reference.
+
+    Backends, fastest first:
+
+    * ``"scipy"`` — the plan's :meth:`~ExecutionPlan.csr_layout` wrapped in
+      a ``scipy.sparse.csr_matrix`` (indices deliberately *not*
+      canonicalized: storage order **is** the accumulation contract) and
+      applied as ``A @ X``; scipy's ``csr_matvecs`` kernel walks each row's
+      entries in storage order with a vectorized axpy across the ``k``
+      columns.  A compile-time probe verifies bit-identity against
+      :meth:`ExecutionPlan.execute` on random data and silently falls back
+      if a future scipy changes its accumulation order.
+    * ``"numpy"`` — a flat ``np.bincount`` over ``(row * k + column)`` bins
+      (sequential by construction); used when scipy is unavailable or the
+      probe fails.
+
+    Thread-safe: compiled state is immutable after construction.
+    """
+
+    #: Probe vectors used to verify a backend reproduces ``plan.execute``
+    #: bit-for-bit before it is trusted.
+    _PROBE_COLUMNS = 2
+
+    def __init__(self, plan: ExecutionPlan, force_numpy: bool = False):
+        self.plan = plan
+        self._matrix = None
+        self.backend = "numpy"
+        if _scipy_sparse is not None and not force_numpy:
+            indptr, cols, vals, _ = plan.csr_layout()
+            matrix = _scipy_sparse.csr_matrix(
+                (vals, cols.astype(np.intp, copy=False), indptr),
+                shape=plan.shape,
+                copy=False,
+            )
+            if self._probe(matrix):
+                self._matrix = matrix
+                self.backend = "scipy"
+
+    def _probe(self, matrix) -> bool:
+        """True when ``matrix @ X`` is bit-identical to per-request replay."""
+        _, n = self.plan.shape
+        rng = np.random.default_rng(0xC0FFEE)
+        stacked = rng.normal(size=(self._PROBE_COLUMNS, n))
+        block = matrix @ stacked.T
+        return all(
+            bool((self.plan.execute(stacked[j]) == block[:, j]).all())
+            for j in range(self._PROBE_COLUMNS)
+        )
+
+    def matvecs(self, stacked: np.ndarray) -> np.ndarray:
+        """Execute ``k`` stacked requests; returns the ``(m, k)`` block.
+
+        ``stacked`` is ``(k, n)`` — one request per row.  Column ``j`` of
+        the result is bit-identical to ``plan.execute(stacked[j])``, in
+        original (un-permuted) row order.
+        """
+        stacked = np.asarray(stacked, dtype=np.float64)
+        m, n = self.plan.shape
+        if stacked.ndim != 2 or stacked.shape[1] != n:
+            raise HardwareConfigError(
+                f"stacked operand must be (k, {n}), got {stacked.shape}"
+            )
+        k = stacked.shape[0]
+        if self._matrix is not None:
+            return self._matrix @ stacked.T
+        if self.plan.nnz == 0 or k == 0:
+            return np.zeros((m, k), dtype=np.float64)
+        plan = self.plan
+        # Flat sequential reduction: bin (row, column) pairs so bincount's
+        # strictly in-order accumulation visits each destination's slots in
+        # plan order — the bit-identity contract — while the gather and
+        # multiply stay vectorized across the whole block.
+        products = plan.values[:, None] * stacked.T[plan.sources, :]
+        bins = (plan.rows[:, None] * k + np.arange(k)).ravel()
+        flat = np.bincount(bins, weights=products.ravel(), minlength=m * k)
+        return flat.reshape(m, k)[plan.row_perm]
 
 
 @dataclass(frozen=True)

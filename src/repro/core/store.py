@@ -31,7 +31,12 @@ artifacts.
 
 The store holds a bounded byte budget.  After each write, artifacts are
 evicted oldest-modification-first until the directory fits the budget
-(an approximate LRU: loads refresh the file's mtime).
+(an approximate LRU: loads refresh the file's mtime).  Budget accounting
+runs off a lightweight size manifest (``.manifest.json``) so the common
+under-budget insert is O(1) instead of re-statting the whole directory;
+the full stat walk remains the authority and runs whenever the manifest
+is stale, unreadable, reports the store over budget, or periodically as
+insurance against concurrent writers (see :meth:`_account_write`).
 
 Layered under :class:`~repro.core.cache.ScheduleCache` (pass ``store=``),
 lookups go memory -> disk -> compute with write-back on miss; see
@@ -41,6 +46,7 @@ lookups go memory -> disk -> compute with write-back on miss; see
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -76,6 +82,20 @@ _QUARANTINE_DIR = ".quarantine"
 #: must not grow the quarantine without bound, so the oldest files are
 #: pruned past this count.
 _QUARANTINE_KEEP = 8
+
+#: Size-manifest filename (lives beside the artifacts, never matches the
+#: artifact suffix so it is invisible to the artifact walk).
+_MANIFEST_NAME = ".manifest.json"
+
+#: Manifest schema version; bump on incompatible layout changes so old
+#: manifests read as stale and trigger a rebuild walk.
+_MANIFEST_VERSION = 1
+
+#: Every Nth write re-syncs the manifest from a full stat walk.  Another
+#: process's writes can be missing from this process's manifest copy
+#: (last-writer-wins update race), which at worst delays eviction; the
+#: periodic walk bounds that drift without paying the walk per insert.
+_MANIFEST_RESYNC_WRITES = 64
 
 
 def default_store_dir() -> Path:
@@ -117,6 +137,9 @@ class DiskStoreStats:
     write_errors: int = 0
     corrupt_dropped: int = 0
     evictions: int = 0
+    #: Full directory stat walks performed for budget accounting; with the
+    #: size manifest healthy this stays near writes / 64 instead of 1:1.
+    stat_walks: int = 0
 
 
 class DiskScheduleStore:
@@ -152,6 +175,7 @@ class DiskScheduleStore:
         self._write_errors = 0
         self._corrupt_dropped = 0
         self._evictions = 0
+        self._stat_walks = 0
 
     # -- keys and paths -----------------------------------------------------
 
@@ -183,6 +207,7 @@ class DiskScheduleStore:
             write_errors=self._write_errors,
             corrupt_dropped=self._corrupt_dropped,
             evictions=self._evictions,
+            stat_walks=self._stat_walks,
         )
 
     def _artifacts(self) -> list[Path]:
@@ -282,7 +307,7 @@ class DiskScheduleStore:
             self._write_errors += 1
             return False
         self._writes += 1
-        self._enforce_budget()
+        self._account_write(self.path_for(key))
         return True
 
     def contains(self, key: str) -> bool:
@@ -346,6 +371,12 @@ class DiskScheduleStore:
                     removed += 1
                 except OSError:
                     continue
+        # The manifest describes artifacts that no longer exist; drop it
+        # (not counted — it is bookkeeping, not an artifact).
+        try:
+            self.manifest_path.unlink()
+        except OSError:
+            pass
         quarantine = self.quarantine_dir
         if quarantine.is_dir():
             for path in quarantine.iterdir():
@@ -358,8 +389,97 @@ class DiskScheduleStore:
                     continue
         return removed
 
-    def _enforce_budget(self) -> None:
-        """Evict oldest-mtime artifacts until the directory fits the budget."""
+    # -- budget accounting ---------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        """Location of the size manifest used for O(1) budget checks."""
+        return self.directory / _MANIFEST_NAME
+
+    def _read_manifest(self) -> dict[str, int] | None:
+        """Artifact-name -> byte-size map, or ``None`` when stale/absent.
+
+        Any defect — missing file, unreadable JSON, version skew, malformed
+        entries — reads as "stale": the caller falls back to the
+        authoritative stat walk and rebuilds.
+        """
+        try:
+            raw = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(raw, dict) or raw.get("version") != _MANIFEST_VERSION:
+            return None
+        sizes = raw.get("sizes")
+        if not isinstance(sizes, dict):
+            return None
+        out: dict[str, int] = {}
+        for name, size in sizes.items():
+            if not isinstance(name, str) or not isinstance(size, int):
+                return None
+            out[name] = size
+        return out
+
+    def _write_manifest(self, sizes: dict[str, int]) -> None:
+        """Atomically persist the size map; failures are absorbed (the
+        manifest is an optimization — the stat walk remains correct)."""
+        payload = json.dumps(
+            {"version": _MANIFEST_VERSION, "sizes": sizes}, separators=(",", ":")
+        )
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, self.manifest_path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _walk_sizes(self) -> dict[str, int]:
+        """Authoritative artifact-size map from a full directory stat."""
+        self._stat_walks += 1
+        sizes: dict[str, int] = {}
+        for path in self._artifacts():
+            try:
+                sizes[path.name] = path.stat().st_size
+            except OSError:
+                continue
+        return sizes
+
+    def _account_write(self, written: Path) -> None:
+        """Post-write budget enforcement through the size manifest.
+
+        The common case — store under budget, manifest healthy — costs one
+        stat (the just-written artifact) plus a small JSON rewrite instead
+        of re-statting every artifact.  The full walk runs when the
+        manifest is stale/unreadable, every ``_MANIFEST_RESYNC_WRITES``-th
+        write (bounding drift from concurrent writers whose inserts this
+        process's manifest copy may have lost), or whenever the manifest
+        total says the budget is exceeded — eviction decisions always come
+        from fresh stat data, never from the manifest alone.
+        """
+        sizes = None
+        if self._writes % _MANIFEST_RESYNC_WRITES != 0:
+            sizes = self._read_manifest()
+        if sizes is not None:
+            try:
+                sizes[written.name] = written.stat().st_size
+            except OSError:
+                sizes = None
+        if sizes is None:
+            sizes = self._walk_sizes()
+        if sum(sizes.values()) <= self.max_bytes:
+            self._write_manifest(sizes)
+            return
+        self._evict_to_budget()
+
+    def _evict_to_budget(self) -> None:
+        """Evict oldest-mtime artifacts until the directory fits the budget.
+
+        Always works from a fresh stat walk (sizes *and* mtimes), then
+        rewrites the manifest to match the surviving set.
+        """
+        self._stat_walks += 1
         entries = []
         for path in self._artifacts():
             try:
@@ -368,8 +488,7 @@ class DiskScheduleStore:
                 continue
             entries.append((stat.st_mtime, stat.st_size, path))
         total = sum(size for _, size, _ in entries)
-        if total <= self.max_bytes:
-            return
+        survivors = {path.name: size for _, size, path in entries}
         entries.sort()  # oldest first
         for _, size, path in entries:
             if total <= self.max_bytes:
@@ -379,4 +498,6 @@ class DiskScheduleStore:
             except OSError:
                 continue
             total -= size
+            survivors.pop(path.name, None)
             self._evictions += 1
+        self._write_manifest(survivors)

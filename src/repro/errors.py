@@ -42,3 +42,15 @@ class DatasetError(ReproError):
 
 class SolverError(ReproError):
     """An iterative solver failed to converge or received bad operands."""
+
+
+class ServeError(ReproError):
+    """The serving layer rejected a request or is in the wrong state."""
+
+
+class QueueFullError(ServeError):
+    """A tenant queue is at capacity; the caller should back off and retry.
+
+    Raised synchronously by ``submit`` so backpressure propagates to the
+    client instead of growing an unbounded queue inside the server.
+    """

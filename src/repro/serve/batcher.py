@@ -1,0 +1,238 @@
+"""Request batching: coalesce concurrent SpMV requests into SpMM tiles.
+
+k concurrent requests against one registered matrix are algebraically an
+SpMM — k replays of a single schedule, the paper's parallel-GUST
+arrangement — so the batcher stacks them into one right-hand-side block
+and executes the block through the tenant's compiled
+:class:`~repro.core.spmm.StackedReplay` kernel, bit-identical to
+per-request replay.
+
+Admission policy (:class:`BatchPolicy`):
+
+* a batch flushes as soon as ``max_batch`` requests are queued for one
+  matrix, or when the oldest queued request has waited ``max_wait_s``
+  (latency bound under light traffic);
+* each per-matrix queue is bounded at ``max_queue``; a submit against a
+  full queue raises :class:`~repro.errors.QueueFullError` synchronously —
+  backpressure reaches the client instead of growing memory inside the
+  server.
+
+The batcher owns queues and admission only; threads live in
+:class:`~repro.serve.server.SpmvServer`, which drains batches via
+:meth:`RequestBatcher.take_batch` and executes them with
+:func:`run_batch`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HardwareConfigError, QueueFullError, ServeError
+from repro.serve.registry import RegisteredMatrix
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Admission and flush policy for :class:`RequestBatcher`.
+
+    Args:
+        max_batch: largest stacked right-hand side executed as one block.
+        max_wait_s: longest a queued request may wait for its batch to
+            fill before the partial batch is flushed anyway.
+        max_queue: per-matrix queue bound; submits beyond it are rejected.
+    """
+
+    max_batch: int = 16
+    max_wait_s: float = 0.002
+    max_queue: int = 256
+
+    def __post_init__(self):
+        if self.max_batch <= 0:
+            raise HardwareConfigError(
+                f"max_batch must be positive, got {self.max_batch}"
+            )
+        if self.max_wait_s < 0:
+            raise HardwareConfigError(
+                f"max_wait_s must be non-negative, got {self.max_wait_s}"
+            )
+        if self.max_queue < self.max_batch:
+            raise HardwareConfigError(
+                f"max_queue ({self.max_queue}) must be >= max_batch "
+                f"({self.max_batch})"
+            )
+
+
+@dataclass
+class SpmvRequest:
+    """One queued request: the operand, its future, and its enqueue time."""
+
+    x: np.ndarray
+    future: Future = field(default_factory=Future)
+    enqueued: float = field(default_factory=time.perf_counter)
+
+
+class RequestBatcher:
+    """Per-matrix bounded queues with batch/max-wait flush semantics."""
+
+    def __init__(self, policy: BatchPolicy | None = None):
+        self.policy = policy or BatchPolicy()
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[SpmvRequest]] = {}
+        self._entries: dict[str, RegisteredMatrix] = {}
+        self._accepting = True
+        self._draining = False
+
+    # -- admission -----------------------------------------------------------
+
+    def bind(self, entry: RegisteredMatrix) -> None:
+        """Open (or refresh) the queue for one registered matrix."""
+        with self._cond:
+            self._entries[entry.name] = entry
+            self._queues.setdefault(entry.name, deque())
+
+    def submit(self, entry: RegisteredMatrix, x: np.ndarray) -> Future:
+        """Enqueue one request; returns its future.
+
+        Shape/dtype validation is synchronous (a malformed operand raises
+        here, in the caller, not in a worker), as is backpressure: a full
+        queue raises :class:`QueueFullError` immediately.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        n = entry.shape[1]
+        if x.shape != (n,):
+            raise HardwareConfigError(
+                f"vector length {x.shape} incompatible with matrix "
+                f"{entry.name!r} of shape {entry.shape}"
+            )
+        request = SpmvRequest(x=x)
+        with self._cond:
+            if not self._accepting:
+                raise ServeError(
+                    "server is not accepting requests (stopped or draining)"
+                )
+            queue = self._queues.get(entry.name)
+            if queue is None:
+                self._entries[entry.name] = entry
+                queue = self._queues[entry.name] = deque()
+            if len(queue) >= self.policy.max_queue:
+                raise QueueFullError(
+                    f"queue for matrix {entry.name!r} is at capacity "
+                    f"({self.policy.max_queue}); retry later"
+                )
+            queue.append(request)
+            # Wake a worker when a batch completed or a fresh queue head
+            # needs its max-wait timer armed.
+            if len(queue) >= self.policy.max_batch or len(queue) == 1:
+                self._cond.notify()
+        return request.future
+
+    # -- draining ------------------------------------------------------------
+
+    def _drainable(self, queue: deque[SpmvRequest], now: float) -> bool:
+        if not queue:
+            return False
+        if self._draining or len(queue) >= self.policy.max_batch:
+            return True
+        return now - queue[0].enqueued >= self.policy.max_wait_s
+
+    def take_batch(
+        self,
+    ) -> tuple[RegisteredMatrix, list[SpmvRequest]] | None:
+        """Block until a batch is ready; ``None`` means shut down.
+
+        Among drainable queues the one with the oldest head request wins
+        (global FIFO fairness across tenants).  When no queue is drainable
+        yet, the wait times out at the earliest pending max-wait deadline.
+        """
+        with self._cond:
+            while True:
+                now = time.perf_counter()
+                best_name = None
+                oldest = None
+                deadline = None
+                for name, queue in self._queues.items():
+                    if not queue:
+                        continue
+                    head = queue[0].enqueued
+                    if self._drainable(queue, now):
+                        if oldest is None or head < oldest:
+                            best_name, oldest = name, head
+                    else:
+                        due = head + self.policy.max_wait_s
+                        if deadline is None or due < deadline:
+                            deadline = due
+                if best_name is not None:
+                    queue = self._queues[best_name]
+                    size = min(len(queue), self.policy.max_batch)
+                    batch = [queue.popleft() for _ in range(size)]
+                    return self._entries[best_name], batch
+                if not self._accepting and self._all_empty():
+                    return None
+                timeout = None if deadline is None else max(
+                    0.0, deadline - now
+                )
+                self._cond.wait(timeout)
+
+    def _all_empty(self) -> bool:
+        return all(not queue for queue in self._queues.values())
+
+    def pending(self) -> int:
+        """Requests currently queued across all matrices."""
+        with self._cond:
+            return sum(len(queue) for queue in self._queues.values())
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self, drain: bool = True) -> list[SpmvRequest]:
+        """Stop admissions; returns the requests abandoned (empty if
+        draining).
+
+        With ``drain`` (default), queued requests stay put and every queue
+        becomes immediately drainable — workers flush partial batches
+        without waiting out ``max_wait_s`` and then observe shutdown.
+        Without it, queues are emptied and the abandoned requests are
+        returned so the caller can fail their futures.
+        """
+        with self._cond:
+            self._accepting = False
+            self._draining = True
+            abandoned: list[SpmvRequest] = []
+            if not drain:
+                for queue in self._queues.values():
+                    abandoned.extend(queue)
+                    queue.clear()
+            self._cond.notify_all()
+            return abandoned
+
+
+def run_batch(
+    entry: RegisteredMatrix, batch: list[SpmvRequest]
+) -> np.ndarray:
+    """Execute one batch and resolve its futures; returns the block.
+
+    The k requests stack into a ``(k, n)`` block, execute through the
+    tenant's :class:`~repro.core.spmm.StackedReplay` kernel as one SpMM
+    tile, and each future resolves with its column of the ``(m, k)``
+    result — a view into the shared block (columns never alias each
+    other; copy on the client side if contiguity matters).  Column ``j``
+    is bit-identical to ``entry.execute(batch[j].x)``.
+
+    Shared by the server's worker loop and the serving benchmark, so what
+    the benchmark gates is exactly what the server runs.
+    """
+    stacked = np.stack([request.x for request in batch])
+    try:
+        block = entry.stacked.matvecs(stacked)
+    except Exception as error:  # pragma: no cover - defensive
+        for request in batch:
+            request.future.set_exception(error)
+        raise
+    for j, request in enumerate(batch):
+        request.future.set_result(block[:, j])
+    return block

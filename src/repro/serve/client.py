@@ -1,0 +1,65 @@
+"""Synchronous in-process client for :class:`~repro.serve.server.SpmvServer`.
+
+The client is a thin convenience over ``server.submit``: blocking
+round-trips, bulk submission (which is what actually exercises batching —
+k outstanding requests coalesce into one SpMM tile), and an optional
+bounded retry on backpressure.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import QueueFullError
+from repro.serve.server import SpmvServer
+
+
+class SpmvClient:
+    """Blocking client handle bound to one in-process server."""
+
+    def __init__(self, server: SpmvServer):
+        self.server = server
+
+    def spmv(
+        self,
+        name: str,
+        x: np.ndarray,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.001,
+    ) -> np.ndarray:
+        """One blocking SpMV round-trip.
+
+        ``retries`` bounds how many times a
+        :class:`~repro.errors.QueueFullError` rejection is retried after
+        sleeping ``backoff_s`` (simple fixed backoff — the queue drains at
+        batch granularity, so a short fixed pause is usually enough).
+        """
+        attempts = 0
+        while True:
+            try:
+                future = self.server.submit(name, x)
+                break
+            except QueueFullError:
+                attempts += 1
+                if attempts > retries:
+                    raise
+                time.sleep(backoff_s)
+        return future.result(timeout)
+
+    def spmv_many(
+        self,
+        name: str,
+        xs: list[np.ndarray],
+        timeout: float | None = None,
+    ) -> list[np.ndarray]:
+        """Submit all of ``xs`` before collecting any result.
+
+        Having every request outstanding at once is what lets the server
+        coalesce them into full batches; a loop of :meth:`spmv` calls
+        would serialize into batches of one.
+        """
+        futures = [self.server.submit(name, x) for x in xs]
+        return [future.result(timeout) for future in futures]

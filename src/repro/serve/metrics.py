@@ -1,0 +1,154 @@
+"""Serving metrics: latency percentiles, batch histogram, counters.
+
+One :class:`ServerMetrics` instance per server, written from worker and
+submit paths under a single lock (every operation is O(1) or amortized
+O(1); the latency reservoir is bounded).  :meth:`ServerMetrics.snapshot`
+freezes everything into an immutable :class:`ServerStats` for reporting.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import CacheStats
+
+#: Most recent request latencies retained for percentile estimation.  A
+#: bounded reservoir keeps the memory footprint flat under sustained
+#: traffic while still answering p50/p99 over a recent window.
+LATENCY_RESERVOIR = 8192
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Immutable snapshot of one server's counters and distributions."""
+
+    #: Requests accepted into a queue.
+    submitted: int
+    #: Requests answered (future resolved with a result).
+    completed: int
+    #: Requests refused at admission (queue full or server not accepting).
+    rejected: int
+    #: Requests failed with an exception (shutdown without drain).
+    failed: int
+    #: Batches executed.
+    batches: int
+    #: batch size -> number of batches executed at that size.
+    batch_histogram: dict[int, int]
+    #: Latency percentiles over the recent reservoir, in milliseconds
+    #: (0.0 when no request has completed yet).
+    p50_ms: float
+    p99_ms: float
+    #: Wall-clock seconds the server has been running.
+    uptime_s: float
+    #: Schedule-cache counters folded in from the registry's shared
+    #: :class:`~repro.core.cache.ScheduleCache`.
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average executed batch size (1.0 when nothing ran yet)."""
+        if not self.batches:
+            return 1.0
+        return self.completed_in_batches / self.batches
+
+    @property
+    def completed_in_batches(self) -> int:
+        return sum(size * count for size, count in self.batch_histogram.items())
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of uptime."""
+        return self.completed / self.uptime_s if self.uptime_s > 0 else 0.0
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            "serving stats:",
+            f"  requests: {self.submitted} submitted, "
+            f"{self.completed} completed, {self.rejected} rejected, "
+            f"{self.failed} failed",
+            f"  batches:  {self.batches} "
+            f"(mean size {self.mean_batch_size:.2f})",
+        ]
+        if self.batch_histogram:
+            histogram = ", ".join(
+                f"{size}x{count}"
+                for size, count in sorted(self.batch_histogram.items())
+            )
+            lines.append(f"  batch histogram (size x batches): {histogram}")
+        lines.append(
+            f"  latency:  p50 {self.p50_ms:.3f} ms, p99 {self.p99_ms:.3f} ms"
+        )
+        lines.append(
+            f"  throughput: {self.throughput_rps:.0f} req/s "
+            f"over {self.uptime_s:.2f} s"
+        )
+        lines.append(
+            f"  schedule cache: {self.cache.hits} hits, "
+            f"{self.cache.refreshes} refreshes, {self.cache.misses} misses "
+            f"(hit rate {self.cache.hit_rate:.0%}; "
+            f"disk {self.cache.disk_hits} hits)"
+        )
+        return "\n".join(lines)
+
+
+class ServerMetrics:
+    """Thread-safe mutable counters behind :class:`ServerStats`."""
+
+    def __init__(self, clock=None):
+        import time
+
+        self._clock = clock or time.perf_counter
+        self._lock = threading.Lock()
+        self._started = self._clock()
+        self._submitted = 0
+        self._rejected = 0
+        self._failed = 0
+        self._batches = 0
+        self._completed = 0
+        self._histogram: Counter[int] = Counter()
+        self._latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self._failed += count
+
+    def record_batch(self, size: int, latencies_s: list[float]) -> None:
+        """One executed batch: size histogram + per-request latencies."""
+        with self._lock:
+            self._batches += 1
+            self._completed += size
+            self._histogram[size] += 1
+            self._latencies.extend(latencies_s)
+
+    def snapshot(self, cache: CacheStats | None = None) -> ServerStats:
+        with self._lock:
+            latencies = np.array(self._latencies, dtype=np.float64)
+            if latencies.size:
+                p50, p99 = np.percentile(latencies, [50.0, 99.0]) * 1e3
+            else:
+                p50 = p99 = 0.0
+            return ServerStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                failed=self._failed,
+                batches=self._batches,
+                batch_histogram=dict(self._histogram),
+                p50_ms=float(p50),
+                p99_ms=float(p99),
+                uptime_s=self._clock() - self._started,
+                cache=cache if cache is not None else CacheStats(),
+            )

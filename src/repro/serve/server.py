@@ -1,0 +1,181 @@
+"""The in-process SpMV server: workers, backpressure, metrics, shutdown.
+
+:class:`SpmvServer` composes a :class:`~repro.serve.registry.
+MatrixRegistry` (tenants pinned to prepared plans) with a
+:class:`~repro.serve.batcher.RequestBatcher` (bounded queues, batch/
+max-wait admission) and a pool of worker threads that drain batches and
+resolve futures.  Metrics are always on: per-request latency percentiles,
+the executed batch-size histogram, and the shared schedule cache's hit
+counters surface through :meth:`SpmvServer.stats`.
+
+Shutdown is graceful by default: ``stop()`` stops admissions, flushes
+every partial batch immediately (the max-wait timer is bypassed), joins
+the workers, and only then returns — no accepted request is ever lost.
+``stop(drain=False)`` instead fails queued requests with
+:class:`~repro.errors.ServeError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.batcher import BatchPolicy, RequestBatcher, run_batch
+from repro.serve.metrics import ServerMetrics, ServerStats
+from repro.serve.registry import MatrixRegistry
+from repro.sparse.coo import CooMatrix
+
+import time
+
+
+class SpmvServer:
+    """Multi-tenant SpMV serving over prepared execution plans.
+
+    Args:
+        registry: the tenant registry (one is created when omitted).
+        policy: batching/admission policy.
+        workers: batch-executor threads.  One worker already overlaps
+            Python-side bookkeeping with NumPy/SciPy kernels (which release
+            the GIL); more workers help when several tenants are hot.
+
+    Usage::
+
+        server = SpmvServer(workers=1)
+        server.register("A", matrix, length=64)
+        with server:                       # start() / stop() bracketed
+            y = SpmvClient(server).spmv("A", x)
+    """
+
+    def __init__(
+        self,
+        registry: MatrixRegistry | None = None,
+        policy: BatchPolicy | None = None,
+        workers: int = 1,
+    ):
+        if workers <= 0:
+            raise ServeError(f"workers must be positive, got {workers}")
+        self.registry = registry if registry is not None else MatrixRegistry()
+        self.batcher = RequestBatcher(policy)
+        self.workers = workers
+        self.metrics = ServerMetrics()
+        self._threads: list[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SpmvServer":
+        with self._state_lock:
+            if self._stopped:
+                raise ServeError("server cannot restart after stop()")
+            if self._started:
+                raise ServeError("server is already running")
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"gust-serve-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop admissions and shut the workers down.
+
+        With ``drain`` (default) every queued request is executed before
+        the workers exit; without it, queued requests fail with
+        :class:`ServeError` and only in-flight batches complete.
+        Idempotent.
+        """
+        with self._state_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            started = self._started
+        # A never-started server has no workers to drain its queues, so
+        # a drain request downgrades to abandonment (futures must never
+        # hang past stop()).
+        abandoned = self.batcher.close(drain=drain and started)
+        if abandoned:
+            error = ServeError("server stopped before executing this request")
+            for request in abandoned:
+                request.future.set_exception(error)
+            self.metrics.record_failure(len(abandoned))
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+
+    def __enter__(self) -> "SpmvServer":
+        with self._state_lock:
+            already = self._started
+        return self if already else self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, name: str, matrix: CooMatrix, **kwargs):
+        """Register a tenant and open its queue; see
+        :meth:`MatrixRegistry.register` for keyword arguments."""
+        entry = self.registry.register(name, matrix, **kwargs)
+        self.batcher.bind(entry)
+        return entry
+
+    # -- request path --------------------------------------------------------
+
+    def submit(self, name: str, x: np.ndarray) -> Future:
+        """Enqueue one SpMV request; returns its future.
+
+        Raises synchronously on unknown tenants, malformed operands, full
+        queues (:class:`~repro.errors.QueueFullError` — backpressure), and
+        a stopped server.
+        """
+        entry = self.registry.get(name)
+        try:
+            future = self.batcher.submit(entry, x)
+        except ServeError:
+            self.metrics.record_reject()
+            raise
+        self.metrics.record_submit()
+        return future
+
+    # -- workers -------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self.batcher.take_batch()
+            if item is None:
+                return
+            entry, batch = item
+            try:
+                run_batch(entry, batch)
+            except Exception:
+                # run_batch already failed the batch's futures; keep the
+                # worker alive for the other tenants.
+                self.metrics.record_failure(len(batch))
+                continue
+            done = time.perf_counter()
+            self.metrics.record_batch(
+                len(batch), [done - request.enqueued for request in batch]
+            )
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """Snapshot of counters, latency percentiles, histogram, and the
+        shared schedule cache's hit rates.
+
+        While the server is running the snapshot is eventually
+        consistent: a worker resolves a batch's futures *before* it
+        records their metrics, so a client that just received its result
+        may not be counted yet.  After :meth:`stop` returns (workers
+        joined) the counters are exact.
+        """
+        return self.metrics.snapshot(cache=self.registry.cache_stats)

@@ -204,3 +204,88 @@ class TestCacheIntegration:
         _, _, report = pipeline.preprocess(square_matrix)
         assert report.notes["cache_hit"] == 1.0
         assert pipeline.scheduler.last_stalls == cold_stalls
+
+
+class TestThreadSafety:
+    """The cache is shared by a serving registry across threads."""
+
+    def test_concurrent_lookups_and_inserts(self):
+        import threading
+
+        matrices = [uniform_random(64, 64, 0.08, seed=s) for s in range(4)]
+        cache = ScheduleCache(capacity=3)  # smaller than the working set
+        errors = []
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            pipeline = GustPipeline(16, cache=cache)
+            rng = np.random.default_rng(index)
+            try:
+                for round_ in range(12):
+                    matrix = matrices[(index + round_) % len(matrices)]
+                    schedule, balanced, _ = pipeline.preprocess(matrix)
+                    x = rng.normal(size=matrix.shape[1])
+                    y = pipeline.execute(schedule, balanced, x)
+                    if not np.allclose(y, matrix.matvec(x)):
+                        raise AssertionError("wrong result under threads")
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                with lock:
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats
+        assert stats.lookups == 8 * 12
+        assert stats.hits + stats.refreshes + stats.misses == stats.lookups
+        assert len(cache) <= 3
+
+    def test_concurrent_value_refreshes_stay_consistent(self):
+        import threading
+
+        base = uniform_random(48, 48, 0.1, seed=7)
+        cache = ScheduleCache(capacity=2)
+        variants = [
+            base.with_data(base.data * factor)
+            for factor in (1.0, 2.0, 3.0, 4.0)
+        ]
+        errors = []
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            pipeline = GustPipeline(16, cache=cache)
+            rng = np.random.default_rng(index)
+            try:
+                for round_ in range(10):
+                    matrix = variants[(index + round_) % len(variants)]
+                    schedule, balanced, _ = pipeline.preprocess(matrix)
+                    x = rng.normal(size=matrix.shape[1])
+                    y = pipeline.execute(schedule, balanced, x)
+                    # The schedule/balanced pair handed back must be
+                    # internally consistent even while other threads
+                    # refresh the shared entry to different values.
+                    if not np.allclose(
+                        y,
+                        balanced.unpermute_output(
+                            balanced.matrix.matvec(x)
+                        ),
+                    ):
+                        raise AssertionError("torn refresh observed")
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                with lock:
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.stats.refreshes > 0

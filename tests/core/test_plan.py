@@ -199,3 +199,147 @@ class TestSpmmTiles:
         with_plan = GustSpmm(32).spmm(square_matrix, dense)
         without = GustSpmm(32, use_plans=False).spmm(square_matrix, dense)
         np.testing.assert_allclose(with_plan.y, without.y)
+
+
+class TestScratchBuffer:
+    """The reusable per-plan product buffer must never change results."""
+
+    def test_repeated_replays_bit_identical_to_scatter(
+        self, prepared, rng
+    ):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        for _ in range(5):
+            x = rng.normal(size=schedule.shape[1])
+            expected = pipeline.execute_scatter(schedule, balanced, x)
+            # Twice with the same x: the second call reuses a dirty
+            # buffer and must still be bit-identical.
+            assert (plan.execute(x) == expected).all()
+            assert (plan.execute(x) == expected).all()
+
+    def test_scratch_allocated_once_per_thread(self, prepared, rng):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        plan.execute(rng.normal(size=schedule.shape[1]))
+        first = plan._scratch.products
+        plan.execute(rng.normal(size=schedule.shape[1]))
+        assert plan._scratch.products is first
+
+    def test_concurrent_replay_from_many_threads(self, prepared, rng):
+        """Thread-local scratch: concurrent replays never corrupt."""
+        import threading
+
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        xs = rng.normal(size=(8, schedule.shape[1]))
+        expected = [
+            pipeline.execute_scatter(schedule, balanced, x) for x in xs
+        ]
+        mismatches = []
+        lock = threading.Lock()
+
+        def worker(j: int) -> None:
+            for _ in range(20):
+                if not (plan.execute(xs[j]) == expected[j]).all():
+                    with lock:
+                        mismatches.append(j)
+
+        threads = [
+            threading.Thread(target=worker, args=(j,)) for j in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert mismatches == []
+
+    def test_value_refresh_gets_fresh_scratch(self, square_matrix, rng):
+        pipeline = GustPipeline(32, cache=True)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        plan = pipeline.plan_for(schedule, balanced)
+        plan.execute(rng.normal(size=square_matrix.shape[1]))
+        refreshed = plan.with_values(plan.values[plan.slot_order.argsort()]
+                                     if plan.slot_order is not None
+                                     else plan.values)
+        assert not hasattr(refreshed._scratch, "products")
+
+
+class TestCsrLayout:
+    def test_layout_is_consistent_and_cached(self, prepared):
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        indptr, cols, vals, order = plan.csr_layout()
+        assert indptr.shape == (schedule.shape[0] + 1,)
+        assert indptr[0] == 0 and indptr[-1] == plan.nnz
+        assert (np.diff(indptr) >= 0).all()
+        counts = np.bincount(order, minlength=plan.nnz)
+        assert counts.max() == counts.min() == 1  # a permutation
+        assert (vals == plan.values[order]).all()
+        assert plan.csr_layout()[0] is indptr  # memoized
+
+    def test_layout_matvec_matches_execute(self, prepared, rng):
+        """A sequential walk of the CSR layout equals plan.execute."""
+        pipeline, schedule, balanced = prepared
+        plan = pipeline.plan_for(schedule, balanced)
+        indptr, cols, vals, _ = plan.csr_layout()
+        x = rng.normal(size=schedule.shape[1])
+        m = schedule.shape[0]
+        y = np.zeros(m)
+        for i in range(m):
+            acc = 0.0
+            for jj in range(indptr[i], indptr[i + 1]):
+                acc += vals[jj] * x[cols[jj]]
+            y[i] = acc
+        assert np.allclose(y, plan.execute(x))
+
+    def test_empty_plan_layout(self):
+        matrix = CooMatrix.empty((6, 4))
+        pipeline = GustPipeline(4)
+        schedule, balanced, _ = pipeline.preprocess(matrix)
+        plan = pipeline.plan_for(schedule, balanced)
+        indptr, cols, vals, order = plan.csr_layout()
+        assert indptr.tolist() == [0] * 7
+        assert cols.size == vals.size == order.size == 0
+
+
+class TestScipyOracle:
+    """Cross-check the replay stack against scipy.sparse CSR matvec.
+
+    The ROADMAP's "natural next backend" note: the plan's sorted CSR
+    segment layout is exactly what a scipy CSR matvec consumes, so scipy
+    — where available — is an independent oracle for every replay path.
+    Skipped cleanly when scipy is absent.
+    """
+
+    sparse = pytest.importorskip("scipy.sparse")
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_plan_replay_matches_scipy(self, seed, rng):
+        matrix = uniform_random(120, 90, 0.07, seed=seed)
+        pipeline = GustPipeline(16)
+        schedule, balanced, _ = pipeline.preprocess(matrix)
+        plan = pipeline.plan_for(schedule, balanced)
+        oracle = self.sparse.coo_matrix(
+            (matrix.data, (matrix.rows, matrix.cols)), shape=matrix.shape
+        ).tocsr()
+        for _ in range(3):
+            x = rng.normal(size=matrix.shape[1])
+            expected = oracle @ x
+            np.testing.assert_allclose(plan.execute(x), expected)
+            np.testing.assert_allclose(
+                pipeline.execute_scatter(schedule, balanced, x), expected
+            )
+
+    def test_plan_spmm_matches_scipy(self, square_matrix, rng):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        plan = pipeline.plan_for(schedule, balanced)
+        dense = rng.normal(size=(square_matrix.shape[1], 7))
+        oracle = self.sparse.coo_matrix(
+            (
+                square_matrix.data,
+                (square_matrix.rows, square_matrix.cols),
+            ),
+            shape=square_matrix.shape,
+        ).tocsr()
+        np.testing.assert_allclose(plan.execute_block(dense), oracle @ dense)

@@ -223,7 +223,7 @@ class TestStoreBasics:
             store.store(key, schedule, balanced)
             # Distinct mtimes so "oldest" is well defined on coarse clocks.
             os.utime(store.path_for(key), (1_000_000 + keys.index(key),) * 2)
-        store._enforce_budget()
+        store._evict_to_budget()
         assert store.stats.evictions >= 1
         assert not store.contains(keys[0]), "oldest artifact should go first"
         assert store.contains(keys[2])
@@ -441,3 +441,110 @@ class TestConcurrency:
         entry = store.load(store.key_for(matrix, 32, "matching", True))
         assert entry is not None
         assert entry.schedule.nnz == matrix.nnz
+
+
+class TestSizeManifest:
+    """Budget accounting through the lightweight size manifest."""
+
+    def _schedule(self, seed=0):
+        pipeline = GustPipeline(16)
+        matrix = uniform_random(64, 64, 0.1, seed=seed)
+        schedule, balanced, _ = pipeline.preprocess(matrix)
+        return matrix, schedule, balanced
+
+    def test_manifest_written_and_sizes_match(self, store):
+        matrix, schedule, balanced = self._schedule()
+        key = store.key_for(matrix, 16, "matching", True)
+        store.store(key, schedule, balanced)
+        sizes = store._read_manifest()
+        assert sizes is not None
+        name = store.path_for(key).name
+        assert sizes == {name: store.path_for(key).stat().st_size}
+
+    def test_healthy_manifest_skips_the_stat_walk(self, store):
+        """Under budget, only the first write (no manifest yet) walks."""
+        for seed in range(3):
+            matrix, schedule, balanced = self._schedule(seed)
+            key = store.key_for(matrix, 16, "matching", True)
+            store.store(key, schedule, balanced)
+        assert store.stats.writes == 3
+        assert store.stats.stat_walks == 1
+        sizes = store._read_manifest()
+        assert sizes is not None and len(sizes) == 3
+        assert sum(sizes.values()) == store.total_bytes()
+
+    def test_stale_manifest_falls_back_to_walk(self, store):
+        matrix, schedule, balanced = self._schedule()
+        key = store.key_for(matrix, 16, "matching", True)
+        store.store(key, schedule, balanced)
+        walks = store.stats.stat_walks
+        store.manifest_path.write_text("{definitely not json", "utf-8")
+        other, schedule2, balanced2 = self._schedule(1)
+        key2 = store.key_for(other, 16, "matching", True)
+        store.store(key2, schedule2, balanced2)
+        assert store.stats.stat_walks == walks + 1
+        sizes = store._read_manifest()
+        assert sizes is not None and len(sizes) == 2
+
+    def test_version_skew_reads_as_stale(self, store):
+        matrix, schedule, balanced = self._schedule()
+        key = store.key_for(matrix, 16, "matching", True)
+        store.store(key, schedule, balanced)
+        store.manifest_path.write_text(
+            '{"version": 999, "sizes": {}}', "utf-8"
+        )
+        assert store._read_manifest() is None
+
+    def test_eviction_rewrites_manifest_to_survivors(self, tmp_path):
+        pipeline = GustPipeline(16)
+        matrices = [uniform_random(64, 64, 0.1, seed=s) for s in range(3)]
+        prepared = [pipeline.preprocess(m) for m in matrices]
+        probe = DiskScheduleStore(directory=tmp_path / "probe")
+        key0 = probe.key_for(matrices[0], 16, "matching", True)
+        probe.store(key0, prepared[0][0], prepared[0][1])
+        one_size = probe.total_bytes()
+
+        store = DiskScheduleStore(
+            directory=tmp_path / "tight", max_bytes=int(one_size * 2.5)
+        )
+        keys = [store.key_for(m, 16, "matching", True) for m in matrices]
+        for (schedule, balanced, _), key in zip(prepared, keys):
+            store.store(key, schedule, balanced)
+        assert store.stats.evictions >= 1
+        sizes = store._read_manifest()
+        survivors = {p.name for p in store._artifacts()}
+        assert sizes is not None and set(sizes) == survivors
+
+    def test_externally_deleted_artifact_heals_on_walk(self, store):
+        """A manifest entry whose file vanished is dropped by the next
+        resync walk instead of wedging accounting."""
+        matrix, schedule, balanced = self._schedule()
+        key = store.key_for(matrix, 16, "matching", True)
+        store.store(key, schedule, balanced)
+        store.path_for(key).unlink()  # another process evicted it
+        # Force the stale-manifest path by deleting the manifest too.
+        store.manifest_path.unlink()
+        other, schedule2, balanced2 = self._schedule(1)
+        key2 = store.key_for(other, 16, "matching", True)
+        store.store(key2, schedule2, balanced2)
+        sizes = store._read_manifest()
+        assert sizes is not None
+        assert set(sizes) == {store.path_for(key2).name}
+
+    def test_clear_removes_manifest(self, store):
+        matrix, schedule, balanced = self._schedule()
+        key = store.key_for(matrix, 16, "matching", True)
+        store.store(key, schedule, balanced)
+        assert store.manifest_path.exists()
+        store.clear()
+        assert not store.manifest_path.exists()
+        assert store.artifact_count() == 0
+
+    def test_manifest_invisible_to_artifact_walk(self, store):
+        matrix, schedule, balanced = self._schedule()
+        key = store.key_for(matrix, 16, "matching", True)
+        store.store(key, schedule, balanced)
+        assert store.artifact_count() == 1
+        assert store.manifest_path.name not in {
+            p.name for p in store._artifacts()
+        }

@@ -1,0 +1,173 @@
+"""Batcher edge cases: admission, flush, interleaving, bit-identity."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import GustPipeline, MatrixRegistry, uniform_random
+from repro.errors import HardwareConfigError, QueueFullError, ServeError
+from repro.serve.batcher import (
+    BatchPolicy,
+    RequestBatcher,
+    SpmvRequest,
+    run_batch,
+)
+
+
+@pytest.fixture
+def registry() -> MatrixRegistry:
+    return MatrixRegistry(length=16)
+
+
+@pytest.fixture
+def entry(registry, square_matrix):
+    return registry.register("A", square_matrix)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(HardwareConfigError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(HardwareConfigError, match="max_wait_s"):
+            BatchPolicy(max_wait_s=-1.0)
+        with pytest.raises(HardwareConfigError, match="max_queue"):
+            BatchPolicy(max_batch=8, max_queue=4)
+
+
+class TestRunBatch:
+    def test_batch_of_one_bit_identical_to_pipeline_execute(
+        self, entry, square_matrix, rng
+    ):
+        """A batch of 1 must reproduce GustPipeline.execute exactly."""
+        pipeline = GustPipeline(16)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        request = SpmvRequest(x=np.asarray(x, dtype=np.float64))
+        run_batch(entry, [request])
+        got = np.asarray(request.future.result(timeout=0))
+        want = pipeline.execute(schedule, balanced, x)
+        assert (got == want).all()
+
+    def test_every_batch_size_bit_identical(self, entry, rng):
+        n = entry.shape[1]
+        for size in (1, 2, 3, 8, 13):
+            xs = rng.normal(size=(size, n))
+            batch = [SpmvRequest(x=x) for x in xs]
+            run_batch(entry, batch)
+            for j, request in enumerate(batch):
+                got = np.asarray(request.future.result(timeout=0))
+                assert (got == entry.execute(xs[j])).all()
+
+    def test_numpy_backend_bit_identical(self, registry, square_matrix, rng):
+        entry = registry.register(
+            "np", square_matrix, force_numpy_backend=True
+        )
+        xs = rng.normal(size=(5, entry.shape[1]))
+        batch = [SpmvRequest(x=x) for x in xs]
+        run_batch(entry, batch)
+        for j, request in enumerate(batch):
+            got = np.asarray(request.future.result(timeout=0))
+            assert (got == entry.execute(xs[j])).all()
+
+
+class TestAdmission:
+    def test_queue_full_rejection(self, entry, rng):
+        batcher = RequestBatcher(BatchPolicy(max_batch=2, max_queue=3))
+        batcher.bind(entry)
+        x = rng.normal(size=entry.shape[1])
+        for _ in range(3):
+            batcher.submit(entry, x)
+        with pytest.raises(QueueFullError, match="capacity"):
+            batcher.submit(entry, x)
+        assert batcher.pending() == 3
+
+    def test_shape_validated_synchronously(self, entry):
+        batcher = RequestBatcher()
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            batcher.submit(entry, np.zeros(entry.shape[1] + 1))
+        assert batcher.pending() == 0
+
+    def test_submit_after_close_rejected(self, entry, rng):
+        batcher = RequestBatcher()
+        batcher.close()
+        with pytest.raises(ServeError, match="not accepting"):
+            batcher.submit(entry, rng.normal(size=entry.shape[1]))
+
+
+class TestFlush:
+    def test_full_batch_flushes_immediately(self, entry, rng):
+        batcher = RequestBatcher(
+            BatchPolicy(max_batch=4, max_wait_s=60.0, max_queue=64)
+        )
+        batcher.bind(entry)
+        for _ in range(6):
+            batcher.submit(entry, rng.normal(size=entry.shape[1]))
+        got_entry, batch = batcher.take_batch()
+        assert got_entry is entry
+        # Despite the one-minute max-wait, a full batch drains at once —
+        # and is capped at max_batch even though 6 requests are queued.
+        assert len(batch) == 4
+        assert batcher.pending() == 2
+
+    def test_partial_batch_flushes_on_max_wait(self, entry, rng):
+        batcher = RequestBatcher(
+            BatchPolicy(max_batch=8, max_wait_s=0.05, max_queue=64)
+        )
+        batcher.bind(entry)
+        for _ in range(3):
+            batcher.submit(entry, rng.normal(size=entry.shape[1]))
+        started = time.perf_counter()
+        _, batch = batcher.take_batch()
+        waited = time.perf_counter() - started
+        assert len(batch) == 3
+        assert waited >= 0.04
+
+    def test_mixed_matrix_interleaving(self, registry, rng):
+        """Interleaved tenants never share a batch; FIFO across tenants."""
+        a = registry.register("A", uniform_random(40, 40, 0.1, seed=1))
+        b = registry.register("B", uniform_random(30, 30, 0.1, seed=2))
+        batcher = RequestBatcher(
+            BatchPolicy(max_batch=8, max_wait_s=0.0, max_queue=64)
+        )
+        xs = {}
+        for name, entry in (("A", a), ("B", b)):
+            batcher.bind(entry)
+            xs[name] = rng.normal(size=(3, entry.shape[1]))
+        for j in range(3):  # interleave: A B A B A B
+            batcher.submit(a, xs["A"][j])
+            batcher.submit(b, xs["B"][j])
+        first_entry, first = batcher.take_batch()
+        second_entry, second = batcher.take_batch()
+        # Oldest head first: A was submitted before B.
+        assert first_entry is a and second_entry is b
+        assert len(first) == 3 and len(second) == 3
+        for entry, batch, name in ((a, first, "A"), (b, second, "B")):
+            run_batch(entry, batch)
+            for j, request in enumerate(batch):
+                got = np.asarray(request.future.result(timeout=0))
+                assert (got == entry.execute(xs[name][j])).all()
+
+
+class TestShutdown:
+    def test_drain_makes_partial_batches_immediate(self, entry, rng):
+        batcher = RequestBatcher(
+            BatchPolicy(max_batch=8, max_wait_s=60.0, max_queue=64)
+        )
+        batcher.bind(entry)
+        for _ in range(3):
+            batcher.submit(entry, rng.normal(size=entry.shape[1]))
+        abandoned = batcher.close(drain=True)
+        assert abandoned == []
+        _, batch = batcher.take_batch()
+        assert len(batch) == 3
+        assert batcher.take_batch() is None  # shut down, queues empty
+
+    def test_close_without_drain_returns_abandoned(self, entry, rng):
+        batcher = RequestBatcher()
+        batcher.bind(entry)
+        for _ in range(2):
+            batcher.submit(entry, rng.normal(size=entry.shape[1]))
+        abandoned = batcher.close(drain=False)
+        assert len(abandoned) == 2
+        assert batcher.take_batch() is None

@@ -1,0 +1,185 @@
+"""Server tests: concurrency smoke, shutdown draining, metrics, errors."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchPolicy,
+    GustPipeline,
+    MatrixRegistry,
+    SpmvClient,
+    SpmvServer,
+    uniform_random,
+)
+from repro.errors import HardwareConfigError, QueueFullError, ServeError
+
+
+def _make_server(**policy_kwargs) -> SpmvServer:
+    policy = BatchPolicy(**policy_kwargs) if policy_kwargs else BatchPolicy()
+    return SpmvServer(registry=MatrixRegistry(length=16), policy=policy)
+
+
+class TestHundredConcurrentClients:
+    def test_smoke(self):
+        """The CI acceptance smoke: 100 threads, zero lost or wrong
+        responses, and a non-trivial batch-size histogram.
+
+        Results are checked against the pre-plan scatter path
+        (``use_plans=False``), the reference the whole replay stack is
+        pinned to.
+        """
+        matrices = {
+            "alpha": uniform_random(96, 96, 0.08, seed=5),
+            "beta": uniform_random(64, 64, 0.1, seed=6),
+        }
+        reference = {}
+        for name, matrix in matrices.items():
+            pipeline = GustPipeline(16, use_plans=False)
+            schedule, balanced, _ = pipeline.preprocess(matrix)
+            reference[name] = (
+                lambda x, p=pipeline, s=schedule, b=balanced:
+                p.execute_scatter(s, b, x)
+            )
+        server = _make_server(max_batch=16, max_wait_s=0.01, max_queue=256)
+        for name, matrix in matrices.items():
+            server.register(name, matrix)
+        client = SpmvClient(server)
+        names = sorted(matrices)
+        mismatches = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(100)
+
+        def one_request(index: int) -> None:
+            rng = np.random.default_rng(index)
+            name = names[index % len(names)]
+            x = rng.normal(size=matrices[name].shape[1])
+            barrier.wait(timeout=30)
+            y = client.spmv(name, x, timeout=30.0, retries=100)
+            if not (np.asarray(y) == reference[name](x)).all():
+                with lock:
+                    mismatches.append(index)
+
+        with server:
+            threads = [
+                threading.Thread(target=one_request, args=(i,))
+                for i in range(100)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # Stats only after stop() joined the workers — counters are
+        # eventually consistent while the server runs.
+        stats = server.stats()
+        assert mismatches == []
+        assert stats.completed == 100
+        assert stats.submitted == 100
+        assert stats.failed == 0
+        # Non-trivial histogram: the barrier makes requests concurrent, so
+        # at least some must have coalesced into real batches.
+        assert sum(
+            size * count for size, count in stats.batch_histogram.items()
+        ) == 100
+        assert max(stats.batch_histogram) > 1
+        assert stats.batches < 100
+        assert stats.p99_ms >= stats.p50_ms > 0.0
+
+
+class TestLifecycle:
+    def test_stop_drains_in_flight_requests(self, square_matrix, rng):
+        """Requests queued behind a long max-wait still complete on stop."""
+        server = _make_server(max_batch=64, max_wait_s=60.0, max_queue=128)
+        entry = server.register("A", square_matrix)
+        xs = rng.normal(size=(10, square_matrix.shape[1]))
+        server.start()
+        futures = [server.submit("A", x) for x in xs]
+        server.stop(drain=True)
+        for j, future in enumerate(futures):
+            got = np.asarray(future.result(timeout=0))
+            assert (got == entry.execute(xs[j])).all()
+        stats = server.stats()
+        assert stats.completed == 10
+        assert stats.failed == 0
+
+    def test_stop_without_drain_fails_queued_requests(self, square_matrix, rng):
+        server = _make_server(max_batch=64, max_wait_s=60.0, max_queue=128)
+        server.register("A", square_matrix)
+        # Never started: nothing drains the queue, so the requests are
+        # still pending when the server stops.
+        futures = [
+            server.submit("A", rng.normal(size=square_matrix.shape[1]))
+            for _ in range(3)
+        ]
+        server.stop(drain=False)
+        for future in futures:
+            with pytest.raises(ServeError, match="stopped"):
+                future.result(timeout=0)
+        assert server.stats().failed == 3
+
+    def test_stop_is_idempotent_and_restart_rejected(self, square_matrix):
+        server = _make_server()
+        server.register("A", square_matrix)
+        server.start()
+        server.stop()
+        server.stop()
+        with pytest.raises(ServeError, match="restart"):
+            server.start()
+        with pytest.raises(ServeError, match="not accepting"):
+            server.submit("A", np.zeros(square_matrix.shape[1]))
+
+    def test_double_start_rejected(self):
+        server = _make_server()
+        server.start()
+        try:
+            with pytest.raises(ServeError, match="already running"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ServeError, match="workers"):
+            SpmvServer(workers=0)
+
+
+class TestRequestPath:
+    def test_unknown_tenant(self):
+        server = _make_server()
+        with pytest.raises(ServeError, match="unknown matrix"):
+            server.submit("nope", np.zeros(4))
+
+    def test_bad_shape_raises_synchronously(self, square_matrix):
+        server = _make_server()
+        server.register("A", square_matrix)
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            server.submit("A", np.zeros(square_matrix.shape[1] + 3))
+
+    def test_backpressure_counts_rejections(self, square_matrix, rng):
+        server = _make_server(max_batch=2, max_wait_s=60.0, max_queue=2)
+        server.register("A", square_matrix)
+        # Not started: the queue cannot drain, so the third submit must
+        # be rejected with QueueFullError.
+        for _ in range(2):
+            server.submit("A", rng.normal(size=square_matrix.shape[1]))
+        with pytest.raises(QueueFullError):
+            server.submit("A", rng.normal(size=square_matrix.shape[1]))
+        assert server.stats().rejected == 1
+        assert server.stats().submitted == 2
+        server.stop(drain=False)
+
+    def test_client_many_round_trip(self, square_matrix, rng):
+        server = _make_server(max_batch=8, max_wait_s=0.005, max_queue=64)
+        entry = server.register("A", square_matrix)
+        xs = [rng.normal(size=square_matrix.shape[1]) for _ in range(12)]
+        with server:
+            ys = SpmvClient(server).spmv_many("A", xs, timeout=30.0)
+        for x, y in zip(xs, ys):
+            assert (np.asarray(y) == entry.execute(x)).all()
+
+    def test_stats_render_mentions_cache(self, square_matrix):
+        server = _make_server()
+        server.register("A", square_matrix)
+        text = server.stats().render()
+        assert "schedule cache" in text
+        assert "batches" in text

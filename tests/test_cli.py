@@ -222,3 +222,35 @@ class TestErrors:
             ]
         )
         assert code == 1
+
+
+class TestServe:
+    def test_serve_synthetic_tenants(self, capsys):
+        code = main(
+            [
+                "serve", "--tenants", "2", "--clients", "4",
+                "--requests", "24", "--dim", "96", "--density", "0.05",
+                "--length", "16", "--max-wait-ms", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified=True" in out
+        assert "batch histogram" in out
+        assert "registered tenant0" in out
+
+    def test_serve_matrix_file(self, matrix_file, capsys):
+        code = main(
+            [
+                "serve", "--matrix", str(matrix_file), "--clients", "2",
+                "--requests", "10", "--length", "16",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified=True" in out
+
+    def test_serve_rejects_bad_request_count(self, capsys):
+        code = main(["serve", "--requests", "0"])
+        assert code == 2
+        assert "must be >= 1" in capsys.readouterr().err
