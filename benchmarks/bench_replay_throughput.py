@@ -8,19 +8,21 @@ gates the :class:`~repro.core.plan.ExecutionPlan` engine on the paper's
 headline regime — a 100k-nonzero, ``l = 64`` matrix:
 
 * **scatter** — the pre-plan replay kept verbatim as
-  :meth:`~repro.core.pipeline.GustPipeline.execute_scatter`: a dense
-  ``np.nonzero`` over the schedule arrays plus an ``np.add.at``
-  accumulation, every call;
-* **plan** — the prepared plan's gather -> multiply -> segment-reduce
-  replay (compiled once, replayed many).
+  :meth:`~repro.core.pipeline.GustPipeline.execute_scatter` (also
+  reachable as ``backend="legacy-scatter"``): a dense ``np.nonzero`` over
+  the schedule arrays plus an ``np.add.at`` accumulation, every call;
+* **plan** — the compiled :class:`~repro.core.compiled.CompiledSpmv`
+  handle on the ``"bincount"`` backend (``GustPipeline.compile``): gather
+  -> multiply -> segment-reduce, compiled once, replayed many.
 
 Acceptance gates (asserted when run as a script or under pytest):
 
-* plan SpMV replay >= 3x faster than the scatter path;
-* plan and scatter replays are **bit-identical** (the plan's stable
+* compiled SpMV replay >= 3x faster than the legacy scatter path;
+* compiled and scatter replays are **bit-identical** (the plan's stable
   destination-row sort preserves each row's accumulation order);
-* full solver runs (Jacobi, power iteration) through plan-backed pipelines
-  are bit-identical to the non-plan pipelines, iteration for iteration;
+* full solver runs (Jacobi, power iteration) through compiled-backend
+  pipelines are bit-identical to legacy-scatter pipelines, iteration for
+  iteration;
 * cached solver iterations speed up by >= 1.5x.
 
 Run standalone::
@@ -92,22 +94,25 @@ def measure_spmv(compare_scipy: bool = False) -> dict:
     rng = np.random.default_rng(SEED)
     x = rng.normal(size=DIM)
 
-    pipeline = GustPipeline(LENGTH)
+    pipeline = GustPipeline(LENGTH, cache=True)
     schedule, balanced, _ = pipeline.preprocess(matrix)
-    plan = pipeline.plan_for(schedule, balanced)
+    # The compiled handle on the bincount backend (the prepared-plan hot
+    # path) vs. the uncompiled legacy baseline it replaced.
+    compiled = pipeline.compile(matrix, backend="bincount")
 
     scatter_s = _best_of(
         lambda: pipeline.execute_scatter(schedule, balanced, x), 20
     )
-    plan_s = _best_of(lambda: plan.execute(x), 20)
+    plan_s = _best_of(lambda: compiled.matvec(x), 20)
 
     y_scatter = pipeline.execute_scatter(schedule, balanced, x)
-    y_plan = plan.execute(x)
+    y_plan = compiled.matvec(x)
     bit_identical = bool((y_scatter == y_plan).all())
     correct = bool(np.allclose(y_plan, matrix.matvec(x)))
 
     results = {
         "matrix": {"dim": DIM, "nnz": matrix.nnz, "length": LENGTH},
+        "backend": compiled.backend_name,
         "scatter_s": scatter_s,
         "plan_s": plan_s,
         "speedup": scatter_s / plan_s,
@@ -142,23 +147,23 @@ def measure_solvers() -> dict:
     rng = np.random.default_rng(SEED)
     b = rng.normal(size=SOLVER_DIM)
 
-    def run_jacobi(use_plans: bool):
-        pipeline = GustPipeline(LENGTH, cache=True, use_plans=use_plans)
+    def run_jacobi(backend: str):
+        pipeline = GustPipeline(LENGTH, cache=True, backend=backend)
         return jacobi(matrix, b, pipeline=pipeline, max_iterations=60)
 
-    def run_power(use_plans: bool):
-        pipeline = GustPipeline(LENGTH, cache=True, use_plans=use_plans)
+    def run_power(backend: str):
+        pipeline = GustPipeline(LENGTH, cache=True, backend=backend)
         return power_iteration(matrix, pipeline=pipeline, max_iterations=40)
 
-    with_plan = run_jacobi(True)
-    without_plan = run_jacobi(False)
+    with_plan = run_jacobi("bincount")
+    without_plan = run_jacobi("legacy-scatter")
     jacobi_identical = bool(
         (with_plan.x == without_plan.x).all()
         and with_plan.iterations == without_plan.iterations
         and with_plan.residual_norm == without_plan.residual_norm
     )
-    power_with = run_power(True)
-    power_without = run_power(False)
+    power_with = run_power("bincount")
+    power_without = run_power("legacy-scatter")
     power_identical = bool(
         (power_with.vector == power_without.vector).all()
         and power_with.eigenvalue == power_without.eigenvalue
@@ -167,8 +172,8 @@ def measure_solvers() -> dict:
     # Per-iteration replay cost with a warm cache (the steady state of a
     # solver fleet): schedule once, then time full solves whose
     # preprocessing is a cache hit, normalizing by SpMV count.
-    plan_pipeline = GustPipeline(LENGTH, cache=True)
-    scatter_pipeline = GustPipeline(LENGTH, cache=True, use_plans=False)
+    plan_pipeline = GustPipeline(LENGTH, cache=True, backend="bincount")
+    scatter_pipeline = GustPipeline(LENGTH, cache=True, backend="legacy-scatter")
     jacobi(matrix, b, pipeline=plan_pipeline, max_iterations=5)  # prime
     jacobi(matrix, b, pipeline=scatter_pipeline, max_iterations=5)
     spmvs = with_plan.spmv_count

@@ -7,10 +7,13 @@ time.  This benchmark gates that claim on the serving regime defined by
 the constants in :mod:`repro.serve.bench` (a 2048-dim, ~32k-nnz tenant
 at ``l = 64``):
 
-* **batched serving throughput >= 3x** the sequential single-request plan
-  replay, at batch size >= 8;
-* every batched result **bit-identical** to per-request
-  ``GustPipeline.execute`` (the batch kernel accumulates each destination
+* **batched serving throughput >= 1.5x** the sequential single-request
+  compiled replay, at batch size >= 8 (the baseline itself got ~3x faster
+  when the backend registry landed — see the gate-history note in
+  :mod:`repro.serve.bench` — so the relative bar moved while every
+  absolute number improved);
+* every batched result **bit-identical** to the per-request
+  ``CompiledSpmv`` replay (the batch kernel accumulates each destination
   row sequentially in plan slot order, whatever its backend);
 * an end-to-end threaded run (16 closed-loop clients against a live
   ``SpmvServer``) answers every request bit-exactly and actually
@@ -54,6 +57,6 @@ if __name__ == "__main__":
         print("FAILED: " + "; ".join(failures), file=sys.stderr)
         sys.exit(1)
     print(
-        f"PASS: batched serving >= {bench.MIN_BATCH_SPEEDUP:.0f}x at batch "
+        f"PASS: batched serving >= {bench.MIN_BATCH_SPEEDUP:.1f}x at batch "
         f">= {bench.GATE_MIN_BATCH}, bit-identical, threaded run clean"
     )

@@ -33,12 +33,20 @@ Layers (see DESIGN.md for the full map):
 * :mod:`repro.solvers` — iterative solvers exercising repeated SpMV.
 """
 
+from repro.core.backends import (
+    BackendCapabilities,
+    ReplayBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.core.bounds import (
     expected_colors,
     expected_execution_cycles,
     expected_utilization,
 )
 from repro.core.cache import CacheLookup, CacheStats, ScheduleCache
+from repro.core.compiled import CompiledSpmv, CompiledStats
 from repro.core.load_balance import BalancedMatrix, LoadBalancer
 from repro.core.machine import GustMachine, MachineResult
 from repro.core.parallel import ParallelGust
@@ -81,11 +89,18 @@ from repro.types import CycleReport, EnergyReport, PreprocessReport, RunResult
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackendCapabilities",
     "BalancedMatrix",
     "BatchPolicy",
     "CacheLookup",
     "CacheStats",
+    "CompiledSpmv",
+    "CompiledStats",
     "CooMatrix",
+    "ReplayBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "CsrMatrix",
     "CycleReport",
     "DatasetSpec",

@@ -6,6 +6,7 @@ Commands
 generate    synthesize a matrix (family generator or paper surrogate) to .mtx
 schedule    preprocess a .mtx matrix into a reusable schedule artifact
 spmv        execute a scheduled SpMV against a vector and verify it
+backends    list registered execution backends and the auto-probe verdict
 serve       run the in-process batching SpMV server under synthetic load
 bench-serve run the serving-throughput benchmark (same gates as CI)
 inspect     print statistics of a saved schedule
@@ -26,6 +27,7 @@ Examples::
     python -m repro generate --dataset scircuit --scale 16 --out scircuit.mtx
     python -m repro schedule m.mtx --length 128 --out m.sched
     python -m repro spmv m.sched --seed 7
+    python -m repro backends
     python -m repro serve --tenants 2 --clients 8 --requests 200
     python -m repro serve --matrix m.mtx --requests 500 --max-batch 32
     python -m repro bench-serve --json bench-serve.json
@@ -180,9 +182,24 @@ def _build_parser() -> argparse.ArgumentParser:
     spmv.add_argument("schedule", help="schedule artifact file")
     spmv.add_argument("--seed", type=int, default=0, help="input vector seed")
     spmv.add_argument(
+        "--backend",
+        default="auto",
+        help="execution backend (a registered name, 'auto', or "
+        "'legacy-scatter'; see `repro backends`)",
+    )
+    spmv.add_argument(
         "--cycle-accurate",
         action="store_true",
         help="run the hardware machine instead of the fast replay",
+    )
+
+    backends = commands.add_parser(
+        "backends",
+        help="list execution backends, capability flags, and probe verdicts",
+    )
+    backends.add_argument(
+        "--dim", type=int, default=256,
+        help="probe matrix dimension (a small synthetic workload)",
     )
 
     inspect = commands.add_parser("inspect", help="describe a saved schedule")
@@ -382,7 +399,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         print("FAILED: " + "; ".join(failures), file=sys.stderr)
         return 1
     print(
-        f"PASS: batched serving >= {bench.MIN_BATCH_SPEEDUP:.0f}x at batch "
+        f"PASS: batched serving >= {bench.MIN_BATCH_SPEEDUP:.1f}x at batch "
         f">= {bench.GATE_MIN_BATCH}, bit-identical, threaded run clean"
     )
     return 0
@@ -412,7 +429,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_spmv(args: argparse.Namespace) -> int:
     schedule, balanced = load_schedule(args.schedule)
-    pipeline = GustPipeline(schedule.length)
+    pipeline = GustPipeline(schedule.length, backend=args.backend)
     rng = np.random.default_rng(args.seed)
     x = rng.normal(size=schedule.shape[1])
     if args.cycle_accurate:
@@ -423,7 +440,12 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
             f"max FIFO depth {machine.max_fifo_depth}"
         )
     else:
-        y = pipeline.execute(schedule, balanced, x)
+        compiled = pipeline.compile_schedule(schedule, balanced)
+        y = compiled.matvec(x)
+        print(
+            f"backend: {compiled.backend_name} "
+            f"[{compiled.stats.capabilities.describe()}]"
+        )
     # Verify against the oracle reconstructed from the balanced matrix.
     expected = balanced.unpermute_output(balanced.matrix.matvec(x))
     ok = np.allclose(y, expected)
@@ -432,6 +454,65 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
         f"checksum {float(np.sum(y)):.6g}  verified={ok}"
     )
     return 0 if ok else 1
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.backends import (
+        compile_plan,
+        probe_bit_identity,
+        registered_backends,
+    )
+    from repro.eval.tables import render_table
+    from repro.sparse.generators import uniform_random
+
+    # A small synthetic workload gives every probe a real plan to chew on.
+    matrix = uniform_random(args.dim, args.dim, 0.02, seed=0)
+    pipeline = GustPipeline(min(64, args.dim))
+    schedule, balanced, _ = pipeline.preprocess(matrix)
+    plan = pipeline.plan_for(schedule, balanced)
+
+    rows = []
+    for name, backend in registered_backends().items():
+        caps = backend.capabilities
+        if not backend.available():
+            verdict = "unavailable (missing dependency)"
+        elif caps.bit_identical:
+            probed = probe_bit_identity(backend.compile(plan), plan)
+            verdict = "bit-identical" if probed else "PROBE FAILED"
+            if caps.probed:
+                verdict += " (probed)"
+        else:
+            verdict = "allclose only"
+        rows.append(
+            [
+                name,
+                "yes" if caps.bit_identical else "no",
+                "yes" if caps.supports_block else "no",
+                "yes" if caps.thread_safe else "no",
+                verdict,
+            ]
+        )
+    print(
+        render_table(
+            ["backend", "bit_identical", "block", "thread_safe", "verdict"],
+            rows,
+            title=f"registered execution backends "
+            f"(probe workload: {args.dim}x{args.dim})",
+        )
+    )
+    auto = compile_plan(plan, backend="auto")
+    override = os.environ.get("GUST_BACKEND")
+    line = f"auto selects: {auto.name} (bit-identical={auto.bit_identical})"
+    if override:
+        line += f"  [GUST_BACKEND={override}]"
+    print(line)
+    print(
+        "legacy-scatter (uncompiled pre-plan baseline) is additionally "
+        "available through GustPipeline(backend=...)"
+    )
+    return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -494,6 +575,7 @@ def _experiment_registry():
     from repro.eval import experiments as experiments_pkg
 
     return {
+        "backends": experiments_pkg.backend_throughput,
         "table1": experiments_pkg.table1_qualities,
         "table2": experiments_pkg.table2_resources,
         "table3": experiments_pkg.table3_datasets,
@@ -551,6 +633,7 @@ _HANDLERS = {
     "schedule": _cmd_schedule,
     "cache": _cmd_cache,
     "spmv": _cmd_spmv,
+    "backends": _cmd_backends,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "inspect": _cmd_inspect,

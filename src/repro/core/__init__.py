@@ -5,12 +5,21 @@ bundles preprocessing (windowing + load balancing + edge coloring) with
 execution (fast vectorized replay or the cycle-accurate machine).
 """
 
+from repro.core.backends import (
+    BackendCapabilities,
+    CompiledKernel,
+    ReplayBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.core.bounds import (
     expected_colors,
     expected_execution_cycles,
     expected_utilization,
 )
 from repro.core.cache import CacheLookup, CacheStats, ScheduleCache
+from repro.core.compiled import CompiledSpmv, CompiledStats
 from repro.core.load_balance import BalancedMatrix, LoadBalancer
 from repro.core.machine import GustMachine, MachineResult
 from repro.core.naive import (
@@ -38,9 +47,17 @@ from repro.core.store import (
 )
 
 __all__ = [
+    "BackendCapabilities",
     "BalancedMatrix",
     "CacheLookup",
     "CacheStats",
+    "CompiledKernel",
+    "CompiledSpmv",
+    "CompiledStats",
+    "ReplayBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "DiskScheduleStore",
     "DiskStoreStats",
     "StoredSchedule",

@@ -1,0 +1,73 @@
+"""Pluggable execution backends for schedule replay.
+
+One preprocessing front end (windowing, load balancing, edge coloring,
+plan compilation), many interchangeable execution kernels — the structure
+RACE and the GPU SpMV literature converge on.  See
+:mod:`repro.core.backends.base` for the protocol and
+:mod:`repro.core.backends.registry` for name resolution, the
+``GUST_BACKEND`` override, and ``"auto"`` selection.
+
+Built-in backends::
+
+    scatter    np.add.at accumulation — the bit-identity oracle
+    bincount   np.bincount segment reduction — fast, bit-identical
+    reduceat   np.add.reduceat — fastest blocks, allclose-only (NumPy 2.x)
+    scipy      scipy CSR matvec/matvecs — bit-identity probed per compile
+
+Most callers never touch this package directly: they hold a
+:class:`~repro.core.compiled.CompiledSpmv` from
+:meth:`GustPipeline.compile` and call ``.matvec`` / ``.matmat`` /
+``.refresh_values`` on it.
+"""
+
+from repro.core.backends._deprecation import (
+    reset_deprecation_warnings,
+    warn_once,
+)
+from repro.core.backends.base import (
+    BackendCapabilities,
+    CompiledKernel,
+    ReplayBackend,
+)
+from repro.core.backends.bincount import BincountBackend
+from repro.core.backends.reduceat import ReduceatBackend
+from repro.core.backends.registry import (
+    AUTO_ORDER,
+    ENV_BACKEND,
+    CompiledReplay,
+    available_backends,
+    compile_plan,
+    get_backend,
+    probe_bit_identity,
+    register_backend,
+    registered_backends,
+)
+from repro.core.backends.scatter import (
+    ScatterBackend,
+    scatter_matmat,
+    scatter_matvec,
+)
+from repro.core.backends.scipy_csr import ScipyCsrBackend
+
+__all__ = [
+    "AUTO_ORDER",
+    "ENV_BACKEND",
+    "BackendCapabilities",
+    "BincountBackend",
+    "CompiledKernel",
+    "CompiledReplay",
+    "ReduceatBackend",
+    "ReplayBackend",
+    "ScatterBackend",
+    "ScipyCsrBackend",
+    "available_backends",
+    "compile_plan",
+    "get_backend",
+    "probe_bit_identity",
+    "register_backend",
+    "registered_backends",
+    "reset_deprecation_warnings",
+    "scatter_matmat",
+    "scatter_matvec",
+    "warn_once",
+]

@@ -1,0 +1,32 @@
+"""Warn-once plumbing for the pre-backend API's deprecation shims.
+
+Each legacy entry point (``use_plans=``, ``GustPipeline.executor``, ...)
+warns exactly once per process, keyed by shim name: the shims sit on hot
+paths (solver loops bind executors, benchmarks construct pipelines in
+loops), and one actionable warning beats a thousand repeats.  Tests reset
+the seen-set via :func:`reset_deprecation_warnings` to assert the
+exactly-once contract deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+_lock = threading.Lock()
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen."""
+    with _lock:
+        if key in _warned:
+            return
+        _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims have warned (test hook)."""
+    with _lock:
+        _warned.clear()

@@ -1,0 +1,63 @@
+"""The ``np.add.reduceat`` backend — fastest block replay, allclose-only.
+
+``np.add.reduceat`` reduces contiguous CSR segments with unrolled partial
+sums on NumPy >= 2.x (measured on 2.4: segments of >= 8 slots are *not*
+accumulated sequentially), so its results are only numerically close to
+the scatter oracle — ``capabilities.bit_identical`` is ``False``, and the
+registry will therefore never auto-select it nor hand it to a caller that
+required exactness (that request raises
+:class:`~repro.errors.BackendCapabilityError` instead of being silently
+gated by an ``allclose`` test, which is how this hazard used to hide).
+
+Use it deliberately, where throughput beats reproducibility: it is the
+classic segmented-reduction SpMM formulation
+(:meth:`ExecutionPlan.execute_block`) and the shape a GPU segment-reduce
+backend will take.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends.base import (
+    BackendCapabilities,
+    CompiledKernel,
+    ReplayBackend,
+)
+from repro.core.plan import DEFAULT_TILE_BUDGET, ExecutionPlan
+
+
+class ReduceatKernel(CompiledKernel):
+    """Compiled segment-reduction replay over the CSR boundaries."""
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._as_vector(x)
+        plan = self._plan
+        m, _ = plan.shape
+        y_permuted = np.zeros(m, dtype=np.float64)
+        if plan.nnz:
+            products = plan.values * x[plan.sources]
+            y_permuted[plan.seg_rows] = np.add.reduceat(
+                products, plan.seg_starts
+            )
+        return y_permuted[plan.row_perm]
+
+    def matmat(
+        self, dense: np.ndarray, tile_budget: int = DEFAULT_TILE_BUDGET
+    ) -> np.ndarray:
+        # execute_block validates the operand and owns the tile loop.
+        return self._plan.execute_block(dense, tile_budget=tile_budget)
+
+
+class ReduceatBackend(ReplayBackend):
+    """``np.add.reduceat`` segment reduction (numerically close only)."""
+
+    name = "reduceat"
+    capabilities = BackendCapabilities(
+        bit_identical=False,
+        supports_block=True,
+        thread_safe=True,
+    )
+
+    def compile(self, plan: ExecutionPlan) -> ReduceatKernel:
+        return ReduceatKernel(plan)

@@ -1,0 +1,268 @@
+"""Backend registry: named backends, ``auto`` selection, capability checks.
+
+The registry is the single place execution backends are chosen:
+
+* :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends` manage the name -> backend map (the four
+  built-ins self-register on import; a GPU segment-reduce backend plugs in
+  the same way).
+* :func:`compile_plan` is the one entry point callers use: it resolves a
+  backend name (including ``"auto"`` and the ``GUST_BACKEND`` environment
+  override), enforces capability requirements, runs the bit-identity probe
+  where the backend's flags demand it, and returns a
+  :class:`CompiledReplay` record.
+
+``"auto"`` selection
+--------------------
+
+``auto`` picks the first backend in :data:`AUTO_ORDER` whose bit-identity
+holds — declared backends (``bincount``, ``scatter``) are trusted outright
+(their contract is pinned by the tier-1 suite and the replay benchmark),
+while ``probed`` backends (``scipy``) must reproduce the scatter oracle
+bit for bit on seeded probe vectors, exactly the compile-time probe
+``core/spmm.py`` introduced for the serving layer.  Backends that declare
+``bit_identical=False`` (``reduceat``) are never auto-selected: they must
+be requested by name, and even then a caller that *requires* exactness
+gets a typed :class:`~repro.errors.BackendCapabilityError` instead of the
+silent ``allclose``-grade drift the old kwarg plumbing allowed.
+
+Setting ``GUST_BACKEND=<name>`` overrides ``auto`` everywhere a caller did
+not pin a backend explicitly — the CI matrix runs the whole tier-1 suite
+once per bit-identical backend this way.  The override is still subject to
+capability checks: if the named backend cannot honor a caller's
+requirements (or fails its probe), the call falls back to normal ``auto``
+selection with a ``RuntimeWarning`` rather than corrupting results.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backends.base import (
+    BackendCapabilities,
+    CompiledKernel,
+    ReplayBackend,
+)
+from repro.core.backends.bincount import BincountBackend
+from repro.core.backends.reduceat import ReduceatBackend
+from repro.core.backends.scatter import ScatterBackend, scatter_matvec
+from repro.core.backends.scipy_csr import ScipyCsrBackend
+from repro.core.plan import ExecutionPlan
+from repro.errors import BackendCapabilityError, BackendError
+
+#: Environment variable overriding ``"auto"`` backend resolution.
+ENV_BACKEND = "GUST_BACKEND"
+
+#: ``auto`` preference order, fastest bit-identical candidate first.
+AUTO_ORDER = ("scipy", "bincount", "scatter")
+
+#: Probe vectors compared against the scatter oracle before a ``probed``
+#: backend's bit-identity claim is trusted.
+PROBE_COLUMNS = 2
+_PROBE_SEED = 0xC0FFEE
+
+_REGISTRY: dict[str, ReplayBackend] = {}
+
+
+def register_backend(backend: ReplayBackend, replace: bool = False) -> None:
+    """Add ``backend`` to the registry under ``backend.name``.
+
+    Third-party backends (a GPU segment-reduce, a multi-process shard
+    router) register here and immediately participate in ``"auto"``
+    resolution checks, ``GUST_BACKEND`` overrides, the ``repro backends``
+    CLI listing, and the cross-backend equivalence test matrix.
+    """
+    name = backend.name
+    if not name or name == "auto":
+        raise BackendError(f"invalid backend name {name!r}")
+    if name in _REGISTRY and not replace:
+        raise BackendError(
+            f"backend {name!r} is already registered; pass replace=True "
+            f"to swap it"
+        )
+    _REGISTRY[name] = backend
+
+
+def get_backend(name: str) -> ReplayBackend:
+    """Look up a registered backend by name (``"auto"`` is not a backend)."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise BackendError(
+            f"unknown backend {name!r}; registered backends: {known} "
+            f"(or 'auto')"
+        )
+    if not backend.available():
+        raise BackendError(
+            f"backend {name!r} is registered but unavailable (missing "
+            f"runtime dependency)"
+        )
+    return backend
+
+
+def available_backends() -> dict[str, BackendCapabilities]:
+    """Name -> capabilities for every registered backend that can run."""
+    return {
+        name: backend.capabilities
+        for name, backend in sorted(_REGISTRY.items())
+        if backend.available()
+    }
+
+
+def registered_backends() -> dict[str, ReplayBackend]:
+    """Name -> backend for everything registered (available or not)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+# -- probing ------------------------------------------------------------------
+
+
+def probe_bit_identity(
+    kernel: CompiledKernel, plan: ExecutionPlan
+) -> bool:
+    """True when ``kernel`` reproduces the scatter oracle bit for bit.
+
+    Seeded random vectors are pushed through both ``matvec`` and
+    ``matmat`` (a backend may route them through different third-party
+    kernels) and compared exactly against :func:`scatter_matvec` — the
+    ``np.add.at`` oracle, computed independently of the backend under
+    test.
+    """
+    _, n = plan.shape
+    rng = np.random.default_rng(_PROBE_SEED)
+    xs = rng.normal(size=(PROBE_COLUMNS, n))
+    oracle = [scatter_matvec(plan, x) for x in xs]
+    if any(
+        not (kernel.matvec(x) == want).all() for x, want in zip(xs, oracle)
+    ):
+        return False
+    block = kernel.matmat(xs.T)
+    return all(
+        bool((block[:, j] == oracle[j]).all()) for j in range(PROBE_COLUMNS)
+    )
+
+
+# -- resolution + compilation -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledReplay:
+    """Outcome of one :func:`compile_plan` call."""
+
+    #: The replay-ready kernel.
+    kernel: CompiledKernel
+    #: Resolved backend name (never ``"auto"``).
+    name: str
+    #: Declared capability flags of the chosen backend.
+    capabilities: BackendCapabilities
+    #: Effective bit-identity guarantee: declared, or probe-confirmed.
+    bit_identical: bool
+    #: ``True``/``False`` when the probe ran, ``None`` when it did not.
+    probe_verdict: bool | None
+
+
+def _qualify(
+    backend: ReplayBackend,
+    plan: ExecutionPlan,
+    require_bit_identical: bool,
+) -> CompiledReplay | None:
+    """Compile + capability-check one candidate; ``None`` if it fails.
+
+    A ``probed`` backend runs the bit-identity probe whenever its claim
+    matters (the caller required exactness, or we need the effective flag
+    for auto selection); a failed probe downgrades ``bit_identical`` to
+    ``False`` rather than erroring, so explicit callers that accept
+    allclose-grade results can still use the backend.
+    """
+    caps = backend.capabilities
+    if require_bit_identical and not caps.bit_identical:
+        return None
+    kernel = backend.compile(plan)
+    probe_verdict = None
+    bit_identical = caps.bit_identical
+    if caps.bit_identical and caps.probed:
+        probe_verdict = probe_bit_identity(kernel, plan)
+        bit_identical = probe_verdict
+        if require_bit_identical and not probe_verdict:
+            return None
+    return CompiledReplay(
+        kernel=kernel,
+        name=backend.name,
+        capabilities=caps,
+        bit_identical=bit_identical,
+        probe_verdict=probe_verdict,
+    )
+
+
+def compile_plan(
+    plan: ExecutionPlan,
+    backend: str | None = "auto",
+    require_bit_identical: bool = False,
+) -> CompiledReplay:
+    """Resolve a backend name and compile ``plan`` on it.
+
+    Args:
+        plan: the prepared execution plan to compile.
+        backend: a registered name, or ``"auto"``/``None`` for automatic
+            selection (first :data:`AUTO_ORDER` candidate whose
+            bit-identity holds, subject to the ``GUST_BACKEND`` override).
+        require_bit_identical: the caller demands exact scatter-oracle
+            reproduction.  An explicitly named backend that cannot honor
+            it (by declaration, or by failing its probe) raises
+            :class:`BackendCapabilityError`; an environment override that
+            cannot is skipped with a ``RuntimeWarning``.
+    """
+    if backend not in (None, "auto"):
+        resolved = get_backend(backend)
+        compiled = _qualify(resolved, plan, require_bit_identical)
+        if compiled is None:
+            raise BackendCapabilityError(
+                f"backend {backend!r} cannot guarantee bit-identical "
+                f"replay (capabilities: "
+                f"{resolved.capabilities.describe()}), but the caller "
+                f"required exactness; choose a bit_identical backend or "
+                f"drop the requirement"
+            )
+        return compiled
+
+    override = os.environ.get(ENV_BACKEND)
+    if override and override != "auto":
+        resolved = get_backend(override)  # unknown env names fail loudly
+        compiled = _qualify(
+            resolved, plan, require_bit_identical=require_bit_identical
+        )
+        if compiled is not None:
+            return compiled
+        warnings.warn(
+            f"{ENV_BACKEND}={override!r} cannot guarantee the "
+            f"bit-identical replay this caller requires; falling back to "
+            f"auto selection",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    for name in AUTO_ORDER:
+        candidate = _REGISTRY.get(name)
+        if candidate is None or not candidate.available():
+            continue
+        # Auto always selects for bit-identity: the default replay
+        # contract is exactness, whatever the caller's requirement flag.
+        compiled = _qualify(candidate, plan, require_bit_identical=True)
+        if compiled is not None:
+            return compiled
+    raise BackendError(
+        "no registered backend passed auto selection; the built-ins "
+        "should make this unreachable"
+    )
+
+
+# -- built-ins ----------------------------------------------------------------
+
+register_backend(ScatterBackend())
+register_backend(BincountBackend())
+register_backend(ReduceatBackend())
+register_backend(ScipyCsrBackend())

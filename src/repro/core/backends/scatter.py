@@ -1,0 +1,101 @@
+"""The ``np.add.at`` scatter backend — the bit-identity oracle.
+
+This is the compiled form of the library's original replay path
+(:meth:`~repro.core.pipeline.GustPipeline.execute_scatter`): one product
+per occupied slot, scatter-added into its destination row.  ``np.add.at``
+processes the index array strictly in order, and the plan's stable
+destination-row sort preserves each row's slot order, so every other
+bit-identical backend is pinned against this one — it is the oracle the
+registry's probe and the cross-backend equivalence tests compare to.
+
+(The *uncompiled* pre-plan path — a dense ``np.nonzero`` over the schedule
+arrays on every call — survives verbatim as ``execute_scatter`` /
+``backend="legacy-scatter"`` for the replay-throughput benchmark's
+baseline; this backend is the same accumulation with the structural work
+paid once at compile time.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends.base import (
+    BackendCapabilities,
+    CompiledKernel,
+    ReplayBackend,
+)
+from repro.core.plan import DEFAULT_TILE_BUDGET, ExecutionPlan
+
+
+def scatter_matvec(plan: ExecutionPlan, x: np.ndarray) -> np.ndarray:
+    """One ``np.add.at`` replay of ``plan`` — the shared oracle kernel.
+
+    ``x`` must already be float64 of length ``n``.  Used by
+    :class:`ScatterKernel` and by the registry's bit-identity probe (so
+    the probe never depends on the backend under test).
+    """
+    m, _ = plan.shape
+    y_permuted = np.zeros(m, dtype=np.float64)
+    if plan.nnz:
+        np.add.at(y_permuted, plan.rows, plan.values * x[plan.sources])
+    return y_permuted[plan.row_perm]
+
+
+def scatter_matmat(
+    values: np.ndarray,
+    sources: np.ndarray,
+    rows: np.ndarray,
+    m: int,
+    dense: np.ndarray,
+    tile_budget: int,
+) -> np.ndarray:
+    """Tiled ``np.add.at`` block accumulation over flat slot arrays.
+
+    The one implementation of the scatter SpMM loop, shared by
+    :class:`ScatterKernel` (plan arrays) and the pipeline's legacy
+    adapter (schedule-derived arrays) so the accumulation the oracle is
+    pinned to can never diverge between the two.  Returns the block in
+    *permuted* row order; callers apply their own un-permutation.
+    """
+    k = dense.shape[1]
+    y_permuted = np.zeros((m, k), dtype=np.float64)
+    if values.size and k:
+        values_col = values[:, None]
+        tile = max(1, int(tile_budget) // max(1, values.size))
+        for start in range(0, k, tile):
+            stop = min(k, start + tile)
+            products = values_col * dense[sources, start:stop]
+            np.add.at(y_permuted[:, start:stop], rows, products)
+    return y_permuted
+
+
+class ScatterKernel(CompiledKernel):
+    """Compiled scatter replay: gather -> multiply -> ``np.add.at``."""
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return scatter_matvec(self._plan, self._as_vector(x))
+
+    def matmat(
+        self, dense: np.ndarray, tile_budget: int = DEFAULT_TILE_BUDGET
+    ) -> np.ndarray:
+        dense = self._as_block(dense)
+        plan = self._plan
+        block = scatter_matmat(
+            plan.values, plan.sources, plan.rows, plan.shape[0], dense,
+            tile_budget,
+        )
+        return block[plan.row_perm]
+
+
+class ScatterBackend(ReplayBackend):
+    """``np.add.at`` accumulation over the compiled plan arrays."""
+
+    name = "scatter"
+    capabilities = BackendCapabilities(
+        bit_identical=True,
+        supports_block=True,
+        thread_safe=True,
+    )
+
+    def compile(self, plan: ExecutionPlan) -> ScatterKernel:
+        return ScatterKernel(plan)

@@ -31,16 +31,90 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.backends import compile_plan, warn_once
+from repro.core.backends.base import BackendCapabilities
+from repro.core.backends.scatter import scatter_matmat
 from repro.core.cache import ScheduleCache
+from repro.core.compiled import CompiledSpmv, CompiledStats
 from repro.core.store import DiskScheduleStore
 from repro.core.load_balance import BalancedMatrix, LoadBalancer, identity_balance
 from repro.core.machine import GustMachine, MachineResult
-from repro.core.plan import ExecutionPlan
+from repro.core.plan import DEFAULT_TILE_BUDGET, ExecutionPlan
 from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
 from repro.core.scheduler import GustScheduler
-from repro.errors import HardwareConfigError
+from repro.errors import BackendError, HardwareConfigError
 from repro.sparse.coo import CooMatrix
 from repro.types import CycleReport, PreprocessReport
+
+#: Pipeline-level pseudo-backend: the *uncompiled* pre-plan replay (a dense
+#: ``np.nonzero`` over the schedule arrays plus ``np.add.at``, every call).
+#: Not in the backend registry — it needs schedule context a compiled
+#: :class:`ExecutionPlan` no longer carries — and kept only as the
+#: reference baseline ``benchmarks/bench_replay_throughput.py`` gates the
+#: compiled backends against.  ``use_plans=False`` maps here.
+LEGACY_SCATTER = "legacy-scatter"
+
+#: Sentinel distinguishing "``use_plans`` not passed" from an explicit
+#: value, so the deprecation shim only fires for real legacy callers.
+_USE_PLANS_UNSET = object()
+
+_LEGACY_CAPABILITIES = BackendCapabilities(
+    bit_identical=True, supports_block=True, thread_safe=True
+)
+
+
+class _LegacyScatterKernel:
+    """Adapter giving the pre-plan replay the ``CompiledKernel`` surface.
+
+    Binds the schedule/balanced pair the way the old ``executor()``
+    closure did; every call re-derives the occupied slots (that per-call
+    ``np.nonzero`` is the point — it is the cost the compiled backends
+    are measured against).  Values cannot be refreshed in place: there is
+    no compiled structure to reuse.
+    """
+
+    def __init__(
+        self,
+        pipeline: "GustPipeline",
+        schedule: Schedule,
+        balanced: BalancedMatrix,
+    ):
+        self._pipeline = pipeline
+        self._schedule = schedule
+        self._balanced = balanced
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._pipeline.execute_scatter(
+            self._schedule, self._balanced, x
+        )
+
+    def matmat(
+        self, dense: np.ndarray, tile_budget: int = DEFAULT_TILE_BUDGET
+    ) -> np.ndarray:
+        dense = np.asarray(dense, dtype=np.float64)
+        schedule, balanced = self._schedule, self._balanced
+        m, n = schedule.shape
+        if dense.ndim != 2 or dense.shape[0] != n:
+            raise HardwareConfigError(
+                f"dense operand must be ({n}, k), got {dense.shape}"
+            )
+        steps, lanes, global_rows = schedule.occupied_slots()
+        block = scatter_matmat(
+            schedule.m_sch[steps, lanes],
+            schedule.col_sch[steps, lanes],
+            global_rows,
+            m,
+            dense,
+            tile_budget,
+        )
+        return balanced.unpermute_output(block)
+
+    def refresh_values(self, plan: ExecutionPlan) -> None:
+        raise BackendError(
+            "the legacy-scatter baseline replays the schedule arrays "
+            "directly and cannot refresh values in place; re-preprocess "
+            "instead"
+        )
 
 
 @dataclass(frozen=True)
@@ -77,12 +151,21 @@ class GustPipeline:
             ``cache`` is unset, a private default-capacity one is created
             to front it; if ``cache`` is an existing :class:`ScheduleCache`
             without a store, the store is attached to it.
-        use_plans: replay schedules through prepared
-            :class:`~repro.core.plan.ExecutionPlan` objects (compiled once
-            per schedule, memoized).  ``False`` falls back to the pre-plan
-            ``np.add.at`` scatter path — kept as the reference baseline for
-            ``benchmarks/bench_replay_throughput.py`` and equivalence
-            tests; both paths produce bit-identical results.
+        backend: default execution backend for :meth:`compile`,
+            :meth:`compile_schedule`, and :meth:`execute` — a name from
+            :func:`repro.core.backends.available_backends`, ``"auto"``
+            (first bit-identical candidate, honoring the ``GUST_BACKEND``
+            environment override), or :data:`LEGACY_SCATTER` for the
+            uncompiled pre-plan baseline.
+        require_bit_identical: demand exact scatter-oracle reproduction
+            from every compile through this pipeline; a backend that
+            cannot guarantee it raises
+            :class:`~repro.errors.BackendCapabilityError` instead of
+            silently drifting to allclose-grade results.
+        use_plans: **deprecated** — use ``backend=``.  ``True`` maps to
+            ``backend="bincount"`` (the prepared-plan replay), ``False``
+            to ``backend="legacy-scatter"`` (the pre-plan reference
+            path); both warn once per process.
     """
 
     #: Plans memoized per pipeline (keyed by schedule identity).
@@ -96,15 +179,37 @@ class GustPipeline:
         validate: bool = False,
         cache: ScheduleCache | int | bool | None = None,
         store: DiskScheduleStore | str | Path | bool | None = None,
-        use_plans: bool = True,
+        backend: str = "auto",
+        require_bit_identical: bool = False,
+        use_plans: bool = _USE_PLANS_UNSET,
     ):
         self.length = length
-        self.use_plans = use_plans
+        if use_plans is not _USE_PLANS_UNSET:
+            warn_once(
+                "GustPipeline.use_plans",
+                "GustPipeline(use_plans=...) is deprecated; pass "
+                "backend='bincount' (use_plans=True) or "
+                "backend='legacy-scatter' (use_plans=False) instead",
+            )
+            backend = "bincount" if use_plans else LEGACY_SCATTER
+        self.backend = backend
+        self.require_bit_identical = require_bit_identical
+        #: Backwards-compatible view of the old flag: every compiled
+        #: backend replays through prepared plans; only the legacy
+        #: baseline does not.
+        self.use_plans = backend != LEGACY_SCATTER
         # id() -> (weakref to the schedule, plan): identity keys are only
         # trusted while the schedule object is alive, so a recycled id()
         # can never alias a dead entry.  Guarded by a lock: the serving
         # layer replays one pipeline's plans from many worker threads.
         self._plan_memo: dict[int, tuple] = {}
+        # (id(schedule), backend, require) -> (weakref, token, handle):
+        # compiled handles memoized alongside plans so the per-call
+        # execute path and re-compiling callers (solvers with a shared
+        # cache) pay kernel compilation and the bit-identity probe once
+        # per schedule.  ``token`` is the plan (compiled backends) or the
+        # BalancedMatrix (legacy) the handle was built against.
+        self._compiled_memo: dict[tuple, tuple] = {}
         self._plan_lock = threading.Lock()
         self.algorithm = algorithm
         self.load_balance = load_balance and algorithm != "naive"
@@ -278,25 +383,128 @@ class GustPipeline:
         self._memoize_plan(schedule, plan)
         return plan
 
+    def compile_schedule(
+        self,
+        schedule: Schedule,
+        balanced: BalancedMatrix,
+        backend: str | None = None,
+        require_bit_identical: bool | None = None,
+    ) -> CompiledSpmv:
+        """Compile an already-preprocessed schedule onto a backend.
+
+        The :class:`~repro.core.compiled.CompiledSpmv` handle is memoized
+        per (schedule, backend, requirement) for the schedule object's
+        lifetime — kernel compilation and the bit-identity probe run once,
+        every subsequent call is a dictionary lookup.  Safe to share
+        across threads for every built-in backend.
+        """
+        backend = backend if backend is not None else self.backend
+        require = (
+            require_bit_identical
+            if require_bit_identical is not None
+            else self.require_bit_identical
+        )
+        key = (id(schedule), backend, require)
+        with self._plan_lock:
+            memoized = self._compiled_memo.get(key)
+        if memoized is not None and memoized[0]() is schedule:
+            token, handle = memoized[1], memoized[2]
+            if backend == LEGACY_SCATTER:
+                if token is balanced:
+                    return handle
+            elif token is self.plan_for(schedule, balanced):
+                return handle
+        handle = self._compile_uncached(schedule, balanced, backend, require)
+        token = balanced if backend == LEGACY_SCATTER else handle.plan
+        with self._plan_lock:
+            self._compiled_memo[key] = (weakref.ref(schedule), token, handle)
+            while len(self._compiled_memo) > self._PLAN_MEMO_CAPACITY:
+                self._compiled_memo.pop(next(iter(self._compiled_memo)))
+        return handle
+
+    def _compile_uncached(
+        self,
+        schedule: Schedule,
+        balanced: BalancedMatrix,
+        backend: str,
+        require: bool,
+    ) -> CompiledSpmv:
+        started = time.perf_counter()
+        if backend == LEGACY_SCATTER:
+            kernel = _LegacyScatterKernel(self, schedule, balanced)
+            stats = CompiledStats(
+                backend=LEGACY_SCATTER,
+                capabilities=_LEGACY_CAPABILITIES,
+                bit_identical=True,
+                probe_verdict=None,
+                shape=schedule.shape,
+                nnz=schedule.nnz,
+                segments=0,
+                length=self.length,
+                cycles_per_replay=schedule.execution_cycles,
+                compile_seconds=time.perf_counter() - started,
+            )
+            return CompiledSpmv(kernel, LEGACY_SCATTER, stats, plan=None)
+        plan = self.plan_for(schedule, balanced)
+        compiled = compile_plan(
+            plan, backend=backend, require_bit_identical=require
+        )
+        stats = CompiledStats(
+            backend=compiled.name,
+            capabilities=compiled.capabilities,
+            bit_identical=compiled.bit_identical,
+            probe_verdict=compiled.probe_verdict,
+            shape=plan.shape,
+            nnz=plan.nnz,
+            segments=plan.segments,
+            length=self.length,
+            cycles_per_replay=schedule.execution_cycles,
+            compile_seconds=time.perf_counter() - started,
+        )
+        return CompiledSpmv(compiled.kernel, compiled.name, stats, plan=plan)
+
+    def compile(
+        self,
+        matrix: CooMatrix,
+        backend: str | None = None,
+        require_bit_identical: bool | None = None,
+    ) -> CompiledSpmv:
+        """Preprocess ``matrix`` and compile it onto an execution backend.
+
+        The main entry point of the redesigned API: schedule once (through
+        whatever cache tiers this pipeline carries), compile once, then
+        replay through the returned handle's ``matvec``/``matmat`` as many
+        times as the workload wants.  The handle's ``stats.preprocess``
+        records which cache path served the scheduling pass.
+        """
+        schedule, balanced, report = self.preprocess(matrix)
+        handle = self.compile_schedule(
+            schedule,
+            balanced,
+            backend=backend,
+            require_bit_identical=require_bit_identical,
+        )
+        handle.stats.preprocess = report
+        return handle
+
     def executor(
         self, schedule: Schedule, balanced: BalancedMatrix
     ) -> Callable[[np.ndarray], np.ndarray]:
-        """A compiled replay callable: ``apply(x) -> y``.
+        """**Deprecated**: a bare replay callable ``apply(x) -> y``.
 
-        Solvers bind this once after preprocessing and call it per
-        iteration.  With ``use_plans`` (the default) it is the prepared
-        plan's :meth:`~repro.core.plan.ExecutionPlan.execute`; with
-        ``use_plans=False`` it is the pre-plan scatter path — bit-identical
-        results either way.
-
-        The plan-backed handle is safe to share across threads: the plan
-        is immutable and its replay scratch buffer is thread-local, so a
-        serving fleet can bind one executor per matrix and call it from
-        every worker concurrently.
+        Superseded by :meth:`compile` / :meth:`compile_schedule`, whose
+        :class:`~repro.core.compiled.CompiledSpmv` handle carries the same
+        bound ``matvec`` plus ``matmat``, in-place value refresh, and
+        backend metadata.  This shim warns once per process and returns
+        the handle's ``matvec``.
         """
-        if self.use_plans:
-            return self.plan_for(schedule, balanced).execute
-        return lambda x: self.execute_scatter(schedule, balanced, x)
+        warn_once(
+            "GustPipeline.executor",
+            "GustPipeline.executor(...) is deprecated; use "
+            "GustPipeline.compile(matrix).matvec (or "
+            "compile_schedule(schedule, balanced).matvec) instead",
+        )
+        return self.compile_schedule(schedule, balanced).matvec
 
     def execute(
         self, schedule: Schedule, balanced: BalancedMatrix, x: np.ndarray
@@ -305,12 +513,13 @@ class GustPipeline:
 
         Numerically identical to the machine: one product per occupied slot,
         accumulated into its destination row, then un-permuted.  Runs
-        through the memoized :class:`ExecutionPlan` (compile once, replay
-        many); ``use_plans=False`` selects :meth:`execute_scatter`.
+        through the memoized :class:`~repro.core.compiled.CompiledSpmv`
+        handle for this pipeline's backend (compile once, replay many);
+        ``backend="legacy-scatter"`` selects :meth:`execute_scatter`.
         """
-        if self.use_plans:
-            return self.plan_for(schedule, balanced).execute(x)
-        return self.execute_scatter(schedule, balanced, x)
+        if self.backend == LEGACY_SCATTER:
+            return self.execute_scatter(schedule, balanced, x)
+        return self.compile_schedule(schedule, balanced).matvec(x)
 
     def execute_scatter(
         self, schedule: Schedule, balanced: BalancedMatrix, x: np.ndarray

@@ -28,20 +28,16 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.backends import compile_plan, warn_once
 from repro.core.cache import ScheduleCache
 from repro.core.load_balance import BalancedMatrix
-from repro.core.pipeline import GustPipeline
+from repro.core.pipeline import LEGACY_SCATTER, _USE_PLANS_UNSET, GustPipeline
 from repro.core.plan import ExecutionPlan
 from repro.core.store import DiskScheduleStore
 from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
-from repro.errors import HardwareConfigError
+from repro.errors import BackendCapabilityError, HardwareConfigError
 from repro.sparse.coo import CooMatrix
 from repro.types import CycleReport
-
-try:  # pragma: no cover - exercised via the scipy-present environment
-    import scipy.sparse as _scipy_sparse
-except ImportError:  # pragma: no cover - exercised when scipy is absent
-    _scipy_sparse = None
 
 #: Element budget for the per-tile product temporary in :meth:`GustSpmm.
 #: multiply` (~512 MB of float64 at the default); wide dense blocks are
@@ -56,89 +52,89 @@ class StackedReplay:
     Concurrent SpMV requests for the same matrix are algebraically an SpMM
     — ``k`` parallel replays of one schedule — so the serving layer's
     batcher coalesces them into a single stacked block and executes the
-    block in one pass.  Unlike :meth:`ExecutionPlan.execute_block` (whose
-    ``np.add.reduceat`` tile reduction uses NumPy's unrolled partial-sum
-    accumulators and is therefore only *numerically close* to per-request
-    replay for rows with >= 8 slots), this kernel guarantees **bit-identical
-    results**: every backend accumulates each destination row strictly
-    sequentially in plan slot order, exactly like the ``np.bincount``
-    reduction in :meth:`ExecutionPlan.execute` and the ``np.add.at``
-    scatter reference.
+    block in one pass.  The kernel comes from the
+    :mod:`~repro.core.backends` registry with
+    ``require_bit_identical=True``: whichever backend wins (scipy CSR
+    where its per-compile probe passes, the flat-``bincount`` block kernel
+    otherwise — never ``reduceat``), every batched column is
+    **bit-identical** to the per-request scatter oracle.
 
-    Backends, fastest first:
+    ``force_numpy`` pins the ``"bincount"`` backend (useful for tests and
+    for comparing backends).  :attr:`backend` reports the resolved
+    registry name.
 
-    * ``"scipy"`` — the plan's :meth:`~ExecutionPlan.csr_layout` wrapped in
-      a ``scipy.sparse.csr_matrix`` (indices deliberately *not*
-      canonicalized: storage order **is** the accumulation contract) and
-      applied as ``A @ X``; scipy's ``csr_matvecs`` kernel walks each row's
-      entries in storage order with a vectorized axpy across the ``k``
-      columns.  A compile-time probe verifies bit-identity against
-      :meth:`ExecutionPlan.execute` on random data and silently falls back
-      if a future scipy changes its accumulation order.
-    * ``"numpy"`` — a flat ``np.bincount`` over ``(row * k + column)`` bins
-      (sequential by construction); used when scipy is unavailable or the
-      probe fails.
-
-    Thread-safe: compiled state is immutable after construction.
+    Thread-safe: compiled state only changes through
+    :meth:`refresh_from_plan`, which swaps value streams atomically while
+    reusing all structure.
     """
-
-    #: Probe vectors used to verify a backend reproduces ``plan.execute``
-    #: bit-for-bit before it is trusted.
-    _PROBE_COLUMNS = 2
 
     def __init__(self, plan: ExecutionPlan, force_numpy: bool = False):
         self.plan = plan
-        self._matrix = None
-        self.backend = "numpy"
-        if _scipy_sparse is not None and not force_numpy:
-            indptr, cols, vals, _ = plan.csr_layout()
-            matrix = _scipy_sparse.csr_matrix(
-                (vals, cols.astype(np.intp, copy=False), indptr),
-                shape=plan.shape,
-                copy=False,
-            )
-            if self._probe(matrix):
-                self._matrix = matrix
-                self.backend = "scipy"
-
-    def _probe(self, matrix) -> bool:
-        """True when ``matrix @ X`` is bit-identical to per-request replay."""
-        _, n = self.plan.shape
-        rng = np.random.default_rng(0xC0FFEE)
-        stacked = rng.normal(size=(self._PROBE_COLUMNS, n))
-        block = matrix @ stacked.T
-        return all(
-            bool((self.plan.execute(stacked[j]) == block[:, j]).all())
-            for j in range(self._PROBE_COLUMNS)
+        compiled = compile_plan(
+            plan,
+            backend="bincount" if force_numpy else "auto",
+            require_bit_identical=True,
         )
+        self._kernel = compiled.kernel
+        self.backend = compiled.name
+
+    @classmethod
+    def from_compiled(cls, compiled) -> "StackedReplay":
+        """Wrap an already-compiled bit-identical handle's kernel.
+
+        The serving registry compiles one
+        :class:`~repro.core.compiled.CompiledSpmv` per tenant for
+        per-request replay; its kernel serves batches just as well, so
+        wrapping it skips a second compile + bit-identity probe (and a
+        second resident CSR structure).  The handle must have been
+        compiled with the bit-identity guarantee this kernel's contract
+        requires.
+        """
+        if compiled.plan is None:
+            raise BackendCapabilityError(
+                f"backend {compiled.backend_name!r} carries no compiled "
+                f"plan; the batched-replay kernel requires one — compile "
+                f"on a registry backend instead"
+            )
+        if not compiled.stats.bit_identical:
+            raise BackendCapabilityError(
+                f"backend {compiled.backend_name!r} is not bit-identical; "
+                f"the batched-replay contract requires exactness"
+            )
+        self = cls.__new__(cls)
+        self.plan = compiled.plan
+        self._kernel = compiled._kernel
+        self.backend = compiled.backend_name
+        return self
 
     def matvecs(self, stacked: np.ndarray) -> np.ndarray:
         """Execute ``k`` stacked requests; returns the ``(m, k)`` block.
 
         ``stacked`` is ``(k, n)`` — one request per row.  Column ``j`` of
-        the result is bit-identical to ``plan.execute(stacked[j])``, in
-        original (un-permuted) row order.
+        the result is bit-identical to the per-request replay of
+        ``stacked[j]``, in original (un-permuted) row order.
         """
         stacked = np.asarray(stacked, dtype=np.float64)
-        m, n = self.plan.shape
+        _, n = self.plan.shape
         if stacked.ndim != 2 or stacked.shape[1] != n:
             raise HardwareConfigError(
                 f"stacked operand must be (k, {n}), got {stacked.shape}"
             )
-        k = stacked.shape[0]
-        if self._matrix is not None:
-            return self._matrix @ stacked.T
-        if self.plan.nnz == 0 or k == 0:
-            return np.zeros((m, k), dtype=np.float64)
-        plan = self.plan
-        # Flat sequential reduction: bin (row, column) pairs so bincount's
-        # strictly in-order accumulation visits each destination's slots in
-        # plan order — the bit-identity contract — while the gather and
-        # multiply stay vectorized across the whole block.
-        products = plan.values[:, None] * stacked.T[plan.sources, :]
-        bins = (plan.rows[:, None] * k + np.arange(k)).ravel()
-        flat = np.bincount(bins, weights=products.ravel(), minlength=m * k)
-        return flat.reshape(m, k)[plan.row_perm]
+        return self._kernel.matmat(stacked.T)
+
+    def refresh_from_plan(self, plan: ExecutionPlan) -> None:
+        """Same pattern, new values: re-gather in place, never recompile.
+
+        ``plan`` must share this kernel's structure (it comes from the
+        schedule cache's value-refresh path, i.e.
+        :meth:`ExecutionPlan.with_values`).  The compiled structure — the
+        scipy index arrays and cached layout gather, or the bincount
+        kernel's sorted slot arrays — is reused verbatim; only the value
+        stream moves.  This is what makes serving-tenant re-registration
+        O(nnz) instead of a CSR recompile.
+        """
+        self._kernel.refresh_values(plan)
+        self.plan = plan
 
 
 @dataclass(frozen=True)
@@ -168,6 +164,18 @@ class GustSpmm:
             :class:`~repro.core.store.DiskScheduleStore` tier makes the
             schedule survive process restarts, so a restarted SpMM worker
             warm-starts from disk instead of recoloring.
+        backend: execution backend for the block replay (``"auto"``
+            selects a bit-identical kernel; name ``"reduceat"`` explicitly
+            for the fastest allclose-grade segmented reduction).
+        require_bit_identical: demand exact per-column reproduction of the
+            scatter oracle; combined with a backend that cannot honor it
+            (``"reduceat"``), compilation raises a typed
+            :class:`~repro.errors.BackendCapabilityError` instead of
+            silently returning allclose-grade results.
+        use_plans: **deprecated** — use ``backend=``.  ``True`` maps to
+            ``backend="reduceat"`` (the historical
+            :meth:`ExecutionPlan.execute_block` path), ``False`` to the
+            pre-plan ``"legacy-scatter"`` baseline; warns once.
     """
 
     def __init__(
@@ -178,18 +186,29 @@ class GustSpmm:
         load_balance: bool = True,
         cache: ScheduleCache | int | bool | None = None,
         store: DiskScheduleStore | str | Path | bool | None = None,
-        use_plans: bool = True,
+        backend: str = "auto",
+        require_bit_identical: bool = False,
+        use_plans: bool = _USE_PLANS_UNSET,
     ):
         if replicas <= 0:
             raise HardwareConfigError(f"replicas must be positive, got {replicas}")
         self.replicas = replicas
+        if use_plans is not _USE_PLANS_UNSET:
+            warn_once(
+                "GustSpmm.use_plans",
+                "GustSpmm(use_plans=...) is deprecated; pass "
+                "backend='reduceat' (use_plans=True) or "
+                "backend='legacy-scatter' (use_plans=False) instead",
+            )
+            backend = "reduceat" if use_plans else LEGACY_SCATTER
         self.pipeline = GustPipeline(
             length,
             algorithm=algorithm,
             load_balance=load_balance,
             cache=cache,
             store=store,
-            use_plans=use_plans,
+            backend=backend,
+            require_bit_identical=require_bit_identical,
         )
 
     def preprocess(self, matrix: CooMatrix) -> tuple[Schedule, BalancedMatrix]:
@@ -211,27 +230,12 @@ class GustSpmm:
                 f"dense operand must be ({n}, k), got {dense.shape}"
             )
         k = dense.shape[1]
-        if self.pipeline.use_plans:
-            # Prepared replay: one plan (compiled once, memoized by the
-            # pipeline) drives every column tile; each (slots x tile)
-            # product block reduces with a contiguous segment reduction.
-            plan = self.pipeline.plan_for(schedule, balanced)
-            y = plan.execute_block(dense, tile_budget=_SPMM_PRODUCT_BUDGET)
-        else:
-            # Pre-plan reference replay: gather each occupied slot's value
-            # and row, multiply against many columns of B simultaneously,
-            # and scatter-add into the output block.  Columns are tiled so
-            # the (slots x tile) product temporary stays bounded.
-            steps, lanes, global_rows = schedule.occupied_slots()
-            values = schedule.m_sch[steps, lanes][:, None]
-            sources = schedule.col_sch[steps, lanes]
-            y_permuted = np.zeros((m, k), dtype=np.float64)
-            tile = max(1, _SPMM_PRODUCT_BUDGET // max(1, values.size))
-            for start in range(0, k, tile):
-                stop = min(k, start + tile)
-                products = values * dense[sources, start:stop]
-                np.add.at(y_permuted[:, start:stop], global_rows, products)
-            y = balanced.unpermute_output(y_permuted)
+        # Compiled replay: the backend kernel (memoized per schedule by
+        # the pipeline, capability-checked at compile) drives every column
+        # tile; the legacy baseline re-derives the occupied slots per call
+        # inside its adapter, exactly as the pre-plan code did.
+        handle = self.pipeline.compile_schedule(schedule, balanced)
+        y = handle.matmat(dense, tile_budget=_SPMM_PRODUCT_BUDGET)
         report = self.cycle_report(schedule, k)
         return SpmmResult(
             y=y,

@@ -40,6 +40,25 @@ class DatasetError(ReproError):
     """An unknown dataset name or invalid generation parameters."""
 
 
+class BackendError(ReproError):
+    """An execution backend could not be resolved or compiled.
+
+    Raised by the :mod:`repro.core.backends` registry for unknown backend
+    names, backends whose runtime dependency is missing (e.g. ``"scipy"``
+    without scipy installed), and duplicate registrations.
+    """
+
+
+class BackendCapabilityError(BackendError):
+    """A backend was requested for a job its capabilities cannot honor.
+
+    The typed form of what used to be an ``allclose``-only test gate: e.g.
+    selecting the ``"reduceat"`` backend (whose ``np.add.reduceat``
+    reduction is only numerically close to sequential accumulation on
+    NumPy >= 2.x) for a caller that demanded bit-identical replay.
+    """
+
+
 class SolverError(ReproError):
     """An iterative solver failed to converge or received bad operands."""
 

@@ -15,6 +15,7 @@ naive_crossover        Section 3.3 — naive GUST falls behind 1D at ~0.008
 bound_validation       Section 3.4 — statistical bound vs measurement
 scalability            Section 5.5 — parallel GUSTs vs one long GUST
 coloring_ablation      extension — greedy vs first-fit vs optimal coloring
+backend_throughput     extension — replay throughput per execution backend
 =====================  ====================================================
 
 Every module exposes ``run(...) -> ExperimentResult`` with keyword-only
@@ -23,6 +24,7 @@ seconds on a laptop; EXPERIMENTS.md records the defaults used.
 """
 
 from repro.eval.experiments import (  # noqa: F401
+    backend_throughput,
     bandwidth_provisioning,
     bound_validation,
     coloring_ablation,
@@ -41,6 +43,7 @@ from repro.eval.experiments import (  # noqa: F401
 )
 
 __all__ = [
+    "backend_throughput",
     "bandwidth_provisioning",
     "bound_validation",
     "coloring_ablation",

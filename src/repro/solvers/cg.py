@@ -52,10 +52,12 @@ def conjugate_gradient(
         raise SolverError("tol must be positive")
 
     pipeline = pipeline or GustPipeline(length=min(64, max(1, n)))
-    schedule, balanced, report = pipeline.preprocess(matrix)
-    cycles_per_spmv = schedule.execution_cycles
-    # Compile the replay once; every iteration below is a prepared replay.
-    apply_a = pipeline.executor(schedule, balanced)
+    # Compile the replay once (bit-identical backend required); every
+    # iteration below calls the compiled handle.
+    compiled = pipeline.compile(matrix, require_bit_identical=True)
+    report = compiled.stats.preprocess
+    cycles_per_spmv = compiled.stats.cycles_per_replay
+    apply_a = compiled.matvec
 
     x = np.zeros(n, dtype=np.float64)
     r = b.copy()

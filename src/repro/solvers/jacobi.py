@@ -58,9 +58,10 @@ def jacobi(
         matrix.shape,
     )
     pipeline = pipeline or GustPipeline(length=min(64, max(1, n)))
-    schedule, balanced, _ = pipeline.preprocess(off)
-    # Compile the replay once; every sweep below is a prepared replay.
-    apply_r = pipeline.executor(schedule, balanced)
+    # Compile the replay once (solver replay requires exact, bit-identical
+    # accumulation — an allclose-only backend is a typed error here);
+    # every sweep below calls the compiled handle.
+    apply_r = pipeline.compile(off, require_bit_identical=True).matvec
 
     x = np.zeros(n, dtype=np.float64)
     b_norm = float(np.linalg.norm(b))

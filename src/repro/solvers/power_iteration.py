@@ -44,9 +44,9 @@ def power_iteration(
         raise SolverError("matrix is empty")
 
     pipeline = pipeline or GustPipeline(length=min(64, max(1, n)))
-    schedule, balanced, _ = pipeline.preprocess(matrix)
-    # Compile the replay once; every iteration below is a prepared replay.
-    apply_a = pipeline.executor(schedule, balanced)
+    # Compile the replay once (bit-identical backend required); every
+    # iteration below calls the compiled handle.
+    apply_a = pipeline.compile(matrix, require_bit_identical=True).matvec
 
     rng = np.random.default_rng(seed)
     v = rng.normal(size=n)

@@ -142,7 +142,7 @@ class TestStackedReplay:
         _, _, _, plan = self._prepared(square_matrix, length=32)
         scipy_kernel = StackedReplay(plan)
         numpy_kernel = StackedReplay(plan, force_numpy=True)
-        assert numpy_kernel.backend == "numpy"
+        assert numpy_kernel.backend == "bincount"
         stacked = rng.normal(size=(5, square_matrix.shape[1]))
         assert (
             scipy_kernel.matvecs(stacked) == numpy_kernel.matvecs(stacked)

@@ -7,6 +7,7 @@ full-scale runs live in ``benchmarks/`` and EXPERIMENTS.md.
 import pytest
 
 from repro.eval.experiments import (
+    backend_throughput,
     bandwidth_provisioning,
     bound_validation,
     coloring_ablation,
@@ -126,3 +127,12 @@ class TestClaimExperiments:
     def test_bandwidth_provisioning(self):
         result = _check(bandwidth_provisioning.run(scale=96.0))
         assert result.measured_claims["stall-free at U280's 460 GB/s"] is True
+
+    def test_backend_throughput(self):
+        result = _check(
+            backend_throughput.run(dim=256, density=0.02, length=32,
+                                   columns=3, repeats=2)
+        )
+        names = {row[0] for row in result.rows}
+        assert {"legacy-scatter", "scatter", "bincount"} <= names
+        assert result.measured_claims["auto bit-identical"] is True

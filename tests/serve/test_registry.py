@@ -68,7 +68,7 @@ class TestPinnedPlan:
         entry = registry.register(
             "np", square_matrix, force_numpy_backend=True
         )
-        assert entry.stacked.backend == "numpy"
+        assert entry.stacked.backend == "bincount"
 
 
 class TestSharedCacheTiers:

@@ -64,6 +64,25 @@ class TestScheduleAndSpmv:
         assert code == 0
         assert "verified=True" in capsys.readouterr().out
 
+    def test_spmv_backend_flag(self, matrix_file, tmp_path, capsys):
+        sched = tmp_path / "m.sched"
+        main(["schedule", str(matrix_file), "--length", "16", "--out", str(sched)])
+        capsys.readouterr()
+        for backend in ("bincount", "legacy-scatter"):
+            code = main(["spmv", str(sched), "--backend", backend])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert f"backend: {backend}" in out
+            assert "verified=True" in out
+
+    def test_spmv_unknown_backend_errors(self, matrix_file, tmp_path, capsys):
+        sched = tmp_path / "m.sched"
+        main(["schedule", str(matrix_file), "--length", "16", "--out", str(sched)])
+        capsys.readouterr()
+        code = main(["spmv", str(sched), "--backend", "gpu"])
+        assert code == 1
+        assert "unknown backend" in capsys.readouterr().err
+
     def test_spmv_cycle_accurate(self, matrix_file, tmp_path, capsys):
         sched = tmp_path / "m.sched"
         main(["schedule", str(matrix_file), "--length", "16", "--out", str(sched)])
@@ -193,6 +212,18 @@ class TestCompare:
         assert "GUST-EC/LB" in out
         assert "1D" in out
         assert "Serpens" in out
+
+
+class TestBackendsCommand:
+    def test_lists_backends_and_verdicts(self, capsys):
+        code = main(["backends", "--dim", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("scatter", "bincount", "reduceat"):
+            assert name in out
+        assert "auto selects:" in out
+        assert "allclose only" in out  # reduceat's verdict
+        assert "PROBE FAILED" not in out
 
 
 class TestExperiment:
