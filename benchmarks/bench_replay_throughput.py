@@ -23,7 +23,9 @@ Acceptance gates (asserted when run as a script or under pytest):
 * full solver runs (Jacobi, power iteration) through compiled-backend
   pipelines are bit-identical to legacy-scatter pipelines, iteration for
   iteration;
-* cached solver iterations speed up by >= 1.5x.
+* cached solver iterations speed up by >= 1.5x;
+* the steady-state ``pipeline.execute`` memo hit binds the compiled
+  handle by identity — zero ``plan_for`` lookups per call.
 
 Run standalone::
 
@@ -110,6 +112,24 @@ def measure_spmv(compare_scipy: bool = False) -> dict:
     bit_identical = bool((y_scatter == y_plan).all())
     correct = bool(np.allclose(y_plan, matrix.matvec(x)))
 
+    # Memo-hit micro-assertion (gated in _failures): after the first
+    # execute pays compilation, every further execute must resolve the
+    # compiled handle by identity — zero plan_for lookups per call.
+    pipeline.execute(schedule, balanced, x)  # warm the compiled memo
+    plan_for_calls = []
+    original_plan_for = pipeline.plan_for
+
+    def counting_plan_for(*args, **kwargs):
+        plan_for_calls.append(args)
+        return original_plan_for(*args, **kwargs)
+
+    pipeline.plan_for = counting_plan_for
+    try:
+        for _ in range(10):
+            pipeline.execute(schedule, balanced, x)
+    finally:
+        del pipeline.plan_for
+
     results = {
         "matrix": {"dim": DIM, "nnz": matrix.nnz, "length": LENGTH},
         "backend": compiled.backend_name,
@@ -118,6 +138,7 @@ def measure_spmv(compare_scipy: bool = False) -> dict:
         "speedup": scatter_s / plan_s,
         "bit_identical": bit_identical,
         "correct": correct,
+        "memo_hit_plan_lookups": len(plan_for_calls),
     }
     if compare_scipy:
         # Informational column (never gated): the plan's sorted CSR
@@ -245,6 +266,11 @@ def _failures(results: dict) -> list[str]:
         failures.append("plan replay is not bit-identical to the scatter path")
     if not spmv["correct"]:
         failures.append("plan replay disagrees with the dense oracle")
+    if spmv["memo_hit_plan_lookups"]:
+        failures.append(
+            f"steady-state execute paid {spmv['memo_hit_plan_lookups']} "
+            "plan_for lookups; the memo hit must bind the compiled handle"
+        )
     if not solvers["jacobi_bit_identical"]:
         failures.append("jacobi results differ between plan and scatter paths")
     if not solvers["power_bit_identical"]:

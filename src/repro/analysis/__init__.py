@@ -1,0 +1,38 @@
+"""Project contract checker: static lint rules plus runtime validators.
+
+Static side (``repro lint``): AST rules R1–R4 over the repo's own
+source — bit-identity (R1), lock discipline (R2), removed-shim usage
+(R3), and backend capability hygiene (R4) — with ``# lint:
+disable=<rule>`` suppressions and unused-suppression warnings (W1).
+
+Runtime side: :func:`validation_enabled` gates ``ExecutionPlan`` /
+``Schedule`` structural validation behind ``GUST_VALIDATE=1``, and
+:class:`LockOrderMonitor` instruments live locks to fail tests on
+lock-order inversion.
+
+Import discipline: nothing in this package may import ``repro.core`` —
+core imports :mod:`repro.analysis.runtime` at module load, and a
+reverse edge would be a cycle.
+"""
+
+from repro.analysis.findings import Finding, SourceFile
+from repro.analysis.lockcheck import LockOrderError, LockOrderMonitor
+from repro.analysis.runner import (
+    RULE_DOCS,
+    LintReport,
+    lint_file,
+    lint_paths,
+)
+from repro.analysis.runtime import validation_enabled
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LockOrderError",
+    "LockOrderMonitor",
+    "RULE_DOCS",
+    "SourceFile",
+    "lint_file",
+    "lint_paths",
+    "validation_enabled",
+]

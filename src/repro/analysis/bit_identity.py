@@ -1,0 +1,93 @@
+"""Rule R1: bit-identity contract for replay execution.
+
+Two hazards, both rooted in the NumPy 2.x accumulation-order problem:
+
+* ``np.add.reduceat`` (or any ``np.add.reduce``-family call) performs a
+  pairwise, order-sensitive reduction.  It is only allowed inside a
+  backend module that *declares* ``bit_identical=False`` in its
+  :class:`BackendCapabilities` — anywhere else it silently downgrades a
+  bit-identity guarantee to allclose-grade.
+* ``np.add.at`` is the scatter-replay primitive.  Outside the backend
+  package, the mathematical oracles (``sparse/``, ``_reference.py``)
+  and the accelerator cost models, calling it directly bypasses the
+  ``ReplayBackend`` registry — capability negotiation, probing, and the
+  ``GUST_BACKEND`` override all stop applying to that call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, SourceFile
+
+RULE = "R1"
+
+# Path segments whose modules legitimately scatter directly: registered
+# backends, the COO/CSR oracles, and other-paper accelerator models that
+# are never on the replay path.
+_SCATTER_EXEMPT_SEGMENTS = {"backends", "accelerators", "sparse"}
+_ORACLE_SUFFIX = "_reference.py"
+
+
+def _is_np_add_method(node: ast.Call, method: str) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == method
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "add"
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id in ("np", "numpy")
+    )
+
+
+def _declares_allclose_capabilities(tree: ast.Module) -> bool:
+    """True if the module declares ``BackendCapabilities(bit_identical=False)``."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name != "BackendCapabilities":
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "bit_identical"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                return True
+    return False
+
+
+def check(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    reduceat_exempt = _declares_allclose_capabilities(source.tree)
+    parts = set(source.path.parts)
+    scatter_exempt = bool(parts & _SCATTER_EXEMPT_SEGMENTS) or source.path.name.endswith(
+        _ORACLE_SUFFIX
+    )
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not reduceat_exempt and _is_np_add_method(node, "reduceat"):
+            findings.append(
+                source.finding(
+                    RULE,
+                    node,
+                    "order-sensitive reduction np.add.reduceat outside a "
+                    "backend declaring bit_identical=False breaks the "
+                    "bit-identity contract",
+                )
+            )
+        if not scatter_exempt and _is_np_add_method(node, "at"):
+            findings.append(
+                source.finding(
+                    RULE,
+                    node,
+                    "direct np.add.at scatter replay bypasses the "
+                    "ReplayBackend registry; go through compile_plan() or a "
+                    "registered backend",
+                )
+            )
+    return findings

@@ -1,0 +1,54 @@
+"""Rule R3: no internal use of removed compatibility shims.
+
+The ``use_plans=`` constructor flag, the ``pipeline.use_plans``
+attribute, and ``pipeline.executor()`` were one-release deprecation
+shims superseded by the ``backend=`` / ``compile_schedule()`` API.
+This rule proves no internal caller remains, which is what allows the
+shims to stay deleted.  Matching is AST-based, so docstrings and
+comments mentioning the old names do not trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, SourceFile
+
+RULE = "R3"
+
+
+def check(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg == "use_plans":
+                    findings.append(
+                        source.finding(
+                            RULE,
+                            node,
+                            "use_plans= keyword is a removed shim; pass "
+                            "backend= ('bincount', 'legacy-scatter', ...) "
+                            "instead",
+                        )
+                    )
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "executor":
+                findings.append(
+                    source.finding(
+                        RULE,
+                        node,
+                        ".executor() is a removed shim; use "
+                        "compile_schedule()/compile() for a bound handle",
+                    )
+                )
+        elif isinstance(node, ast.Attribute) and node.attr == "use_plans":
+            findings.append(
+                source.finding(
+                    RULE,
+                    node,
+                    ".use_plans attribute is a removed shim; inspect "
+                    ".backend instead",
+                )
+            )
+    return findings

@@ -1,0 +1,102 @@
+"""Shared data model for the ``repro lint`` contract checker.
+
+A :class:`SourceFile` wraps one parsed Python module together with the
+comment-level metadata the rules consume:
+
+* ``# lint: disable=R1`` (comma-separated rule IDs allowed) on a line
+  suppresses findings reported *at that line*;
+* ``# guarded-by: _lock`` declares that the field assigned (or the
+  method defined) on that line must only be touched under ``self._lock``.
+
+Rules are pure functions ``check(source) -> list[Finding]``; suppression
+bookkeeping lives here so every rule gets it for free and unused
+suppressions can be reported as warnings (``W1``).
+
+This package must never import ``repro.core``: the runtime-validation
+hooks in core import ``repro.analysis.runtime``, and a reverse edge
+would create an import cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, pinned to a rule ID and a ``file:line``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    warning: bool = False
+
+    def render(self) -> str:
+        kind = "warning" if self.warning else "error"
+        return f"{self.path}:{self.line}: {self.rule} [{kind}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed module plus its comment annotations."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    guards: dict[int, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        suppressions: dict[int, set[str]] = {}
+        guards: dict[int, str] = {}
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            line = token.start[0]
+            match = _SUPPRESS_RE.search(token.string)
+            if match:
+                rules = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                suppressions.setdefault(line, set()).update(rules)
+            match = _GUARDED_RE.search(token.string)
+            if match:
+                guards[line] = match.group(1)
+        return cls(path, text, tree, suppressions, guards)
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str, *, warning: bool = False
+    ) -> Finding:
+        return Finding(rule, str(self.path), node.lineno, message, warning)
+
+    def guard_for_header(self, node: ast.AST) -> str | None:
+        """Guard annotation anywhere in a statement's header lines.
+
+        ``def`` signatures and assignments may wrap; the annotation is
+        accepted on any line from the statement's first line up to (and
+        including) the line its body/value starts on.
+        """
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if body:
+            end = body[0].lineno
+        for line in range(start, end + 1):
+            lock = self.guards.get(line)
+            if lock is not None:
+                return lock
+        return None

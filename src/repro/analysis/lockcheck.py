@@ -1,0 +1,160 @@
+"""Runtime lock-order checker for the serving layer's concurrency tests.
+
+:class:`LockOrderMonitor` wraps existing ``threading`` locks in proxies
+that record, per thread, the stack of monitor-named locks currently
+held.  Every acquisition of ``B`` while holding ``A`` inserts the edge
+``A -> B`` into a global order graph; an acquisition that closes a
+cycle in that graph is an ABBA deadlock waiting for the right thread
+schedule, and is recorded as a violation *at the moment the inconsistent
+order is observed* — no actual deadlock needs to occur.
+
+Violations are collected rather than raised (raising inside ``acquire``
+would poison unrelated worker threads mid-test); call
+:meth:`LockOrderMonitor.assert_no_inversions` at the end of the test.
+Re-entrant acquisitions of a held lock (``RLock``) do not add edges.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.errors import LockOrderError
+
+__all__ = ["LockOrderError", "LockOrderMonitor"]
+
+
+class _InstrumentedLock:
+    """Proxy that reports acquisition order to its monitor.
+
+    Supports the ``Lock``/``RLock`` surface the repo uses: ``acquire``,
+    ``release``, context-manager protocol, and ``locked`` when the
+    underlying lock provides it.
+    """
+
+    def __init__(
+        self, monitor: "LockOrderMonitor", inner, name: str
+    ) -> None:
+        self._monitor = monitor
+        self._inner = inner
+        self._name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._monitor._note_attempt(self._name)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._monitor._note_acquired(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor._note_released(self._name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<instrumented {self._name!r} wrapping {self._inner!r}>"
+
+
+class LockOrderMonitor:
+    """Records lock-acquisition order and detects order inversions."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._meta = threading.Lock()
+        # edges[a] = names acquired at least once while `a` was held
+        self._edges: dict[str, set[str]] = {}
+        self._violations: list[str] = []
+        self._reported: set[frozenset[str]] = set()
+        self._acquisitions = 0
+
+    def wrap(self, lock, name: str) -> _InstrumentedLock:
+        """Wrap ``lock`` in an order-recording proxy under ``name``."""
+        return _InstrumentedLock(self, lock, name)
+
+    @property
+    def acquisitions(self) -> int:
+        """Total successful acquisitions seen (proves instrumentation ran)."""
+        with self._meta:
+            return self._acquisitions
+
+    @property
+    def violations(self) -> list[str]:
+        with self._meta:
+            return list(self._violations)
+
+    def assert_no_inversions(self) -> None:
+        violations = self.violations
+        if violations:
+            raise LockOrderError(
+                "lock-order inversions detected:\n" + "\n".join(violations)
+            )
+
+    # -- proxy callbacks -------------------------------------------------
+
+    def _held(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _note_attempt(self, name: str) -> None:
+        held = self._held()
+        if name in held:  # re-entrant (RLock): no new ordering constraint
+            return
+        with self._meta:
+            for prior in dict.fromkeys(held):
+                self._edges.setdefault(prior, set()).add(name)
+                pair = frozenset((prior, name))
+                if self._reaches(name, prior) and pair not in self._reported:
+                    self._reported.add(pair)
+                    self._violations.append(
+                        f"acquiring {name!r} while holding {prior!r}, but "
+                        f"{prior!r} is also acquired while {name!r} is held "
+                        f"(cycle: {' -> '.join([prior, name, prior])})"
+                    )
+
+    def _note_acquired(self, name: str) -> None:
+        self._held().append(name)
+        with self._meta:
+            self._acquisitions += 1
+
+    def _note_released(self, name: str) -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == name:
+                del held[index]
+                return
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        """True if the order graph has a path ``start -> ... -> goal``."""
+        seen: set[str] = set()
+        frontier: list[str] = [start]
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._edges.get(node, ()))
+        return False
+
+
+def instrument_all(monitor: LockOrderMonitor, named_locks: Iterable[tuple[object, str, str]]):
+    """Replace ``attr`` on each ``(owner, attr, name)`` with a wrapped lock.
+
+    Convenience for tests: returns the owners so callers can chain.
+    """
+    owners = []
+    for owner, attr, name in named_locks:
+        setattr(owner, attr, monitor.wrap(getattr(owner, attr), name))
+        owners.append(owner)
+    return owners

@@ -1,0 +1,196 @@
+"""Rule R2: lock discipline for classes with instance locks.
+
+For every class that creates a ``threading`` lock in one of its methods
+(``self._lock = threading.Lock()`` and friends), the checker builds a
+map of *guarded fields* — instance attributes that must only be written
+while that lock is held.  A field becomes guarded two ways:
+
+* explicitly, via a ``# guarded-by: _lock`` comment on the line that
+  assigns it (typically its ``__init__`` declaration); or
+* by inference: any field written inside a ``with self._lock:`` block
+  somewhere in the class is assumed to be guarded by that lock.
+
+Every other write to a guarded field (``self.f = ...``,
+``self.f += ...``, ``self.f[k] = ...``) must then be inside a
+``with self._lock:`` block, with two exceptions: writes in ``__init__``
+(construction happens-before publication) and methods whose ``def``
+line carries ``# guarded-by: _lock`` — the annotation documents a
+"caller must hold the lock" contract the AST cannot see.
+
+Method *calls* on guarded fields (``self.f.append(...)``) are not
+tracked; the rule is about attribute and item writes, where a torn
+update is silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, SourceFile
+
+RULE = "R2"
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def _is_lock_factory(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr in _LOCK_FACTORIES
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+    )
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """Name of the instance attribute if ``node`` is ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _written_fields(target: ast.expr) -> Iterator[str]:
+    """Instance fields written by one assignment target."""
+    attr = _self_attr(target)
+    if attr is not None:
+        yield attr
+        return
+    if isinstance(target, ast.Subscript):
+        attr = _self_attr(target.value)
+        if attr is not None:
+            yield attr
+        return
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _written_fields(element)
+    elif isinstance(target, ast.Starred):
+        yield from _written_fields(target.value)
+
+
+def _assignment_targets(stmt: ast.stmt) -> list[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return [stmt.target]
+    return []
+
+
+class _ClassModel:
+    def __init__(self, source: SourceFile, class_node: ast.ClassDef) -> None:
+        self.source = source
+        self.class_node = class_node
+        self.methods = [
+            node
+            for node in class_node.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        self.locks: set[str] = set()
+        self.guarded: dict[str, str] = {}
+
+    def collect(self) -> None:
+        for method in self.methods:
+            for node in ast.walk(method):
+                if not isinstance(node, ast.stmt):
+                    continue
+                for target in _assignment_targets(node):
+                    attr = _self_attr(target)
+                    value = getattr(node, "value", None)
+                    if attr and value is not None and _is_lock_factory(value):
+                        self.locks.add(attr)
+        if not self.locks:
+            return
+        for method in self.methods:
+            self._collect_guards(method)
+
+    def _collect_guards(self, method: ast.FunctionDef) -> None:
+        def visit(stmts: list[ast.stmt], held: frozenset[str]) -> None:
+            for stmt in stmts:
+                for target in _assignment_targets(stmt):
+                    for field in _written_fields(target):
+                        lock = self.source.guard_for_header(stmt)
+                        if lock is not None and lock in self.locks:
+                            self.guarded.setdefault(field, lock)
+                        elif held:
+                            self.guarded.setdefault(field, min(held))
+                self._recurse(stmt, held, visit)
+
+        visit(method.body, frozenset())
+
+    def violations(self) -> Iterator[Finding]:
+        if not self.locks or not self.guarded:
+            return
+        for method in self.methods:
+            if method.name == "__init__":
+                continue
+            yield from self._check_method(method)
+
+    def _check_method(self, method: ast.FunctionDef) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        annotated = self.source.guard_for_header(method)
+        initial = frozenset({annotated}) if annotated in self.locks else frozenset()
+
+        def visit(stmts: list[ast.stmt], held: frozenset[str]) -> None:
+            for stmt in stmts:
+                for target in _assignment_targets(stmt):
+                    for field in _written_fields(target):
+                        lock = self.guarded.get(field)
+                        if lock is not None and lock not in held:
+                            findings.append(
+                                self.source.finding(
+                                    RULE,
+                                    stmt,
+                                    f"write to '{field}' (guarded by "
+                                    f"'{lock}') outside 'with self.{lock}' "
+                                    f"in {self.class_node.name}."
+                                    f"{method.name}",
+                                )
+                            )
+                self._recurse(stmt, held, visit)
+
+        visit(method.body, initial)
+        yield from findings
+
+    def _recurse(self, stmt: ast.stmt, held: frozenset[str], visit) -> None:
+        """Visit child statement blocks, updating the held-lock set."""
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired = {
+                attr
+                for item in stmt.items
+                if (attr := _self_attr(item.context_expr)) in self.locks
+            }
+            visit(stmt.body, held | acquired)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function runs later, possibly without the lock;
+            # only its own guarded-by annotation counts.
+            annotated = self.source.guard_for_header(stmt)
+            inner = frozenset({annotated}) if annotated in self.locks else frozenset()
+            visit(stmt.body, inner)
+            return
+        for block in ("body", "orelse", "finalbody"):
+            children = getattr(stmt, block, None)
+            if children:
+                visit(children, held)
+        for handler in getattr(stmt, "handlers", []):
+            visit(handler.body, held)
+
+
+def check(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = _ClassModel(source, node)
+        model.collect()
+        findings.extend(model.violations())
+    return findings

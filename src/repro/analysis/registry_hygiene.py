@@ -1,0 +1,65 @@
+"""Rule R4: backend capability declarations must be total and explicit.
+
+``compile_plan()`` negotiates on :class:`BackendCapabilities`
+(``bit_identical`` / ``supports_block`` / ``thread_safe`` / ``probed``).
+A declaration that omits a flag silently inherits a default, and a
+positional declaration stops meaning anything when the dataclass grows
+a field — both have bitten registry-negotiation code before.  Every
+``BackendCapabilities(...)`` construction must therefore pass all four
+flags as explicit keywords.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, SourceFile
+
+RULE = "R4"
+
+REQUIRED_FLAGS = ("bit_identical", "supports_block", "thread_safe", "probed")
+
+
+def check(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name != "BackendCapabilities":
+            continue
+        if node.args:
+            findings.append(
+                source.finding(
+                    RULE,
+                    node,
+                    "BackendCapabilities flags must be passed as explicit "
+                    "keywords, not positionally",
+                )
+            )
+        # Positional args fill flags in declaration order — already
+        # flagged for style above, so don't double-report them missing.
+        provided = set(REQUIRED_FLAGS[: len(node.args)])
+        provided |= {keyword.arg for keyword in node.keywords}
+        if None in provided:  # **kwargs splat: cannot prove totality
+            findings.append(
+                source.finding(
+                    RULE,
+                    node,
+                    "BackendCapabilities built from **kwargs cannot be "
+                    "checked; spell out all capability flags",
+                )
+            )
+            continue
+        missing = [flag for flag in REQUIRED_FLAGS if flag not in provided]
+        if missing:
+            findings.append(
+                source.finding(
+                    RULE,
+                    node,
+                    "BackendCapabilities must declare every capability flag "
+                    f"explicitly; missing: {', '.join(missing)}",
+                )
+            )
+    return findings

@@ -1,0 +1,123 @@
+"""Discovery, orchestration, and reporting for ``repro lint``.
+
+``lint_paths()`` walks the given files/directories (default: the
+installed ``repro`` package), parses each module once, runs every rule,
+applies ``# lint: disable=<rule>`` suppressions, and reports
+suppressions that matched nothing as ``W1`` warnings.  Exit-code
+policy: findings are fatal; warnings are fatal only under ``--strict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis import bit_identity, deprecation, locks, registry_hygiene
+from repro.analysis.findings import Finding, SourceFile
+
+PARSE_RULE = "E1"
+UNUSED_SUPPRESSION_RULE = "W1"
+
+ALL_CHECKS = (
+    bit_identity.check,
+    locks.check,
+    deprecation.check,
+    registry_hygiene.check,
+)
+
+RULE_DOCS = {
+    "R1": "bit-identity: no order-sensitive/registry-bypassing reductions",
+    "R2": "lock discipline: guarded fields written only under their lock",
+    "R3": "deprecation: no use_plans=/.executor() shim call sites",
+    "R4": "registry hygiene: BackendCapabilities flags total and explicit",
+    "W1": "unused # lint: disable suppression",
+    "E1": "file does not parse",
+}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    findings: tuple[Finding, ...]
+    files_checked: int
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if not f.warning)
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.warning)
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"repro lint: {self.files_checked} files, "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+        )
+        return "\n".join(lines + [summary])
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package — what CI lints."""
+    return Path(__file__).resolve().parents[1]
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_file(path: Path) -> list[Finding]:
+    try:
+        source = SourceFile.parse(path)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return [Finding(PARSE_RULE, str(path), line, f"cannot parse: {exc}")]
+    raw: list[Finding] = []
+    for run_check in ALL_CHECKS:
+        raw.extend(run_check(source))
+
+    kept: list[Finding] = []
+    used: set[tuple[int, str]] = set()
+    for finding in sorted(raw, key=lambda f: (f.line, f.rule)):
+        if finding.rule in source.suppressions.get(finding.line, ()):
+            used.add((finding.line, finding.rule))
+        else:
+            kept.append(finding)
+    for line in sorted(source.suppressions):
+        for rule in sorted(source.suppressions[line]):
+            if (line, rule) not in used:
+                kept.append(
+                    Finding(
+                        UNUSED_SUPPRESSION_RULE,
+                        str(path),
+                        line,
+                        f"suppression '# lint: disable={rule}' matched no "
+                        "finding",
+                        warning=True,
+                    )
+                )
+    kept.sort(key=lambda f: (f.line, f.rule))
+    return kept
+
+
+def lint_paths(paths: Iterable[Path] | None = None) -> LintReport:
+    targets = [Path(p) for p in paths] if paths else [default_target()]
+    files = iter_python_files(targets)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    return LintReport(tuple(findings), len(files))

@@ -1,0 +1,23 @@
+"""Runtime gate for plan/schedule invariant validation.
+
+``GUST_VALIDATE=1`` switches on structural validation at the points
+where plans and schedules cross a trust boundary: ``DiskScheduleStore``
+load (artifacts from disk), cache insertion, and fresh plan compilation
+in the pipeline.  The checks are the existing ``Schedule.validate()`` /
+``ExecutionPlan.validate()`` methods; this module only decides *when*
+they run.  Kept dependency-free so ``repro.core`` can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_VALIDATE = "GUST_VALIDATE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def validation_enabled() -> bool:
+    """True when ``GUST_VALIDATE`` requests invariant validation."""
+    return os.environ.get(ENV_VALIDATE, "").strip().lower() in _TRUTHY

@@ -10,6 +10,7 @@ backends    list registered execution backends and the auto-probe verdict
 serve       run the in-process batching SpMV server under synthetic load
 bench-serve run the serving-throughput benchmark (same gates as CI)
 inspect     print statistics of a saved schedule
+lint        run the project contract checker (rules R1-R4) over the source
 cache       inspect or clear the persistent schedule store
 compare     run every accelerator model on one matrix, print the table
 experiment  regenerate one of the paper's tables/figures
@@ -204,6 +205,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     inspect = commands.add_parser("inspect", help="describe a saved schedule")
     inspect.add_argument("schedule", help="schedule artifact file")
+
+    lint = commands.add_parser(
+        "lint", help="run the project contract checker (rules R1-R4)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on warnings (unused # lint: disable suppressions)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print rule IDs and exit"
+    )
 
     compare = commands.add_parser(
         "compare", help="run all accelerator models on one matrix"
@@ -615,6 +633,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import RULE_DOCS, lint_paths
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_DOCS):
+            print(f"{rule_id}  {RULE_DOCS[rule_id]}")
+        return 0
+    report = lint_paths([Path(p) for p in args.paths] or None)
+    print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.report import render_markdown, run_all
 
@@ -637,6 +667,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "inspect": _cmd_inspect,
+    "lint": _cmd_lint,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
     "report": _cmd_report,

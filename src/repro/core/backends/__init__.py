@@ -20,10 +20,6 @@ Most callers never touch this package directly: they hold a
 ``.refresh_values`` on it.
 """
 
-from repro.core.backends._deprecation import (
-    reset_deprecation_warnings,
-    warn_once,
-)
 from repro.core.backends.base import (
     BackendCapabilities,
     CompiledKernel,
@@ -66,8 +62,6 @@ __all__ = [
     "probe_bit_identity",
     "register_backend",
     "registered_backends",
-    "reset_deprecation_warnings",
     "scatter_matmat",
     "scatter_matvec",
-    "warn_once",
 ]

@@ -68,6 +68,7 @@ class BincountBackend(ReplayBackend):
         bit_identical=True,
         supports_block=True,
         thread_safe=True,
+        probed=False,
     )
 
     def compile(self, plan: ExecutionPlan) -> BincountKernel:

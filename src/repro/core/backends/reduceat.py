@@ -57,6 +57,7 @@ class ReduceatBackend(ReplayBackend):
         bit_identical=False,
         supports_block=True,
         thread_safe=True,
+        probed=False,
     )
 
     def compile(self, plan: ExecutionPlan) -> ReduceatKernel:

@@ -95,6 +95,7 @@ class ScatterBackend(ReplayBackend):
         bit_identical=True,
         supports_block=True,
         thread_safe=True,
+        probed=False,
     )
 
     def compile(self, plan: ExecutionPlan) -> ScatterKernel:

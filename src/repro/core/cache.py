@@ -61,6 +61,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.runtime import validation_enabled
 from repro.core.load_balance import BalancedMatrix
 from repro.core.plan import ExecutionPlan
 from repro.core.schedule import Schedule
@@ -192,7 +193,7 @@ class ScheduleCache:
         # callers composing fetch+insert under their own use of the cache
         # must never deadlock against the internal guard.
         self._lock = threading.RLock()
-        self._entries: OrderedDict[bytes, _Entry] = OrderedDict()
+        self._entries: OrderedDict[bytes, _Entry] = OrderedDict()  # guarded-by: _lock
         # Identity memo: CooMatrix.with_data shares the index arrays of its
         # source, so repeated lookups for a pattern usually present the
         # *same* rows/cols objects and can skip rehashing ~nnz bytes.  Keyed
@@ -200,13 +201,13 @@ class ScheduleCache:
         # collected array can never alias.
         self._digest_memo: OrderedDict[
             tuple, tuple[weakref.ref, weakref.ref, bytes]
-        ] = OrderedDict()
-        self._hits = 0
-        self._refreshes = 0
-        self._misses = 0
-        self._evictions = 0
-        self._disk_hits = 0
-        self._disk_misses = 0
+        ] = OrderedDict()  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._refreshes = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._disk_hits = 0  # guarded-by: _lock
+        self._disk_misses = 0  # guarded-by: _lock
 
     # -- introspection ------------------------------------------------------
 
@@ -241,7 +242,7 @@ class ScheduleCache:
         length: int,
         algorithm: str,
         load_balance: bool,
-    ) -> bytes:
+    ) -> bytes:  # guarded-by: _lock
         memo_key = (
             id(matrix.rows),
             id(matrix.cols),
@@ -307,8 +308,12 @@ class ScheduleCache:
 
     def _serve(
         self, entry: _Entry, matrix: CooMatrix, from_disk: bool
-    ) -> CacheLookup:
-        """Serve one entry: verbatim hit, or in-place value refresh."""
+    ) -> CacheLookup:  # guarded-by: _lock
+        """Serve one entry: verbatim hit, or in-place value refresh.
+
+        Caller (``fetch``) holds ``self._lock``, which also covers the
+        in-place mutation of ``entry``.
+        """
         if np.array_equal(matrix.data, entry.last_data):
             self._hits += 1
             return CacheLookup(
@@ -418,7 +423,7 @@ class ScheduleCache:
             return order
         return np.lexsort((matrix.cols, entry.balanced.row_perm[matrix.rows]))
 
-    def _put(self, key: bytes, entry: _Entry) -> None:
+    def _put(self, key: bytes, entry: _Entry) -> None:  # guarded-by: _lock
         """Install an entry at most-recent position, evicting over capacity."""
         self._entries[key] = entry
         self._entries.move_to_end(key)
@@ -454,6 +459,8 @@ class ScheduleCache:
         plan = ExecutionPlan.from_schedule(
             schedule, row_perm=balanced.row_perm, slots=(steps, lanes, source)
         )
+        if validation_enabled():
+            plan.validate()
         with self._lock:
             key = self._pattern_key(matrix, length, algorithm, load_balance)
             self._put(

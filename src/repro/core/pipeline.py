@@ -27,11 +27,11 @@ import time
 import weakref
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
 
 import numpy as np
 
-from repro.core.backends import compile_plan, warn_once
+from repro.analysis.runtime import validation_enabled
+from repro.core.backends import compile_plan
 from repro.core.backends.base import BackendCapabilities
 from repro.core.backends.scatter import scatter_matmat
 from repro.core.cache import ScheduleCache
@@ -51,15 +51,11 @@ from repro.types import CycleReport, PreprocessReport
 #: Not in the backend registry — it needs schedule context a compiled
 #: :class:`ExecutionPlan` no longer carries — and kept only as the
 #: reference baseline ``benchmarks/bench_replay_throughput.py`` gates the
-#: compiled backends against.  ``use_plans=False`` maps here.
+#: compiled backends against.
 LEGACY_SCATTER = "legacy-scatter"
 
-#: Sentinel distinguishing "``use_plans`` not passed" from an explicit
-#: value, so the deprecation shim only fires for real legacy callers.
-_USE_PLANS_UNSET = object()
-
 _LEGACY_CAPABILITIES = BackendCapabilities(
-    bit_identical=True, supports_block=True, thread_safe=True
+    bit_identical=True, supports_block=True, thread_safe=True, probed=False
 )
 
 
@@ -162,10 +158,6 @@ class GustPipeline:
             cannot guarantee it raises
             :class:`~repro.errors.BackendCapabilityError` instead of
             silently drifting to allclose-grade results.
-        use_plans: **deprecated** — use ``backend=``.  ``True`` maps to
-            ``backend="bincount"`` (the prepared-plan replay), ``False``
-            to ``backend="legacy-scatter"`` (the pre-plan reference
-            path); both warn once per process.
     """
 
     #: Plans memoized per pipeline (keyed by schedule identity).
@@ -181,34 +173,23 @@ class GustPipeline:
         store: DiskScheduleStore | str | Path | bool | None = None,
         backend: str = "auto",
         require_bit_identical: bool = False,
-        use_plans: bool = _USE_PLANS_UNSET,
     ):
         self.length = length
-        if use_plans is not _USE_PLANS_UNSET:
-            warn_once(
-                "GustPipeline.use_plans",
-                "GustPipeline(use_plans=...) is deprecated; pass "
-                "backend='bincount' (use_plans=True) or "
-                "backend='legacy-scatter' (use_plans=False) instead",
-            )
-            backend = "bincount" if use_plans else LEGACY_SCATTER
         self.backend = backend
         self.require_bit_identical = require_bit_identical
-        #: Backwards-compatible view of the old flag: every compiled
-        #: backend replays through prepared plans; only the legacy
-        #: baseline does not.
-        self.use_plans = backend != LEGACY_SCATTER
         # id() -> (weakref to the schedule, plan): identity keys are only
         # trusted while the schedule object is alive, so a recycled id()
         # can never alias a dead entry.  Guarded by a lock: the serving
         # layer replays one pipeline's plans from many worker threads.
         self._plan_memo: dict[int, tuple] = {}
-        # (id(schedule), backend, require) -> (weakref, token, handle):
-        # compiled handles memoized alongside plans so the per-call
-        # execute path and re-compiling callers (solvers with a shared
-        # cache) pay kernel compilation and the bit-identity probe once
-        # per schedule.  ``token`` is the plan (compiled backends) or the
-        # BalancedMatrix (legacy) the handle was built against.
+        # (id(schedule), backend, require) ->
+        # (weakref(schedule), token, handle, weakref(balanced)): compiled
+        # handles memoized alongside plans so the per-call execute path
+        # and re-compiling callers (solvers with a shared cache) pay
+        # kernel compilation and the bit-identity probe once per
+        # schedule.  ``token`` is the plan (compiled backends) or the
+        # BalancedMatrix (legacy) the handle was built against; the
+        # balanced weakref makes the common hit a pure identity check.
         self._compiled_memo: dict[tuple, tuple] = {}
         self._plan_lock = threading.Lock()
         self.algorithm = algorithm
@@ -380,6 +361,8 @@ class GustPipeline:
             ):
                 return plan
         plan = ExecutionPlan.from_schedule(schedule, row_perm=balanced.row_perm)
+        if validation_enabled():
+            plan.validate()
         self._memoize_plan(schedule, plan)
         return plan
 
@@ -409,6 +392,14 @@ class GustPipeline:
             memoized = self._compiled_memo.get(key)
         if memoized is not None and memoized[0]() is schedule:
             token, handle = memoized[1], memoized[2]
+            # Steady-state hit: the exact (schedule, balanced) pair the
+            # handle was compiled for — two identity checks, no plan_for
+            # lookup.  This is the per-call cost of ``execute``.
+            if memoized[3]() is balanced:
+                return handle
+            # Same schedule, different BalancedMatrix object: fall back
+            # to the plan-token comparison, which recompiles when the
+            # pairing carries a different row permutation.
             if backend == LEGACY_SCATTER:
                 if token is balanced:
                     return handle
@@ -417,7 +408,12 @@ class GustPipeline:
         handle = self._compile_uncached(schedule, balanced, backend, require)
         token = balanced if backend == LEGACY_SCATTER else handle.plan
         with self._plan_lock:
-            self._compiled_memo[key] = (weakref.ref(schedule), token, handle)
+            self._compiled_memo[key] = (
+                weakref.ref(schedule),
+                token,
+                handle,
+                weakref.ref(balanced),
+            )
             while len(self._compiled_memo) > self._PLAN_MEMO_CAPACITY:
                 self._compiled_memo.pop(next(iter(self._compiled_memo)))
         return handle
@@ -487,25 +483,6 @@ class GustPipeline:
         handle.stats.preprocess = report
         return handle
 
-    def executor(
-        self, schedule: Schedule, balanced: BalancedMatrix
-    ) -> Callable[[np.ndarray], np.ndarray]:
-        """**Deprecated**: a bare replay callable ``apply(x) -> y``.
-
-        Superseded by :meth:`compile` / :meth:`compile_schedule`, whose
-        :class:`~repro.core.compiled.CompiledSpmv` handle carries the same
-        bound ``matvec`` plus ``matmat``, in-place value refresh, and
-        backend metadata.  This shim warns once per process and returns
-        the handle's ``matvec``.
-        """
-        warn_once(
-            "GustPipeline.executor",
-            "GustPipeline.executor(...) is deprecated; use "
-            "GustPipeline.compile(matrix).matvec (or "
-            "compile_schedule(schedule, balanced).matvec) instead",
-        )
-        return self.compile_schedule(schedule, balanced).matvec
-
     def execute(
         self, schedule: Schedule, balanced: BalancedMatrix, x: np.ndarray
     ) -> np.ndarray:
@@ -539,7 +516,9 @@ class GustPipeline:
         steps, lanes, global_rows = schedule.occupied_slots()
         products = schedule.m_sch[steps, lanes] * x[schedule.col_sch[steps, lanes]]
         y_permuted = np.zeros(m, dtype=np.float64)
-        np.add.at(y_permuted, global_rows, products)
+        # The one sanctioned registry bypass: this *is* the pre-plan
+        # baseline the registry backends are benchmarked against.
+        np.add.at(y_permuted, global_rows, products)  # lint: disable=R1
         return balanced.unpermute_output(y_permuted)
 
     def execute_cycle_accurate(

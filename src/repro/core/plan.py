@@ -308,7 +308,11 @@ class ExecutionPlan:
             for start in range(0, k, tile):
                 stop = min(k, start + tile)
                 products = values * dense[self.sources, start:stop]
-                y_permuted[self.seg_rows, start:stop] = np.add.reduceat(
+                # This IS the reduceat backend's block kernel; it lives
+                # here because backends/ imports plan (no reverse edge).
+                # Callers get it only via backends declaring
+                # bit_identical=False.
+                y_permuted[self.seg_rows, start:stop] = np.add.reduceat(  # lint: disable=R1
                     products, self.seg_starts, axis=0
                 )
         return y_permuted[self.row_perm]

@@ -28,10 +28,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.backends import compile_plan, warn_once
+from repro.core.backends import compile_plan
 from repro.core.cache import ScheduleCache
 from repro.core.load_balance import BalancedMatrix
-from repro.core.pipeline import LEGACY_SCATTER, _USE_PLANS_UNSET, GustPipeline
+from repro.core.pipeline import LEGACY_SCATTER, GustPipeline
 from repro.core.plan import ExecutionPlan
 from repro.core.store import DiskScheduleStore
 from repro.core.schedule import PIPELINE_FILL_CYCLES, Schedule
@@ -172,10 +172,6 @@ class GustSpmm:
             (``"reduceat"``), compilation raises a typed
             :class:`~repro.errors.BackendCapabilityError` instead of
             silently returning allclose-grade results.
-        use_plans: **deprecated** — use ``backend=``.  ``True`` maps to
-            ``backend="reduceat"`` (the historical
-            :meth:`ExecutionPlan.execute_block` path), ``False`` to the
-            pre-plan ``"legacy-scatter"`` baseline; warns once.
     """
 
     def __init__(
@@ -188,19 +184,10 @@ class GustSpmm:
         store: DiskScheduleStore | str | Path | bool | None = None,
         backend: str = "auto",
         require_bit_identical: bool = False,
-        use_plans: bool = _USE_PLANS_UNSET,
     ):
         if replicas <= 0:
             raise HardwareConfigError(f"replicas must be positive, got {replicas}")
         self.replicas = replicas
-        if use_plans is not _USE_PLANS_UNSET:
-            warn_once(
-                "GustSpmm.use_plans",
-                "GustSpmm(use_plans=...) is deprecated; pass "
-                "backend='reduceat' (use_plans=True) or "
-                "backend='legacy-scatter' (use_plans=False) instead",
-            )
-            backend = "reduceat" if use_plans else LEGACY_SCATTER
         self.pipeline = GustPipeline(
             length,
             algorithm=algorithm,

@@ -53,6 +53,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.runtime import validation_enabled
 from repro.core.load_balance import BalancedMatrix
 from repro.core.schedule import Schedule
 from repro.core.serialize import (
@@ -238,15 +239,17 @@ class DiskScheduleStore:
     def load(self, key: str) -> StoredSchedule | None:
         """Fetch an artifact by key; ``None`` on miss or quarantined file.
 
-        Loads skip the O(nnz log nnz) logical re-validation: the CRC-32
-        checksum already proves the bytes are exactly what
+        Loads normally skip the O(nnz log nnz) logical re-validation: the
+        CRC-32 checksum already proves the bytes are exactly what
         :func:`~repro.core.serialize.save_schedule` wrote, and warm-start
         latency is this tier's reason to exist.  Integrity (bit rot,
-        truncation, version skew) is still fully enforced.
+        truncation, version skew) is still fully enforced, and setting
+        ``GUST_VALIDATE=1`` turns the full schedule/plan invariant checks
+        back on at this trust boundary (CI runs a tier-1 leg that way).
         """
         path = self.path_for(key)
         try:
-            entry = load_schedule_entry(path, validate=False)
+            entry = load_schedule_entry(path, validate=validation_enabled())
         except FileNotFoundError:
             self._misses += 1
             return None

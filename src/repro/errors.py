@@ -59,6 +59,16 @@ class BackendCapabilityError(BackendError):
     """
 
 
+class LockOrderError(ReproError):
+    """Two locks were acquired in inconsistent orders across call paths.
+
+    Raised by :class:`repro.analysis.lockcheck.LockOrderMonitor` when the
+    recorded acquisition graph contains a cycle — the precondition for an
+    ABBA deadlock, reported even when the schedule that would actually
+    deadlock never occurred during the run.
+    """
+
+
 class SolverError(ReproError):
     """An iterative solver failed to converge or received bad operands."""
 

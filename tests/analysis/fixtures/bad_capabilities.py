@@ -1,0 +1,9 @@
+"""Known-bad fixture: positional and partial capability declarations."""
+
+from repro.core.backends.base import BackendCapabilities
+
+POSITIONAL = BackendCapabilities(True, True, True, False)
+PARTIAL = BackendCapabilities(
+    bit_identical=True,
+    supports_block=True,
+)

@@ -1,0 +1,20 @@
+"""Known-bad fixture: guarded fields written outside their lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+        self._batches = 0
+
+    def record(self, n):
+        self._total += n
+
+    def record_batch(self):
+        with self._lock:
+            self._batches += 1
+
+    def reset(self):
+        self._batches = 0

@@ -1,0 +1,7 @@
+"""Known-bad fixture: order-sensitive reduction outside a backend."""
+
+import numpy as np
+
+
+def segment_sums(products, starts):
+    return np.add.reduceat(products, starts)

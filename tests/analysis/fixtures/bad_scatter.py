@@ -1,0 +1,8 @@
+"""Known-bad fixture: direct scatter replay outside the registry."""
+
+import numpy as np
+
+
+def replay(y, rows, products):
+    np.add.at(y, rows, products)
+    return y

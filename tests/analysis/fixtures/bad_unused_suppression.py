@@ -1,0 +1,3 @@
+"""Known-bad fixture: a suppression that matches nothing (W1)."""
+
+TOTAL = 0  # lint: disable=R1

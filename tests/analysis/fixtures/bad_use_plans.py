@@ -1,0 +1,7 @@
+"""Known-bad fixture: every removed-shim spelling rule R3 flags."""
+
+
+def build(pipeline_cls, matrix):
+    pipeline = pipeline_cls(16, use_plans=True)
+    apply_a = pipeline.executor(matrix)
+    return apply_a, pipeline.use_plans

@@ -1,0 +1,16 @@
+"""Known-good fixture: lock discipline respected on every write path."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+
+    def record(self, n):
+        with self._lock:
+            self._total += n
+
+    def _bump(self, n):  # guarded-by: _lock
+        self._total += n

@@ -1,0 +1,16 @@
+"""Known-good fixture: an allclose-grade backend may use reduceat."""
+
+import numpy as np
+
+from repro.core.backends.base import BackendCapabilities
+
+capabilities = BackendCapabilities(
+    bit_identical=False,
+    supports_block=True,
+    thread_safe=True,
+    probed=False,
+)
+
+
+def segment_sums(products, starts):
+    return np.add.reduceat(products, starts)

@@ -1,0 +1,7 @@
+"""Known-good fixture: a consumed suppression silences R1 without W1."""
+
+import numpy as np
+
+
+def segment_sums(products, starts):
+    return np.add.reduceat(products, starts)  # lint: disable=R1

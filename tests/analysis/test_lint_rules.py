@@ -1,0 +1,89 @@
+"""Every lint rule against known-good/bad fixtures: exact IDs and lines."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture -> expected (rule, line, is_warning) triples, sorted by line.
+EXPECTED = {
+    "bad_reduceat.py": [("R1", 7, False)],
+    "bad_scatter.py": [("R1", 7, False)],
+    "good_reduceat_backend.py": [],
+    "bad_lock.py": [("R2", 13, False), ("R2", 20, False)],
+    "good_lock.py": [],
+    "bad_use_plans.py": [
+        ("R3", 5, False),
+        ("R3", 6, False),
+        ("R3", 7, False),
+    ],
+    "bad_capabilities.py": [("R4", 5, False), ("R4", 6, False)],
+    "suppressed_ok.py": [],
+    "bad_unused_suppression.py": [("W1", 3, True)],
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_fixture_findings(name):
+    found = [
+        (f.rule, f.line, f.warning) for f in lint_file(FIXTURES / name)
+    ]
+    assert found == EXPECTED[name]
+
+
+@pytest.mark.parametrize(
+    "name",
+    sorted(n for n, expected in EXPECTED.items() if expected),
+)
+def test_cli_fails_each_bad_fixture(name, capsys):
+    """``repro lint --strict <bad fixture>`` exits non-zero and names the
+    rule at its ``file:line``."""
+    exit_code = main(["lint", "--strict", str(FIXTURES / name)])
+    assert exit_code == 1
+    output = capsys.readouterr().out
+    for rule, line, _ in EXPECTED[name]:
+        assert f"{FIXTURES / name}:{line}: {rule}" in output
+
+
+def test_cli_passes_good_fixtures(capsys):
+    good = [
+        str(FIXTURES / n) for n, expected in EXPECTED.items() if not expected
+    ]
+    assert main(["lint", "--strict", *good]) == 0
+    assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+
+def test_suppression_is_consumed_not_warned(capsys):
+    """A suppression that eats a real finding must not re-surface as W1."""
+    findings = lint_file(FIXTURES / "suppressed_ok.py")
+    assert findings == []
+
+
+def test_parse_error_reported_as_finding(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n", encoding="utf-8")
+    findings = lint_file(broken)
+    assert [f.rule for f in findings] == ["E1"]
+    assert not findings[0].warning
+
+
+def test_lock_rule_names_class_method_and_lock():
+    messages = [f.message for f in lint_file(FIXTURES / "bad_lock.py")]
+    assert any(
+        "'_total'" in m and "'_lock'" in m and "Counter.record" in m
+        for m in messages
+    )
+    assert any(
+        "'_batches'" in m and "Counter.reset" in m for m in messages
+    )
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    output = capsys.readouterr().out
+    for rule in ("R1", "R2", "R3", "R4", "W1"):
+        assert rule in output

@@ -1,0 +1,22 @@
+"""Self-check: the live tree is clean under the strictest settings.
+
+This is the test that makes the contract checker a contract: any change
+that introduces an order-sensitive reduction outside a declared backend,
+an unguarded write to a lock-guarded field, a resurrected shim call
+site, or a partial capability declaration fails the tier-1 suite, not
+just the CI lint job.
+"""
+
+from repro.analysis import lint_paths
+from repro.cli import main
+
+
+def test_live_tree_is_strict_clean():
+    report = lint_paths()
+    assert report.files_checked > 50
+    assert report.findings == (), report.render()
+
+
+def test_cli_default_strict_exit_zero(capsys):
+    assert main(["lint", "--strict"]) == 0
+    assert "0 errors, 0 warnings" in capsys.readouterr().out

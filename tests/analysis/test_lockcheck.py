@@ -1,0 +1,115 @@
+"""LockOrderMonitor: inversion detection, re-entrancy, dedup."""
+
+import threading
+
+import pytest
+
+from repro.analysis import LockOrderError, LockOrderMonitor
+
+
+def test_consistent_order_is_clean():
+    monitor = LockOrderMonitor()
+    a = monitor.wrap(threading.Lock(), "A")
+    b = monitor.wrap(threading.Lock(), "B")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert monitor.violations == []
+    monitor.assert_no_inversions()
+    assert monitor.acquisitions == 6
+
+
+def test_inversion_detected_without_deadlock():
+    """A -> B then B -> A is flagged from the order graph alone, even
+    though sequential execution never actually deadlocks."""
+    monitor = LockOrderMonitor()
+    a = monitor.wrap(threading.Lock(), "A")
+    b = monitor.wrap(threading.Lock(), "B")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert len(monitor.violations) == 1
+    assert "'A'" in monitor.violations[0]
+    assert "'B'" in monitor.violations[0]
+    with pytest.raises(LockOrderError, match="inversion"):
+        monitor.assert_no_inversions()
+
+
+def test_inversion_detected_across_threads():
+    monitor = LockOrderMonitor()
+    a = monitor.wrap(threading.Lock(), "A")
+    b = monitor.wrap(threading.Lock(), "B")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    first = threading.Thread(target=forward)
+    first.start()
+    first.join()
+    second = threading.Thread(target=backward)
+    second.start()
+    second.join()
+    assert len(monitor.violations) == 1
+
+
+def test_repeated_inversion_reported_once():
+    monitor = LockOrderMonitor()
+    a = monitor.wrap(threading.Lock(), "A")
+    b = monitor.wrap(threading.Lock(), "B")
+    for _ in range(5):
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    assert len(monitor.violations) == 1
+
+
+def test_reentrant_rlock_is_not_an_inversion():
+    monitor = LockOrderMonitor()
+    lock = monitor.wrap(threading.RLock(), "R")
+    with lock:
+        with lock:
+            pass
+    assert monitor.violations == []
+    assert monitor.acquisitions == 2
+
+
+def test_three_lock_cycle_detected():
+    """A->B, B->C, then C->A closes a cycle through the whole graph."""
+    monitor = LockOrderMonitor()
+    a = monitor.wrap(threading.Lock(), "A")
+    b = monitor.wrap(threading.Lock(), "B")
+    c = monitor.wrap(threading.Lock(), "C")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:
+            pass
+    assert len(monitor.violations) == 1
+
+
+def test_explicit_acquire_release_interface():
+    monitor = LockOrderMonitor()
+    lock = monitor.wrap(threading.Lock(), "L")
+    assert lock.acquire() is True
+    assert lock.locked()
+    lock.release()
+    assert not lock.locked()
+    assert monitor.acquisitions == 1

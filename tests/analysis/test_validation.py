@@ -1,0 +1,108 @@
+"""GUST_VALIDATE runtime gate: plan/schedule invariants at trust boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import GustPipeline, uniform_random
+from repro.analysis.runtime import validation_enabled
+from repro.core.plan import ExecutionPlan
+from repro.core.schedule import Schedule
+
+
+@pytest.fixture
+def validate_spy(monkeypatch):
+    """Count ExecutionPlan.validate / Schedule.validate invocations."""
+    calls = {"plan": 0, "schedule": 0}
+    plan_validate = ExecutionPlan.validate
+    schedule_validate = Schedule.validate
+
+    def counting_plan(self):
+        calls["plan"] += 1
+        return plan_validate(self)
+
+    def counting_schedule(self):
+        calls["schedule"] += 1
+        return schedule_validate(self)
+
+    monkeypatch.setattr(ExecutionPlan, "validate", counting_plan)
+    monkeypatch.setattr(Schedule, "validate", counting_schedule)
+    return calls
+
+
+class TestEnvParsing:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy(self, monkeypatch, value):
+        monkeypatch.setenv("GUST_VALIDATE", value)
+        assert validation_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "maybe"])
+    def test_falsy(self, monkeypatch, value):
+        monkeypatch.setenv("GUST_VALIDATE", value)
+        assert not validation_enabled()
+
+    def test_unset(self, monkeypatch):
+        monkeypatch.delenv("GUST_VALIDATE", raising=False)
+        assert not validation_enabled()
+
+
+class TestGatedValidation:
+    def test_cold_insert_validates_plan(self, monkeypatch, validate_spy):
+        monkeypatch.setenv("GUST_VALIDATE", "1")
+        pipeline = GustPipeline(16, cache=True)
+        pipeline.preprocess(uniform_random(48, 48, 0.1, seed=7))
+        assert validate_spy["plan"] >= 1
+
+    def test_disabled_skips_validation(self, monkeypatch, validate_spy):
+        monkeypatch.delenv("GUST_VALIDATE", raising=False)
+        pipeline = GustPipeline(16, cache=True)
+        schedule, balanced, _ = pipeline.preprocess(
+            uniform_random(48, 48, 0.1, seed=7)
+        )
+        pipeline.plan_for(schedule, balanced)
+        assert validate_spy == {"plan": 0, "schedule": 0}
+
+    def test_plan_for_validates_fresh_compile(
+        self, monkeypatch, validate_spy
+    ):
+        monkeypatch.setenv("GUST_VALIDATE", "1")
+        pipeline = GustPipeline(16)  # no cache: plan_for compiles fresh
+        schedule, balanced, _ = pipeline.preprocess(
+            uniform_random(48, 48, 0.1, seed=7)
+        )
+        before = validate_spy["plan"]
+        plan = pipeline.plan_for(schedule, balanced)
+        assert validate_spy["plan"] == before + 1
+        # Memo hit: no re-validation.
+        assert pipeline.plan_for(schedule, balanced) is plan
+        assert validate_spy["plan"] == before + 1
+
+    def test_store_load_validates_schedule_and_plan(
+        self, monkeypatch, validate_spy, tmp_path
+    ):
+        matrix = uniform_random(48, 48, 0.1, seed=7)
+        monkeypatch.delenv("GUST_VALIDATE", raising=False)
+        GustPipeline(16, store=tmp_path).preprocess(matrix)  # write artifact
+
+        monkeypatch.setenv("GUST_VALIDATE", "1")
+        warm = GustPipeline(16, store=tmp_path)
+        plan_calls = validate_spy["plan"]
+        schedule, balanced, report = warm.preprocess(matrix)
+        assert report.notes["disk_hit"] == 1.0
+        assert validate_spy["schedule"] >= 1
+        assert validate_spy["plan"] > plan_calls
+        # The validated warm-start result still replays correctly.
+        x = np.arange(matrix.shape[1], dtype=np.float64)
+        np.testing.assert_allclose(
+            warm.execute(schedule, balanced, x), matrix.matvec(x)
+        )
+
+    def test_store_load_skips_validation_when_disabled(
+        self, monkeypatch, validate_spy, tmp_path
+    ):
+        matrix = uniform_random(48, 48, 0.1, seed=7)
+        monkeypatch.delenv("GUST_VALIDATE", raising=False)
+        GustPipeline(16, store=tmp_path).preprocess(matrix)
+        warm = GustPipeline(16, store=tmp_path)
+        _, _, report = warm.preprocess(matrix)
+        assert report.notes["disk_hit"] == 1.0
+        assert validate_spy == {"plan": 0, "schedule": 0}

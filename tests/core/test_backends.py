@@ -8,13 +8,11 @@ is true must agree **bit for bit**; the rest (``reduceat``) must agree to
 ``allclose``.  Alongside it: registry resolution (unknown names, the
 ``GUST_BACKEND`` override, ``auto`` selection), the typed
 ``BackendCapabilityError`` that replaced the silent NumPy 2.x
-``reduceat`` hazard, in-place value refreshes, and the exactly-once
-deprecation shims.
+``reduceat`` hazard, in-place value refreshes, and proof that the
+removed ``use_plans=``/``executor()`` shims stay removed.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 import pytest
@@ -27,7 +25,6 @@ from repro.core.backends import (
     probe_bit_identity,
     register_backend,
     registered_backends,
-    reset_deprecation_warnings,
     scatter_matvec,
 )
 from repro.core.backends.base import (
@@ -477,52 +474,22 @@ class TestStackedReplayRefresh:
             StackedReplay.from_compiled(handle)
 
 
-class TestDeprecationShims:
-    @pytest.fixture(autouse=True)
-    def _fresh_warning_state(self):
-        reset_deprecation_warnings()
-        yield
-        reset_deprecation_warnings()
+class TestShimsStayRemoved:
+    """The one-release ``use_plans``/``executor`` shims are gone for good.
 
-    def _count(self, calls) -> int:
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            calls()
-        return sum(
-            1 for w in caught if issubclass(w.category, DeprecationWarning)
-        )
+    Lint rule R3 proves no internal call sites remain; these tests prove
+    the public surface rejects the old spellings outright instead of
+    silently accepting and ignoring them.
+    """
 
-    def test_use_plans_warns_exactly_once(self):
-        assert self._count(
-            lambda: (GustPipeline(8, use_plans=True),
-                     GustPipeline(8, use_plans=False))
-        ) == 1
+    def test_use_plans_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="use_plans"):
+            GustPipeline(8, use_plans=True)
+        with pytest.raises(TypeError, match="use_plans"):
+            GustSpmm(8, use_plans=False)
 
-    def test_spmm_use_plans_warns_exactly_once(self):
-        assert self._count(
-            lambda: (GustSpmm(8, use_plans=True),
-                     GustSpmm(8, use_plans=False))
-        ) == 1
+    def test_use_plans_attribute_gone(self):
+        assert not hasattr(GustPipeline(8), "use_plans")
 
-    def test_executor_warns_exactly_once(self, square_matrix, rng):
-        pipeline = GustPipeline(32)
-        schedule, balanced, _ = pipeline.preprocess(square_matrix)
-        assert self._count(
-            lambda: (pipeline.executor(schedule, balanced),
-                     pipeline.executor(schedule, balanced))
-        ) == 1
-        # The shim still works: bit-identical to the handle.
-        apply_a = pipeline.executor(schedule, balanced)
-        x = rng.normal(size=square_matrix.shape[1])
-        np.testing.assert_array_equal(
-            apply_a(x),
-            pipeline.compile_schedule(schedule, balanced).matvec(x),
-        )
-
-    def test_use_plans_maps_to_expected_backends(self):
-        assert GustPipeline(8, use_plans=True).backend == "bincount"
-        assert GustPipeline(8, use_plans=False).backend == LEGACY_SCATTER
-        assert GustSpmm(8, use_plans=True).pipeline.backend == "reduceat"
-        assert (
-            GustSpmm(8, use_plans=False).pipeline.backend == LEGACY_SCATTER
-        )
+    def test_executor_method_gone(self):
+        assert not hasattr(GustPipeline(8), "executor")

@@ -74,21 +74,39 @@ class TestReplay:
             np.testing.assert_array_equal(y_plan, y_scatter)
             np.testing.assert_allclose(y_plan, square_matrix.matvec(x))
 
-    def test_use_plans_false_selects_scatter(self, square_matrix, rng):
-        pipeline = GustPipeline(32, use_plans=False)
+    def test_legacy_backend_selects_scatter(self, square_matrix, rng):
+        pipeline = GustPipeline(32, backend="legacy-scatter")
         s, b, _ = pipeline.preprocess(square_matrix)
         x = rng.normal(size=square_matrix.shape[1])
         np.testing.assert_array_equal(
             pipeline.execute(s, b, x), pipeline.execute_scatter(s, b, x)
         )
 
-    def test_executor_binds_once(self, prepared, rng):
+    def test_compiled_matvec_binds_once(self, prepared, rng):
         pipeline, schedule, balanced = prepared
-        apply_a = pipeline.executor(schedule, balanced)
+        apply_a = pipeline.compile_schedule(schedule, balanced).matvec
         x = rng.normal(size=schedule.shape[1])
         np.testing.assert_array_equal(
             apply_a(x), pipeline.execute(schedule, balanced, x)
         )
+
+    def test_memo_hit_skips_plan_lookup(self, prepared, rng, monkeypatch):
+        """Steady-state executes resolve the compiled handle by identity:
+        after the first call, plan_for must not run again."""
+        pipeline, schedule, balanced = prepared
+        x = rng.normal(size=schedule.shape[1])
+        pipeline.execute(schedule, balanced, x)  # compile + memoize
+        calls = []
+        original = GustPipeline.plan_for
+
+        def counting(self, *args, **kwargs):
+            calls.append(args)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(GustPipeline, "plan_for", counting)
+        for _ in range(3):
+            pipeline.execute(schedule, balanced, x)
+        assert calls == []
 
     def test_memo_respects_balanced_argument(self, square_matrix, rng):
         """A schedule executed against a *different* BalancedMatrix must
@@ -197,7 +215,9 @@ class TestSpmmTiles:
     def test_plan_and_scatter_spmm_agree(self, square_matrix, rng):
         dense = rng.normal(size=(square_matrix.shape[1], 9))
         with_plan = GustSpmm(32).spmm(square_matrix, dense)
-        without = GustSpmm(32, use_plans=False).spmm(square_matrix, dense)
+        without = GustSpmm(32, backend="legacy-scatter").spmm(
+            square_matrix, dense
+        )
         np.testing.assert_allclose(with_plan.y, without.y)
 
 

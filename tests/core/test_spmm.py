@@ -42,15 +42,15 @@ class TestCorrectness:
 class TestTileBoundaries:
     """Column tiling must be exact at every boundary, on both replay paths."""
 
-    @pytest.mark.parametrize("use_plans", [True, False])
+    @pytest.mark.parametrize("backend", ["reduceat", "legacy-scatter"])
     def test_k_not_multiple_of_tile(
-        self, square_matrix, rng, monkeypatch, use_plans
+        self, square_matrix, rng, monkeypatch, backend
     ):
         """Column count deliberately not a multiple of the tile width: the
         trailing partial tile must be reduced and written correctly."""
         from repro.core import spmm as spmm_module
 
-        engine = GustSpmm(32, use_plans=use_plans)
+        engine = GustSpmm(32, backend=backend)
         schedule, balanced = engine.preprocess(square_matrix)
         # Budget of three columns' worth of slots -> tile = 3.
         monkeypatch.setattr(
@@ -64,15 +64,15 @@ class TestTileBoundaries:
         )
         np.testing.assert_allclose(result.y, expected)
 
-    @pytest.mark.parametrize("use_plans", [True, False])
+    @pytest.mark.parametrize("backend", ["reduceat", "legacy-scatter"])
     def test_single_slot_budget_forces_tile_one(
-        self, square_matrix, rng, monkeypatch, use_plans
+        self, square_matrix, rng, monkeypatch, backend
     ):
         """A budget below one column's slot count clamps the tile to a
         single column; every column becomes its own reduction."""
         from repro.core import spmm as spmm_module
 
-        engine = GustSpmm(32, use_plans=use_plans)
+        engine = GustSpmm(32, backend=backend)
         schedule, balanced = engine.preprocess(square_matrix)
         monkeypatch.setattr(spmm_module, "_SPMM_PRODUCT_BUDGET", 1)
         dense = rng.normal(size=(square_matrix.shape[1], 4))

@@ -24,27 +24,49 @@ def _make_server(**policy_kwargs) -> SpmvServer:
 class TestHundredConcurrentClients:
     def test_smoke(self):
         """The CI acceptance smoke: 100 threads, zero lost or wrong
-        responses, and a non-trivial batch-size histogram.
+        responses, a non-trivial batch-size histogram, and no lock-order
+        inversions across the server's whole lock set.
 
         Results are checked against the pre-plan scatter path
-        (``use_plans=False``), the reference the whole replay stack is
-        pinned to.
+        (``backend="legacy-scatter"``), the reference the whole replay
+        stack is pinned to.
         """
+        from repro.analysis import LockOrderMonitor
+
         matrices = {
             "alpha": uniform_random(96, 96, 0.08, seed=5),
             "beta": uniform_random(64, 64, 0.1, seed=6),
         }
         reference = {}
         for name, matrix in matrices.items():
-            pipeline = GustPipeline(16, use_plans=False)
+            pipeline = GustPipeline(16, backend="legacy-scatter")
             schedule, balanced, _ = pipeline.preprocess(matrix)
             reference[name] = (
                 lambda x, p=pipeline, s=schedule, b=balanced:
                 p.execute_scatter(s, b, x)
             )
         server = _make_server(max_batch=16, max_wait_s=0.01, max_queue=256)
+        # Instrument every lock the serve path can take (the batcher's
+        # Condition stays native: wrapping would change its wait/notify
+        # surface) before any request-side acquisition happens.
+        monitor = LockOrderMonitor()
+        server._state_lock = monitor.wrap(
+            server._state_lock, "server._state_lock"
+        )
+        server.metrics._lock = monitor.wrap(
+            server.metrics._lock, "metrics._lock"
+        )
+        server.registry._lock = monitor.wrap(
+            server.registry._lock, "registry._lock"
+        )
+        server.registry.cache._lock = monitor.wrap(
+            server.registry.cache._lock, "cache._lock"
+        )
         for name, matrix in matrices.items():
-            server.register(name, matrix)
+            entry = server.register(name, matrix)
+            entry.pipeline._plan_lock = monitor.wrap(
+                entry.pipeline._plan_lock, f"pipeline[{name}]._plan_lock"
+            )
         client = SpmvClient(server)
         names = sorted(matrices)
         mismatches = []
@@ -85,6 +107,10 @@ class TestHundredConcurrentClients:
         assert max(stats.batch_histogram) > 1
         assert stats.batches < 100
         assert stats.p99_ms >= stats.p50_ms > 0.0
+        # Lock-order check: the instrumentation must actually have seen
+        # traffic, and the acquisition graph must be inversion-free.
+        assert monitor.acquisitions > 100
+        monitor.assert_no_inversions()
 
 
 class TestLifecycle:
