@@ -119,6 +119,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent schedule store for this run",
     )
+    schedule.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the coloring pass (windows are "
+        "independent, so the schedule is byte-identical to --jobs 1)",
+    )
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the persistent schedule store"
@@ -281,6 +288,9 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print("error: --repeats must be >= 1", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     matrix = read_matrix_market(args.matrix)
     store = None
     if not args.no_disk_cache:
@@ -291,6 +301,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         load_balance=not args.no_load_balance,
         cache=args.cache_size if args.cache_size > 0 else None,
         store=store,
+        jobs=args.jobs,
     )
     schedule, balanced, report = pipeline.preprocess(matrix)
     first_kind = _lookup_kind(report.notes)

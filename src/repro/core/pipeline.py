@@ -158,6 +158,12 @@ class GustPipeline:
             cannot guarantee it raises
             :class:`~repro.errors.BackendCapabilityError` instead of
             silently drifting to allclose-grade results.
+        jobs: worker processes for cold scheduling passes (forwarded to
+            :class:`~repro.core.scheduler.GustScheduler`).  ``jobs > 1``
+            partitions the window axis across a process pool for very
+            large matrices; schedules — and the cache/store artifacts
+            written through the usual tiers — are byte-identical to the
+            single-process result.
     """
 
     #: Plans memoized per pipeline (keyed by schedule identity).
@@ -173,6 +179,7 @@ class GustPipeline:
         store: DiskScheduleStore | str | Path | bool | None = None,
         backend: str = "auto",
         require_bit_identical: bool = False,
+        jobs: int = 1,
     ):
         self.length = length
         self.backend = backend
@@ -194,7 +201,9 @@ class GustPipeline:
         self._plan_lock = threading.Lock()
         self.algorithm = algorithm
         self.load_balance = load_balance and algorithm != "naive"
-        self.scheduler = GustScheduler(length, algorithm, validate=validate)
+        self.scheduler = GustScheduler(
+            length, algorithm, validate=validate, jobs=jobs
+        )
         self._balancer = LoadBalancer(length) if self.load_balance else None
         if store is True:
             store = DiskScheduleStore()

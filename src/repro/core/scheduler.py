@@ -18,12 +18,21 @@ therefore avoids every per-window Python pass over the nonzeros:
   boolean-mask loop), and
   :meth:`~repro.core.load_balance.BalancedMatrix.colseg_of_all` resolves
   every edge's multiplier lane in a single binary search.
-* **Coloring** — "matching" and "first_fit" run through the flat NumPy
-  kernels in :mod:`repro.graph.edge_coloring`, which color *all windows
-  simultaneously* (windows are independent, so only the semantically
-  sequential dimension of each algorithm remains a Python loop).  "euler"
-  and "naive" retain their per-window implementations, fed by slices of the
-  partition instead of mask scans.
+* **Coloring** — every built-in policy runs through a flat NumPy kernel
+  that colors *all windows simultaneously* (windows are independent, so
+  only the semantically sequential dimension of each algorithm remains a
+  Python loop): "matching"/"first_fit" via
+  :mod:`repro.graph.edge_coloring`'s batch kernels, "naive" via
+  :func:`repro.core.naive.naive_coloring_flat`, and "euler" via
+  :func:`repro.graph.edge_coloring.euler_coloring_flat`, whose per-color
+  Hopcroft-Karp pass peels one perfect matching from every still-active
+  window at once.
+* **Process-pool scheduling** — ``jobs=`` partitions the window axis into
+  contiguous, nnz-balanced chunks and colors them in a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Chunks are rebased,
+  self-contained partitions of the same flat kernels, so the merged color
+  array — and therefore every downstream artifact (schedule, serialized
+  bytes, cache/store keys) — is identical to the single-process result.
 * **Scatter** — Listing 2's fill of M_sch/Row_sch/Col_sch is one fancy-
   indexed assignment: timestep = window offset + edge color.
 * **Value reuse** — :meth:`GustScheduler.reschedule_values` refreshes a
@@ -50,6 +59,7 @@ from repro.errors import ColoringError
 from repro.graph.bipartite import WindowGraph
 from repro.graph.edge_coloring import ALGORITHMS as _COLORING_ALGORITHMS
 from repro.graph.edge_coloring import (
+    euler_coloring_flat,
     first_fit_coloring_flat,
     matching_coloring_flat,
 )
@@ -62,8 +72,43 @@ from repro.sparse.stats import require_positive_length, window_count
 #: stall-on-collision strawman.
 SCHEDULING_ALGORITHMS = tuple(sorted(_COLORING_ALGORITHMS)) + ("naive",)
 
-#: Policies handled by the flat multi-window NumPy kernels.
-_FLAT_ALGORITHMS = ("matching", "first_fit", "naive")
+#: Policies handled by the flat multi-window NumPy kernels.  Flat kernels
+#: are window-local, which is also what makes them chunkable across a
+#: process pool (``jobs=``) without changing a single color.
+_FLAT_ALGORITHMS = ("matching", "first_fit", "euler", "naive")
+
+
+def _color_window_range(
+    algorithm: str,
+    length: int,
+    local_rows: np.ndarray,
+    colsegs: np.ndarray,
+    window_ids: np.ndarray,
+    window_starts: np.ndarray,
+    n_windows: int,
+) -> np.ndarray:
+    """Color one self-contained window range with its flat kernel.
+
+    Module-level (picklable) so process-pool workers can run it; window ids
+    and starts must already be rebased to the chunk (first window = 0).
+    """
+    if algorithm == "matching":
+        return matching_coloring_flat(
+            local_rows, colsegs, window_ids, length, n_windows
+        )
+    if algorithm == "first_fit":
+        return first_fit_coloring_flat(
+            local_rows, colsegs, window_ids, length, n_windows, window_starts
+        )
+    if algorithm == "euler":
+        return euler_coloring_flat(
+            local_rows, colsegs, window_ids, length, n_windows
+        )
+    if algorithm == "naive":
+        return naive_coloring_flat(
+            local_rows, colsegs, window_ids, length, n_windows
+        )
+    raise ColoringError(f"no flat kernel for algorithm {algorithm!r}")
 
 
 @dataclass(frozen=True)
@@ -94,10 +139,19 @@ class GustScheduler:
         algorithm: one of :data:`SCHEDULING_ALGORITHMS`.
         validate: if True, validate every window's coloring and the final
             schedule (slower; meant for tests and debugging).
+        jobs: worker processes for the coloring pass.  ``1`` (the default)
+            colors in-process; ``jobs > 1`` partitions the window axis
+            across a process pool for very large matrices.  Windows are
+            independent, so the merged schedule is *identical* — byte for
+            byte once serialized — to the single-process result.
     """
 
     def __init__(
-        self, length: int, algorithm: str = "matching", validate: bool = False
+        self,
+        length: int,
+        algorithm: str = "matching",
+        validate: bool = False,
+        jobs: int = 1,
     ):
         require_positive_length(length)
         if algorithm not in SCHEDULING_ALGORITHMS:
@@ -105,9 +159,12 @@ class GustScheduler:
                 f"unknown algorithm {algorithm!r}; "
                 f"choose from {SCHEDULING_ALGORITHMS}"
             )
+        if jobs < 1:
+            raise ColoringError(f"jobs must be >= 1, got {jobs}")
         self.length = length
         self.algorithm = algorithm
         self.validate = validate
+        self.jobs = jobs
         #: Stall events observed by the naive policy in the last schedule()
         #: call (always 0 for coloring-based policies).
         self.last_stalls = 0
@@ -234,39 +291,29 @@ class GustScheduler:
         """Color every edge of every window; flat array aligned with edges."""
         self.last_stalls = 0
         length = self.length
-        if self.algorithm == "matching":
-            colors = matching_coloring_flat(
-                partition.local_rows,
-                partition.colsegs,
-                partition.window_ids,
-                length,
-                max(1, partition.windows),
-            )
-        elif self.algorithm == "first_fit":
-            colors = first_fit_coloring_flat(
-                partition.local_rows,
-                partition.colsegs,
-                partition.window_ids,
-                length,
-                max(1, partition.windows),
-                partition.window_starts,
-            )
-        elif self.algorithm == "naive":
-            windows = max(1, partition.windows)
-            colors = naive_coloring_flat(
-                partition.local_rows,
-                partition.colsegs,
-                partition.window_ids,
-                length,
-                windows,
-            )
-            self.last_stalls = naive_stalls_flat(
-                colors,
-                partition.colsegs,
-                partition.window_ids,
-                length,
-                windows,
-            )
+        windows = max(1, partition.windows)
+        if self.algorithm in _FLAT_ALGORITHMS:
+            jobs = self._effective_jobs(partition)
+            if jobs > 1:
+                colors = self._color_multiprocess(partition, jobs)
+            else:
+                colors = _color_window_range(
+                    self.algorithm,
+                    length,
+                    partition.local_rows,
+                    partition.colsegs,
+                    partition.window_ids,
+                    partition.window_starts,
+                    windows,
+                )
+            if self.algorithm == "naive":
+                self.last_stalls = naive_stalls_flat(
+                    colors,
+                    partition.colsegs,
+                    partition.window_ids,
+                    length,
+                    windows,
+                )
         else:
             colors = np.full(partition.local_rows.size, -1, dtype=np.int64)
             for graph, lo, hi in self._window_graphs(balanced, partition):
@@ -275,6 +322,54 @@ class GustScheduler:
             for graph, lo, hi in self._window_graphs(balanced, partition):
                 validate_coloring(graph, colors[lo:hi])
         return colors
+
+    def _effective_jobs(self, partition: _Partition) -> int:
+        """Clamp the requested job count to the parallelism that exists."""
+        if self.jobs <= 1 or partition.local_rows.size == 0:
+            return 1
+        return min(self.jobs, max(1, partition.windows))
+
+    def _color_multiprocess(
+        self, partition: _Partition, jobs: int
+    ) -> np.ndarray:
+        """Color nnz-balanced window chunks in a process pool and merge.
+
+        Each chunk is rebased into a standalone partition (window ids and
+        starts shifted to zero), colored by the same flat kernel the
+        single-process path runs, and concatenated back in window order —
+        so the merged array is exactly the in-process result.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        starts = partition.window_starts
+        edge_count = int(partition.local_rows.size)
+        # Cut the window axis where the cumulative nnz crosses each job's
+        # even share; np.unique drops empty chunks (e.g. hub windows that
+        # swallow several shares).
+        targets = (np.arange(1, jobs, dtype=np.int64) * edge_count) // jobs
+        cuts = np.searchsorted(starts, targets, side="left")
+        bounds = np.unique(
+            np.concatenate(([0], cuts, [partition.windows]))
+        ).astype(np.int64)
+        chunks = []
+        for w_lo, w_hi in zip(bounds[:-1], bounds[1:]):
+            lo, hi = int(starts[w_lo]), int(starts[w_hi])
+            chunks.append(
+                (
+                    self.algorithm,
+                    self.length,
+                    partition.local_rows[lo:hi],
+                    partition.colsegs[lo:hi],
+                    partition.window_ids[lo:hi] - w_lo,
+                    starts[w_lo : w_hi + 1] - lo,
+                    int(w_hi - w_lo),
+                )
+            )
+        if len(chunks) == 1:
+            return _color_window_range(*chunks[0])
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            results = list(pool.map(_color_window_range, *zip(*chunks)))
+        return np.concatenate(results)
 
     def _window_graphs(self, balanced: BalancedMatrix, partition: _Partition):
         """Yield (WindowGraph, edge slice) per window, via partition slices."""

@@ -295,6 +295,12 @@ class DiskScheduleStore:
         absorbed and counted — a serving system must keep answering
         queries when its cache directory is sick — but the artifact is
         then simply absent.
+
+        The post-write budget eviction never sacrifices the artifact this
+        call just wrote while older ones remain (newest-in is the one the
+        caller is most likely to read back); only when the artifact alone
+        exceeds the whole budget is it dropped — and then the return value
+        says so: True means the artifact is on disk when this returns.
         """
         try:
             save_schedule(
@@ -310,8 +316,7 @@ class DiskScheduleStore:
             self._write_errors += 1
             return False
         self._writes += 1
-        self._account_write(self.path_for(key))
-        return True
+        return self._account_write(self.path_for(key))
 
     def contains(self, key: str) -> bool:
         return self.path_for(key).is_file()
@@ -460,6 +465,8 @@ class DiskScheduleStore:
         process's manifest copy may have lost), or whenever the manifest
         total says the budget is exceeded — eviction decisions always come
         from fresh stat data, never from the manifest alone.
+
+        Returns True while ``written`` is still on disk afterwards.
         """
         sizes = None
         if self._writes % _MANIFEST_RESYNC_WRITES != 0:
@@ -473,14 +480,20 @@ class DiskScheduleStore:
             sizes = self._walk_sizes()
         if sum(sizes.values()) <= self.max_bytes:
             self._write_manifest(sizes)
-            return
-        self._evict_to_budget()
+            return True
+        return self._evict_to_budget(protect=written)
 
-    def _evict_to_budget(self) -> None:
+    def _evict_to_budget(self, protect: Path | None = None) -> bool:
         """Evict oldest-mtime artifacts until the directory fits the budget.
 
         Always works from a fresh stat walk (sizes *and* mtimes), then
-        rewrites the manifest to match the surviving set.
+        rewrites the manifest to match the surviving set.  ``protect``
+        (the artifact whose write triggered this pass) is spared while any
+        other artifact can be evicted instead — mtime says it is the
+        newest *use*, and evicting the one artifact the caller just paid
+        to persist would silently turn the write into a no-op.  Only when
+        the protected artifact alone still exceeds the budget is it
+        dropped too; the return value is False exactly in that case.
         """
         self._stat_walks += 1
         entries = []
@@ -496,6 +509,8 @@ class DiskScheduleStore:
         for _, size, path in entries:
             if total <= self.max_bytes:
                 break
+            if protect is not None and path == protect:
+                continue
             try:
                 path.unlink()
             except OSError:
@@ -503,4 +518,19 @@ class DiskScheduleStore:
             total -= size
             survivors.pop(path.name, None)
             self._evictions += 1
+        survived = True
+        if total > self.max_bytes and protect is not None:
+            # Nothing else left to evict: the protected artifact alone
+            # busts the budget.  Honor the budget and report honestly.
+            try:
+                protect.unlink()
+                self._evictions += 1
+            except OSError:
+                pass
+            else:
+                size = survivors.pop(protect.name, None)
+                if size is not None:
+                    total -= size
+                survived = False
         self._write_manifest(survivors)
+        return survived

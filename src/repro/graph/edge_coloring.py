@@ -24,12 +24,13 @@ dispatcher :func:`color_edges` enforces this).
 Vectorized batch kernels
 ------------------------
 
-``greedy_matching`` and ``first_fit`` are backed by NumPy kernels
-(:func:`matching_coloring_flat`, :func:`first_fit_coloring_flat`) that
-operate on *flat edge arrays spanning every window at once* rather than
-per-vertex Python lists.  Window graphs are independent, so the kernels
-batch the embarrassingly parallel dimension (windows) and keep only the
-semantically sequential dimension as a Python loop:
+All three algorithms are backed by NumPy kernels
+(:func:`matching_coloring_flat`, :func:`first_fit_coloring_flat`,
+:func:`euler_coloring_flat`) that operate on *flat edge arrays spanning
+every window at once* rather than per-vertex Python lists.  Window graphs
+are independent, so the kernels batch the embarrassingly parallel
+dimension (windows) and keep only the semantically sequential dimension
+as a Python loop:
 
 * greedy matching iterates (round, local row) — within a round, Listing 1
   scans left vertices in index order and claims accumulate, so rows are
@@ -37,9 +38,13 @@ semantically sequential dimension as a Python loop:
   vectorized step;
 * first-fit iterates the within-window edge rank — edge ``k`` of every
   window takes its smallest free color in one vectorized step against
-  boolean (vertex, color) occupancy tables.
+  boolean (vertex, color) occupancy tables;
+* euler iterates colors — one
+  :func:`~repro.graph.matching.hopcroft_karp_flat` pass over the disjoint
+  union of all still-active windows peels color ``c``'s perfect matching
+  for every window simultaneously.
 
-Both kernels reproduce the original per-window Python implementations
+The kernels reproduce the original per-window Python implementations
 (preserved in :mod:`repro.graph._reference`) *edge-for-edge*, which
 ``tests/graph/test_vectorized_equivalence.py`` pins down.  The batch entry
 points are what :class:`repro.core.scheduler.GustScheduler` calls; the
@@ -52,7 +57,7 @@ import numpy as np
 
 from repro.errors import ColoringError
 from repro.graph.bipartite import WindowGraph
-from repro.graph.matching import hopcroft_karp
+from repro.graph.matching import hopcroft_karp_flat
 
 #: Byte budget for first-fit's two boolean occupancy tables; beyond it the
 #: kernel colors window by window so a degree hub cannot inflate the
@@ -390,104 +395,301 @@ def first_fit_coloring(graph: WindowGraph) -> np.ndarray:
     )
 
 
-def euler_coloring(graph: WindowGraph) -> np.ndarray:
-    """Optimal bipartite edge coloring with exactly Delta colors.
+def euler_coloring_flat(
+    local_rows: np.ndarray,
+    colsegs: np.ndarray,
+    window_ids: np.ndarray,
+    length: int,
+    n_windows: int,
+) -> np.ndarray:
+    """Euler/König optimal coloring over the flat edge arrays of many windows.
 
     König's theorem guarantees the chromatic index of a bipartite multigraph
-    equals its maximum degree Delta.  We realize it constructively:
+    equals its maximum degree Delta.  We realize it constructively, for
+    every window at once:
 
-    1. Pad the window graph with dummy edges until every vertex has degree
-       exactly Delta (always possible for a bipartite multigraph with equal
-       side sizes).
-    2. Peel off Delta perfect matchings with Hopcroft-Karp, one per color.
-       A d-regular bipartite multigraph always contains one (Hall), and
-       removing it leaves a (d-1)-regular multigraph.
+    1. Pad each window's graph with dummy edges until every vertex has
+       degree exactly its window's Delta (always possible for a bipartite
+       multigraph with equal side sizes).
+    2. Peel off perfect matchings with Hopcroft-Karp, one per color, from
+       the disjoint union of all still-active windows — a d-regular
+       bipartite multigraph always contains one (Hall), and removing it
+       leaves a (d-1)-regular multigraph.  Window ``w`` owns the shifted
+       vertex ids ``[w * l, (w + 1) * l)``, so one
+       :func:`~repro.graph.matching.hopcroft_karp_flat` pass peels color
+       ``c`` for every window whose Delta exceeds ``c`` simultaneously.
     3. Report only the colors of real edges.
 
     This is the ablation counterpart to the paper's greedy scheduler: it
     attains the Eq. (1) lower bound at higher preprocessing cost.
 
-    Only Hopcroft-Karp itself remains sequential: the regularization and
-    the per-color partition walk — adjacency construction over the
-    surviving multigraph and matched-edge removal — run as vectorized
-    sort/searchsorted passes over flat edge arrays, reproducing the frozen
-    per-edge-list seed (:func:`repro.graph._reference.
-    reference_euler_coloring`) edge-for-edge.
+    Windows are independent components of the union graph, so the joint
+    matching equals the per-window ones, and the result reproduces the
+    frozen per-edge-list seed
+    (:func:`repro.graph._reference.reference_euler_coloring`)
+    *edge-for-edge* on every window: the padded edge ids are laid out
+    [window reals in storage order, then window dummies in pairing order]
+    exactly like the seed's, adjacency is scanned in ascending edge-id
+    order, and matched-edge removal takes the highest-id survivor of each
+    pair (the seed's ``edge_for_pair[pair].pop()``).
     """
-    edge_colors = np.full(graph.edge_count, -1, dtype=np.int64)
-    if graph.edge_count == 0:
+    edge_count = int(local_rows.size)
+    edge_colors = np.full(edge_count, -1, dtype=np.int64)
+    if edge_count == 0:
         return edge_colors
 
-    delta = graph.max_degree()
-    length = graph.length
-    left_deg = graph.left_degrees().astype(np.int64)
-    right_deg = graph.right_degrees().astype(np.int64)
+    n_slots = n_windows * length
+    left_key = window_ids * length + local_rows
+    right_key = window_ids * length + colsegs
+    left_deg = np.bincount(left_key, minlength=n_slots)
+    right_deg = np.bincount(right_key, minlength=n_slots)
+    delta_w = np.maximum(
+        left_deg.reshape(n_windows, length).max(axis=1),
+        right_deg.reshape(n_windows, length).max(axis=1),
+    ).astype(np.int64)
 
-    # Regularization, vectorized: the seed's two-pointer deficit walk pairs
-    # the k-th unit of left deficit (in ascending vertex order) with the
-    # k-th unit of right deficit — exactly what expanding each side's
-    # deficits with ``np.repeat`` produces.
-    vertex_range = np.arange(length, dtype=np.int64)
-    dummy_lefts = np.repeat(vertex_range, delta - left_deg)
-    dummy_rights = np.repeat(vertex_range, delta - right_deg)
-    if dummy_lefts.size != dummy_rights.size:
+    # Relabel windows in descending-Delta order before building the padded
+    # layout.  Windows are independent components, so relabeling permutes
+    # per-window subproblems without changing any of their traversals or
+    # results — but it makes every color's still-active windows
+    # (``Delta > color``) a *prefix* of the slot space: per-color matching,
+    # distance, and scratch structures then size to the live prefix
+    # instead of the full slot count, and active-slot gathers become
+    # slices.
+    worder = np.argsort(-delta_w, kind="stable")
+    delta_sorted = delta_w[worder]
+    wrank = np.empty(n_windows, dtype=np.int64)
+    wrank[worder] = np.arange(n_windows, dtype=np.int64)
+    left_deg = left_deg.reshape(n_windows, length)[worder].ravel()
+    right_deg = right_deg.reshape(n_windows, length)[worder].ravel()
+    new_windows = wrank[window_ids]
+
+    # Regularization, vectorized across windows: the seed's two-pointer
+    # deficit walk pairs the k-th unit of left deficit (in ascending vertex
+    # order) with the k-th unit of right deficit.  Expanding each side's
+    # deficits with ``np.repeat`` produces the same pairing per window
+    # because both sides' deficit totals agree within every window, so the
+    # running sums line up at each window boundary.
+    delta_slot = np.repeat(delta_sorted, length)
+    slot_range = np.arange(n_slots, dtype=np.int64)
+    dummy_lefts = np.repeat(slot_range, delta_slot - left_deg)
+    dummy_rights = np.repeat(slot_range, delta_slot - right_deg)
+    if dummy_lefts.size != dummy_rights.size or not np.array_equal(
+        dummy_lefts // length, dummy_rights // length
+    ):
         raise ColoringError("regularization failed; unbalanced bipartite sides")
-    n_real = graph.edge_count
-    lefts = np.concatenate(
-        [np.asarray(graph.local_rows, dtype=np.int64), dummy_lefts]
-    )
-    rights = np.concatenate(
-        [np.asarray(graph.colsegs, dtype=np.int64), dummy_rights]
-    )
 
-    alive = np.ones(lefts.size, dtype=bool)
-    left_range = np.arange(length + 1)
-    for color in range(delta):
-        alive_idx = np.flatnonzero(alive)
-        l_alive = lefts[alive_idx]
-        r_alive = rights[alive_idx]
+    # Every padded-edge position and shifted pair key is bounded by
+    # ``n_slots * length``; when that fits 32 bits (any realistic problem
+    # size) the per-color compactions, gathers, and searchsorted passes run
+    # on half-width elements — they are memory-bound, so the narrowing is
+    # a near-2x cut on their cost.
+    keydt = np.int32 if n_slots * length <= np.iinfo(np.int32).max else np.int64
 
-        # Adjacency over the surviving multigraph.  The stable sort by left
-        # vertex keeps ascending edge-id order inside each neighbour list —
-        # the order the seed's append loop produced, which Hopcroft-Karp's
-        # traversal is sensitive to.
-        by_left = np.argsort(l_alive, kind="stable")
-        bounds = np.searchsorted(l_alive[by_left], left_range)
-        r_by_left = r_alive[by_left]
-        adjacency = [
-            r_by_left[lo:hi].tolist()
-            for lo, hi in zip(bounds[:-1], bounds[1:])
+    # Padded edge layout: reals first, dummies second, then a stable sort
+    # by window interleaves them into the seed's per-window id order
+    # [reals..., dummies...] while keeping storage order inside each part.
+    # Narrow sort keys let NumPy's stable sort take its radix path.
+    pad_windows = np.concatenate([new_windows, dummy_lefts // length])
+    if n_windows <= np.iinfo(np.int16).max:
+        pad_windows = pad_windows.astype(np.int16)
+    order = np.argsort(pad_windows, kind="stable")
+    lefts = np.concatenate([new_windows * length + local_rows, dummy_lefts])[
+        order
+    ].astype(keydt)
+    rights = np.concatenate([colsegs, dummy_rights % length])[order].astype(
+        keydt
+    )
+    real_ids = np.concatenate(
+        [
+            np.arange(edge_count, dtype=np.int64),
+            np.full(dummy_lefts.size, -1, dtype=np.int64),
         ]
-        match_left, _, size = hopcroft_karp(adjacency, length, length)
-        if size != length:
+    )[order].astype(keydt)
+    right_global = (lefts // length) * length + rights
+
+    # Both traversal orders are fixed once up front; compacting a sorted
+    # array by a boolean mask preserves its order, so the per-color passes
+    # never re-sort.  ``by_left`` yields CSR adjacency in ascending edge-id
+    # order per left vertex (the order the seed's append loop produced,
+    # which Hopcroft-Karp's traversal is sensitive to); ``by_key`` puts
+    # equal (left, right) pairs in ascending edge-id order, so the
+    # rightmost survivor of a matched key is the seed's popped edge.
+    by_left = np.argsort(lefts, kind="stable").astype(keydt)
+    pair_keys = lefts * length + rights
+    by_key = np.argsort(pair_keys, kind="stable").astype(keydt)
+    keys_sorted = pair_keys[by_key]
+
+    # Duplicate (left, right) copies never influence the matching search:
+    # in the reference DFS a repeated neighbour either already returned or
+    # descended at its first occurrence, or is skipped both times (``dist``
+    # only ever falls to the -1 sentinel), and the greedy scan stops at the
+    # first free right, which dedup keeps.  Removal always deletes the
+    # *highest*-id copy of a matched pair, so the lowest-id copy (``rep0``)
+    # stays alive exactly while the pair's multiplicity is >= 1 — handing
+    # Hopcroft-Karp one entry per surviving distinct pair changes no
+    # traversal outcome.  Dummy edges are massively duplicated, so the
+    # deduped CSR is a fraction of the padded edge count.
+    rep0 = np.zeros(lefts.size, dtype=bool)
+    first_in_key = np.empty(lefts.size, dtype=bool)
+    first_in_key[0] = True
+    np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=first_in_key[1:])
+    rep0[by_key[first_in_key]] = True
+
+    # Row-lockstep layout for the matching's first phase.  Hopcroft-Karp's
+    # first phase over an empty matching cannot descend (every matched
+    # right's owner is a distance-0 free root), so it degenerates to "each
+    # left vertex, in ascending order, takes its first free right in
+    # adjacency order".  Windows are independent, so that scan can run one
+    # local row of *every* window per vectorized step — the same
+    # first-open-edge-per-group trick as :func:`matching_coloring_flat` —
+    # and be handed to :func:`hopcroft_karp_flat` as the seed matching.
+    # The seeded run is then identical to the unseeded one from its second
+    # phase onward, with the first BFS+scan eliminated.
+    rows_local = lefts % length
+    by_row = np.argsort(
+        rows_local.astype(np.int16)
+        if length <= np.iinfo(np.int16).max
+        else rows_local,
+        kind="stable",
+    ).astype(keydt)
+    row_range = np.arange(length + 1, dtype=rows_local.dtype)
+
+    # Live views of the multigraph, one per traversal order, physically
+    # compacted as edges die (edges only ever die, and dropping rows from a
+    # sorted array preserves its order, so no per-color re-sort or
+    # full-size boolean gather is ever needed):
+    #   * CSR / by-left order, deduped — feeds Hopcroft-Karp;
+    #   * row-major order, deduped — feeds the greedy seed phase;
+    #   * by-key order, every copy — resolves matched pairs to edge ids.
+    rep_l = rep0[by_left]
+    bl_id = by_left[rep_l]
+    bl_left = lefts[bl_id]
+    bl_right = right_global[bl_id]
+    rep_r = rep0[by_row]
+    br_id = by_row[rep_r]
+    g_left = lefts[br_id]
+    g_right = right_global[br_id]
+    g_rows = rows_local[br_id]
+    bk_id = by_key
+    bk_keys = keys_sorted
+    pair_dead = np.zeros(lefts.size, dtype=bool)
+
+    csr_range = np.arange(n_slots + 1, dtype=keydt)
+    for color in range(int(delta_sorted[0])):
+        # Descending-Delta relabeling makes the active windows a prefix.
+        n_act = int(np.searchsorted(-delta_sorted, -color, side="left")) * length
+        if color:
+            # Drop last color's consumed edges from each view.  A deduped
+            # entry dies only when its chosen copy *was* the rep0 copy,
+            # i.e. the pair's multiplicity just hit zero.
+            died_pairs = chosen[rep0[chosen]]
+            if died_pairs.size:
+                pair_dead[died_pairs] = True
+                keep = ~pair_dead[bl_id]
+                bl_id = bl_id[keep]
+                bl_left = bl_left[keep]
+                bl_right = bl_right[keep]
+                keep = ~pair_dead[br_id]
+                br_id = br_id[keep]
+                g_left = g_left[keep]
+                g_right = g_right[keep]
+                g_rows = g_rows[keep]
+            keep = np.ones(bk_id.size, dtype=bool)
+            keep[pos] = False
+            bk_id = bk_id[keep]
+            bk_keys = bk_keys[keep]
+
+        indptr = np.searchsorted(bl_left, csr_range[: n_act + 1]).astype(keydt)
+
+        # Vectorized first phase: claim one free right per left per row
+        # step.  Candidate edges within a row group are window-grouped in
+        # ascending edge-id order, so the group-boundary trick picks each
+        # left vertex's first open edge in its adjacency-scan order.
+        row_bounds = np.searchsorted(g_rows, row_range)
+        ml0 = np.full(n_act, -1, dtype=keydt)
+        mr0 = np.full(n_act, -1, dtype=keydt)
+        matched0 = 0
+        for i in range(length):
+            lo, hi = row_bounds[i], row_bounds[i + 1]
+            if lo == hi:
+                continue
+            seg_view = g_right[lo:hi]
+            open_mask = mr0[seg_view] == -1
+            cand_r = seg_view[open_mask]
+            if cand_r.size == 0:
+                continue
+            cand_l = g_left[lo:hi][open_mask]
+            first = np.empty(cand_l.size, dtype=bool)
+            first[0] = True
+            np.not_equal(cand_l[1:], cand_l[:-1], out=first[1:])
+            w_l = cand_l[first]
+            w_r = cand_r[first]
+            ml0[w_l] = w_r
+            mr0[w_r] = w_l
+            matched0 += w_l.size
+
+        if matched0 == n_act:
+            # The greedy seed is already perfect, hence maximum: the seeded
+            # run's first BFS would find no augmenting layer and return the
+            # seed untouched.
+            match_left = ml0
+        else:
+            match_left, _, _ = hopcroft_karp_flat(
+                indptr,
+                bl_right,
+                n_act,
+                n_act,
+                seed_left=ml0,
+                seed_right=mr0,
+                seed_size=matched0,
+            )
+
+        # Windows whose Delta exceeds the current color must each hold a
+        # perfect matching; exhausted windows have no surviving edges and
+        # sit outside the active prefix.
+        matched = match_left
+        if (matched < 0).any():
             raise ColoringError(
                 f"regular multigraph lacked a perfect matching at color {color}"
             )
 
         # Delete one surviving edge per matched (left, right) pair — the
-        # highest-id one, matching the seed's ``edge_for_pair[pair].pop()``.
-        # Stable key sort puts equal pairs in ascending edge-id order, so
-        # the rightmost occurrence of each matched key is that edge.
-        pair_keys = l_alive * length + r_alive
-        by_key = np.argsort(pair_keys, kind="stable")
-        keys_sorted = pair_keys[by_key]
-        matched_keys = vertex_range * length + match_left
-        pos = np.searchsorted(keys_sorted, matched_keys, side="right") - 1
+        # highest-id one.
+        matched_keys = np.asarray(
+            slot_range[:n_act] * length + matched % length, dtype=keydt
+        )
+        pos = np.searchsorted(bk_keys, matched_keys, side="right") - 1
         if pos.size and (
-            (pos < 0).any() or not np.array_equal(keys_sorted[pos], matched_keys)
+            (pos < 0).any() or not np.array_equal(bk_keys[pos], matched_keys)
         ):
             raise ColoringError(
                 f"matching produced an edge absent from the multigraph "
                 f"at color {color}"
             )
-        chosen = alive_idx[by_key[pos]]
-        real = chosen < n_real
-        edge_colors[chosen[real]] = color
-        alive[chosen] = False
+        chosen = bk_id[pos]
+        chosen_real = real_ids[chosen]
+        edge_colors[chosen_real[chosen_real >= 0]] = color
 
     if (edge_colors < 0).any():
         raise ColoringError("euler coloring left edges uncolored")
     return edge_colors
+
+
+def euler_coloring(graph: WindowGraph) -> np.ndarray:
+    """Optimal bipartite edge coloring with exactly Delta colors.
+
+    Single-window wrapper over :func:`euler_coloring_flat` (see there for
+    the construction); kept as the per-graph entry point the
+    :data:`ALGORITHMS` registry and :func:`color_edges` dispatch to.
+    """
+    return euler_coloring_flat(
+        np.asarray(graph.local_rows, dtype=np.int64),
+        np.asarray(graph.colsegs, dtype=np.int64),
+        np.zeros(graph.edge_count, dtype=np.int64),
+        graph.length,
+        1,
+    )
 
 
 #: Registry used by the scheduler's ``algorithm=`` parameter.

@@ -1,8 +1,12 @@
 """Bipartite matching algorithms.
 
-:func:`hopcroft_karp` finds a maximum matching; the optimal edge coloring
-(:func:`repro.graph.edge_coloring.euler_coloring`) calls it once per color to
-peel perfect matchings off a regularized multigraph.
+:func:`hopcroft_karp` finds a maximum matching on Python adjacency lists;
+:func:`hopcroft_karp_flat` is its flat-array counterpart over CSR adjacency,
+built to run one matching pass across the disjoint union of many window
+graphs at once.  The optimal edge coloring
+(:func:`repro.graph.edge_coloring.euler_coloring_flat`) calls the flat
+variant once per color to peel perfect matchings off every window's
+regularized multigraph simultaneously.
 """
 
 from __future__ import annotations
@@ -86,6 +90,244 @@ def hopcroft_karp(
         for u in range(n_left):
             if match_left[u] == -1 and try_augment(u):
                 size += 1
+
+
+def _augment_flat(
+    root: int,
+    indptr: list[int],
+    indices: list[int],
+    dist: list[int],
+    match_left: list[int],
+    match_right: list[int],
+    updates_u: list[int],
+    updates_v: list[int],
+) -> bool:
+    """Iterative shortest-path augmentation over CSR adjacency.
+
+    A faithful port of :func:`hopcroft_karp`'s ``try_augment`` — same
+    neighbour scan order (CSR slice order == adjacency list order), same
+    resume-after-descent semantics, same ``dist`` invalidation on failure —
+    so the matchings it produces are identical vertex for vertex.  Every
+    matching write is also appended to ``updates_u``/``updates_v`` (in
+    write order) so the caller can mirror the phase's changes into its
+    NumPy views.
+    """
+    u = root
+    pos = indptr[root]
+    end = indptr[root + 1]
+    target = dist[root] + 1
+    # Three parallel stacks carry one frame per descent: the suspended
+    # vertex, its resume position, and the edge descended through (the
+    # frame's pending matching write is exactly (stack_u[i], stack_v[i])).
+    # The suspended vertex's scan end and layer target are recomputed on
+    # pop — both stay valid while the frame is live, since ``dist[u]`` is
+    # only invalidated when ``u``'s own scan fails.
+    stack_u: list[int] = []
+    stack_pos: list[int] = []
+    stack_v: list[int] = []
+    while True:
+        descended = False
+        while pos < end:
+            v = indices[pos]
+            pos += 1
+            w = match_right[v]
+            if w == -1:
+                match_left[u] = v
+                match_right[v] = u
+                updates_u.append(u)
+                updates_v.append(v)
+                for i in range(len(stack_u) - 1, -1, -1):
+                    up = stack_u[i]
+                    vp = stack_v[i]
+                    match_left[up] = vp
+                    match_right[vp] = up
+                    updates_u.append(up)
+                    updates_v.append(vp)
+                return True
+            if dist[w] == target:
+                stack_u.append(u)
+                stack_pos.append(pos)
+                stack_v.append(v)
+                u = w
+                pos = indptr[w]
+                end = indptr[w + 1]
+                target = dist[w] + 1
+                descended = True
+                break
+        if descended:
+            continue
+        dist[u] = -1
+        if not stack_u:
+            return False
+        u = stack_u.pop()
+        pos = stack_pos.pop()
+        stack_v.pop()
+        end = indptr[u + 1]
+        target = dist[u] + 1
+
+
+def hopcroft_karp_flat(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n_left: int,
+    n_right: int,
+    *,
+    seed_left: np.ndarray | None = None,
+    seed_right: np.ndarray | None = None,
+    seed_size: int = 0,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Maximum bipartite matching via Hopcroft-Karp over CSR adjacency.
+
+    Args:
+        indptr: int64 array of ``n_left + 1`` offsets; left vertex ``u``'s
+            right neighbours are ``indices[indptr[u]:indptr[u + 1]]``
+            (duplicates allowed; they do not change the matching).
+        indices: flat right-neighbour array.
+        n_left: number of left vertices.
+        n_right: number of right vertices.
+        seed_left / seed_right / seed_size: optional starting matching the
+            search resumes from (the arrays are taken over, not copied).
+            The result is a maximum matching for any valid seed; it equals
+            the unseeded run's matching exactly when the seed is the
+            matching the unseeded first phase itself would build — i.e.
+            each left vertex, in ascending order, paired with its first
+            free right neighbour in adjacency order.  Callers that rely on
+            traversal-order fidelity (the euler coloring against its
+            frozen oracle) pass exactly that greedy matching, computed
+            with vectorized scatter steps instead of the Python scan.
+
+    Returns:
+        (match_left, match_right, size): ``match_left[u]`` is the right
+        vertex matched to ``u`` or -1; symmetrically for ``match_right``.
+
+    Produces the same matching as :func:`hopcroft_karp` on the equivalent
+    adjacency lists.  When the graph is a disjoint union of components
+    whose vertex ids are grouped (window ``w`` owning ids
+    ``[w * l, (w + 1) * l)``), the per-component matchings also equal the
+    ones separate per-component runs would produce: BFS layers never cross
+    components, augmentations stay within one component, and the global
+    ascending root order preserves each component's local root order.  The
+    BFS phase advances every component's layering in lock-step with
+    vectorized gather/scatter; only the augmenting DFS walks Python lists.
+    """
+    # Any integer dtype works for the CSR pair; narrower indices halve the
+    # BFS gathers' memory traffic, so the caller's dtype is preserved.
+    indptr = np.ascontiguousarray(indptr)
+    indices = np.ascontiguousarray(indices)
+    # The Python lists are the matching's source of truth for the DFS; the
+    # NumPy mirrors serve the vectorized BFS gathers and are kept in sync
+    # from each phase's recorded writes (cheaper than re-converting two
+    # n-vertex arrays per phase).  List conversion is deferred until a DFS
+    # phase actually runs: a caller whose seed is already maximum pays only
+    # for the (vectorized) BFS that proves it.
+    iptr: list[int] | None = None
+    idx: list[int] = []
+    if seed_left is not None and seed_right is not None:
+        ml = np.ascontiguousarray(seed_left)
+        mr = np.ascontiguousarray(seed_right)
+        match_left: list[int] = []
+        match_right: list[int] = []
+        size = int(seed_size)
+    else:
+        match_left = [-1] * n_left
+        match_right = [-1] * n_right
+        ml = np.full(n_left, -1, dtype=np.int64)
+        mr = np.full(n_right, -1, dtype=np.int64)
+        size = 0
+    # Only left vertices with at least one edge can ever be matched or lie
+    # on an augmenting path as roots; skipping isolated vertices keeps each
+    # phase O(active) even when most components are already exhausted.
+    candidates = np.flatnonzero(indptr[1:] > indptr[:-1])
+    # Scratch for frontier dedup (cheaper than np.unique's sort per level).
+    seen = np.zeros(n_left, dtype=bool)
+
+    while True:
+        # BFS phase: layer the free left vertices of every component in
+        # lock-step.  ``dist`` uses -1 for the reference's infinity; layer
+        # values are the same BFS levels the queue-based phase assigns.
+        dist = np.full(n_left, -1, dtype=ml.dtype)
+        free_roots = candidates[ml[candidates] == -1]
+        dist[free_roots] = 0
+        frontier = free_roots
+        found_augmenting_layer = False
+        level = 0
+        while frontier.size:
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Expand every frontier vertex's CSR slice in one flat gather.
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            neighbours = indices[np.repeat(starts, counts) + within]
+            owners = mr[neighbours]
+            if not found_augmenting_layer and (owners == -1).any():
+                found_augmenting_layer = True
+            owners = owners[owners != -1]
+            owners = owners[dist[owners] == -1]
+            seen[owners] = True
+            frontier = np.flatnonzero(seen)
+            seen[frontier] = False
+            level += 1
+            dist[frontier] = level
+        if not found_augmenting_layer:
+            return ml, mr, size
+
+        # DFS phase: vertex-disjoint shortest augmenting paths, in the
+        # reference's ascending free-root order.  A root is never matched
+        # by another root's augmentation (path interiors are matched
+        # vertices), so ``free_roots`` needs no re-checking mid-phase.
+        if iptr is None:
+            iptr = indptr.tolist()
+            idx = indices.tolist()
+            if not match_left:
+                match_left = ml.tolist()
+                match_right = mr.tolist()
+        updates_u: list[int] = []
+        updates_v: list[int] = []
+        if size == 0:
+            # First phase over an empty matching: no right vertex has an
+            # owner to descend into, so every reference DFS degenerates to
+            # "take the first free right in scan order" — run that scan
+            # directly, without the frames machinery.
+            for root in free_roots.tolist():
+                for pos in range(iptr[root], iptr[root + 1]):
+                    v = idx[pos]
+                    if match_right[v] == -1:
+                        match_left[root] = v
+                        match_right[v] = root
+                        updates_u.append(root)
+                        updates_v.append(v)
+                        size += 1
+                        break
+        else:
+            dist_l = dist.tolist()
+            for root in free_roots.tolist():
+                if _augment_flat(
+                    root,
+                    iptr,
+                    idx,
+                    dist_l,
+                    match_left,
+                    match_right,
+                    updates_u,
+                    updates_v,
+                ):
+                    size += 1
+        if updates_u:
+            # Mirror the phase's writes into the NumPy views.  Later writes
+            # to the same vertex supersede earlier ones (rewired paths):
+            # reverse the write log and keep each vertex's first (i.e.
+            # latest) entry — ``np.unique`` returns first-occurrence
+            # indices — before scattering.
+            uu = np.array(updates_u, dtype=np.int64)[::-1]
+            vv = np.array(updates_v, dtype=np.int64)[::-1]
+            _, latest = np.unique(uu, return_index=True)
+            ml[uu[latest]] = vv[latest]
+            _, latest = np.unique(vv, return_index=True)
+            mr[vv[latest]] = uu[latest]
 
 
 def greedy_maximal_matching(

@@ -50,9 +50,14 @@ class ServerStats:
 
     @property
     def mean_batch_size(self) -> float:
-        """Average executed batch size (1.0 when nothing ran yet)."""
+        """Average executed batch size (0.0 when nothing ran yet).
+
+        An idle server has no mean batch size; fabricating 1.0 made an
+        idle server indistinguishable from one that executed every
+        request unbatched.
+        """
         if not self.batches:
-            return 1.0
+            return 0.0
         return self.completed_in_batches / self.batches
 
     @property
@@ -112,6 +117,16 @@ class ServerMetrics:
         self._completed = 0
         self._histogram: Counter[int] = Counter()
         self._latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+
+    def mark_started(self) -> None:
+        """Re-base uptime on serving start.
+
+        The construction-to-start gap is setup (registrations, plan
+        preparation), not serving time; counting it deflates
+        ``throughput_rps`` for any server not started immediately.
+        """
+        with self._lock:
+            self._started = self._clock()
 
     def record_submit(self) -> None:
         with self._lock:

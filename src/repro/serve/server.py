@@ -22,7 +22,7 @@ from concurrent.futures import Future
 
 import numpy as np
 
-from repro.errors import ServeError
+from repro.errors import HardwareConfigError, ServeError
 from repro.serve.batcher import BatchPolicy, RequestBatcher, run_batch
 from repro.serve.metrics import ServerMetrics, ServerStats
 from repro.serve.registry import MatrixRegistry
@@ -65,6 +65,7 @@ class SpmvServer:
         self._state_lock = threading.Lock()
         self._started = False
         self._stopped = False
+        self._stop_done = threading.Event()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -75,6 +76,9 @@ class SpmvServer:
             if self._started:
                 raise ServeError("server is already running")
             self._started = True
+            # Uptime (and so throughput_rps) measures serving time, not
+            # the construction-to-start setup gap.
+            self.metrics.mark_started()
             for index in range(self.workers):
                 thread = threading.Thread(
                     target=self._worker_loop,
@@ -91,25 +95,35 @@ class SpmvServer:
         With ``drain`` (default) every queued request is executed before
         the workers exit; without it, queued requests fail with
         :class:`ServeError` and only in-flight batches complete.
-        Idempotent.
+        Idempotent, and *blocking* for every caller: a ``stop()`` that
+        loses the race to another thread's ``stop()`` still waits for the
+        winner to finish joining the workers before returning, so "my
+        stop() returned" always means "no worker is running".
         """
         with self._state_lock:
-            if self._stopped:
-                return
+            first = not self._stopped
             self._stopped = True
             started = self._started
-        # A never-started server has no workers to drain its queues, so
-        # a drain request downgrades to abandonment (futures must never
-        # hang past stop()).
-        abandoned = self.batcher.close(drain=drain and started)
-        if abandoned:
-            error = ServeError("server stopped before executing this request")
-            for request in abandoned:
-                request.future.set_exception(error)
-            self.metrics.record_failure(len(abandoned))
-        for thread in self._threads:
-            thread.join()
-        self._threads.clear()
+        if not first:
+            self._stop_done.wait()
+            return
+        try:
+            # A never-started server has no workers to drain its queues,
+            # so a drain request downgrades to abandonment (futures must
+            # never hang past stop()).
+            abandoned = self.batcher.close(drain=drain and started)
+            if abandoned:
+                error = ServeError(
+                    "server stopped before executing this request"
+                )
+                for request in abandoned:
+                    request.future.set_exception(error)
+                self.metrics.record_failure(len(abandoned))
+            for thread in self._threads:
+                thread.join()
+            self._threads.clear()
+        finally:
+            self._stop_done.set()
 
     def __enter__(self) -> "SpmvServer":
         with self._state_lock:
@@ -140,7 +154,11 @@ class SpmvServer:
         entry = self.registry.get(name)
         try:
             future = self.batcher.submit(entry, x)
-        except ServeError:
+        except (ServeError, HardwareConfigError):
+            # Admission can refuse a request two ways: serving-side
+            # (queue full, closed tenant, stopped server — ServeError) or
+            # operand-side (shape/dtype mismatch — HardwareConfigError).
+            # Both are rejections the operator should see counted.
             self.metrics.record_reject()
             raise
         self.metrics.record_submit()

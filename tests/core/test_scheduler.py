@@ -200,3 +200,58 @@ class TestValueReuse:
         )
         np.testing.assert_array_equal(refreshed.m_sch, cold.m_sch)
         np.testing.assert_array_equal(refreshed.row_sch, cold.row_sch)
+
+
+class TestProcessPoolScheduling:
+    """jobs > 1 must be a pure throughput knob: byte-identical schedules."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_jobs_byte_identical(self, square_matrix, algorithm):
+        serial_scheduler = GustScheduler(16, algorithm=algorithm)
+        serial = serial_scheduler.schedule(square_matrix)
+        pooled_scheduler = GustScheduler(16, algorithm=algorithm, jobs=2)
+        pooled = pooled_scheduler.schedule(square_matrix)
+        assert pooled.window_colors == serial.window_colors
+        np.testing.assert_array_equal(pooled.m_sch, serial.m_sch)
+        np.testing.assert_array_equal(pooled.row_sch, serial.row_sch)
+        np.testing.assert_array_equal(pooled.col_sch, serial.col_sch)
+        assert pooled_scheduler.last_stalls == serial_scheduler.last_stalls
+
+    def test_jobs_exceeding_windows_clamped(self, small_matrix):
+        serial = GustScheduler(16, algorithm="euler").schedule(small_matrix)
+        pooled = GustScheduler(16, algorithm="euler", jobs=64).schedule(
+            small_matrix
+        )
+        np.testing.assert_array_equal(pooled.m_sch, serial.m_sch)
+        np.testing.assert_array_equal(pooled.row_sch, serial.row_sch)
+        np.testing.assert_array_equal(pooled.col_sch, serial.col_sch)
+
+    def test_jobs_with_balanced_partition(self, square_matrix):
+        balancer = LoadBalancer(16)
+        balanced = balancer.balance(square_matrix)
+        serial = GustScheduler(16, algorithm="matching").schedule_balanced(
+            balanced
+        )
+        pooled = GustScheduler(
+            16, algorithm="matching", jobs=3
+        ).schedule_balanced(balanced)
+        assert pooled.window_colors == serial.window_colors
+        np.testing.assert_array_equal(pooled.m_sch, serial.m_sch)
+        np.testing.assert_array_equal(pooled.row_sch, serial.row_sch)
+        np.testing.assert_array_equal(pooled.col_sch, serial.col_sch)
+
+    def test_empty_matrix_skips_pool(self):
+        empty = CooMatrix.from_arrays(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.float64),
+            (32, 32),
+        )
+        schedule = GustScheduler(16, jobs=4).schedule(empty)
+        assert schedule.nnz == 0
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ColoringError, match="jobs"):
+            GustScheduler(16, jobs=0)
+        with pytest.raises(ColoringError, match="jobs"):
+            GustScheduler(16, jobs=-2)

@@ -548,3 +548,53 @@ class TestSizeManifest:
         assert store.manifest_path.name not in {
             p.name for p in store._artifacts()
         }
+
+
+class TestStoreHonestReporting:
+    """store() must report whether the artifact actually survived the
+    write — and the budget sweep must prefer evicting *other* artifacts
+    over the one just written."""
+
+    def _prepared(self, count=2):
+        pipeline = GustPipeline(16)
+        matrices = [uniform_random(64, 64, 0.1, seed=s) for s in range(count)]
+        return matrices, [pipeline.preprocess(m) for m in matrices]
+
+    def test_store_returns_false_when_budget_cannot_hold_it(self, tmp_path):
+        """A budget smaller than a single artifact means the write cannot
+        stick; store() used to delete the fresh file in the sweep and
+        still return True."""
+        matrices, prepared = self._prepared(1)
+        store = DiskScheduleStore(directory=tmp_path, max_bytes=1)
+        key = store.key_for(matrices[0], 16, "matching", True)
+        schedule, balanced, _ = prepared[0]
+        assert store.store(key, schedule, balanced) is False
+        assert not store.contains(key)
+        assert store.stats.evictions == 1
+
+    def test_sweep_evicts_older_artifacts_before_the_fresh_write(
+        self, tmp_path
+    ):
+        """Even when an older artifact's mtime sorts *after* the fresh
+        write (clock skew, coarse filesystem timestamps), the sweep must
+        sacrifice the older artifact: the caller asked for the new one."""
+        matrices, prepared = self._prepared(2)
+        probe = DiskScheduleStore(directory=tmp_path / "probe")
+        key0 = probe.key_for(matrices[0], 16, "matching", True)
+        probe.store(key0, prepared[0][0], prepared[0][1])
+        one_size = probe.total_bytes()
+
+        store = DiskScheduleStore(
+            directory=tmp_path / "tight", max_bytes=int(one_size * 1.5)
+        )
+        keys = [store.key_for(m, 16, "matching", True) for m in matrices]
+        schedule0, balanced0, _ = prepared[0]
+        assert store.store(keys[0], schedule0, balanced0) is True
+        # Push the first artifact's mtime into the future so the
+        # oldest-first sweep would pick the fresh write as its victim.
+        os.utime(store.path_for(keys[0]), (4_000_000_000,) * 2)
+        schedule1, balanced1, _ = prepared[1]
+        assert store.store(keys[1], schedule1, balanced1) is True
+        assert store.contains(keys[1]), "fresh write must survive the sweep"
+        assert not store.contains(keys[0])
+        assert store.stats.evictions == 1

@@ -35,6 +35,7 @@ from repro.graph.edge_coloring import (
     ALGORITHMS,
     _first_fit_flat_bitmask,
     color_edges,
+    euler_coloring_flat,
     first_fit_coloring_flat,
 )
 from repro.graph.properties import (
@@ -232,6 +233,32 @@ class TestFlatEulerKernel:
             if graph.edge_count:
                 validate_coloring(graph, live)
                 assert color_count(live) == max_bipartite_degree(graph)
+
+    def test_flat_multiwindow_matches_per_window_oracle(self):
+        """One euler_coloring_flat call across the adversarial partition
+        (giant dense window, empty windows, trailing singletons) must equal
+        the frozen per-window seed edge-for-edge — the windows regularize
+        to very different degrees, so the shared matching passes must peel
+        each window's colors without cross-talk."""
+        matrix = _adversarial_matrix()
+        length = 8
+        balanced, n_windows, window_ids, starts, local_rows, colsegs = (
+            _flat_partition(matrix, length)
+        )
+        flat = euler_coloring_flat(
+            local_rows, colsegs, window_ids, length, n_windows
+        )
+        assert flat.size == matrix.nnz
+        for graph, lo, hi in zip(
+            reference_window_graphs(balanced, length), starts[:-1], starts[1:]
+        ):
+            np.testing.assert_array_equal(
+                flat[lo:hi], REFERENCE_ALGORITHMS["euler"](graph)
+            )
+            if graph.edge_count:
+                assert (
+                    color_count(flat[lo:hi]) == max_bipartite_degree(graph)
+                )
 
 
 @pytest.mark.skipif(

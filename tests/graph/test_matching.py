@@ -5,7 +5,11 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.matching import greedy_maximal_matching, hopcroft_karp
+from repro.graph.matching import (
+    greedy_maximal_matching,
+    hopcroft_karp,
+    hopcroft_karp_flat,
+)
 
 
 def _random_adjacency(n_left, n_right, density, seed):
@@ -88,3 +92,126 @@ class TestGreedyMatching:
             if u in matched_left:
                 continue
             assert all(v in matched_right for v in neighbours)
+
+
+def _to_csr(adjacency):
+    indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
+    np.cumsum([len(row) for row in adjacency], out=indptr[1:])
+    indices = np.array(
+        [v for row in adjacency for v in row] or [], dtype=np.int64
+    )
+    return indptr, indices
+
+
+def _greedy_seed(adjacency, n_left, n_right):
+    """The matching the unseeded first phase builds: ascending left order,
+    first free right neighbour in adjacency order."""
+    ml = np.full(n_left, -1, dtype=np.int64)
+    mr = np.full(n_right, -1, dtype=np.int64)
+    size = 0
+    for u, row in enumerate(adjacency):
+        for v in row:
+            if mr[v] == -1:
+                ml[u] = v
+                mr[v] = u
+                size += 1
+                break
+    return ml, mr, size
+
+
+class TestHopcroftKarpFlat:
+    """The CSR kernel must reproduce the adjacency-list reference exactly —
+    vertex for vertex, not just in matching size."""
+
+    @given(
+        st.integers(min_value=1, max_value=18),
+        st.integers(min_value=1, max_value=18),
+        st.floats(min_value=0.0, max_value=0.6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_identical_to_adjacency_list_reference(
+        self, n_left, n_right, density, seed
+    ):
+        adjacency = _random_adjacency(n_left, n_right, density, seed=seed)
+        indptr, indices = _to_csr(adjacency)
+        ref_l, ref_r, ref_size = hopcroft_karp(adjacency, n_left, n_right)
+        flat_l, flat_r, flat_size = hopcroft_karp_flat(
+            indptr, indices, n_left, n_right
+        )
+        assert flat_size == ref_size
+        np.testing.assert_array_equal(flat_l, ref_l)
+        np.testing.assert_array_equal(flat_r, ref_r)
+
+    @given(
+        st.integers(min_value=1, max_value=14),
+        st.floats(min_value=0.0, max_value=0.6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_seed_changes_nothing(self, n, density, seed):
+        """Seeding with the first phase's own greedy matching must yield
+        the exact matching of an unseeded run — that equivalence is what
+        lets the euler coloring vectorize phase one."""
+        adjacency = _random_adjacency(n, n, density, seed=seed)
+        indptr, indices = _to_csr(adjacency)
+        plain = hopcroft_karp_flat(indptr, indices, n, n)
+        ml, mr, size = _greedy_seed(adjacency, n, n)
+        seeded = hopcroft_karp_flat(
+            indptr, indices, n, n, seed_left=ml, seed_right=mr, seed_size=size
+        )
+        assert seeded[2] == plain[2]
+        np.testing.assert_array_equal(seeded[0], plain[0])
+        np.testing.assert_array_equal(seeded[1], plain[1])
+
+    def test_disjoint_union_equals_per_component_runs(self):
+        """Grouped components (window w owns ids [w*l, (w+1)*l)) must match
+        exactly as if each component ran alone — the property the flat
+        euler kernel builds on."""
+        rng = np.random.default_rng(7)
+        length = 6
+        components = [
+            _random_adjacency(length, length, density, seed=int(s))
+            for s, density in zip(rng.integers(0, 999, size=5), (0.1, 0.4, 0.0, 0.9, 0.25))
+        ]
+        union = [
+            [base + v for v in row]
+            for w, comp in enumerate(components)
+            for base, row in (((w * length), r) for r in comp)
+        ]
+        n = length * len(components)
+        indptr, indices = _to_csr(union)
+        flat_l, flat_r, flat_size = hopcroft_karp_flat(indptr, indices, n, n)
+        total = 0
+        for w, comp in enumerate(components):
+            iptr, idx = _to_csr(comp)
+            part_l, part_r, part_size = hopcroft_karp_flat(
+                iptr, idx, length, length
+            )
+            total += part_size
+            lo = w * length
+            expect_l = np.where(part_l != -1, part_l + lo, -1)
+            expect_r = np.where(part_r != -1, part_r + lo, -1)
+            np.testing.assert_array_equal(flat_l[lo:lo + length], expect_l)
+            np.testing.assert_array_equal(flat_r[lo:lo + length], expect_r)
+        assert flat_size == total
+
+    def test_narrow_dtype_preserved(self):
+        """int32 CSR input must run end to end without silent upcasts
+        breaking the searchsorted/gather paths."""
+        adjacency = _random_adjacency(12, 12, 0.3, seed=3)
+        indptr, indices = _to_csr(adjacency)
+        flat32 = hopcroft_karp_flat(
+            indptr.astype(np.int32), indices.astype(np.int32), 12, 12
+        )
+        flat64 = hopcroft_karp_flat(indptr, indices, 12, 12)
+        assert flat32[2] == flat64[2]
+        np.testing.assert_array_equal(flat32[0], flat64[0])
+        np.testing.assert_array_equal(flat32[1], flat64[1])
+
+    def test_empty_graph(self):
+        indptr = np.zeros(4, dtype=np.int64)
+        indices = np.array([], dtype=np.int64)
+        ml, mr, size = hopcroft_karp_flat(indptr, indices, 3, 3)
+        assert size == 0
+        assert (ml == -1).all() and (mr == -1).all()

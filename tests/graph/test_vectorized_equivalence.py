@@ -22,6 +22,7 @@ from repro.graph._reference import (
 from repro.graph.bipartite import WindowGraph
 from repro.graph.edge_coloring import (
     color_edges,
+    euler_coloring,
     first_fit_coloring,
     greedy_matching_coloring,
 )
@@ -31,6 +32,7 @@ from tests.strategies import coo_matrices, window_graphs
 VECTORIZED = {
     "matching": greedy_matching_coloring,
     "first_fit": first_fit_coloring,
+    "euler": euler_coloring,
 }
 
 

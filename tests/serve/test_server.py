@@ -209,3 +209,97 @@ class TestRequestPath:
         text = server.stats().render()
         assert "schedule cache" in text
         assert "batches" in text
+
+
+class TestMetricsContracts:
+    """Regression coverage for the serving-metrics satellites."""
+
+    def test_operand_rejection_is_counted(self, square_matrix):
+        """A shape-mismatched submit raises HardwareConfigError — and the
+        operator-facing rejected counter must see it, exactly like a
+        queue-full rejection (it used to count only ServeError)."""
+        server = _make_server()
+        server.register("A", square_matrix)
+        with pytest.raises(HardwareConfigError, match="incompatible"):
+            server.submit("A", np.zeros(square_matrix.shape[1] + 3))
+        stats = server.stats()
+        assert stats.rejected == 1
+        assert stats.submitted == 0
+        server.stop(drain=False)
+
+    def test_uptime_rebases_on_start(self, square_matrix):
+        """Uptime measures serving time: the construction-to-start() gap
+        (registration, plan preparation) must not count.  Injected clock
+        so the assertion is exact."""
+        from repro.serve.metrics import ServerMetrics
+
+        now = {"t": 100.0}
+        server = _make_server()
+        server.metrics = ServerMetrics(clock=lambda: now["t"])
+        server.register("A", square_matrix)
+        now["t"] = 160.0  # sixty seconds of setup before serving begins
+        server.start()
+        now["t"] = 170.0
+        try:
+            uptime = server.stats().uptime_s
+            assert uptime == pytest.approx(10.0)
+        finally:
+            server.stop()
+
+    def test_mean_batch_size_is_zero_before_any_batch(self, square_matrix):
+        """An idle server has no mean batch size; fabricating 1.0 made it
+        indistinguishable from one that ran every request unbatched."""
+        server = _make_server()
+        server.register("A", square_matrix)
+        stats = server.stats()
+        assert stats.batches == 0
+        assert stats.mean_batch_size == 0.0
+        assert "mean size 0.00" in stats.render()
+        server.stop(drain=False)
+
+    def test_stop_blocks_concurrent_callers_until_workers_exit(
+        self, square_matrix, rng, monkeypatch
+    ):
+        """Every stop() caller — not just the first — must block until the
+        workers are joined: "my stop() returned" has to mean "no worker is
+        running".  The losing caller used to return immediately off the
+        _stopped flag while batches were still in flight."""
+        import time
+
+        from repro.serve import server as server_module
+
+        server = _make_server(max_batch=4, max_wait_s=0.005, max_queue=16)
+        server.register("A", square_matrix)
+        entered = threading.Event()
+        release = threading.Event()
+        real_run_batch = server_module.run_batch
+
+        def gated_run_batch(entry, batch):
+            entered.set()
+            assert release.wait(timeout=30.0), "test deadlock"
+            return real_run_batch(entry, batch)
+
+        monkeypatch.setattr(server_module, "run_batch", gated_run_batch)
+        server.start()
+        future = server.submit("A", rng.normal(size=square_matrix.shape[1]))
+        assert entered.wait(timeout=30.0)
+
+        stoppers = [
+            threading.Thread(target=server.stop, name=f"stopper-{i}")
+            for i in range(2)
+        ]
+        for thread in stoppers:
+            thread.start()
+        # Give the losing stopper ample time to (wrongly) return early:
+        # the worker is still parked inside run_batch, so neither call
+        # may complete yet.
+        time.sleep(0.3)
+        assert all(thread.is_alive() for thread in stoppers), (
+            "stop() returned while a worker batch was still in flight"
+        )
+        release.set()
+        for thread in stoppers:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in stoppers)
+        assert future.result(timeout=5.0) is not None
+        assert server.stats().completed == 1

@@ -238,6 +238,32 @@ class TestExperiment:
         assert "unknown experiment" in capsys.readouterr().err
 
 
+class TestJobsFlag:
+    def test_schedule_jobs_byte_identical(self, matrix_file, tmp_path, capsys):
+        """--jobs 2 is a throughput knob only: the written schedule must be
+        byte-identical to the serial one."""
+        serial = tmp_path / "serial.sched"
+        pooled = tmp_path / "pooled.sched"
+        assert main(
+            ["schedule", str(matrix_file), "--length", "16",
+             "--out", str(serial)]
+        ) == 0
+        assert main(
+            ["schedule", str(matrix_file), "--length", "16",
+             "--jobs", "2", "--out", str(pooled)]
+        ) == 0
+        capsys.readouterr()
+        assert pooled.read_bytes() == serial.read_bytes()
+
+    def test_schedule_jobs_invalid(self, matrix_file, tmp_path, capsys):
+        code = main(
+            ["schedule", str(matrix_file), "--length", "16",
+             "--jobs", "0", "--out", str(tmp_path / "x.sched")]
+        )
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         code = main(["schedule", "no_such.mtx", "--out", "x.sched"])
