@@ -62,12 +62,15 @@ from repro.core.serialize import (
 )
 from repro.core.spmm import GustSpmm, SpmmResult, StackedReplay
 from repro.core.store import DiskScheduleStore, DiskStoreStats, default_store_dir
+from repro.faults import FaultPlan
 from repro.serve import (
     BatchPolicy,
+    CircuitBoard,
     MatrixRegistry,
     ServerStats,
     SpmvClient,
     SpmvServer,
+    run_chaos,
 )
 from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CsrMatrix
@@ -94,6 +97,7 @@ __all__ = [
     "BatchPolicy",
     "CacheLookup",
     "CacheStats",
+    "CircuitBoard",
     "CompiledSpmv",
     "CompiledStats",
     "CooMatrix",
@@ -108,6 +112,7 @@ __all__ = [
     "DiskStoreStats",
     "EnergyReport",
     "ExecutionPlan",
+    "FaultPlan",
     "GustMachine",
     "GustPipeline",
     "GustScheduler",
@@ -141,6 +146,7 @@ __all__ = [
     "k_regular",
     "load_dataset",
     "power_law",
+    "run_chaos",
     "serpens_suite",
     "uniform_random",
 ]

@@ -1,0 +1,105 @@
+"""Rule R5: no silently swallowed exceptions on the serving path.
+
+The serving layer's failure model rests on one invariant: an exception
+is either propagated (``raise``) or *routed* — set on a request's future
+(``.set_exception(...)``) so a typed :class:`~repro.errors.ReproError`
+reaches the caller.  A bare ``except:`` / ``except Exception:`` whose
+body does neither silently eats the failure: the future hangs, the
+counter never increments, capacity decays without a trace — precisely
+the bugs the chaos harness exists to catch.
+
+Scope: modules under a ``serve`` path segment plus ``core/store.py``
+(the store's absorb-and-count contract makes it part of the serving
+failure surface).  Typed handlers (``except OSError:``,
+``except ReproError:``) are always allowed — the rule targets only the
+catch-everything forms.  Deliberate absorb sites (e.g. a supervisor that
+must outlive worker crashes, a worker whose batch futures were already
+failed upstream) use the ``# lint: disable=R5`` escape hatch, which
+doubles as documentation that the swallow is intentional.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, SourceFile
+
+RULE = "R5"
+
+#: Catch-everything exception names the rule targets.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+#: Path segment placing a module on the serving path.
+_SERVE_SEGMENT = "serve"
+
+#: Individual modules outside ``serve/`` that share the contract.
+_EXTRA_FILES = {"store.py": "core"}
+
+
+def _in_scope(source: SourceFile) -> bool:
+    parts = source.path.parts
+    if _SERVE_SEGMENT in parts:
+        return True
+    parent = _EXTRA_FILES.get(source.path.name)
+    return parent is not None and parent in parts
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    """Exception names a handler catches (empty for a bare ``except:``)."""
+    node = handler.type
+    if node is None:
+        return []
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        if isinstance(expr, ast.Name):
+            names.append(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.append(expr.attr)
+    return names
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return any(name in _BROAD_NAMES for name in _caught_names(handler))
+
+
+def _routes_or_reraises(handler: ast.ExceptHandler) -> bool:
+    """True if the body raises, or sets the exception on a future."""
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "set_exception"
+        ):
+            return True
+    return False
+
+
+def check(source: SourceFile) -> list[Finding]:
+    if not _in_scope(source):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node):
+            continue
+        if _routes_or_reraises(node):
+            continue
+        caught = ", ".join(_caught_names(node)) or "everything (bare except)"
+        findings.append(
+            Finding(
+                RULE,
+                str(source.path),
+                node.lineno,
+                f"broad handler catching {caught} neither re-raises nor "
+                "routes through a future's set_exception; serving-path "
+                "failures must stay typed and visible "
+                "(# lint: disable=R5 for deliberate absorb sites)",
+            )
+        )
+    return findings

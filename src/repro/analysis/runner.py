@@ -13,7 +13,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.analysis import bit_identity, deprecation, locks, registry_hygiene
+from repro.analysis import (
+    bit_identity,
+    deprecation,
+    exceptions_hygiene,
+    locks,
+    registry_hygiene,
+)
 from repro.analysis.findings import Finding, SourceFile
 
 PARSE_RULE = "E1"
@@ -24,6 +30,7 @@ ALL_CHECKS = (
     locks.check,
     deprecation.check,
     registry_hygiene.check,
+    exceptions_hygiene.check,
 )
 
 RULE_DOCS = {
@@ -31,6 +38,7 @@ RULE_DOCS = {
     "R2": "lock discipline: guarded fields written only under their lock",
     "R3": "deprecation: no use_plans=/.executor() shim call sites",
     "R4": "registry hygiene: BackendCapabilities flags total and explicit",
+    "R5": "exception hygiene: serving-path broad handlers re-raise or route",
     "W1": "unused # lint: disable suppression",
     "E1": "file does not parse",
 }

@@ -213,8 +213,21 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser("inspect", help="describe a saved schedule")
     inspect.add_argument("schedule", help="schedule artifact file")
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the fault-injected serve smoke (seeded chaos gate)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=1234,
+        help="fault-plan seed; the same seed replays the same faults",
+    )
+    chaos.add_argument(
+        "--threads", type=int, default=100,
+        help="concurrent client threads in the serve phase",
+    )
+
     lint = commands.add_parser(
-        "lint", help="run the project contract checker (rules R1-R4)"
+        "lint", help="run the project contract checker (rules R1-R5)"
     )
     lint.add_argument(
         "paths",
@@ -644,6 +657,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.serve.chaos import run_chaos
+
+    report = run_chaos(seed=args.seed, threads=args.threads)
+    print(report.render())
+    return 0 if report.passed() else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import RULE_DOCS, lint_paths
 
@@ -678,6 +699,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "inspect": _cmd_inspect,
+    "chaos": _cmd_chaos,
     "lint": _cmd_lint,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,

@@ -48,10 +48,12 @@ and beats them by an order of magnitude on large matrices
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.core.load_balance import BalancedMatrix, identity_balance
 from repro.core.naive import naive_coloring_flat, naive_stalls_flat
 from repro.core.schedule import EMPTY, Schedule
@@ -111,6 +113,21 @@ def _color_window_range(
     raise ColoringError(f"no flat kernel for algorithm {algorithm!r}")
 
 
+def _color_chunk(payload):
+    """Process-pool entry point: color one chunk, or die first.
+
+    ``payload`` is ``(die, chunk_args)``.  A True ``die`` flag (decided by
+    the parent's ``pool-kill`` fault probe) simulates a worker killed from
+    outside Python — OOM killer, SIGKILL, a segfaulting extension —
+    via ``os._exit``, which skips every cleanup hook and surfaces in the
+    parent as :class:`~concurrent.futures.process.BrokenProcessPool`.
+    """
+    die, args = payload
+    if die:
+        os._exit(43)
+    return _color_window_range(*args)
+
+
 @dataclass(frozen=True)
 class _Partition:
     """Flat per-edge window decomposition of a balanced matrix.
@@ -143,7 +160,11 @@ class GustScheduler:
             colors in-process; ``jobs > 1`` partitions the window axis
             across a process pool for very large matrices.  Windows are
             independent, so the merged schedule is *identical* — byte for
-            byte once serialized — to the single-process result.
+            byte once serialized — to the single-process result.  A broken
+            pool (a worker killed from outside Python) is survived by
+            re-dispatching every chunk serially, preserving that identity.
+        faults: explicit :class:`~repro.faults.FaultPlan` for the
+            ``pool-kill`` injection site; ``None`` uses the ambient plan.
     """
 
     def __init__(
@@ -152,6 +173,7 @@ class GustScheduler:
         algorithm: str = "matching",
         validate: bool = False,
         jobs: int = 1,
+        faults: _faults.FaultPlan | None = None,
     ):
         require_positive_length(length)
         if algorithm not in SCHEDULING_ALGORITHMS:
@@ -165,6 +187,7 @@ class GustScheduler:
         self.algorithm = algorithm
         self.validate = validate
         self.jobs = jobs
+        self.faults = faults
         #: Stall events observed by the naive policy in the last schedule()
         #: call (always 0 for coloring-based policies).
         self.last_stalls = 0
@@ -338,8 +361,16 @@ class GustScheduler:
         starts shifted to zero), colored by the same flat kernel the
         single-process path runs, and concatenated back in window order —
         so the merged array is exactly the in-process result.
+
+        A :class:`BrokenProcessPool` — a worker killed from outside Python
+        mid-chunk — degrades to serial re-dispatch of every chunk: the
+        kernels are deterministic and the chunks self-contained, so the
+        recomputed merge is the exact array the pool would have produced
+        (the ``jobs=N`` byte-identity contract holds even through worker
+        death), at single-process speed for this one call.
         """
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         starts = partition.window_starts
         edge_count = int(partition.local_rows.size)
@@ -367,8 +398,16 @@ class GustScheduler:
             )
         if len(chunks) == 1:
             return _color_window_range(*chunks[0])
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            results = list(pool.map(_color_window_range, *zip(*chunks)))
+        plan = _faults.resolve(self.faults)
+        payloads = [
+            (plan is not None and plan.should_fire("pool-kill"), chunk)
+            for chunk in chunks
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                results = list(pool.map(_color_chunk, payloads))
+        except BrokenProcessPool:
+            results = [_color_window_range(*chunk) for chunk in chunks]
         return np.concatenate(results)
 
     def _window_graphs(self, balanced: BalancedMatrix, partition: _Partition):

@@ -53,6 +53,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.analysis.runtime import validation_enabled
 from repro.core.load_balance import BalancedMatrix
 from repro.core.schedule import Schedule
@@ -138,6 +139,10 @@ class DiskStoreStats:
     write_errors: int = 0
     corrupt_dropped: int = 0
     evictions: int = 0
+    #: Read/write ``OSError``s absorbed and degraded to a miss or failed
+    #: write — the store keeps serving (by recomputing) while its disk is
+    #: sick, and this counter is how operators notice the sickness.
+    io_errors: int = 0
     #: Full directory stat walks performed for budget accounting; with the
     #: size manifest healthy this stays near writes / 64 instead of 1:1.
     stat_walks: int = 0
@@ -151,6 +156,9 @@ class DiskScheduleStore:
             :func:`default_store_dir`.
         max_bytes: total artifact byte budget; oldest artifacts are evicted
             after each write until the directory fits.
+        faults: explicit :class:`~repro.faults.FaultPlan` for the
+            ``store-read`` / ``store-write`` / ``store-corrupt`` injection
+            sites; ``None`` uses the ambient plan (``GUST_FAULTS``).
 
     The store is safe to share between processes: writes are atomic
     renames, reads only ever see complete files, and corrupt files are
@@ -161,6 +169,7 @@ class DiskScheduleStore:
         self,
         directory: str | Path | None = None,
         max_bytes: int = DEFAULT_MAX_BYTES,
+        faults: _faults.FaultPlan | None = None,
     ):
         if max_bytes <= 0:
             raise HardwareConfigError(
@@ -170,12 +179,14 @@ class DiskScheduleStore:
             Path(directory) if directory is not None else default_store_dir()
         )
         self.max_bytes = max_bytes
+        self._faults = faults
         self._hits = 0
         self._misses = 0
         self._writes = 0
         self._write_errors = 0
         self._corrupt_dropped = 0
         self._evictions = 0
+        self._io_errors = 0
         self._stat_walks = 0
 
     # -- keys and paths -----------------------------------------------------
@@ -208,6 +219,7 @@ class DiskScheduleStore:
             write_errors=self._write_errors,
             corrupt_dropped=self._corrupt_dropped,
             evictions=self._evictions,
+            io_errors=self._io_errors,
             stat_walks=self._stat_walks,
         )
 
@@ -249,6 +261,11 @@ class DiskScheduleStore:
         """
         path = self.path_for(key)
         try:
+            _faults.raise_if(
+                "store-read",
+                lambda: OSError("injected store-read fault"),
+                self._faults,
+            )
             entry = load_schedule_entry(path, validate=validation_enabled())
         except FileNotFoundError:
             self._misses += 1
@@ -267,6 +284,7 @@ class DiskScheduleStore:
             # Transient I/O trouble (e.g. a flaky network mount) is a
             # miss, not corruption — leave the shared artifact alone.
             self._misses += 1
+            self._io_errors += 1
             return None
         self._hits += 1
         # Approximate-LRU bookkeeping for the byte-budget eviction.
@@ -303,6 +321,11 @@ class DiskScheduleStore:
         says so: True means the artifact is on disk when this returns.
         """
         try:
+            _faults.raise_if(
+                "store-write",
+                lambda: OSError("injected store-write fault"),
+                self._faults,
+            )
             save_schedule(
                 self.path_for(key),
                 schedule,
@@ -314,9 +337,31 @@ class DiskScheduleStore:
             )
         except OSError:
             self._write_errors += 1
+            self._io_errors += 1
             return False
         self._writes += 1
+        if _faults.should_fire("store-corrupt", self._faults):
+            # Simulated bit rot: damage the artifact *after* a successful
+            # write so the next load exercises the genuine checksum ->
+            # quarantine -> recompute path, not a shortcut around it.
+            self._flip_bytes(self.path_for(key))
         return self._account_write(self.path_for(key))
+
+    @staticmethod
+    def _flip_bytes(path: Path) -> None:
+        """XOR a byte mid-file (the ``store-corrupt`` fault injector)."""
+        try:
+            with open(path, "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size == 0:
+                    return
+                handle.seek(size // 2)
+                byte = handle.read(1)
+                handle.seek(size // 2)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+        except OSError:
+            pass
 
     def contains(self, key: str) -> bool:
         return self.path_for(key).is_file()

@@ -83,3 +83,57 @@ class QueueFullError(ServeError):
     Raised synchronously by ``submit`` so backpressure propagates to the
     client instead of growing an unbounded queue inside the server.
     """
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before the server executed it.
+
+    Set on the request's future by the worker that dequeued it: an
+    expired request fails fast and never reaches the kernel, so a
+    saturated server spends its cycles only on answers someone is still
+    waiting for.
+    """
+
+
+class ServerStoppedError(ServeError):
+    """The server shut down (or lost its worker pool) before executing
+    this request.
+
+    The typed resolution for every future abandoned by ``stop(
+    drain=False)``, by a crash-path shutdown, or by worker-pool
+    exhaustion — a pending future must resolve with *something*; hanging
+    the caller forever is the one outcome the serving layer never allows.
+    """
+
+
+class WorkerCrashedError(ServeError):
+    """A worker thread died while holding this request's batch.
+
+    The supervisor resolves the held futures with this error before
+    respawning the worker, so a crash costs its batch a typed failure —
+    never a hung client.
+    """
+
+
+class CircuitOpenError(ServeError):
+    """The tenant's circuit breaker is open; the request was refused.
+
+    After ``failure_threshold`` consecutive kernel failures the breaker
+    stops admitting the tenant's requests for ``reset_after_s``, then
+    lets a single half-open probe through; callers should back off and
+    retry after the cooldown.
+    """
+
+
+class FaultSpecError(ReproError):
+    """A ``GUST_FAULTS`` fault-injection spec could not be parsed."""
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault raised by :mod:`repro.faults`.
+
+    Only ever raised when a :class:`~repro.faults.FaultPlan` is active;
+    production code paths treat it like any other unexpected failure,
+    which is exactly the point — the chaos harness proves the handling
+    is typed, counted, and hang-free.
+    """

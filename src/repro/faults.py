@@ -1,0 +1,357 @@
+"""Deterministic fault injection: seeded chaos for the serving stack.
+
+Production data services treat degraded caches, sick disks, and crashed
+workers as normal operating conditions; this module makes those
+conditions *reproducible* so tests can assert the failure handling
+instead of hoping for it.  A :class:`FaultPlan` is a seeded decision
+source over a fixed set of named **fault sites** — points in the library
+instrumented with a cheap probe:
+
+========================  =====================================================
+site                      effect when the probe fires
+========================  =====================================================
+``store-read``            ``DiskScheduleStore.load`` raises ``OSError``
+``store-write``           ``DiskScheduleStore.store`` raises ``OSError``
+``store-corrupt``         a just-written artifact has bytes flipped on disk
+``kernel-error``          batch execution raises ``InjectedFaultError``
+``kernel-slow``           batch execution sleeps ``SLOW_KERNEL_SLEEP_S`` first
+``worker-crash``          a server worker thread dies holding its batch
+``pool-kill``             one process-pool scheduling worker calls ``os._exit``
+========================  =====================================================
+
+``store-io`` is an alias expanding to ``store-read`` + ``store-write``.
+
+The seeded-replay contract
+--------------------------
+
+Each site owns an independent ``random.Random`` seeded from
+``(seed, site)`` and a probe counter.  Whether the *k*-th probe of a
+site fires is a pure function of ``(seed, site, k)`` — independent of
+thread interleaving, of other sites, and of wall-clock time — so a chaos
+run is replayable: the same seed produces the same per-site firing
+sequence, and :meth:`FaultPlan.decisions` lets a test precompute it.
+(The *number* of probes a concurrent workload performs may vary run to
+run — batch coalescing is timing-dependent — but every probe it does
+perform decides identically.)
+
+Spec grammar
+------------
+
+``GUST_FAULTS`` (or :meth:`FaultPlan.from_spec`) takes a comma-separated
+list of ``site:value`` entries.  A value in ``[0, 1)`` is a per-probe
+firing probability; an integral value >= 1 is an exact count — the first
+N probes of the site fire, the rest never do (``worker-crash:2`` means
+exactly two injected worker deaths).  The seed comes from
+``GUST_FAULTS_SEED`` (default 0).
+
+Activation
+----------
+
+Components take an explicit ``faults=`` keyword (a plan, or ``None`` for
+ambient), tests use the :func:`overridden` context manager, and the
+environment variables activate a process-wide ambient plan — which is
+how CI runs the whole tier-1 suite under ``GUST_FAULTS=store-io:0.2`` to
+prove the compute-fallback paths stay green.
+
+This module is stdlib-only and imports nothing from ``repro`` except
+:mod:`repro.errors`, so any layer (core, serve, CLI) can probe it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.errors import FaultSpecError
+
+#: Seconds the ``kernel-slow`` site stalls one batch execution — long
+#: enough to trip a tight per-request deadline, short enough that an
+#: aggressive chaos run still finishes in seconds.
+SLOW_KERNEL_SLEEP_S = 0.02
+
+#: Every injectable site, in documentation order.
+SITES = (
+    "store-read",
+    "store-write",
+    "store-corrupt",
+    "kernel-error",
+    "kernel-slow",
+    "worker-crash",
+    "pool-kill",
+)
+
+#: Spec-level aliases expanding to several concrete sites.
+ALIASES = {"store-io": ("store-read", "store-write")}
+
+#: Environment variables activating an ambient plan.
+ENV_SPEC = "GUST_FAULTS"
+ENV_SEED = "GUST_FAULTS_SEED"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One *fired* fault: the site and its probe index (0-based)."""
+
+    site: str
+    probe: int
+
+
+class FaultPlan:
+    """A seeded, thread-safe decision source over the named fault sites.
+
+    Args:
+        seed: base seed; each site derives its own RNG from
+            ``(seed, site)``.
+        rates: site -> per-probe firing probability in ``[0, 1)``.
+        counts: site -> exact number of probes that fire (the first N).
+
+    A site may appear in ``rates`` or ``counts`` but not both; sites in
+    neither never fire.  Probes of unknown site names raise
+    :class:`~repro.errors.FaultSpecError` so a typo'd site cannot
+    silently never inject.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: dict[str, float] | None = None,
+        counts: dict[str, int] | None = None,
+    ):
+        rates = dict(rates or {})
+        counts = dict(counts or {})
+        for site, value in rates.items():
+            self._require_site(site)
+            if not 0.0 <= value < 1.0:
+                raise FaultSpecError(
+                    f"rate for site {site!r} must be in [0, 1), got {value}"
+                )
+        for site, value in counts.items():
+            self._require_site(site)
+            if value < 1 or value != int(value):
+                raise FaultSpecError(
+                    f"count for site {site!r} must be a positive integer, "
+                    f"got {value}"
+                )
+        overlap = set(rates) & set(counts)
+        if overlap:
+            raise FaultSpecError(
+                f"sites {sorted(overlap)} given both a rate and a count"
+            )
+        self.seed = seed
+        self.rates = rates
+        self.counts = {site: int(n) for site, n in counts.items()}
+        self._lock = threading.Lock()
+        self._rngs = {
+            site: random.Random(f"{seed}:{site}") for site in rates
+        }
+        self._probes: dict[str, int] = {}
+        self._fired: list[FaultEvent] = []
+
+    @staticmethod
+    def _require_site(site: str) -> None:
+        if site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r}; choose from {SITES} "
+                f"(aliases: {tuple(ALIASES)})"
+            )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``site:value,site:value`` spec (see module docstring)."""
+        rates: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            site, sep, raw = entry.partition(":")
+            site = site.strip()
+            if not sep or not raw.strip():
+                raise FaultSpecError(
+                    f"malformed fault spec entry {entry!r}; expected "
+                    f"'site:value'"
+                )
+            try:
+                value = float(raw)
+            except ValueError:
+                raise FaultSpecError(
+                    f"non-numeric value in fault spec entry {entry!r}"
+                ) from None
+            targets = ALIASES.get(site, (site,))
+            for target in targets:
+                cls._require_site(target)
+                if value >= 1.0:
+                    counts[target] = int(value)
+                else:
+                    rates[target] = value
+        return cls(seed=seed, rates=rates, counts=counts)
+
+    def spec(self) -> str:
+        """A spec string reproducing this plan (sans seed)."""
+        parts = [f"{site}:{rate}" for site, rate in sorted(self.rates.items())]
+        parts += [f"{site}:{n}" for site, n in sorted(self.counts.items())]
+        return ",".join(parts)
+
+    # -- probing --------------------------------------------------------------
+
+    def should_fire(self, site: str) -> bool:
+        """Decide (and record) the next probe of ``site``.
+
+        The decision for the k-th probe of a site is a pure function of
+        ``(seed, site, k)`` — the seeded-replay contract.
+        """
+        self._require_site(site)
+        with self._lock:
+            probe = self._probes.get(site, 0)
+            self._probes[site] = probe + 1
+            if site in self.counts:
+                fired = probe < self.counts[site]
+            elif site in self.rates:
+                fired = self._rngs[site].random() < self.rates[site]
+            else:
+                fired = False
+            if fired:
+                self._fired.append(FaultEvent(site, probe))
+            return fired
+
+    def raise_if(self, site: str, make_error) -> None:
+        """Raise ``make_error()`` when the next probe of ``site`` fires."""
+        if self.should_fire(site):
+            raise make_error()
+
+    def decisions(self, site: str, n: int) -> list[bool]:
+        """The firing pattern of ``site``'s first ``n`` probes, computed
+        without consuming this plan's own probe counters.
+
+        What a replay test compares across two runs: a fresh plan with
+        the same seed produces exactly this sequence.
+        """
+        self._require_site(site)
+        if site in self.counts:
+            return [k < self.counts[site] for k in range(n)]
+        if site in self.rates:
+            rng = random.Random(f"{self.seed}:{site}")
+            rate = self.rates[site]
+            return [rng.random() < rate for _ in range(n)]
+        return [False] * n
+
+    # -- introspection --------------------------------------------------------
+
+    def history(self) -> tuple[FaultEvent, ...]:
+        """Every fault fired so far, in firing order."""
+        with self._lock:
+            return tuple(self._fired)
+
+    def probes(self) -> dict[str, int]:
+        """Site -> number of probes consumed so far."""
+        with self._lock:
+            return dict(self._probes)
+
+    def describe(self) -> str:
+        """One-line human summary for logs and the chaos CLI."""
+        fired = self.history()
+        per_site: dict[str, int] = {}
+        for event in fired:
+            per_site[event.site] = per_site.get(event.site, 0) + 1
+        sites = ", ".join(
+            f"{site}:{count}" for site, count in sorted(per_site.items())
+        ) or "none"
+        return (
+            f"fault plan seed={self.seed} spec='{self.spec()}': "
+            f"{len(fired)} faults fired ({sites})"
+        )
+
+
+# -- ambient activation -------------------------------------------------------
+
+_AMBIENT_LOCK = threading.Lock()
+_INSTALLED: FaultPlan | None = None
+#: (spec string, seed string) -> parsed plan, so repeated ambient probes
+#: cost one dict hit instead of re-parsing the environment every time.
+_ENV_CACHE: tuple[tuple[str, str], FaultPlan] | None = None
+
+
+def install(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install (or clear, with ``None``) the process-wide ambient plan.
+
+    Returns the previously installed plan so callers can restore it;
+    prefer the :func:`overridden` context manager, which does that for
+    you.  An installed plan takes precedence over the environment.
+    """
+    global _INSTALLED
+    with _AMBIENT_LOCK:
+        previous = _INSTALLED
+        _INSTALLED = plan
+        return previous
+
+
+class overridden:
+    """``with faults.overridden(plan): ...`` — scoped ambient activation."""
+
+    def __init__(self, plan: FaultPlan | None):
+        self.plan = plan
+        self._previous: FaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan | None:
+        self._previous = install(self.plan)
+        return self.plan
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        install(self._previous)
+
+
+def active_plan() -> FaultPlan | None:
+    """The ambient plan: the installed one, else ``GUST_FAULTS``.
+
+    The environment is re-read on every call (a monkeypatched test must
+    see its change immediately) but the parsed plan is cached per
+    ``(spec, seed)`` string pair, so steady-state probes cost one
+    comparison — counters keep accumulating on the same plan object for
+    as long as the environment is stable.
+    """
+    global _ENV_CACHE
+    with _AMBIENT_LOCK:
+        if _INSTALLED is not None:
+            return _INSTALLED
+        spec = os.environ.get(ENV_SPEC)
+        if not spec:
+            return None
+        seed_raw = os.environ.get(ENV_SEED, "0")
+        key = (spec, seed_raw)
+        if _ENV_CACHE is not None and _ENV_CACHE[0] == key:
+            return _ENV_CACHE[1]
+        try:
+            seed = int(seed_raw)
+        except ValueError:
+            raise FaultSpecError(
+                f"{ENV_SEED} must be an integer, got {seed_raw!r}"
+            ) from None
+        plan = FaultPlan.from_spec(spec, seed=seed)
+        _ENV_CACHE = (key, plan)
+        return plan
+
+
+def resolve(plan: FaultPlan | None = None) -> FaultPlan | None:
+    """An explicit plan if given, else the ambient one (or ``None``)."""
+    return plan if plan is not None else active_plan()
+
+
+def should_fire(site: str, plan: FaultPlan | None = None) -> bool:
+    """Probe ``site`` against the explicit-or-ambient plan.
+
+    The no-plan fast path is one attribute read and a dict lookup, so
+    production call sites stay effectively free.
+    """
+    plan = resolve(plan)
+    return plan is not None and plan.should_fire(site)
+
+
+def raise_if(site: str, make_error, plan: FaultPlan | None = None) -> None:
+    """Raise ``make_error()`` when ``site`` fires on the active plan."""
+    if should_fire(site, plan):
+        raise make_error()

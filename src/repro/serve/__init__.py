@@ -26,6 +26,8 @@ bench_serving_throughput.py`` for the throughput gate and the README's
 """
 
 from repro.serve.batcher import BatchPolicy, RequestBatcher, run_batch
+from repro.serve.chaos import ChaosReport, run_chaos
+from repro.serve.circuit import CircuitBoard, CircuitSnapshot
 from repro.serve.client import SpmvClient
 from repro.serve.metrics import ServerMetrics, ServerStats
 from repro.serve.registry import MatrixRegistry, RegisteredMatrix
@@ -33,6 +35,9 @@ from repro.serve.server import SpmvServer
 
 __all__ = [
     "BatchPolicy",
+    "ChaosReport",
+    "CircuitBoard",
+    "CircuitSnapshot",
     "MatrixRegistry",
     "RegisteredMatrix",
     "RequestBatcher",
@@ -41,4 +46,5 @@ __all__ = [
     "SpmvClient",
     "SpmvServer",
     "run_batch",
+    "run_chaos",
 ]

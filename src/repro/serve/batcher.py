@@ -33,7 +33,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import HardwareConfigError, QueueFullError, ServeError
+from repro import faults as _faults
+from repro.errors import (
+    HardwareConfigError,
+    InjectedFaultError,
+    QueueFullError,
+    ServeError,
+)
 from repro.serve.registry import RegisteredMatrix
 
 
@@ -70,18 +76,36 @@ class BatchPolicy:
 
 @dataclass
 class SpmvRequest:
-    """One queued request: the operand, its future, and its enqueue time."""
+    """One queued request: operand, future, enqueue time, and deadline.
+
+    ``deadline`` is an absolute instant on the batcher's clock (``None``
+    means no deadline); the worker that dequeues an expired request fails
+    it with :class:`~repro.errors.DeadlineExceededError` without running
+    the kernel.
+    """
 
     x: np.ndarray
     future: Future = field(default_factory=Future)
     enqueued: float = field(default_factory=time.perf_counter)
+    deadline: float | None = None
 
 
 class RequestBatcher:
-    """Per-matrix bounded queues with batch/max-wait flush semantics."""
+    """Per-matrix bounded queues with batch/max-wait flush semantics.
 
-    def __init__(self, policy: BatchPolicy | None = None):
+    Args:
+        policy: admission/flush policy (defaults to :class:`BatchPolicy`).
+        clock: monotonic time source; injectable so deadline arithmetic is
+            testable without sleeping.  Defaults to ``time.perf_counter``.
+    """
+
+    def __init__(
+        self,
+        policy: BatchPolicy | None = None,
+        clock=None,
+    ):
         self.policy = policy or BatchPolicy()
+        self.clock = clock or time.perf_counter
         self._cond = threading.Condition()
         self._queues: dict[str, deque[SpmvRequest]] = {}
         self._entries: dict[str, RegisteredMatrix] = {}
@@ -96,12 +120,19 @@ class RequestBatcher:
             self._entries[entry.name] = entry
             self._queues.setdefault(entry.name, deque())
 
-    def submit(self, entry: RegisteredMatrix, x: np.ndarray) -> Future:
+    def submit(
+        self,
+        entry: RegisteredMatrix,
+        x: np.ndarray,
+        deadline: float | None = None,
+    ) -> Future:
         """Enqueue one request; returns its future.
 
         Shape/dtype validation is synchronous (a malformed operand raises
         here, in the caller, not in a worker), as is backpressure: a full
-        queue raises :class:`QueueFullError` immediately.
+        queue raises :class:`QueueFullError` immediately.  ``deadline`` is
+        absolute on this batcher's clock; expired requests fail fast in
+        the worker instead of computing.
         """
         x = np.asarray(x, dtype=np.float64)
         n = entry.shape[1]
@@ -110,7 +141,7 @@ class RequestBatcher:
                 f"vector length {x.shape} incompatible with matrix "
                 f"{entry.name!r} of shape {entry.shape}"
             )
-        request = SpmvRequest(x=x)
+        request = SpmvRequest(x=x, enqueued=self.clock(), deadline=deadline)
         with self._cond:
             if not self._accepting:
                 raise ServeError(
@@ -141,6 +172,37 @@ class RequestBatcher:
             return True
         return now - queue[0].enqueued >= self.policy.max_wait_s
 
+    def _scan(self, now: float) -> tuple[str | None, float | None]:
+        """One admission scan at instant ``now`` (caller holds the lock).
+
+        Returns ``(best_name, deadline)``: the drainable queue whose head
+        request is oldest (global FIFO fairness across tenants), or — when
+        nothing is drainable yet — the earliest instant at which some
+        queue's max-wait flush comes due.  At most one of the two is
+        non-``None``; ``(None, None)`` means every queue is empty.  The
+        invariant the wait loop relies on: a returned deadline is always
+        strictly in the future (``deadline > now``), because a head older
+        than ``max_wait_s`` is by definition drainable — so the computed
+        wait timeout is positive and the loop cannot busy-spin.
+        """
+        best_name = None
+        oldest = None
+        deadline = None
+        for name, queue in self._queues.items():
+            if not queue:
+                continue
+            head = queue[0].enqueued
+            if self._drainable(queue, now):
+                if oldest is None or head < oldest:
+                    best_name, oldest = name, head
+            else:
+                due = head + self.policy.max_wait_s
+                if deadline is None or due < deadline:
+                    deadline = due
+        if best_name is not None:
+            return best_name, None
+        return None, deadline
+
     def take_batch(
         self,
     ) -> tuple[RegisteredMatrix, list[SpmvRequest]] | None:
@@ -152,21 +214,8 @@ class RequestBatcher:
         """
         with self._cond:
             while True:
-                now = time.perf_counter()
-                best_name = None
-                oldest = None
-                deadline = None
-                for name, queue in self._queues.items():
-                    if not queue:
-                        continue
-                    head = queue[0].enqueued
-                    if self._drainable(queue, now):
-                        if oldest is None or head < oldest:
-                            best_name, oldest = name, head
-                    else:
-                        due = head + self.policy.max_wait_s
-                        if deadline is None or due < deadline:
-                            deadline = due
+                now = self.clock()
+                best_name, deadline = self._scan(now)
                 if best_name is not None:
                     queue = self._queues[best_name]
                     size = min(len(queue), self.policy.max_batch)
@@ -212,7 +261,9 @@ class RequestBatcher:
 
 
 def run_batch(
-    entry: RegisteredMatrix, batch: list[SpmvRequest]
+    entry: RegisteredMatrix,
+    batch: list[SpmvRequest],
+    faults: _faults.FaultPlan | None = None,
 ) -> np.ndarray:
     """Execute one batch and resolve its futures; returns the block.
 
@@ -223,13 +274,25 @@ def run_batch(
     other; copy on the client side if contiguity matters).  Column ``j``
     is bit-identical to ``entry.execute(batch[j].x)``.
 
+    A kernel exception — including an injected ``kernel-error`` fault —
+    is set on every future in the batch and re-raised for the caller's
+    failure accounting; ``kernel-slow`` stalls execution first, which is
+    how the chaos harness manufactures deadline pressure.
+
     Shared by the server's worker loop and the serving benchmark, so what
     the benchmark gates is exactly what the server runs.
     """
     stacked = np.stack([request.x for request in batch])
     try:
+        if _faults.should_fire("kernel-slow", faults):
+            time.sleep(_faults.SLOW_KERNEL_SLEEP_S)
+        _faults.raise_if(
+            "kernel-error",
+            lambda: InjectedFaultError("injected kernel-error fault"),
+            faults,
+        )
         block = entry.stacked.matvecs(stacked)
-    except Exception as error:  # pragma: no cover - defensive
+    except Exception as error:
         for request in batch:
             request.future.set_exception(error)
         raise

@@ -1,0 +1,205 @@
+"""Per-tenant circuit breakers for the SpMV server.
+
+A tenant whose kernel keeps failing — a poisoned artifact, a pathological
+operand pattern, an injected chaos fault — must not be allowed to burn
+worker time on requests that are overwhelmingly likely to fail, nor to
+crowd out healthy tenants' batches.  The classic remedy is the circuit
+breaker:
+
+* **CLOSED** (healthy): requests flow; consecutive kernel failures are
+  counted, and any success resets the count.
+* **OPEN** (tripped): after ``failure_threshold`` consecutive failures the
+  breaker refuses the tenant's submits with
+  :class:`~repro.errors.CircuitOpenError` for ``reset_after_s`` — callers
+  back off instead of queueing doomed work.
+* **HALF_OPEN** (probing): once the cooldown elapses, exactly one request
+  is admitted as a probe (concurrent submits are still refused, so a
+  thundering herd cannot re-saturate a sick tenant).  The probe's success
+  closes the breaker; its failure re-opens it and re-arms the cooldown.
+
+Breakers are bookkeeping on the submit path only: admission consults
+:meth:`CircuitBoard.check`, and the worker reports batch outcomes via
+``record_success`` / ``record_failure``.  All transitions are counted and
+exposed through :meth:`CircuitBoard.snapshot` so
+:class:`~repro.serve.metrics.ServerStats` can render them — an operator
+should see a breaker flapping, not infer it from latency.
+
+The clock is injectable (monotonic seconds) so cooldown arithmetic is
+testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import CircuitOpenError, HardwareConfigError
+
+#: State names as exposed in snapshots and stats rendering.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Consecutive kernel failures that trip a tenant's breaker.
+DEFAULT_FAILURE_THRESHOLD = 5
+
+#: Seconds an open breaker refuses requests before probing.
+DEFAULT_RESET_AFTER_S = 0.05
+
+
+@dataclass(frozen=True)
+class CircuitSnapshot:
+    """One consistent view of a :class:`CircuitBoard`.
+
+    Attributes:
+        states: tenant name -> current state (only tenants that have
+            reported at least one outcome or tripped appear).
+        opened: total closed/half-open -> open transitions.
+        half_opened: total open -> half-open transitions.
+        closed: total half-open -> closed (recovery) transitions.
+        rejected: submits refused with :class:`CircuitOpenError`.
+    """
+
+    states: dict[str, str]
+    opened: int = 0
+    half_opened: int = 0
+    closed: int = 0
+    rejected: int = 0
+
+
+class _Breaker:
+    """State for one tenant; all access is under the board's lock."""
+
+    __slots__ = ("state", "failures", "opened_at", "probing")
+
+    def __init__(self):
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+
+class CircuitBoard:
+    """Every tenant's breaker plus aggregate transition counters.
+
+    Args:
+        failure_threshold: consecutive failures that open a breaker.
+        reset_after_s: cooldown before an open breaker admits a probe.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        reset_after_s: float = DEFAULT_RESET_AFTER_S,
+        clock=None,
+    ):
+        if failure_threshold < 1:
+            raise HardwareConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after_s < 0:
+            raise HardwareConfigError(
+                f"reset_after_s must be non-negative, got {reset_after_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self.clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._breakers: dict[str, _Breaker] = {}
+        self._opened = 0
+        self._half_opened = 0
+        self._closed = 0
+        self._rejected = 0
+
+    def _get(self, name: str) -> _Breaker:
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = self._breakers[name] = _Breaker()
+        return breaker
+
+    # -- admission -----------------------------------------------------------
+
+    def check(self, name: str) -> None:
+        """Admit or refuse one submit for tenant ``name``.
+
+        Raises :class:`CircuitOpenError` while the breaker is open (and
+        the cooldown has not elapsed) or while a half-open probe is
+        already in flight.  When the cooldown elapses, this call itself
+        becomes the probe: the breaker moves to half-open and admits
+        exactly this request until the probe's outcome is reported.
+        """
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None or breaker.state == CLOSED:
+                return
+            if breaker.state == OPEN:
+                elapsed = self.clock() - breaker.opened_at
+                if elapsed < self.reset_after_s:
+                    self._rejected += 1
+                    raise CircuitOpenError(
+                        f"circuit for matrix {name!r} is open "
+                        f"({breaker.failures} consecutive failures); "
+                        f"retry after {self.reset_after_s - elapsed:.3f}s"
+                    )
+                breaker.state = HALF_OPEN
+                breaker.probing = True
+                self._half_opened += 1
+                return
+            # HALF_OPEN: one probe at a time.
+            if breaker.probing:
+                self._rejected += 1
+                raise CircuitOpenError(
+                    f"circuit for matrix {name!r} is half-open with a "
+                    f"probe in flight; retry shortly"
+                )
+            breaker.probing = True
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_success(self, name: str) -> None:
+        """A batch for ``name`` executed successfully."""
+        with self._lock:
+            breaker = self._get(name)
+            breaker.failures = 0
+            breaker.probing = False
+            if breaker.state != CLOSED:
+                breaker.state = CLOSED
+                self._closed += 1
+
+    def record_failure(self, name: str) -> None:
+        """A batch for ``name`` failed (one kernel failure, any size)."""
+        with self._lock:
+            breaker = self._get(name)
+            breaker.failures += 1
+            breaker.probing = False
+            if breaker.state == HALF_OPEN or (
+                breaker.state == CLOSED
+                and breaker.failures >= self.failure_threshold
+            ):
+                breaker.state = OPEN
+                breaker.opened_at = self.clock()
+                self._opened += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def state_of(self, name: str) -> str:
+        """Current state of one tenant's breaker (CLOSED if untouched)."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            return breaker.state if breaker is not None else CLOSED
+
+    def snapshot(self) -> CircuitSnapshot:
+        """Consistent point-in-time view for the stats surface."""
+        with self._lock:
+            return CircuitSnapshot(
+                states={
+                    name: breaker.state
+                    for name, breaker in self._breakers.items()
+                },
+                opened=self._opened,
+                half_opened=self._half_opened,
+                closed=self._closed,
+                rejected=self._rejected,
+            )

@@ -2,12 +2,13 @@
 
 The client is a thin convenience over ``server.submit``: blocking
 round-trips, bulk submission (which is what actually exercises batching —
-k outstanding requests coalesce into one SpMM tile), and an optional
-bounded retry on backpressure.
+k outstanding requests coalesce into one SpMM tile), and a bounded,
+jittered-exponential-backoff retry on backpressure.
 """
 
 from __future__ import annotations
 
+import random
 import time
 
 import numpy as np
@@ -29,25 +30,42 @@ class SpmvClient:
         timeout: float | None = None,
         retries: int = 0,
         backoff_s: float = 0.001,
+        backoff_cap_s: float = 0.05,
     ) -> np.ndarray:
         """One blocking SpMV round-trip.
 
+        ``timeout`` is a total budget for the request: it bounds the
+        blocking wait *and* travels to the server as an absolute deadline
+        (on ``server.batcher.clock``), so a request this caller has given
+        up on fails fast in the worker with
+        :class:`~repro.errors.DeadlineExceededError` instead of
+        computing an answer nobody reads.
+
         ``retries`` bounds how many times a
-        :class:`~repro.errors.QueueFullError` rejection is retried after
-        sleeping ``backoff_s`` (simple fixed backoff — the queue drains at
-        batch granularity, so a short fixed pause is usually enough).
+        :class:`~repro.errors.QueueFullError` rejection is retried.  The
+        pause doubles from ``backoff_s`` up to ``backoff_cap_s`` and is
+        jittered to 50–150% of its nominal value — synchronized clients
+        that were all rejected by the same full queue must not re-submit
+        in lockstep and re-reject each other indefinitely.
         """
+        clock = self.server.batcher.clock
+        deadline = None if timeout is None else clock() + timeout
         attempts = 0
         while True:
             try:
-                future = self.server.submit(name, x)
+                future = self.server.submit(name, x, deadline=deadline)
                 break
             except QueueFullError:
                 attempts += 1
                 if attempts > retries:
                     raise
-                time.sleep(backoff_s)
-        return future.result(timeout)
+                if deadline is not None and clock() >= deadline:
+                    raise
+                pause = min(backoff_cap_s, backoff_s * (2 ** (attempts - 1)))
+                time.sleep(pause * (0.5 + random.random()))
+        if deadline is None:
+            return future.result(None)
+        return future.result(max(0.0, deadline - clock()))
 
     def spmv_many(
         self,

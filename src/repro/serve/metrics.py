@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.cache import CacheStats
+from repro.serve.circuit import CircuitSnapshot
 
 #: Most recent request latencies retained for percentile estimation.  A
 #: bounded reservoir keeps the memory footprint flat under sustained
@@ -47,6 +48,19 @@ class ServerStats:
     #: Schedule-cache counters folded in from the registry's shared
     #: :class:`~repro.core.cache.ScheduleCache`.
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Requests failed fast because their deadline expired before a worker
+    #: reached them (the kernel never ran for these).
+    deadline_expired: int = 0
+    #: Worker threads that died from an unexpected exception and were
+    #: respawned by the supervisor — capacity that would have silently
+    #: decayed without supervision.
+    workers_respawned: int = 0
+    #: Worker threads lost past the respawn cap (not replaced).
+    workers_lost: int = 0
+    #: Per-tenant circuit-breaker states and transition totals.
+    circuits: CircuitSnapshot = field(
+        default_factory=lambda: CircuitSnapshot(states={})
+    )
 
     @property
     def mean_batch_size(self) -> float:
@@ -75,7 +89,7 @@ class ServerStats:
             "serving stats:",
             f"  requests: {self.submitted} submitted, "
             f"{self.completed} completed, {self.rejected} rejected, "
-            f"{self.failed} failed",
+            f"{self.failed} failed, {self.deadline_expired} deadline-expired",
             f"  batches:  {self.batches} "
             f"(mean size {self.mean_batch_size:.2f})",
         ]
@@ -98,6 +112,22 @@ class ServerStats:
             f"(hit rate {self.cache.hit_rate:.0%}; "
             f"disk {self.cache.disk_hits} hits)"
         )
+        lines.append(
+            f"  workers:  {self.workers_respawned} respawned, "
+            f"{self.workers_lost} lost"
+        )
+        circuits = self.circuits
+        open_now = sorted(
+            name
+            for name, state in circuits.states.items()
+            if state != "closed"
+        )
+        lines.append(
+            f"  circuits: {circuits.opened} opened, "
+            f"{circuits.half_opened} half-opened, {circuits.closed} closed, "
+            f"{circuits.rejected} rejected"
+            + (f"; unhealthy: {', '.join(open_now)}" if open_now else "")
+        )
         return "\n".join(lines)
 
 
@@ -115,6 +145,9 @@ class ServerMetrics:
         self._failed = 0
         self._batches = 0
         self._completed = 0
+        self._deadline_expired = 0
+        self._workers_respawned = 0
+        self._workers_lost = 0
         self._histogram: Counter[int] = Counter()
         self._latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
 
@@ -140,6 +173,18 @@ class ServerMetrics:
         with self._lock:
             self._failed += count
 
+    def record_deadline_expired(self, count: int = 1) -> None:
+        with self._lock:
+            self._deadline_expired += count
+
+    def record_worker_respawn(self) -> None:
+        with self._lock:
+            self._workers_respawned += 1
+
+    def record_worker_lost(self) -> None:
+        with self._lock:
+            self._workers_lost += 1
+
     def record_batch(self, size: int, latencies_s: list[float]) -> None:
         """One executed batch: size histogram + per-request latencies."""
         with self._lock:
@@ -148,7 +193,11 @@ class ServerMetrics:
             self._histogram[size] += 1
             self._latencies.extend(latencies_s)
 
-    def snapshot(self, cache: CacheStats | None = None) -> ServerStats:
+    def snapshot(
+        self,
+        cache: CacheStats | None = None,
+        circuits: CircuitSnapshot | None = None,
+    ) -> ServerStats:
         with self._lock:
             latencies = np.array(self._latencies, dtype=np.float64)
             if latencies.size:
@@ -166,4 +215,12 @@ class ServerMetrics:
                 p99_ms=float(p99),
                 uptime_s=self._clock() - self._started,
                 cache=cache if cache is not None else CacheStats(),
+                deadline_expired=self._deadline_expired,
+                workers_respawned=self._workers_respawned,
+                workers_lost=self._workers_lost,
+                circuits=(
+                    circuits
+                    if circuits is not None
+                    else CircuitSnapshot(states={})
+                ),
             )

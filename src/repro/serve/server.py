@@ -8,27 +8,64 @@ resolve futures.  Metrics are always on: per-request latency percentiles,
 the executed batch-size histogram, and the shared schedule cache's hit
 counters surface through :meth:`SpmvServer.stats`.
 
+Failure model (the contract the chaos suite enforces):
+
+* **No future ever hangs.**  Every accepted request resolves with a
+  result or a typed :class:`~repro.errors.ServeError` subclass — on
+  kernel failure, deadline expiry, worker crash, shutdown, and every
+  combination thereof.
+* **Deadlines fail fast.**  A request whose deadline expired before a
+  worker reached it gets :class:`~repro.errors.DeadlineExceededError`
+  without running the kernel; a saturated server spends cycles only on
+  answers someone still wants.
+* **Workers are supervised.**  A worker thread that dies from an
+  unexpected exception fails its held batch with
+  :class:`~repro.errors.WorkerCrashedError`, is counted, and respawns in
+  place up to ``max_worker_respawns``; past the cap the lost worker is
+  counted, and losing the *last* worker fails all pending requests with
+  :class:`~repro.errors.ServerStoppedError` rather than stranding them
+  against an empty pool.
+* **Sick tenants are isolated.**  Consecutive kernel failures open the
+  tenant's circuit breaker (:mod:`repro.serve.circuit`); its submits are
+  refused with :class:`~repro.errors.CircuitOpenError` until a half-open
+  probe succeeds, so one poisoned tenant cannot monopolize workers.
+
 Shutdown is graceful by default: ``stop()`` stops admissions, flushes
 every partial batch immediately (the max-wait timer is bypassed), joins
 the workers, and only then returns — no accepted request is ever lost.
 ``stop(drain=False)`` instead fails queued requests with
-:class:`~repro.errors.ServeError`.
+:class:`~repro.errors.ServerStoppedError`.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 
 import numpy as np
 
-from repro.errors import HardwareConfigError, ServeError
-from repro.serve.batcher import BatchPolicy, RequestBatcher, run_batch
+from repro import faults as _faults
+from repro.errors import (
+    DeadlineExceededError,
+    HardwareConfigError,
+    InjectedFaultError,
+    ServeError,
+    ServerStoppedError,
+    WorkerCrashedError,
+)
+from repro.serve.batcher import (
+    BatchPolicy,
+    RequestBatcher,
+    SpmvRequest,
+    run_batch,
+)
+from repro.serve.circuit import CircuitBoard
 from repro.serve.metrics import ServerMetrics, ServerStats
 from repro.serve.registry import MatrixRegistry
 from repro.sparse.coo import CooMatrix
 
-import time
+#: Default total in-place worker respawns before crashes count as lost.
+DEFAULT_MAX_WORKER_RESPAWNS = 3
 
 
 class SpmvServer:
@@ -40,6 +77,14 @@ class SpmvServer:
         workers: batch-executor threads.  One worker already overlaps
             Python-side bookkeeping with NumPy/SciPy kernels (which release
             the GIL); more workers help when several tenants are hot.
+        circuits: per-tenant circuit breakers (a default
+            :class:`CircuitBoard` is created when omitted; pass one to
+            tune thresholds or inject a clock).
+        max_worker_respawns: total crashed-worker respawns before further
+            crashes permanently shrink the pool.
+        faults: explicit :class:`~repro.faults.FaultPlan` for the serve
+            fault sites (``worker-crash``, ``kernel-error``,
+            ``kernel-slow``); ``None`` uses the ambient plan.
 
     Usage::
 
@@ -54,18 +99,31 @@ class SpmvServer:
         registry: MatrixRegistry | None = None,
         policy: BatchPolicy | None = None,
         workers: int = 1,
+        circuits: CircuitBoard | None = None,
+        max_worker_respawns: int = DEFAULT_MAX_WORKER_RESPAWNS,
+        faults: _faults.FaultPlan | None = None,
     ):
         if workers <= 0:
             raise ServeError(f"workers must be positive, got {workers}")
+        if max_worker_respawns < 0:
+            raise ServeError(
+                f"max_worker_respawns must be non-negative, "
+                f"got {max_worker_respawns}"
+            )
         self.registry = registry if registry is not None else MatrixRegistry()
         self.batcher = RequestBatcher(policy)
         self.workers = workers
+        self.circuits = circuits if circuits is not None else CircuitBoard()
+        self.max_worker_respawns = max_worker_respawns
         self.metrics = ServerMetrics()
+        self._faults = faults
         self._threads: list[threading.Thread] = []
         self._state_lock = threading.Lock()
         self._started = False
         self._stopped = False
         self._stop_done = threading.Event()
+        self._respawns = 0
+        self._workers_lost = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -81,7 +139,7 @@ class SpmvServer:
             self.metrics.mark_started()
             for index in range(self.workers):
                 thread = threading.Thread(
-                    target=self._worker_loop,
+                    target=self._supervised_worker,
                     name=f"gust-serve-worker-{index}",
                     daemon=True,
                 )
@@ -94,7 +152,7 @@ class SpmvServer:
 
         With ``drain`` (default) every queued request is executed before
         the workers exit; without it, queued requests fail with
-        :class:`ServeError` and only in-flight batches complete.
+        :class:`ServerStoppedError` and only in-flight batches complete.
         Idempotent, and *blocking* for every caller: a ``stop()`` that
         loses the race to another thread's ``stop()`` still waits for the
         winner to finish joining the workers before returning, so "my
@@ -112,18 +170,41 @@ class SpmvServer:
             # so a drain request downgrades to abandonment (futures must
             # never hang past stop()).
             abandoned = self.batcher.close(drain=drain and started)
-            if abandoned:
-                error = ServeError(
+            self._fail_requests(
+                abandoned,
+                ServerStoppedError(
                     "server stopped before executing this request"
-                )
-                for request in abandoned:
-                    request.future.set_exception(error)
-                self.metrics.record_failure(len(abandoned))
+                ),
+            )
             for thread in self._threads:
                 thread.join()
             self._threads.clear()
         finally:
             self._stop_done.set()
+
+    def _fail_requests(
+        self, requests: list[SpmvRequest], error: ServeError
+    ) -> None:
+        """Resolve still-pending requests with a typed error.
+
+        Tolerates futures that already resolved (a crashed batch may hold
+        requests the expiry pass or ``run_batch`` settled first) and ones
+        the caller cancelled — only genuinely pending futures get the
+        error, and each is counted as a failure exactly once.
+        """
+        failed = 0
+        for request in requests:
+            if request.future.done():
+                continue
+            try:
+                request.future.set_exception(error)
+            except InvalidStateError:
+                # Lost a race with a concurrent resolver/canceller; the
+                # future is settled either way, which is all we need.
+                continue
+            failed += 1
+        if failed:
+            self.metrics.record_failure(failed)
 
     def __enter__(self) -> "SpmvServer":
         with self._state_lock:
@@ -144,27 +225,75 @@ class SpmvServer:
 
     # -- request path --------------------------------------------------------
 
-    def submit(self, name: str, x: np.ndarray) -> Future:
+    def submit(
+        self, name: str, x: np.ndarray, deadline: float | None = None
+    ) -> Future:
         """Enqueue one SpMV request; returns its future.
 
-        Raises synchronously on unknown tenants, malformed operands, full
-        queues (:class:`~repro.errors.QueueFullError` — backpressure), and
-        a stopped server.
+        ``deadline`` is absolute on the batcher's clock
+        (``server.batcher.clock()``); an expired request fails fast with
+        :class:`DeadlineExceededError` instead of computing.  Raises
+        synchronously on unknown tenants, malformed operands, full queues
+        (:class:`~repro.errors.QueueFullError` — backpressure), an open
+        circuit (:class:`~repro.errors.CircuitOpenError`), and a stopped
+        server.
         """
         entry = self.registry.get(name)
         try:
-            future = self.batcher.submit(entry, x)
+            self.circuits.check(name)
+            future = self.batcher.submit(entry, x, deadline=deadline)
         except (ServeError, HardwareConfigError):
-            # Admission can refuse a request two ways: serving-side
-            # (queue full, closed tenant, stopped server — ServeError) or
+            # Admission can refuse a request three ways: serving-side
+            # (queue full, closed tenant, stopped server — ServeError),
+            # health-side (open circuit — CircuitOpenError), or
             # operand-side (shape/dtype mismatch — HardwareConfigError).
-            # Both are rejections the operator should see counted.
+            # All are rejections the operator should see counted.
             self.metrics.record_reject()
             raise
         self.metrics.record_submit()
         return future
 
     # -- workers -------------------------------------------------------------
+
+    def _supervised_worker(self) -> None:
+        """Run the worker loop, respawning it in place after crashes.
+
+        A clean return (shutdown observed) ends the thread.  An escaping
+        exception is a worker crash: its batch was already failed with
+        :class:`WorkerCrashedError` by :meth:`_worker_loop`, so the
+        supervisor only decides whether the thread lives on.  Under the
+        respawn cap the loop restarts in the same thread (``_threads``
+        and ``stop()``'s join stay valid); past it the worker is lost,
+        and losing the last one fails every pending request — a server
+        with no workers must not hold futures it can never resolve.
+        """
+        while True:
+            try:
+                self._worker_loop()
+                return
+            except Exception:  # lint: disable=R5 — batch futures already
+                # failed by _worker_loop; the supervisor's job is to keep
+                # (or account for) capacity, not to re-raise into a
+                # daemon thread's void.
+                with self._state_lock:
+                    self._respawns += 1
+                    allowed = self._respawns <= self.max_worker_respawns
+                    if not allowed:
+                        self._workers_lost += 1
+                        last = self._workers_lost >= self.workers
+                if allowed:
+                    self.metrics.record_worker_respawn()
+                    continue
+                self.metrics.record_worker_lost()
+                if last:
+                    self._fail_requests(
+                        self.batcher.close(drain=False),
+                        ServerStoppedError(
+                            "server stopped serving: worker pool exhausted "
+                            "(all workers crashed past the respawn cap)"
+                        ),
+                    )
+                return
 
     def _worker_loop(self) -> None:
         while True:
@@ -173,22 +302,73 @@ class SpmvServer:
                 return
             entry, batch = item
             try:
-                run_batch(entry, batch)
+                self._run_one(entry, batch)
             except Exception:
-                # run_batch already failed the batch's futures; keep the
-                # worker alive for the other tenants.
-                self.metrics.record_failure(len(batch))
-                continue
-            done = time.perf_counter()
-            self.metrics.record_batch(
-                len(batch), [done - request.enqueued for request in batch]
-            )
+                # Unexpected failure outside the kernel try (or an
+                # injected worker-crash): the worker is about to die, so
+                # resolve the batch it holds before propagating to the
+                # supervisor — a crash may cost its batch a typed error,
+                # never a hung client.
+                self._fail_requests(
+                    batch,
+                    WorkerCrashedError(
+                        "worker thread crashed while executing this batch"
+                    ),
+                )
+                raise
+
+    def _run_one(self, entry, batch: list[SpmvRequest]) -> None:
+        """Execute one dequeued batch: expiry, kernel, breaker, metrics."""
+        live = self._expire_requests(batch)
+        if not live:
+            return
+        _faults.raise_if(
+            "worker-crash",
+            lambda: InjectedFaultError("injected worker-crash fault"),
+            self._faults,
+        )
+        try:
+            run_batch(entry, live, self._faults)
+        except Exception:  # lint: disable=R5 — run_batch already failed
+            # every future in the batch with the kernel's exception; the
+            # worker stays alive for the other tenants and the breaker
+            # hears about the failure.
+            self.metrics.record_failure(len(live))
+            self.circuits.record_failure(entry.name)
+            return
+        self.circuits.record_success(entry.name)
+        done = self.batcher.clock()
+        self.metrics.record_batch(
+            len(live), [done - request.enqueued for request in live]
+        )
+
+    def _expire_requests(
+        self, batch: list[SpmvRequest]
+    ) -> list[SpmvRequest]:
+        """Fail expired requests fast; returns the still-live remainder."""
+        now = self.batcher.clock()
+        live: list[SpmvRequest] = []
+        expired = 0
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        "request deadline expired before execution"
+                    )
+                )
+                expired += 1
+            else:
+                live.append(request)
+        if expired:
+            self.metrics.record_deadline_expired(expired)
+        return live
 
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> ServerStats:
-        """Snapshot of counters, latency percentiles, histogram, and the
-        shared schedule cache's hit rates.
+        """Snapshot of counters, latency percentiles, histogram, circuit
+        states, worker supervision totals, and the shared schedule
+        cache's hit rates.
 
         While the server is running the snapshot is eventually
         consistent: a worker resolves a batch's futures *before* it
@@ -196,4 +376,7 @@ class SpmvServer:
         may not be counted yet.  After :meth:`stop` returns (workers
         joined) the counters are exact.
         """
-        return self.metrics.snapshot(cache=self.registry.cache_stats)
+        return self.metrics.snapshot(
+            cache=self.registry.cache_stats,
+            circuits=self.circuits.snapshot(),
+        )

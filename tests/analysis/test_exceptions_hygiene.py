@@ -1,0 +1,129 @@
+"""Rule R5 (serving-path exception hygiene): scope, verdicts, escape hatch.
+
+R5 is path-scoped — it applies under a ``serve`` segment plus
+``core/store.py`` — so these tests build small trees under ``tmp_path``
+instead of using the flat fixtures directory.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file
+
+SWALLOW = """\
+def handle(batch):
+    try:
+        work(batch)
+    except Exception:
+        pass
+"""
+
+BARE = """\
+def handle(batch):
+    try:
+        work(batch)
+    except:
+        count += 1
+"""
+
+RERAISE = """\
+def handle(batch):
+    try:
+        work(batch)
+    except Exception:
+        cleanup()
+        raise
+"""
+
+ROUTES = """\
+def handle(batch):
+    try:
+        work(batch)
+    except Exception as error:
+        for request in batch:
+            request.future.set_exception(error)
+"""
+
+TYPED = """\
+def handle(batch):
+    try:
+        work(batch)
+    except OSError:
+        return None
+"""
+
+SUPPRESSED = """\
+def supervise(batch):
+    try:
+        work(batch)
+    except Exception:  # lint: disable=R5 — deliberate absorb: supervisor
+        respawn()
+"""
+
+BROAD_IN_TUPLE = """\
+def handle(batch):
+    try:
+        work(batch)
+    except (ValueError, Exception):
+        return None
+"""
+
+
+def _lint(tmp_path: Path, relative: str, code: str):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(code, encoding="utf-8")
+    return lint_file(path)
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize(
+        "code,line",
+        [(SWALLOW, 4), (BARE, 4), (BROAD_IN_TUPLE, 4)],
+        ids=["except-Exception", "bare-except", "Exception-in-tuple"],
+    )
+    def test_swallowing_broad_handler_flagged(self, tmp_path, code, line):
+        findings = _lint(tmp_path, "serve/worker.py", code)
+        assert [(f.rule, f.line, f.warning) for f in findings] == [
+            ("R5", line, False)
+        ]
+        assert "neither re-raises nor routes" in findings[0].message
+
+    @pytest.mark.parametrize(
+        "code",
+        [RERAISE, ROUTES, TYPED],
+        ids=["re-raises", "routes-via-set_exception", "typed-handler"],
+    )
+    def test_compliant_handlers_pass(self, tmp_path, code):
+        assert _lint(tmp_path, "serve/worker.py", code) == []
+
+    def test_escape_hatch_suppresses_without_w1(self, tmp_path):
+        assert _lint(tmp_path, "serve/worker.py", SUPPRESSED) == []
+
+
+class TestScope:
+    def test_core_store_is_in_scope(self, tmp_path):
+        findings = _lint(tmp_path, "core/store.py", SWALLOW)
+        assert [f.rule for f in findings] == ["R5"]
+
+    @pytest.mark.parametrize(
+        "relative",
+        ["core/machine.py", "graph/coloring.py", "store.py"],
+        ids=["core-non-store", "graph", "store-outside-core"],
+    )
+    def test_other_paths_are_out_of_scope(self, tmp_path, relative):
+        assert _lint(tmp_path, relative, SWALLOW) == []
+
+
+def test_repo_serving_path_is_r5_clean():
+    """The shipped serving layer must satisfy its own hygiene rule:
+    every broad handler either complies or carries a justified disable."""
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    targets = sorted((src / "serve").glob("*.py")) + [
+        src / "core" / "store.py"
+    ]
+    assert targets, "serving-path sources not found"
+    for path in targets:
+        findings = [f for f in lint_file(path) if not f.warning]
+        assert findings == [], f"{path} has R5 errors: {findings}"

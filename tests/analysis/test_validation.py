@@ -4,6 +4,10 @@ import numpy as np
 import pytest
 
 from repro import GustPipeline, uniform_random
+
+# Exact store/cache/validation counter assertions: opt out of the
+# ambient GUST_FAULTS plan the fault-injection CI leg installs.
+pytestmark = pytest.mark.usefixtures("no_faults")
 from repro.analysis.runtime import validation_enabled
 from repro.core.plan import ExecutionPlan
 from repro.core.schedule import Schedule

@@ -20,6 +20,31 @@ def _hermetic_schedule_store(tmp_path, monkeypatch):
 
 
 @pytest.fixture
+def no_faults():
+    """Pin a test to a fault-free world.
+
+    CI runs one tier-1 leg under ``GUST_FAULTS=store-io:0.2`` to prove
+    the compute-fallback paths keep the suite green.  Tests that assert
+    *exact* store/cache counters (hits, misses, writes) are about the
+    counters, not the fallback — injected IO faults would turn their
+    exact assertions into flakes, so they opt out of the ambient plan.
+
+    Uses a private MonkeyPatch instance: the shared ``monkeypatch``
+    fixture would let a test's own ``monkeypatch.undo()`` resurrect the
+    ambient GUST_FAULTS plan mid-test.
+    """
+    from repro import faults
+
+    mp = pytest.MonkeyPatch()
+    mp.delenv(faults.ENV_SPEC, raising=False)
+    mp.delenv(faults.ENV_SEED, raising=False)
+    previous = faults.install(None)
+    yield
+    faults.install(previous)
+    mp.undo()
+
+
+@pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 

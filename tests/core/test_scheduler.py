@@ -255,3 +255,42 @@ class TestProcessPoolScheduling:
             GustScheduler(16, jobs=0)
         with pytest.raises(ColoringError, match="jobs"):
             GustScheduler(16, jobs=-2)
+
+
+class TestPoolFaultTolerance:
+    """A killed pool worker degrades to serial re-dispatch, byte-identical."""
+
+    def test_broken_pool_recovers_byte_identical(self, square_matrix):
+        from repro.faults import FaultPlan
+
+        serial = GustScheduler(16, algorithm="euler").schedule(square_matrix)
+        survivor = GustScheduler(
+            16,
+            algorithm="euler",
+            jobs=2,
+            faults=FaultPlan(counts={"pool-kill": 1}),
+        )
+        recovered = survivor.schedule(square_matrix)
+        assert recovered.window_colors == serial.window_colors
+        np.testing.assert_array_equal(recovered.m_sch, serial.m_sch)
+        np.testing.assert_array_equal(recovered.row_sch, serial.row_sch)
+        np.testing.assert_array_equal(recovered.col_sch, serial.col_sch)
+
+    def test_broken_pool_recovers_balanced_partition(self, square_matrix):
+        from repro.faults import FaultPlan
+
+        balancer = LoadBalancer(16)
+        balanced = balancer.balance(square_matrix)
+        serial = GustScheduler(16, algorithm="matching").schedule_balanced(
+            balanced
+        )
+        recovered = GustScheduler(
+            16,
+            algorithm="matching",
+            jobs=2,
+            faults=FaultPlan(counts={"pool-kill": 1}),
+        ).schedule_balanced(balanced)
+        assert recovered.window_colors == serial.window_colors
+        np.testing.assert_array_equal(recovered.m_sch, serial.m_sch)
+        np.testing.assert_array_equal(recovered.row_sch, serial.row_sch)
+        np.testing.assert_array_equal(recovered.col_sch, serial.col_sch)

@@ -23,6 +23,10 @@ from repro import (
 from repro.core.store import default_store_dir, store_key_from_digest
 from repro.errors import HardwareConfigError
 
+# Exact store/cache counter assertions: opt out of the ambient
+# GUST_FAULTS plan the fault-injection CI leg installs.
+pytestmark = pytest.mark.usefixtures("no_faults")
+
 
 @pytest.fixture
 def store(tmp_path):
@@ -598,3 +602,72 @@ class TestStoreHonestReporting:
         assert store.contains(keys[1]), "fresh write must survive the sweep"
         assert not store.contains(keys[0])
         assert store.stats.evictions == 1
+
+
+class TestFaultInjection:
+    """Injected IO faults degrade to counted misses, never exceptions."""
+
+    def _artifacts(self, square_matrix):
+        pipeline = GustPipeline(32)
+        schedule, balanced, _ = pipeline.preprocess(square_matrix)
+        return schedule, balanced
+
+    def test_injected_read_error_counts_and_misses(
+        self, tmp_path, square_matrix
+    ):
+        from repro.faults import FaultPlan
+
+        schedule, balanced = self._artifacts(square_matrix)
+        store = DiskScheduleStore(
+            directory=tmp_path / "store",
+            faults=FaultPlan(counts={"store-read": 1}),
+        )
+        key = store.key_for(square_matrix, 32, "matching", True)
+        assert store.store(key, schedule, balanced, stalls=0)
+        # First load hits the injected OSError: a counted miss, not a
+        # raise — the caller recomputes.
+        assert store.load(key) is None
+        assert store.stats.io_errors == 1
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+        # The artifact is intact; the fault budget is spent.
+        entry = store.load(key)
+        assert entry is not None
+        assert entry.schedule.window_colors == schedule.window_colors
+        assert store.stats.io_errors == 1
+
+    def test_injected_write_error_counts_and_reports_false(
+        self, tmp_path, square_matrix
+    ):
+        from repro.faults import FaultPlan
+
+        schedule, balanced = self._artifacts(square_matrix)
+        store = DiskScheduleStore(
+            directory=tmp_path / "store",
+            faults=FaultPlan(counts={"store-write": 1}),
+        )
+        key = store.key_for(square_matrix, 32, "matching", True)
+        assert store.store(key, schedule, balanced, stalls=0) is False
+        assert store.stats.io_errors == 1
+        assert store.stats.write_errors == 1
+        assert not store.contains(key)
+        # Retry succeeds once the injected budget is exhausted.
+        assert store.store(key, schedule, balanced, stalls=0)
+        assert store.load(key) is not None
+
+    def test_injected_corruption_quarantined_on_read(
+        self, tmp_path, square_matrix
+    ):
+        from repro.faults import FaultPlan
+
+        schedule, balanced = self._artifacts(square_matrix)
+        store = DiskScheduleStore(
+            directory=tmp_path / "store",
+            faults=FaultPlan(counts={"store-corrupt": 1}),
+        )
+        key = store.key_for(square_matrix, 32, "matching", True)
+        assert store.store(key, schedule, balanced, stalls=0)
+        # The corrupted artifact must fall through to a miss (quarantine
+        # path), not raise or return garbage.
+        assert store.load(key) is None
+        assert store.stats.corrupt_dropped == 1

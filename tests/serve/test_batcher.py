@@ -171,3 +171,94 @@ class TestShutdown:
         abandoned = batcher.close(drain=False)
         assert len(abandoned) == 2
         assert batcher.take_batch() is None
+
+
+class TestInjectedClock:
+    """Deadline arithmetic in the flush scan, pinned with a fake clock.
+
+    ``take_batch``'s wait loop depends on two ``_scan`` invariants: the
+    returned deadline is the *earliest* pending max-wait flush across all
+    queues, and it is always strictly in the future (an overdue head is
+    drainable, so a zero or negative wait timeout — a busy-spin — can
+    never be computed).
+    """
+
+    def _batcher(self, now, **policy_kwargs):
+        return RequestBatcher(
+            BatchPolicy(**policy_kwargs), clock=lambda: now["t"]
+        )
+
+    def test_scan_reports_earliest_pending_deadline(self, registry, rng):
+        a = registry.register("A", uniform_random(48, 48, 0.1, seed=1))
+        b = registry.register("B", uniform_random(32, 32, 0.1, seed=2))
+        now = {"t": 100.0}
+        batcher = self._batcher(
+            now, max_batch=8, max_wait_s=1.0, max_queue=64
+        )
+        batcher.submit(a, rng.normal(size=a.shape[1]))
+        now["t"] = 100.4
+        batcher.submit(b, rng.normal(size=b.shape[1]))
+        with batcher._cond:
+            name, deadline = batcher._scan(now["t"])
+        # Nothing drainable yet; A's head (enqueued first) is due first.
+        assert name is None
+        assert deadline == pytest.approx(101.0)
+        assert deadline > now["t"]  # the wait timeout stays positive
+
+    def test_scan_drains_queue_once_head_is_due(self, entry, rng):
+        now = {"t": 100.0}
+        batcher = self._batcher(
+            now, max_batch=8, max_wait_s=1.0, max_queue=64
+        )
+        batcher.submit(entry, rng.normal(size=entry.shape[1]))
+        with batcher._cond:
+            assert batcher._scan(100.999) == (None, pytest.approx(101.0))
+            # At (and past) the deadline the queue is drainable — _scan
+            # switches from "wait until" to "take now", so an overdue
+            # head can never produce a non-positive wait timeout.
+            assert batcher._scan(101.0) == ("A", None)
+            assert batcher._scan(999.0) == ("A", None)
+
+    def test_take_batch_flushes_on_the_injected_clock(self, entry, rng):
+        """Once the fake clock passes the max-wait deadline, take_batch
+        returns the partial batch immediately — no real-time sleep."""
+        import time as real_time
+
+        now = {"t": 100.0}
+        batcher = self._batcher(
+            now, max_batch=8, max_wait_s=1.0, max_queue=64
+        )
+        batcher.submit(entry, rng.normal(size=entry.shape[1]))
+        now["t"] = 101.5  # past the flush deadline before the scan runs
+        begin = real_time.perf_counter()
+        taken_entry, batch = batcher.take_batch()
+        assert real_time.perf_counter() - begin < 1.0
+        assert taken_entry is entry
+        assert len(batch) == 1
+
+    def test_zero_max_wait_flushes_immediately_without_spinning(
+        self, entry, rng
+    ):
+        """max_wait_s=0 makes every head instantly due; the scan must
+        classify it drainable rather than computing a zero timeout."""
+        now = {"t": 100.0}
+        batcher = self._batcher(
+            now, max_batch=8, max_wait_s=0.0, max_queue=64
+        )
+        batcher.submit(entry, rng.normal(size=entry.shape[1]))
+        with batcher._cond:
+            assert batcher._scan(now["t"]) == ("A", None)
+
+    def test_request_records_enqueue_instant_and_absolute_deadline(
+        self, entry, rng
+    ):
+        now = {"t": 100.0}
+        batcher = self._batcher(
+            now, max_batch=8, max_wait_s=60.0, max_queue=64
+        )
+        batcher.submit(entry, rng.normal(size=entry.shape[1]), deadline=123.4)
+        now["t"] = 160.0
+        with batcher._cond:
+            request = batcher._queues["A"][0]
+        assert request.enqueued == 100.0  # stamped at submit time
+        assert request.deadline == 123.4  # absolute, not relative

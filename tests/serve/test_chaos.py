@@ -1,0 +1,66 @@
+"""Chaos-suite regression tests: the failure-model gates at small scale.
+
+The CI gate runs ``repro chaos --seed 1234`` at 100 threads; these tests
+exercise the same harness at a reduced thread count so the invariants —
+zero hangs, zero lost futures, bit-identical successes, seeded replay —
+are enforced inside tier-1 too.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.serve.chaos import CHAOS_SPEC, run_chaos
+
+pytestmark = pytest.mark.usefixtures("no_faults")
+
+
+class TestRunChaos:
+    def test_gates_hold_under_aggressive_faults(self):
+        report = run_chaos(seed=1234, threads=32)
+        assert report.passed(), report.render()
+        # The serve phases: every request resolved, correctly or typed.
+        for run in report.runs:
+            assert run.submitted == 32
+            assert run.hangs == 0
+            assert run.lost_futures == 0
+            assert run.mismatches == 0
+            assert run.ok > 0  # successes survive alongside the faults
+            assert run.typed_failures  # and some faults really fired
+            assert run.ok + sum(run.typed_failures.values()) + run.rejected \
+                == run.submitted
+        # The store phase really absorbed injected IO faults.
+        assert report.store_io_errors > 0
+        assert report.store_survived
+        # The scheduler phase survived its pool kill byte-identically.
+        assert report.pool_identical
+        # Same seed -> same fault firing pattern across both serve runs.
+        assert report.replay_consistent
+
+    def test_report_renders_the_evidence(self):
+        report = run_chaos(seed=1234, threads=16)
+        text = report.render()
+        assert "seed=1234" in text
+        assert CHAOS_SPEC in text
+        assert "PASS" in text
+        # The supervision counters the acceptance criteria require to be
+        # printed come through the embedded stats snapshot.
+        assert "workers:" in text
+        assert "circuits:" in text
+
+    def test_different_seeds_change_the_fault_pattern(self):
+        a = run_chaos(seed=1, threads=8)
+        b = run_chaos(seed=2, threads=8)
+        assert a.passed() and b.passed()
+        # Not a hard invariant of any single site, but across the whole
+        # fired-count map two seeds virtually never agree; equality here
+        # would mean the seed is being ignored.
+        assert a.runs[0].fired != b.runs[0].fired
+
+
+class TestChaosCli:
+    def test_cli_smoke_passes_and_prints_verdict(self, capsys):
+        exit_code = main(["chaos", "--seed", "1234", "--threads", "8"])
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        assert "PASS" in out
+        assert "0 hangs" in out or "hangs" in out

@@ -1,0 +1,100 @@
+"""CircuitBoard unit tests: state machine, probe gating, counters.
+
+All use an injected clock, so no test sleeps.
+"""
+
+import pytest
+
+from repro import CircuitBoard
+from repro.errors import CircuitOpenError, HardwareConfigError
+from repro.serve.circuit import CLOSED, HALF_OPEN, OPEN
+
+
+@pytest.fixture
+def clock():
+    return {"t": 0.0}
+
+
+@pytest.fixture
+def board(clock):
+    return CircuitBoard(
+        failure_threshold=3, reset_after_s=1.0, clock=lambda: clock["t"]
+    )
+
+
+def trip(board, name="A", times=3):
+    for _ in range(times):
+        board.record_failure(name)
+
+
+class TestStateMachine:
+    def test_closed_until_threshold(self, board):
+        board.check("A")  # untouched tenant admits
+        trip(board, times=2)
+        assert board.state_of("A") == CLOSED
+        board.check("A")  # still admitting below threshold
+        board.record_failure("A")
+        assert board.state_of("A") == OPEN
+
+    def test_success_resets_consecutive_count(self, board):
+        trip(board, times=2)
+        board.record_success("A")
+        trip(board, times=2)
+        # Never three *consecutive* failures -> still closed.
+        assert board.state_of("A") == CLOSED
+
+    def test_open_rejects_until_cooldown(self, board, clock):
+        trip(board)
+        with pytest.raises(CircuitOpenError, match="is open"):
+            board.check("A")
+        clock["t"] = 0.999
+        with pytest.raises(CircuitOpenError, match="is open"):
+            board.check("A")
+        assert board.snapshot().rejected == 2
+
+    def test_cooldown_admits_single_probe(self, board, clock):
+        trip(board)
+        clock["t"] = 1.5
+        board.check("A")  # this call is the probe
+        assert board.state_of("A") == HALF_OPEN
+        # A second concurrent submit must not ride along with the probe.
+        with pytest.raises(CircuitOpenError, match="probe in flight"):
+            board.check("A")
+
+    def test_probe_success_closes(self, board, clock):
+        trip(board)
+        clock["t"] = 1.5
+        board.check("A")
+        board.record_success("A")
+        assert board.state_of("A") == CLOSED
+        board.check("A")  # healthy again: admits freely
+        snap = board.snapshot()
+        assert (snap.opened, snap.half_opened, snap.closed) == (1, 1, 1)
+
+    def test_probe_failure_reopens_and_rearms_cooldown(self, board, clock):
+        trip(board)
+        clock["t"] = 1.5
+        board.check("A")
+        board.record_failure("A")  # the probe failed
+        assert board.state_of("A") == OPEN
+        clock["t"] = 2.0  # only 0.5s since reopening at t=1.5
+        with pytest.raises(CircuitOpenError, match="is open"):
+            board.check("A")
+        clock["t"] = 2.6
+        board.check("A")
+        assert board.state_of("A") == HALF_OPEN
+
+    def test_tenants_are_independent(self, board):
+        trip(board, name="A")
+        board.check("B")  # B is unaffected by A's open breaker
+        assert board.snapshot().states == {"A": OPEN}
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(HardwareConfigError, match="failure_threshold"):
+            CircuitBoard(failure_threshold=0)
+
+    def test_bad_cooldown(self):
+        with pytest.raises(HardwareConfigError, match="reset_after_s"):
+            CircuitBoard(reset_after_s=-1.0)

@@ -4,6 +4,10 @@ import numpy as np
 import pytest
 
 from repro import MatrixRegistry, uniform_random
+
+# Exact store/cache/validation counter assertions: opt out of the
+# ambient GUST_FAULTS plan the fault-injection CI leg installs.
+pytestmark = pytest.mark.usefixtures("no_faults")
 from repro.core.store import DiskScheduleStore
 from repro.errors import ServeError
 

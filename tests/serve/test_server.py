@@ -13,7 +13,17 @@ from repro import (
     SpmvServer,
     uniform_random,
 )
-from repro.errors import HardwareConfigError, QueueFullError, ServeError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    HardwareConfigError,
+    InjectedFaultError,
+    QueueFullError,
+    ServeError,
+    ServerStoppedError,
+    WorkerCrashedError,
+)
+from repro.faults import FaultPlan
 
 
 def _make_server(**policy_kwargs) -> SpmvServer:
@@ -274,10 +284,10 @@ class TestMetricsContracts:
         release = threading.Event()
         real_run_batch = server_module.run_batch
 
-        def gated_run_batch(entry, batch):
+        def gated_run_batch(entry, batch, faults=None):
             entered.set()
             assert release.wait(timeout=30.0), "test deadlock"
-            return real_run_batch(entry, batch)
+            return real_run_batch(entry, batch, faults)
 
         monkeypatch.setattr(server_module, "run_batch", gated_run_batch)
         server.start()
@@ -303,3 +313,201 @@ class TestMetricsContracts:
         assert not any(thread.is_alive() for thread in stoppers)
         assert future.result(timeout=5.0) is not None
         assert server.stats().completed == 1
+
+
+class TestFailureHandling:
+    """Fault-injected regression coverage for the robustness layer.
+
+    Every test resolves its futures with bounded timeouts — a hang here
+    is exactly the bug the failure model forbids.
+    """
+
+    def test_expired_deadline_fails_fast(self, square_matrix, rng):
+        """A request whose deadline already passed gets
+        DeadlineExceededError without running the kernel."""
+        server = _make_server(max_batch=4, max_wait_s=0.001, max_queue=16)
+        server.register("A", square_matrix)
+        past = server.batcher.clock() - 1.0
+        with server:
+            future = server.submit(
+                "A", rng.normal(size=square_matrix.shape[1]), deadline=past
+            )
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=10.0)
+        assert server.stats().deadline_expired == 1
+        assert server.stats().completed == 0
+
+    def test_worker_crash_respawns_and_keeps_serving(
+        self, square_matrix, rng
+    ):
+        """The first batch dies to an injected worker crash; its future
+        gets WorkerCrashedError, the worker respawns in place, and the
+        next request completes normally."""
+        server = SpmvServer(
+            registry=MatrixRegistry(length=16),
+            policy=BatchPolicy(max_batch=1, max_wait_s=0.001, max_queue=16),
+            workers=1,
+            faults=FaultPlan(counts={"worker-crash": 1}),
+        )
+        entry = server.register("A", square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        with server:
+            doomed = server.submit("A", x)
+            with pytest.raises(WorkerCrashedError):
+                doomed.result(timeout=10.0)
+            healthy = server.submit("A", x)
+            got = np.asarray(healthy.result(timeout=10.0))
+        assert (got == entry.execute(x)).all()
+        stats = server.stats()
+        assert stats.workers_respawned == 1
+        assert stats.workers_lost == 0
+        assert "1 respawned" in stats.render()
+
+    def test_pool_exhaustion_fails_all_pending(self, square_matrix, rng):
+        """Past the respawn cap, losing the last worker resolves every
+        queued future with ServerStoppedError instead of stranding it."""
+        server = SpmvServer(
+            registry=MatrixRegistry(length=16),
+            policy=BatchPolicy(max_batch=1, max_wait_s=60.0, max_queue=16),
+            workers=1,
+            max_worker_respawns=0,
+            faults=FaultPlan(counts={"worker-crash": 3}),
+        )
+        server.register("A", square_matrix)
+        # Queue three one-request batches before any worker runs.
+        futures = [
+            server.submit("A", rng.normal(size=square_matrix.shape[1]))
+            for _ in range(3)
+        ]
+        server.start()
+        with pytest.raises(WorkerCrashedError):
+            futures[0].result(timeout=10.0)
+        for future in futures[1:]:
+            with pytest.raises(ServerStoppedError, match="exhausted"):
+                future.result(timeout=10.0)
+        server.stop(drain=False)
+        stats = server.stats()
+        assert stats.workers_lost == 1
+        assert stats.workers_respawned == 0
+        assert stats.failed == 3
+        assert "1 lost" in stats.render()
+
+    def test_stop_without_drain_resolves_within_one_second(
+        self, square_matrix, rng
+    ):
+        """The shutdown satellite: submit, stop without drain, and every
+        pending future resolves (typed) well inside a second."""
+        import time
+
+        server = _make_server(max_batch=64, max_wait_s=60.0, max_queue=64)
+        server.register("A", square_matrix)
+        futures = [
+            server.submit("A", rng.normal(size=square_matrix.shape[1]))
+            for _ in range(5)
+        ]
+        server.stop(drain=False)
+        begin = time.perf_counter()
+        for future in futures:
+            with pytest.raises(ServerStoppedError):
+                future.result(timeout=1.0)
+        assert time.perf_counter() - begin < 1.0
+        assert all(future.done() for future in futures)
+
+    def test_circuit_opens_after_kernel_failures_and_rejects(
+        self, square_matrix, rng
+    ):
+        """Consecutive injected kernel failures open the tenant's breaker;
+        further submits are refused with CircuitOpenError and counted."""
+        from repro.serve.circuit import OPEN, CircuitBoard
+
+        server = SpmvServer(
+            registry=MatrixRegistry(length=16),
+            policy=BatchPolicy(max_batch=1, max_wait_s=0.001, max_queue=16),
+            workers=1,
+            circuits=CircuitBoard(failure_threshold=1, reset_after_s=60.0),
+            faults=FaultPlan(counts={"kernel-error": 1}),
+        )
+        server.register("A", square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        with server:
+            doomed = server.submit("A", x)
+            with pytest.raises(InjectedFaultError):
+                doomed.result(timeout=10.0)
+            # The worker resolves the future before reporting to the
+            # breaker; give the report a bounded moment to land.
+            import time
+
+            deadline = time.perf_counter() + 10.0
+            while (
+                server.circuits.state_of("A") != OPEN
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.001)
+            assert server.circuits.state_of("A") == OPEN
+            with pytest.raises(CircuitOpenError, match="open"):
+                server.submit("A", x)
+        stats = server.stats()
+        assert stats.circuits.opened == 1
+        assert stats.circuits.rejected == 1
+        assert stats.rejected == 1
+        assert "circuits:" in stats.render()
+        assert "unhealthy" in stats.render()
+
+
+class TestClientRetry:
+    def test_backoff_retries_queue_full_then_succeeds(
+        self, square_matrix, rng, monkeypatch
+    ):
+        """QueueFullError is retriable: the client backs off and resubmits
+        instead of surfacing transient backpressure to the caller."""
+        server = _make_server(max_batch=8, max_wait_s=0.001, max_queue=64)
+        entry = server.register("A", square_matrix)
+        real_submit = server.submit
+        calls = {"n": 0}
+
+        def flaky_submit(name, x, deadline=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise QueueFullError("synthetic backpressure")
+            return real_submit(name, x, deadline=deadline)
+
+        monkeypatch.setattr(server, "submit", flaky_submit)
+        x = rng.normal(size=square_matrix.shape[1])
+        with server:
+            y = SpmvClient(server).spmv(
+                "A", x, timeout=30.0, retries=5, backoff_s=0.0001
+            )
+        assert calls["n"] == 3
+        assert (np.asarray(y) == entry.execute(x)).all()
+
+    def test_retries_exhausted_reraises_queue_full(self, square_matrix, rng):
+        """A queue that never drains (server not started) surfaces
+        QueueFullError once the retry budget is spent."""
+        server = _make_server(max_batch=2, max_wait_s=60.0, max_queue=2)
+        server.register("A", square_matrix)
+        client = SpmvClient(server)
+        for _ in range(2):
+            server.submit("A", rng.normal(size=square_matrix.shape[1]))
+        with pytest.raises(QueueFullError):
+            client.spmv(
+                "A",
+                rng.normal(size=square_matrix.shape[1]),
+                retries=3,
+                backoff_s=0.0001,
+            )
+        server.stop(drain=False)
+
+    def test_timeout_bounds_total_wait(self, square_matrix, rng):
+        """timeout= caps the whole call — retries included — so a stalled
+        server cannot hold the client past its budget."""
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        server = _make_server(max_batch=2, max_wait_s=60.0, max_queue=16)
+        server.register("A", square_matrix)
+        client = SpmvClient(server)
+        # Not started: the future can never resolve.
+        with pytest.raises(FutureTimeoutError):
+            client.spmv(
+                "A", rng.normal(size=square_matrix.shape[1]), timeout=0.05
+            )
+        server.stop(drain=False)

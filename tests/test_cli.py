@@ -4,6 +4,10 @@ import numpy as np
 import pytest
 
 from repro.cli import main
+
+# Exact store/cache/validation counter assertions: opt out of the
+# ambient GUST_FAULTS plan the fault-injection CI leg installs.
+pytestmark = pytest.mark.usefixtures("no_faults")
 from repro.sparse.mmio import read_matrix_market, write_matrix_market
 
 

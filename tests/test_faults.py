@@ -1,0 +1,169 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import threading
+
+import pytest
+
+from repro import FaultPlan, faults
+from repro.errors import FaultSpecError, InjectedFaultError
+
+pytestmark = pytest.mark.usefixtures("no_faults")
+
+
+class TestSpecParsing:
+    def test_rates_counts_and_alias(self):
+        plan = FaultPlan.from_spec(
+            "store-io:0.25, kernel-error:0.05, worker-crash:2, pool-kill:1"
+        )
+        assert plan.rates == {
+            "store-read": 0.25,
+            "store-write": 0.25,
+            "kernel-error": 0.05,
+        }
+        assert plan.counts == {"worker-crash": 2, "pool-kill": 1}
+
+    def test_empty_entries_ignored(self):
+        plan = FaultPlan.from_spec(" , kernel-error:0.5 ,, ")
+        assert plan.rates == {"kernel-error": 0.5}
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault site"):
+            FaultPlan.from_spec("disk-eaten:0.5")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(FaultSpecError, match="malformed"):
+            FaultPlan.from_spec("kernel-error")
+        with pytest.raises(FaultSpecError, match="non-numeric"):
+            FaultPlan.from_spec("kernel-error:lots")
+
+    def test_constructor_validation(self):
+        with pytest.raises(FaultSpecError, match="rate"):
+            FaultPlan(rates={"kernel-error": 1.5})
+        with pytest.raises(FaultSpecError, match="count"):
+            FaultPlan(counts={"worker-crash": 0})
+        with pytest.raises(FaultSpecError, match="both"):
+            FaultPlan(
+                rates={"kernel-error": 0.1}, counts={"kernel-error": 2}
+            )
+
+    def test_probe_of_unknown_site_rejected(self):
+        # A typo'd probe site must fail loudly, not silently never fire.
+        plan = FaultPlan()
+        with pytest.raises(FaultSpecError, match="unknown fault site"):
+            plan.should_fire("kernel-eror")
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = FaultPlan(seed=42, rates={"kernel-error": 0.3})
+        b = FaultPlan(seed=42, rates={"kernel-error": 0.3})
+        seq_a = [a.should_fire("kernel-error") for _ in range(200)]
+        seq_b = [b.should_fire("kernel-error") for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, rates={"kernel-error": 0.3})
+        b = FaultPlan(seed=2, rates={"kernel-error": 0.3})
+        assert [a.should_fire("kernel-error") for _ in range(200)] != [
+            b.should_fire("kernel-error") for _ in range(200)
+        ]
+
+    def test_sites_are_independent(self):
+        """Probing one site must not perturb another site's sequence."""
+        lone = FaultPlan(seed=9, rates={"kernel-error": 0.3})
+        mixed = FaultPlan(
+            seed=9, rates={"kernel-error": 0.3, "store-read": 0.3}
+        )
+        seq = []
+        for k in range(100):
+            seq.append(mixed.should_fire("kernel-error"))
+            mixed.should_fire("store-read")  # interleaved traffic
+        assert seq == [lone.should_fire("kernel-error") for _ in range(100)]
+
+    def test_decisions_predicts_probes(self):
+        plan = FaultPlan(
+            seed=5, rates={"store-read": 0.4}, counts={"worker-crash": 2}
+        )
+        predicted = plan.decisions("store-read", 50)
+        assert [plan.should_fire("store-read") for _ in range(50)] == predicted
+        assert plan.decisions("worker-crash", 4) == [True, True, False, False]
+        assert plan.decisions("pool-kill", 3) == [False] * 3
+
+    def test_counts_fire_first_n_probes_exactly(self):
+        plan = FaultPlan(counts={"worker-crash": 2})
+        fired = [plan.should_fire("worker-crash") for _ in range(10)]
+        assert fired == [True, True] + [False] * 8
+
+    def test_history_records_site_and_probe_index(self):
+        plan = FaultPlan(counts={"pool-kill": 1})
+        plan.should_fire("pool-kill")
+        plan.should_fire("pool-kill")
+        assert [(e.site, e.probe) for e in plan.history()] == [
+            ("pool-kill", 0)
+        ]
+        assert plan.probes() == {"pool-kill": 2}
+
+    def test_thread_safety_probe_counts(self):
+        """Concurrent probes must neither lose nor duplicate counts."""
+        plan = FaultPlan(seed=3, rates={"kernel-error": 0.5})
+        n, threads = 100, 8
+
+        def hammer():
+            for _ in range(n):
+                plan.should_fire("kernel-error")
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert plan.probes() == {"kernel-error": n * threads}
+
+
+class TestHelpers:
+    def test_raise_if_raises_the_factory_error(self):
+        plan = FaultPlan(counts={"kernel-error": 1})
+        with pytest.raises(InjectedFaultError, match="boom"):
+            plan.raise_if("kernel-error", lambda: InjectedFaultError("boom"))
+        # Count exhausted: no further raise.
+        plan.raise_if("kernel-error", lambda: InjectedFaultError("boom"))
+
+    def test_module_should_fire_without_any_plan_is_false(self):
+        assert faults.active_plan() is None
+        assert faults.should_fire("kernel-error") is False
+
+    def test_env_activation_and_cache(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "worker-crash:2")
+        monkeypatch.setenv(faults.ENV_SEED, "17")
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.seed == 17
+        assert plan.counts == {"worker-crash": 2}
+        # Same env -> same plan object (counters keep accumulating).
+        assert faults.active_plan() is plan
+        # Changed env -> fresh plan.
+        monkeypatch.setenv(faults.ENV_SPEC, "pool-kill:1")
+        fresh = faults.active_plan()
+        assert fresh is not plan
+        assert fresh.counts == {"pool-kill": 1}
+
+    def test_env_bad_seed_rejected(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "pool-kill:1")
+        monkeypatch.setenv(faults.ENV_SEED, "not-a-seed")
+        with pytest.raises(FaultSpecError, match="GUST_FAULTS_SEED"):
+            faults.active_plan()
+
+    def test_overridden_installs_and_restores(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "pool-kill:1")
+        inner = FaultPlan(counts={"worker-crash": 1})
+        with faults.overridden(inner):
+            # Installed plan shadows the environment.
+            assert faults.active_plan() is inner
+        assert faults.active_plan().counts == {"pool-kill": 1}
+
+    def test_resolve_prefers_explicit_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "pool-kill:1")
+        explicit = FaultPlan(counts={"worker-crash": 1})
+        assert faults.resolve(explicit) is explicit
+        assert faults.resolve(None).counts == {"pool-kill": 1}
