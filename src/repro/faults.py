@@ -182,6 +182,14 @@ class FaultPlan:
                 raise FaultSpecError(
                     f"non-numeric value in fault spec entry {entry!r}"
                 ) from None
+            if value >= 1.0 and value != int(value):
+                # Mirror the constructor's count validation: a typo'd
+                # rate like '1.5' must error, not silently truncate into
+                # a different plan than written.
+                raise FaultSpecError(
+                    f"value in fault spec entry {entry!r} must be a rate "
+                    f"in [0, 1) or an integral count >= 1"
+                )
             targets = ALIASES.get(site, (site,))
             for target in targets:
                 cls._require_site(target)
@@ -313,16 +321,34 @@ def active_plan() -> FaultPlan | None:
     ``(spec, seed)`` string pair, so steady-state probes cost one
     comparison — counters keep accumulating on the same plan object for
     as long as the environment is stable.
+
+    Every steady-state path is lock-free: this probe sits on per-batch
+    kernel and store paths in every server worker, so the common cases —
+    no faults configured, a plan installed, a cached env plan — must not
+    serialize the whole process on one lock.  Reads of the module globals
+    are single atomic loads under CPython and ``install()``/the cache
+    only ever swap whole objects, so the worst a racing reader sees is
+    the previous plan for one probe.  ``_AMBIENT_LOCK`` is taken only to
+    parse-and-cache a changed environment spec (once per change).
     """
     global _ENV_CACHE
+    installed = _INSTALLED
+    if installed is not None:
+        return installed
+    spec = os.environ.get(ENV_SPEC)
+    if not spec:
+        return None
+    seed_raw = os.environ.get(ENV_SEED, "0")
+    key = (spec, seed_raw)
+    cached = _ENV_CACHE
+    if cached is not None and cached[0] == key:
+        return cached[1]
     with _AMBIENT_LOCK:
+        # Re-check under the lock: a racing thread may have parsed the
+        # same environment first, and reusing its plan keeps one shared
+        # probe-counter stream per (spec, seed) pair.
         if _INSTALLED is not None:
             return _INSTALLED
-        spec = os.environ.get(ENV_SPEC)
-        if not spec:
-            return None
-        seed_raw = os.environ.get(ENV_SEED, "0")
-        key = (spec, seed_raw)
         if _ENV_CACHE is not None and _ENV_CACHE[0] == key:
             return _ENV_CACHE[1]
         try:
@@ -344,8 +370,9 @@ def resolve(plan: FaultPlan | None = None) -> FaultPlan | None:
 def should_fire(site: str, plan: FaultPlan | None = None) -> bool:
     """Probe ``site`` against the explicit-or-ambient plan.
 
-    The no-plan fast path is one attribute read and a dict lookup, so
-    production call sites stay effectively free.
+    The no-plan fast path is lock-free — one global read and one
+    environment lookup — so production call sites stay effectively free
+    even with every worker probing per batch.
     """
     plan = resolve(plan)
     return plan is not None and plan.should_fire(site)

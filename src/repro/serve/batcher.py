@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -294,8 +294,29 @@ def run_batch(
         block = entry.stacked.matvecs(stacked)
     except Exception as error:
         for request in batch:
-            request.future.set_exception(error)
+            _settle(request.future, error=error)
         raise
     for j, request in enumerate(batch):
-        request.future.set_result(block[:, j])
+        _settle(request.future, result=block[:, j])
     return block
+
+
+def _settle(future: Future, result=None, error=None) -> None:
+    """Resolve one future, tolerating client-side settlement races.
+
+    Clients hold these futures and may cancel a queued request at any
+    moment; re-setting a settled future raises ``InvalidStateError``,
+    which callers up the stack would misread as a worker crash.  A future
+    already done keeps its state — it was settled either way, which is
+    all the no-hung-futures contract needs.
+    """
+    if future.done():
+        return
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        # Lost the race to a concurrent canceller/resolver.
+        pass

@@ -19,8 +19,17 @@ breaker:
 
 Breakers are bookkeeping on the submit path only: admission consults
 :meth:`CircuitBoard.check`, and the worker reports batch outcomes via
-``record_success`` / ``record_failure``.  All transitions are counted and
-exposed through :meth:`CircuitBoard.snapshot` so
+``record_success`` / ``record_failure``.  A probe that never reaches the
+kernel — the submit is refused synchronously right after admission, the
+request expires before execution, the worker holding it crashes, the
+queue is dropped on shutdown — must give its slot back, or the tenant is
+locked out forever on a probe nobody will ever report.  Two mechanisms
+guarantee that: callers that know the probe died without an outcome call
+:meth:`CircuitBoard.abort_probe`, and :meth:`CircuitBoard.check` itself
+reclaims a probe slot that has been in flight longer than
+``reset_after_s`` (the abandoned-probe backstop — a later submit becomes
+the new probe instead of being refused forever).  All transitions are
+counted and exposed through :meth:`CircuitBoard.snapshot` so
 :class:`~repro.serve.metrics.ServerStats` can render them — an operator
 should see a breaker flapping, not infer it from latency.
 
@@ -59,6 +68,10 @@ class CircuitSnapshot:
         half_opened: total open -> half-open transitions.
         closed: total half-open -> closed (recovery) transitions.
         rejected: submits refused with :class:`CircuitOpenError`.
+        probes_aborted: probe slots released without an outcome
+            (refused submit, expired request, crashed worker).
+        probes_reclaimed: stale in-flight probes taken over by a later
+            submit after ``reset_after_s`` (the abandoned-probe backstop).
     """
 
     states: dict[str, str]
@@ -66,18 +79,21 @@ class CircuitSnapshot:
     half_opened: int = 0
     closed: int = 0
     rejected: int = 0
+    probes_aborted: int = 0
+    probes_reclaimed: int = 0
 
 
 class _Breaker:
     """State for one tenant; all access is under the board's lock."""
 
-    __slots__ = ("state", "failures", "opened_at", "probing")
+    __slots__ = ("state", "failures", "opened_at", "probing", "probe_since")
 
     def __init__(self):
         self.state = CLOSED
         self.failures = 0
         self.opened_at = 0.0
         self.probing = False
+        self.probe_since = 0.0
 
 
 class CircuitBoard:
@@ -112,6 +128,8 @@ class CircuitBoard:
         self._half_opened = 0
         self._closed = 0
         self._rejected = 0
+        self._probes_aborted = 0
+        self._probes_reclaimed = 0
 
     def _get(self, name: str) -> _Breaker:
         breaker = self._breakers.get(name)
@@ -128,14 +146,19 @@ class CircuitBoard:
         the cooldown has not elapsed) or while a half-open probe is
         already in flight.  When the cooldown elapses, this call itself
         becomes the probe: the breaker moves to half-open and admits
-        exactly this request until the probe's outcome is reported.
+        exactly this request until the probe's outcome is reported — or
+        until the probe has been in flight for ``reset_after_s`` without
+        an outcome, at which point it is presumed lost (refused submit
+        whose caller forgot to abort, crashed worker, dropped queue) and
+        a later ``check`` reclaims the slot as the new probe.
         """
+        now = self.clock()
         with self._lock:
             breaker = self._breakers.get(name)
             if breaker is None or breaker.state == CLOSED:
                 return
             if breaker.state == OPEN:
-                elapsed = self.clock() - breaker.opened_at
+                elapsed = now - breaker.opened_at
                 if elapsed < self.reset_after_s:
                     self._rejected += 1
                     raise CircuitOpenError(
@@ -145,16 +168,41 @@ class CircuitBoard:
                     )
                 breaker.state = HALF_OPEN
                 breaker.probing = True
+                breaker.probe_since = now
                 self._half_opened += 1
                 return
             # HALF_OPEN: one probe at a time.
             if breaker.probing:
-                self._rejected += 1
-                raise CircuitOpenError(
-                    f"circuit for matrix {name!r} is half-open with a "
-                    f"probe in flight; retry shortly"
-                )
+                if now - breaker.probe_since < self.reset_after_s:
+                    self._rejected += 1
+                    raise CircuitOpenError(
+                        f"circuit for matrix {name!r} is half-open with a "
+                        f"probe in flight; retry shortly"
+                    )
+                # The in-flight probe outlived the cooldown with no
+                # outcome reported: presume it lost (expired, crashed, or
+                # abandoned) and let this request take over as the probe,
+                # or the tenant stays locked out forever.
+                self._probes_reclaimed += 1
             breaker.probing = True
+            breaker.probe_since = now
+
+    def abort_probe(self, name: str) -> None:
+        """Release ``name``'s probe slot without recording an outcome.
+
+        For probes that die before the kernel can judge them: the submit
+        admitted by :meth:`check` is refused synchronously (full queue,
+        stopped server, malformed operand), the request expires before
+        execution, or the worker holding it crashes.  None of those say
+        anything about the tenant's health, so the breaker stays
+        half-open and the *next* submit becomes a fresh probe.  A no-op
+        when no probe is in flight.
+        """
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is not None and breaker.probing:
+                breaker.probing = False
+                self._probes_aborted += 1
 
     # -- outcome reporting ---------------------------------------------------
 
@@ -202,4 +250,6 @@ class CircuitBoard:
                 half_opened=self._half_opened,
                 closed=self._closed,
                 rejected=self._rejected,
+                probes_aborted=self._probes_aborted,
+                probes_reclaimed=self._probes_reclaimed,
             )

@@ -125,7 +125,9 @@ class ServerStats:
         lines.append(
             f"  circuits: {circuits.opened} opened, "
             f"{circuits.half_opened} half-opened, {circuits.closed} closed, "
-            f"{circuits.rejected} rejected"
+            f"{circuits.rejected} rejected, "
+            f"{circuits.probes_aborted} probe-aborts, "
+            f"{circuits.probes_reclaimed} probe-reclaims"
             + (f"; unhealthy: {', '.join(open_now)}" if open_now else "")
         )
         return "\n".join(lines)

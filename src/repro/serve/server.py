@@ -241,13 +241,22 @@ class SpmvServer:
         entry = self.registry.get(name)
         try:
             self.circuits.check(name)
+        except ServeError:
+            self.metrics.record_reject()
+            raise
+        try:
             future = self.batcher.submit(entry, x, deadline=deadline)
         except (ServeError, HardwareConfigError):
             # Admission can refuse a request three ways: serving-side
             # (queue full, closed tenant, stopped server — ServeError),
-            # health-side (open circuit — CircuitOpenError), or
-            # operand-side (shape/dtype mismatch — HardwareConfigError).
-            # All are rejections the operator should see counted.
+            # health-side (open circuit — CircuitOpenError, raised by
+            # check() above), or operand-side (shape/dtype mismatch —
+            # HardwareConfigError).  All are rejections the operator
+            # should see counted.  A refusal *after* check() admitted the
+            # request must also give back the half-open probe slot: this
+            # request will never reach a worker, so no outcome would ever
+            # be recorded and the tenant would be locked out forever.
+            self.circuits.abort_probe(name)
             self.metrics.record_reject()
             raise
         self.metrics.record_submit()
@@ -308,7 +317,10 @@ class SpmvServer:
                 # injected worker-crash): the worker is about to die, so
                 # resolve the batch it holds before propagating to the
                 # supervisor — a crash may cost its batch a typed error,
-                # never a hung client.
+                # never a hung client.  The crash says nothing about the
+                # tenant's kernel, so a probe riding in this batch is
+                # aborted (not failed) before clients see the error.
+                self.circuits.abort_probe(entry.name)
                 self._fail_requests(
                     batch,
                     WorkerCrashedError(
@@ -321,6 +333,10 @@ class SpmvServer:
         """Execute one dequeued batch: expiry, kernel, breaker, metrics."""
         live = self._expire_requests(batch)
         if not live:
+            # The whole batch expired (or was cancelled) without touching
+            # the kernel: no outcome to report, but a probe riding in it
+            # must release its slot or the tenant stays locked out.
+            self.circuits.abort_probe(entry.name)
             return
         _faults.raise_if(
             "worker-crash",
@@ -345,17 +361,31 @@ class SpmvServer:
     def _expire_requests(
         self, batch: list[SpmvRequest]
     ) -> list[SpmvRequest]:
-        """Fail expired requests fast; returns the still-live remainder."""
+        """Fail expired requests fast; returns the still-live remainder.
+
+        Clients hold these futures and may cancel (or otherwise settle)
+        them while queued — a settled future is skipped, never re-set:
+        an :class:`InvalidStateError` escaping here would read as a
+        worker crash and burn the respawn cap on a client-side race.
+        """
         now = self.batcher.clock()
         live: list[SpmvRequest] = []
         expired = 0
         for request in batch:
+            if request.future.done():
+                # Cancelled (or settled by a racing resolver) while
+                # queued; nothing left to compute or to fail.
+                continue
             if request.deadline is not None and now > request.deadline:
-                request.future.set_exception(
-                    DeadlineExceededError(
-                        "request deadline expired before execution"
+                try:
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            "request deadline expired before execution"
+                        )
                     )
-                )
+                except InvalidStateError:
+                    # Lost the race to a concurrent canceller.
+                    continue
                 expired += 1
             else:
                 live.append(request)

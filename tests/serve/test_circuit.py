@@ -90,6 +90,59 @@ class TestStateMachine:
         assert board.snapshot().states == {"A": OPEN}
 
 
+class TestProbeRelease:
+    """A probe that never reaches the kernel must not wedge the tenant."""
+
+    def half_open(self, board, clock, name="A"):
+        trip(board, name=name)
+        clock["t"] += 1.5
+        board.check(name)  # admitted as the probe
+        assert board.state_of(name) == HALF_OPEN
+
+    def test_abort_probe_frees_the_slot(self, board, clock):
+        self.half_open(board, clock)
+        board.abort_probe("A")
+        # Regression: without the abort this next check raised
+        # "probe in flight" forever.
+        board.check("A")  # becomes the new probe
+        board.record_success("A")
+        assert board.state_of("A") == CLOSED
+        assert board.snapshot().probes_aborted == 1
+
+    def test_abort_probe_is_noop_without_probe(self, board):
+        board.abort_probe("never-seen")
+        board.record_failure("A")
+        board.abort_probe("A")  # closed, no probe in flight
+        snap = board.snapshot()
+        assert snap.probes_aborted == 0
+        assert "never-seen" not in snap.states
+
+    def test_stale_probe_is_reclaimed_after_cooldown(self, board, clock):
+        self.half_open(board, clock)
+        # The probe's outcome is never reported (crashed worker, dropped
+        # queue).  Within the cooldown concurrent submits still refuse...
+        clock["t"] += 0.5
+        with pytest.raises(CircuitOpenError, match="probe in flight"):
+            board.check("A")
+        # ...but once it outlives reset_after_s the slot is presumed lost
+        # and the next submit takes over as the probe.
+        clock["t"] += 0.6
+        board.check("A")
+        board.record_success("A")
+        assert board.state_of("A") == CLOSED
+        snap = board.snapshot()
+        assert snap.probes_reclaimed == 1
+        # The single in-cooldown check above is the only rejection.
+        assert snap.rejected == 1
+
+    def test_reclaimed_probe_failure_reopens(self, board, clock):
+        self.half_open(board, clock)
+        clock["t"] += 1.1
+        board.check("A")  # reclaims the stale probe
+        board.record_failure("A")
+        assert board.state_of("A") == OPEN
+
+
 class TestValidation:
     def test_bad_threshold(self):
         with pytest.raises(HardwareConfigError, match="failure_threshold"):

@@ -453,6 +453,186 @@ class TestFailureHandling:
         assert "circuits:" in stats.render()
         assert "unhealthy" in stats.render()
 
+    def test_refused_submit_releases_half_open_probe(
+        self, square_matrix, rng
+    ):
+        """A submit admitted as the half-open probe but refused by the
+        batcher (full queue) must give the probe slot back — pre-fix the
+        tenant was locked out forever on a probe nobody would report."""
+        from repro.serve.circuit import HALF_OPEN, CircuitBoard
+
+        clock = {"t": 0.0}
+        board = CircuitBoard(
+            failure_threshold=1, reset_after_s=1.0, clock=lambda: clock["t"]
+        )
+        server = SpmvServer(
+            registry=MatrixRegistry(length=16),
+            policy=BatchPolicy(max_batch=1, max_wait_s=60.0, max_queue=1),
+            circuits=board,
+        )
+        server.register("A", square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        # Fill the queue while the breaker is closed (no worker drains:
+        # the server is never started).
+        server.submit("A", x)
+        board.record_failure("A")  # threshold 1: open
+        clock["t"] = 1.5  # cooldown elapsed: the next submit is the probe
+        with pytest.raises(QueueFullError):
+            server.submit("A", x)
+        assert board.snapshot().probes_aborted == 1
+        # The slot is free again: this check becomes a fresh probe
+        # instead of raising "probe in flight".
+        board.check("A")
+        assert board.state_of("A") == HALF_OPEN
+        server.stop(drain=False)
+
+    def test_expired_probe_batch_releases_half_open_slot(
+        self, square_matrix, rng
+    ):
+        """A probe whose whole batch expires before the kernel runs has
+        no outcome to report; the worker must release the slot."""
+        from repro.serve.batcher import SpmvRequest
+        from repro.serve.circuit import HALF_OPEN, CircuitBoard
+
+        clock = {"t": 0.0}
+        board = CircuitBoard(
+            failure_threshold=1, reset_after_s=60.0, clock=lambda: clock["t"]
+        )
+        server = SpmvServer(registry=MatrixRegistry(length=16), circuits=board)
+        entry = server.register("A", square_matrix)
+        board.record_failure("A")
+        clock["t"] = 100.0
+        board.check("A")  # the probe is admitted...
+        request = SpmvRequest(
+            x=rng.normal(size=square_matrix.shape[1]), deadline=-1.0
+        )
+        # ...but expires in the worker's expiry pass, kernel untouched.
+        server._run_one(entry, [request])
+        with pytest.raises(DeadlineExceededError):
+            request.future.result(timeout=1.0)
+        board.check("A")  # pre-fix: "probe in flight" forever
+        assert board.state_of("A") == HALF_OPEN
+        server.stop(drain=False)
+
+    def test_worker_crash_releases_probe_and_tenant_recovers(
+        self, square_matrix, rng
+    ):
+        """A crashed worker holding the probe says nothing about the
+        tenant's kernel: the slot is released (not failed), the next
+        submit probes again, and its success closes the breaker."""
+        from repro.serve.circuit import CLOSED, CircuitBoard
+
+        clock = {"t": 0.0}
+        board = CircuitBoard(
+            failure_threshold=1, reset_after_s=60.0, clock=lambda: clock["t"]
+        )
+        server = SpmvServer(
+            registry=MatrixRegistry(length=16),
+            policy=BatchPolicy(max_batch=1, max_wait_s=0.001, max_queue=16),
+            workers=1,
+            circuits=board,
+            faults=FaultPlan(counts={"worker-crash": 1}),
+        )
+        entry = server.register("A", square_matrix)
+        board.record_failure("A")  # threshold 1: open
+        clock["t"] = 100.0  # cooldown elapsed: the next submit probes
+        x = rng.normal(size=square_matrix.shape[1])
+        with server:
+            probe = server.submit("A", x)
+            with pytest.raises(WorkerCrashedError):
+                probe.result(timeout=10.0)
+            # Pre-fix this raised CircuitOpenError ("probe in flight")
+            # forever; now the respawned worker serves a fresh probe.
+            retry = server.submit("A", x)
+            y = retry.result(timeout=10.0)
+        assert (np.asarray(y) == entry.execute(x)).all()
+        assert board.state_of("A") == CLOSED
+        stats = server.stats()
+        assert stats.circuits.probes_aborted == 1
+        assert stats.workers_respawned == 1
+
+
+class TestCancelledFutures:
+    """Client-side ``Future.cancel()`` must never read as a worker crash.
+
+    ``submit`` hands the raw future to callers, and cancelling a queued
+    request succeeds; pre-fix the resulting ``InvalidStateError`` escaped
+    the worker, burned a respawn, and enough cancels exhausted the pool.
+    """
+
+    def test_expiry_pass_skips_settled_futures(self, square_matrix, rng):
+        from repro.serve.batcher import SpmvRequest
+
+        server = _make_server()
+        server.register("A", square_matrix)
+        cancelled = SpmvRequest(
+            x=rng.normal(size=square_matrix.shape[1]), deadline=-1.0
+        )
+        assert cancelled.future.cancel()
+        live = SpmvRequest(x=rng.normal(size=square_matrix.shape[1]))
+        remaining = server._expire_requests([cancelled, live])
+        assert len(remaining) == 1 and remaining[0] is live
+        # The cancelled request is not an expiry — nothing was failed.
+        assert server.stats().deadline_expired == 0
+        server.stop(drain=False)
+
+    def test_run_batch_tolerates_cancelled_future(self, square_matrix, rng):
+        from repro.serve.batcher import SpmvRequest, run_batch
+
+        server = _make_server()
+        entry = server.register("A", square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        cancelled = SpmvRequest(x=rng.normal(size=square_matrix.shape[1]))
+        assert cancelled.future.cancel()
+        live = SpmvRequest(x=x)
+        run_batch(entry, [cancelled, live])
+        assert (
+            np.asarray(live.future.result(timeout=1.0)) == entry.execute(x)
+        ).all()
+        assert cancelled.future.cancelled()
+        server.stop(drain=False)
+
+    def test_run_batch_error_path_tolerates_cancelled_future(
+        self, square_matrix, rng
+    ):
+        from repro.serve.batcher import SpmvRequest, run_batch
+
+        server = _make_server()
+        entry = server.register("A", square_matrix)
+        cancelled = SpmvRequest(x=rng.normal(size=square_matrix.shape[1]))
+        assert cancelled.future.cancel()
+        live = SpmvRequest(x=rng.normal(size=square_matrix.shape[1]))
+        with pytest.raises(InjectedFaultError):
+            run_batch(
+                entry,
+                [cancelled, live],
+                FaultPlan(counts={"kernel-error": 1}),
+            )
+        with pytest.raises(InjectedFaultError):
+            live.future.result(timeout=1.0)
+        assert cancelled.future.cancelled()
+        server.stop(drain=False)
+
+    def test_cancelled_requests_burn_no_respawns(self, square_matrix, rng):
+        """End-to-end: cancel queued requests, then serve normally — the
+        worker must survive the settled futures with its respawn budget
+        intact."""
+        server = _make_server(max_batch=4, max_wait_s=0.001, max_queue=64)
+        entry = server.register("A", square_matrix)
+        x = rng.normal(size=square_matrix.shape[1])
+        # Enqueue while no worker is draining, so the cancels win the
+        # race; the expired deadline routes them through the expiry pass.
+        past = server.batcher.clock() - 1.0
+        doomed = [server.submit("A", x, deadline=past) for _ in range(4)]
+        for future in doomed:
+            assert future.cancel()
+        with server:
+            y = server.submit("A", x).result(timeout=10.0)
+        assert (np.asarray(y) == entry.execute(x)).all()
+        stats = server.stats()
+        assert stats.workers_respawned == 0
+        assert stats.workers_lost == 0
+
 
 class TestClientRetry:
     def test_backoff_retries_queue_full_then_succeeds(

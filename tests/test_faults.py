@@ -36,6 +36,15 @@ class TestSpecParsing:
         with pytest.raises(FaultSpecError, match="non-numeric"):
             FaultPlan.from_spec("kernel-error:lots")
 
+    def test_non_integral_count_rejected(self):
+        # A typo'd rate like '1.5' must error like the constructor does,
+        # not truncate to count 1 and inject a different plan than
+        # written.
+        with pytest.raises(FaultSpecError, match="integral count"):
+            FaultPlan.from_spec("store-read:1.5")
+        with pytest.raises(FaultSpecError, match="integral count"):
+            FaultPlan.from_spec("store-io:2.25")
+
     def test_constructor_validation(self):
         with pytest.raises(FaultSpecError, match="rate"):
             FaultPlan(rates={"kernel-error": 1.5})
@@ -167,3 +176,39 @@ class TestHelpers:
         explicit = FaultPlan(counts={"worker-crash": 1})
         assert faults.resolve(explicit) is explicit
         assert faults.resolve(None).counts == {"pool-kill": 1}
+
+    @staticmethod
+    def _answer_while_lock_held(probe):
+        """Run ``probe`` in a thread while the caller holds the ambient
+        lock; a probe that needs the lock would block past the join."""
+        results = []
+        thread = threading.Thread(target=lambda: results.append(probe()))
+        thread.start()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "probe blocked on _AMBIENT_LOCK"
+        return results[0]
+
+    def test_steady_state_probes_are_lock_free(self, monkeypatch):
+        """Probes sit on per-batch kernel and store paths in every server
+        worker, so the steady-state cases — no plan, installed plan,
+        cached env plan — must answer without taking the process-wide
+        ambient lock (pre-fix every probe serialized on it)."""
+        monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+        with faults._AMBIENT_LOCK:
+            assert (
+                self._answer_while_lock_held(
+                    lambda: faults.should_fire("kernel-error")
+                )
+                is False
+            )
+        installed = FaultPlan(counts={"worker-crash": 1})
+        with faults.overridden(installed):
+            with faults._AMBIENT_LOCK:
+                assert (
+                    self._answer_while_lock_held(faults.active_plan)
+                    is installed
+                )
+        monkeypatch.setenv(faults.ENV_SPEC, "pool-kill:1")
+        cached = faults.active_plan()  # parse + cache before holding
+        with faults._AMBIENT_LOCK:
+            assert self._answer_while_lock_held(faults.active_plan) is cached
