@@ -52,6 +52,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import GustPipeline, uniform_random
+from repro.obs import trace as trace_mod
 from repro.solvers.jacobi import jacobi
 from repro.solvers.power_iteration import power_iteration
 from repro.sparse.coo import CooMatrix
@@ -70,6 +71,12 @@ SOLVER_NNZ = 60_000
 
 MIN_REPLAY_SPEEDUP = 3.0
 MIN_SOLVER_SPEEDUP = 1.5
+
+#: The replay hot path carries a ``replay.execute`` trace span; with
+#: tracing disabled the span machinery must cost no more than this
+#: multiple of the bare kernel (the "observability is free when off"
+#: contract documented in DESIGN.md).
+MAX_NOOP_TRACE_OVERHEAD = 1.03
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -130,9 +137,27 @@ def measure_spmv(compare_scipy: bool = False) -> dict:
     finally:
         del pipeline.plan_for
 
+    # Disabled-tracing overhead: time the bare kernel against the same
+    # kernel under a module-level span with tracing forced off (an
+    # installed disabled tracer wins over any GUST_TRACE in the
+    # environment).  Batches of calls per sample smooth timer jitter.
+    def bare():
+        for _ in range(10):
+            compiled.matvec(x)
+
+    def spanned():
+        for _ in range(10):
+            with trace_mod.span("replay.execute"):
+                compiled.matvec(x)
+
+    with trace_mod.overridden(trace_mod.Tracer(enabled=False)):
+        bare_s = _best_of(bare, 30)
+        noop_span_s = _best_of(spanned, 30)
+
     results = {
         "matrix": {"dim": DIM, "nnz": matrix.nnz, "length": LENGTH},
         "backend": compiled.backend_name,
+        "noop_trace_overhead": noop_span_s / bare_s,
         "scatter_s": scatter_s,
         "plan_s": plan_s,
         "speedup": scatter_s / plan_s,
@@ -233,6 +258,10 @@ def run(
         f"speedup             {spmv['speedup']:>9.1f} x   "
         f"(bit-identical={spmv['bit_identical']})"
     )
+    print(
+        f"no-op trace span    {spmv['noop_trace_overhead']:>9.3f} x   "
+        f"(gate <= {MAX_NOOP_TRACE_OVERHEAD}x)"
+    )
     if compare_scipy:
         scipy_col = spmv.get("scipy")
         if scipy_col is None:
@@ -270,6 +299,12 @@ def _failures(results: dict) -> list[str]:
         failures.append(
             f"steady-state execute paid {spmv['memo_hit_plan_lookups']} "
             "plan_for lookups; the memo hit must bind the compiled handle"
+        )
+    if spmv["noop_trace_overhead"] > MAX_NOOP_TRACE_OVERHEAD:
+        failures.append(
+            f"disabled tracing costs {spmv['noop_trace_overhead']:.3f}x "
+            f"the bare kernel (> {MAX_NOOP_TRACE_OVERHEAD}x); the no-op "
+            "span path must stay free"
         )
     if not solvers["jacobi_bit_identical"]:
         failures.append("jacobi results differ between plan and scatter paths")

@@ -1,0 +1,88 @@
+"""Rule R6: timed code in ``core/`` and ``serve/`` uses the obs clock.
+
+The serving stack once mixed time bases — ``time.monotonic`` cooldowns
+compared against ``time.perf_counter`` deadlines — which is exactly the
+kind of bug that never shows up in a unit test (both clocks advance at
+1 s/s) and silently skews arithmetic the moment values from the two are
+combined.  :mod:`repro.obs.clock` is now the one sanctioned seam:
+components import :data:`repro.obs.clock.monotonic` (or take an
+injectable ``clock=`` defaulting to it) and tracing/metrics timing goes
+through :mod:`repro.obs`.
+
+This rule flags any direct reference to ``time.time``,
+``time.perf_counter``, ``time.monotonic`` (and their ``_ns`` variants)
+— calls, defaults like ``clock or time.perf_counter``, and
+``from time import perf_counter`` — in modules under a ``core`` or
+``serve`` path segment.  ``time.sleep`` is allowed: sleeping is
+scheduling, not timestamp arithmetic.  Deliberate exceptions use the
+``# lint: disable=R6`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, SourceFile
+
+RULE = "R6"
+
+#: ``time`` attributes that produce timestamps (``sleep`` is allowed).
+_CLOCK_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+}
+
+#: Path segments placing a module in scope.
+_SCOPED_SEGMENTS = {"core", "serve"}
+
+#: The seam itself is exempt: it exists to wrap ``time.perf_counter``.
+_EXEMPT_SEGMENT = "obs"
+
+
+def _in_scope(source: SourceFile) -> bool:
+    parts = source.path.parts
+    if _EXEMPT_SEGMENT in parts:
+        return False
+    return any(segment in parts for segment in _SCOPED_SEGMENTS)
+
+
+def check(source: SourceFile) -> list[Finding]:
+    if not _in_scope(source):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+            and node.attr in _CLOCK_ATTRS
+        ):
+            reference = f"time.{node.attr}"
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            clocky = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in _CLOCK_ATTRS
+            )
+            if not clocky:
+                continue
+            reference = "from time import " + ", ".join(clocky)
+        else:
+            continue
+        findings.append(
+            Finding(
+                RULE,
+                str(source.path),
+                node.lineno,
+                f"direct clock reference {reference!r}; route timing in "
+                "core/ and serve/ through repro.obs.clock.monotonic (or "
+                "an injectable clock= defaulting to it) so deadlines, "
+                "cooldowns, and latencies share one time base "
+                "(# lint: disable=R6 for deliberate exceptions)",
+            )
+        )
+    return findings

@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 
 from repro.analysis import (
     bit_identity,
+    clock_hygiene,
     deprecation,
     exceptions_hygiene,
     locks,
@@ -31,6 +32,7 @@ ALL_CHECKS = (
     deprecation.check,
     registry_hygiene.check,
     exceptions_hygiene.check,
+    clock_hygiene.check,
 )
 
 RULE_DOCS = {
@@ -39,6 +41,7 @@ RULE_DOCS = {
     "R3": "deprecation: no use_plans=/.executor() shim call sites",
     "R4": "registry hygiene: BackendCapabilities flags total and explicit",
     "R5": "exception hygiene: serving-path broad handlers re-raise or route",
+    "R6": "clock hygiene: core/serve timing goes through the obs clock seam",
     "W1": "unused # lint: disable suppression",
     "E1": "file does not parse",
 }

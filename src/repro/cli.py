@@ -8,6 +8,8 @@ schedule    preprocess a .mtx matrix into a reusable schedule artifact
 spmv        execute a scheduled SpMV against a vector and verify it
 backends    list registered execution backends and the auto-probe verdict
 serve       run the in-process batching SpMV server under synthetic load
+stats       print a Prometheus/JSON metrics scrape (local or via --url)
+trace       capture a Chrome trace of a workload (``trace export``)
 bench-serve run the serving-throughput benchmark (same gates as CI)
 inspect     print statistics of a saved schedule
 lint        run the project contract checker (rules R1-R4) over the source
@@ -41,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -179,6 +182,69 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent schedule store for this run",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve Prometheus /metrics and /healthz on this port for the "
+        "duration of the run (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--metrics-linger-s",
+        type=float,
+        default=0.0,
+        help="keep the metrics endpoint up this long after the workload "
+        "finishes (so external scrapers can collect the final state)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a Chrome trace of the run and write it to PATH",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="print a Prometheus/JSON metrics scrape (from a running "
+        "exporter via --url, or from a small in-process workload)",
+    )
+    stats.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running metrics exporter "
+        "(e.g. http://127.0.0.1:9100); scrapes it instead of running a "
+        "local workload",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit JSON instead of "
+        "Prometheus text exposition",
+    )
+    stats.add_argument("--dim", type=int, default=256)
+    stats.add_argument("--requests", type=int, default=32)
+    stats.add_argument("--seed", type=int, default=0)
+
+    trace = commands.add_parser(
+        "trace", help="capture and export Chrome traces"
+    )
+    trace_actions = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_actions.add_parser(
+        "export",
+        help="run a representative workload with tracing on and write "
+        "the Chrome trace-event JSON (open in chrome://tracing or "
+        "ui.perfetto.dev)",
+    )
+    trace_export.add_argument("--out", required=True, metavar="PATH")
+    trace_export.add_argument(
+        "--workload",
+        choices=("schedule", "serve"),
+        default="schedule",
+        help="what to trace: one compile+replay pipeline run, or a small "
+        "batched serve run",
+    )
+    trace_export.add_argument("--dim", type=int, default=512)
+    trace_export.add_argument("--length", type=int, default=64)
+    trace_export.add_argument("--requests", type=int, default=32)
+    trace_export.add_argument("--seed", type=int, default=0)
 
     bench_serve = commands.add_parser(
         "bench-serve",
@@ -351,11 +417,25 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
+    from repro import obs
+    from repro.obs import trace as trace_mod
     from repro.serve import BatchPolicy, MatrixRegistry, SpmvClient, SpmvServer
 
     if args.requests < 1 or args.clients < 1:
         print("error: --requests and --clients must be >= 1", file=sys.stderr)
         return 2
+    metrics_registry = None
+    exporter = None
+    if args.metrics_port is not None:
+        metrics_registry = obs.MetricsRegistry()
+        exporter = obs.MetricsExporter(
+            metrics_registry, port=args.metrics_port
+        ).start()
+        print(
+            f"metrics: {exporter.url}/metrics "
+            f"(health: {exporter.url}/healthz)"
+        )
+    tracer = obs.Tracer(enabled=True) if args.trace else None
     store = None
     if not args.no_disk_cache:
         store = DiskScheduleStore(directory=args.cache_dir)
@@ -370,6 +450,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue=max(args.queue_size, args.max_batch),
         ),
         workers=args.workers,
+        metrics_registry=metrics_registry,
     )
     entries = {}
     if args.matrix:
@@ -413,23 +494,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 with lock:
                     mismatches.append(name)
 
-    with server:
-        threads = [
-            threading.Thread(target=client_loop, args=(i,))
-            for i in range(args.clients)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+    with trace_mod.overridden(tracer):
+        with server:
+            threads = [
+                threading.Thread(target=client_loop, args=(i,))
+                for i in range(args.clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
     # Snapshot only after stop() has joined the workers: a worker records
     # a batch's metrics after resolving its futures, so an in-flight
     # snapshot could still miss the final batch.
     stats = server.stats()
     print(stats.render())
+    if tracer is not None:
+        events = tracer.export(args.trace)
+        print(f"trace: wrote {events} events to {args.trace}")
+    if exporter is not None:
+        if args.metrics_linger_s > 0:
+            print(
+                f"metrics: lingering {args.metrics_linger_s:.0f}s "
+                f"at {exporter.url}/metrics"
+            )
+            time.sleep(args.metrics_linger_s)
+        exporter.stop()
     verified = not mismatches and stats.completed == per_client * args.clients
     print(f"verified={verified} (exact match against per-request replay)")
     return 0 if verified else 1
+
+
+def _stats_workload(args: argparse.Namespace) -> "object":
+    """Drive a small in-process serve run; returns its populated
+    metrics registry (the ``repro stats`` no-exporter path)."""
+    from repro import obs
+    from repro.serve import SpmvClient, SpmvServer
+
+    registry = obs.MetricsRegistry()
+    server = SpmvServer(workers=1, metrics_registry=registry)
+    server.register(
+        "demo",
+        uniform_random(args.dim, args.dim, 0.02, seed=args.seed),
+        length=32,
+    )
+    rng = np.random.default_rng(args.seed)
+    with server:
+        client = SpmvClient(server)
+        for _ in range(args.requests):
+            client.spmv("demo", rng.normal(size=args.dim), timeout=30.0)
+    return registry
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import urllib.error
+    import urllib.request
+
+    if args.url is not None:
+        base = args.url.rstrip("/")
+        path = "/metrics.json" if args.json else "/metrics"
+        try:
+            with urllib.request.urlopen(base + path, timeout=10.0) as reply:
+                payload = reply.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as error:
+            print(f"error: scrape of {base + path} failed: {error}",
+                  file=sys.stderr)
+            return 1
+        print(payload, end="" if payload.endswith("\n") else "\n")
+        return 0
+    registry = _stats_workload(args)
+    if args.json:
+        print(json_mod.dumps(registry.to_json(), indent=2, sort_keys=True))
+    else:
+        print(registry.render_prometheus(), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs import trace as trace_mod
+
+    tracer = obs.Tracer(enabled=True)
+    with trace_mod.overridden(tracer):
+        if args.workload == "serve":
+            _stats_workload(args)
+        else:
+            pipeline = GustPipeline(length=args.length, cache=True)
+            matrix = uniform_random(
+                args.dim, args.dim, 0.02, seed=args.seed
+            )
+            schedule, balanced, _report = pipeline.preprocess(matrix)
+            rng = np.random.default_rng(args.seed)
+            for _ in range(8):
+                pipeline.execute(schedule, balanced, rng.normal(size=args.dim))
+            # A second preprocess of the same pattern: the trace shows
+            # the memory-tier hit next to the cold compile phases.
+            pipeline.preprocess(matrix)
+    events = tracer.export(args.out)
+    print(
+        f"wrote {events} trace events to {args.out} "
+        f"(open in chrome://tracing or ui.perfetto.dev)"
+    )
+    return 0
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -697,6 +864,8 @@ _HANDLERS = {
     "spmv": _cmd_spmv,
     "backends": _cmd_backends,
     "serve": _cmd_serve,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "bench-serve": _cmd_bench_serve,
     "inspect": _cmd_inspect,
     "chaos": _cmd_chaos,

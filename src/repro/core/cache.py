@@ -61,6 +61,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.analysis.runtime import validation_enabled
 from repro.core.load_balance import BalancedMatrix
 from repro.core.plan import ExecutionPlan
@@ -285,26 +286,43 @@ class ScheduleCache:
         identical hit/refresh logic, so a warm store serves value-updated
         matrices without recoloring.
         """
+        started = _obs.monotonic()
         with self._lock:
             key = self._pattern_key(matrix, length, algorithm, load_balance)
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                return self._serve(entry, matrix, from_disk=False)
+                served = self._serve(entry, matrix, from_disk=False)
+                self._observe_lookup("memory", started)
+                return served
 
             if self.store is not None:
-                stored = self.store.load(
-                    store_key_from_digest(key, matrix.nnz)
-                )
+                with _obs.span("cache.disk_load", cat="cache"):
+                    stored = self.store.load(
+                        store_key_from_digest(key, matrix.nnz)
+                    )
                 if stored is not None:
                     self._disk_hits += 1
                     entry = self._entry_from_artifact(matrix, stored)
                     self._put(key, entry)
-                    return self._serve(entry, matrix, from_disk=True)
+                    served = self._serve(entry, matrix, from_disk=True)
+                    self._observe_lookup("disk", started)
+                    return served
                 self._disk_misses += 1
 
             self._misses += 1
+            self._observe_lookup("miss", started)
             return None
+
+    @staticmethod
+    def _observe_lookup(tier: str, started: float) -> None:
+        """Per-tier lookup latency: which tier *resolved* the fetch
+        (``miss`` = the cost of discovering nothing had it; the compute
+        tier's latency is observed by the pipeline's cold path)."""
+        _obs.default_registry().histogram(
+            "gust_cache_lookup_seconds",
+            help="Schedule-cache lookup latency by resolving tier.",
+        ).observe(_obs.monotonic() - started, tier=tier)
 
     def _serve(
         self, entry: _Entry, matrix: CooMatrix, from_disk: bool

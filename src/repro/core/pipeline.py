@@ -23,14 +23,16 @@ fleet of workers shares one schedule artifact store.
 from __future__ import annotations
 
 import threading
-import time
 import weakref
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.analysis.runtime import validation_enabled
+from repro.obs import clock as _obs_clock
+from repro.obs import trace as _trace
 from repro.core.backends import compile_plan
 from repro.core.backends.base import BackendCapabilities
 from repro.core.backends.scatter import scatter_matmat
@@ -247,7 +249,7 @@ class GustPipeline:
         which path ran, and ``notes["disk_hit"]`` whether the persistent
         tier (rather than process memory) supplied the schedule.
         """
-        started = time.perf_counter()
+        started = _obs_clock.monotonic()
         cached = None
         if self.cache is not None:
             cached = self.cache.fetch(
@@ -257,7 +259,7 @@ class GustPipeline:
             self.scheduler.last_stalls = cached.stalls
             if cached.plan is not None:
                 self._memoize_plan(cached.schedule, cached.plan)
-            elapsed = time.perf_counter() - started
+            elapsed = _obs_clock.monotonic() - started
             report = PreprocessReport(
                 seconds=elapsed,
                 windows=cached.schedule.window_count,
@@ -270,24 +272,33 @@ class GustPipeline:
                 },
             )
             return cached.schedule, cached.balanced, report
-        if self._balancer is not None:
-            balanced = self._balancer.balance(matrix)
-        else:
-            balanced = identity_balance(matrix, self.length)
+        with _obs.phase("load_balance"):
+            if self._balancer is not None:
+                balanced = self._balancer.balance(matrix)
+            else:
+                balanced = identity_balance(matrix, self.length)
         schedule = self.scheduler.schedule_balanced(balanced)
         if self.cache is not None:
-            plan = self.cache.insert(
-                matrix,
-                self.length,
-                self.algorithm,
-                self.load_balance,
-                schedule,
-                balanced,
-                stalls=self.scheduler.last_stalls,
-            )
+            with _obs.phase("plan_build"):
+                plan = self.cache.insert(
+                    matrix,
+                    self.length,
+                    self.algorithm,
+                    self.load_balance,
+                    schedule,
+                    balanced,
+                    stalls=self.scheduler.last_stalls,
+                )
             if plan is not None:
                 self._memoize_plan(schedule, plan)
-        elapsed = time.perf_counter() - started
+        elapsed = _obs_clock.monotonic() - started
+        if self.cache is not None:
+            # The compute tier of the memory -> disk -> compute lookup
+            # ladder: what a cold pattern actually cost end to end.
+            _obs.default_registry().histogram(
+                "gust_cache_lookup_seconds",
+                help="Schedule-cache lookup latency by resolving tier.",
+            ).observe(elapsed, tier="compute")
         notes = {"stalls": float(self.scheduler.last_stalls)}
         if self.cache is not None:
             notes["cache_hit"] = 0.0
@@ -309,13 +320,13 @@ class GustPipeline:
         Equivalent to :meth:`preprocess` + :meth:`cycle_report` but O(nnz)
         memory, which matters for the naive policy on dense inputs.
         """
-        started = time.perf_counter()
+        started = _obs_clock.monotonic()
         if self._balancer is not None:
             balanced = self._balancer.balance(matrix)
         else:
             balanced = identity_balance(matrix, self.length)
         counts = self.scheduler.color_counts(balanced)
-        elapsed = time.perf_counter() - started
+        elapsed = _obs_clock.monotonic() - started
         total = int(sum(counts))
         cycles = total + PIPELINE_FILL_CYCLES if matrix.nnz else 0
         cycle_report = CycleReport(
@@ -434,7 +445,7 @@ class GustPipeline:
         backend: str,
         require: bool,
     ) -> CompiledSpmv:
-        started = time.perf_counter()
+        started = _obs_clock.monotonic()
         if backend == LEGACY_SCATTER:
             kernel = _LegacyScatterKernel(self, schedule, balanced)
             stats = CompiledStats(
@@ -447,7 +458,7 @@ class GustPipeline:
                 segments=0,
                 length=self.length,
                 cycles_per_replay=schedule.execution_cycles,
-                compile_seconds=time.perf_counter() - started,
+                compile_seconds=_obs_clock.monotonic() - started,
             )
             return CompiledSpmv(kernel, LEGACY_SCATTER, stats, plan=None)
         plan = self.plan_for(schedule, balanced)
@@ -464,7 +475,7 @@ class GustPipeline:
             segments=plan.segments,
             length=self.length,
             cycles_per_replay=schedule.execution_cycles,
-            compile_seconds=time.perf_counter() - started,
+            compile_seconds=_obs_clock.monotonic() - started,
         )
         return CompiledSpmv(compiled.kernel, compiled.name, stats, plan=plan)
 
@@ -505,7 +516,11 @@ class GustPipeline:
         """
         if self.backend == LEGACY_SCATTER:
             return self.execute_scatter(schedule, balanced, x)
-        return self.compile_schedule(schedule, balanced).matvec(x)
+        # The replay hot loop: with tracing disabled this span is the
+        # shared no-op (one ambient lookup, no allocation) — the bench
+        # gates the whole path at <=3% over the bare kernel.
+        with _trace.span("replay.execute"):
+            return self.compile_schedule(schedule, balanced).matvec(x)
 
     def execute_scatter(
         self, schedule: Schedule, balanced: BalancedMatrix, x: np.ndarray

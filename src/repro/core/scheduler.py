@@ -54,6 +54,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import faults as _faults
+from repro import obs as _obs
 from repro.core.load_balance import BalancedMatrix, identity_balance
 from repro.core.naive import naive_coloring_flat, naive_stalls_flat
 from repro.core.schedule import EMPTY, Schedule
@@ -215,24 +216,27 @@ class GustScheduler:
         length = self.length
         m, n = matrix.shape
 
-        partition = self._partition(balanced)
-        colors = self._color_flat(balanced, partition)
-        counts = self._counts(partition, colors)
+        with _obs.phase("partition"):
+            partition = self._partition(balanced)
+        with _obs.phase("coloring"):
+            colors = self._color_flat(balanced, partition)
+            counts = self._counts(partition, colors)
 
         # Listing 2 as one scatter: timestep = window offset + edge color.
-        total = int(counts.sum())
-        m_sch = np.zeros((total, length), dtype=np.float64)
-        row_sch = np.full((total, length), EMPTY, dtype=np.int64)
-        col_sch = np.full((total, length), EMPTY, dtype=np.int64)
-        if matrix.nnz:
-            offsets = np.concatenate(
-                ([0], np.cumsum(counts[:-1], dtype=np.int64))
-            )
-            steps = offsets[partition.window_ids] + colors
-            lanes = partition.colsegs
-            m_sch[steps, lanes] = matrix.data
-            row_sch[steps, lanes] = partition.local_rows
-            col_sch[steps, lanes] = matrix.cols
+        with _obs.phase("scatter"):
+            total = int(counts.sum())
+            m_sch = np.zeros((total, length), dtype=np.float64)
+            row_sch = np.full((total, length), EMPTY, dtype=np.int64)
+            col_sch = np.full((total, length), EMPTY, dtype=np.int64)
+            if matrix.nnz:
+                offsets = np.concatenate(
+                    ([0], np.cumsum(counts[:-1], dtype=np.int64))
+                )
+                steps = offsets[partition.window_ids] + colors
+                lanes = partition.colsegs
+                m_sch[steps, lanes] = matrix.data
+                row_sch[steps, lanes] = partition.local_rows
+                col_sch[steps, lanes] = matrix.cols
 
         schedule = Schedule(
             length=length,

@@ -57,6 +57,7 @@ from repro import faults as _faults
 from repro.analysis.runtime import validation_enabled
 from repro.core.load_balance import BalancedMatrix
 from repro.core.schedule import Schedule
+from repro.obs import trace as _trace
 from repro.core.serialize import (
     _FORMAT_VERSION,
     StoredSchedule,
@@ -266,7 +267,10 @@ class DiskScheduleStore:
                 lambda: OSError("injected store-read fault"),
                 self._faults,
             )
-            entry = load_schedule_entry(path, validate=validation_enabled())
+            with _trace.span("store.read", cat="store"):
+                entry = load_schedule_entry(
+                    path, validate=validation_enabled()
+                )
         except FileNotFoundError:
             self._misses += 1
             return None
@@ -326,15 +330,16 @@ class DiskScheduleStore:
                 lambda: OSError("injected store-write fault"),
                 self._faults,
             )
-            save_schedule(
-                self.path_for(key),
-                schedule,
-                balanced,
-                stalls=stalls,
-                slots=slots,
-                data_order=data_order,
-                plan_order=plan_order,
-            )
+            with _trace.span("store.write", cat="store"):
+                save_schedule(
+                    self.path_for(key),
+                    schedule,
+                    balanced,
+                    stalls=stalls,
+                    slots=slots,
+                    data_order=data_order,
+                    plan_order=plan_order,
+                )
         except OSError:
             self._write_errors += 1
             self._io_errors += 1

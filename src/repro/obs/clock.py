@@ -1,0 +1,25 @@
+"""The one monotonic clock seam for ``core/`` and ``serve/``.
+
+Before this module existed the serving stack mixed time bases:
+``serve/circuit.py`` defaulted to ``time.monotonic`` while the batcher
+and metrics used ``time.perf_counter``.  Both are monotonic, but they
+are *different* monotonic clocks — arithmetic across them (a deadline
+stamped on one compared against a cooldown on the other) is undefined.
+Lint rule R6 now forbids direct ``time.time()`` / ``time.perf_counter()``
+/ ``time.monotonic()`` references under ``serve/`` and ``core/``; timed
+components import :func:`monotonic` from here instead and keep their
+per-instance ``clock=`` injection parameters defaulting to it.
+
+``time.sleep`` is deliberately *not* wrapped: sleeping is scheduling,
+not timestamp arithmetic, and R6 allows it.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: The canonical monotonic clock: seconds as a float, arbitrary epoch,
+#: highest resolution the platform offers.  Every default ``clock=``
+#: in ``core/`` and ``serve/`` points here, so all deadline, cooldown,
+#: latency, and span arithmetic shares one time base.
+monotonic = time.perf_counter

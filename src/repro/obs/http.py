@@ -1,0 +1,153 @@
+"""Background HTTP exporter: ``/metrics``, ``/metrics.json``, ``/healthz``.
+
+The first network-facing surface in the repo (ROADMAP item 1): a
+daemonized :class:`~http.server.ThreadingHTTPServer` that renders one
+:class:`~repro.obs.metrics.MetricsRegistry` on demand.  Scrapes are
+read-only and allocation-light — the serving hot path never blocks on
+an exporter request because registries only take per-family locks for
+the duration of a snapshot read.
+
+Bind ``port=0`` to let the OS pick (the bound port is exposed via
+:attr:`MetricsExporter.port`), which is how tests and the CI smoke run
+without port collisions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs import clock as _clock
+from repro.obs.metrics import MetricsRegistry
+
+#: Content type for Prometheus text exposition format 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsExporter:
+    """Serve one registry over HTTP from a background daemon thread.
+
+    Args:
+        registry: the registry to render (defaults to the process-wide
+            default registry).
+        host: bind address; loopback by default — exposing metrics
+            beyond the host is a deployment decision, not a library one.
+        port: TCP port; ``0`` picks a free one.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        from repro.obs.metrics import default_registry
+
+        self.registry = registry if registry is not None else (
+            default_registry()
+        )
+        self._host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MetricsExporter":
+        """Bind, spawn the serving thread, and return self (chainable)."""
+        if self._server is not None:
+            return self
+        exporter = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def _reply(self, status: int, content_type: str, body: bytes):
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = exporter.registry.render_prometheus()
+                        self._reply(
+                            200, PROMETHEUS_CONTENT_TYPE, body.encode()
+                        )
+                    elif path == "/metrics.json":
+                        body = json.dumps(exporter.registry.to_json())
+                        self._reply(
+                            200, "application/json", body.encode()
+                        )
+                    elif path == "/healthz":
+                        body = json.dumps(
+                            {
+                                "status": "ok",
+                                "uptime_s": exporter.uptime_s,
+                            }
+                        )
+                        self._reply(
+                            200, "application/json", body.encode()
+                        )
+                    else:
+                        self._reply(
+                            404, "text/plain; charset=utf-8",
+                            b"not found\n",
+                        )
+                except BrokenPipeError:
+                    # Scraper hung up mid-response; nothing to salvage.
+                    pass
+
+            def log_message(self, format, *args):
+                # Scrapes every few seconds would otherwise spam stderr.
+                pass
+
+        self._server = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self._server.daemon_threads = True
+        self._started_at = _clock.monotonic()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="gust-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        server, thread = self._server, self._thread
+        self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def uptime_s(self) -> float:
+        if self._started_at == 0.0:
+            return 0.0
+        return _clock.monotonic() - self._started_at

@@ -1,0 +1,384 @@
+"""Label-aware metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named metric **families**; each family
+holds one sample per label combination.  Two exposition formats:
+
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text format
+  0.0.4 (``# HELP``/``# TYPE`` lines, escaped label values, cumulative
+  ``le`` histogram buckets), deterministic: families sort by name and
+  samples by label tuple, so goldens are stable.
+* :meth:`MetricsRegistry.to_json` — the same data as plain dicts for
+  programmatic consumers and ``repro stats --json``.
+
+Two publishing styles coexist.  Hot paths **observe directly** (the
+request-latency and batch-size histograms are written per batch —
+histograms have fixed bucket boundaries precisely so a long-lived server
+costs O(buckets), unlike an unbounded sample list).  Snapshot-style
+producers (``CacheStats``, ``DiskStoreStats``, ``CircuitSnapshot``,
+fault-plan probe counts) instead register a **collector** callback that
+republishes their current totals at scrape time, so one scrape is one
+consistent read of every subsystem without instrumenting each increment
+site.
+
+Naming contract (documented in DESIGN.md): every family is
+``gust_<noun>[_unit][_total]``, snake_case, seconds for durations.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+from repro.errors import ReproError
+
+#: Default histogram boundaries (seconds): tuned so sub-millisecond
+#: kernel replays and multi-second compile phases both land mid-range.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _label_key(labels: dict) -> tuple:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ReproError(f"invalid metric label name {name!r}")
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _render_labels(key: tuple, extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label(value)}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+class _Family:
+    """Shared machinery: one lock, one sample dict keyed by label tuple."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: dict[tuple, object] = {}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def _sorted_samples(self) -> list[tuple[tuple, object]]:
+        with self._lock:
+            return sorted(self._samples.items())
+
+
+class Counter(_Family):
+    """Monotonically increasing total (use ``_total`` suffixed names)."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ReproError(
+                f"counter {self.name} cannot decrease (inc by {value})"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + value
+
+    def set_total(self, value: float, **labels) -> None:
+        """Overwrite the running total from an authoritative snapshot.
+
+        For collector callbacks bridging existing monotonic counters
+        (``CacheStats.hits`` etc.) — the source of truth already counts,
+        so the bridge assigns rather than double-increments.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return float(self._samples.get(_label_key(labels), 0.0))
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{_render_labels(key)} {_fmt(value)}"
+            for key, value in self._sorted_samples()
+        ]
+
+    def to_json(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in self._sorted_samples()
+        ]
+
+
+class Gauge(_Family):
+    """A value that can go up or down (states, rates, sizes)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return float(self._samples.get(_label_key(labels), 0.0))
+
+    render = Counter.render
+    to_json = Counter.to_json
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets  # per-bucket, not cumulative
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Family):
+    """Fixed-boundary distribution: O(buckets) memory forever.
+
+    Buckets are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value, else in the implicit ``+Inf`` bucket.
+    Exposition renders *cumulative* counts per Prometheus convention,
+    so bucket values are monotonically non-decreasing in ``le``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ReproError(
+                f"histogram {name} buckets must be strictly increasing, "
+                f"got {buckets!r}"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        value = float(value)
+        with self._lock:
+            state = self._samples.get(key)
+            if state is None:
+                state = self._samples[key] = _HistogramState(
+                    len(self.buckets)
+                )
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.bucket_counts[index] += 1
+                    break
+            state.sum += value
+            state.count += 1
+
+    def snapshot(self, **labels) -> dict:
+        """``{"count", "sum", "buckets": {le: cumulative}}`` for tests."""
+        with self._lock:
+            state = self._samples.get(_label_key(labels))
+            if state is None:
+                return {"count": 0, "sum": 0.0, "buckets": {}}
+            cumulative, running = {}, 0
+            for bound, count in zip(self.buckets, state.bucket_counts):
+                running += count
+                cumulative[bound] = running
+            cumulative[float("inf")] = state.count
+            return {
+                "count": state.count, "sum": state.sum,
+                "buckets": cumulative,
+            }
+
+    def render(self) -> list[str]:
+        lines = []
+        for key, state in self._sorted_samples():
+            running = 0
+            for bound, count in zip(self.buckets, state.bucket_counts):
+                running += count
+                labels = _render_labels(key, f'le="{_fmt(bound)}"')
+                lines.append(f"{self.name}_bucket{labels} {running}")
+            labels = _render_labels(key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{labels} {state.count}")
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} {_fmt(state.sum)}"
+            )
+            lines.append(
+                f"{self.name}_count{_render_labels(key)} {state.count}"
+            )
+        return lines
+
+    def to_json(self) -> list[dict]:
+        return [
+            {
+                "labels": dict(key),
+                "count": state.count,
+                "sum": state.sum,
+                "buckets": {
+                    _fmt(bound): count
+                    for bound, count in zip(
+                        self.buckets, state.bucket_counts
+                    )
+                },
+            }
+            for key, state in self._sorted_samples()
+        ]
+
+
+class MetricsRegistry:
+    """Named metric families plus scrape-time collector callbacks."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list = []
+        self._collector_errors = 0
+
+    # -- family creation (idempotent) ----------------------------------------
+
+    def _family(self, cls, name: str, help: str, **kwargs) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ReproError(f"invalid metric name {name!r}")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ReproError(
+                        f"metric {name} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if kwargs.get("buckets") is not None and tuple(
+                    float(b) for b in kwargs["buckets"]
+                ) != existing.buckets:
+                    raise ReproError(
+                        f"histogram {name} already registered with "
+                        f"different buckets"
+                    )
+                if help and not existing.help:
+                    existing.help = help
+                return existing
+            if cls is Histogram and kwargs.get("buckets") is None:
+                kwargs["buckets"] = DEFAULT_BUCKETS
+            family = cls(name, help, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._family(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._family(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets=None
+    ) -> Histogram:
+        """``buckets=None`` means DEFAULT_BUCKETS on first registration
+        and "whatever was registered" afterwards, so re-fetching an
+        existing family never needs to restate its boundaries."""
+        return self._family(Histogram, name, help, buckets=buckets)
+
+    # -- collectors ----------------------------------------------------------
+
+    def register_collector(self, callback) -> None:
+        """``callback()`` runs before every exposition to republish
+        snapshot-style totals.  A raising collector is counted (in
+        ``gust_obs_collector_errors_total``) rather than failing the
+        scrape — /metrics staying up during a subsystem wobble is the
+        point of having it."""
+        with self._lock:
+            self._collectors.append(callback)
+
+    def collect(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for callback in collectors:
+            try:
+                callback()
+            except Exception:
+                with self._lock:
+                    self._collector_errors += 1
+        if self._collector_errors:
+            self.counter(
+                "gust_obs_collector_errors_total",
+                help="Collector callbacks that raised during a scrape.",
+            ).set_total(self._collector_errors)
+
+    # -- exposition ----------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4 (deterministic)."""
+        self.collect()
+        with self._lock:
+            families = sorted(self._families.items())
+        lines: list[str] = []
+        for name, family in families:
+            if family.help:
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> dict:
+        self.collect()
+        with self._lock:
+            families = sorted(self._families.items())
+        return {
+            name: {
+                "type": family.kind,
+                "help": family.help,
+                "samples": family.to_json(),
+            }
+            for name, family in families
+        }
+
+    def reset(self) -> None:
+        """Drop every sample (families and collectors persist)."""
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            family.clear()
+
+
+#: The process-wide default registry: library instrumentation (cache
+#: tiers, compile phases) publishes here unless handed another registry,
+#: so one exporter scrape sees the whole process.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT

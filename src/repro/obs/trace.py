@@ -1,0 +1,320 @@
+"""Tracing: nested spans with a genuinely free disabled path.
+
+A :class:`Tracer` records **spans** — named, timed regions entered as
+context managers — into a bounded ring buffer, with per-thread span
+stacks so nesting is tracked even under concurrent server workers.  The
+buffer exports as Chrome trace-event JSON (:meth:`Tracer.chrome_trace`),
+loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+The overhead contract
+---------------------
+
+Tracing is off by default and the disabled path must be *free enough to
+leave in the replay hot loop*: ``benchmarks/bench_replay_throughput.py``
+gates instrumented replay at <=3% over the bare kernel with tracing
+disabled.  :func:`span` therefore does one ambient lookup (a module
+global read, else one environment read) and returns a shared no-op
+context manager — no allocation, no clock call, no string work.
+
+Activation mirrors :mod:`repro.faults`: components may take an explicit
+tracer, tests use :func:`overridden`, and setting ``GUST_TRACE`` to
+anything but ``0``/``false``/``off`` activates a process-wide ambient
+tracer.  ``GUST_TRACE_OUT=<path>`` additionally writes the Chrome JSON
+at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from typing import Any
+
+from repro.obs import clock as _clock
+
+#: Spans retained by default.  At ~120 bytes/span this bounds a tracer
+#: left on for hours to a few MB instead of growing without bound.
+DEFAULT_CAPACITY = 65536
+
+#: Environment variables activating an ambient tracer.
+ENV_TRACE = "GUST_TRACE"
+ENV_TRACE_OUT = "GUST_TRACE_OUT"
+
+#: ``GUST_TRACE`` values (lowercased) that mean "disabled".
+_FALSY = frozenset({"", "0", "false", "off", "no"})
+
+
+class _NullSpan:
+    """The shared disabled-path span: enter/exit/annotate do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **args: Any) -> None:
+        pass
+
+
+#: The single no-op instance every disabled :func:`span` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: times itself and records on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._start = 0.0
+        self._depth = 0
+
+    def __enter__(self) -> "_Span":
+        self._depth = self._tracer._push(self.name)
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = self._tracer._clock()
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        self._tracer._pop(self, self._start, end - self._start)
+        return False
+
+    def annotate(self, **args: Any) -> None:
+        """Attach key/value arguments visible in the trace viewer."""
+        self.args.update(args)
+
+
+class Tracer:
+    """Span recorder with bounded retention and Chrome JSON export.
+
+    Args:
+        enabled: when ``False`` every :meth:`span` returns the shared
+            no-op span.  Installing a disabled tracer ambiently is the
+            way to force tracing *off* regardless of ``GUST_TRACE``.
+        clock: monotonic time source (injectable for deterministic
+            tests); defaults to the obs clock seam.
+        capacity: ring-buffer bound; the oldest spans fall off first.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock=None,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._clock = clock or _clock.monotonic
+        self._epoch = self._clock()
+        self._lock = threading.Lock()
+        # Ring of (name, cat, ph, ts_s, dur_s, tid, depth, args).
+        self._events: list[tuple] = []
+        self._head = 0  # next overwrite position once full
+        self._dropped = 0
+        self._local = threading.local()
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", **args: Any):
+        """A context manager timing one named region (nestable)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "", **args: Any) -> None:
+        """A zero-duration marker event (e.g. a request enqueue)."""
+        if not self.enabled:
+            return
+        now = self._clock()
+        self._record(
+            (name, cat, "i", now - self._epoch, 0.0,
+             threading.get_ident(), self._depth(), args)
+        )
+
+    def _depth(self) -> int:
+        return len(getattr(self._local, "stack", ()))
+
+    def _push(self, name: str) -> int:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(name)
+        return len(stack) - 1
+
+    def _pop(self, span: _Span, start: float, duration: float) -> None:
+        self._local.stack.pop()
+        self._record(
+            (span.name, span.cat, "X", start - self._epoch, duration,
+             threading.get_ident(), span._depth, span.args)
+        )
+
+    def _record(self, event: tuple) -> None:
+        with self._lock:
+            if len(self._events) < self.capacity:
+                self._events.append(event)
+            else:
+                self._events[self._head] = event
+                self._head = (self._head + 1) % self.capacity
+                self._dropped += 1
+
+    # -- introspection and export --------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from the ring since construction (or clear)."""
+        with self._lock:
+            return self._dropped
+
+    def events(self) -> list[dict]:
+        """Retained events oldest-first as plain dicts (for tests)."""
+        with self._lock:
+            ordered = self._events[self._head:] + self._events[:self._head]
+        return [
+            {
+                "name": name, "cat": cat, "ph": ph, "ts_s": ts,
+                "dur_s": dur, "tid": tid, "depth": depth, "args": args,
+            }
+            for name, cat, ph, ts, dur, tid, depth, args in ordered
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._head = 0
+            self._dropped = 0
+
+    def chrome_trace(self) -> dict:
+        """The retained spans as a Chrome trace-event JSON object.
+
+        Complete (``ph: X``) events with microsecond ``ts``/``dur``;
+        open the written file in ``chrome://tracing`` or Perfetto.
+        """
+        pid = os.getpid()
+        trace_events = []
+        for event in self.events():
+            record = {
+                "name": event["name"],
+                "cat": event["cat"] or "gust",
+                "ph": event["ph"],
+                "ts": event["ts_s"] * 1e6,
+                "pid": pid,
+                "tid": event["tid"],
+            }
+            if event["ph"] == "X":
+                record["dur"] = event["dur_s"] * 1e6
+            if event["ph"] == "i":
+                record["s"] = "t"  # thread-scoped instant
+            if event["args"]:
+                record["args"] = {
+                    key: value if isinstance(
+                        value, (int, float, str, bool, type(None))
+                    ) else repr(value)
+                    for key, value in event["args"].items()
+                }
+            trace_events.append(record)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def export(self, path) -> int:
+        """Write :meth:`chrome_trace` JSON to ``path``; returns #events."""
+        trace = self.chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+        return len(trace["traceEvents"])
+
+
+# -- ambient activation -------------------------------------------------------
+
+_AMBIENT_LOCK = threading.Lock()
+_INSTALLED: Tracer | None = None
+#: raw ``GUST_TRACE`` value -> tracer (or ``None`` when falsy), so the
+#: disabled steady state costs one environment read and one comparison.
+_ENV_CACHE: tuple[str | None, Tracer | None] | None = None
+
+
+def install(tracer: Tracer | None) -> Tracer | None:
+    """Install (or clear, with ``None``) the process-wide ambient tracer.
+
+    An installed tracer takes precedence over ``GUST_TRACE`` — including
+    a *disabled* one, which forces tracing off.  Returns the previous
+    tracer; prefer :func:`overridden`, which restores it for you.
+    """
+    global _INSTALLED
+    with _AMBIENT_LOCK:
+        previous = _INSTALLED
+        _INSTALLED = tracer
+        return previous
+
+
+class overridden:
+    """``with trace.overridden(tracer): ...`` — scoped ambient tracing."""
+
+    def __init__(self, tracer: Tracer | None):
+        self.tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer | None:
+        self._previous = install(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        install(self._previous)
+
+
+def active_tracer() -> Tracer | None:
+    """The ambient tracer, or ``None`` when tracing is off.
+
+    The installed tracer wins; otherwise ``GUST_TRACE`` decides, with
+    the constructed env tracer cached per raw value (monkeypatched tests
+    see changes immediately; the steady state is lock-free — module
+    global reads are single atomic loads under CPython, mirroring
+    :func:`repro.faults.active_plan`).
+    """
+    global _ENV_CACHE
+    installed = _INSTALLED
+    if installed is not None:
+        return installed if installed.enabled else None
+    raw = os.environ.get(ENV_TRACE)
+    cached = _ENV_CACHE
+    if cached is not None and cached[0] == raw:
+        return cached[1]
+    with _AMBIENT_LOCK:
+        if _ENV_CACHE is not None and _ENV_CACHE[0] == raw:
+            return _ENV_CACHE[1]
+        if raw is None or raw.strip().lower() in _FALSY:
+            tracer = None
+        else:
+            tracer = Tracer(enabled=True)
+            out = os.environ.get(ENV_TRACE_OUT)
+            if out:
+                atexit.register(tracer.export, out)
+        _ENV_CACHE = (raw, tracer)
+        return tracer
+
+
+def span(name: str, cat: str = "", **args: Any):
+    """Module-level span against the ambient tracer (no-op when off)."""
+    tracer = active_tracer()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, cat, **args)
+
+
+def instant(name: str, cat: str = "", **args: Any) -> None:
+    """Module-level instant marker against the ambient tracer."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.instant(name, cat, **args)

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import faults as _faults
+from repro.obs import clock as _obs_clock
+from repro.obs import trace as _trace
 from repro.errors import (
     HardwareConfigError,
     InjectedFaultError,
@@ -86,7 +88,7 @@ class SpmvRequest:
 
     x: np.ndarray
     future: Future = field(default_factory=Future)
-    enqueued: float = field(default_factory=time.perf_counter)
+    enqueued: float = field(default_factory=_obs_clock.monotonic)
     deadline: float | None = None
 
 
@@ -96,7 +98,9 @@ class RequestBatcher:
     Args:
         policy: admission/flush policy (defaults to :class:`BatchPolicy`).
         clock: monotonic time source; injectable so deadline arithmetic is
-            testable without sleeping.  Defaults to ``time.perf_counter``.
+            testable without sleeping.  Defaults to the shared obs clock
+            seam (:data:`repro.obs.clock.monotonic`), the same time base
+            the circuit breakers and metrics use.
     """
 
     def __init__(
@@ -105,7 +109,7 @@ class RequestBatcher:
         clock=None,
     ):
         self.policy = policy or BatchPolicy()
-        self.clock = clock or time.perf_counter
+        self.clock = clock or _obs_clock.monotonic
         self._cond = threading.Condition()
         self._queues: dict[str, deque[SpmvRequest]] = {}
         self._entries: dict[str, RegisteredMatrix] = {}
@@ -142,6 +146,7 @@ class RequestBatcher:
                 f"{entry.name!r} of shape {entry.shape}"
             )
         request = SpmvRequest(x=x, enqueued=self.clock(), deadline=deadline)
+        _trace.instant("serve.enqueue", cat="serve", tenant=entry.name)
         with self._cond:
             if not self._accepting:
                 raise ServeError(
@@ -282,22 +287,27 @@ def run_batch(
     Shared by the server's worker loop and the serving benchmark, so what
     the benchmark gates is exactly what the server runs.
     """
-    stacked = np.stack([request.x for request in batch])
+    with _trace.span("serve.assemble", cat="serve", size=len(batch)):
+        stacked = np.stack([request.x for request in batch])
     try:
-        if _faults.should_fire("kernel-slow", faults):
-            time.sleep(_faults.SLOW_KERNEL_SLEEP_S)
-        _faults.raise_if(
-            "kernel-error",
-            lambda: InjectedFaultError("injected kernel-error fault"),
-            faults,
-        )
-        block = entry.stacked.matvecs(stacked)
+        with _trace.span(
+            "serve.kernel", cat="serve", tenant=entry.name, size=len(batch)
+        ):
+            if _faults.should_fire("kernel-slow", faults):
+                time.sleep(_faults.SLOW_KERNEL_SLEEP_S)
+            _faults.raise_if(
+                "kernel-error",
+                lambda: InjectedFaultError("injected kernel-error fault"),
+                faults,
+            )
+            block = entry.stacked.matvecs(stacked)
     except Exception as error:
         for request in batch:
             _settle(request.future, error=error)
         raise
-    for j, request in enumerate(batch):
-        _settle(request.future, result=block[:, j])
+    with _trace.span("serve.settle", cat="serve", size=len(batch)):
+        for j, request in enumerate(batch):
+            _settle(request.future, result=block[:, j])
     return block
 
 

@@ -36,10 +36,10 @@ per-request kernel on pure throughput.
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
 
+from repro.obs import clock as _obs_clock
 from repro.serve.batcher import BatchPolicy, SpmvRequest, run_batch
 from repro.serve.client import SpmvClient
 from repro.serve.registry import MatrixRegistry
@@ -72,9 +72,9 @@ SERVER_REQUESTS_PER_CLIENT = 16
 def _best_of(fn, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
-        started = time.perf_counter()
+        started = _obs_clock.monotonic()
         fn()
-        best = min(best, time.perf_counter() - started)
+        best = min(best, _obs_clock.monotonic() - started)
     return best
 
 
@@ -172,7 +172,7 @@ def measure_server() -> dict:
                 with lock:
                     failures.append(name)
 
-    started = time.perf_counter()
+    started = _obs_clock.monotonic()
     with server:
         threads = [
             threading.Thread(target=client_loop, args=(i,))
@@ -185,7 +185,7 @@ def measure_server() -> dict:
     # Counters are exact only once stop() (via the context manager) has
     # joined the workers; futures resolve before metrics are recorded.
     stats = server.stats()
-    elapsed = time.perf_counter() - started
+    elapsed = _obs_clock.monotonic() - started
     total = SERVER_CLIENTS * SERVER_REQUESTS_PER_CLIENT
     return {
         "clients": SERVER_CLIENTS,

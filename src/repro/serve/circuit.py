@@ -34,16 +34,18 @@ counted and exposed through :meth:`CircuitBoard.snapshot` so
 should see a breaker flapping, not infer it from latency.
 
 The clock is injectable (monotonic seconds) so cooldown arithmetic is
-testable without sleeping.
+testable without sleeping; the default is the shared obs clock seam, the
+same time base as the batcher's deadlines — a request's deadline and its
+tenant's cooldown must never be compared across different clocks.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
 
 from repro.errors import CircuitOpenError, HardwareConfigError
+from repro.obs import clock as _obs_clock
 
 #: State names as exposed in snapshots and stats rendering.
 CLOSED = "closed"
@@ -121,7 +123,7 @@ class CircuitBoard:
             )
         self.failure_threshold = failure_threshold
         self.reset_after_s = reset_after_s
-        self.clock = clock or time.monotonic
+        self.clock = clock or _obs_clock.monotonic
         self._lock = threading.Lock()
         self._breakers: dict[str, _Breaker] = {}
         self._opened = 0

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.cache import CacheStats
+from repro.obs import clock as _obs_clock
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.circuit import CircuitSnapshot
 
 #: Most recent request latencies retained for percentile estimation.  A
@@ -133,13 +135,38 @@ class ServerStats:
         return "\n".join(lines)
 
 
+#: Batch-size histogram boundaries: powers of two up to the largest
+#: plausible ``max_batch``, so the exposition shows the coalescing shape.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
 class ServerMetrics:
-    """Thread-safe mutable counters behind :class:`ServerStats`."""
+    """Thread-safe mutable counters behind :class:`ServerStats`.
 
-    def __init__(self, clock=None):
-        import time
+    Args:
+        clock: monotonic time source (defaults to the obs clock seam).
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, request latencies and batch sizes are *also*
+            observed into fixed-bucket histograms
+            (``gust_request_latency_seconds``, ``gust_batch_size``) at
+            record time, so a Prometheus scrape sees full distributions,
+            not just the reservoir percentiles.
+    """
 
-        self._clock = clock or time.perf_counter
+    def __init__(self, clock=None, registry: MetricsRegistry | None = None):
+        self._clock = clock or _obs_clock.monotonic
+        self._latency_hist = None
+        self._batch_hist = None
+        if registry is not None:
+            self._latency_hist = registry.histogram(
+                "gust_request_latency_seconds",
+                help="End-to-end request latency (enqueue to settle).",
+            )
+            self._batch_hist = registry.histogram(
+                "gust_batch_size",
+                help="Executed batch sizes (requests coalesced per kernel).",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
         self._lock = threading.Lock()
         self._started = self._clock()
         self._submitted = 0
@@ -194,6 +221,10 @@ class ServerMetrics:
             self._completed += size
             self._histogram[size] += 1
             self._latencies.extend(latencies_s)
+        if self._batch_hist is not None:
+            self._batch_hist.observe(size)
+            for latency in latencies_s:
+                self._latency_hist.observe(latency)
 
     def snapshot(
         self,

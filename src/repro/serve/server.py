@@ -45,6 +45,8 @@ from concurrent.futures import Future, InvalidStateError
 import numpy as np
 
 from repro import faults as _faults
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
 from repro.errors import (
     DeadlineExceededError,
     HardwareConfigError,
@@ -85,6 +87,16 @@ class SpmvServer:
         faults: explicit :class:`~repro.faults.FaultPlan` for the serve
             fault sites (``worker-crash``, ``kernel-error``,
             ``kernel-slow``); ``None`` uses the ambient plan.
+        clock: one monotonic time source shared by the batcher, the
+            metrics, and (when not passed pre-built) the circuit board —
+            deadlines, latencies, and cooldowns must live on a single
+            time base.  Defaults to the obs clock seam.
+        metrics_registry: optional
+            :class:`~repro.obs.metrics.MetricsRegistry`; when given, hot
+            paths observe latency/batch-size histograms directly and a
+            scrape-time collector republishes every snapshot total
+            (requests, cache tiers, disk store, circuits, faults,
+            workers) — see :meth:`attach_metrics`.
 
     Usage::
 
@@ -102,6 +114,8 @@ class SpmvServer:
         circuits: CircuitBoard | None = None,
         max_worker_respawns: int = DEFAULT_MAX_WORKER_RESPAWNS,
         faults: _faults.FaultPlan | None = None,
+        clock=None,
+        metrics_registry: MetricsRegistry | None = None,
     ):
         if workers <= 0:
             raise ServeError(f"workers must be positive, got {workers}")
@@ -111,12 +125,18 @@ class SpmvServer:
                 f"got {max_worker_respawns}"
             )
         self.registry = registry if registry is not None else MatrixRegistry()
-        self.batcher = RequestBatcher(policy)
+        self.batcher = RequestBatcher(policy, clock=clock)
         self.workers = workers
-        self.circuits = circuits if circuits is not None else CircuitBoard()
+        self.circuits = circuits if circuits is not None else CircuitBoard(
+            clock=self.batcher.clock
+        )
         self.max_worker_respawns = max_worker_respawns
-        self.metrics = ServerMetrics()
+        self.metrics = ServerMetrics(
+            clock=self.batcher.clock, registry=metrics_registry
+        )
         self._faults = faults
+        if metrics_registry is not None:
+            self.attach_metrics(metrics_registry)
         self._threads: list[threading.Thread] = []
         self._state_lock = threading.Lock()
         self._started = False
@@ -330,33 +350,43 @@ class SpmvServer:
                 raise
 
     def _run_one(self, entry, batch: list[SpmvRequest]) -> None:
-        """Execute one dequeued batch: expiry, kernel, breaker, metrics."""
-        live = self._expire_requests(batch)
-        if not live:
-            # The whole batch expired (or was cancelled) without touching
-            # the kernel: no outcome to report, but a probe riding in it
-            # must release its slot or the tenant stays locked out.
-            self.circuits.abort_probe(entry.name)
-            return
-        _faults.raise_if(
-            "worker-crash",
-            lambda: InjectedFaultError("injected worker-crash fault"),
-            self._faults,
-        )
-        try:
-            run_batch(entry, live, self._faults)
-        except Exception:  # lint: disable=R5 — run_batch already failed
-            # every future in the batch with the kernel's exception; the
-            # worker stays alive for the other tenants and the breaker
-            # hears about the failure.
-            self.metrics.record_failure(len(live))
-            self.circuits.record_failure(entry.name)
-            return
-        self.circuits.record_success(entry.name)
-        done = self.batcher.clock()
-        self.metrics.record_batch(
-            len(live), [done - request.enqueued for request in live]
-        )
+        """Execute one dequeued batch: expiry, kernel, breaker, metrics.
+
+        Traced as one span tree per batch: ``serve.batch`` wraps the
+        expiry pass and :func:`run_batch`'s ``serve.assemble`` /
+        ``serve.kernel`` / ``serve.settle`` children (same thread, so
+        the tracer's per-thread stack nests them under this root).
+        """
+        with _trace.span(
+            "serve.batch", cat="serve", tenant=entry.name, size=len(batch)
+        ):
+            live = self._expire_requests(batch)
+            if not live:
+                # The whole batch expired (or was cancelled) without
+                # touching the kernel: no outcome to report, but a probe
+                # riding in it must release its slot or the tenant stays
+                # locked out.
+                self.circuits.abort_probe(entry.name)
+                return
+            _faults.raise_if(
+                "worker-crash",
+                lambda: InjectedFaultError("injected worker-crash fault"),
+                self._faults,
+            )
+            try:
+                run_batch(entry, live, self._faults)
+            except Exception:  # lint: disable=R5 — run_batch already
+                # failed every future in the batch with the kernel's
+                # exception; the worker stays alive for the other tenants
+                # and the breaker hears about the failure.
+                self.metrics.record_failure(len(live))
+                self.circuits.record_failure(entry.name)
+                return
+            self.circuits.record_success(entry.name)
+            done = self.batcher.clock()
+            self.metrics.record_batch(
+                len(live), [done - request.enqueued for request in live]
+            )
 
     def _expire_requests(
         self, batch: list[SpmvRequest]
@@ -394,6 +424,146 @@ class SpmvServer:
         return live
 
     # -- introspection -------------------------------------------------------
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Publish this server's observable state into ``registry``.
+
+        Registers a scrape-time collector that republishes every
+        snapshot total — the subsystems already count authoritatively
+        (:class:`ServerMetrics`, :class:`~repro.core.cache.CacheStats`,
+        :class:`~repro.core.store.DiskStoreStats`,
+        :class:`~repro.serve.circuit.CircuitSnapshot`, the fault plan's
+        probe counters) — so one scrape is one consistent read without
+        instrumenting each increment site.  Families are created
+        eagerly, so every scrape carries the full ``gust_*`` schema even
+        before traffic arrives.
+        """
+        requests = registry.counter(
+            "gust_requests_total",
+            help="Requests by terminal disposition.",
+        )
+        batches = registry.counter(
+            "gust_batches_total", help="Batches executed."
+        )
+        quantiles = registry.gauge(
+            "gust_request_latency_quantile_seconds",
+            help="Latency percentiles over the recent reservoir.",
+        )
+        uptime = registry.gauge(
+            "gust_uptime_seconds", help="Seconds since serving started."
+        )
+        workers = registry.counter(
+            "gust_workers_total",
+            help="Worker supervision events (respawned, lost).",
+        )
+        cache_events = registry.counter(
+            "gust_cache_events_total",
+            help="Schedule-cache lookup outcomes and evictions.",
+        )
+        cache_rates = registry.gauge(
+            "gust_cache_hit_rate",
+            help="Hit rate per cache tier (0 when the tier is cold).",
+        )
+        store_events = registry.counter(
+            "gust_store_events_total",
+            help="Disk schedule-store activity incl. io_errors and "
+            "quarantined artifacts.",
+        )
+        circuit_state = registry.gauge(
+            "gust_circuit_state",
+            help="Per-tenant breaker state: 0 closed, 1 half-open, 2 open.",
+        )
+        circuit_events = registry.counter(
+            "gust_circuit_events_total",
+            help="Breaker transitions and admission outcomes.",
+        )
+        fault_probes = registry.counter(
+            "gust_fault_probes_total",
+            help="Fault-site probes consumed (decisions taken).",
+        )
+        faults_fired = registry.counter(
+            "gust_faults_fired_total", help="Injected faults that fired."
+        )
+        state_values = {"closed": 0, "half-open": 1, "open": 2}
+
+        def collect() -> None:
+            stats = self.stats()
+            for state, value in (
+                ("submitted", stats.submitted),
+                ("completed", stats.completed),
+                ("rejected", stats.rejected),
+                ("failed", stats.failed),
+                ("deadline_expired", stats.deadline_expired),
+            ):
+                requests.set_total(value, state=state)
+            batches.set_total(stats.batches)
+            quantiles.set(stats.p50_ms / 1e3, quantile="0.5")
+            quantiles.set(stats.p99_ms / 1e3, quantile="0.99")
+            uptime.set(stats.uptime_s)
+            workers.set_total(stats.workers_respawned, event="respawned")
+            workers.set_total(stats.workers_lost, event="lost")
+
+            cache = stats.cache
+            for event, value in (
+                ("hit", cache.hits),
+                ("refresh", cache.refreshes),
+                ("miss", cache.misses),
+                ("eviction", cache.evictions),
+                ("disk_hit", cache.disk_hits),
+                ("disk_miss", cache.disk_misses),
+            ):
+                cache_events.set_total(value, event=event)
+            disk_lookups = cache.disk_hits + cache.disk_misses
+            cache_rates.set(cache.hit_rate, tier="overall")
+            cache_rates.set(
+                (cache.hits + cache.refreshes - cache.disk_hits)
+                / cache.lookups if cache.lookups else 0.0,
+                tier="memory",
+            )
+            cache_rates.set(
+                cache.disk_hits / disk_lookups if disk_lookups else 0.0,
+                tier="disk",
+            )
+
+            store = getattr(self.registry.cache, "store", None)
+            if store is not None:
+                disk = store.stats
+                for event, value in (
+                    ("hit", disk.hits),
+                    ("miss", disk.misses),
+                    ("write", disk.writes),
+                    ("write_error", disk.write_errors),
+                    ("corrupt_dropped", disk.corrupt_dropped),
+                    ("eviction", disk.evictions),
+                    ("io_error", disk.io_errors),
+                    ("stat_walk", disk.stat_walks),
+                ):
+                    store_events.set_total(value, event=event)
+
+            circuits = stats.circuits
+            for tenant, state in circuits.states.items():
+                circuit_state.set(state_values[state], tenant=tenant)
+            for event, value in (
+                ("opened", circuits.opened),
+                ("half_opened", circuits.half_opened),
+                ("closed", circuits.closed),
+                ("rejected", circuits.rejected),
+                ("probe_aborted", circuits.probes_aborted),
+                ("probe_reclaimed", circuits.probes_reclaimed),
+            ):
+                circuit_events.set_total(value, event=event)
+
+            plan = _faults.resolve(self._faults)
+            probes = plan.probes() if plan is not None else {}
+            fired: dict[str, int] = {}
+            if plan is not None:
+                for event in plan.history():
+                    fired[event.site] = fired.get(event.site, 0) + 1
+            for site in _faults.SITES:
+                fault_probes.set_total(probes.get(site, 0), site=site)
+                faults_fired.set_total(fired.get(site, 0), site=site)
+
+        registry.register_collector(collect)
 
     def stats(self) -> ServerStats:
         """Snapshot of counters, latency percentiles, histogram, circuit

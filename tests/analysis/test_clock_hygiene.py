@@ -1,0 +1,139 @@
+"""Rule R6 (clock hygiene): scope, verdicts, escape hatch, self-clean.
+
+R6 is path-scoped — it applies under ``core`` and ``serve`` segments
+with ``obs`` exempt — so these tests build small trees under
+``tmp_path`` instead of using the flat fixtures directory.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file
+
+CALL = """\
+import time
+
+def now():
+    return time.perf_counter()
+"""
+
+DEFAULT_SEAM = """\
+import time
+
+class Batcher:
+    def __init__(self, clock=None):
+        self.clock = clock or time.monotonic
+"""
+
+FROM_IMPORT = """\
+from time import perf_counter, sleep
+
+def now():
+    return perf_counter()
+"""
+
+WALLCLOCK = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+SLEEP_ONLY = """\
+import time
+
+def backoff(delay):
+    time.sleep(delay)
+"""
+
+OBS_SEAM = """\
+from repro.obs import clock as _obs_clock
+
+def now():
+    return _obs_clock.monotonic()
+"""
+
+SUPPRESSED = """\
+import time
+
+def now():
+    return time.perf_counter()  # lint: disable=R6 — calibration baseline
+"""
+
+
+def _lint(tmp_path: Path, relative: str, code: str):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(code, encoding="utf-8")
+    return lint_file(path)
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize(
+        "code,line,reference",
+        [
+            (CALL, 4, "time.perf_counter"),
+            (DEFAULT_SEAM, 5, "time.monotonic"),
+            (WALLCLOCK, 4, "time.time"),
+            (FROM_IMPORT, 1, "from time import perf_counter"),
+        ],
+        ids=["call", "clock-or-default", "wallclock", "from-import"],
+    )
+    def test_direct_clock_references_flagged(
+        self, tmp_path, code, line, reference
+    ):
+        findings = _lint(tmp_path, "serve/worker.py", code)
+        assert [(f.rule, f.line, f.warning) for f in findings] == [
+            ("R6", line, False)
+        ]
+        assert repr(reference) in findings[0].message
+
+    @pytest.mark.parametrize(
+        "code",
+        [SLEEP_ONLY, OBS_SEAM],
+        ids=["time-sleep-allowed", "obs-clock-seam"],
+    )
+    def test_compliant_timing_passes(self, tmp_path, code):
+        assert _lint(tmp_path, "serve/worker.py", code) == []
+
+    def test_escape_hatch_suppresses_without_w1(self, tmp_path):
+        assert _lint(tmp_path, "serve/worker.py", SUPPRESSED) == []
+
+
+class TestScope:
+    @pytest.mark.parametrize(
+        "relative",
+        ["core/pipeline.py", "serve/batcher.py", "a/core/b/util.py"],
+        ids=["core", "serve", "nested-core"],
+    )
+    def test_scoped_paths_flagged(self, tmp_path, relative):
+        findings = _lint(tmp_path, relative, CALL)
+        assert [f.rule for f in findings] == ["R6"]
+
+    @pytest.mark.parametrize(
+        "relative",
+        ["graph/coloring.py", "cli.py", "bench/run.py"],
+        ids=["graph", "top-level", "bench"],
+    )
+    def test_other_paths_out_of_scope(self, tmp_path, relative):
+        assert _lint(tmp_path, relative, CALL) == []
+
+    def test_obs_segment_is_exempt(self, tmp_path):
+        # The seam itself wraps time.perf_counter by design.
+        assert _lint(tmp_path, "serve/obs/clock.py", CALL) == []
+
+
+def test_repo_core_and_serve_are_r6_clean():
+    """The shipped timed paths must satisfy their own hygiene rule:
+    every core/serve timestamp flows through the obs clock seam."""
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    targets = sorted((src / "core").rglob("*.py")) + sorted(
+        (src / "serve").rglob("*.py")
+    )
+    assert targets, "core/serve sources not found"
+    for path in targets:
+        findings = [
+            f for f in lint_file(path) if not f.warning and f.rule == "R6"
+        ]
+        assert findings == [], f"{path} has R6 errors: {findings}"

@@ -1,0 +1,79 @@
+"""MetricsExporter: ephemeral-port HTTP serving of one registry."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, MetricsExporter
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def exporter():
+    registry = MetricsRegistry()
+    registry.counter("gust_demo_total", help="demo").inc(5, kind="smoke")
+    with MetricsExporter(registry, port=0) as running:
+        yield running
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestEndpoints:
+    def test_port_zero_binds_ephemeral(self, exporter):
+        assert exporter.port != 0
+        assert str(exporter.port) in exporter.url
+
+    def test_metrics_serves_prometheus_text(self, exporter):
+        status, headers, body = _get(exporter.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode()
+        assert 'gust_demo_total{kind="smoke"} 5' in text
+        assert "# TYPE gust_demo_total counter" in text
+
+    def test_metrics_json_parses(self, exporter):
+        status, headers, body = _get(exporter.url + "/metrics.json")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["gust_demo_total"]["samples"][0]["value"] == 5.0
+
+    def test_healthz(self, exporter):
+        status, _, body = _get(exporter.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0.0
+
+    def test_unknown_path_404(self, exporter):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(exporter.url + "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self):
+        exporter = MetricsExporter(MetricsRegistry(), port=0)
+        try:
+            exporter.start()
+            port = exporter.port
+            assert exporter.start() is exporter
+            assert exporter.port == port
+        finally:
+            exporter.stop()
+
+    def test_stop_releases_and_refuses_connections(self):
+        exporter = MetricsExporter(MetricsRegistry(), port=0).start()
+        url = exporter.url + "/healthz"
+        _get(url)
+        exporter.stop()
+        with pytest.raises(urllib.error.URLError):
+            _get(url)
+
+    def test_stop_without_start_is_noop(self):
+        MetricsExporter(MetricsRegistry()).stop()

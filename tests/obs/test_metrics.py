@@ -1,0 +1,186 @@
+"""MetricsRegistry: families, labels, golden Prometheus output, JSON."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_value_with_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("gust_events_total")
+        counter.inc(tier="memory")
+        counter.inc(2.0, tier="memory")
+        counter.inc(tier="disk")
+        assert counter.value(tier="memory") == 3.0
+        assert counter.value(tier="disk") == 1.0
+        assert counter.value(tier="unseen") == 0.0
+
+    def test_counter_cannot_decrease(self):
+        counter = MetricsRegistry().counter("gust_x_total")
+        with pytest.raises(ReproError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+    def test_set_total_overwrites_for_snapshot_bridges(self):
+        counter = MetricsRegistry().counter("gust_x_total")
+        counter.set_total(41.0)
+        counter.set_total(42.0)
+        assert counter.value() == 42.0
+
+    def test_registration_is_idempotent_but_type_checked(self):
+        registry = MetricsRegistry()
+        first = registry.counter("gust_x_total", help="x")
+        assert registry.counter("gust_x_total") is first
+        with pytest.raises(ReproError, match="already registered"):
+            registry.gauge("gust_x_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ReproError, match="invalid metric label"):
+            registry.counter("gust_ok_total").inc(**{"bad-label": "v"})
+
+
+class TestHistograms:
+    def test_observations_land_in_first_covering_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("gust_s", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == pytest.approx(55.55)
+        assert snapshot["buckets"][0.1] == 1
+        assert snapshot["buckets"][1.0] == 2
+        assert snapshot["buckets"][10.0] == 3
+        assert snapshot["buckets"][float("inf")] == 4
+
+    def test_bucket_counts_are_monotonic_in_rendered_output(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("gust_s", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 0.5, 2.0, 0.001):
+            histogram.observe(value)
+        rendered = registry.render_prometheus()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in rendered.splitlines()
+            if line.startswith("gust_s_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 6  # +Inf equals _count
+
+    def test_default_buckets_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_malformed_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError, match="strictly increasing"):
+            registry.histogram("gust_bad", buckets=(1.0, 1.0, 2.0))
+
+    def test_bucket_mismatch_on_reregistration_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("gust_s", buckets=(1.0, 2.0))
+        with pytest.raises(ReproError, match="different buckets"):
+            registry.histogram("gust_s", buckets=(1.0, 3.0))
+
+
+class TestPrometheusExposition:
+    def test_golden_output_stable_order_and_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("gust_b_total", help="b counter")
+        counter.inc(3, tenant='evil"name\\with\nstuff')
+        gauge = registry.gauge("gust_a_state", help="a gauge")
+        gauge.set(2.0, tenant="zeta")
+        gauge.set(1.0, tenant="alpha")
+        expected = (
+            "# HELP gust_a_state a gauge\n"
+            "# TYPE gust_a_state gauge\n"
+            'gust_a_state{tenant="alpha"} 1\n'
+            'gust_a_state{tenant="zeta"} 2\n'
+            "# HELP gust_b_total b counter\n"
+            "# TYPE gust_b_total counter\n"
+            'gust_b_total{tenant="evil\\"name\\\\with\\nstuff"} 3\n'
+        )
+        assert registry.render_prometheus() == expected
+
+    def test_histogram_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "gust_s", help="h", buckets=(0.5, 1.5)
+        ).observe(1.0, phase="color")
+        expected = (
+            "# HELP gust_s h\n"
+            "# TYPE gust_s histogram\n"
+            'gust_s_bucket{phase="color",le="0.5"} 0\n'
+            'gust_s_bucket{phase="color",le="1.5"} 1\n'
+            'gust_s_bucket{phase="color",le="+Inf"} 1\n'
+            'gust_s_sum{phase="color"} 1\n'
+            'gust_s_count{phase="color"} 1\n'
+        )
+        assert registry.render_prometheus() == expected
+
+    def test_empty_family_still_renders_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("gust_quiet_total", help="never incremented")
+        rendered = registry.render_prometheus()
+        assert "# TYPE gust_quiet_total counter" in rendered
+
+    def test_rendering_is_deterministic(self):
+        registry = MetricsRegistry()
+        for tenant in ("b", "a", "c"):
+            registry.counter("gust_x_total").inc(tenant=tenant)
+        assert (
+            registry.render_prometheus() == registry.render_prometheus()
+        )
+
+
+class TestJsonAndCollectors:
+    def test_to_json_roundtrip_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("gust_x_total", help="x").inc(2, kind="k")
+        registry.histogram("gust_h", buckets=(1.0,)).observe(0.5)
+        payload = registry.to_json()
+        assert payload["gust_x_total"]["type"] == "counter"
+        assert payload["gust_x_total"]["samples"] == [
+            {"labels": {"kind": "k"}, "value": 2.0}
+        ]
+        assert payload["gust_h"]["samples"][0]["count"] == 1
+
+    def test_collectors_run_before_exposition(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("gust_live_state")
+        state = {"value": 0.0}
+        registry.register_collector(
+            lambda: gauge.set(state["value"])
+        )
+        state["value"] = 7.0
+        assert "gust_live_state 7" in registry.render_prometheus()
+        state["value"] = 9.0
+        assert "gust_live_state 9" in registry.render_prometheus()
+
+    def test_raising_collector_is_counted_not_fatal(self):
+        registry = MetricsRegistry()
+
+        def bad_collector():
+            raise RuntimeError("wobble")
+
+        registry.register_collector(bad_collector)
+        rendered = registry.render_prometheus()
+        assert "gust_obs_collector_errors_total 1" in rendered
+
+    def test_reset_drops_samples_keeps_families(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("gust_x_total")
+        counter.inc()
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.counter("gust_x_total") is counter
+
+
+def test_gauge_reuses_counter_rendering():
+    gauge = MetricsRegistry().gauge("gust_g")
+    assert gauge.render() == []
+    gauge.set(1.5)
+    assert gauge.render() == ["gust_g 1.5"]

@@ -1,0 +1,182 @@
+"""Tracer: nesting, ring bound, clocking, ambient activation, export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+def fake_clock(values):
+    """A deterministic clock yielding the given instants in order."""
+    iterator = iter(values)
+    return lambda: next(iterator)
+
+
+class TestSpans:
+    def test_span_records_name_timing_and_args(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 3.5]))
+        with tracer.span("work", cat="test", k=7):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["ph"] == "X"
+        assert event["ts_s"] == pytest.approx(1.0)
+        assert event["dur_s"] == pytest.approx(2.5)
+        assert event["args"] == {"k": 7}
+
+    def test_nesting_tracked_via_thread_local_stack(self):
+        tracer = Tracer(clock=fake_clock([0.0] + [float(i) for i in range(8)]))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events()
+        assert (inner["name"], inner["depth"]) == ("inner", 1)
+        assert (outer["name"], outer["depth"]) == ("outer", 0)
+
+    def test_exception_annotates_and_propagates(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 2.0]))
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (event,) = tracer.events()
+        assert event["args"]["error"] == "ValueError"
+
+    def test_annotate_mid_span(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 2.0]))
+        with tracer.span("work") as span:
+            span.annotate(rows=128)
+        assert tracer.events()[0]["args"] == {"rows": 128}
+
+    def test_instant_event(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0]))
+        tracer.instant("enqueue", tenant="A")
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["dur_s"] == 0.0
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        depths = {}
+
+        def worker(name):
+            with tracer.span(name):
+                depths[name] = len(tracer._local.stack)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(depths.values()) == {1}
+        assert len(tracer.events()) == 3
+
+
+class TestRingBuffer:
+    def test_retention_is_bounded_oldest_dropped(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        names = [event["name"] for event in tracer.events()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_clear_resets(self):
+        tracer = Tracer(capacity=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        with tracer.span("anything"):
+            pass
+        tracer.instant("nothing")
+        assert len(tracer) == 0
+
+    def test_module_span_is_null_when_no_ambient(self, monkeypatch):
+        monkeypatch.delenv(trace.ENV_TRACE, raising=False)
+        assert trace.span("x") is NULL_SPAN
+
+    def test_installed_disabled_tracer_forces_off(self, monkeypatch):
+        monkeypatch.setenv(trace.ENV_TRACE, "1")
+        with trace.overridden(Tracer(enabled=False)):
+            assert trace.active_tracer() is None
+            assert trace.span("x") is NULL_SPAN
+
+
+class TestAmbient:
+    def test_env_activates_and_caches_one_tracer(self, monkeypatch):
+        monkeypatch.setenv(trace.ENV_TRACE, "1")
+        first = trace.active_tracer()
+        assert first is not None and first.enabled
+        assert trace.active_tracer() is first
+        monkeypatch.delenv(trace.ENV_TRACE)
+        assert trace.active_tracer() is None
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "", "no"])
+    def test_falsy_env_values_stay_off(self, monkeypatch, value):
+        monkeypatch.setenv(trace.ENV_TRACE, value)
+        assert trace.active_tracer() is None
+
+    def test_overridden_restores_previous(self):
+        mine = Tracer()
+        with trace.overridden(mine):
+            assert trace.active_tracer() is mine
+            with mine.span("inside"):
+                pass
+        assert len(mine) == 1
+
+    def test_module_span_records_into_ambient(self):
+        tracer = Tracer()
+        with trace.overridden(tracer):
+            with trace.span("ambient-span"):
+                pass
+            trace.instant("ambient-instant")
+        names = [event["name"] for event in tracer.events()]
+        assert names == ["ambient-span", "ambient-instant"]
+
+
+class TestChromeExport:
+    def test_chrome_trace_structure(self):
+        tracer = Tracer(clock=fake_clock([0.0, 0.5, 1.5]))
+        with tracer.span("compile.partition", cat="compile", windows=3):
+            pass
+        trace_json = tracer.chrome_trace()
+        assert trace_json["displayTimeUnit"] == "ms"
+        (event,) = trace_json["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(0.5e6)
+        assert event["dur"] == pytest.approx(1.0e6)
+        assert {"pid", "tid"} <= set(event)
+        assert event["args"] == {"windows": 3}
+
+    def test_non_json_args_are_repred(self):
+        tracer = Tracer(clock=fake_clock([0.0, 0.0, 1.0]))
+        with tracer.span("s", payload=object()):
+            pass
+        args = tracer.chrome_trace()["traceEvents"][0]["args"]
+        assert isinstance(args["payload"], str)
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        tracer = Tracer(clock=fake_clock([0.0, 0.0, 1.0]))
+        with tracer.span("s"):
+            pass
+        out = tmp_path / "trace.json"
+        count = tracer.export(out)
+        assert count == 1
+        loaded = json.loads(out.read_text())
+        assert loaded["traceEvents"][0]["name"] == "s"

@@ -315,3 +315,67 @@ class TestServe:
         code = main(["serve", "--requests", "0"])
         assert code == 2
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_stats_local_workload_prints_prometheus(self, capsys):
+        code = main(["stats", "--dim", "64", "--requests", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE gust_requests_total counter" in out
+        assert "gust_batch_size_bucket" in out
+        assert out.rstrip().startswith("# ")
+
+    def test_stats_json_parses(self, capsys):
+        import json
+
+        code = main(["stats", "--json", "--dim", "64", "--requests", "8"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gust_requests_total"]["type"] == "counter"
+
+    def test_stats_unreachable_url_exits_one(self, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        code = main(["stats", "--url", f"http://127.0.0.1:{free_port}"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_export_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "export", "--out", str(out), "--dim", "64",
+             "--length", "16"]
+        )
+        assert code == 0
+        assert "trace events" in capsys.readouterr().out
+        events = json.loads(out.read_text())["traceEvents"]
+        names = {event["name"] for event in events}
+        assert "compile.coloring" in names
+        assert "replay.execute" in names
+
+    def test_serve_with_metrics_port_and_trace(self, tmp_path, capsys):
+        import json
+
+        trace_out = tmp_path / "serve-trace.json"
+        code = main(
+            [
+                "serve", "--tenants", "1", "--clients", "2",
+                "--requests", "12", "--dim", "64", "--length", "16",
+                "--metrics-port", "0", "--trace", str(trace_out),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified=True" in out
+        assert "/metrics" in out
+        names = {
+            event["name"]
+            for event in json.loads(trace_out.read_text())["traceEvents"]
+        }
+        assert {"serve.batch", "serve.kernel", "serve.enqueue"} <= names
