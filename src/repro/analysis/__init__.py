@@ -1,25 +1,34 @@
 """Project contract checker: static lint rules plus runtime validators.
 
-Static side (``repro lint``): AST rules R1–R4 over the repo's own
-source — bit-identity (R1), lock discipline (R2), removed-shim usage
-(R3), and backend capability hygiene (R4) — with ``# lint:
-disable=<rule>`` suppressions and unused-suppression warnings (W1).
+Static side (``repro lint``): a two-phase analyzer.  Phase 1 parses
+every target module once (or restores it from the content-hash-keyed
+incremental cache) into a shared project model; phase 2 runs the
+per-file AST rules — bit-identity (R1), lock discipline (R2),
+removed-shim usage (R3), backend capability hygiene (R4), exception
+hygiene (R5), clock hygiene (R6), deterministic-kernel hygiene (R9) —
+plus the cross-file rules over the model: import layering and cycle
+freedom (R7) and public-API drift against ``api_manifest.json`` (R8).
+``# lint: disable=<rule>`` suppresses in place; unused suppressions
+warn as ``W1`` and unknown rule IDs as ``W2``.
 
 Runtime side: :func:`validation_enabled` gates ``ExecutionPlan`` /
 ``Schedule`` structural validation behind ``GUST_VALIDATE=1``, and
 :class:`LockOrderMonitor` instruments live locks to fail tests on
 lock-order inversion.
 
-Import discipline: nothing in this package may import ``repro.core`` —
-core imports :mod:`repro.analysis.runtime` at module load, and a
-reverse edge would be a cycle.
+Import discipline — now machine-checked by R7 on this very package:
+nothing here may import anything outside the stdlib, ``repro.errors``,
+and itself.  Core imports :mod:`repro.analysis.runtime` at module
+load, and a reverse edge would be a cycle.
 """
 
 from repro.analysis.findings import Finding, SourceFile
 from repro.analysis.lockcheck import LockOrderError, LockOrderMonitor
+from repro.analysis.project import ProjectModel
 from repro.analysis.runner import (
     RULE_DOCS,
     LintReport,
+    build_model,
     lint_file,
     lint_paths,
 )
@@ -30,8 +39,10 @@ __all__ = [
     "LintReport",
     "LockOrderError",
     "LockOrderMonitor",
+    "ProjectModel",
     "RULE_DOCS",
     "SourceFile",
+    "build_model",
     "lint_file",
     "lint_paths",
     "validation_enabled",

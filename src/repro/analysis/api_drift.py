@@ -1,0 +1,173 @@
+"""Rule R8: the public API surface matches the checked-in manifest.
+
+``src/repro/api_manifest.json`` records every public module's public
+symbols with their signatures (functions: rendered argument lists;
+classes: bases, annotated fields, public-method signatures; ``__all__``
+re-exports as bare names).  ``repro lint`` recomputes that table from
+the project model on every run and reports **any** difference — a
+changed signature, a removed symbol, and also a newly added one — as an
+R8 finding.
+
+The point is not to forbid API evolution but to make it *deliberate*:
+the serving front end (ROADMAP item 1) and the GPU backend (item 2)
+will both build on this surface, and a signature that drifts without a
+manifest update is exactly the change that silently breaks callers
+living in another process or repo.  The workflow is::
+
+    $ repro lint                  # fails with R8 naming the drift
+    $ repro lint --update-api     # regenerate the manifest, review the
+    $ git diff api_manifest.json  # diff alongside the code change
+
+The manifest round-trips byte-for-byte through ``--update-api``
+(sorted keys, fixed indentation), so "no accidental drift" is a
+zero-diff check in CI.
+
+R8 runs when linting the default target (the whole installed package)
+or when an explicit manifest is supplied; partial-path lints skip it,
+since a subset of the tree cannot be compared against a whole-tree
+manifest without reporting every unvisited module as deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectModel
+
+RULE = "R8"
+
+#: The checked-in manifest, shipped inside the package.
+DEFAULT_MANIFEST_NAME = "api_manifest.json"
+
+
+def default_manifest_path() -> Path:
+    return Path(__file__).resolve().parents[1] / DEFAULT_MANIFEST_NAME
+
+
+def _is_public_module(module: str) -> bool:
+    return all(not part.startswith("_") for part in module.split("."))
+
+
+def build_manifest(model: ProjectModel) -> dict[str, dict[str, dict]]:
+    """``{module: {symbol: descriptor}}`` for every public module.
+
+    Descriptors are the project model's symbol table minus the ``line``
+    fields (line numbers are presentation, not API).
+    """
+    manifest: dict[str, dict[str, dict]] = {}
+    for info in model.modules.values():
+        if not _is_public_module(info.module):
+            continue
+        symbols: dict[str, dict] = {}
+        for name, descriptor in info.api.items():
+            cleaned = {
+                key: value
+                for key, value in descriptor.items()
+                if key != "line"
+            }
+            symbols[name] = cleaned
+        manifest[info.module] = symbols
+    return manifest
+
+
+def render_manifest(manifest: dict) -> str:
+    """The canonical byte form: sorted keys, two-space indent."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def write_manifest(model: ProjectModel, path: Path) -> int:
+    """Regenerate ``path`` from the model; returns the module count."""
+    manifest = build_manifest(model)
+    path.write_text(render_manifest(manifest), encoding="utf-8")
+    return len(manifest)
+
+
+def load_manifest(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+_REGEN = "run `repro lint --update-api` and review the manifest diff"
+
+
+def check_model(model: ProjectModel, manifest_path: Path) -> list[Finding]:
+    """R8 findings: computed public surface vs the checked-in manifest."""
+    manifest = load_manifest(manifest_path)
+    if manifest is None:
+        return [
+            Finding(
+                RULE,
+                str(manifest_path),
+                1,
+                "API manifest missing or unreadable; " + _REGEN,
+            )
+        ]
+    computed = build_manifest(model)
+    by_name = model.by_name
+    findings: list[Finding] = []
+
+    for module in sorted(set(manifest) - set(computed)):
+        findings.append(
+            Finding(
+                RULE,
+                str(manifest_path),
+                1,
+                f"module {module} is in the API manifest but gone from "
+                "the tree; " + _REGEN,
+            )
+        )
+    for module in sorted(set(computed) - set(manifest)):
+        findings.append(
+            Finding(
+                RULE,
+                str(by_name[module].path),
+                1,
+                f"public module {module} is not in the API manifest; "
+                + _REGEN,
+            )
+        )
+    for module in sorted(set(computed) & set(manifest)):
+        recorded = manifest[module]
+        current = computed[module]
+        info = by_name[module]
+        for symbol in sorted(set(recorded) - set(current)):
+            findings.append(
+                Finding(
+                    RULE,
+                    str(info.path),
+                    1,
+                    f"public symbol {module}.{symbol} was removed (or "
+                    "renamed) without a manifest update; " + _REGEN,
+                )
+            )
+        for symbol in sorted(set(current) - set(recorded)):
+            line = info.api.get(symbol, {}).get("line", 1)
+            findings.append(
+                Finding(
+                    RULE,
+                    str(info.path),
+                    line,
+                    f"new public symbol {module}.{symbol} is not in the "
+                    "API manifest; " + _REGEN,
+                )
+            )
+        for symbol in sorted(set(current) & set(recorded)):
+            if current[symbol] != recorded[symbol]:
+                line = info.api.get(symbol, {}).get("line", 1)
+                findings.append(
+                    Finding(
+                        RULE,
+                        str(info.path),
+                        line,
+                        f"signature of {module}.{symbol} drifted from "
+                        "the API manifest "
+                        f"(manifest: {json.dumps(recorded[symbol], sort_keys=True)}; "
+                        f"tree: {json.dumps(current[symbol], sort_keys=True)}); "
+                        + _REGEN,
+                    )
+                )
+    return findings

@@ -20,6 +20,7 @@ would create an import cycle.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
@@ -54,10 +55,17 @@ class SourceFile:
     tree: ast.Module
     suppressions: dict[int, set[str]] = field(default_factory=dict)
     guards: dict[int, str] = field(default_factory=dict)
+    #: sha256 of the raw bytes — the incremental lint cache's content key.
+    content_hash: str = ""
 
     @classmethod
     def parse(cls, path: Path) -> "SourceFile":
-        text = path.read_text(encoding="utf-8")
+        return cls.from_bytes(path, path.read_bytes())
+
+    @classmethod
+    def from_bytes(cls, path: Path, raw: bytes) -> "SourceFile":
+        content_hash = hashlib.sha256(raw).hexdigest()
+        text = raw.decode("utf-8")
         tree = ast.parse(text, filename=str(path))
         suppressions: dict[int, set[str]] = {}
         guards: dict[int, str] = {}
@@ -76,7 +84,7 @@ class SourceFile:
             match = _GUARDED_RE.search(token.string)
             if match:
                 guards[line] = match.group(1)
-        return cls(path, text, tree, suppressions, guards)
+        return cls(path, text, tree, suppressions, guards, content_hash)
 
     def finding(
         self, rule: str, node: ast.AST, message: str, *, warning: bool = False

@@ -1,0 +1,267 @@
+"""Rule R7: import layering and cycle freedom over the project model.
+
+The architecture this repo has converged on is a strict layering —
+each package may import its own layer and anything below, never above:
+
+    =====  ==============================  =================================
+    layer  packages                        role
+    =====  ==============================  =================================
+    5      cli, __main__, repro (root)     entry points / aggregator
+    4      serve, eval                     traffic + experiments
+    3      accelerators, solvers, energy   workloads over the core
+    2      core                            scheduling/plans/backends/store
+    1      sparse, graph, hw,              formats, coloring math, models,
+           obs, faults, analysis           and the restricted utilities
+    0      errors, types                   leaf vocabulary
+    =====  ==============================  =================================
+
+Three additional contracts, previously enforced by docstrings only:
+
+* **Restricted packages** — ``obs``, ``faults``, and ``analysis`` may
+  import only the standard library, ``repro.errors``, and themselves.
+  They sit below ``core`` *and* ``serve`` precisely so both can import
+  them freely (runtime validation hooks, fault probes, clock seam);
+  any heavier dependency would recreate the cycles this rule exists to
+  prevent, and a third-party import (numpy!) would break the
+  "stdlib-only" promise their docstrings make.
+* **Cycle freedom** — any load-time import cycle anywhere in the model
+  is fatal, whatever the layers involved.  Lazy (function-body) imports
+  are excluded from cycle detection: deferring an import is the
+  sanctioned way to break a genuine runtime cycle (``core.store`` ->
+  ``core.cache`` does exactly this), and the deferral makes the cycle
+  harmless at load time.  They still count for layering.
+* **Type-only imports are free** — an import under ``if TYPE_CHECKING:``
+  is not a runtime dependency, so it neither violates layers nor forms
+  cycles.
+
+The layer map keys on the path segment *under the root package* and
+only constrains the package named in :data:`ROOT_PACKAGE`; foreign
+trees handed to ``repro lint`` still get cycle detection, nothing more.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    STDLIB_MODULES,
+    ImportEdge,
+    ModuleInfo,
+    ProjectModel,
+)
+
+RULE = "R7"
+
+#: The package the layer map below describes.
+ROOT_PACKAGE = "repro"
+
+#: Lowest to highest.  A module's segment is the first dotted component
+#: after the root (`repro.core.plan` -> `core`); top-level modules are
+#: their own segment (`repro.errors` -> `errors`), and the root
+#: ``__init__`` itself is the aggregator at the top.
+LAYERS: tuple[frozenset[str], ...] = (
+    frozenset({"errors", "types"}),
+    frozenset({"sparse", "graph", "hw", "obs", "faults", "analysis"}),
+    frozenset({"core"}),
+    frozenset({"accelerators", "solvers", "energy"}),
+    frozenset({"serve", "eval"}),
+    frozenset({"cli", "__main__", "__root__"}),
+)
+
+#: Packages restricted to stdlib + ``repro.errors`` + themselves.
+RESTRICTED: frozenset[str] = frozenset({"obs", "faults", "analysis"})
+
+#: The only repro package a restricted package may import.
+RESTRICTED_ALLOWED: frozenset[str] = frozenset({"errors"})
+
+_LAYER_OF: dict[str, int] = {
+    segment: index for index, group in enumerate(LAYERS) for segment in group
+}
+
+
+def segment_of(module: str) -> str | None:
+    """Layer-map segment of a dotted module, or None outside the root."""
+    parts = module.split(".")
+    if parts[0] != ROOT_PACKAGE:
+        return None
+    if len(parts) == 1:
+        return "__root__"
+    return parts[1]
+
+
+def _layer(module: str) -> int | None:
+    segment = segment_of(module)
+    if segment is None:
+        return None
+    return _LAYER_OF.get(segment)
+
+
+def _restricted_violations(model: ProjectModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for info in model.modules.values():
+        segment = segment_of(info.module)
+        if segment not in RESTRICTED:
+            continue
+        for raw in info.raw_imports:
+            if raw.type_checking or raw.level > 0:
+                continue
+            top = raw.module.split(".", 1)[0]
+            if not top or top in STDLIB_MODULES:
+                continue
+            if top == ROOT_PACKAGE:
+                parts = raw.module.split(".")
+                inner = parts[1] if len(parts) > 1 else ""
+                # `from repro import faults` style: resolve the imported
+                # names, not the bare root.
+                inner_names = (
+                    {inner} if inner else set(raw.names) or {"__root__"}
+                )
+                bad = inner_names - RESTRICTED_ALLOWED - {segment}
+                if not bad:
+                    continue
+                what = ", ".join(f"repro.{name}" for name in sorted(bad))
+            else:
+                what = top
+            findings.append(
+                Finding(
+                    RULE,
+                    str(info.path),
+                    raw.line,
+                    f"restricted package '{segment}' imports {what}; "
+                    f"repro.{segment} is limited to the stdlib, "
+                    "repro.errors, and itself so core/serve can import "
+                    "it without cycles "
+                    "(# lint: disable=R7 for a justified exception)",
+                )
+            )
+    return findings
+
+
+def _layer_violations(
+    model: ProjectModel, edges: list[ImportEdge]
+) -> list[Finding]:
+    by_name = model.by_name
+    findings: list[Finding] = []
+    for edge in edges:
+        if edge.type_checking:
+            continue
+        if segment_of(edge.importer) in RESTRICTED:
+            continue  # the restricted check reports these, more precisely
+        importer_layer = _layer(edge.importer)
+        target_layer = _layer(edge.target)
+        if importer_layer is None or target_layer is None:
+            continue
+        if importer_layer >= target_layer:
+            continue
+        info = by_name[edge.importer]
+        importer_segment = segment_of(edge.importer)
+        target_segment = segment_of(edge.target)
+        findings.append(
+            Finding(
+                RULE,
+                str(info.path),
+                edge.line,
+                f"layering violation: '{importer_segment}' (layer "
+                f"{importer_layer}) imports {edge.target} "
+                f"('{target_segment}', layer {target_layer}); "
+                "lower layers must not import higher ones — invert the "
+                "dependency, gate it under TYPE_CHECKING if type-only, "
+                "or move the code "
+                "(# lint: disable=R7 for a justified exception)",
+            )
+        )
+    return findings
+
+
+def _cycles(
+    model: ProjectModel, edges: list[ImportEdge]
+) -> list[Finding]:
+    """Load-time import cycles, one finding per strongly-connected set."""
+    graph: dict[str, set[str]] = {}
+    edge_lines: dict[tuple[str, str], int] = {}
+    for edge in edges:
+        if not edge.load_time:
+            continue
+        graph.setdefault(edge.importer, set()).add(edge.target)
+        graph.setdefault(edge.target, set())
+        edge_lines.setdefault((edge.importer, edge.target), edge.line)
+
+    # Iterative Tarjan SCC: recursion depth would otherwise track the
+    # longest import chain in the tree.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work: list[tuple[str, list[str] | None]] = [(start, None)]
+        while work:
+            node, pending = work[-1]
+            if pending is None:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+                pending = sorted(graph[node])
+                work[-1] = (node, pending)
+            advanced = False
+            while pending:
+                successor = pending.pop(0)
+                if successor not in index:
+                    work[-1] = (node, pending)
+                    work.append((successor, None))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    low[node] = min(low[node], index[successor])
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    by_name = model.by_name
+    findings: list[Finding] = []
+    for component in sorted(sccs):
+        members = set(component)
+        anchor = component[0]
+        anchor_target = next(
+            target for target in sorted(graph[anchor]) if target in members
+        )
+        line = edge_lines[(anchor, anchor_target)]
+        info = by_name.get(anchor)
+        path = str(info.path) if info is not None else anchor
+        findings.append(
+            Finding(
+                RULE,
+                path,
+                line,
+                "load-time import cycle: "
+                + " -> ".join(component + [component[0]])
+                + "; break it by inverting an edge or deferring one "
+                "import into the function that needs it",
+            )
+        )
+    return findings
+
+
+def check_model(model: ProjectModel) -> list[Finding]:
+    """All R7 findings for the model: layers, restrictions, cycles."""
+    edges = model.edges()
+    findings = _restricted_violations(model)
+    findings.extend(_layer_violations(model, edges))
+    findings.extend(_cycles(model, edges))
+    return findings

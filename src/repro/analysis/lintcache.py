@@ -1,0 +1,165 @@
+"""Content-hash-keyed incremental cache for ``repro lint``.
+
+Phase 1 of the analyzer does all the per-file work — parse, per-file
+rules, import/API extraction — and *all* of it is a pure function of
+the file's bytes (plus the ruleset version).  So the cache keys each
+file's payload by ``sha256(bytes)``: a warm run re-reads bytes (cheap,
+and unavoidable to compute the hash) but re-parses **nothing**
+unchanged, restoring per-file findings, the raw import list, the
+public-API table, and the suppression table straight from JSON.  The
+cross-file rules (R7 layering/cycles, R8 API drift) are recomputed
+every run over the restored model — they are graph walks over a few
+hundred nodes, not parses.
+
+Storage is one JSON file under the gust cache root (``GUST_CACHE_DIR``
+> ``XDG_CACHE_HOME`` > ``~/.cache/gust`` — the same resolution the
+schedule store uses), named per ruleset version and Python minor
+version so a rule change or interpreter bump invalidates wholesale.
+Writes are atomic (write-then-rename, the repo convention); a missing
+or corrupt cache file degrades to a cold run, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, RawImport
+
+#: Bump whenever any rule or extraction changes meaning: every cached
+#: payload is invalidated at once.
+RULESET_VERSION = 1
+
+
+def default_cache_path() -> Path:
+    root = os.environ.get("GUST_CACHE_DIR")
+    if root is None:
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        root = (
+            str(Path(xdg) / "gust")
+            if xdg
+            else str(Path.home() / ".cache" / "gust")
+        )
+    name = (
+        f"lintcache-v{RULESET_VERSION}"
+        f"-py{sys.version_info[0]}{sys.version_info[1]}.json"
+    )
+    return Path(root) / name
+
+
+def _finding_to_json(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+        "warning": finding.warning,
+    }
+
+
+def _finding_from_json(payload: dict) -> Finding:
+    return Finding(
+        payload["rule"],
+        payload["path"],
+        payload["line"],
+        payload["message"],
+        payload["warning"],
+    )
+
+
+def entry_from_info(info: ModuleInfo) -> dict:
+    return {
+        "hash": info.content_hash,
+        "imports": [raw.to_json() for raw in info.raw_imports],
+        "api": info.api,
+        "suppressions": {
+            str(line): list(rules)
+            for line, rules in info.suppressions.items()
+        },
+        "findings": [_finding_to_json(f) for f in info.findings],
+    }
+
+
+def info_from_entry(path: Path, module: str, entry: dict) -> ModuleInfo:
+    return ModuleInfo(
+        path=path,
+        module=module,
+        content_hash=entry["hash"],
+        raw_imports=tuple(
+            RawImport.from_json(raw) for raw in entry["imports"]
+        ),
+        api=entry["api"],
+        suppressions={
+            int(line): tuple(rules)
+            for line, rules in entry["suppressions"].items()
+        },
+        findings=tuple(_finding_from_json(f) for f in entry["findings"]),
+        parsed=False,
+    )
+
+
+@dataclass
+class LintCache:
+    """Per-path payloads keyed by content hash, with hit/miss counters."""
+
+    path: Path | None
+    entries: dict[str, dict] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    _touched: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | None) -> "LintCache":
+        if path is None:
+            return cls(None)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            entries = payload["entries"]
+            if not isinstance(entries, dict):
+                raise ValueError("malformed cache")
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            entries = {}
+        return cls(path, entries)
+
+    def lookup(self, file_path: Path, content_hash: str) -> dict | None:
+        entry = self.entries.get(str(file_path))
+        if entry is not None and entry.get("hash") == content_hash:
+            self.hits += 1
+            self._touched[str(file_path)] = entry
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, file_path: Path, entry: dict) -> None:
+        self.entries[str(file_path)] = entry
+        self._touched[str(file_path)] = entry
+
+    def save(self) -> None:
+        """Persist only this run's paths (bounds growth), atomically."""
+        if self.path is None:
+            return
+        payload = {
+            "ruleset": RULESET_VERSION,
+            "entries": self._touched,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                dir=self.path.parent,
+                prefix=self.path.name + ".",
+                suffix=".tmp",
+                delete=False,
+                encoding="utf-8",
+            )
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, self.path)
+        except OSError:
+            # A read-only cache dir degrades to always-cold, not a crash.
+            pass

@@ -1,0 +1,420 @@
+"""Phase 1 of the two-phase analyzer: the shared project model.
+
+``repro lint`` used to be a bag of independent ``check(source)``
+functions, each seeing one file at a time.  The contracts that actually
+keep this codebase safe to grow — layered imports, a frozen public API,
+deterministic kernels — span files, so phase 1 now parses every target
+module exactly once into a :class:`ProjectModel`:
+
+* a :class:`ModuleInfo` per file — dotted module name (derived by
+  walking up through ``__init__.py`` packages), raw per-file findings,
+  suppression table, and the two extraction products below;
+* a static import graph: every ``import``/``from`` statement as a
+  :class:`RawImport`, classified as *load-time* (module level),
+  *lazy* (inside a function body — cannot participate in an import
+  cycle), or *type-only* (under ``if TYPE_CHECKING:`` — not a runtime
+  dependency at all), and resolved against the model's own module set
+  so ``from repro.core import plan`` is an edge to ``repro.core.plan``,
+  not to the package ``__init__``;
+* a public-symbol table per module: top-level functions, classes
+  (bases, annotated fields, public-method signatures), and ``__all__``
+  re-exports, with signatures rendered from the AST — the input to the
+  R8 API-drift rule.
+
+Everything here is stdlib-only (the package contract, enforced by R7 on
+this very package): no numpy, no repro.core.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, SourceFile
+
+#: Module roots that never count as third-party for the restricted
+#: packages (R7): the standard library plus ``__future__``.
+STDLIB_MODULES = frozenset(sys.stdlib_module_names) | {"__future__"}
+
+
+@dataclass(frozen=True)
+class RawImport:
+    """One ``import``/``from`` statement, before cross-file resolution.
+
+    Kept in as-written form (module text, imported names, relative
+    level) so it serializes into the lint cache; resolution against the
+    model's module set happens per run in :meth:`ProjectModel.edges`.
+    """
+
+    module: str
+    names: tuple[str, ...]
+    level: int
+    line: int
+    lazy: bool
+    type_checking: bool
+
+    def to_json(self) -> dict:
+        return {
+            "module": self.module,
+            "names": list(self.names),
+            "level": self.level,
+            "line": self.line,
+            "lazy": self.lazy,
+            "type_checking": self.type_checking,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RawImport":
+        return cls(
+            payload["module"],
+            tuple(payload["names"]),
+            payload["level"],
+            payload["line"],
+            payload["lazy"],
+            payload["type_checking"],
+        )
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """A resolved dependency: ``importer`` needs ``target`` at ``line``."""
+
+    importer: str
+    target: str
+    line: int
+    lazy: bool
+    type_checking: bool
+
+    @property
+    def load_time(self) -> bool:
+        """True when the import runs while the module itself loads."""
+        return not self.lazy and not self.type_checking
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+def extract_imports(tree: ast.Module) -> tuple[RawImport, ...]:
+    """All import statements in ``tree``, classified lazy/type-only."""
+    records: list[RawImport] = []
+
+    def visit(node: ast.AST, lazy: bool, type_checking: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_lazy = lazy
+            child_tc = type_checking
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_lazy = True
+            elif isinstance(child, ast.If) and _is_type_checking_test(
+                child.test
+            ):
+                for stmt in child.body:
+                    visit_stmt(stmt, child_lazy, True)
+                for stmt in child.orelse:
+                    visit_stmt(stmt, child_lazy, child_tc)
+                continue
+            visit_stmt(child, child_lazy, child_tc)
+
+    def visit_stmt(child: ast.AST, lazy: bool, type_checking: bool) -> None:
+        if isinstance(child, ast.Import):
+            for alias in child.names:
+                records.append(
+                    RawImport(
+                        alias.name, (), 0, child.lineno, lazy, type_checking
+                    )
+                )
+        elif isinstance(child, ast.ImportFrom):
+            records.append(
+                RawImport(
+                    child.module or "",
+                    tuple(alias.name for alias in child.names),
+                    child.level,
+                    child.lineno,
+                    lazy,
+                    type_checking,
+                )
+            )
+        visit(child, lazy, type_checking)
+
+    visit(tree, False, False)
+    return tuple(records)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` exists.
+
+    ``src/repro/core/plan.py`` -> ``repro.core.plan`` (because
+    ``src/`` has no ``__init__.py``); a loose file outside any package
+    is just its stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+# ---------------------------------------------------------------------------
+# Public-API extraction (the R8 input)
+
+
+def _format_arguments(args: ast.arguments) -> str:
+    """Render an ``ast.arguments`` the way ``inspect.signature`` would."""
+    rendered: list[str] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults = list(args.defaults)
+    # Defaults right-align against the positional parameters.
+    pad: list[ast.expr | None] = [None] * (len(positional) - len(defaults))
+    padded = pad + defaults
+
+    def one(arg: ast.arg, default: ast.expr | None) -> str:
+        text = arg.arg
+        if arg.annotation is not None:
+            text += f": {ast.unparse(arg.annotation)}"
+            if default is not None:
+                text += f" = {ast.unparse(default)}"
+        elif default is not None:
+            text += f"={ast.unparse(default)}"
+        return text
+
+    for index, arg in enumerate(positional):
+        rendered.append(one(arg, padded[index]))
+        if args.posonlyargs and index == len(args.posonlyargs) - 1:
+            rendered.append("/")
+    if args.vararg is not None:
+        rendered.append("*" + one(args.vararg, None))
+    elif args.kwonlyargs:
+        rendered.append("*")
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        rendered.append(one(arg, default))
+    if args.kwarg is not None:
+        rendered.append("**" + one(args.kwarg, None))
+    return "(" + ", ".join(rendered) + ")"
+
+
+def _function_descriptor(node: ast.FunctionDef | ast.AsyncFunctionDef) -> dict:
+    signature = _format_arguments(node.args)
+    if node.returns is not None:
+        signature += f" -> {ast.unparse(node.returns)}"
+    decorators = sorted(
+        d.id
+        for d in node.decorator_list
+        if isinstance(d, ast.Name)
+        and d.id in ("property", "staticmethod", "classmethod")
+    )
+    descriptor = {"kind": "function", "signature": signature, "line": node.lineno}
+    if isinstance(node, ast.AsyncFunctionDef):
+        descriptor["kind"] = "async function"
+    if decorators:
+        descriptor["decorators"] = decorators
+    return descriptor
+
+
+def _class_descriptor(node: ast.ClassDef) -> dict:
+    fields: dict[str, str] = {}
+    methods: dict[str, dict] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if not stmt.target.id.startswith("_"):
+                fields[stmt.target.id] = ast.unparse(stmt.annotation)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = stmt.name
+            if name.startswith("_") and name != "__init__":
+                continue
+            descriptor = _function_descriptor(stmt)
+            descriptor.pop("line", None)
+            methods[name] = descriptor
+    descriptor = {
+        "kind": "class",
+        "bases": [ast.unparse(base) for base in node.bases],
+        "line": node.lineno,
+    }
+    if fields:
+        descriptor["fields"] = fields
+    if methods:
+        descriptor["methods"] = methods
+    return descriptor
+
+
+def _declared_all(tree: ast.Module) -> tuple[str, ...] | None:
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ]
+                    return tuple(names)
+    return None
+
+
+def extract_api(tree: ast.Module) -> dict[str, dict]:
+    """Public symbol table: ``{name: descriptor}`` with def lines.
+
+    Symbols are the module's top-level functions and classes whose names
+    do not start with ``_``; if the module declares ``__all__``, names
+    listed there but defined elsewhere (re-exports) are recorded with
+    ``kind: "name"`` so removing them from ``__all__`` is drift too.
+    """
+    api: dict[str, dict] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not stmt.name.startswith("_"):
+                api[stmt.name] = _function_descriptor(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            if not stmt.name.startswith("_"):
+                api[stmt.name] = _class_descriptor(stmt)
+    declared = _declared_all(tree)
+    if declared is not None:
+        for name in declared:
+            if name not in api and not name.startswith("_"):
+                api[name] = {"kind": "name", "line": 1}
+    return api
+
+
+# ---------------------------------------------------------------------------
+# The model
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the cross-file rules need to know about one file.
+
+    Restorable from the lint cache without re-parsing: all fields are
+    either path-derived (recomputed each run) or JSON round-trippable.
+    """
+
+    path: Path
+    module: str
+    content_hash: str
+    raw_imports: tuple[RawImport, ...]
+    api: dict[str, dict]
+    suppressions: dict[int, tuple[str, ...]]
+    findings: tuple[Finding, ...]
+    parsed: bool = True
+
+    @classmethod
+    def from_source(
+        cls, source: SourceFile, findings: tuple[Finding, ...]
+    ) -> "ModuleInfo":
+        return cls(
+            path=source.path,
+            module=module_name_for(source.path),
+            content_hash=source.content_hash,
+            raw_imports=extract_imports(source.tree),
+            api=extract_api(source.tree),
+            suppressions={
+                line: tuple(sorted(rules))
+                for line, rules in source.suppressions.items()
+            },
+            findings=findings,
+        )
+
+    @property
+    def root_package(self) -> str:
+        return self.module.split(".", 1)[0]
+
+
+@dataclass
+class ProjectModel:
+    """The shared phase-1 product: all modules plus the import graph."""
+
+    modules: dict[Path, ModuleInfo] = field(default_factory=dict)
+
+    def add(self, info: ModuleInfo) -> None:
+        self.modules[info.path] = info
+
+    @property
+    def by_name(self) -> dict[str, ModuleInfo]:
+        return {info.module: info for info in self.modules.values()}
+
+    def edges(self) -> list[ImportEdge]:
+        """The resolved import graph, restricted to in-model targets.
+
+        ``from pkg import name`` resolves to the submodule ``pkg.name``
+        when the model contains it, else to ``pkg`` itself; relative
+        imports resolve against the importer's package.  Imports whose
+        targets live outside the model (numpy, stdlib, uninstalled
+        optional deps) produce no edge — :mod:`repro.analysis.layers`
+        inspects those separately for the restricted packages.
+        """
+        known = set(self.by_name)
+        edges: list[ImportEdge] = []
+        for info in self.modules.values():
+            for raw in info.raw_imports:
+                base = self._resolve_base(info, raw)
+                if base is None:
+                    continue
+                targets: set[str] = set()
+                if not raw.names:
+                    if base in known:
+                        targets.add(base)
+                else:
+                    for name in raw.names:
+                        candidate = f"{base}.{name}" if base else name
+                        if candidate in known:
+                            targets.add(candidate)
+                        elif base in known:
+                            targets.add(base)
+                for target in sorted(targets):
+                    if target != info.module:
+                        edges.append(
+                            ImportEdge(
+                                info.module,
+                                target,
+                                raw.line,
+                                raw.lazy,
+                                raw.type_checking,
+                            )
+                        )
+        return edges
+
+    @staticmethod
+    def _resolve_base(info: ModuleInfo, raw: RawImport) -> str | None:
+        if raw.level == 0:
+            return raw.module
+        # Relative import: drop `level` trailing components from the
+        # importer's package path (one for the module itself).
+        parts = info.module.split(".")
+        if info.path.name == "__init__.py":
+            parts.append("")  # packages resolve one level shallower
+        if raw.level >= len(parts):
+            return None
+        base_parts = parts[: len(parts) - raw.level]
+        if raw.module:
+            base_parts.append(raw.module)
+        return ".".join(part for part in base_parts if part)
+
+    def external_imports(self, info: ModuleInfo) -> list[RawImport]:
+        """Imports of ``info`` that leave its own root package."""
+        root = info.root_package
+        out = []
+        for raw in info.raw_imports:
+            if raw.level > 0:
+                continue  # relative imports stay inside the package
+            top = raw.module.split(".", 1)[0]
+            if top and top != root:
+                out.append(raw)
+        return out

@@ -1,39 +1,74 @@
 """Discovery, orchestration, and reporting for ``repro lint``.
 
-``lint_paths()`` walks the given files/directories (default: the
-installed ``repro`` package), parses each module once, runs every rule,
-applies ``# lint: disable=<rule>`` suppressions, and reports
-suppressions that matched nothing as ``W1`` warnings.  Exit-code
-policy: findings are fatal; warnings are fatal only under ``--strict``.
+The analyzer runs in two phases:
+
+* **Phase 1 — project model.**  Every target file is hashed; unchanged
+  files restore their per-file findings, import list, API table, and
+  suppression table from the incremental cache
+  (:mod:`repro.analysis.lintcache`) without re-parsing.  Changed files
+  are parsed once into a :class:`~repro.analysis.findings.SourceFile`,
+  run through every per-file rule (R1–R6, R9), and their extraction
+  products recorded into the shared
+  :class:`~repro.analysis.project.ProjectModel`.
+* **Phase 2 — cross-file rules.**  R7 (import layering, restricted
+  packages, load-time cycle detection) and R8 (public-API drift
+  against ``api_manifest.json``) run over the model, then one global
+  suppression pass applies ``# lint: disable=<rule>`` to *all*
+  findings, reports unused suppressions as ``W1`` and unknown rule IDs
+  in suppressions as ``W2``.
+
+Exit-code policy is unchanged: findings are fatal; warnings are fatal
+only under ``--strict``.  Output renders as human text (default),
+``--format=json`` (machine-readable findings + cache statistics), or
+``--format=github`` (workflow annotation commands for inline CI
+review).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analysis import (
+    api_drift,
     bit_identity,
     clock_hygiene,
     deprecation,
+    determinism,
     exceptions_hygiene,
+    layers,
     locks,
     registry_hygiene,
 )
 from repro.analysis.findings import Finding, SourceFile
+from repro.analysis.lintcache import (
+    LintCache,
+    default_cache_path,
+    entry_from_info,
+    info_from_entry,
+)
+from repro.analysis.project import ModuleInfo, ProjectModel, module_name_for
 
 PARSE_RULE = "E1"
+MISSING_RULE = "E2"
 UNUSED_SUPPRESSION_RULE = "W1"
+UNKNOWN_SUPPRESSION_RULE = "W2"
 
-ALL_CHECKS = (
+PER_FILE_CHECKS = (
     bit_identity.check,
     locks.check,
     deprecation.check,
     registry_hygiene.check,
     exceptions_hygiene.check,
     clock_hygiene.check,
+    determinism.check,
 )
+
+#: Back-compat alias (pre-PR-10 name for the per-file rule tuple).
+ALL_CHECKS = PER_FILE_CHECKS
 
 RULE_DOCS = {
     "R1": "bit-identity: no order-sensitive/registry-bypassing reductions",
@@ -42,8 +77,16 @@ RULE_DOCS = {
     "R4": "registry hygiene: BackendCapabilities flags total and explicit",
     "R5": "exception hygiene: serving-path broad handlers re-raise or route",
     "R6": "clock hygiene: core/serve timing goes through the obs clock seam",
+    "R7": "import layering: layer map respected, restricted packages "
+    "stdlib-only, no load-time cycles",
+    "R8": "API drift: public surface matches api_manifest.json "
+    "(regenerate with --update-api)",
+    "R9": "determinism: stable sorts and no set/dict-order arrays in "
+    "plan-order-sensitive modules",
     "W1": "unused # lint: disable suppression",
+    "W2": "unknown rule ID in a # lint: disable suppression",
     "E1": "file does not parse",
+    "E2": "lint target does not exist",
 }
 
 
@@ -51,6 +94,10 @@ RULE_DOCS = {
 class LintReport:
     findings: tuple[Finding, ...]
     files_checked: int
+    #: Files parsed this run — a warm cache makes this 0.
+    files_parsed: int = 0
+    #: Files restored from the incremental cache.
+    cache_hits: int = 0
 
     @property
     def errors(self) -> tuple[Finding, ...]:
@@ -67,13 +114,54 @@ class LintReport:
             return 1
         return 0
 
-    def render(self) -> str:
-        lines = [finding.render() for finding in self.findings]
-        summary = (
-            f"repro lint: {self.files_checked} files, "
+    def summary(self) -> str:
+        return (
+            f"repro lint: {self.files_checked} files "
+            f"({self.files_parsed} parsed, {self.cache_hits} cached), "
             f"{len(self.errors)} errors, {len(self.warnings)} warnings"
         )
-        return "\n".join(lines + [summary])
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        return "\n".join(lines + [self.summary()])
+
+    def to_json(self) -> str:
+        payload = {
+            "files_checked": self.files_checked,
+            "files_parsed": self.files_parsed,
+            "cache_hits": self.cache_hits,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                    "warning": f.warning,
+                }
+                for f in self.findings
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow commands: inline PR annotations."""
+        lines = []
+        cwd = Path.cwd()
+        for f in self.findings:
+            try:
+                where = Path(f.path).resolve().relative_to(cwd)
+            except ValueError:
+                where = Path(f.path)
+            kind = "warning" if f.warning else "error"
+            message = f.message.replace("%", "%25").replace("\n", "%0A")
+            lines.append(
+                f"::{kind} file={where},line={f.line},"
+                f"title={f.rule}::{message}"
+            )
+        lines.append(self.summary())
+        return "\n".join(lines)
 
 
 def default_target() -> Path:
@@ -82,53 +170,193 @@ def default_target() -> Path:
 
 
 def iter_python_files(paths: Sequence[Path]) -> list[Path]:
-    files: list[Path] = []
+    """Target files, deduplicated by resolved path and globally sorted.
+
+    Overlapping targets (a directory plus a file inside it, the same
+    directory twice) must not double-lint a file, and the report order
+    must not depend on the order directories were passed in.
+    """
+    seen: set[Path] = set()
     for path in paths:
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
+            for found in path.rglob("*.py"):
+                seen.add(found.resolve())
         else:
-            files.append(path)
-    return files
+            seen.add(path.resolve())
+    return sorted(seen, key=str)
 
 
-def lint_file(path: Path) -> list[Finding]:
+def _run_per_file(source: SourceFile) -> tuple[Finding, ...]:
+    raw: list[Finding] = []
+    for run_check in PER_FILE_CHECKS:
+        raw.extend(run_check(source))
+    return tuple(sorted(raw, key=lambda f: (f.line, f.rule)))
+
+
+def _load_or_parse(path: Path, cache: LintCache) -> ModuleInfo:
+    """Phase-1 unit of work: one :class:`ModuleInfo`, cached by content."""
+    raw_bytes = path.read_bytes()
+    content_hash = hashlib.sha256(raw_bytes).hexdigest()
+    entry = cache.lookup(path, content_hash)
+    module = module_name_for(path)
+    if entry is not None:
+        return info_from_entry(path, module, entry)
     try:
-        source = SourceFile.parse(path)
+        source = SourceFile.from_bytes(path, raw_bytes)
     except (SyntaxError, UnicodeDecodeError) as exc:
         line = getattr(exc, "lineno", None) or 1
-        return [Finding(PARSE_RULE, str(path), line, f"cannot parse: {exc}")]
-    raw: list[Finding] = []
-    for run_check in ALL_CHECKS:
-        raw.extend(run_check(source))
+        info = ModuleInfo(
+            path=path,
+            module=module,
+            content_hash=content_hash,
+            raw_imports=(),
+            api={},
+            suppressions={},
+            findings=(
+                Finding(PARSE_RULE, str(path), line, f"cannot parse: {exc}"),
+            ),
+        )
+    else:
+        info = ModuleInfo.from_source(source, _run_per_file(source))
+    cache.store(path, entry_from_info(info))
+    return info
 
+
+def build_model(
+    files: Iterable[Path], cache: LintCache | None = None
+) -> ProjectModel:
+    """Phase 1 on its own: the shared model for the given files."""
+    if cache is None:
+        cache = LintCache(None)
+    model = ProjectModel()
+    for path in files:
+        model.add(_load_or_parse(path, cache))
+    return model
+
+
+def _apply_suppressions(
+    model: ProjectModel, cross_file: list[Finding]
+) -> list[Finding]:
+    """One global pass: suppress, then report W1 (unused) and W2 (unknown).
+
+    Cross-file findings land on import/def lines in ordinary files, so
+    the same ``# lint: disable=R7`` mechanism covers them — which is
+    why this pass runs after phase 2, over *all* findings at once.
+    """
+    by_path: dict[str, list[Finding]] = {}
+    for info in model.modules.values():
+        by_path.setdefault(str(info.path), []).extend(info.findings)
+    for finding in cross_file:
+        by_path.setdefault(finding.path, []).append(finding)
+
+    suppressions_of = {
+        str(info.path): info.suppressions for info in model.modules.values()
+    }
     kept: list[Finding] = []
-    used: set[tuple[int, str]] = set()
-    for finding in sorted(raw, key=lambda f: (f.line, f.rule)):
-        if finding.rule in source.suppressions.get(finding.line, ()):
-            used.add((finding.line, finding.rule))
-        else:
-            kept.append(finding)
-    for line in sorted(source.suppressions):
-        for rule in sorted(source.suppressions[line]):
-            if (line, rule) not in used:
-                kept.append(
-                    Finding(
-                        UNUSED_SUPPRESSION_RULE,
-                        str(path),
-                        line,
-                        f"suppression '# lint: disable={rule}' matched no "
-                        "finding",
-                        warning=True,
+    for path, raw in by_path.items():
+        suppressions = suppressions_of.get(path, {})
+        used: set[tuple[int, str]] = set()
+        for finding in raw:
+            if finding.rule in suppressions.get(finding.line, ()):
+                used.add((finding.line, finding.rule))
+            else:
+                kept.append(finding)
+        for line in sorted(suppressions):
+            for rule in sorted(suppressions[line]):
+                if rule not in RULE_DOCS:
+                    kept.append(
+                        Finding(
+                            UNKNOWN_SUPPRESSION_RULE,
+                            path,
+                            line,
+                            f"unknown rule '{rule}' in suppression "
+                            f"'# lint: disable={rule}' — known rules: "
+                            + ", ".join(sorted(RULE_DOCS)),
+                            warning=True,
+                        )
                     )
-                )
-    kept.sort(key=lambda f: (f.line, f.rule))
+                elif (line, rule) not in used:
+                    kept.append(
+                        Finding(
+                            UNUSED_SUPPRESSION_RULE,
+                            path,
+                            line,
+                            f"suppression '# lint: disable={rule}' matched "
+                            "no finding",
+                            warning=True,
+                        )
+                    )
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
     return kept
 
 
-def lint_paths(paths: Iterable[Path] | None = None) -> LintReport:
+def lint_paths(
+    paths: Iterable[Path] | None = None,
+    *,
+    use_cache: bool = True,
+    cache_path: Path | None = None,
+    api_manifest: Path | None = None,
+    update_api: bool = False,
+) -> LintReport:
+    """Run the full two-phase analyzer.
+
+    ``paths=None`` lints the installed ``repro`` package with R8
+    enabled against the checked-in manifest; explicit paths skip R8
+    unless ``api_manifest`` is supplied (a partial tree cannot be
+    diffed against a whole-tree manifest).  ``update_api=True``
+    regenerates the manifest from the model before checking, making
+    the surface change deliberate.
+    """
+    default_scope = paths is None
     targets = [Path(p) for p in paths] if paths else [default_target()]
-    files = iter_python_files(targets)
-    findings: list[Finding] = []
-    for path in files:
-        findings.extend(lint_file(path))
-    return LintReport(tuple(findings), len(files))
+
+    missing: list[Finding] = []
+    present: list[Path] = []
+    for target in targets:
+        if target.exists():
+            present.append(target)
+        else:
+            missing.append(
+                Finding(
+                    MISSING_RULE,
+                    str(target),
+                    1,
+                    "lint target does not exist",
+                )
+            )
+    files = iter_python_files(present)
+
+    cache = LintCache.load(
+        (cache_path or default_cache_path()) if use_cache else None
+    )
+    model = build_model(files, cache)
+
+    cross_file: list[Finding] = list(layers.check_model(model))
+    manifest_path = api_manifest
+    if manifest_path is None and default_scope:
+        manifest_path = api_drift.default_manifest_path()
+    if manifest_path is not None:
+        if update_api:
+            api_drift.write_manifest(model, manifest_path)
+        cross_file.extend(api_drift.check_model(model, manifest_path))
+
+    findings = missing + _apply_suppressions(model, cross_file)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    cache.save()
+    return LintReport(
+        tuple(findings),
+        files_checked=len(files),
+        files_parsed=cache.misses,
+        cache_hits=cache.hits,
+    )
+
+
+def lint_file(path: Path) -> list[Finding]:
+    """Single-file compatibility entry point (used heavily by tests).
+
+    Runs the per-file rules plus the suppression/W1/W2 pass; cross-file
+    rules see a one-module model, so R7 can only report the file's own
+    restricted-package violations and R8 is skipped entirely.
+    """
+    report = lint_paths([path], use_cache=False)
+    return list(report.findings)

@@ -293,7 +293,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     lint = commands.add_parser(
-        "lint", help="run the project contract checker (rules R1-R5)"
+        "lint", help="run the project contract checker (rules R1-R9)"
     )
     lint.add_argument(
         "paths",
@@ -303,10 +303,37 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--strict",
         action="store_true",
-        help="also fail on warnings (unused # lint: disable suppressions)",
+        help="also fail on warnings (unused/unknown # lint: disable "
+        "suppressions)",
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print rule IDs and exit"
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        dest="output_format",
+        help="output as human text, machine JSON, or GitHub workflow "
+        "annotations",
+    )
+    lint.add_argument(
+        "--update-api",
+        action="store_true",
+        help="regenerate api_manifest.json from the tree before the R8 "
+        "drift check (makes an API change deliberate)",
+    )
+    lint.add_argument(
+        "--api-manifest",
+        default=None,
+        metavar="PATH",
+        help="explicit API manifest for R8 (default: the checked-in "
+        "src/repro/api_manifest.json when linting the whole package)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental findings cache (re-parse everything)",
     )
 
     compare = commands.add_parser(
@@ -839,8 +866,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule_id in sorted(RULE_DOCS):
             print(f"{rule_id}  {RULE_DOCS[rule_id]}")
         return 0
-    report = lint_paths([Path(p) for p in args.paths] or None)
-    print(report.render())
+    report = lint_paths(
+        [Path(p) for p in args.paths] or None,
+        use_cache=not args.no_cache,
+        api_manifest=Path(args.api_manifest) if args.api_manifest else None,
+        update_api=args.update_api,
+    )
+    if args.output_format == "json":
+        print(report.to_json())
+    elif args.output_format == "github":
+        print(report.render_github())
+    else:
+        print(report.render())
     return report.exit_code(strict=args.strict)
 
 

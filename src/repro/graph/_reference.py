@@ -20,13 +20,20 @@ Do not "improve" this module; its value is that it does not change.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from repro.core.load_balance import BalancedMatrix
 from repro.errors import ColoringError
 from repro.graph.bipartite import WindowGraph
 from repro.graph.matching import hopcroft_karp
 from repro.sparse.stats import window_count
+
+if TYPE_CHECKING:
+    # Annotation-only: a load-time graph -> core import would invert the
+    # layer map (R7); `from __future__ import annotations` keeps every
+    # use below a string.
+    from repro.core.load_balance import BalancedMatrix
 
 
 def reference_greedy_matching_coloring(graph: WindowGraph) -> np.ndarray:

@@ -1,0 +1,33 @@
+"""Shared helpers for the analyzer tests: tmp-path package trees."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def write_tree(tmp_path):
+    """Materialize ``{relative_path: source}`` under ``tmp_path``.
+
+    Every directory that receives a ``.py`` file automatically gets an
+    ``__init__.py`` (unless one is given explicitly), so written trees
+    are importable packages and module-name derivation sees real
+    package roots.  Returns ``tmp_path``.
+    """
+
+    def _write(files: dict[str, str]) -> Path:
+        for relative, content in files.items():
+            path = tmp_path / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content, encoding="utf-8")
+            parent = path.parent
+            while parent != tmp_path:
+                init = parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("", encoding="utf-8")
+                parent = parent.parent
+        return tmp_path
+
+    return _write

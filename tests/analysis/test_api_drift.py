@@ -1,0 +1,152 @@
+"""Rule R8: public-API drift against the checked-in manifest."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import build_model, lint_paths
+from repro.analysis.api_drift import build_manifest, render_manifest
+
+TREE = {
+    "pkg/api.py": (
+        "def compile(matrix, *, backend='auto'):\n"
+        "    pass\n"
+        "\n"
+        "class Handle:\n"
+        "    name: str\n"
+        "    def matvec(self, x):\n"
+        "        pass\n"
+    ),
+}
+
+
+def _manifest_for(root, tmp_path):
+    model = build_model(sorted(root.rglob("*.py")))
+    manifest_path = tmp_path / "manifest.json"
+    manifest_path.write_text(
+        render_manifest(build_manifest(model)), encoding="utf-8"
+    )
+    return manifest_path
+
+
+def _r8(root, manifest_path):
+    report = lint_paths(
+        [root], use_cache=False, api_manifest=manifest_path
+    )
+    return [f for f in report.findings if f.rule == "R8"]
+
+
+def test_unchanged_surface_is_clean(write_tree, tmp_path):
+    root = write_tree(TREE)
+    manifest_path = _manifest_for(root, tmp_path)
+    assert _r8(root, manifest_path) == []
+
+
+def test_signature_change_is_flagged_at_the_def(write_tree, tmp_path):
+    root = write_tree(TREE)
+    manifest_path = _manifest_for(root, tmp_path)
+    (root / "pkg" / "api.py").write_text(
+        TREE["pkg/api.py"].replace(
+            "backend='auto'", "backend='auto', jobs=1"
+        ),
+        encoding="utf-8",
+    )
+    findings = _r8(root, manifest_path)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.path.endswith("api.py")
+    assert finding.line == 1
+    assert "signature of pkg.api.compile drifted" in finding.message
+    assert "--update-api" in finding.message
+
+
+def test_removed_symbol_is_flagged(write_tree, tmp_path):
+    root = write_tree(TREE)
+    manifest_path = _manifest_for(root, tmp_path)
+    (root / "pkg" / "api.py").write_text(
+        "class Handle:\n"
+        "    name: str\n"
+        "    def matvec(self, x):\n"
+        "        pass\n",
+        encoding="utf-8",
+    )
+    findings = _r8(root, manifest_path)
+    assert len(findings) == 1
+    assert "pkg.api.compile was removed" in findings[0].message
+
+
+def test_added_symbol_is_flagged_until_manifested(write_tree, tmp_path):
+    root = write_tree(TREE)
+    manifest_path = _manifest_for(root, tmp_path)
+    (root / "pkg" / "api.py").write_text(
+        TREE["pkg/api.py"] + "\ndef brand_new():\n    pass\n",
+        encoding="utf-8",
+    )
+    findings = _r8(root, manifest_path)
+    assert len(findings) == 1
+    assert "new public symbol pkg.api.brand_new" in findings[0].message
+    assert findings[0].line == 9  # pinned to the def
+
+
+def test_method_change_inside_class_is_drift(write_tree, tmp_path):
+    root = write_tree(TREE)
+    manifest_path = _manifest_for(root, tmp_path)
+    (root / "pkg" / "api.py").write_text(
+        TREE["pkg/api.py"].replace(
+            "def matvec(self, x):", "def matvec(self, x, out=None):"
+        ),
+        encoding="utf-8",
+    )
+    findings = _r8(root, manifest_path)
+    assert len(findings) == 1
+    assert "signature of pkg.api.Handle drifted" in findings[0].message
+
+
+def test_private_modules_are_not_manifested(write_tree, tmp_path):
+    root = write_tree(
+        dict(TREE, **{"pkg/_internal.py": "def anything(x, y):\n    pass\n"})
+    )
+    manifest_path = _manifest_for(root, tmp_path)
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    assert "pkg._internal" not in manifest
+    # ... so churning the private module is not drift.
+    (root / "pkg" / "_internal.py").write_text(
+        "def anything(x, y, z):\n    pass\n", encoding="utf-8"
+    )
+    assert _r8(root, manifest_path) == []
+
+
+def test_missing_manifest_is_one_finding(write_tree, tmp_path):
+    root = write_tree(TREE)
+    findings = _r8(root, tmp_path / "nonexistent.json")
+    assert len(findings) == 1
+    assert "missing or unreadable" in findings[0].message
+
+
+def test_update_api_round_trips_to_zero_diff(write_tree, tmp_path):
+    root = write_tree(TREE)
+    manifest_path = tmp_path / "manifest.json"
+    report = lint_paths(
+        [root],
+        use_cache=False,
+        api_manifest=manifest_path,
+        update_api=True,
+    )
+    assert [f.rule for f in report.findings] == []
+    first = manifest_path.read_bytes()
+    # Regenerating from the unchanged tree must be byte-identical.
+    lint_paths(
+        [root],
+        use_cache=False,
+        api_manifest=manifest_path,
+        update_api=True,
+    )
+    assert manifest_path.read_bytes() == first
+
+
+def test_partial_path_lint_skips_r8(write_tree):
+    # A subset of the tree cannot be diffed against a whole-tree
+    # manifest; without an explicit manifest, explicit paths skip R8.
+    root = write_tree(TREE)
+    report = lint_paths([root], use_cache=False)
+    assert [f for f in report.findings if f.rule == "R8"] == []

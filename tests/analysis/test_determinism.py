@@ -1,0 +1,174 @@
+"""Rule R9: deterministic-kernel hygiene in core/graph/serve paths."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file
+
+UNSTABLE_ARGSORT = """\
+import numpy as np
+
+def order(rows):
+    return np.argsort(rows)
+"""
+
+UNSTABLE_SORT = """\
+import numpy as np
+
+def canon(values):
+    return np.sort(values)
+"""
+
+METHOD_ARGSORT = """\
+def order(rows):
+    return rows.argsort()
+"""
+
+STABLE_OK = """\
+import numpy as np
+
+def order(rows):
+    return np.argsort(rows, kind="stable")
+
+def canon(values):
+    return np.sort(values, kind="mergesort")
+"""
+
+LEXSORT_OK = """\
+import numpy as np
+
+def order(cols, rows):
+    return np.lexsort((cols, rows))
+"""
+
+LIST_SORT_OK = """\
+def oldest_first(entries):
+    entries.sort()
+    return entries
+"""
+
+SET_TO_ARRAY = """\
+import numpy as np
+
+def dedupe(rows):
+    return np.array(list(set(rows)))
+"""
+
+DICT_KEYS_TO_ARRAY = """\
+import numpy as np
+
+def keys_of(table):
+    return np.fromiter(table.keys(), dtype=np.int64)
+"""
+
+SET_LITERAL_TO_ARRAY = """\
+import numpy as np
+
+def fixed():
+    return np.asarray({3, 1, 2})
+"""
+
+SORTED_SET_OK = """\
+import numpy as np
+
+def dedupe(rows):
+    return np.array(sorted(set(rows)))
+"""
+
+SUPPRESSED = """\
+import numpy as np
+
+def order(rows):
+    return np.argsort(rows)  # lint: disable=R9 — ties impossible here
+"""
+
+
+def _lint(tmp_path: Path, relative: str, code: str):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(code, encoding="utf-8")
+    return [f for f in lint_file(path) if f.rule == "R9"]
+
+
+class TestUnstableSorts:
+    @pytest.mark.parametrize(
+        "code,line,name",
+        [
+            (UNSTABLE_ARGSORT, 4, "np.argsort"),
+            (UNSTABLE_SORT, 4, "np.sort"),
+            (METHOD_ARGSORT, 2, ".argsort()"),
+        ],
+        ids=["np-argsort", "np-sort", "method-argsort"],
+    )
+    def test_flagged(self, tmp_path, code, line, name):
+        findings = _lint(tmp_path, "core/plan.py", code)
+        assert [(f.rule, f.line) for f in findings] == [("R9", line)]
+        assert name in findings[0].message
+
+    @pytest.mark.parametrize(
+        "code",
+        [STABLE_OK, LEXSORT_OK, LIST_SORT_OK],
+        ids=["stable-kinds", "lexsort-inherently-stable", "list-sort"],
+    )
+    def test_compliant(self, tmp_path, code):
+        assert _lint(tmp_path, "core/plan.py", code) == []
+
+
+class TestUnorderedIterationIntoArrays:
+    @pytest.mark.parametrize(
+        "code,line",
+        [
+            (SET_TO_ARRAY, 4),
+            (DICT_KEYS_TO_ARRAY, 4),
+            (SET_LITERAL_TO_ARRAY, 4),
+        ],
+        ids=["set-call", "dict-keys", "set-literal"],
+    )
+    def test_flagged(self, tmp_path, code, line):
+        findings = _lint(tmp_path, "serve/batcher.py", code)
+        assert [(f.rule, f.line) for f in findings] == [("R9", line)]
+        assert "sorted(...)" in findings[0].message
+
+    def test_sorted_wrap_canonicalizes(self, tmp_path):
+        assert _lint(tmp_path, "serve/batcher.py", SORTED_SET_OK) == []
+
+
+class TestScopeAndEscape:
+    @pytest.mark.parametrize(
+        "relative",
+        ["core/plan.py", "graph/coloring.py", "serve/registry.py"],
+        ids=["core", "graph", "serve"],
+    )
+    def test_scoped_segments(self, tmp_path, relative):
+        assert _lint(tmp_path, relative, UNSTABLE_ARGSORT) != []
+
+    @pytest.mark.parametrize(
+        "relative",
+        ["eval/metrics.py", "accelerators/gust.py", "top.py"],
+        ids=["eval", "accelerators", "top-level"],
+    )
+    def test_unscoped_segments(self, tmp_path, relative):
+        assert _lint(tmp_path, relative, UNSTABLE_ARGSORT) == []
+
+    def test_suppression(self, tmp_path):
+        path = tmp_path / "core" / "plan.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(SUPPRESSED, encoding="utf-8")
+        assert lint_file(path) == []
+
+
+def test_repo_sensitive_paths_are_r9_clean():
+    """Every shipped plan-order-sensitive module passes its own rule."""
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    targets = [
+        path
+        for segment in ("core", "graph", "serve")
+        for path in sorted((src / segment).rglob("*.py"))
+    ]
+    assert targets, "core/graph/serve sources not found"
+    for path in targets:
+        findings = [f for f in lint_file(path) if f.rule == "R9"]
+        assert findings == [], f"{path} has R9 findings: {findings}"

@@ -1,0 +1,219 @@
+"""Rule R7: layer map, restricted packages, cycle detection.
+
+These are the contracts that used to live in docstrings — "this package
+must never import ``repro.core``", "stdlib-only" — seeded here as
+synthetic violations in tmp trees, each yielding exactly the expected
+R7 finding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import lint_paths
+
+
+def _r7(root, **kwargs):
+    report = lint_paths([root], use_cache=False, **kwargs)
+    return [f for f in report.findings if f.rule == "R7"]
+
+
+class TestLayerOrdering:
+    def test_graph_importing_core_is_flagged(self, write_tree):
+        root = write_tree(
+            {
+                "repro/graph/coloring.py": (
+                    "from repro.core.plan import ExecutionPlan\n"
+                ),
+                "repro/core/plan.py": "class ExecutionPlan:\n    pass\n",
+            }
+        )
+        findings = _r7(root)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path.endswith("coloring.py")
+        assert finding.line == 1
+        assert "layering violation" in finding.message
+        assert "'graph' (layer 1)" in finding.message
+        assert "'core', layer 2" in finding.message
+
+    def test_higher_layer_importing_lower_is_fine(self, write_tree):
+        root = write_tree(
+            {
+                "repro/serve/server.py": (
+                    "from repro.core.plan import ExecutionPlan\n"
+                    "from repro.errors import ServeError\n"
+                ),
+                "repro/core/plan.py": "class ExecutionPlan:\n    pass\n",
+                "repro/errors.py": "class ServeError(Exception):\n    pass\n",
+            }
+        )
+        assert _r7(root) == []
+
+    def test_type_checking_import_is_exempt(self, write_tree):
+        root = write_tree(
+            {
+                "repro/graph/coloring.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.core.plan import ExecutionPlan\n"
+                ),
+                "repro/core/plan.py": "class ExecutionPlan:\n    pass\n",
+            }
+        )
+        assert _r7(root) == []
+
+    def test_lazy_layer_violation_still_flagged(self, write_tree):
+        # Deferring the import dodges the load-time cycle check, not the
+        # architecture: graph must not depend on core at any time.
+        root = write_tree(
+            {
+                "repro/graph/coloring.py": (
+                    "def compile_it():\n"
+                    "    from repro.core.plan import ExecutionPlan\n"
+                    "    return ExecutionPlan\n"
+                ),
+                "repro/core/plan.py": "class ExecutionPlan:\n    pass\n",
+            }
+        )
+        findings = _r7(root)
+        assert [f.line for f in findings] == [2]
+
+    def test_suppression_consumes_the_finding(self, write_tree):
+        root = write_tree(
+            {
+                "repro/graph/coloring.py": (
+                    "from repro.core.plan import ExecutionPlan"
+                    "  # lint: disable=R7\n"
+                ),
+                "repro/core/plan.py": "class ExecutionPlan:\n    pass\n",
+            }
+        )
+        report = lint_paths([root], use_cache=False)
+        assert report.findings == ()
+
+    def test_foreign_root_package_is_not_layer_checked(self, write_tree):
+        # The layer map describes the repro package; an arbitrary tree
+        # with coincidental segment names only gets cycle detection.
+        root = write_tree(
+            {
+                "other/graph/x.py": "from other.core.y import Z\n",
+                "other/core/y.py": "class Z:\n    pass\n",
+            }
+        )
+        assert _r7(root) == []
+
+
+class TestRestrictedPackages:
+    def test_analysis_importing_core_is_flagged(self, write_tree):
+        # The findings.py docstring contract, machine-checked: the
+        # analysis package must never import repro.core.
+        root = write_tree(
+            {
+                "repro/analysis/evil.py": (
+                    "from repro.core.plan import ExecutionPlan\n"
+                ),
+                "repro/core/plan.py": "class ExecutionPlan:\n    pass\n",
+            }
+        )
+        findings = _r7(root)
+        assert len(findings) == 1
+        assert "restricted package 'analysis'" in findings[0].message
+        assert "repro.core" in findings[0].message
+
+    def test_obs_importing_numpy_is_flagged(self, write_tree):
+        # The stdlib-only contract for the observability seam.
+        root = write_tree(
+            {"repro/obs/fancy.py": "import numpy as np\n"}
+        )
+        findings = _r7(root)
+        assert len(findings) == 1
+        assert "restricted package 'obs'" in findings[0].message
+        assert "numpy" in findings[0].message
+
+    def test_faults_importing_serve_is_flagged(self, write_tree):
+        root = write_tree(
+            {
+                "repro/faults/plans.py": (
+                    "from repro.serve.server import SpmvServer\n"
+                ),
+                "repro/serve/server.py": "class SpmvServer:\n    pass\n",
+            }
+        )
+        findings = _r7(root)
+        assert any("restricted package 'faults'" in f.message for f in findings)
+
+    def test_errors_and_own_package_and_stdlib_allowed(self, write_tree):
+        root = write_tree(
+            {
+                "repro/obs/metrics.py": (
+                    "import json\n"
+                    "import threading\n"
+                    "from repro.errors import MetricsError\n"
+                    "from repro.obs.clock import monotonic\n"
+                ),
+                "repro/obs/clock.py": "def monotonic():\n    return 0.0\n",
+                "repro/errors.py": "class MetricsError(Exception):\n    pass\n",
+            }
+        )
+        assert _r7(root) == []
+
+
+class TestCycles:
+    def test_load_time_cycle_is_fatal(self, write_tree):
+        root = write_tree(
+            {
+                "repro/core/a.py": "from repro.core.b import B\nclass A:\n    pass\n",
+                "repro/core/b.py": "from repro.core.a import A\nclass B:\n    pass\n",
+            }
+        )
+        findings = _r7(root)
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "load-time import cycle" in message
+        assert "repro.core.a -> repro.core.b -> repro.core.a" in message
+        assert not findings[0].warning
+
+    def test_cycle_broken_by_lazy_import_is_clean(self, write_tree):
+        # The sanctioned fix (core.store <-> core.cache in the live
+        # tree): defer one edge into the function that needs it.
+        root = write_tree(
+            {
+                "repro/core/a.py": (
+                    "from repro.core.b import B\n"
+                    "def use():\n    return B\n"
+                ),
+                "repro/core/b.py": (
+                    "class B:\n    pass\n"
+                    "def back():\n"
+                    "    from repro.core.a import use\n"
+                    "    return use\n"
+                ),
+            }
+        )
+        assert _r7(root) == []
+
+    def test_cycle_in_foreign_tree_still_fatal(self, write_tree):
+        # Cycles are fatal anywhere, layer map or not.
+        root = write_tree(
+            {
+                "other/a.py": "import other.b\n",
+                "other/b.py": "import other.a\n",
+            }
+        )
+        findings = _r7(root)
+        assert len(findings) == 1
+        assert "load-time import cycle" in findings[0].message
+
+    def test_three_module_cycle_reported_once(self, write_tree):
+        root = write_tree(
+            {
+                "repro/core/a.py": "import repro.core.b\n",
+                "repro/core/b.py": "import repro.core.c\n",
+                "repro/core/c.py": "import repro.core.a\n",
+            }
+        )
+        findings = _r7(root)
+        assert len(findings) == 1
+        assert (
+            "repro.core.a -> repro.core.b -> repro.core.c -> repro.core.a"
+            in findings[0].message
+        )

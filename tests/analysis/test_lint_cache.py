@@ -1,0 +1,106 @@
+"""The incremental findings cache: warm runs re-parse nothing unchanged."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import lint_paths
+
+TREE = {
+    "repro/core/plan.py": (
+        "import numpy as np\n"
+        "\n"
+        "def order(rows):\n"
+        "    return np.argsort(rows)\n"
+    ),
+    "repro/graph/coloring.py": "def color(edges):\n    return edges\n",
+    "repro/errors.py": "class ScheduleError(Exception):\n    pass\n",
+}
+
+
+def _run(root, cache_path, **kwargs):
+    return lint_paths([root], cache_path=cache_path, **kwargs)
+
+
+def test_warm_run_parses_nothing_and_agrees(write_tree, tmp_path):
+    root = write_tree(TREE)
+    cache_path = tmp_path / "cache" / "lint.json"
+    cold = _run(root, cache_path)
+    assert cold.files_parsed == cold.files_checked > 0
+    assert cold.cache_hits == 0
+
+    warm = _run(root, cache_path)
+    assert warm.files_parsed == 0
+    assert warm.cache_hits == warm.files_checked == cold.files_checked
+    assert warm.findings == cold.findings  # including the R9 finding
+
+
+def test_editing_one_file_reparses_only_it(write_tree, tmp_path):
+    root = write_tree(TREE)
+    cache_path = tmp_path / "cache" / "lint.json"
+    cold = _run(root, cache_path)
+
+    plan = root / "repro" / "core" / "plan.py"
+    plan.write_text(
+        TREE["repro/core/plan.py"].replace(
+            "np.argsort(rows)", 'np.argsort(rows, kind="stable")'
+        ),
+        encoding="utf-8",
+    )
+    edited = _run(root, cache_path)
+    assert edited.files_parsed == 1
+    assert edited.cache_hits == cold.files_checked - 1
+    # The stale cached finding must not survive the edit.
+    assert [f for f in edited.findings if f.rule == "R9"] == []
+
+
+def test_cross_file_rules_rerun_on_cached_models(write_tree, tmp_path):
+    # Phase 2 is never cached: a layer violation introduced by editing
+    # one file must surface even though every other file is a cache hit.
+    root = write_tree(TREE)
+    cache_path = tmp_path / "cache" / "lint.json"
+    _run(root, cache_path)
+
+    coloring = root / "repro" / "graph" / "coloring.py"
+    coloring.write_text(
+        "from repro.core.plan import order\n", encoding="utf-8"
+    )
+    report = _run(root, cache_path)
+    assert report.files_parsed == 1
+    assert any(f.rule == "R7" for f in report.findings)
+
+
+def test_corrupt_cache_degrades_to_cold_run(write_tree, tmp_path):
+    root = write_tree(TREE)
+    cache_path = tmp_path / "cache" / "lint.json"
+    cold = _run(root, cache_path)
+    cache_path.write_text("{not json", encoding="utf-8")
+    rerun = _run(root, cache_path)
+    assert rerun.files_parsed == rerun.files_checked
+    assert rerun.findings == cold.findings
+
+
+def test_cache_disabled_always_parses(write_tree, tmp_path):
+    root = write_tree(TREE)
+    first = lint_paths([root], use_cache=False)
+    second = lint_paths([root], use_cache=False)
+    assert first.files_parsed == second.files_parsed == first.files_checked
+
+
+def test_cache_file_is_versioned_json(write_tree, tmp_path):
+    root = write_tree(TREE)
+    cache_path = tmp_path / "cache" / "lint.json"
+    _run(root, cache_path)
+    payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    assert "ruleset" in payload
+    assert len(payload["entries"]) == 3 + 3  # sources + three __init__.py
+
+
+def test_parse_error_files_are_cached_too(write_tree, tmp_path):
+    root = write_tree(dict(TREE, **{"repro/broken.py": "def f(:\n"}))
+    cache_path = tmp_path / "cache" / "lint.json"
+    cold = _run(root, cache_path)
+    assert any(f.rule == "E1" for f in cold.findings)
+    warm = _run(root, cache_path)
+    assert warm.files_parsed == 0
+    assert warm.findings == cold.findings

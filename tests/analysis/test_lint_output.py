@@ -1,0 +1,163 @@
+"""Runner satellites: missing paths, dedupe, W2, and output formats."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.runner import iter_python_files
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestMissingTargets:
+    def test_missing_path_is_a_clean_finding(self, tmp_path):
+        ghost = tmp_path / "nope" / "missing.py"
+        report = lint_paths([ghost], use_cache=False)
+        assert [f.rule for f in report.findings] == ["E2"]
+        finding = report.findings[0]
+        assert finding.path == str(ghost)
+        assert "does not exist" in finding.message
+        assert not finding.warning
+        assert report.exit_code() == 1
+
+    def test_cli_reports_missing_path_not_traceback(self, capsys):
+        exit_code = main(["lint", "/definitely/not/here.py"])
+        assert exit_code == 1
+        output = capsys.readouterr().out
+        assert "E2" in output
+        assert "does not exist" in output
+
+    def test_present_targets_still_linted_alongside(self, tmp_path):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        report = lint_paths(
+            [good, tmp_path / "missing.py"], use_cache=False
+        )
+        assert report.files_checked == 1
+        assert [f.rule for f in report.findings] == ["E2"]
+
+
+class TestTargetDeduplication:
+    def test_directory_plus_member_lints_once(self, tmp_path):
+        inner = tmp_path / "pkg"
+        inner.mkdir()
+        member = inner / "mod.py"
+        member.write_text("x = 1\n", encoding="utf-8")
+        files = iter_python_files([inner, member])
+        assert files == [member.resolve()]
+
+    def test_same_directory_twice_lints_once(self, tmp_path):
+        member = tmp_path / "mod.py"
+        member.write_text("x = 1\n", encoding="utf-8")
+        assert iter_python_files([tmp_path, tmp_path]) == [member.resolve()]
+
+    def test_order_independent_of_target_order(self, tmp_path):
+        for name in ("b", "a"):
+            sub = tmp_path / name
+            sub.mkdir()
+            (sub / f"{name}.py").write_text("x = 1\n", encoding="utf-8")
+        forward = iter_python_files([tmp_path / "a", tmp_path / "b"])
+        backward = iter_python_files([tmp_path / "b", tmp_path / "a"])
+        assert forward == backward == sorted(forward, key=str)
+
+
+class TestUnknownSuppression:
+    def test_unknown_rule_id_is_w2_not_w1(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "x = 1  # lint: disable=R99\n", encoding="utf-8"
+        )
+        report = lint_paths([path], use_cache=False)
+        assert [f.rule for f in report.findings] == ["W2"]
+        finding = report.findings[0]
+        assert finding.warning
+        assert "unknown rule 'R99'" in finding.message
+        assert "R1" in finding.message  # names the known registry
+
+    def test_known_but_unused_is_still_w1(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "x = 1  # lint: disable=R1\n", encoding="utf-8"
+        )
+        report = lint_paths([path], use_cache=False)
+        assert [f.rule for f in report.findings] == ["W1"]
+
+    def test_mixed_line_reports_each_correctly(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "x = 1  # lint: disable=R1,R99\n", encoding="utf-8"
+        )
+        rules = sorted(
+            f.rule for f in lint_paths([path], use_cache=False).findings
+        )
+        assert rules == ["W1", "W2"]
+
+
+class TestOutputFormats:
+    def _bad_tree(self, write_tree):
+        return write_tree(
+            {
+                "repro/core/plan.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "def order(rows):\n"
+                    "    return np.argsort(rows)\n"
+                )
+            }
+        )
+
+    def test_json_format_golden_shape(self, write_tree, capsys):
+        root = self._bad_tree(write_tree)
+        exit_code = main(
+            ["lint", "--format=json", "--no-cache", str(root)]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "cache_hits",
+            "errors",
+            "files_checked",
+            "files_parsed",
+            "findings",
+            "warnings",
+        }
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
+        assert payload["files_checked"] == 3  # plan.py + two __init__.py
+        assert payload["files_parsed"] == 3
+        [finding] = payload["findings"]
+        assert finding["rule"] == "R9"
+        assert finding["line"] == 4
+        assert finding["path"].endswith("plan.py")
+        assert finding["warning"] is False
+
+    def test_github_format_emits_annotations(self, write_tree, capsys):
+        root = self._bad_tree(write_tree)
+        exit_code = main(
+            ["lint", "--format=github", "--no-cache", str(root)]
+        )
+        assert exit_code == 1
+        lines = capsys.readouterr().out.splitlines()
+        annotation = lines[0]
+        assert annotation.startswith("::error file=")
+        assert ",line=4,title=R9::" in annotation
+        assert lines[-1].startswith("repro lint:")
+
+    def test_github_warnings_annotate_as_warnings(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # lint: disable=R1\n", encoding="utf-8")
+        main(["lint", "--format=github", "--no-cache", str(path)])
+        out = capsys.readouterr().out
+        assert "::warning file=" in out
+        assert "title=W1::" in out
+
+    def test_text_format_unchanged_for_fixtures(self, capsys):
+        exit_code = main(
+            ["lint", "--no-cache", str(FIXTURES / "bad_reduceat.py")]
+        )
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert f"{FIXTURES / 'bad_reduceat.py'}:7: R1 [error]" in out

@@ -1,22 +1,81 @@
 """Self-check: the live tree is clean under the strictest settings.
 
 This is the test that makes the contract checker a contract: any change
-that introduces an order-sensitive reduction outside a declared backend,
-an unguarded write to a lock-guarded field, a resurrected shim call
-site, or a partial capability declaration fails the tier-1 suite, not
-just the CI lint job.
+that introduces an order-sensitive reduction outside a declared
+backend, an unguarded write to a lock-guarded field, a resurrected shim
+call site, a partial capability declaration, a layering violation or
+import cycle (R7), an unmanifested API change (R8), or an unstable sort
+on the plan path (R9) fails the tier-1 suite, not just the CI lint job.
 """
 
-from repro.analysis import lint_paths
+from pathlib import Path
+
+from repro.analysis import build_model, lint_paths
+from repro.analysis.api_drift import (
+    build_manifest,
+    default_manifest_path,
+    render_manifest,
+)
+from repro.analysis.runner import default_target, iter_python_files
 from repro.cli import main
 
 
 def test_live_tree_is_strict_clean():
-    report = lint_paths()
+    report = lint_paths(use_cache=False)
     assert report.files_checked > 50
     assert report.findings == (), report.render()
 
 
 def test_cli_default_strict_exit_zero(capsys):
-    assert main(["lint", "--strict"]) == 0
+    assert main(["lint", "--strict", "--no-cache"]) == 0
     assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+
+def test_api_manifest_round_trips_with_zero_diff():
+    """`repro lint --update-api` on the unchanged tree is a no-op.
+
+    The manifest is checked in; if this fails, a public signature
+    changed without `--update-api` being run (and reviewed).
+    """
+    manifest_path = default_manifest_path()
+    assert manifest_path.exists(), "api_manifest.json is not checked in"
+    model = build_model(iter_python_files([default_target()]))
+    regenerated = render_manifest(build_manifest(model))
+    assert regenerated == manifest_path.read_text(encoding="utf-8")
+
+
+def test_warm_cache_reparses_nothing(tmp_path):
+    """Second run over the unchanged live tree restores every file from
+    the incremental cache: zero parses, byte-identical verdicts."""
+    cache_path = tmp_path / "lintcache.json"
+    cold = lint_paths(cache_path=cache_path)
+    assert cold.files_parsed == cold.files_checked
+    warm = lint_paths(cache_path=cache_path)
+    assert warm.files_parsed == 0
+    assert warm.cache_hits == warm.files_checked == cold.files_checked
+    assert warm.findings == cold.findings == ()
+
+
+def test_machine_checked_docstring_contracts():
+    """The contracts R7 now enforces really are the documented ones:
+    the analysis package must not (and does not) import repro.core, and
+    obs/faults import nothing outside the stdlib + repro.errors."""
+    from repro.analysis.layers import RESTRICTED, segment_of
+    from repro.analysis.project import STDLIB_MODULES
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    model = build_model(iter_python_files([src]))
+    restricted_modules = [
+        info
+        for info in model.modules.values()
+        if segment_of(info.module) in RESTRICTED
+    ]
+    assert len(restricted_modules) >= 10  # obs + faults + analysis
+    for info in restricted_modules:
+        for raw in info.raw_imports:
+            if raw.type_checking or raw.level > 0:
+                continue
+            top = raw.module.split(".", 1)[0]
+            if not top or top in STDLIB_MODULES:
+                continue
+            assert top == "repro", (info.module, raw.module)

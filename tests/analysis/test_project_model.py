@@ -1,0 +1,121 @@
+"""Phase 1: module naming, import classification, API extraction."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import build_model
+from repro.analysis.project import (
+    extract_api,
+    extract_imports,
+    module_name_for,
+)
+
+
+class TestModuleNaming:
+    def test_package_walk(self, write_tree):
+        root = write_tree({"repro/core/plan.py": "X = 1\n"})
+        assert (
+            module_name_for(root / "repro" / "core" / "plan.py")
+            == "repro.core.plan"
+        )
+
+    def test_package_init_is_the_package(self, write_tree):
+        root = write_tree({"repro/core/plan.py": "X = 1\n"})
+        assert module_name_for(root / "repro" / "__init__.py") == "repro"
+
+    def test_loose_file_is_its_stem(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("X = 1\n", encoding="utf-8")
+        assert module_name_for(loose) == "script"
+
+
+class TestImportExtraction:
+    def test_lazy_and_type_checking_classification(self):
+        tree = ast.parse(
+            "from typing import TYPE_CHECKING\n"
+            "import repro.core.plan\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.core.load_balance import BalancedMatrix\n"
+            "def go():\n"
+            "    from repro.core import cache\n"
+        )
+        records = {r.module: r for r in extract_imports(tree)}
+        assert not records["repro.core.plan"].lazy
+        assert not records["repro.core.plan"].type_checking
+        assert records["repro.core.load_balance"].type_checking
+        assert records["repro.core"].lazy
+
+    def test_relative_imports_resolve_against_package(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/sub/a.py": "from . import b\nfrom ..top import c\n",
+                "pkg/sub/b.py": "",
+                "pkg/top.py": "c = 1\n",
+            }
+        )
+        model = build_model(sorted(root.rglob("*.py")))
+        edges = {
+            (e.importer, e.target)
+            for e in model.edges()
+            if e.importer == "pkg.sub.a"
+        }
+        assert ("pkg.sub.a", "pkg.sub.b") in edges
+        assert ("pkg.sub.a", "pkg.top") in edges
+
+    def test_from_import_resolves_to_submodule_not_init(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/user.py": "from pkg.core import plan\n",
+                "pkg/core/plan.py": "",
+            }
+        )
+        model = build_model(sorted(root.rglob("*.py")))
+        targets = {e.target for e in model.edges() if e.importer == "pkg.user"}
+        assert "pkg.core.plan" in targets
+        assert "pkg.core" not in targets
+
+
+class TestApiExtraction:
+    def test_function_signature_rendering(self):
+        api = extract_api(
+            ast.parse(
+                "def compile(matrix, *, backend='auto', jobs: int = 1)"
+                " -> str:\n    pass\n"
+            )
+        )
+        assert api["compile"]["signature"] == (
+            "(matrix, *, backend='auto', jobs: int = 1) -> str"
+        )
+
+    def test_class_descriptor(self):
+        api = extract_api(
+            ast.parse(
+                "class Cache(Base):\n"
+                "    size: int\n"
+                "    _hidden: int\n"
+                "    def __init__(self, size=8):\n"
+                "        pass\n"
+                "    def lookup(self, key):\n"
+                "        pass\n"
+                "    def _internal(self):\n"
+                "        pass\n"
+            )
+        )
+        descriptor = api["Cache"]
+        assert descriptor["bases"] == ["Base"]
+        assert descriptor["fields"] == {"size": "int"}
+        assert set(descriptor["methods"]) == {"__init__", "lookup"}
+
+    def test_private_symbols_excluded_all_reexports_included(self):
+        api = extract_api(
+            ast.parse(
+                "__all__ = ['exported', 'helper']\n"
+                "def _private():\n    pass\n"
+                "def helper():\n    pass\n"
+            )
+        )
+        assert "_private" not in api
+        assert api["exported"]["kind"] == "name"
+        assert api["helper"]["kind"] == "function"
